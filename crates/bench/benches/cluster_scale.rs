@@ -1,0 +1,48 @@
+//! Criterion bench behind experiment F3: distance-matrix construction and
+//! agglomerative clustering as the registry grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sm_enterprise::cluster::{agglomerative, Cut, DistanceMatrix, Linkage};
+use sm_schema::Schema;
+use sm_synth::{RepositoryConfig, SyntheticRepository};
+
+fn population(domains: usize, per_domain: usize) -> SyntheticRepository {
+    SyntheticRepository::generate(&RepositoryConfig {
+        seed: 77,
+        domains,
+        schemas_per_domain: per_domain,
+        concepts_per_domain: 15,
+        concept_coverage: 0.5,
+        attrs_per_concept: (4, 8),
+    })
+}
+
+fn bench_distance_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_distance_matrix");
+    group.sample_size(10);
+    for n in [20usize, 40, 80] {
+        let pop = population(4, n / 4);
+        let refs: Vec<&Schema> = pop.schemas.iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &refs, |b, refs| {
+            b.iter(|| DistanceMatrix::from_schemas(refs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_agglomerative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_agglomerative");
+    group.sample_size(10);
+    for n in [20usize, 40, 80] {
+        let pop = population(4, n / 4);
+        let refs: Vec<&Schema> = pop.schemas.iter().collect();
+        let dm = DistanceMatrix::from_schemas(&refs);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dm, |b, dm| {
+            b.iter(|| agglomerative(dm, Linkage::Average, Cut::K(4)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_matrix, bench_agglomerative);
+criterion_main!(benches);

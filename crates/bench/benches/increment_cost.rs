@@ -1,0 +1,55 @@
+//! Criterion bench behind experiment E4: cost of one sub-tree increment
+//! (one concept against the whole opposing schema) — the unit of the
+//! paper's human workflow, "typically between 10^4 and 10^5 matches".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use harmony_core::prelude::*;
+use sm_bench::case_study;
+
+fn bench_increment(c: &mut Criterion) {
+    let pair = case_study(1.0);
+    let engine = MatchEngine::new();
+    let ctx = engine.build_context(&pair.source, &pair.target);
+    let target_ids: Vec<_> = pair.target.ids().collect();
+
+    let mut group = c.benchmark_group("e4_increment");
+    group.sample_size(20);
+    // Three concepts of different sizes.
+    let mut anchors: Vec<_> = pair
+        .source_anchors
+        .iter()
+        .map(|&(a, _)| (a, pair.source.subtree_size(a)))
+        .collect();
+    anchors.sort_by_key(|&(_, n)| n);
+    let picks = [
+        anchors[0],
+        anchors[anchors.len() / 2],
+        anchors[anchors.len() - 1],
+    ];
+    for (anchor, size) in picks {
+        let src_ids = pair.source.subtree_ids(anchor);
+        group.throughput(Throughput::Elements((src_ids.len() * target_ids.len()) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{size}elems_x_{}", target_ids.len())),
+            &src_ids,
+            |b, src_ids| {
+                b.iter(|| engine.run_restricted(&ctx, src_ids, &target_ids));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_subtree_filter_select(c: &mut Criterion) {
+    let pair = case_study(1.0);
+    let anchor = pair.source_anchors[0].0;
+    c.bench_function("e4_subtree_select", |b| {
+        b.iter(|| NodeFilter::subtree(anchor).select(&pair.source));
+    });
+    c.bench_function("e4_depth_select", |b| {
+        b.iter(|| NodeFilter::at_depth(1).select(&pair.source));
+    });
+}
+
+criterion_group!(benches, bench_increment, bench_subtree_filter_select);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench behind experiment E1: full automated match runtime as
+//! schema size grows toward the paper's 1378×784.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use harmony_core::prelude::*;
+use sm_bench::case_study;
+
+fn bench_full_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_full_match");
+    group.sample_size(10);
+    for scale in [0.1, 0.25, 0.5] {
+        let pair = case_study(scale);
+        let pairs = (pair.source.len() * pair.target.len()) as u64;
+        group.throughput(Throughput::Elements(pairs));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "{}x{}",
+                pair.source.len(),
+                pair.target.len()
+            )),
+            &pair,
+            |b, pair| {
+                let engine = MatchEngine::new();
+                b.iter(|| engine.run(&pair.source, &pair.target));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_context_build(c: &mut Criterion) {
+    let pair = case_study(0.5);
+    let engine = MatchEngine::new();
+    c.bench_function("e1_context_build_689x392", |b| {
+        b.iter(|| engine.build_context(&pair.source, &pair.target));
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let pair = case_study(0.5);
+    let engine = MatchEngine::new();
+    let result = engine.run(&pair.source, &pair.target);
+    c.bench_function("e1_one_to_one_selection", |b| {
+        b.iter(|| {
+            Selection::OneToOne {
+                min: Confidence::new(0.3),
+            }
+            .apply(&result.matrix)
+        });
+    });
+}
+
+criterion_group!(benches, bench_full_match, bench_context_build, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench behind experiment E5: building the comprehensive
+//! vocabulary (union-find closure + cell partition) as N grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harmony_core::prelude::*;
+use sm_schema::Schema;
+use sm_synth::{RepositoryConfig, SyntheticRepository};
+
+/// Pre-compute pairwise validated matches once; the bench measures the
+/// vocabulary construction itself.
+fn pairwise_matches(schemas: &[&Schema]) -> Vec<(usize, usize, MatchSet)> {
+    let engine = MatchEngine::new();
+    let mut out = Vec::new();
+    for i in 0..schemas.len() {
+        for j in (i + 1)..schemas.len() {
+            let result = engine.run(schemas[i], schemas[j]);
+            let selected = Selection::OneToOne {
+                min: Confidence::new(0.35),
+            }
+            .apply(&result.matrix);
+            let mut validated = MatchSet::new();
+            for c in selected.all() {
+                validated.push(c.clone().validate("engine", MatchAnnotation::Equivalent));
+            }
+            out.push((i, j, validated));
+        }
+    }
+    out
+}
+
+fn bench_vocabulary(c: &mut Criterion) {
+    let population = SyntheticRepository::generate(&RepositoryConfig {
+        seed: 23,
+        domains: 1,
+        schemas_per_domain: 6,
+        concepts_per_domain: 30,
+        concept_coverage: 0.55,
+        attrs_per_concept: (5, 9),
+    });
+    let mut group = c.benchmark_group("e5_vocabulary");
+    for n in [2usize, 4, 6] {
+        let schemas: Vec<&Schema> = population.schemas.iter().take(n).collect();
+        let matches = pairwise_matches(&schemas);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut nway = NWayMatch::new(schemas.clone());
+                for (i, j, m) in &matches {
+                    nway.add_pairwise(*i, *j, m);
+                }
+                nway.vocabulary()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vocabulary);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Microbenchmarks of the linguistic substrate — the per-element work that
+//! the match context amortizes and the per-pair work voters repeat ~10^6
+//! times in experiment E1.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sm_text::normalize::Normalizer;
+use sm_text::similarity::{jaro_winkler, levenshtein_sim, monge_elkan};
+use sm_text::{porter_stem, tokenize_identifier, Corpus};
+
+fn bench_tokenize(c: &mut Criterion) {
+    c.bench_function("tokenize_identifier", |b| {
+        b.iter(|| tokenize_identifier(black_box("DATE_BEGIN_156_XMLHttpRequest")));
+    });
+}
+
+fn bench_stem(c: &mut Criterion) {
+    let words = [
+        "locations",
+        "identification",
+        "organizational",
+        "effectiveness",
+        "begin",
+    ];
+    c.bench_function("porter_stem_5_words", |b| {
+        b.iter(|| {
+            for w in words {
+                black_box(porter_stem(black_box(w)));
+            }
+        });
+    });
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    c.bench_function("jaro_winkler", |b| {
+        b.iter(|| jaro_winkler(black_box("date_begin_156"), black_box("datetime_first_info")));
+    });
+    c.bench_function("levenshtein_sim", |b| {
+        b.iter(|| {
+            levenshtein_sim(black_box("date_begin_156"), black_box("datetime_first_info"))
+        });
+    });
+    let a: Vec<String> = ["date", "begin"].iter().map(|s| s.to_string()).collect();
+    let bb: Vec<String> = ["datetime", "first", "info"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    c.bench_function("monge_elkan_jw", |b| {
+        b.iter(|| monge_elkan(black_box(&a), black_box(&bb), jaro_winkler));
+    });
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let n = Normalizer::new();
+    c.bench_function("normalize_name", |b| {
+        b.iter(|| n.name(black_box("PERS_DOB_UPDATE_DTTM")));
+    });
+    c.bench_function("normalize_prose", |b| {
+        b.iter(|| {
+            n.prose(black_box(
+                "The date and time at which information about the event first arrived.",
+            ))
+        });
+    });
+}
+
+fn bench_tfidf(c: &mut Criterion) {
+    // A corpus shaped like one schema side of the paper's problem.
+    let docs: Vec<Vec<String>> = (0..1000)
+        .map(|i| {
+            vec![
+                format!("word{}", i % 97),
+                format!("word{}", i % 31),
+                "common".to_string(),
+                format!("rare{i}"),
+            ]
+        })
+        .collect();
+    c.bench_function("tfidf_build_1000_docs", |b| {
+        b.iter(|| {
+            let mut corpus = Corpus::new();
+            for d in &docs {
+                corpus.add_document(d);
+            }
+            corpus.finalize()
+        });
+    });
+    let mut corpus = Corpus::new();
+    for d in &docs {
+        corpus.add_document(d);
+    }
+    let f = corpus.finalize();
+    let v1 = f.vector(0).clone();
+    let v2 = f.vector(500).clone();
+    c.bench_function("tfidf_cosine", |b| {
+        b.iter(|| black_box(&v1).cosine(black_box(&v2)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tokenize,
+    bench_stem,
+    bench_similarity,
+    bench_normalize,
+    bench_tfidf
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E4 — "typically between 10^4 and 10^5 matches were considered in each
+//! increment" (§3.3).
+//!
+//! The paper's engineers matched one concept subtree at a time against the
+//! entire opposing schema. This experiment runs that workflow at full scale
+//! and reports the distribution of per-increment candidate counts (the
+//! paper's 10^4–10^5 band) and what the sub-tree filter buys in reviewer
+//! load versus a flat, unfiltered review.
+
+use harmony_core::prelude::*;
+use harmony_core::workflow::NoisyOracle;
+use sm_bench::{case_study, header, row, table_header};
+
+fn main() {
+    header(
+        "E4",
+        "per-increment candidate counts in the concept-at-a-time workflow \
+         (paper: 10^4–10^5 per increment)",
+    );
+    let pair = case_study(1.0);
+    let engine = MatchEngine::new();
+    let summary = auto_summarize(&pair.source, pair.source_anchors.len());
+    let mut session =
+        IncrementalSession::new(&engine, &pair.source, &pair.target, Confidence::new(0.30));
+    let mut oracle = NoisyOracle::new(pair.truth.pairs().clone(), 0.05, 17);
+    let reports = session.concept_at_a_time(&summary, &mut oracle);
+
+    // Distribution of per-increment pair counts.
+    let counts: Vec<usize> = reports.iter().map(|r| r.pairs_considered).collect();
+    let min = counts.iter().min().copied().unwrap_or(0);
+    let max = counts.iter().max().copied().unwrap_or(0);
+    let mean = counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64;
+    let in_band = counts
+        .iter()
+        .filter(|&&c| (10_000..=100_000).contains(&c))
+        .count();
+    table_header(&["increments", "min", "mean", "max", "in 10^4..10^5"]);
+    row(&[
+        reports.len().to_string(),
+        min.to_string(),
+        format!("{mean:.0}"),
+        max.to_string(),
+        format!("{}/{}", in_band, reports.len()),
+    ]);
+
+    println!("\nlargest increments:");
+    let mut sorted = reports.clone();
+    sorted.sort_by_key(|r| std::cmp::Reverse(r.pairs_considered));
+    table_header(&["concept", "src-elems", "pairs", "shown", "accepted"]);
+    for r in sorted.iter().take(8) {
+        row(&[
+            r.label.chars().take(14).collect(),
+            r.source_elements.to_string(),
+            r.pairs_considered.to_string(),
+            r.shown_to_reviewer.to_string(),
+            r.accepted.to_string(),
+        ]);
+    }
+
+    // Effort comparison: incremental vs flat review at the same threshold.
+    let flat = engine.run(&pair.source, &pair.target);
+    let flat_shown = flat.matrix.count_above(Confidence::new(0.30));
+    println!(
+        "\nreviewer load: incremental workflow shows {} candidates across {} \
+         increments; a flat unfiltered review at the same threshold shows {}.",
+        session.total_inspected(),
+        reports.len(),
+        flat_shown
+    );
+    println!(
+        "total pairs scored: incremental {} vs flat {} (the machine cost is \
+         the same order; the *human* work is organized into reviewable units \
+         — the paper's point).",
+        session.total_pairs_considered(),
+        flat.pairs_considered
+    );
+}

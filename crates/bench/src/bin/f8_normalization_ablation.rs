@@ -1,0 +1,80 @@
+//! F8 — ablation of the linguistic preprocessing pipeline (§3.2: "linguistic
+//! preprocessing (e.g., tokenization and stemming) of element names and any
+//! associated documentation").
+//!
+//! Each row disables one stage of the normalizer and reports the matcher's
+//! best F1 on the standard case-study workload, isolating how much each
+//! stage contributes (abbreviation expansion matters most in enterprise
+//! naming; stemming bridges singular/plural; noise/numeric stripping clears
+//! `TBL_`/`_156` debris).
+
+use harmony_core::prelude::*;
+use sm_bench::{case_study, f3, header, row, table_header};
+use sm_text::normalize::{NormalizeOptions, Normalizer};
+
+fn best_f1(normalizer: Normalizer) -> f64 {
+    let pair = case_study(0.35);
+    let engine = MatchEngine::new().with_normalizer(normalizer);
+    let result = engine.run(&pair.source, &pair.target);
+    let mut best = 0.0f64;
+    for i in 0..30 {
+        let th = -0.1 + i as f64 * 0.03;
+        let selected = Selection::OneToOne {
+            min: Confidence::new(th),
+        }
+        .apply(&result.matrix);
+        let predicted: Vec<_> = selected.all().iter().map(|c| (c.source, c.target)).collect();
+        best = best.max(pair.truth.evaluate_pairs(predicted.iter()).f1);
+    }
+    best
+}
+
+fn main() {
+    header(
+        "F8",
+        "ablation: linguistic preprocessing stages (tokenize → expand → stem …)",
+    );
+    let full = NormalizeOptions::default();
+    let configs: Vec<(&str, NormalizeOptions)> = vec![
+        ("full pipeline", full),
+        (
+            "no abbreviation exp.",
+            NormalizeOptions {
+                expand_abbrevs: false,
+                ..full
+            },
+        ),
+        (
+            "no stemming",
+            NormalizeOptions {
+                stem: false,
+                ..full
+            },
+        ),
+        (
+            "no numeric strip",
+            NormalizeOptions {
+                drop_numeric: false,
+                ..full
+            },
+        ),
+        (
+            "no stopword strip",
+            NormalizeOptions {
+                strip_stopwords: false,
+                ..full
+            },
+        ),
+        ("raw tokens only", NormalizeOptions::raw()),
+    ];
+    table_header(&["configuration", "best F1"]);
+    for (name, options) in configs {
+        let f1 = best_f1(Normalizer::with_options(options));
+        row(&[name.to_string(), f3(f1)]);
+    }
+    println!(
+        "\nshape: abbreviation expansion is the single most valuable stage on \
+         enterprise-style names (QTY/DT/ORG…); the raw-token baseline shows \
+         the combined value of the whole §3.2 preprocessing layer."
+    );
+}

@@ -1,0 +1,129 @@
+//! F9 — documentation vs. data instances as evidence (§3.2).
+//!
+//! "Unlike most schema matching tools, Harmony relies heavily on textual
+//! documentation to identify candidate correspondences instead of data
+//! instances because, at least in the government sector, schema
+//! documentation is easier to obtain than data (which may not yet exist, or
+//! may be sensitive)."
+//!
+//! This experiment makes that trade-off measurable: it equips the standard
+//! case-study pair with (a) documentation only, (b) instance samples only,
+//! (c) both, and (d) neither, and measures best-F1 of the appropriate voter
+//! panel in each regime, including partial instance coverage (data "may not
+//! yet exist" for many tables).
+
+use harmony_core::prelude::*;
+use harmony_core::voter::voters_with_instances;
+use sm_bench::{f3, header, row, table_header};
+use sm_synth::docgen::DocStyle;
+use sm_synth::{generate_instances, GeneratorConfig, InstanceConfig, SchemaPair};
+
+struct Regime {
+    name: &'static str,
+    doc: bool,
+    instance_coverage: f64,
+}
+
+fn best_f1(pair: &SchemaPair, instance_coverage: f64) -> f64 {
+    let engine = MatchEngine::new().with_voters(voters_with_instances());
+    let icfg = InstanceConfig {
+        seed: 11,
+        rows_per_element: 24,
+        coverage: instance_coverage,
+    };
+    let src = generate_instances(&pair.source, &pair.truth.source_semantics, &icfg);
+    let tgt = generate_instances(&pair.target, &pair.truth.target_semantics, &icfg);
+    let result = engine.run_with_instances(&pair.source, &pair.target, &src, &tgt);
+    let mut best = 0.0f64;
+    for i in 0..30 {
+        let th = -0.1 + i as f64 * 0.03;
+        let selected = Selection::OneToOne {
+            min: Confidence::new(th),
+        }
+        .apply(&result.matrix);
+        let predicted: Vec<_> = selected.all().iter().map(|c| (c.source, c.target)).collect();
+        best = best.max(pair.truth.evaluate_pairs(predicted.iter()).f1);
+    }
+    best
+}
+
+fn main() {
+    header(
+        "F9",
+        "evidence regimes: documentation vs data instances (§3.2's design argument)",
+    );
+    let regimes = [
+        Regime {
+            name: "doc only (Harmony)",
+            doc: true,
+            instance_coverage: 0.0,
+        },
+        Regime {
+            name: "instances only",
+            doc: false,
+            instance_coverage: 0.9,
+        },
+        Regime {
+            name: "instances 30%",
+            doc: false,
+            instance_coverage: 0.3,
+        },
+        Regime {
+            name: "doc + instances",
+            doc: true,
+            instance_coverage: 0.9,
+        },
+        Regime {
+            name: "neither",
+            doc: false,
+            instance_coverage: 0.0,
+        },
+    ];
+    println!("standard naming noise (paper-style abbreviation + some synonyms):");
+    table_header(&["evidence regime", "best F1"]);
+    for r in &regimes {
+        let mut cfg = GeneratorConfig::paper_case_study(42, 0.35);
+        if !r.doc {
+            cfg.source_doc = DocStyle::none();
+            cfg.target_doc = DocStyle::none();
+        }
+        let pair = SchemaPair::generate(&cfg);
+        row(&[r.name.to_string(), f3(best_f1(&pair, r.instance_coverage))]);
+    }
+
+    // Hostile naming: heavy synonym substitution and token dropping, which
+    // no dictionary recovers — the regime where names stop carrying the
+    // signal and secondary evidence must take over.
+    println!("\nhostile naming noise (heavy synonyms/truncation — names diverge):");
+    table_header(&["evidence regime", "best F1"]);
+    for r in &regimes {
+        let mut cfg = GeneratorConfig::paper_case_study(42, 0.35);
+        let hostile = |mut s: sm_synth::NamingStyle| {
+            s.synonym_prob = 0.6;
+            s.drop_token_prob = 0.35;
+            s.abbrev_prob = 0.7;
+            s
+        };
+        cfg.source_style = hostile(cfg.source_style);
+        cfg.target_style = hostile(cfg.target_style);
+        if !r.doc {
+            cfg.source_doc = DocStyle::none();
+            cfg.target_doc = DocStyle::none();
+        }
+        let pair = SchemaPair::generate(&cfg);
+        row(&[r.name.to_string(), f3(best_f1(&pair, r.instance_coverage))]);
+    }
+    println!(
+        "\npaper-vs-measured: plentiful instance data is the single strongest \
+         evidence source — exactly why conventional matchers lean on it. But \
+         its advantage decays with availability (the 30%-coverage rows), and \
+         the paper's whole point is that in government enterprises data \
+         frequently 'may not yet exist, or may be sensitive' while \
+         documentation ships with the schema. Harmony's documentation-first \
+         design is a bet on *availability*, not per-token superiority; the \
+         doc+instances row shows the two evidence sources compose when both \
+         exist. (Our generated documentation also carries realistic shared \
+         boilerplate, which caps doc-only gains — real data dictionaries \
+         have the same property.)"
+    );
+}

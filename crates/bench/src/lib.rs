@@ -1,0 +1,98 @@
+//! Shared helpers for the experiment harness.
+//!
+//! Every binary in `src/bin/` regenerates one experiment of EXPERIMENTS.md
+//! (which maps them to the paper's reported statistics). The helpers here
+//! keep their output format uniform: a titled, aligned table plus
+//! paper-vs-measured annotations.
+
+use harmony_core::prelude::*;
+use sm_synth::{GeneratorConfig, SchemaPair};
+
+/// Print an experiment header.
+pub fn header(id: &str, claim: &str) {
+    println!("==============================================================");
+    println!("{id}: {claim}");
+    println!("==============================================================");
+}
+
+/// Print one aligned table row.
+pub fn row(cells: &[String]) {
+    let line = cells
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{line}");
+}
+
+/// Print a table header row followed by a rule.
+pub fn table_header(cols: &[&str]) {
+    row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(15 * cols.len()));
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// The standard case-study pair at a given scale (seed fixed so every
+/// experiment sees the same world).
+pub fn case_study(scale: f64) -> SchemaPair {
+    SchemaPair::generate(&GeneratorConfig::paper_case_study(42, scale))
+}
+
+/// Run the automatic matcher and select one-to-one candidates at the
+/// default operating threshold used across experiments.
+pub fn auto_match(pair: &SchemaPair, threshold: f64) -> MatchSet {
+    let engine = MatchEngine::new();
+    let result = engine.run(&pair.source, &pair.target);
+    Selection::OneToOne {
+        min: Confidence::new(threshold),
+    }
+    .apply(&result.matrix)
+}
+
+/// Validate every correspondence of a set (for partition accounting of
+/// fully automatic runs).
+pub fn validate_all(set: &MatchSet) -> MatchSet {
+    let mut out = MatchSet::new();
+    for c in set.all() {
+        out.push(c.clone().validate("engine", MatchAnnotation::Equivalent));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_is_reproducible() {
+        let a = case_study(0.05);
+        let b = case_study(0.05);
+        assert_eq!(a.source.len(), b.source.len());
+        assert_eq!(a.truth.len(), b.truth.len());
+    }
+
+    #[test]
+    fn auto_match_returns_candidates() {
+        let pair = case_study(0.05);
+        let m = auto_match(&pair, 0.3);
+        assert!(!m.is_empty());
+        let v = validate_all(&m);
+        assert_eq!(v.len(), m.len());
+        assert!(v.validated().count() == v.len());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.5), "0.500");
+        assert_eq!(f1(2.25), "2.2");
+    }
+}

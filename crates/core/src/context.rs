@@ -1,0 +1,281 @@
+//! Precomputed linguistic context for one match operation.
+//!
+//! Voters are invoked for up to ~10^6 (source, target) pairs (the paper's
+//! 1378×784 case). All per-*element* work — tokenization, stemming,
+//! abbreviation expansion, TF-IDF vectorization — is done once per element
+//! here, so the per-pair cost is a handful of set intersections.
+
+use sm_schema::instances::{InstanceData, InstanceProfile};
+use sm_schema::{ElementId, Schema};
+use sm_text::normalize::{Normalizer, TokenBag};
+use sm_text::tfidf::{Corpus, DocVector, FinalizedCorpus};
+
+/// Which side of the match an element belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The left/source schema (the paper's S_A).
+    Source,
+    /// The right/target schema (the paper's S_B).
+    Target,
+}
+
+/// Per-element precomputed features.
+#[derive(Debug, Clone)]
+pub struct ElementFeatures {
+    /// Normalized name tokens.
+    pub name_bag: TokenBag,
+    /// Raw lowercased name (for edit-distance voters).
+    pub raw_name: String,
+    /// Normalized documentation tokens.
+    pub doc_bag: TokenBag,
+    /// TF-IDF vector of name + documentation.
+    pub doc_vector: DocVector,
+    /// Normalized tokens of the parent's name (empty for roots).
+    pub parent_bag: TokenBag,
+    /// Normalized name tokens of the element's children (flattened).
+    pub children_bag: TokenBag,
+    /// Distributional profile of sampled instance values, when available.
+    /// `None` in the paper's common case ("data … may not yet exist, or may
+    /// be sensitive").
+    pub instances: Option<InstanceProfile>,
+}
+
+/// Precomputed context for matching `source` against `target`.
+pub struct MatchContext<'a> {
+    /// The source schema (rows of the match matrix).
+    pub source: &'a Schema,
+    /// The target schema (columns of the match matrix).
+    pub target: &'a Schema,
+    source_features: Vec<ElementFeatures>,
+    target_features: Vec<ElementFeatures>,
+    /// TF-IDF corpus built over *both* schemata's documentation, so IDF
+    /// reflects the joint vocabulary of the match problem.
+    pub corpus: FinalizedCorpus,
+}
+
+impl<'a> MatchContext<'a> {
+    /// Build the context, running the full normalization pipeline once per
+    /// element of each schema. No instance data is consulted.
+    pub fn build(source: &'a Schema, target: &'a Schema, normalizer: &Normalizer) -> Self {
+        Self::build_with_instances(
+            source,
+            target,
+            normalizer,
+            &InstanceData::empty(),
+            &InstanceData::empty(),
+        )
+    }
+
+    /// Build the context with sampled instance data attached to one or both
+    /// schemata; the [`crate::voter::InstanceVoter`] consumes the resulting
+    /// profiles.
+    pub fn build_with_instances(
+        source: &'a Schema,
+        target: &'a Schema,
+        normalizer: &Normalizer,
+        source_instances: &InstanceData,
+        target_instances: &InstanceData,
+    ) -> Self {
+        // Pass 1: token bags.
+        let source_partial = Self::partial_features(source, normalizer, source_instances);
+        let target_partial = Self::partial_features(target, normalizer, target_instances);
+
+        // Pass 2: joint TF-IDF corpus over name+doc tokens.
+        let mut corpus = Corpus::new();
+        let mut source_doc_ids = Vec::with_capacity(source_partial.len());
+        for f in &source_partial {
+            let mut toks = f.name_bag.tokens.clone();
+            toks.extend(f.doc_bag.tokens.iter().cloned());
+            source_doc_ids.push(corpus.add_document(&toks));
+        }
+        let mut target_doc_ids = Vec::with_capacity(target_partial.len());
+        for f in &target_partial {
+            let mut toks = f.name_bag.tokens.clone();
+            toks.extend(f.doc_bag.tokens.iter().cloned());
+            target_doc_ids.push(corpus.add_document(&toks));
+        }
+        let corpus = corpus.finalize();
+
+        let attach = |partial: Vec<PartialFeatures>, ids: &[usize]| -> Vec<ElementFeatures> {
+            partial
+                .into_iter()
+                .zip(ids)
+                .map(|(p, &doc_id)| ElementFeatures {
+                    name_bag: p.name_bag,
+                    raw_name: p.raw_name,
+                    doc_bag: p.doc_bag,
+                    doc_vector: corpus.vector(doc_id).clone(),
+                    parent_bag: p.parent_bag,
+                    children_bag: p.children_bag,
+                    instances: p.instances,
+                })
+                .collect()
+        };
+
+        let source_features = attach(source_partial, &source_doc_ids);
+        let target_features = attach(target_partial, &target_doc_ids);
+
+        MatchContext {
+            source,
+            target,
+            source_features,
+            target_features,
+            corpus,
+        }
+    }
+
+    fn partial_features(
+        schema: &Schema,
+        normalizer: &Normalizer,
+        instances: &InstanceData,
+    ) -> Vec<PartialFeatures> {
+        let bags: Vec<TokenBag> = schema
+            .elements()
+            .iter()
+            .map(|e| normalizer.name(&e.name))
+            .collect();
+        schema
+            .elements()
+            .iter()
+            .map(|e| {
+                let parent_bag = e
+                    .parent
+                    .map(|p| bags[p.index()].clone())
+                    .unwrap_or_default();
+                let mut children_tokens = Vec::new();
+                for &c in &e.children {
+                    children_tokens.extend(bags[c.index()].tokens.iter().cloned());
+                }
+                PartialFeatures {
+                    name_bag: bags[e.id.index()].clone(),
+                    raw_name: e.name.to_lowercase(),
+                    doc_bag: normalizer.prose(e.doc_text()),
+                    parent_bag,
+                    children_bag: TokenBag {
+                        tokens: children_tokens,
+                    },
+                    instances: instances
+                        .get(e.id)
+                        .and_then(InstanceProfile::from_values),
+                }
+            })
+            .collect()
+    }
+
+    /// Features of a source element.
+    #[inline]
+    pub fn source_feat(&self, id: ElementId) -> &ElementFeatures {
+        &self.source_features[id.index()]
+    }
+
+    /// Features of a target element.
+    #[inline]
+    pub fn target_feat(&self, id: ElementId) -> &ElementFeatures {
+        &self.target_features[id.index()]
+    }
+
+    /// Features of an element on the given side.
+    #[inline]
+    pub fn feat(&self, side: Side, id: ElementId) -> &ElementFeatures {
+        match side {
+            Side::Source => self.source_feat(id),
+            Side::Target => self.target_feat(id),
+        }
+    }
+}
+
+struct PartialFeatures {
+    name_bag: TokenBag,
+    raw_name: String,
+    doc_bag: TokenBag,
+    parent_bag: TokenBag,
+    children_bag: TokenBag,
+    instances: Option<InstanceProfile>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_schema::{DataType, ElementKind, SchemaFormat, SchemaId};
+
+    fn schemas() -> (Schema, Schema) {
+        let mut a = Schema::new(SchemaId(1), "S_A", SchemaFormat::Relational);
+        let t = a.add_root("Person", ElementKind::Table, DataType::None);
+        let c = a
+            .add_child(t, "birth_dt", ElementKind::Column, DataType::Date)
+            .unwrap();
+        a.set_doc(c, sm_schema::Documentation::embedded("the date of birth"))
+            .unwrap();
+
+        let mut b = Schema::new(SchemaId(2), "S_B", SchemaFormat::Xml);
+        let ty = b.add_root("PersonType", ElementKind::ComplexType, DataType::None);
+        b.add_child(ty, "BirthDate", ElementKind::XmlElement, DataType::Date)
+            .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn features_precomputed_for_every_element() {
+        let (a, b) = schemas();
+        let n = Normalizer::new();
+        let ctx = MatchContext::build(&a, &b, &n);
+        for id in a.ids() {
+            let f = ctx.source_feat(id);
+            assert!(!f.raw_name.is_empty());
+        }
+        for id in b.ids() {
+            let _ = ctx.target_feat(id);
+        }
+        assert_eq!(ctx.corpus.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn abbreviation_bridges_formats() {
+        let (a, b) = schemas();
+        let n = Normalizer::new();
+        let ctx = MatchContext::build(&a, &b, &n);
+        let src = a.find_by_name("birth_dt").unwrap();
+        let tgt = b.find_by_name("BirthDate").unwrap();
+        // birth_dt expands dt→date; BirthDate tokenizes to birth/date.
+        let overlap = ctx.source_feat(src).name_bag.overlap(&ctx.target_feat(tgt).name_bag);
+        assert_eq!(overlap, 2, "birth and date should both be shared");
+    }
+
+    #[test]
+    fn parent_and_children_bags() {
+        let (a, b) = schemas();
+        let n = Normalizer::new();
+        let ctx = MatchContext::build(&a, &b, &n);
+        let col = a.find_by_name("birth_dt").unwrap();
+        assert!(!ctx.source_feat(col).parent_bag.is_empty(), "column has parent");
+        let table = a.find_by_name("Person").unwrap();
+        assert!(ctx.source_feat(table).parent_bag.is_empty(), "root has none");
+        assert!(
+            !ctx.source_feat(table).children_bag.is_empty(),
+            "table sees child tokens"
+        );
+    }
+
+    #[test]
+    fn doc_vectors_capture_documentation() {
+        let (a, b) = schemas();
+        let n = Normalizer::new();
+        let ctx = MatchContext::build(&a, &b, &n);
+        let src = a.find_by_name("birth_dt").unwrap();
+        let tgt = b.find_by_name("BirthDate").unwrap();
+        let sim = ctx
+            .source_feat(src)
+            .doc_vector
+            .cosine(&ctx.target_feat(tgt).doc_vector);
+        assert!(sim > 0.3, "documented date columns should be similar: {sim}");
+    }
+
+    #[test]
+    fn empty_schemas_build_empty_context() {
+        let a = Schema::new(SchemaId(1), "e1", SchemaFormat::Generic);
+        let b = Schema::new(SchemaId(2), "e2", SchemaFormat::Generic);
+        let n = Normalizer::new();
+        let ctx = MatchContext::build(&a, &b, &n);
+        assert_eq!(ctx.corpus.len(), 0);
+    }
+}

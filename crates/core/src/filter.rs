@@ -1,0 +1,246 @@
+//! Link and node filters.
+//!
+//! Straight from §3.2: *"These filters are loosely categorized as link
+//! filters, which depend on the characteristics of a given candidate
+//! correspondence, and node filters, which depend on the characteristics of a
+//! given schema element."* The confidence filter is the paper's central link
+//! filter; the depth filter and sub-tree filter are the node filters its
+//! engineers "relied heavily on".
+
+use crate::confidence::Confidence;
+use crate::correspondence::{Correspondence, MatchSet};
+use sm_schema::{ElementId, Schema};
+use std::collections::HashSet;
+
+/// Link filter: passes correspondences by their own properties.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkFilter {
+    /// Score within `[lo, hi]` (the paper's confidence filter: "only those
+    /// correspondences whose match score falls within the specific range of
+    /// values are displayed").
+    ConfidenceRange {
+        /// Inclusive lower bound.
+        lo: Confidence,
+        /// Inclusive upper bound.
+        hi: Confidence,
+    },
+}
+
+impl LinkFilter {
+    /// Convenience: scores at least `min`.
+    pub fn at_least(min: Confidence) -> Self {
+        LinkFilter::ConfidenceRange {
+            lo: min,
+            hi: Confidence::new(1.0),
+        }
+    }
+
+    /// Does a correspondence pass?
+    pub fn passes(&self, c: &Correspondence) -> bool {
+        match self {
+            LinkFilter::ConfidenceRange { lo, hi } => {
+                c.score.value() >= lo.value() && c.score.value() <= hi.value()
+            }
+        }
+    }
+
+    /// Filter a match set (preserves order).
+    pub fn apply(&self, set: &MatchSet) -> MatchSet {
+        MatchSet::from_vec(
+            set.all()
+                .iter()
+                .filter(|c| self.passes(c))
+                .cloned()
+                .collect(),
+        )
+    }
+}
+
+/// Node filter: selects schema elements eligible for matching/display.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeFilter {
+    /// All elements.
+    All,
+    /// Elements whose depth is within `[min, max]` — the paper's depth
+    /// filter ("made it possible to only match table names in S_A, and
+    /// ignore their attributes").
+    DepthRange {
+        /// Inclusive minimum depth (roots are depth 1).
+        min: u16,
+        /// Inclusive maximum depth.
+        max: u16,
+    },
+    /// Elements inside the subtree rooted at any of the given elements — the
+    /// paper's sub-tree filter ("focus one's attention on the 'Vehicle'
+    /// sub-schema").
+    Subtree {
+        /// Roots of the enabled subtrees.
+        roots: Vec<ElementId>,
+    },
+    /// Intersection of two filters (e.g. Vehicle subtree AND depth ≤ 2).
+    And(Box<NodeFilter>, Box<NodeFilter>),
+}
+
+impl NodeFilter {
+    /// Depth exactly `d`.
+    pub fn at_depth(d: u16) -> Self {
+        NodeFilter::DepthRange { min: d, max: d }
+    }
+
+    /// Subtree of a single root.
+    pub fn subtree(root: ElementId) -> Self {
+        NodeFilter::Subtree { roots: vec![root] }
+    }
+
+    /// Does `id` pass within `schema`?
+    pub fn passes(&self, schema: &Schema, id: ElementId) -> bool {
+        match self {
+            NodeFilter::All => true,
+            NodeFilter::DepthRange { min, max } => {
+                let d = schema.element(id).depth;
+                d >= *min && d <= *max
+            }
+            NodeFilter::Subtree { roots } => {
+                roots.iter().any(|&r| schema.is_in_subtree(id, r))
+            }
+            NodeFilter::And(a, b) => a.passes(schema, id) && b.passes(schema, id),
+        }
+    }
+
+    /// All element ids of `schema` passing the filter, in arena order.
+    ///
+    /// `Subtree` is evaluated by walking only the enabled subtrees, so an
+    /// increment over a 30-element concept in a 1378-element schema touches
+    /// 30 elements, not 1378 — this is what makes the paper's incremental
+    /// workflow cheap.
+    pub fn select(&self, schema: &Schema) -> Vec<ElementId> {
+        match self {
+            NodeFilter::Subtree { roots } => {
+                let mut seen: HashSet<ElementId> = HashSet::new();
+                let mut out = Vec::new();
+                for &r in roots {
+                    if schema.get(r).is_none() {
+                        continue;
+                    }
+                    for e in schema.subtree(r) {
+                        if seen.insert(e.id) {
+                            out.push(e.id);
+                        }
+                    }
+                }
+                out.sort();
+                out
+            }
+            _ => schema.ids().filter(|&id| self.passes(schema, id)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_schema::{DataType, ElementKind, SchemaFormat, SchemaId};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new(SchemaId(1), "x", SchemaFormat::Relational);
+        let v = s.add_root("Vehicle", ElementKind::Table, DataType::None);
+        s.add_child(v, "vin", ElementKind::Column, DataType::text())
+            .unwrap();
+        let w = s
+            .add_child(v, "Wheel", ElementKind::Group, DataType::None)
+            .unwrap();
+        s.add_child(w, "size", ElementKind::Column, DataType::Integer)
+            .unwrap();
+        let p = s.add_root("Person", ElementKind::Table, DataType::None);
+        s.add_child(p, "name", ElementKind::Column, DataType::text())
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn confidence_range_link_filter() {
+        let f = LinkFilter::ConfidenceRange {
+            lo: Confidence::new(0.3),
+            hi: Confidence::new(0.8),
+        };
+        let inside = Correspondence::candidate(ElementId(0), ElementId(0), Confidence::new(0.5));
+        let below = Correspondence::candidate(ElementId(0), ElementId(0), Confidence::new(0.1));
+        let above = Correspondence::candidate(ElementId(0), ElementId(0), Confidence::new(0.9));
+        assert!(f.passes(&inside));
+        assert!(!f.passes(&below));
+        assert!(!f.passes(&above));
+
+        let mut set = MatchSet::new();
+        set.push(inside);
+        set.push(below);
+        set.push(above);
+        assert_eq!(f.apply(&set).len(), 1);
+    }
+
+    #[test]
+    fn at_least_is_open_topped() {
+        let f = LinkFilter::at_least(Confidence::new(0.5));
+        let high = Correspondence::candidate(ElementId(0), ElementId(0), Confidence::new(0.99));
+        assert!(f.passes(&high));
+    }
+
+    #[test]
+    fn depth_filter_matches_paper_convention() {
+        let s = schema();
+        let tables = NodeFilter::at_depth(1).select(&s);
+        assert_eq!(tables.len(), 2, "Vehicle and Person");
+        let cols = NodeFilter::at_depth(2).select(&s);
+        assert_eq!(cols.len(), 3, "vin, Wheel, name");
+        let deep = NodeFilter::DepthRange { min: 2, max: 3 }.select(&s);
+        assert_eq!(deep.len(), 4);
+    }
+
+    #[test]
+    fn subtree_filter_selects_descendants_only() {
+        let s = schema();
+        let v = s.find_by_name("Vehicle").unwrap();
+        let ids = NodeFilter::subtree(v).select(&s);
+        assert_eq!(ids.len(), 4, "Vehicle, vin, Wheel, size");
+        let names: Vec<&str> = ids.iter().map(|&i| s.element(i).name.as_str()).collect();
+        assert!(!names.contains(&"Person"));
+    }
+
+    #[test]
+    fn multi_root_subtree_dedups() {
+        let s = schema();
+        let v = s.find_by_name("Vehicle").unwrap();
+        let w = s.find_by_name("Wheel").unwrap();
+        // Wheel is inside Vehicle: union must not double-count.
+        let ids = NodeFilter::Subtree { roots: vec![v, w] }.select(&s);
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn and_filter_intersects() {
+        let s = schema();
+        let v = s.find_by_name("Vehicle").unwrap();
+        let f = NodeFilter::And(
+            Box::new(NodeFilter::subtree(v)),
+            Box::new(NodeFilter::at_depth(2)),
+        );
+        let ids = f.select(&s);
+        let names: Vec<&str> = ids.iter().map(|&i| s.element(i).name.as_str()).collect();
+        assert_eq!(names, vec!["vin", "Wheel"]);
+    }
+
+    #[test]
+    fn all_filter_selects_everything() {
+        let s = schema();
+        assert_eq!(NodeFilter::All.select(&s).len(), s.len());
+    }
+
+    #[test]
+    fn foreign_subtree_root_ignored() {
+        let s = schema();
+        let ids = NodeFilter::Subtree {
+            roots: vec![ElementId(999)],
+        }
+        .select(&s);
+        assert!(ids.is_empty());
+    }
+}

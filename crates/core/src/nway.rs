@@ -1,0 +1,592 @@
+//! N-way matching and the comprehensive vocabulary — Lesson #4.
+//!
+//! §4.5: *"given N schemata there are 2^N − 1 such sets partitioning their
+//! N-way match; each of which supplies a potentially valuable piece of
+//! knowledge."* And §3.4 describes the deliverable: "for any non-empty subset
+//! of {S_A, S_C, S_D, S_E, S_F}, the customer wanted to know the terms those
+//! schemata (and no others in that group) held in common" — a *comprehensive
+//! vocabulary*.
+//!
+//! Construction: pairwise validated correspondences between the N schemata
+//! are closed transitively with a union-find over (schema, element) nodes.
+//! Each resulting cluster is one vocabulary *term*; the set of schemata it
+//! touches is the term's *signature*; grouping terms by signature yields the
+//! 2^N − 1 partition cells.
+
+use crate::correspondence::MatchSet;
+use serde::{Deserialize, Serialize};
+use sm_schema::{ElementId, Schema, SchemaId};
+use std::collections::HashMap;
+
+/// A node in the N-way union-find: element `element` of schema index
+/// `schema_idx` (index into the [`NWayMatch`]'s schema list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalElement {
+    /// Index of the owning schema within the N-way match.
+    pub schema_idx: usize,
+    /// Element within that schema.
+    pub element: ElementId,
+}
+
+/// One term of the comprehensive vocabulary: a transitively-closed cluster of
+/// corresponding elements across schemata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VocabularyTerm {
+    /// Canonical display name (the most common element name in the cluster).
+    pub name: String,
+    /// All member elements.
+    pub members: Vec<GlobalElement>,
+    /// Bitmask over schema indices: bit `i` set ⇔ schema `i` contributes.
+    pub signature: u32,
+}
+
+impl VocabularyTerm {
+    /// Number of distinct schemata the term spans.
+    pub fn schema_count(&self) -> usize {
+        self.signature.count_ones() as usize
+    }
+
+    /// Does schema `idx` contribute to this term?
+    pub fn involves(&self, idx: usize) -> bool {
+        self.signature & (1 << idx) != 0
+    }
+}
+
+/// An N-way match over up to 32 schemata.
+pub struct NWayMatch<'a> {
+    schemas: Vec<&'a Schema>,
+    /// Union-find parent pointers over dense node ids.
+    parent: Vec<usize>,
+    /// Offsets of each schema's elements in the dense node space.
+    offsets: Vec<usize>,
+}
+
+impl<'a> NWayMatch<'a> {
+    /// Start an N-way match over the given schemata (2 ≤ N ≤ 32).
+    ///
+    /// # Panics
+    /// Panics when more than 32 schemata are supplied (the signature bitmask
+    /// is a `u32`; the paper's scenarios involve single-digit N).
+    pub fn new(schemas: Vec<&'a Schema>) -> Self {
+        assert!(schemas.len() <= 32, "N-way match supports at most 32 schemata");
+        let mut offsets = Vec::with_capacity(schemas.len());
+        let mut total = 0usize;
+        for s in &schemas {
+            offsets.push(total);
+            total += s.len();
+        }
+        NWayMatch {
+            schemas,
+            parent: (0..total).collect(),
+            offsets,
+        }
+    }
+
+    /// Number of schemata.
+    pub fn n(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Number of non-empty partition cells possible: 2^N − 1.
+    pub fn max_cells(&self) -> usize {
+        (1usize << self.schemas.len()) - 1
+    }
+
+    /// Index of a schema by its [`SchemaId`].
+    pub fn schema_index(&self, id: SchemaId) -> Option<usize> {
+        self.schemas.iter().position(|s| s.id == id)
+    }
+
+    fn node(&self, g: GlobalElement) -> usize {
+        self.offsets[g.schema_idx] + g.element.index()
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+
+    /// Record the validated correspondences of a pairwise match between the
+    /// schemata at indices `left` and `right`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn add_pairwise(&mut self, left: usize, right: usize, matches: &MatchSet) {
+        assert!(left < self.schemas.len() && right < self.schemas.len());
+        let pairs: Vec<(ElementId, ElementId)> = matches
+            .validated()
+            .map(|c| (c.source, c.target))
+            .collect();
+        for (s, t) in pairs {
+            let a = self.node(GlobalElement {
+                schema_idx: left,
+                element: s,
+            });
+            let b = self.node(GlobalElement {
+                schema_idx: right,
+                element: t,
+            });
+            self.union(a, b);
+        }
+    }
+
+    /// Close the match and build the comprehensive vocabulary.
+    pub fn vocabulary(mut self) -> Vocabulary {
+        let mut clusters: HashMap<usize, Vec<GlobalElement>> = HashMap::new();
+        for (schema_idx, schema) in self.schemas.iter().enumerate() {
+            for element in schema.ids() {
+                let g = GlobalElement {
+                    schema_idx,
+                    element,
+                };
+                let node = self.offsets[schema_idx] + element.index();
+                let root = {
+                    // Inline find to appease the borrow checker.
+                    let mut x = node;
+                    while self.parent[x] != x {
+                        self.parent[x] = self.parent[self.parent[x]];
+                        x = self.parent[x];
+                    }
+                    x
+                };
+                clusters.entry(root).or_default().push(g);
+            }
+        }
+        let mut terms: Vec<VocabularyTerm> = clusters
+            .into_values()
+            .map(|members| {
+                let mut signature = 0u32;
+                let mut name_votes: HashMap<&str, usize> = HashMap::new();
+                for g in &members {
+                    signature |= 1 << g.schema_idx;
+                    let name = self.schemas[g.schema_idx].element(g.element).name.as_str();
+                    *name_votes.entry(name).or_insert(0) += 1;
+                }
+                let name = name_votes
+                    .into_iter()
+                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
+                    .map(|(n, _)| n.to_string())
+                    .unwrap_or_default();
+                VocabularyTerm {
+                    name,
+                    members,
+                    signature,
+                }
+            })
+            .collect();
+        terms.sort_by(|a, b| a.name.cmp(&b.name).then(a.signature.cmp(&b.signature)));
+        Vocabulary {
+            n: self.schemas.len(),
+            schema_ids: self.schemas.iter().map(|s| s.id).collect(),
+            schema_names: self.schemas.iter().map(|s| s.name.clone()).collect(),
+            terms,
+        }
+    }
+}
+
+/// The comprehensive vocabulary of an N-way match.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocabulary {
+    /// Number of schemata.
+    pub n: usize,
+    /// Schema ids, in index order.
+    pub schema_ids: Vec<SchemaId>,
+    /// Schema names, in index order.
+    pub schema_names: Vec<String>,
+    /// All terms.
+    pub terms: Vec<VocabularyTerm>,
+}
+
+impl Vocabulary {
+    /// Terms whose signature is *exactly* `mask` — the partition cell for one
+    /// non-empty subset of schemata ("the terms those schemata, and no others
+    /// in that group, held in common").
+    pub fn cell(&self, mask: u32) -> Vec<&VocabularyTerm> {
+        self.terms.iter().filter(|t| t.signature == mask).collect()
+    }
+
+    /// Sizes of every one of the 2^N − 1 cells, indexed by mask.
+    pub fn cell_sizes(&self) -> HashMap<u32, usize> {
+        let mut sizes: HashMap<u32, usize> = HashMap::new();
+        for t in &self.terms {
+            *sizes.entry(t.signature).or_insert(0) += 1;
+        }
+        sizes
+    }
+
+    /// Terms shared by *at least* the schemata in `mask` (superset match).
+    pub fn shared_by_at_least(&self, mask: u32) -> Vec<&VocabularyTerm> {
+        self.terms
+            .iter()
+            .filter(|t| t.signature & mask == mask)
+            .collect()
+    }
+
+    /// Terms involving exactly one schema (that schema's distinct elements).
+    pub fn unique_to(&self, idx: usize) -> Vec<&VocabularyTerm> {
+        self.cell(1 << idx)
+    }
+
+    /// Total number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the vocabulary has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Pairwise overlap fraction between schemata `i` and `j`: shared terms /
+    /// terms touching either — a numeric overlap characterization suitable as
+    /// a clustering distance (§5, "Schema clustering and overlap analysis").
+    pub fn overlap_fraction(&self, i: usize, j: usize) -> f64 {
+        let mi = 1u32 << i;
+        let mj = 1u32 << j;
+        let mut shared = 0usize;
+        let mut either = 0usize;
+        for t in &self.terms {
+            let in_i = t.signature & mi != 0;
+            let in_j = t.signature & mj != 0;
+            if in_i || in_j {
+                either += 1;
+                if in_i && in_j {
+                    shared += 1;
+                }
+            }
+        }
+        if either == 0 {
+            0.0
+        } else {
+            shared as f64 / either as f64
+        }
+    }
+
+    /// Distill a minimal **mediated (exchange) schema** — the §2 emergency-
+    /// response scenario: *"throw their data models into a giant beaker and
+    /// distill out a minimal mediated schema that will serve as the basis
+    /// for their collaboration"*.
+    ///
+    /// Terms appearing in at least `min_schemas` schemata qualify.
+    /// Qualifying *container* terms (any member is a depth-1 element) become
+    /// roots of the mediated schema; qualifying *leaf* terms attach under
+    /// the container term that owns the majority of their members' parents,
+    /// or under a `Common` root when their container did not qualify.
+    ///
+    /// `schemas` must be the same schemata, in the same order, this
+    /// vocabulary was built over.
+    pub fn mediated_schema(
+        &self,
+        schemas: &[&Schema],
+        id: SchemaId,
+        name: impl Into<String>,
+        min_schemas: usize,
+    ) -> Schema {
+        use sm_schema::{DataType, ElementKind};
+        assert_eq!(self.n, schemas.len(), "schema list must match arity");
+        let min_schemas = min_schemas.max(1);
+
+        // element → term index, for parent lookups.
+        let mut term_of: HashMap<(usize, ElementId), usize> = HashMap::new();
+        for (ti, term) in self.terms.iter().enumerate() {
+            for g in &term.members {
+                term_of.insert((g.schema_idx, g.element), ti);
+            }
+        }
+
+        let qualifies: Vec<bool> = self
+            .terms
+            .iter()
+            .map(|t| t.schema_count() >= min_schemas)
+            .collect();
+        let is_container: Vec<bool> = self
+            .terms
+            .iter()
+            .map(|t| {
+                t.members
+                    .iter()
+                    .any(|g| schemas[g.schema_idx].element(g.element).depth == 1)
+            })
+            .collect();
+
+        let mut out = Schema::new(id, name, sm_schema::SchemaFormat::Generic);
+        // Container terms first, as roots.
+        let mut root_of_term: HashMap<usize, ElementId> = HashMap::new();
+        for (ti, term) in self.terms.iter().enumerate() {
+            if qualifies[ti] && is_container[ti] {
+                let root = out.add_root(&term.name, ElementKind::Group, DataType::None);
+                root_of_term.insert(ti, root);
+            }
+        }
+        // Leaf terms attach under their majority parent term.
+        let mut common_root: Option<ElementId> = None;
+        for (ti, term) in self.terms.iter().enumerate() {
+            if !qualifies[ti] || is_container[ti] {
+                continue;
+            }
+            let mut votes: HashMap<usize, usize> = HashMap::new();
+            let mut datatype = DataType::Unknown;
+            for g in &term.members {
+                let e = schemas[g.schema_idx].element(g.element);
+                if datatype == DataType::Unknown {
+                    datatype = e.datatype;
+                }
+                if let Some(p) = e.parent {
+                    if let Some(&pt) = term_of.get(&(g.schema_idx, p)) {
+                        *votes.entry(pt).or_insert(0) += 1;
+                    }
+                }
+            }
+            let parent_root = votes
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .and_then(|(pt, _)| root_of_term.get(&pt).copied());
+            let parent = match parent_root {
+                Some(p) => p,
+                None => *common_root.get_or_insert_with(|| {
+                    out.add_root("Common", ElementKind::Group, DataType::None)
+                }),
+            };
+            out.add_child(parent, &term.name, ElementKind::Column, datatype)
+                .expect("parent was just created");
+        }
+        debug_assert!(out.validate().is_ok());
+        out
+    }
+
+    /// Human-readable subset name for a mask, e.g. `{S_A, S_C}`.
+    pub fn mask_name(&self, mask: u32) -> String {
+        let names: Vec<&str> = (0..self.n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| self.schema_names[i].as_str())
+            .collect();
+        format!("{{{}}}", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::Confidence;
+    use crate::correspondence::{Correspondence, MatchAnnotation};
+    use sm_schema::{DataType, ElementKind, SchemaFormat};
+
+    fn schema(id: u32, names: &[&str]) -> Schema {
+        let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+        for n in names {
+            s.add_root(*n, ElementKind::Group, DataType::text());
+        }
+        s
+    }
+
+    fn validated(s: ElementId, t: ElementId) -> Correspondence {
+        Correspondence::candidate(s, t, Confidence::new(0.9))
+            .validate("x", MatchAnnotation::Equivalent)
+    }
+
+    /// Three schemata: "date" in all three, "name" in 0 and 1, the rest
+    /// unique.
+    fn three_way() -> Vocabulary {
+        let a = schema(1, &["date", "name", "alpha"]);
+        let b = schema(2, &["dt", "name", "beta"]);
+        let c = schema(3, &["event_date", "gamma"]);
+        let mut nway = NWayMatch::new(vec![&a, &b, &c]);
+        // a.date ↔ b.dt ; b.dt ↔ c.event_date ; a.name ↔ b.name
+        let mut ab = MatchSet::new();
+        ab.push(validated(ElementId(0), ElementId(0)));
+        ab.push(validated(ElementId(1), ElementId(1)));
+        nway.add_pairwise(0, 1, &ab);
+        let mut bc = MatchSet::new();
+        bc.push(validated(ElementId(0), ElementId(0)));
+        nway.add_pairwise(1, 2, &bc);
+        nway.vocabulary()
+    }
+
+    #[test]
+    fn transitive_closure_merges_chains() {
+        let v = three_way();
+        // Terms: {date,dt,event_date} mask 111; {name,name} mask 011;
+        // alpha 001; beta 010; gamma 100.
+        assert_eq!(v.len(), 5);
+        let all_three = v.cell(0b111);
+        assert_eq!(all_three.len(), 1);
+        assert_eq!(all_three[0].members.len(), 3);
+        assert_eq!(all_three[0].schema_count(), 3);
+    }
+
+    #[test]
+    fn cells_partition_terms() {
+        let v = three_way();
+        let sizes = v.cell_sizes();
+        let total: usize = sizes.values().sum();
+        assert_eq!(total, v.len());
+        assert_eq!(sizes[&0b011], 1, "name shared by S1,S2 only");
+        assert_eq!(sizes[&0b001], 1, "alpha unique to S1");
+        assert!(sizes.len() <= v.terms.len());
+        assert!(sizes.keys().all(|&m| m > 0 && m < 8));
+    }
+
+    #[test]
+    fn max_cells_is_2n_minus_1() {
+        let a = schema(1, &["x"]);
+        let b = schema(2, &["y"]);
+        let nway = NWayMatch::new(vec![&a, &b]);
+        assert_eq!(nway.max_cells(), 3);
+        let c = schema(3, &["z"]);
+        let d = schema(4, &["w"]);
+        let e = schema(5, &["v"]);
+        let five = NWayMatch::new(vec![&a, &b, &c, &d, &e]);
+        assert_eq!(five.max_cells(), 31, "the paper's 5-schema scenario");
+    }
+
+    #[test]
+    fn canonical_name_is_majority_name() {
+        let v = three_way();
+        let shared_name = v.cell(0b011);
+        assert_eq!(shared_name[0].name, "name");
+    }
+
+    #[test]
+    fn unique_to_and_superset_queries() {
+        let v = three_way();
+        assert_eq!(v.unique_to(2).len(), 1);
+        assert_eq!(v.unique_to(2)[0].name, "gamma");
+        // Terms involving at least S1 and S2: date-cluster and name-cluster.
+        assert_eq!(v.shared_by_at_least(0b011).len(), 2);
+    }
+
+    #[test]
+    fn overlap_fraction_reflects_sharing() {
+        let v = three_way();
+        // S1,S2 share 2 of 5 terms touching either (date, name, alpha, beta).
+        let f01 = v.overlap_fraction(0, 1);
+        assert!((f01 - 2.0 / 4.0).abs() < 1e-12, "{f01}");
+        let f02 = v.overlap_fraction(0, 2);
+        assert!((f02 - 1.0 / 4.0).abs() < 1e-12, "{f02}");
+        assert!(f01 > f02);
+    }
+
+    #[test]
+    fn vocabulary_covers_every_element_exactly_once() {
+        let v = three_way();
+        let member_total: usize = v.terms.iter().map(|t| t.members.len()).sum();
+        assert_eq!(member_total, 3 + 3 + 2);
+    }
+
+    #[test]
+    fn no_matches_means_all_singletons() {
+        let a = schema(1, &["x", "y"]);
+        let b = schema(2, &["z"]);
+        let v = NWayMatch::new(vec![&a, &b]).vocabulary();
+        assert_eq!(v.len(), 3);
+        assert!(v.terms.iter().all(|t| t.schema_count() == 1));
+        assert_eq!(v.overlap_fraction(0, 1), 0.0);
+    }
+
+    #[test]
+    fn mask_name_formats_subset() {
+        let v = three_way();
+        assert_eq!(v.mask_name(0b101), "{S1, S3}");
+    }
+
+    /// Fixture for mediated-schema tests: two schemata sharing an Event
+    /// concept with a shared date attribute, plus unique leaves.
+    fn mediated_fixture() -> (Schema, Schema, Vocabulary) {
+        let mk = |id: u32, root: &str, leaves: &[&str]| {
+            let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+            let r = s.add_root(root, ElementKind::Group, sm_schema::DataType::None);
+            for l in leaves {
+                s.add_child(r, *l, ElementKind::Column, sm_schema::DataType::Date)
+                    .unwrap();
+            }
+            s
+        };
+        let a = mk(1, "Event", &["begin_date", "alpha_only"]);
+        let b = mk(2, "EventType", &["start_dt", "beta_only"]);
+        let mut nway = NWayMatch::new(vec![&a, &b]);
+        let mut m = MatchSet::new();
+        // Event ↔ EventType, begin_date ↔ start_dt.
+        m.push(validated(ElementId(0), ElementId(0)));
+        m.push(validated(ElementId(1), ElementId(1)));
+        nway.add_pairwise(0, 1, &m);
+        let v = nway.vocabulary();
+        (a, b, v)
+    }
+
+    #[test]
+    fn mediated_schema_distills_shared_terms() {
+        let (a, b, v) = mediated_fixture();
+        let mediated = v.mediated_schema(&[&a, &b], SchemaId(50), "Exchange", 2);
+        // Only the shared container + shared leaf qualify.
+        assert_eq!(mediated.len(), 2);
+        let root = mediated.roots()[0];
+        assert_eq!(mediated.element(root).name, "Event");
+        let leaf = mediated.element(root).children[0];
+        assert_eq!(mediated.element(leaf).name, "begin_date");
+        assert_eq!(mediated.element(leaf).datatype, sm_schema::DataType::Date);
+        mediated.validate().unwrap();
+    }
+
+    #[test]
+    fn mediated_schema_min_one_includes_everything() {
+        let (a, b, v) = mediated_fixture();
+        let mediated = v.mediated_schema(&[&a, &b], SchemaId(50), "Everything", 1);
+        // 4 terms: Event-cluster (container) + date-cluster, alpha_only,
+        // beta_only (leaves under it).
+        assert_eq!(mediated.len(), 4);
+        assert!(mediated.find_by_name("alpha_only").is_some());
+        mediated.validate().unwrap();
+    }
+
+    #[test]
+    fn orphan_leaves_fall_under_common() {
+        // A leaf shared by both schemata whose containers do NOT correspond.
+        let mk = |id: u32, root: &str| {
+            let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+            let r = s.add_root(root, ElementKind::Group, sm_schema::DataType::None);
+            s.add_child(r, "remarks", ElementKind::Column, sm_schema::DataType::text())
+                .unwrap();
+            s
+        };
+        let a = mk(1, "Vehicle");
+        let b = mk(2, "Patient");
+        let mut nway = NWayMatch::new(vec![&a, &b]);
+        let mut m = MatchSet::new();
+        m.push(validated(ElementId(1), ElementId(1))); // remarks ↔ remarks
+        nway.add_pairwise(0, 1, &m);
+        let v = nway.vocabulary();
+        let mediated = v.mediated_schema(&[&a, &b], SchemaId(51), "Exchange", 2);
+        let common = mediated.find_by_name("Common").expect("orphan holder");
+        assert_eq!(mediated.element(common).children.len(), 1);
+        let leaf = mediated.element(common).children[0];
+        assert_eq!(mediated.element(leaf).name, "remarks");
+    }
+
+    #[test]
+    fn empty_vocabulary_mediates_to_empty_schema() {
+        let a = schema(1, &[]);
+        let b = schema(2, &[]);
+        let v = NWayMatch::new(vec![&a, &b]).vocabulary();
+        let mediated = v.mediated_schema(&[&a, &b], SchemaId(52), "Empty", 2);
+        assert!(mediated.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32")]
+    fn more_than_32_schemata_rejected() {
+        let schemas: Vec<Schema> = (0..33).map(|i| schema(i, &["x"])).collect();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let _ = NWayMatch::new(refs);
+    }
+}

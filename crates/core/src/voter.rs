@@ -1,0 +1,503 @@
+//! Match voters.
+//!
+//! The paper (§3.2): *"several match voters are invoked, each of which
+//! identifies correspondences using a different strategy."* Every voter maps
+//! a (source element, target element) pair to an evidence-aware
+//! [`Confidence`]. Voters must be cheap per pair — all heavy per-element work
+//! lives in [`MatchContext`].
+
+use crate::confidence::Confidence;
+use crate::context::MatchContext;
+use sm_schema::ElementId;
+use sm_text::similarity::{jaro_winkler, levenshtein_sim};
+use sm_text::soundex::soundex_sim;
+use sm_text::tokenize::acronym_of;
+
+/// A strategy that scores candidate correspondences.
+pub trait MatchVoter: Send + Sync {
+    /// Stable voter name (appears in provenance and reports).
+    fn name(&self) -> &'static str;
+
+    /// Score one candidate pair.
+    fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence;
+}
+
+/// Exact-name voter: full-credit when normalized token sequences are equal.
+///
+/// Evidence: the number of tokens — `id` == `id` is weak evidence, a
+/// five-token equality is strong.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExactNameVoter;
+
+impl MatchVoter for ExactNameVoter {
+    fn name(&self) -> &'static str {
+        "exact-name"
+    }
+
+    fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
+        let a = &ctx.source_feat(s).name_bag;
+        let b = &ctx.target_feat(t).name_bag;
+        if a.is_empty() || b.is_empty() {
+            return Confidence::NEUTRAL;
+        }
+        if a.tokens == b.tokens {
+            Confidence::from_evidence(1.0, a.len() as f64, 0.8)
+        } else {
+            // Exact mismatch is weak negative evidence only: most true
+            // correspondences do NOT share exact names.
+            Confidence::from_evidence(0.35, 1.0, 6.0)
+        }
+    }
+}
+
+/// Token-overlap voter: Jaccard similarity of normalized name-token sets,
+/// with evidence equal to the union size.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TokenVoter;
+
+impl MatchVoter for TokenVoter {
+    fn name(&self) -> &'static str {
+        "name-tokens"
+    }
+
+    fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
+        let a = &ctx.source_feat(s).name_bag;
+        let b = &ctx.target_feat(t).name_bag;
+        if a.is_empty() || b.is_empty() {
+            return Confidence::NEUTRAL;
+        }
+        // Exact token overlap plus soft (per-token edit-distance) alignment:
+        // `date` vs `datetime` should contribute even though the stems
+        // differ. The soft component is discounted so exact overlap wins.
+        let jaccard = a.jaccard(b);
+        let soft = sm_text::similarity::monge_elkan(&a.tokens, &b.tokens, jaro_winkler);
+        let sim = jaccard.max(0.85 * soft);
+        let evidence = (a.len() + b.len()) as f64 / 2.0;
+        Confidence::from_evidence(sim, evidence, 1.5)
+    }
+}
+
+/// Edit-distance voter: blend of Jaro-Winkler and normalized Levenshtein on
+/// raw lowercase names, plus a Soundex tie-breaker. Catches misspellings and
+/// convention drift that tokenization cannot.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EditDistanceVoter;
+
+impl MatchVoter for EditDistanceVoter {
+    fn name(&self) -> &'static str {
+        "edit-distance"
+    }
+
+    fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
+        let a = &ctx.source_feat(s).raw_name;
+        let b = &ctx.target_feat(t).raw_name;
+        if a.is_empty() || b.is_empty() {
+            return Confidence::NEUTRAL;
+        }
+        let jw = jaro_winkler(a, b);
+        let lev = levenshtein_sim(a, b);
+        let sdx = soundex_sim(a, b);
+        let sim = 0.5 * jw + 0.4 * lev + 0.1 * sdx;
+        // Short names provide little evidence; evidence grows with length.
+        let evidence = (a.chars().count().min(b.chars().count()) as f64) / 3.0;
+        Confidence::from_evidence(sim, evidence, 1.2)
+    }
+}
+
+/// Documentation voter: TF-IDF cosine over name+documentation text.
+///
+/// This is the voter the paper leans on ("Harmony relies heavily on textual
+/// documentation"), and the one whose evidence varies most: elements range
+/// from undocumented to paragraph-length descriptions. Evidence is the
+/// smaller of the two token counts — a correspondence supported by two long
+/// descriptions is far more trustworthy than one supported by a long and an
+/// empty one.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DocVoter;
+
+impl MatchVoter for DocVoter {
+    fn name(&self) -> &'static str {
+        "documentation"
+    }
+
+    fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
+        let fa = ctx.source_feat(s);
+        let fb = ctx.target_feat(t);
+        if fa.doc_vector.is_empty() || fb.doc_vector.is_empty() {
+            return Confidence::NEUTRAL;
+        }
+        let cosine = fa.doc_vector.cosine(&fb.doc_vector);
+        // Calibration: a random documentation pair has cosine near 0, not
+        // near 0.5, so raw cosine is a poor evidence *ratio*. The square
+        // root re-centres it: cosine 0.25 ≈ "as much for as against".
+        let ratio = cosine.sqrt();
+        let evidence = fa.doc_vector.token_count.min(fb.doc_vector.token_count) as f64;
+        Confidence::from_evidence(ratio, evidence, 5.0)
+    }
+}
+
+/// Data-type voter: compatibility of normalized value types. Weak but cheap;
+/// its main value is *vetoing* absurd pairs (a table vs a date column).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TypeVoter;
+
+impl MatchVoter for TypeVoter {
+    fn name(&self) -> &'static str {
+        "data-type"
+    }
+
+    fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
+        let ta = ctx.source.element(s).datatype;
+        let tb = ctx.target.element(t).datatype;
+        let compat = ta.compatibility(tb);
+        // A single type observation is modest evidence; incompatibility is
+        // stronger evidence than compatibility (types rule out, they don't
+        // rule in).
+        let evidence = if compat < 0.2 { 3.0 } else { 1.0 };
+        Confidence::from_evidence(compat, evidence, 2.0)
+    }
+}
+
+/// Path voter: token overlap of the *parents'* names. `Vehicle/vin` vs
+/// `VehicleType/Vin` gains support because their containers align.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PathVoter;
+
+impl MatchVoter for PathVoter {
+    fn name(&self) -> &'static str {
+        "path-context"
+    }
+
+    fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
+        let pa = &ctx.source_feat(s).parent_bag;
+        let pb = &ctx.target_feat(t).parent_bag;
+        if pa.is_empty() || pb.is_empty() {
+            return Confidence::NEUTRAL;
+        }
+        let jaccard = pa.jaccard(pb);
+        let evidence = (pa.len() + pb.len()) as f64 / 2.0;
+        Confidence::from_evidence(jaccard, evidence, 2.0)
+    }
+}
+
+/// Structural voter: for container elements, overlap of the *children's*
+/// combined name tokens — two tables whose columns share vocabulary likely
+/// describe the same concept even when the tables' own names differ.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StructureVoter;
+
+impl MatchVoter for StructureVoter {
+    fn name(&self) -> &'static str {
+        "structure"
+    }
+
+    fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
+        let ca = &ctx.source_feat(s).children_bag;
+        let cb = &ctx.target_feat(t).children_bag;
+        if ca.is_empty() || cb.is_empty() {
+            return Confidence::NEUTRAL;
+        }
+        let jaccard = ca.jaccard(cb);
+        let evidence = (ca.len().min(cb.len())) as f64;
+        Confidence::from_evidence(jaccard, evidence, 6.0)
+    }
+}
+
+/// Role voter: containers should match containers, leaves leaves. Produces
+/// negative evidence for role mismatches and stays neutral otherwise.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoleVoter;
+
+impl MatchVoter for RoleVoter {
+    fn name(&self) -> &'static str {
+        "role"
+    }
+
+    fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
+        let ka = ctx.source.element(s).kind;
+        let kb = ctx.target.element(t).kind;
+        if ka.role_compatible(kb) {
+            Confidence::NEUTRAL
+        } else {
+            // A container/leaf mismatch is solid negative evidence.
+            Confidence::from_evidence(0.0, 4.0, 2.0)
+        }
+    }
+}
+
+/// Acronym voter: fires when one side's whole name equals the acronym of the
+/// other side's token sequence (`COI` vs `community_of_interest`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AcronymVoter;
+
+impl MatchVoter for AcronymVoter {
+    fn name(&self) -> &'static str {
+        "acronym"
+    }
+
+    fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
+        let fa = ctx.source_feat(s);
+        let fb = ctx.target_feat(t);
+        let a_raw = &fa.raw_name;
+        let b_raw = &fb.raw_name;
+        if a_raw.len() < 2 || b_raw.len() < 2 {
+            return Confidence::NEUTRAL;
+        }
+        let b_acr = acronym_of(&fb.name_bag.tokens);
+        let a_acr = acronym_of(&fa.name_bag.tokens);
+        let hit = (fb.name_bag.len() >= 2 && *a_raw == b_acr)
+            || (fa.name_bag.len() >= 2 && *b_raw == a_acr);
+        if hit {
+            let evidence = fa.name_bag.len().max(fb.name_bag.len()) as f64;
+            Confidence::from_evidence(0.95, evidence, 1.0)
+        } else {
+            Confidence::NEUTRAL
+        }
+    }
+}
+
+/// Instance voter: distributional similarity of sampled data values — the
+/// *conventional* evidence source the paper's Harmony deliberately de-
+/// emphasizes ("relies heavily on textual documentation … instead of data
+/// instances"). Neutral whenever either side has no sample, which is the
+/// common enterprise case; experiment F9 compares the two evidence regimes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InstanceVoter;
+
+impl MatchVoter for InstanceVoter {
+    fn name(&self) -> &'static str {
+        "instances"
+    }
+
+    fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
+        let (Some(pa), Some(pb)) = (
+            ctx.source_feat(s).instances.as_ref(),
+            ctx.target_feat(t).instances.as_ref(),
+        ) else {
+            return Confidence::NEUTRAL;
+        };
+        let sim = pa.similarity(pb);
+        // Evidence grows with the smaller sample; profiles built from a
+        // handful of rows are weak testimony.
+        let evidence = pa.count.min(pb.count) as f64;
+        Confidence::from_evidence(sim, evidence, 8.0)
+    }
+}
+
+/// The default Harmony voter panel, in a fixed, documented order. Matches
+/// the paper's design: documentation-driven, no instance evidence.
+pub fn default_voters() -> Vec<Box<dyn MatchVoter>> {
+    vec![
+        Box::new(ExactNameVoter),
+        Box::new(TokenVoter),
+        Box::new(EditDistanceVoter),
+        Box::new(DocVoter),
+        Box::new(TypeVoter),
+        Box::new(PathVoter),
+        Box::new(StructureVoter),
+        Box::new(RoleVoter),
+        Box::new(AcronymVoter),
+    ]
+}
+
+/// The default panel extended with the [`InstanceVoter`] — the conventional
+/// configuration, usable when data samples exist.
+pub fn voters_with_instances() -> Vec<Box<dyn MatchVoter>> {
+    let mut v = default_voters();
+    v.push(Box::new(InstanceVoter));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_schema::{DataType, Documentation, ElementKind, Schema, SchemaFormat, SchemaId};
+    use sm_text::normalize::Normalizer;
+
+    fn fixture() -> (Schema, Schema) {
+        let mut a = Schema::new(SchemaId(1), "S_A", SchemaFormat::Relational);
+        let ev = a.add_root("All_Event_Vitals", ElementKind::Table, DataType::None);
+        let d = a
+            .add_child(ev, "DATE_BEGIN_156", ElementKind::Column, DataType::DateTime)
+            .unwrap();
+        a.set_doc(d, Documentation::embedded("date and time the event began"))
+            .unwrap();
+        a.add_child(ev, "event_loc", ElementKind::Column, DataType::text())
+            .unwrap();
+        let coi = a.add_root("COI", ElementKind::Table, DataType::None);
+        a.add_child(coi, "member", ElementKind::Column, DataType::text())
+            .unwrap();
+
+        let mut b = Schema::new(SchemaId(2), "S_B", SchemaFormat::Xml);
+        let ev2 = b.add_root("Event", ElementKind::ComplexType, DataType::None);
+        let d2 = b
+            .add_child(ev2, "DATETIME_FIRST_INFO", ElementKind::XmlElement, DataType::DateTime)
+            .unwrap();
+        b.set_doc(
+            d2,
+            Documentation::embedded("date and time when information about the event first arrived"),
+        )
+        .unwrap();
+        b.add_child(ev2, "EventLocation", ElementKind::XmlElement, DataType::text())
+            .unwrap();
+        let c = b.add_root("CommunityOfInterest", ElementKind::ComplexType, DataType::None);
+        b.add_child(c, "MemberName", ElementKind::XmlElement, DataType::text())
+            .unwrap();
+        (a, b)
+    }
+
+    fn ctx<'x>(a: &'x Schema, b: &'x Schema) -> MatchContext<'x> {
+        MatchContext::build(a, b, &Normalizer::new())
+    }
+
+    #[test]
+    fn exact_name_fires_only_on_equality() {
+        let (a, b) = fixture();
+        let c = ctx(&a, &b);
+        let loc_a = a.find_by_name("event_loc").unwrap();
+        let loc_b = b.find_by_name("EventLocation").unwrap();
+        // event_loc expands loc→location; EventLocation tokenizes to the
+        // same normalized pair → exact hit.
+        let v = ExactNameVoter.vote(&c, loc_a, loc_b);
+        assert!(v.value() > 0.5, "{v}");
+        let date_a = a.find_by_name("DATE_BEGIN_156").unwrap();
+        let v2 = ExactNameVoter.vote(&c, date_a, loc_b);
+        assert!(v2.value() < 0.0);
+    }
+
+    #[test]
+    fn token_voter_scores_partial_overlap_between_extremes() {
+        let (a, b) = fixture();
+        let c = ctx(&a, &b);
+        let date_a = a.find_by_name("DATE_BEGIN_156").unwrap();
+        let date_b = b.find_by_name("DATETIME_FIRST_INFO").unwrap();
+        let loc_b = b.find_by_name("EventLocation").unwrap();
+        let related = TokenVoter.vote(&c, date_a, date_b);
+        let unrelated = TokenVoter.vote(&c, date_a, loc_b);
+        assert!(
+            related.value() > unrelated.value(),
+            "related {related} vs unrelated {unrelated}"
+        );
+    }
+
+    #[test]
+    fn doc_voter_uses_documentation_and_needs_it() {
+        let (a, b) = fixture();
+        let c = ctx(&a, &b);
+        let date_a = a.find_by_name("DATE_BEGIN_156").unwrap();
+        let date_b = b.find_by_name("DATETIME_FIRST_INFO").unwrap();
+        let v = DocVoter.vote(&c, date_a, date_b);
+        assert!(v.value() > 0.0, "shared doc vocabulary: {v}");
+        // An unrelated documented pair must score below the related one.
+        let member_b = b.find_by_name("MemberName").unwrap();
+        let unrelated = DocVoter.vote(&c, date_a, member_b);
+        assert!(unrelated.value() < v.value());
+    }
+
+    #[test]
+    fn type_voter_vetoes_structural_vs_leaf() {
+        let (a, b) = fixture();
+        let c = ctx(&a, &b);
+        let table = a.find_by_name("All_Event_Vitals").unwrap();
+        let leaf = b.find_by_name("DATETIME_FIRST_INFO").unwrap();
+        assert!(TypeVoter.vote(&c, table, leaf).value() < -0.3);
+        let date_a = a.find_by_name("DATE_BEGIN_156").unwrap();
+        assert!(TypeVoter.vote(&c, date_a, leaf).value() > 0.0);
+    }
+
+    #[test]
+    fn path_voter_rewards_matching_containers() {
+        let (a, b) = fixture();
+        let c = ctx(&a, &b);
+        let date_a = a.find_by_name("DATE_BEGIN_156").unwrap();
+        let date_b = b.find_by_name("DATETIME_FIRST_INFO").unwrap();
+        let member_b = b.find_by_name("MemberName").unwrap();
+        let same_ctx = PathVoter.vote(&c, date_a, date_b);
+        let diff_ctx = PathVoter.vote(&c, date_a, member_b);
+        assert!(same_ctx.value() > diff_ctx.value());
+        // Roots have no parents → neutral.
+        let t = a.find_by_name("COI").unwrap();
+        let e = b.find_by_name("Event").unwrap();
+        assert!(PathVoter.vote(&c, t, e).is_neutral());
+    }
+
+    #[test]
+    fn structure_voter_compares_children_vocabulary() {
+        let (a, b) = fixture();
+        let c = ctx(&a, &b);
+        let ev_a = a.find_by_name("All_Event_Vitals").unwrap();
+        let ev_b = b.find_by_name("Event").unwrap();
+        let coi_b = b.find_by_name("CommunityOfInterest").unwrap();
+        let good = StructureVoter.vote(&c, ev_a, ev_b);
+        let bad = StructureVoter.vote(&c, ev_a, coi_b);
+        assert!(good.value() > bad.value(), "good {good} bad {bad}");
+        // Leaves have no children → neutral.
+        let leaf = a.find_by_name("member").unwrap();
+        assert!(StructureVoter.vote(&c, leaf, ev_b).is_neutral());
+    }
+
+    #[test]
+    fn role_voter_penalizes_container_leaf() {
+        let (a, b) = fixture();
+        let c = ctx(&a, &b);
+        let table = a.find_by_name("COI").unwrap();
+        let leaf = b.find_by_name("MemberName").unwrap();
+        assert!(RoleVoter.vote(&c, table, leaf).value() < 0.0);
+        let ct = b.find_by_name("CommunityOfInterest").unwrap();
+        assert!(RoleVoter.vote(&c, table, ct).is_neutral());
+    }
+
+    #[test]
+    fn acronym_voter_fires_on_coi() {
+        let (a, b) = fixture();
+        let c = ctx(&a, &b);
+        let coi = a.find_by_name("COI").unwrap();
+        let full = b.find_by_name("CommunityOfInterest").unwrap();
+        let v = AcronymVoter.vote(&c, coi, full);
+        assert!(v.value() > 0.5, "{v}");
+        let ev = b.find_by_name("Event").unwrap();
+        assert!(AcronymVoter.vote(&c, coi, ev).is_neutral());
+    }
+
+    #[test]
+    fn edit_distance_handles_misspellings() {
+        let mut a = Schema::new(SchemaId(1), "a", SchemaFormat::Generic);
+        a.add_root("organisation_name", ElementKind::Group, DataType::text());
+        let mut b = Schema::new(SchemaId(2), "b", SchemaFormat::Generic);
+        b.add_root("organization_name", ElementKind::Group, DataType::text());
+        b.add_root("weapon_code", ElementKind::Group, DataType::text());
+        let c = ctx(&a, &b);
+        let s = a.find_by_name("organisation_name").unwrap();
+        let close = b.find_by_name("organization_name").unwrap();
+        let far = b.find_by_name("weapon_code").unwrap();
+        let v_close = EditDistanceVoter.vote(&c, s, close);
+        let v_far = EditDistanceVoter.vote(&c, s, far);
+        assert!(v_close.value() > 0.5, "{v_close}");
+        assert!(v_close.value() > v_far.value());
+    }
+
+    #[test]
+    fn all_default_voters_bounded() {
+        let (a, b) = fixture();
+        let c = ctx(&a, &b);
+        for voter in default_voters() {
+            for s in a.ids() {
+                for t in b.ids() {
+                    let v = voter.vote(&c, s, t);
+                    assert!(
+                        v.value() > -1.0 && v.value() < 1.0,
+                        "{} out of range: {v}",
+                        voter.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn voter_names_unique() {
+        let names: Vec<&str> = default_voters().iter().map(|v| v.name()).collect();
+        let set: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(names.len(), set.len());
+    }
+}

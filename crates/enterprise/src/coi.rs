@@ -1,0 +1,183 @@
+//! Community-of-interest (COI) proposal.
+//!
+//! §2: *"a schema repository such as the MDR could automatically propose new
+//! COIs by clustering the schemata into related groups."* A COI proposal is a
+//! cluster of at least two schemata plus the evidence a convening decision
+//! maker needs: the shared vocabulary sample and a cohesion score (the
+//! "potential value" that justifies committing resources).
+
+use crate::cluster::{agglomerative, Cut, DistanceMatrix, Linkage};
+use crate::repository::MetadataRepository;
+use sm_schema::SchemaId;
+use sm_text::normalize::Normalizer;
+use std::collections::{HashMap, HashSet};
+
+/// A proposed community of interest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoiProposal {
+    /// Member schemata (≥ 2).
+    pub members: Vec<SchemaId>,
+    /// Cohesion in `[0,1]`: 1 − mean pairwise distance within the cluster.
+    pub cohesion: f64,
+    /// Sample of vocabulary shared by *all* members (up to 12 tokens) — the
+    /// seed of the community vocabulary the COI would build.
+    pub shared_vocabulary: Vec<String>,
+}
+
+/// Propose COIs by clustering the repository and keeping clusters of at
+/// least two schemata whose cohesion clears `min_cohesion`.
+pub fn propose_cois(
+    repo: &MetadataRepository,
+    max_distance: f64,
+    min_cohesion: f64,
+) -> Vec<CoiProposal> {
+    let dm = DistanceMatrix::from_repository(repo);
+    if dm.is_empty() {
+        return Vec::new();
+    }
+    let clustering = agglomerative(&dm, Linkage::Average, Cut::MaxDistance(max_distance));
+    let index_of: HashMap<SchemaId, usize> = dm
+        .ids()
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+    let normalizer = Normalizer::new();
+
+    let mut proposals: Vec<CoiProposal> = clustering
+        .clusters
+        .into_iter()
+        .filter(|c| c.len() >= 2)
+        .filter_map(|members| {
+            // Cohesion: 1 − mean pairwise distance.
+            let mut dist_sum = 0.0;
+            let mut pairs = 0usize;
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    dist_sum += dm.get(index_of[&members[i]], index_of[&members[j]]);
+                    pairs += 1;
+                }
+            }
+            let cohesion = 1.0 - dist_sum / pairs.max(1) as f64;
+            if cohesion < min_cohesion {
+                return None;
+            }
+            // Vocabulary shared by all members.
+            let mut shared: Option<HashSet<String>> = None;
+            for id in &members {
+                let schema = repo.schema(*id)?;
+                let mut sig: HashSet<String> = HashSet::new();
+                for e in schema.elements() {
+                    sig.extend(normalizer.name(&e.name).tokens);
+                }
+                shared = Some(match shared {
+                    None => sig,
+                    Some(prev) => prev.intersection(&sig).cloned().collect(),
+                });
+            }
+            let mut shared_vocabulary: Vec<String> =
+                shared.unwrap_or_default().into_iter().collect();
+            shared_vocabulary.sort();
+            shared_vocabulary.truncate(12);
+            Some(CoiProposal {
+                members,
+                cohesion,
+                shared_vocabulary,
+            })
+        })
+        .collect();
+    proposals.sort_by(|a, b| {
+        b.cohesion
+            .partial_cmp(&a.cohesion)
+            .expect("finite")
+            .then(a.members.len().cmp(&b.members.len()))
+    });
+    proposals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_schema::{DataType, ElementKind, Schema, SchemaFormat};
+
+    fn schema(id: u32, words: &[&str]) -> Schema {
+        let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+        let r = s.add_root("Root", ElementKind::Group, DataType::None);
+        for w in words {
+            s.add_child(r, *w, ElementKind::Column, DataType::text())
+                .unwrap();
+        }
+        s
+    }
+
+    fn repo() -> MetadataRepository {
+        let mut r = MetadataRepository::new();
+        // Air-operations community.
+        r.register_schema(schema(0, &["aircraft", "sortie", "mission", "runway"]));
+        r.register_schema(schema(1, &["aircraft", "mission", "payload"]));
+        r.register_schema(schema(2, &["sortie", "aircraft", "pilot"]));
+        // Medical community.
+        r.register_schema(schema(3, &["patient", "blood", "diagnosis"]));
+        r.register_schema(schema(4, &["patient", "blood", "ward"]));
+        // A loner.
+        r.register_schema(schema(5, &["tariff", "customs", "duty"]));
+        r
+    }
+
+    #[test]
+    fn proposes_the_two_communities() {
+        let proposals = propose_cois(&repo(), 0.85, 0.1);
+        assert_eq!(proposals.len(), 2, "{proposals:?}");
+        let sizes: Vec<usize> = proposals.iter().map(|p| p.members.len()).collect();
+        assert!(sizes.contains(&3) && sizes.contains(&2));
+        // The loner appears in no proposal.
+        for p in &proposals {
+            assert!(!p.members.contains(&SchemaId(5)));
+        }
+    }
+
+    #[test]
+    fn shared_vocabulary_is_common_to_all_members() {
+        let proposals = propose_cois(&repo(), 0.85, 0.1);
+        let air = proposals
+            .iter()
+            .find(|p| p.members.len() == 3)
+            .expect("air community");
+        assert!(
+            air.shared_vocabulary.iter().any(|t| t == "aircraft"),
+            "{:?}",
+            air.shared_vocabulary
+        );
+        let med = proposals.iter().find(|p| p.members.len() == 2).unwrap();
+        assert!(med.shared_vocabulary.iter().any(|t| t == "blood" || t == "patient"));
+    }
+
+    #[test]
+    fn cohesion_ranks_tighter_groups_first() {
+        let proposals = propose_cois(&repo(), 0.85, 0.0);
+        for w in proposals.windows(2) {
+            assert!(w[0].cohesion >= w[1].cohesion);
+        }
+        for p in &proposals {
+            assert!((0.0..=1.0).contains(&p.cohesion));
+        }
+    }
+
+    #[test]
+    fn min_cohesion_filters() {
+        let none = propose_cois(&repo(), 0.85, 0.99);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn empty_repository_proposes_nothing() {
+        let r = MetadataRepository::new();
+        assert!(propose_cois(&r, 0.9, 0.0).is_empty());
+    }
+
+    #[test]
+    fn strict_distance_threshold_prevents_grouping() {
+        let proposals = propose_cois(&repo(), 0.0, 0.0);
+        assert!(proposals.is_empty(), "nothing merges at distance 0");
+    }
+}

@@ -1,0 +1,412 @@
+//! The enterprise metadata repository.
+//!
+//! §5: *"A schema (metadata) repository is an appropriate context in which to
+//! cluster schemata, to summarize them, to search for match candidates and to
+//! store resulting match information. … these [commercial tools] ignore the
+//! importance of schema matches as knowledge artifacts."* Matches here are
+//! first-class records with **context tags** (a match good enough for search
+//! may be too imprecise for business intelligence) and **provenance** (who
+//! asserted it, trust queries).
+
+use harmony_core::correspondence::{MatchSet, MatchStatus};
+use serde::{Deserialize, Serialize};
+use sm_schema::{ElementId, Schema, SchemaId, SchemaPath};
+use std::collections::HashMap;
+
+/// The intended consumption context of a stored match — §5's observation
+/// that "matches are context-dependent". Ordered by the precision the
+/// context demands (search tolerates noise; BI does not).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MatchContextTag {
+    /// Discovery / search: recall over precision.
+    Search,
+    /// Project planning: moderate precision.
+    Planning,
+    /// Integration engineering: high precision.
+    Integration,
+    /// Business intelligence: only fully trusted matches.
+    BusinessIntelligence,
+}
+
+impl MatchContextTag {
+    /// Is a match recorded for `self` trustworthy enough for `required`?
+    /// (A BI-grade match serves search; not vice versa.)
+    pub fn satisfies(self, required: MatchContextTag) -> bool {
+        self >= required
+    }
+}
+
+/// A stored match artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchRecord {
+    /// Source schema.
+    pub source_id: SchemaId,
+    /// Target schema.
+    pub target_id: SchemaId,
+    /// The correspondences.
+    pub matches: MatchSet,
+    /// Consumption context the match was produced for.
+    pub context: MatchContextTag,
+    /// Who produced the record (tool run, engineer, team).
+    pub created_by: String,
+    /// Logical creation timestamp (repository-assigned, monotonically
+    /// increasing).
+    pub created_at: u64,
+    /// Free-text notes.
+    pub notes: String,
+}
+
+/// One provenance assertion: who said `source ≈ target`, in which record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Index of the record in the repository.
+    pub record_index: usize,
+    /// Who asserted the correspondence (per-correspondence, e.g. the
+    /// validating engineer).
+    pub asserted_by: String,
+    /// The record's creator (tool/team).
+    pub record_created_by: String,
+    /// The record's context tag.
+    pub context: MatchContextTag,
+    /// Validation status of the assertion.
+    pub status: MatchStatus,
+    /// Logical timestamp of the record.
+    pub created_at: u64,
+}
+
+/// An in-memory enterprise metadata repository.
+#[derive(Debug, Default)]
+pub struct MetadataRepository {
+    schemas: HashMap<SchemaId, Schema>,
+    insertion_order: Vec<SchemaId>,
+    records: Vec<MatchRecord>,
+    clock: u64,
+}
+
+impl MetadataRepository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        MetadataRepository::default()
+    }
+
+    /// Register a schema. Replaces any previous schema with the same id
+    /// (returning it), mirroring registry re-posts of new versions.
+    pub fn register_schema(&mut self, schema: Schema) -> Option<Schema> {
+        let id = schema.id;
+        let prev = self.schemas.insert(id, schema);
+        if prev.is_none() {
+            self.insertion_order.push(id);
+        }
+        prev
+    }
+
+    /// Fetch a schema.
+    pub fn schema(&self, id: SchemaId) -> Option<&Schema> {
+        self.schemas.get(&id)
+    }
+
+    /// All schemata in registration order.
+    pub fn schemas(&self) -> impl Iterator<Item = &Schema> {
+        self.insertion_order
+            .iter()
+            .filter_map(move |id| self.schemas.get(id))
+    }
+
+    /// Number of registered schemata.
+    pub fn schema_count(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Store a match artifact; returns its record index. Both schemata must
+    /// be registered first (matches against unregistered schemata would be
+    /// dangling knowledge).
+    pub fn record_match(
+        &mut self,
+        source_id: SchemaId,
+        target_id: SchemaId,
+        matches: MatchSet,
+        context: MatchContextTag,
+        created_by: impl Into<String>,
+        notes: impl Into<String>,
+    ) -> Result<usize, String> {
+        if !self.schemas.contains_key(&source_id) {
+            return Err(format!("source schema {source_id} not registered"));
+        }
+        if !self.schemas.contains_key(&target_id) {
+            return Err(format!("target schema {target_id} not registered"));
+        }
+        self.clock += 1;
+        self.records.push(MatchRecord {
+            source_id,
+            target_id,
+            matches,
+            context,
+            created_by: created_by.into(),
+            created_at: self.clock,
+            notes: notes.into(),
+        });
+        Ok(self.records.len() - 1)
+    }
+
+    /// All match records.
+    pub fn records(&self) -> &[MatchRecord] {
+        &self.records
+    }
+
+    /// Records between two schemata (either orientation).
+    pub fn records_between(&self, a: SchemaId, b: SchemaId) -> Vec<(usize, &MatchRecord)> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                (r.source_id == a && r.target_id == b) || (r.source_id == b && r.target_id == a)
+            })
+            .collect()
+    }
+
+    /// Records suitable for a required context (record context ≥ required).
+    pub fn records_for_context(
+        &self,
+        required: MatchContextTag,
+    ) -> Vec<(usize, &MatchRecord)> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.context.satisfies(required))
+            .collect()
+    }
+
+    /// Provenance query — §5's "who said that X is the same as Y, and should
+    /// I trust that assertion in my application?". Returns every assertion
+    /// linking the two elements across all records, newest first.
+    pub fn who_said(
+        &self,
+        source_schema: SchemaId,
+        source: ElementId,
+        target_schema: SchemaId,
+        target: ElementId,
+    ) -> Vec<Provenance> {
+        let mut out: Vec<Provenance> = Vec::new();
+        for (idx, r) in self.records.iter().enumerate() {
+            let forward = r.source_id == source_schema && r.target_id == target_schema;
+            let backward = r.source_id == target_schema && r.target_id == source_schema;
+            if !forward && !backward {
+                continue;
+            }
+            for c in r.matches.all() {
+                let hit = if forward {
+                    c.source == source && c.target == target
+                } else {
+                    c.source == target && c.target == source
+                };
+                if hit {
+                    out.push(Provenance {
+                        record_index: idx,
+                        asserted_by: c.asserted_by.clone(),
+                        record_created_by: r.created_by.clone(),
+                        context: r.context,
+                        status: c.status,
+                        created_at: r.created_at,
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|p| std::cmp::Reverse(p.created_at));
+        out
+    }
+
+    /// CIO concept lookup (§2 "Enterprise information asset awareness"):
+    /// which schemata contain an element whose name mentions `concept`?
+    /// Returns (schema id, matching element paths).
+    pub fn schemas_mentioning(&self, concept: &str) -> Vec<(SchemaId, Vec<SchemaPath>)> {
+        let needle: Vec<String> = sm_text::tokenize_identifier(concept)
+            .iter()
+            .map(|t| sm_text::porter_stem(t))
+            .collect();
+        if needle.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for schema in self.schemas() {
+            let mut paths = Vec::new();
+            for e in schema.elements() {
+                let tokens: Vec<String> = sm_text::tokenize_identifier(&e.name)
+                    .iter()
+                    .map(|t| sm_text::porter_stem(t))
+                    .collect();
+                if needle.iter().all(|n| tokens.contains(n)) {
+                    paths.push(schema.path(e.id));
+                }
+            }
+            if !paths.is_empty() {
+                out.push((schema.id, paths));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_core::confidence::Confidence;
+    use harmony_core::correspondence::{Correspondence, MatchAnnotation};
+    use sm_schema::{DataType, ElementKind, SchemaFormat};
+
+    fn schema(id: u32, roots: &[&str]) -> Schema {
+        let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+        for r in roots {
+            let t = s.add_root(*r, ElementKind::Table, DataType::None);
+            s.add_child(t, format!("{r}_id"), ElementKind::Column, DataType::Integer)
+                .unwrap();
+        }
+        s
+    }
+
+    fn match_set(validated_by: &str) -> MatchSet {
+        let mut m = MatchSet::new();
+        m.push(
+            Correspondence::candidate(ElementId(0), ElementId(0), Confidence::new(0.9))
+                .validate(validated_by, MatchAnnotation::Equivalent),
+        );
+        m
+    }
+
+    #[test]
+    fn register_and_fetch() {
+        let mut repo = MetadataRepository::new();
+        assert!(repo.register_schema(schema(1, &["Person"])).is_none());
+        assert!(repo.register_schema(schema(2, &["Vehicle"])).is_none());
+        assert_eq!(repo.schema_count(), 2);
+        assert!(repo.schema(SchemaId(1)).is_some());
+        assert!(repo.schema(SchemaId(9)).is_none());
+        // Re-registration replaces and returns the old version.
+        let old = repo.register_schema(schema(1, &["PersonV2"]));
+        assert!(old.is_some());
+        assert_eq!(repo.schema_count(), 2);
+        assert_eq!(repo.schemas().count(), 2);
+    }
+
+    #[test]
+    fn record_match_requires_registered_schemas() {
+        let mut repo = MetadataRepository::new();
+        repo.register_schema(schema(1, &["A"]));
+        let err = repo
+            .record_match(
+                SchemaId(1),
+                SchemaId(2),
+                MatchSet::new(),
+                MatchContextTag::Search,
+                "tool",
+                "",
+            )
+            .unwrap_err();
+        assert!(err.contains("not registered"));
+        repo.register_schema(schema(2, &["B"]));
+        let idx = repo
+            .record_match(
+                SchemaId(1),
+                SchemaId(2),
+                MatchSet::new(),
+                MatchContextTag::Search,
+                "tool",
+                "",
+            )
+            .unwrap();
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn context_tags_order_by_required_precision() {
+        use MatchContextTag::*;
+        assert!(BusinessIntelligence.satisfies(Search));
+        assert!(Integration.satisfies(Planning));
+        assert!(!Search.satisfies(Integration));
+        assert!(Planning.satisfies(Planning));
+    }
+
+    #[test]
+    fn records_for_context_filters() {
+        let mut repo = MetadataRepository::new();
+        repo.register_schema(schema(1, &["A"]));
+        repo.register_schema(schema(2, &["B"]));
+        repo.record_match(SchemaId(1), SchemaId(2), MatchSet::new(), MatchContextTag::Search, "t", "")
+            .unwrap();
+        repo.record_match(SchemaId(1), SchemaId(2), MatchSet::new(), MatchContextTag::Integration, "t", "")
+            .unwrap();
+        assert_eq!(repo.records_for_context(MatchContextTag::Search).len(), 2);
+        assert_eq!(repo.records_for_context(MatchContextTag::Planning).len(), 1);
+        assert_eq!(
+            repo.records_for_context(MatchContextTag::BusinessIntelligence).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn who_said_returns_provenance_newest_first() {
+        let mut repo = MetadataRepository::new();
+        repo.register_schema(schema(1, &["A"]));
+        repo.register_schema(schema(2, &["B"]));
+        repo.record_match(
+            SchemaId(1),
+            SchemaId(2),
+            match_set("alice"),
+            MatchContextTag::Planning,
+            "team-1",
+            "",
+        )
+        .unwrap();
+        repo.record_match(
+            SchemaId(1),
+            SchemaId(2),
+            match_set("bob"),
+            MatchContextTag::Integration,
+            "team-2",
+            "",
+        )
+        .unwrap();
+        let prov = repo.who_said(SchemaId(1), ElementId(0), SchemaId(2), ElementId(0));
+        assert_eq!(prov.len(), 2);
+        assert_eq!(prov[0].asserted_by, "bob", "newest first");
+        assert_eq!(prov[1].asserted_by, "alice");
+        assert_eq!(prov[0].context, MatchContextTag::Integration);
+        // Reverse orientation finds the same assertions.
+        let rev = repo.who_said(SchemaId(2), ElementId(0), SchemaId(1), ElementId(0));
+        assert_eq!(rev.len(), 2);
+        // Unknown pair: empty.
+        assert!(repo
+            .who_said(SchemaId(1), ElementId(5), SchemaId(2), ElementId(5))
+            .is_empty());
+    }
+
+    #[test]
+    fn records_between_is_orientation_agnostic() {
+        let mut repo = MetadataRepository::new();
+        repo.register_schema(schema(1, &["A"]));
+        repo.register_schema(schema(2, &["B"]));
+        repo.record_match(SchemaId(2), SchemaId(1), MatchSet::new(), MatchContextTag::Search, "t", "")
+            .unwrap();
+        assert_eq!(repo.records_between(SchemaId(1), SchemaId(2)).len(), 1);
+    }
+
+    #[test]
+    fn cio_concept_lookup() {
+        let mut repo = MetadataRepository::new();
+        let mut s1 = schema(1, &["Patient"]);
+        let t = s1.roots()[0];
+        s1.add_child(t, "blood_test_result", ElementKind::Column, DataType::text())
+            .unwrap();
+        repo.register_schema(s1);
+        repo.register_schema(schema(2, &["Vehicle"]));
+        let hits = repo.schemas_mentioning("BloodTest");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, SchemaId(1));
+        assert_eq!(hits[0].1[0].to_string(), "Patient/blood_test_result");
+        // Stemmed matching: plural query still hits.
+        assert_eq!(repo.schemas_mentioning("blood tests").len(), 1);
+        assert!(repo.schemas_mentioning("dialysis").is_empty());
+        assert!(repo.schemas_mentioning("").is_empty());
+    }
+}

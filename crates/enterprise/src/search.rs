@@ -1,0 +1,368 @@
+//! Query-by-schema search.
+//!
+//! §2: *"A powerful way to search the MDR would be to simply use one's target
+//! schema as the 'query term.' Using schema matching technology, the system
+//! would rank the available schemata."* Running the full match engine against
+//! thousands of registry schemata is wasteful; search instead uses a cheap
+//! vocabulary signature (normalized name tokens weighted by rarity across the
+//! repository) — the "characterize overlap approximately but quickly" of §5.
+
+use crate::repository::MetadataRepository;
+use sm_schema::{Schema, SchemaId};
+use sm_text::normalize::Normalizer;
+use std::collections::{HashMap, HashSet};
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// The matching schema.
+    pub schema_id: SchemaId,
+    /// Relevance in `[0,1]` (weighted token overlap).
+    pub score: f64,
+    /// Tokens shared with the query (up to a display cap), most
+    /// discriminating first.
+    pub shared_tokens: Vec<String>,
+}
+
+/// One ranked fragment (sub-schema) result — see
+/// [`SchemaSearch::query_fragments`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentHit {
+    /// Root element of the fragment within the candidate schema.
+    pub root: sm_schema::ElementId,
+    /// Fraction of the fragment's (weighted) vocabulary shared with the
+    /// query, in `[0,1]`.
+    pub score: f64,
+    /// Tokens shared with the query, most discriminating first.
+    pub shared_tokens: Vec<String>,
+}
+
+/// A search index over a repository's schemata.
+pub struct SchemaSearch {
+    /// Per-schema normalized token sets.
+    signatures: Vec<(SchemaId, HashSet<String>)>,
+    /// token → number of schemata containing it (for IDF weighting).
+    schema_freq: HashMap<String, usize>,
+    normalizer: Normalizer,
+}
+
+impl SchemaSearch {
+    /// Build the index from all schemata currently in the repository.
+    pub fn build(repo: &MetadataRepository) -> Self {
+        let normalizer = Normalizer::new();
+        let mut signatures = Vec::with_capacity(repo.schema_count());
+        let mut schema_freq: HashMap<String, usize> = HashMap::new();
+        for schema in repo.schemas() {
+            let sig = Self::signature_of(schema, &normalizer);
+            for t in &sig {
+                *schema_freq.entry(t.clone()).or_insert(0) += 1;
+            }
+            signatures.push((schema.id, sig));
+        }
+        SchemaSearch {
+            signatures,
+            schema_freq,
+            normalizer,
+        }
+    }
+
+    fn signature_of(schema: &Schema, normalizer: &Normalizer) -> HashSet<String> {
+        let mut sig = HashSet::new();
+        for e in schema.elements() {
+            for t in normalizer.name(&e.name).tokens {
+                sig.insert(t);
+            }
+        }
+        sig
+    }
+
+    /// Number of indexed schemata.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Rank indexed schemata by relevance to `query`, best first. Schemata
+    /// with zero shared vocabulary are omitted. `query` itself is skipped if
+    /// it is one of the indexed schemata (searching for *other* relevant
+    /// schemata).
+    pub fn query(&self, query: &Schema, limit: usize) -> Vec<SearchHit> {
+        let q_sig = Self::signature_of(query, &self.normalizer);
+        if q_sig.is_empty() {
+            return Vec::new();
+        }
+        let n = self.signatures.len().max(1) as f64;
+        let weight = |t: &str| -> f64 {
+            let df = self.schema_freq.get(t).copied().unwrap_or(0) as f64;
+            ((n + 1.0) / (df + 1.0)).ln() + 1.0
+        };
+        let q_weight: f64 = q_sig.iter().map(|t| weight(t)).sum();
+
+        let mut hits: Vec<SearchHit> = self
+            .signatures
+            .iter()
+            .filter(|(id, _)| *id != query.id)
+            .filter_map(|(id, sig)| {
+                let mut shared: Vec<(&String, f64)> = q_sig
+                    .intersection(sig)
+                    .map(|t| (t, weight(t)))
+                    .collect();
+                if shared.is_empty() {
+                    return None;
+                }
+                let shared_weight: f64 = shared.iter().map(|(_, w)| w).sum();
+                let c_weight: f64 = sig.iter().map(|t| weight(t)).sum();
+                // Weighted Jaccard: shared / union weights.
+                let score = shared_weight / (q_weight + c_weight - shared_weight);
+                shared.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                Some(SearchHit {
+                    schema_id: *id,
+                    score,
+                    shared_tokens: shared
+                        .into_iter()
+                        .take(8)
+                        .map(|(t, _)| t.clone())
+                        .collect(),
+                })
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite")
+                .then(a.schema_id.cmp(&b.schema_id))
+        });
+        hits.truncate(limit);
+        hits
+    }
+
+    /// Fragment search — §5's "a more sophisticated one could return
+    /// relevant schema fragments": for one candidate schema, rank its
+    /// depth-1 subtrees (tables / top-level types) by weighted token overlap
+    /// with the query. Returns (fragment root, score, shared tokens).
+    pub fn query_fragments(
+        &self,
+        query: &Schema,
+        candidate: &Schema,
+        limit: usize,
+    ) -> Vec<FragmentHit> {
+        let q_sig = Self::signature_of(query, &self.normalizer);
+        if q_sig.is_empty() {
+            return Vec::new();
+        }
+        let n = self.signatures.len().max(1) as f64;
+        let weight = |t: &str| -> f64 {
+            let df = self.schema_freq.get(t).copied().unwrap_or(0) as f64;
+            ((n + 1.0) / (df + 1.0)).ln() + 1.0
+        };
+        let mut hits: Vec<FragmentHit> = candidate
+            .roots()
+            .iter()
+            .filter_map(|&root| {
+                let mut sig: HashSet<String> = HashSet::new();
+                for e in candidate.subtree(root) {
+                    sig.extend(self.normalizer.name(&e.name).tokens);
+                }
+                let mut shared: Vec<(String, f64)> = q_sig
+                    .intersection(&sig)
+                    .map(|t| (t.clone(), weight(t)))
+                    .collect();
+                if shared.is_empty() {
+                    return None;
+                }
+                let shared_weight: f64 = shared.iter().map(|(_, w)| w).sum();
+                let frag_weight: f64 = sig.iter().map(|t| weight(t)).sum();
+                shared.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                Some(FragmentHit {
+                    root,
+                    score: shared_weight / frag_weight.max(1e-12),
+                    shared_tokens: shared.into_iter().take(8).map(|(t, _)| t).collect(),
+                })
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite")
+                .then(a.root.cmp(&b.root))
+        });
+        hits.truncate(limit);
+        hits
+    }
+
+    /// Mean reciprocal rank of `relevant` schemata for a query — the search-
+    /// quality metric reported in EXPERIMENTS.md (experiment F4).
+    pub fn mrr(&self, query: &Schema, relevant: &HashSet<SchemaId>) -> f64 {
+        let hits = self.query(query, self.len());
+        for (rank, hit) in hits.iter().enumerate() {
+            if relevant.contains(&hit.schema_id) {
+                return 1.0 / (rank + 1) as f64;
+            }
+        }
+        0.0
+    }
+
+    /// Precision@k for a query.
+    pub fn precision_at_k(&self, query: &Schema, relevant: &HashSet<SchemaId>, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let hits = self.query(query, k);
+        if hits.is_empty() {
+            return 0.0;
+        }
+        let rel = hits
+            .iter()
+            .filter(|h| relevant.contains(&h.schema_id))
+            .count();
+        rel as f64 / k.min(self.len().saturating_sub(1)).max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_schema::{DataType, ElementKind, SchemaFormat};
+
+    fn schema(id: u32, tables: &[(&str, &[&str])]) -> Schema {
+        let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+        for (t, cols) in tables {
+            let tid = s.add_root(*t, ElementKind::Table, DataType::None);
+            for c in *cols {
+                s.add_child(tid, *c, ElementKind::Column, DataType::text())
+                    .unwrap();
+            }
+        }
+        s
+    }
+
+    fn repo() -> MetadataRepository {
+        let mut r = MetadataRepository::new();
+        r.register_schema(schema(
+            1,
+            &[("Vehicle", &["vin", "make", "model"]), ("Wheel", &["size"])],
+        ));
+        r.register_schema(schema(
+            2,
+            &[("VehicleType", &["vin", "manufacturer"]), ("Engine", &["power"])],
+        ));
+        r.register_schema(schema(
+            3,
+            &[("Patient", &["blood_type", "admission_date"])],
+        ));
+        r
+    }
+
+    fn vehicle_query() -> Schema {
+        schema(99, &[("vehicle_record", &["vin", "model_name"])])
+    }
+
+    #[test]
+    fn relevant_schemata_rank_above_irrelevant() {
+        let r = repo();
+        let search = SchemaSearch::build(&r);
+        let hits = search.query(&vehicle_query(), 10);
+        assert!(!hits.is_empty());
+        assert!(
+            hits[0].schema_id == SchemaId(1) || hits[0].schema_id == SchemaId(2),
+            "vehicle schema first, got {:?}",
+            hits[0]
+        );
+        // Patient schema shares no vehicle vocabulary → absent or last.
+        let patient_rank = hits.iter().position(|h| h.schema_id == SchemaId(3));
+        assert!(patient_rank.is_none(), "patient schema must not match");
+    }
+
+    #[test]
+    fn shared_tokens_reported() {
+        let r = repo();
+        let search = SchemaSearch::build(&r);
+        let hits = search.query(&vehicle_query(), 10);
+        assert!(hits[0].shared_tokens.iter().any(|t| t == "vin" || t == "vehicl"));
+    }
+
+    #[test]
+    fn query_excludes_itself() {
+        let r = repo();
+        let search = SchemaSearch::build(&r);
+        let this = r.schema(SchemaId(1)).unwrap();
+        let hits = search.query(this, 10);
+        assert!(hits.iter().all(|h| h.schema_id != SchemaId(1)));
+    }
+
+    #[test]
+    fn empty_query_and_empty_index() {
+        let r = repo();
+        let search = SchemaSearch::build(&r);
+        let empty = Schema::new(SchemaId(50), "empty", SchemaFormat::Generic);
+        assert!(search.query(&empty, 10).is_empty());
+        let empty_repo = MetadataRepository::new();
+        let s2 = SchemaSearch::build(&empty_repo);
+        assert!(s2.is_empty());
+        assert!(s2.query(&vehicle_query(), 10).is_empty());
+    }
+
+    #[test]
+    fn limit_respected() {
+        let r = repo();
+        let search = SchemaSearch::build(&r);
+        assert!(search.query(&vehicle_query(), 1).len() <= 1);
+    }
+
+    #[test]
+    fn mrr_and_precision() {
+        let r = repo();
+        let search = SchemaSearch::build(&r);
+        let relevant: HashSet<SchemaId> = [SchemaId(1), SchemaId(2)].into_iter().collect();
+        let mrr = search.mrr(&vehicle_query(), &relevant);
+        assert_eq!(mrr, 1.0, "a relevant schema ranks first");
+        let p2 = search.precision_at_k(&vehicle_query(), &relevant, 2);
+        assert!(p2 > 0.99, "both top-2 are relevant: {p2}");
+        let none: HashSet<SchemaId> = HashSet::new();
+        assert_eq!(search.mrr(&vehicle_query(), &none), 0.0);
+    }
+
+    #[test]
+    fn fragment_search_ranks_relevant_subtrees() {
+        let r = repo();
+        let search = SchemaSearch::build(&r);
+        let candidate = r.schema(SchemaId(1)).unwrap(); // Vehicle + Wheel
+        let hits = search.query_fragments(&vehicle_query(), candidate, 10);
+        assert!(!hits.is_empty());
+        // The Vehicle subtree shares vin/model tokens; Wheel shares nothing.
+        let top = candidate.element(hits[0].root);
+        assert_eq!(top.name, "Vehicle");
+        assert!(hits.iter().all(|h| candidate.element(h.root).name != "Wheel"));
+        assert!(hits[0].score > 0.0 && hits[0].score <= 1.0);
+        assert!(!hits[0].shared_tokens.is_empty());
+    }
+
+    #[test]
+    fn fragment_search_empty_query_or_disjoint_candidate() {
+        let r = repo();
+        let search = SchemaSearch::build(&r);
+        let empty = Schema::new(SchemaId(60), "empty", SchemaFormat::Generic);
+        let candidate = r.schema(SchemaId(1)).unwrap();
+        assert!(search.query_fragments(&empty, candidate, 5).is_empty());
+        let patient = r.schema(SchemaId(3)).unwrap();
+        assert!(search.query_fragments(&vehicle_query(), patient, 5).is_empty());
+    }
+
+    #[test]
+    fn rare_tokens_dominate_ranking() {
+        let mut r = MetadataRepository::new();
+        // "identifier" everywhere; "vin" only in schema 1.
+        r.register_schema(schema(1, &[("A", &["identifier", "vin"])]));
+        r.register_schema(schema(2, &[("B", &["identifier", "blood"])]));
+        r.register_schema(schema(3, &[("C", &["identifier", "cargo"])]));
+        let search = SchemaSearch::build(&r);
+        let q = schema(99, &[("Q", &["identifier", "vin"])]);
+        let hits = search.query(&q, 10);
+        assert_eq!(hits[0].schema_id, SchemaId(1));
+        assert!(hits[0].score > hits[1].score);
+    }
+}

@@ -1,0 +1,189 @@
+//! Minimal, correct CSV writing (RFC 4180 quoting).
+
+use std::fmt::Write as _;
+
+/// An in-memory CSV document builder.
+#[derive(Debug, Default, Clone)]
+pub struct CsvWriter {
+    buf: String,
+    columns: usize,
+    rows: usize,
+}
+
+impl CsvWriter {
+    /// Empty document.
+    pub fn new() -> Self {
+        CsvWriter::default()
+    }
+
+    /// Write one row. The first row fixes the column count; later rows are
+    /// padded or truncated to it (a spreadsheet must stay rectangular).
+    pub fn row<S: AsRef<str>>(&mut self, fields: &[S]) -> &mut Self {
+        if self.rows == 0 {
+            self.columns = fields.len();
+        }
+        let n = self.columns.max(1);
+        for i in 0..n {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let field = fields.get(i).map(|f| f.as_ref()).unwrap_or("");
+            self.write_field(field);
+        }
+        self.buf.push_str("\r\n");
+        self.rows += 1;
+        self
+    }
+
+    fn write_field(&mut self, field: &str) {
+        let needs_quote = field
+            .chars()
+            .any(|c| c == ',' || c == '"' || c == '\n' || c == '\r');
+        if needs_quote {
+            self.buf.push('"');
+            for c in field.chars() {
+                if c == '"' {
+                    self.buf.push('"');
+                }
+                self.buf.push(c);
+            }
+            self.buf.push('"');
+        } else {
+            self.buf.push_str(field);
+        }
+    }
+
+    /// Number of rows written (including any header).
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// The finished CSV text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    /// Borrow the text so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+}
+
+/// Parse a CSV document back into rows (used by tests and round-trip
+/// verification; handles the quoting [`CsvWriter`] emits).
+pub fn parse_csv(input: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Format a float score for spreadsheet cells (3 decimals, sign-stable).
+pub fn fmt_score(v: f64) -> String {
+    let mut s = String::with_capacity(8);
+    // -0.000 is visually confusing in a spreadsheet; normalize.
+    let v = if v.abs() < 5e-4 { 0.0 } else { v };
+    let _ = write!(s, "{v:.3}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_rows() {
+        let mut w = CsvWriter::new();
+        w.row(&["a", "b"]).row(&["1", "2"]);
+        assert_eq!(w.row_count(), 2);
+        assert_eq!(w.finish(), "a,b\r\n1,2\r\n");
+    }
+
+    #[test]
+    fn quoting_rules() {
+        let mut w = CsvWriter::new();
+        w.row(&["has,comma", "has\"quote", "has\nnewline"]);
+        let out = w.finish();
+        assert_eq!(out, "\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\r\n");
+    }
+
+    #[test]
+    fn rectangularity_enforced() {
+        let mut w = CsvWriter::new();
+        w.row(&["a", "b", "c"]);
+        w.row(&["1"]); // padded
+        w.row(&["1", "2", "3", "4"]); // truncated
+        let rows = parse_csv(&w.finish());
+        assert!(rows.iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn round_trip_with_nasty_fields() {
+        let fields = [
+            "plain",
+            "comma, inside",
+            "quote \" inside",
+            "both,\" and\nnewline",
+            "",
+        ];
+        let mut w = CsvWriter::new();
+        w.row(&fields);
+        let parsed = parse_csv(&w.finish());
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0], fields);
+    }
+
+    #[test]
+    fn parse_handles_bare_lf() {
+        let rows = parse_csv("a,b\n1,2\n");
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn score_formatting() {
+        assert_eq!(fmt_score(0.5), "0.500");
+        assert_eq!(fmt_score(-0.25), "-0.250");
+        assert_eq!(fmt_score(-0.0001), "0.000", "negative zero normalized");
+    }
+}

@@ -1,0 +1,31 @@
+//! # sm-export — human-facing deliverables
+//!
+//! The paper's customer wanted results "delivered as an Excel spreadsheet"
+//! (§3.4), and Lesson #2 (§4.3) argues matchers need a *match-centric* view
+//! ("spreadsheets allow users to flexibly sort matches") and better
+//! visualizations than line drawing. This crate produces those artifacts:
+//!
+//! * [`csv`] — a dependency-free CSV writer with correct quoting.
+//! * [`workbook`] — the paper's two-sheet outer-join deliverable: sheet 1
+//!   enumerates concepts with concept-level matches, sheet 2 the element-
+//!   level matches; both with the three row types (source-only, target-only,
+//!   matched).
+//! * [`report`] — the sortable match-centric table (by score, status,
+//!   assignee) of Lesson #2.
+//! * [`viz`] — a deterministic model of what a line-drawing GUI would show
+//!   (visible lines, off-screen endpoints, crossings) plus an ASCII renderer;
+//!   quantifies the clutter collapse that the sub-tree filter buys.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod report;
+pub mod viz;
+pub mod vocabulary;
+pub mod workbook;
+
+pub use csv::CsvWriter;
+pub use report::{MatchReport, ReportSort};
+pub use viz::{ClutterStats, ScreenModel};
+pub use vocabulary::vocabulary_csv;
+pub use workbook::{RowKind, Workbook};

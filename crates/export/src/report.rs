@@ -1,0 +1,261 @@
+//! The match-centric view — Lesson #2.
+//!
+//! §4.3: *"we found a problem with typical matcher interfaces: each schema
+//! remains intact while overlaid lines denote the matches. In many contexts,
+//! users care more about matches and sets of matches than about the original
+//! schema. Spreadsheets allow users to flexibly sort matches (e.g., by
+//! status, team member assigned to investigate it, etc.). This kind of
+//! match-centric view is something that must be added to schema match
+//! tools."*
+
+use crate::csv::{fmt_score, CsvWriter};
+use harmony_core::correspondence::{Correspondence, MatchSet, MatchStatus};
+use sm_schema::Schema;
+
+/// Sort orders of the match-centric view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportSort {
+    /// Best score first.
+    ScoreDescending,
+    /// Validated, then candidates, then rejected; score breaks ties.
+    Status,
+    /// Grouped by assignee (unassigned last); score breaks ties.
+    Assignee,
+    /// Source element path order.
+    SourcePath,
+}
+
+/// One row of the match-centric report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportRow {
+    /// Source element path.
+    pub source: String,
+    /// Target element path.
+    pub target: String,
+    /// Match score.
+    pub score: f64,
+    /// Review status.
+    pub status: MatchStatus,
+    /// Semantic annotation.
+    pub annotation: String,
+    /// Who asserted the link.
+    pub asserted_by: String,
+    /// Team member assigned to investigate.
+    pub assigned_to: String,
+}
+
+/// The sortable match-centric table.
+#[derive(Debug, Clone, Default)]
+pub struct MatchReport {
+    rows: Vec<ReportRow>,
+}
+
+impl MatchReport {
+    /// Build from a match set, resolving element ids to paths.
+    pub fn build(source: &Schema, target: &Schema, matches: &MatchSet) -> Self {
+        let rows = matches
+            .all()
+            .iter()
+            .map(|c: &Correspondence| ReportRow {
+                source: source.path(c.source).to_string(),
+                target: target.path(c.target).to_string(),
+                score: c.score.value(),
+                status: c.status,
+                annotation: format!("{:?}", c.annotation),
+                asserted_by: c.asserted_by.clone(),
+                assigned_to: c.assigned_to.clone().unwrap_or_default(),
+            })
+            .collect();
+        MatchReport { rows }
+    }
+
+    /// Rows in current order.
+    pub fn rows(&self) -> &[ReportRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the report has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sort in place — the "flexibly sort matches" of Lesson #2.
+    pub fn sort(&mut self, order: ReportSort) -> &mut Self {
+        match order {
+            ReportSort::ScoreDescending => self
+                .rows
+                .sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite")),
+            ReportSort::Status => self.rows.sort_by(|a, b| {
+                status_rank(a.status)
+                    .cmp(&status_rank(b.status))
+                    .then(b.score.partial_cmp(&a.score).expect("finite"))
+            }),
+            ReportSort::Assignee => self.rows.sort_by(|a, b| {
+                let ka = (a.assigned_to.is_empty(), a.assigned_to.clone());
+                let kb = (b.assigned_to.is_empty(), b.assigned_to.clone());
+                ka.cmp(&kb)
+                    .then(b.score.partial_cmp(&a.score).expect("finite"))
+            }),
+            ReportSort::SourcePath => self.rows.sort_by(|a, b| a.source.cmp(&b.source)),
+        }
+        self
+    }
+
+    /// Keep only rows with the given status.
+    pub fn filter_status(&self, status: MatchStatus) -> MatchReport {
+        MatchReport {
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| r.status == status)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut w = CsvWriter::new();
+        w.row(&[
+            "source",
+            "target",
+            "score",
+            "status",
+            "annotation",
+            "asserted_by",
+            "assigned_to",
+        ]);
+        for r in &self.rows {
+            w.row(&[
+                r.source.as_str(),
+                r.target.as_str(),
+                &fmt_score(r.score),
+                status_name(r.status),
+                &r.annotation,
+                &r.asserted_by,
+                &r.assigned_to,
+            ]);
+        }
+        w.finish()
+    }
+}
+
+fn status_rank(s: MatchStatus) -> u8 {
+    match s {
+        MatchStatus::Validated => 0,
+        MatchStatus::Candidate => 1,
+        MatchStatus::Rejected => 2,
+    }
+}
+
+fn status_name(s: MatchStatus) -> &'static str {
+    match s {
+        MatchStatus::Validated => "validated",
+        MatchStatus::Candidate => "candidate",
+        MatchStatus::Rejected => "rejected",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_core::confidence::Confidence;
+    use harmony_core::correspondence::MatchAnnotation;
+    use sm_schema::{DataType, ElementId, ElementKind, SchemaFormat, SchemaId};
+
+    fn fixture() -> (Schema, Schema, MatchSet) {
+        let mut a = Schema::new(SchemaId(1), "A", SchemaFormat::Generic);
+        let t = a.add_root("T", ElementKind::Table, DataType::None);
+        a.add_child(t, "x", ElementKind::Column, DataType::text())
+            .unwrap();
+        a.add_child(t, "y", ElementKind::Column, DataType::text())
+            .unwrap();
+        let mut b = Schema::new(SchemaId(2), "B", SchemaFormat::Generic);
+        let u = b.add_root("U", ElementKind::Table, DataType::None);
+        b.add_child(u, "p", ElementKind::Column, DataType::text())
+            .unwrap();
+        b.add_child(u, "q", ElementKind::Column, DataType::text())
+            .unwrap();
+
+        let mut m = MatchSet::new();
+        let mut c1 = Correspondence::candidate(ElementId(1), ElementId(1), Confidence::new(0.4));
+        c1.assigned_to = Some("bob".into());
+        m.push(c1);
+        m.push(
+            Correspondence::candidate(ElementId(2), ElementId(2), Confidence::new(0.9))
+                .validate("alice", MatchAnnotation::IsA),
+        );
+        let mut c3 = Correspondence::candidate(ElementId(0), ElementId(0), Confidence::new(0.7));
+        c3 = c3.reject("carol");
+        m.push(c3);
+        (a, b, m)
+    }
+
+    #[test]
+    fn build_resolves_paths() {
+        let (a, b, m) = fixture();
+        let r = MatchReport::build(&a, &b, &m);
+        assert_eq!(r.len(), 3);
+        assert!(r.rows().iter().any(|row| row.source == "T/x" && row.target == "U/p"));
+    }
+
+    #[test]
+    fn sort_by_score() {
+        let (a, b, m) = fixture();
+        let mut r = MatchReport::build(&a, &b, &m);
+        r.sort(ReportSort::ScoreDescending);
+        let scores: Vec<f64> = r.rows().iter().map(|x| x.score).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn sort_by_status_puts_validated_first_rejected_last() {
+        let (a, b, m) = fixture();
+        let mut r = MatchReport::build(&a, &b, &m);
+        r.sort(ReportSort::Status);
+        assert_eq!(r.rows()[0].status, MatchStatus::Validated);
+        assert_eq!(r.rows()[2].status, MatchStatus::Rejected);
+    }
+
+    #[test]
+    fn sort_by_assignee_groups_and_unassigned_last() {
+        let (a, b, m) = fixture();
+        let mut r = MatchReport::build(&a, &b, &m);
+        r.sort(ReportSort::Assignee);
+        assert_eq!(r.rows()[0].assigned_to, "bob");
+        assert_eq!(r.rows()[2].assigned_to, "");
+    }
+
+    #[test]
+    fn filter_by_status() {
+        let (a, b, m) = fixture();
+        let r = MatchReport::build(&a, &b, &m);
+        assert_eq!(r.filter_status(MatchStatus::Validated).len(), 1);
+        assert_eq!(r.filter_status(MatchStatus::Candidate).len(), 1);
+        assert_eq!(r.filter_status(MatchStatus::Rejected).len(), 1);
+    }
+
+    #[test]
+    fn csv_includes_all_rows_and_header() {
+        let (a, b, m) = fixture();
+        let r = MatchReport::build(&a, &b, &m);
+        let rows = crate::csv::parse_csv(&r.to_csv());
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0][0], "source");
+        assert!(rows.iter().any(|row| row[3] == "validated"));
+    }
+
+    #[test]
+    fn empty_set_is_empty_report() {
+        let (a, b, _) = fixture();
+        let r = MatchReport::build(&a, &b, &MatchSet::new());
+        assert!(r.is_empty());
+        let rows = crate::csv::parse_csv(&r.to_csv());
+        assert_eq!(rows.len(), 1, "header only");
+    }
+}

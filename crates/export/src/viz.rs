@@ -1,0 +1,339 @@
+//! A deterministic model of the line-drawing match GUI.
+//!
+//! Lesson #2 (§4.3): *"'line-drawing' visualizations of schema match break
+//! down rapidly as schema size grows much larger than the user's screen"* —
+//! the engineers' workaround was the sub-tree filter, which "precluded a
+//! large mass of criss-crossing lines, denoting off-screen matches, from
+//! cluttering the display".
+//!
+//! Rather than a GUI, [`ScreenModel`] computes what one would draw: each
+//! schema is a vertical list of rows (pre-order), a viewport shows a window
+//! of each list, and every correspondence is a line whose endpoints either
+//! fit the viewport or dangle off-screen. [`ClutterStats`] counts visible
+//! lines, off-screen-endpoint lines and line crossings — the quantities
+//! whose explosion the paper describes, and whose collapse under the
+//! sub-tree filter experiment F1 measures.
+
+use harmony_core::filter::NodeFilter;
+use sm_schema::{ElementId, Schema};
+use std::collections::HashMap;
+
+/// The modelled GUI viewport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreenModel {
+    /// Schema-tree rows visible on screen per side (a typical laptop GUI
+    /// shows ~40 tree rows).
+    pub visible_rows: usize,
+    /// Scroll offset (first visible row) of the source pane.
+    pub source_scroll: usize,
+    /// Scroll offset of the target pane.
+    pub target_scroll: usize,
+}
+
+impl Default for ScreenModel {
+    fn default() -> Self {
+        ScreenModel {
+            visible_rows: 40,
+            source_scroll: 0,
+            target_scroll: 0,
+        }
+    }
+}
+
+/// Clutter statistics of one rendered state.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClutterStats {
+    /// Rows the source pane would need (elements passing the node filter).
+    pub source_rows: usize,
+    /// Rows the target pane would need.
+    pub target_rows: usize,
+    /// Correspondence lines whose *both* elements pass the node filters.
+    pub total_lines: usize,
+    /// Lines with both endpoints inside the viewport.
+    pub fully_visible: usize,
+    /// Lines with at least one endpoint scrolled off-screen — the paper's
+    /// "criss-crossing lines, denoting off-screen matches".
+    pub offscreen_endpoint: usize,
+    /// Crossing pairs among lines with at least one visible endpoint.
+    pub crossings: usize,
+}
+
+impl ClutterStats {
+    /// A single readability index: crossings plus off-screen lines per
+    /// visible screen — 0 is a perfectly readable display.
+    pub fn clutter_index(&self) -> f64 {
+        self.crossings as f64 + self.offscreen_endpoint as f64
+    }
+}
+
+impl ScreenModel {
+    /// Model rendering `pairs` between two schemata under node filters
+    /// (pass [`NodeFilter::All`] for the unfiltered view).
+    pub fn render(
+        &self,
+        source: &Schema,
+        target: &Schema,
+        pairs: &[(ElementId, ElementId)],
+        source_filter: &NodeFilter,
+        target_filter: &NodeFilter,
+    ) -> ClutterStats {
+        // Row position of each filtered element, in pre-order.
+        let source_rows = filtered_rows(source, source_filter);
+        let target_rows = filtered_rows(target, target_filter);
+
+        let mut lines: Vec<(usize, usize, bool)> = Vec::new(); // (srow, trow, visible)
+        let mut stats = ClutterStats {
+            source_rows: source_rows.len(),
+            target_rows: target_rows.len(),
+            ..Default::default()
+        };
+        let s_vis = self.source_scroll..self.source_scroll + self.visible_rows;
+        let t_vis = self.target_scroll..self.target_scroll + self.visible_rows;
+        for (s, t) in pairs {
+            let (Some(&srow), Some(&trow)) = (source_rows.get(s), target_rows.get(t)) else {
+                continue; // filtered out entirely: not drawn at all
+            };
+            stats.total_lines += 1;
+            let s_in = s_vis.contains(&srow);
+            let t_in = t_vis.contains(&trow);
+            if s_in && t_in {
+                stats.fully_visible += 1;
+                lines.push((srow, trow, true));
+            } else if s_in || t_in {
+                stats.offscreen_endpoint += 1;
+                lines.push((srow, trow, true));
+            }
+            // Lines with both endpoints off-screen draw nothing.
+        }
+
+        // Crossings among drawn lines.
+        for i in 0..lines.len() {
+            for j in (i + 1)..lines.len() {
+                let (s1, t1, _) = lines[i];
+                let (s2, t2, _) = lines[j];
+                let ds = s1 as i64 - s2 as i64;
+                let dt = t1 as i64 - t2 as i64;
+                if ds * dt < 0 {
+                    stats.crossings += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// ASCII rendering of a (small) match view — the two filtered panes with
+    /// per-row match markers. Intended for examples and debugging, not for
+    /// the 1378-element case (which is the point of Lesson #2).
+    pub fn ascii(
+        &self,
+        source: &Schema,
+        target: &Schema,
+        pairs: &[(ElementId, ElementId)],
+        source_filter: &NodeFilter,
+        target_filter: &NodeFilter,
+    ) -> String {
+        let source_ids = source_filter.select(source);
+        let target_ids = target_filter.select(target);
+        let src_names: Vec<String> = source_ids
+            .iter()
+            .map(|&id| indent_name(source, id))
+            .collect();
+        let tgt_names: Vec<String> = target_ids
+            .iter()
+            .map(|&id| indent_name(target, id))
+            .collect();
+        let width = src_names.iter().map(String::len).max().unwrap_or(0).max(8);
+        let s_row: HashMap<ElementId, usize> = source_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let t_row: HashMap<ElementId, usize> = target_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+
+        // Per-row link annotations: "row → rows".
+        let mut link_of: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (s, t) in pairs {
+            if let (Some(&sr), Some(&tr)) = (s_row.get(s), t_row.get(t)) {
+                link_of.entry(sr).or_default().push(tr);
+            }
+        }
+
+        let rows = src_names.len().max(tgt_names.len());
+        let mut out = String::new();
+        for r in 0..rows.min(self.visible_rows) {
+            let left = src_names.get(r).map(String::as_str).unwrap_or("");
+            let right = tgt_names.get(r).map(String::as_str).unwrap_or("");
+            let marker = match link_of.get(&r) {
+                Some(ts) => format!(
+                    "═▶ {}",
+                    ts.iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+                None => String::new(),
+            };
+            out.push_str(&format!("{left:<width$} {marker:<10} {right}\n"));
+        }
+        out
+    }
+}
+
+fn filtered_rows(schema: &Schema, filter: &NodeFilter) -> HashMap<ElementId, usize> {
+    filter
+        .select(schema)
+        .into_iter()
+        .enumerate()
+        .map(|(row, id)| (id, row))
+        .collect()
+}
+
+fn indent_name(schema: &Schema, id: ElementId) -> String {
+    let e = schema.element(id);
+    format!("{}{}", "  ".repeat((e.depth as usize).saturating_sub(1)), e.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_schema::{DataType, ElementKind, SchemaFormat, SchemaId};
+
+    /// A schema with `tables` tables of `cols` columns each.
+    fn schema(id: u32, tables: usize, cols: usize) -> Schema {
+        let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+        for t in 0..tables {
+            let tid = s.add_root(format!("T{t}"), ElementKind::Table, DataType::None);
+            for c in 0..cols {
+                s.add_child(tid, format!("c{t}_{c}"), ElementKind::Column, DataType::text())
+                    .unwrap();
+            }
+        }
+        s
+    }
+
+    /// Diagonal pairs between two same-shaped schemata.
+    fn diagonal_pairs(n: usize) -> Vec<(ElementId, ElementId)> {
+        (0..n as u32).map(|i| (ElementId(i), ElementId(i))).collect()
+    }
+
+    #[test]
+    fn small_match_fits_on_screen() {
+        let a = schema(1, 3, 3);
+        let b = schema(2, 3, 3);
+        let pairs = diagonal_pairs(a.len());
+        let stats = ScreenModel::default().render(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
+        assert_eq!(stats.total_lines, 12);
+        assert_eq!(stats.fully_visible, 12);
+        assert_eq!(stats.offscreen_endpoint, 0);
+        assert_eq!(stats.crossings, 0, "parallel diagonal lines never cross");
+        assert_eq!(stats.clutter_index(), 0.0);
+    }
+
+    #[test]
+    fn large_match_spills_off_screen() {
+        let a = schema(1, 40, 9); // 400 elements
+        let b = schema(2, 40, 9);
+        let pairs = diagonal_pairs(a.len());
+        let stats = ScreenModel::default().render(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
+        assert_eq!(stats.total_lines, 400);
+        assert_eq!(stats.fully_visible, 40, "only one screenful is visible");
+        // With aligned scrolls the rest are fully off-screen, not dangling.
+        assert_eq!(stats.offscreen_endpoint, 0);
+        // Misaligned scrolls create dangling lines.
+        let scrolled = ScreenModel {
+            target_scroll: 20,
+            ..Default::default()
+        };
+        let stats2 = scrolled.render(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
+        assert!(stats2.offscreen_endpoint > 0);
+        assert!(stats2.clutter_index() > 0.0);
+    }
+
+    #[test]
+    fn crossing_lines_counted() {
+        let a = schema(1, 1, 2); // rows 0,1,2
+        let b = schema(2, 1, 2);
+        // Cross the two columns: (1→2) and (2→1).
+        let pairs = vec![
+            (ElementId(1), ElementId(2)),
+            (ElementId(2), ElementId(1)),
+        ];
+        let stats = ScreenModel::default().render(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
+        assert_eq!(stats.crossings, 1);
+    }
+
+    #[test]
+    fn subtree_filter_collapses_clutter() {
+        let a = schema(1, 40, 9);
+        let b = schema(2, 40, 9);
+        // Random-ish criss-cross pairs: element i on source to element
+        // (i*7)%400 on target.
+        let pairs: Vec<(ElementId, ElementId)> = (0..400u32)
+            .map(|i| (ElementId(i), ElementId((i * 7) % 400)))
+            .collect();
+        let model = ScreenModel::default();
+        let unfiltered = model.render(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
+        let t0 = a.find_by_name("T0").unwrap();
+        let filtered = model.render(
+            &a,
+            &b,
+            &pairs,
+            &NodeFilter::subtree(t0),
+            &NodeFilter::All,
+        );
+        assert!(filtered.total_lines < unfiltered.total_lines / 10);
+        assert!(
+            filtered.clutter_index() < unfiltered.clutter_index() / 5.0,
+            "filtered {} vs unfiltered {}",
+            filtered.clutter_index(),
+            unfiltered.clutter_index()
+        );
+    }
+
+    #[test]
+    fn filtered_out_lines_are_not_drawn() {
+        let a = schema(1, 2, 2);
+        let b = schema(2, 2, 2);
+        let pairs = diagonal_pairs(a.len());
+        let t0 = a.find_by_name("T0").unwrap();
+        let stats = ScreenModel::default().render(
+            &a,
+            &b,
+            &pairs,
+            &NodeFilter::subtree(t0),
+            &NodeFilter::All,
+        );
+        assert_eq!(stats.total_lines, 3, "only T0's subtree lines remain");
+        assert_eq!(stats.source_rows, 3);
+        assert_eq!(stats.target_rows, 6);
+    }
+
+    #[test]
+    fn ascii_render_shows_links_and_indentation() {
+        let a = schema(1, 1, 2);
+        let b = schema(2, 1, 2);
+        let pairs = diagonal_pairs(3);
+        let text = ScreenModel::default().ascii(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
+        assert!(text.contains("T0"));
+        assert!(text.contains("═▶"));
+        assert!(text.contains("  c0_0"), "columns are indented");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn empty_pairs_render_clean() {
+        let a = schema(1, 2, 2);
+        let b = schema(2, 2, 2);
+        let stats =
+            ScreenModel::default().render(&a, &b, &[], &NodeFilter::All, &NodeFilter::All);
+        assert_eq!(stats.total_lines, 0);
+        assert_eq!(stats.clutter_index(), 0.0);
+        let text = ScreenModel::default().ascii(&a, &b, &[], &NodeFilter::All, &NodeFilter::All);
+        assert!(!text.contains("═▶"));
+    }
+}

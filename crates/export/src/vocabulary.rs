@@ -1,0 +1,131 @@
+//! Comprehensive-vocabulary export.
+//!
+//! The paper's expanded study (§3.4) delivered, for five schemata, "the
+//! terms those schemata (and no others in that group) held in common" — a
+//! spreadsheet keyed by subset. This module renders a
+//! [`harmony_core::nway::Vocabulary`] in that layout: one row per term,
+//! with its canonical name, per-schema membership flags, subset label, and
+//! member element paths.
+
+use crate::csv::CsvWriter;
+use harmony_core::nway::Vocabulary;
+use sm_schema::Schema;
+
+/// Render a vocabulary as CSV.
+///
+/// `schemas` must be the same schemata, in the same order, the vocabulary
+/// was built over (the caller owns them; the vocabulary stores only ids).
+/// Columns: term, one yes/no column per schema, subset, members.
+pub fn vocabulary_csv(vocabulary: &Vocabulary, schemas: &[&Schema]) -> String {
+    assert_eq!(
+        vocabulary.n,
+        schemas.len(),
+        "schema list must match the vocabulary's arity"
+    );
+    let mut w = CsvWriter::new();
+    let mut headers: Vec<String> = vec!["term".to_string()];
+    headers.extend(schemas.iter().map(|s| s.name.clone()));
+    headers.push("subset".to_string());
+    headers.push("members".to_string());
+    w.row(&headers);
+
+    // Rows grouped by subset (largest subsets first) then by term name — the
+    // reading order a vocabulary review meeting wants.
+    let mut terms: Vec<&harmony_core::nway::VocabularyTerm> = vocabulary.terms.iter().collect();
+    terms.sort_by(|a, b| {
+        b.signature
+            .count_ones()
+            .cmp(&a.signature.count_ones())
+            .then(a.name.cmp(&b.name))
+            .then(a.signature.cmp(&b.signature))
+    });
+    for term in terms {
+        let mut cells: Vec<String> = vec![term.name.clone()];
+        for i in 0..vocabulary.n {
+            cells.push(if term.involves(i) { "yes" } else { "" }.to_string());
+        }
+        cells.push(vocabulary.mask_name(term.signature));
+        let members: Vec<String> = term
+            .members
+            .iter()
+            .map(|g| {
+                format!(
+                    "{}:{}",
+                    schemas[g.schema_idx].name,
+                    schemas[g.schema_idx].path(g.element)
+                )
+            })
+            .collect();
+        cells.push(members.join("; "));
+        w.row(&cells);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::parse_csv;
+    use harmony_core::confidence::Confidence;
+    use harmony_core::correspondence::{Correspondence, MatchAnnotation, MatchSet};
+    use harmony_core::nway::NWayMatch;
+    use sm_schema::{DataType, ElementId, ElementKind, SchemaFormat, SchemaId};
+
+    fn schema(id: u32, name: &str, roots: &[&str]) -> Schema {
+        let mut s = Schema::new(SchemaId(id), name, SchemaFormat::Generic);
+        for r in roots {
+            s.add_root(*r, ElementKind::Group, DataType::text());
+        }
+        s
+    }
+
+    fn vocabulary() -> (Schema, Schema, Vocabulary) {
+        let a = schema(1, "S_A", &["date", "alpha"]);
+        let b = schema(2, "S_B", &["dt", "beta"]);
+        let mut nway = NWayMatch::new(vec![&a, &b]);
+        let mut m = MatchSet::new();
+        m.push(
+            Correspondence::candidate(ElementId(0), ElementId(0), Confidence::new(0.9))
+                .validate("x", MatchAnnotation::Equivalent),
+        );
+        nway.add_pairwise(0, 1, &m);
+        let v = nway.vocabulary();
+        (a, b, v)
+    }
+
+    #[test]
+    fn csv_layout_and_membership_flags() {
+        let (a, b, v) = vocabulary();
+        let csv = vocabulary_csv(&v, &[&a, &b]);
+        let rows = parse_csv(&csv);
+        assert_eq!(rows[0], vec!["term", "S_A", "S_B", "subset", "members"]);
+        assert_eq!(rows.len(), 1 + v.len());
+        // The shared term row: both flags yes, members list both paths.
+        let shared = rows
+            .iter()
+            .find(|r| r[3] == "{S_A, S_B}")
+            .expect("shared row");
+        assert_eq!(shared[1], "yes");
+        assert_eq!(shared[2], "yes");
+        assert!(shared[4].contains("S_A:date") && shared[4].contains("S_B:dt"));
+        // A singleton row: exactly one flag set.
+        let alpha = rows.iter().find(|r| r[0] == "alpha").unwrap();
+        assert_eq!(alpha[1], "yes");
+        assert_eq!(alpha[2], "");
+    }
+
+    #[test]
+    fn larger_subsets_sort_first() {
+        let (a, b, v) = vocabulary();
+        let csv = vocabulary_csv(&v, &[&a, &b]);
+        let rows = parse_csv(&csv);
+        assert_eq!(rows[1][3], "{S_A, S_B}", "two-schema terms lead");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_schema_list_rejected() {
+        let (a, _, v) = vocabulary();
+        let _ = vocabulary_csv(&v, &[&a]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of schema-model invariants.
+
+use proptest::prelude::*;
+use sm_schema::ddl::{parse_ddl, to_ddl};
+use sm_schema::xsd::{parse_xsd, to_xsd};
+use sm_schema::{DataType, ElementKind, Schema, SchemaFormat, SchemaId, SchemaStats};
+
+/// Strategy: a random two-level relational schema (tables with columns).
+fn relational_schema() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(
+        (
+            "[A-Za-z][A-Za-z0-9]{0,8}",
+            prop::collection::vec("[A-Za-z][A-Za-z0-9_]{0,8}", 1..6),
+        ),
+        1..6,
+    )
+    .prop_map(|tables| {
+        let mut s = Schema::new(SchemaId(1), "S", SchemaFormat::Relational);
+        for (ti, (tname, cols)) in tables.into_iter().enumerate() {
+            // Make names unique by suffixing the index: the builder-level
+            // uniqueness rules are tested separately; here we exercise the
+            // tree invariants.
+            let t = s.add_root(format!("{tname}_{ti}"), ElementKind::Table, DataType::None);
+            for (ci, c) in cols.into_iter().enumerate() {
+                s.add_child(t, format!("{c}_{ci}"), ElementKind::Column, DataType::Integer)
+                    .unwrap();
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    /// Construction through the public API always yields a valid tree whose
+    /// statistics are internally consistent.
+    #[test]
+    fn built_schemas_validate_and_stats_agree(s in relational_schema()) {
+        s.validate().unwrap();
+        let stats = SchemaStats::compute(&s);
+        prop_assert_eq!(stats.element_count, s.len());
+        prop_assert_eq!(stats.root_count, s.roots().len());
+        let depth_total: usize = stats.depth_histogram.values().sum();
+        prop_assert_eq!(depth_total, s.len());
+        prop_assert_eq!(stats.max_depth, s.max_depth());
+        // Preorder covers every element exactly once.
+        let visited: std::collections::HashSet<_> = s.preorder().map(|e| e.id).collect();
+        prop_assert_eq!(visited.len(), s.len());
+    }
+
+    /// Every element's path resolves back to that element (paths are unique
+    /// here because generated names are suffix-disambiguated).
+    #[test]
+    fn paths_resolve(s in relational_schema()) {
+        for id in s.ids() {
+            let p = s.path(id);
+            prop_assert_eq!(s.find_by_path(&p), Some(id), "path {}", p);
+            prop_assert_eq!(p.depth() as u16, s.element(id).depth);
+        }
+    }
+
+    /// Subtree sizes tile the schema: root subtrees sum to the whole.
+    #[test]
+    fn subtrees_tile(s in relational_schema()) {
+        let total: usize = s.roots().iter().map(|&r| s.subtree_size(r)).sum();
+        prop_assert_eq!(total, s.len());
+        for &r in s.roots() {
+            for id in s.subtree_ids(r) {
+                prop_assert_eq!(s.root_of(id), r);
+            }
+        }
+    }
+
+    /// DDL rendering round-trips structure and names.
+    #[test]
+    fn ddl_round_trip(s in relational_schema()) {
+        let ddl = to_ddl(&s);
+        let back = parse_ddl(SchemaId(1), "S", &ddl).unwrap();
+        prop_assert_eq!(back.len(), s.len());
+        let names: Vec<String> = s.preorder().map(|e| e.name.clone()).collect();
+        let names2: Vec<String> = back.preorder().map(|e| e.name.clone()).collect();
+        prop_assert_eq!(names, names2);
+    }
+}
+
+/// Strategy: a random XML tree up to depth 3.
+fn xml_schema() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(
+        (
+            "[A-Za-z][A-Za-z0-9]{0,8}",
+            prop::collection::vec("[A-Za-z][A-Za-z0-9]{0,8}", 0..4),
+        ),
+        1..5,
+    )
+    .prop_map(|types| {
+        let mut s = Schema::new(SchemaId(2), "X", SchemaFormat::Xml);
+        for (ti, (tname, children)) in types.into_iter().enumerate() {
+            let t = s.add_root(
+                format!("{tname}{ti}"),
+                ElementKind::ComplexType,
+                DataType::None,
+            );
+            for (ci, c) in children.into_iter().enumerate() {
+                s.add_child(
+                    t,
+                    format!("{c}{ci}"),
+                    ElementKind::XmlElement,
+                    DataType::text(),
+                )
+                .unwrap();
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    /// XSD rendering round-trips structure and names.
+    #[test]
+    fn xsd_round_trip(s in xml_schema()) {
+        let xsd = to_xsd(&s);
+        let back = parse_xsd(SchemaId(2), "X", &xsd).unwrap();
+        prop_assert_eq!(back.len(), s.len());
+        let names: Vec<String> = s.preorder().map(|e| e.name.clone()).collect();
+        let names2: Vec<String> = back.preorder().map(|e| e.name.clone()).collect();
+        prop_assert_eq!(names, names2);
+        back.validate().unwrap();
+    }
+}

@@ -1,0 +1,158 @@
+//! Documentation-text generation.
+//!
+//! Real data-dictionary entries for the same concept in two systems are
+//! *paraphrases*, not copies. The generator perturbs the canonical sentence
+//! per schema: template variation, filler clauses, and occasional omission
+//! (controlled by a coverage rate — the paper stresses that documentation
+//! availability varies).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Per-schema documentation style.
+#[derive(Debug, Clone)]
+pub struct DocStyle {
+    /// Probability an element gets documentation at all.
+    pub coverage: f64,
+    /// Verbosity: number of filler clauses appended (0..=max_filler).
+    pub max_filler: usize,
+}
+
+impl DocStyle {
+    /// Well-documented system (the paper: documentation "easier to obtain
+    /// than data" in government systems).
+    pub fn rich() -> Self {
+        DocStyle {
+            coverage: 0.9,
+            max_filler: 2,
+        }
+    }
+
+    /// Sparsely documented legacy system.
+    pub fn sparse() -> Self {
+        DocStyle {
+            coverage: 0.35,
+            max_filler: 1,
+        }
+    }
+
+    /// No documentation (ablation baseline).
+    pub fn none() -> Self {
+        DocStyle {
+            coverage: 0.0,
+            max_filler: 0,
+        }
+    }
+}
+
+const LEADS: &[&str] = &[
+    "", // keep canonical sentence as-is
+    "Data element: ",
+    "Field containing ",
+    "Records ",
+    "Captures ",
+];
+
+const FILLERS: &[&str] = &[
+    "Populated by the source system of record.",
+    "Required for interoperability reporting.",
+    "Subject to periodic review by the data steward.",
+    "Value may be unavailable for legacy records.",
+    "Conforms to the community data standard.",
+    "Used in daily summary products.",
+];
+
+/// Render documentation for one element from its canonical sentence, or
+/// `None` when coverage dice say the element goes undocumented.
+pub fn render_doc(canonical: &str, style: &DocStyle, rng: &mut SmallRng) -> Option<String> {
+    if !rng.gen_bool(style.coverage.clamp(0.0, 1.0)) {
+        return None;
+    }
+    let lead = LEADS[rng.gen_range(0..LEADS.len())];
+    let mut text = if lead.is_empty() {
+        canonical.to_string()
+    } else {
+        // Lowercase the canonical head so the lead reads naturally.
+        let mut c = canonical.to_string();
+        if let Some(first) = c.get(0..1) {
+            let lower = first.to_lowercase();
+            c.replace_range(0..1, &lower);
+        }
+        format!("{lead}{c}")
+    };
+    if style.max_filler > 0 {
+        let n = rng.gen_range(0..=style.max_filler);
+        for _ in 0..n {
+            let f = FILLERS[rng.gen_range(0..FILLERS.len())];
+            text.push(' ');
+            text.push_str(f);
+        }
+    }
+    Some(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_coverage_never_documents() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(render_doc("The x of y.", &DocStyle::none(), &mut rng).is_none());
+        }
+    }
+
+    #[test]
+    fn full_coverage_always_documents() {
+        let style = DocStyle {
+            coverage: 1.0,
+            max_filler: 0,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(render_doc("The x of y.", &style, &mut rng).is_some());
+        }
+    }
+
+    #[test]
+    fn canonical_content_is_preserved() {
+        let style = DocStyle {
+            coverage: 1.0,
+            max_filler: 2,
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let d = render_doc("The begin date of the event.", &style, &mut rng).unwrap();
+            assert!(
+                d.to_lowercase().contains("begin date of the event"),
+                "paraphrase lost content: {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn paraphrases_vary() {
+        let style = DocStyle {
+            coverage: 1.0,
+            max_filler: 2,
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let docs: std::collections::HashSet<String> = (0..30)
+            .map(|_| render_doc("The begin date of the event.", &style, &mut rng).unwrap())
+            .collect();
+        assert!(docs.len() > 5, "only {} distinct paraphrases", docs.len());
+    }
+
+    #[test]
+    fn sparse_coverage_near_configured_rate() {
+        let style = DocStyle::sparse();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let documented = (0..1000)
+            .filter(|_| render_doc("X.", &style, &mut rng).is_some())
+            .count();
+        let rate = documented as f64 / 1000.0;
+        assert!((rate - 0.35).abs() < 0.06, "rate {rate}");
+    }
+}

@@ -1,0 +1,274 @@
+//! Schema-version evolution.
+//!
+//! The paper's customer context was a version transition: "Sys(S_A) is
+//! currently being redesigned into version 4" (§3.1), and the plan was to
+//! fold Sys(S_B)'s distinct elements into the redesign. This module
+//! generates a *successor version* of a schema: renamed elements (convention
+//! change), dropped elements, and newly added concepts — with ground truth
+//! linking survivors, so version-migration matching can be evaluated.
+
+use crate::groundtruth::GroundTruth;
+use crate::naming::{NameRenderer, NamingStyle};
+use crate::ontology::{Ontology, SemanticId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sm_schema::{DataType, Documentation, ElementId, ElementKind, Schema, SchemaFormat, SchemaId};
+use std::collections::HashMap;
+
+/// Parameters of a version transition.
+#[derive(Debug, Clone)]
+pub struct EvolutionConfig {
+    /// Seed (independent of the base schema's seed).
+    pub seed: u64,
+    /// Naming convention of the new version (renames fall out of the
+    /// re-rendering even when the style is unchanged, via abbreviation and
+    /// synonym dice).
+    pub new_style: NamingStyle,
+    /// Probability that a v3 column is dropped in v4.
+    pub drop_attr_prob: f64,
+    /// Probability that a whole v3 table is dropped in v4.
+    pub drop_concept_prob: f64,
+    /// Number of brand-new concepts v4 adds.
+    pub added_concepts: usize,
+    /// Attribute range for the added concepts.
+    pub added_attrs: (usize, usize),
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig {
+            seed: 1,
+            new_style: NamingStyle::xml(),
+            drop_attr_prob: 0.08,
+            drop_concept_prob: 0.05,
+            added_concepts: 6,
+            added_attrs: (4, 10),
+        }
+    }
+}
+
+/// A version transition: the successor schema plus element-level lineage.
+pub struct VersionPair {
+    /// The redesigned schema (v4).
+    pub next: Schema,
+    /// Ground truth: v3 element → v4 element for every survivor.
+    pub lineage: GroundTruth,
+    /// v3 elements with no v4 counterpart (dropped).
+    pub dropped: Vec<ElementId>,
+    /// v4 elements with no v3 ancestor (additions).
+    pub added: Vec<ElementId>,
+}
+
+/// Evolve `base` (a relational schema whose elements carry semantics in
+/// `semantics`, as produced by the generator) into a successor version.
+///
+/// Works directly off the schema tree, so it also applies to hand-built
+/// schemata: pass an empty semantics map and lineage is tracked purely by
+/// position.
+pub fn evolve(
+    base: &Schema,
+    semantics: &HashMap<ElementId, SemanticId>,
+    config: &EvolutionConfig,
+) -> VersionPair {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xE001_E001_E001_E001);
+    let renderer = NameRenderer::new(config.new_style.clone());
+    let mut next = Schema::new(
+        SchemaId(base.id.0 + 1000),
+        format!("{}_v4", base.name),
+        SchemaFormat::Relational,
+    );
+    let mut lineage = GroundTruth::default();
+    let mut dropped = Vec::new();
+    let mut added = Vec::new();
+
+    for &root in base.roots() {
+        if rng.gen_bool(config.drop_concept_prob) {
+            dropped.extend(base.subtree_ids(root));
+            continue;
+        }
+        let old_root = base.element(root);
+        let tokens = sm_text::tokenize_identifier(&old_root.name);
+        let new_name = renderer.render(&tokens, &mut rng);
+        let new_root = next.add_root(new_name, old_root.kind, old_root.datatype);
+        if let Some(doc) = &old_root.doc {
+            next.set_doc(new_root, doc.clone()).expect("root exists");
+        }
+        lineage.add_pair(root, new_root);
+        copy_semantics(semantics, &mut lineage, root, new_root);
+
+        for &child in &old_root.children {
+            if rng.gen_bool(config.drop_attr_prob) {
+                dropped.push(child);
+                continue;
+            }
+            let old = base.element(child);
+            let tokens = sm_text::tokenize_identifier(&old.name);
+            let new_name = renderer.render(&tokens, &mut rng);
+            let new_child = next
+                .add_child(new_root, new_name, old.kind, old.datatype)
+                .expect("root exists");
+            if let Some(doc) = &old.doc {
+                next.set_doc(new_child, doc.clone()).expect("child exists");
+            }
+            lineage.add_pair(child, new_child);
+            copy_semantics(semantics, &mut lineage, child, new_child);
+        }
+    }
+
+    // Brand-new concepts (the redesign absorbing new requirements).
+    let (amin, amax) = config.added_attrs;
+    let addition_pool = Ontology::generate(
+        config.seed ^ 0xADD5,
+        config.added_concepts,
+        amin.max(1),
+        amax.max(amin.max(1)),
+    );
+    for concept in &addition_pool.concepts {
+        let mut name = renderer.render(&concept.tokens, &mut rng);
+        // Avoid colliding with a surviving table name.
+        if next.find_by_name(&name).is_some() {
+            name.push_str("_new");
+        }
+        let root = next.add_root(name, ElementKind::Table, DataType::None);
+        next.set_doc(root, Documentation::generated(concept.doc.clone()))
+            .expect("root exists");
+        added.push(root);
+        for attr in &concept.attributes {
+            let child = next
+                .add_child(
+                    root,
+                    renderer.render(&attr.tokens, &mut rng),
+                    ElementKind::Column,
+                    attr.datatype,
+                )
+                .expect("root exists");
+            added.push(child);
+        }
+    }
+
+    debug_assert!(next.validate().is_ok());
+    VersionPair {
+        next,
+        lineage,
+        dropped,
+        added,
+    }
+}
+
+fn copy_semantics(
+    semantics: &HashMap<ElementId, SemanticId>,
+    lineage: &mut GroundTruth,
+    old: ElementId,
+    new: ElementId,
+) {
+    if let Some(&sem) = semantics.get(&old) {
+        lineage.source_semantics.insert(old, sem);
+        lineage.target_semantics.insert(new, sem);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, SchemaPair};
+
+    fn base() -> (Schema, HashMap<ElementId, SemanticId>) {
+        let pair = SchemaPair::generate(&GeneratorConfig::paper_case_study(3, 0.1));
+        let sem = pair.truth.source_semantics.clone();
+        (pair.source, sem)
+    }
+
+    #[test]
+    fn survivors_link_and_counts_balance() {
+        let (v3, sem) = base();
+        let cfg = EvolutionConfig::default();
+        let vp = evolve(&v3, &sem, &cfg);
+        vp.next.validate().unwrap();
+        // Every v3 element is either linked or dropped, never both.
+        let linked: std::collections::HashSet<_> =
+            vp.lineage.pairs().iter().map(|&(a, _)| a).collect();
+        for id in v3.ids() {
+            let is_linked = linked.contains(&id);
+            let is_dropped = vp.dropped.contains(&id);
+            assert!(is_linked ^ is_dropped, "element {id} must be exactly one");
+        }
+        // v4 = survivors + additions.
+        assert_eq!(vp.next.len(), vp.lineage.len() + vp.added.len());
+    }
+
+    #[test]
+    fn no_drops_no_adds_is_pure_rename() {
+        let (v3, sem) = base();
+        let cfg = EvolutionConfig {
+            drop_attr_prob: 0.0,
+            drop_concept_prob: 0.0,
+            added_concepts: 0,
+            ..Default::default()
+        };
+        let vp = evolve(&v3, &sem, &cfg);
+        assert_eq!(vp.next.len(), v3.len());
+        assert!(vp.dropped.is_empty());
+        assert!(vp.added.is_empty());
+        assert_eq!(vp.lineage.len(), v3.len());
+    }
+
+    #[test]
+    fn evolution_is_deterministic() {
+        let (v3, sem) = base();
+        let cfg = EvolutionConfig::default();
+        let a = evolve(&v3, &sem, &cfg);
+        let b = evolve(&v3, &sem, &cfg);
+        assert_eq!(a.next.len(), b.next.len());
+        let na: Vec<_> = a.next.preorder().map(|e| e.name.clone()).collect();
+        let nb: Vec<_> = b.next.preorder().map(|e| e.name.clone()).collect();
+        assert_eq!(na, nb);
+    }
+
+    #[test]
+    fn renames_actually_happen() {
+        let (v3, sem) = base();
+        let vp = evolve(&v3, &sem, &EvolutionConfig::default());
+        let renamed = vp
+            .lineage
+            .pairs()
+            .iter()
+            .filter(|&&(old, new)| v3.element(old).name != vp.next.element(new).name)
+            .count();
+        assert!(
+            renamed > vp.lineage.len() / 4,
+            "style change should rename many elements: {renamed}/{}",
+            vp.lineage.len()
+        );
+    }
+
+    #[test]
+    fn semantics_propagate_to_survivors() {
+        let (v3, sem) = base();
+        let vp = evolve(&v3, &sem, &EvolutionConfig::default());
+        for &(old, new) in vp.lineage.pairs() {
+            if let Some(s) = sem.get(&old) {
+                assert_eq!(vp.lineage.target_semantics.get(&new), Some(s));
+            }
+        }
+    }
+
+    #[test]
+    fn matcher_recovers_lineage() {
+        // The practical point: a matcher should reconnect v3 to v4.
+        let (v3, sem) = base();
+        let vp = evolve(&v3, &sem, &EvolutionConfig::default());
+        let engine = harmony_core::engine::MatchEngine::new().with_threads(1);
+        let result = engine.run(&v3, &vp.next);
+        let selected = harmony_core::select::Selection::OneToOne {
+            min: harmony_core::confidence::Confidence::new(0.3),
+        }
+        .apply(&result.matrix);
+        let predicted: Vec<_> = selected.all().iter().map(|c| (c.source, c.target)).collect();
+        let eval = vp.lineage.evaluate_pairs(predicted.iter());
+        assert!(
+            eval.f1 > 0.6,
+            "version matching should be easy-ish: F1 {}",
+            eval.f1
+        );
+    }
+}

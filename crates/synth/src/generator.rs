@@ -1,0 +1,551 @@
+//! The schema-pair generator.
+//!
+//! Produces a (relational source, XML target) pair with exact element counts,
+//! a planted overlap rate, per-schema naming noise and documentation styles,
+//! and full [`GroundTruth`] — the synthetic stand-in for the paper's
+//! S_A (1378 elements) × S_B (784 elements, 34% overlapping) case study.
+//!
+//! # Construction
+//!
+//! Concepts from a generated [`Ontology`] are realized in three phases:
+//!
+//! 1. **Shared concepts** until the target's shared-element budget
+//!    (`target_elements · overlap_of_target`) is filled. Both schemata
+//!    realize the concept node and the *same* attribute subset; each true
+//!    atom yields one ground-truth pair.
+//! 2. **Target-unique concepts** fill the rest of the target.
+//! 3. **Source-unique concepts** fill the rest of the source.
+//!
+//! Element counts are hit exactly by trimming the last concept's attribute
+//! list. A concept needs at least its own node, so a remaining budget of 1
+//! realizes an attribute-less concept.
+
+use crate::docgen::{render_doc, DocStyle};
+use crate::groundtruth::GroundTruth;
+use crate::naming::{NameRenderer, NamingStyle};
+use crate::ontology::{Ontology, SemanticId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sm_schema::{DataType, Documentation, ElementId, ElementKind, Schema, SchemaFormat, SchemaId};
+
+/// Configuration of one generated schema pair.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Master seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Exact element count of the source schema (the paper's 1378).
+    pub source_elements: usize,
+    /// Exact element count of the target schema (the paper's 784).
+    pub target_elements: usize,
+    /// Fraction of *target* elements realized from atoms shared with the
+    /// source (the paper's 0.34).
+    pub overlap_of_target: f64,
+    /// Naming convention of the source schema.
+    pub source_style: NamingStyle,
+    /// Naming convention of the target schema.
+    pub target_style: NamingStyle,
+    /// Documentation style of the source schema.
+    pub source_doc: DocStyle,
+    /// Documentation style of the target schema.
+    pub target_doc: DocStyle,
+    /// Attribute-count range per ontology concept.
+    pub attrs_per_concept: (usize, usize),
+}
+
+impl GeneratorConfig {
+    /// The paper's case study, shrunk or full-size via `scale` (1.0 = the
+    /// real 1378×784).
+    pub fn paper_case_study(seed: u64, scale: f64) -> Self {
+        let scale = scale.max(0.01);
+        GeneratorConfig {
+            seed,
+            source_elements: ((1378.0 * scale).round() as usize).max(4),
+            target_elements: ((784.0 * scale).round() as usize).max(4),
+            overlap_of_target: 0.34,
+            source_style: NamingStyle::relational(),
+            target_style: NamingStyle::legacy(),
+            source_doc: DocStyle::rich(),
+            target_doc: DocStyle::sparse(),
+            // Wide-ish concepts: the paper's S_A mixed narrow tables with
+            // wide views (e.g. All_Event_Vitals), giving ~140 concepts over
+            // 1378 elements and 10^4–10^5 candidate pairs per sub-tree
+            // increment.
+            attrs_per_concept: (6, 20),
+        }
+    }
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig::paper_case_study(0, 1.0)
+    }
+}
+
+/// A generated pair with its ground truth.
+pub struct SchemaPair {
+    /// The relational source schema (S_A analogue).
+    pub source: Schema,
+    /// The XML target schema (S_B analogue).
+    pub target: Schema,
+    /// Planted ground truth.
+    pub truth: GroundTruth,
+    /// The latent ontology the pair was drawn from.
+    pub ontology: Ontology,
+    /// Anchors (concept root elements) of the source schema with their
+    /// concept ids — the "concept elements" the paper's engineers identified
+    /// (140 in S_A).
+    pub source_anchors: Vec<(ElementId, SemanticId)>,
+    /// Anchors of the target schema (51 in S_B).
+    pub target_anchors: Vec<(ElementId, SemanticId)>,
+}
+
+impl SchemaPair {
+    /// Generate a pair from a configuration.
+    pub fn generate(config: &GeneratorConfig) -> SchemaPair {
+        let shared_goal =
+            ((config.target_elements as f64) * config.overlap_of_target.clamp(0.0, 1.0)).round()
+                as usize;
+        let shared_goal = shared_goal.min(config.target_elements).min(config.source_elements);
+
+        // Ontology big enough for both unique parts plus shared concepts.
+        let (amin, amax) = config.attrs_per_concept;
+        let mean_size = 1.0 + (amin + amax) as f64 / 2.0;
+        let needed_atoms = config.source_elements + config.target_elements;
+        let concept_budget = ((needed_atoms as f64 / mean_size) * 1.8).ceil() as usize + 8;
+        let ontology = Ontology::generate(config.seed, concept_budget, amin, amax);
+
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xA5A5_A5A5_DEAD_BEEF);
+        let source_renderer = NameRenderer::new(config.source_style.clone());
+        let target_renderer = NameRenderer::new(config.target_style.clone());
+
+        let mut source = Schema::new(SchemaId(1), "S_A", SchemaFormat::Relational);
+        let mut target = Schema::new(SchemaId(2), "S_B", SchemaFormat::Xml);
+        let mut truth = GroundTruth::default();
+        let mut source_anchors = Vec::new();
+        let mut target_anchors = Vec::new();
+
+        let mut next_concept = 0usize;
+        let take_concept = |next: &mut usize| -> Option<u32> {
+            if *next < ontology.len() {
+                let c = *next as u32;
+                *next += 1;
+                Some(c)
+            } else {
+                None
+            }
+        };
+
+        // --- Phase 1: shared concepts ------------------------------------
+        // Realize the source side in concept order, but the target side in a
+        // *shuffled* order: independently developed systems interleave the
+        // same concepts differently, which is what produces the paper's
+        // "criss-crossing lines" in a line-drawing GUI.
+        let mut shared_plan: Vec<(u32, usize)> = Vec::new(); // (concept, n_attrs)
+        let mut shared_done = 0usize;
+        while shared_done < shared_goal {
+            let Some(ci) = take_concept(&mut next_concept) else {
+                break;
+            };
+            let spec = &ontology.concepts[ci as usize];
+            let remaining = shared_goal - shared_done;
+            if remaining == 0 {
+                break;
+            }
+            let n_attrs = spec.attributes.len().min(remaining.saturating_sub(1));
+            // Ensure both sides still have element budget.
+            let src_left = config.source_elements - shared_plan
+                .iter()
+                .map(|&(_, n)| n + 1)
+                .sum::<usize>();
+            let tgt_left = config.target_elements - shared_done;
+            if src_left == 0 || tgt_left == 0 {
+                break;
+            }
+            let n_attrs = n_attrs
+                .min(src_left.saturating_sub(1))
+                .min(tgt_left.saturating_sub(1));
+            shared_plan.push((ci, n_attrs));
+            shared_done += 1 + n_attrs;
+        }
+
+        let mut source_shared: Vec<(u32, ElementId, usize)> = Vec::new();
+        for &(ci, n_attrs) in &shared_plan {
+            let s_anchor = realize_concept_relational(
+                &mut source,
+                &ontology,
+                ci,
+                n_attrs,
+                &source_renderer,
+                &config.source_doc,
+                &mut rng,
+                &mut truth.source_semantics,
+            );
+            source_anchors.push((s_anchor, SemanticId::Concept(ci)));
+            source_shared.push((ci, s_anchor, n_attrs));
+        }
+
+        let mut target_plan = shared_plan.clone();
+        {
+            use rand::seq::SliceRandom;
+            target_plan.shuffle(&mut rng);
+        }
+        let mut target_anchor_of: std::collections::HashMap<u32, ElementId> =
+            std::collections::HashMap::new();
+        for &(ci, n_attrs) in &target_plan {
+            let t_anchor = realize_concept_xml(
+                &mut target,
+                &ontology,
+                ci,
+                n_attrs,
+                &target_renderer,
+                &config.target_doc,
+                &mut rng,
+                &mut truth.target_semantics,
+            );
+            target_anchors.push((t_anchor, SemanticId::Concept(ci)));
+            target_anchor_of.insert(ci, t_anchor);
+        }
+
+        // Ground truth: concept node + each shared attribute. Children are
+        // created in attribute order right after each anchor on both sides.
+        for (ci, s_anchor, n_attrs) in source_shared {
+            let t_anchor = target_anchor_of[&ci];
+            truth.add_pair(s_anchor, t_anchor);
+            for a in 0..n_attrs as u32 {
+                let s_el = ElementId(s_anchor.0 + 1 + a);
+                let t_el = ElementId(t_anchor.0 + 1 + a);
+                debug_assert_eq!(
+                    truth.source_semantics.get(&s_el),
+                    truth.target_semantics.get(&t_el)
+                );
+                truth.add_pair(s_el, t_el);
+            }
+        }
+
+        // --- Phase 2: target-unique concepts ------------------------------
+        fill_unique(
+            &mut target,
+            config.target_elements,
+            &ontology,
+            &mut next_concept,
+            Realization::Xml,
+            &target_renderer,
+            &config.target_doc,
+            &mut rng,
+            &mut truth.target_semantics,
+            &mut target_anchors,
+        );
+
+        // --- Phase 3: source-unique concepts ------------------------------
+        fill_unique(
+            &mut source,
+            config.source_elements,
+            &ontology,
+            &mut next_concept,
+            Realization::Relational,
+            &source_renderer,
+            &config.source_doc,
+            &mut rng,
+            &mut truth.source_semantics,
+            &mut source_anchors,
+        );
+
+        debug_assert!(source.validate().is_ok());
+        debug_assert!(target.validate().is_ok());
+
+        SchemaPair {
+            source,
+            target,
+            truth,
+            ontology,
+            source_anchors,
+            target_anchors,
+        }
+    }
+
+    /// Fraction of target elements with a true counterpart (should be close
+    /// to the configured overlap).
+    pub fn actual_target_overlap(&self) -> f64 {
+        if self.target.is_empty() {
+            return 0.0;
+        }
+        self.truth.matched_targets().len() as f64 / self.target.len() as f64
+    }
+}
+
+enum Realization {
+    Relational,
+    Xml,
+}
+
+/// Fill `schema` up to `total` elements with concepts realized on one side
+/// only.
+#[allow(clippy::too_many_arguments)]
+fn fill_unique(
+    schema: &mut Schema,
+    total: usize,
+    ontology: &Ontology,
+    next_concept: &mut usize,
+    realization: Realization,
+    renderer: &NameRenderer,
+    doc_style: &DocStyle,
+    rng: &mut SmallRng,
+    semantics: &mut std::collections::HashMap<ElementId, SemanticId>,
+    anchors: &mut Vec<(ElementId, SemanticId)>,
+) {
+    while schema.len() < total {
+        if *next_concept >= ontology.len() {
+            // Ontology exhausted (shouldn't happen with the 1.8× budget, but
+            // degrade gracefully by padding the last concept).
+            let Some(&last_root) = schema.roots().last() else {
+                break;
+            };
+            let mut pad = 0u32;
+            while schema.len() < total {
+                schema
+                    .add_child(
+                        last_root,
+                        format!("filler_{pad}"),
+                        ElementKind::Column,
+                        DataType::text(),
+                    )
+                    .expect("root exists");
+                pad += 1;
+            }
+            break;
+        }
+        let ci = *next_concept as u32;
+        *next_concept += 1;
+        let spec = &ontology.concepts[ci as usize];
+        let left = total - schema.len();
+        let n_attrs = spec.attributes.len().min(left.saturating_sub(1));
+        let anchor = match realization {
+            Realization::Relational => realize_concept_relational(
+                schema, ontology, ci, n_attrs, renderer, doc_style, rng, semantics,
+            ),
+            Realization::Xml => realize_concept_xml(
+                schema, ontology, ci, n_attrs, renderer, doc_style, rng, semantics,
+            ),
+        };
+        anchors.push((anchor, SemanticId::Concept(ci)));
+    }
+}
+
+/// Realize concept `ci` with its first `n_attrs` attributes as a table.
+#[allow(clippy::too_many_arguments)]
+fn realize_concept_relational(
+    schema: &mut Schema,
+    ontology: &Ontology,
+    ci: u32,
+    n_attrs: usize,
+    renderer: &NameRenderer,
+    doc_style: &DocStyle,
+    rng: &mut SmallRng,
+    semantics: &mut std::collections::HashMap<ElementId, SemanticId>,
+) -> ElementId {
+    let spec = &ontology.concepts[ci as usize];
+    let table_name = renderer.render(&spec.tokens, rng);
+    let anchor = schema.add_root(table_name, ElementKind::Table, DataType::None);
+    semantics.insert(anchor, SemanticId::Concept(ci));
+    if let Some(doc) = render_doc(&spec.doc, doc_style, rng) {
+        schema
+            .set_doc(anchor, Documentation::generated(doc))
+            .expect("anchor exists");
+    }
+    for (ai, attr) in spec.attributes.iter().take(n_attrs).enumerate() {
+        let col_name = renderer.render(&attr.tokens, rng);
+        let col = schema
+            .add_child(anchor, col_name, ElementKind::Column, attr.datatype)
+            .expect("anchor exists");
+        semantics.insert(
+            col,
+            SemanticId::Attribute {
+                concept: ci,
+                attr: ai as u32,
+            },
+        );
+        if let Some(doc) = render_doc(&attr.doc, doc_style, rng) {
+            schema
+                .set_doc(col, Documentation::generated(doc))
+                .expect("column exists");
+        }
+    }
+    anchor
+}
+
+/// Realize concept `ci` with its first `n_attrs` attributes as a complex
+/// type.
+#[allow(clippy::too_many_arguments)]
+fn realize_concept_xml(
+    schema: &mut Schema,
+    ontology: &Ontology,
+    ci: u32,
+    n_attrs: usize,
+    renderer: &NameRenderer,
+    doc_style: &DocStyle,
+    rng: &mut SmallRng,
+    semantics: &mut std::collections::HashMap<ElementId, SemanticId>,
+) -> ElementId {
+    let spec = &ontology.concepts[ci as usize];
+    let type_name = renderer.render(&spec.tokens, rng);
+    let anchor = schema.add_root(type_name, ElementKind::ComplexType, DataType::None);
+    semantics.insert(anchor, SemanticId::Concept(ci));
+    if let Some(doc) = render_doc(&spec.doc, doc_style, rng) {
+        schema
+            .set_doc(anchor, Documentation::generated(doc))
+            .expect("anchor exists");
+    }
+    for (ai, attr) in spec.attributes.iter().take(n_attrs).enumerate() {
+        let el_name = renderer.render(&attr.tokens, rng);
+        let el = schema
+            .add_child(anchor, el_name, ElementKind::XmlElement, attr.datatype)
+            .expect("anchor exists");
+        semantics.insert(
+            el,
+            SemanticId::Attribute {
+                concept: ci,
+                attr: ai as u32,
+            },
+        );
+        if let Some(doc) = render_doc(&attr.doc, doc_style, rng) {
+            schema
+                .set_doc(el, Documentation::generated(doc))
+                .expect("element exists");
+        }
+    }
+    anchor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> GeneratorConfig {
+        GeneratorConfig::paper_case_study(seed, 0.1) // 138 × 78
+    }
+
+    #[test]
+    fn exact_element_counts() {
+        let cfg = small_config(1);
+        let pair = SchemaPair::generate(&cfg);
+        assert_eq!(pair.source.len(), cfg.source_elements);
+        assert_eq!(pair.target.len(), cfg.target_elements);
+        pair.source.validate().unwrap();
+        pair.target.validate().unwrap();
+    }
+
+    #[test]
+    fn full_paper_scale_counts() {
+        let cfg = GeneratorConfig::paper_case_study(7, 1.0);
+        let pair = SchemaPair::generate(&cfg);
+        assert_eq!(pair.source.len(), 1378);
+        assert_eq!(pair.target.len(), 784);
+        assert_eq!(pair.source.format, SchemaFormat::Relational);
+        assert_eq!(pair.target.format, SchemaFormat::Xml);
+    }
+
+    #[test]
+    fn overlap_close_to_configured() {
+        let cfg = GeneratorConfig::paper_case_study(3, 1.0);
+        let pair = SchemaPair::generate(&cfg);
+        let overlap = pair.actual_target_overlap();
+        assert!(
+            (overlap - 0.34).abs() < 0.02,
+            "planted overlap {overlap} should be ≈ 0.34"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SchemaPair::generate(&small_config(5));
+        let b = SchemaPair::generate(&small_config(5));
+        let names_a: Vec<String> = a.source.preorder().map(|e| e.name.clone()).collect();
+        let names_b: Vec<String> = b.source.preorder().map(|e| e.name.clone()).collect();
+        assert_eq!(names_a, names_b);
+        assert_eq!(a.truth.len(), b.truth.len());
+        let c = SchemaPair::generate(&small_config(6));
+        let names_c: Vec<String> = c.source.preorder().map(|e| e.name.clone()).collect();
+        assert_ne!(names_a, names_c);
+    }
+
+    #[test]
+    fn ground_truth_pairs_share_semantics() {
+        let pair = SchemaPair::generate(&small_config(11));
+        assert!(!pair.truth.is_empty());
+        for &(s, t) in pair.truth.pairs() {
+            let ss = pair.truth.source_semantics.get(&s).expect("source semantic");
+            let ts = pair.truth.target_semantics.get(&t).expect("target semantic");
+            assert_eq!(ss, ts, "paired elements must realize the same atom");
+        }
+    }
+
+    #[test]
+    fn truth_pairs_reference_real_elements() {
+        let pair = SchemaPair::generate(&small_config(13));
+        for &(s, t) in pair.truth.pairs() {
+            assert!(pair.source.get(s).is_some());
+            assert!(pair.target.get(t).is_some());
+        }
+    }
+
+    #[test]
+    fn anchors_are_depth_one_containers() {
+        let pair = SchemaPair::generate(&small_config(17));
+        for &(a, _) in &pair.source_anchors {
+            let e = pair.source.element(a);
+            assert_eq!(e.depth, 1);
+            assert_eq!(e.kind, ElementKind::Table);
+        }
+        for &(a, _) in &pair.target_anchors {
+            let e = pair.target.element(a);
+            assert_eq!(e.depth, 1);
+            assert_eq!(e.kind, ElementKind::ComplexType);
+        }
+        // Every root is an anchor.
+        assert_eq!(pair.source_anchors.len(), pair.source.roots().len());
+        assert_eq!(pair.target_anchors.len(), pair.target.roots().len());
+    }
+
+    #[test]
+    fn paper_scale_concept_counts_in_range() {
+        // The paper's engineers identified 140 concepts in S_A and 51 in
+        // S_B; with 6–12 attrs per concept the generator should land in the
+        // same regime.
+        let pair = SchemaPair::generate(&GeneratorConfig::paper_case_study(23, 1.0));
+        let n_src = pair.source_anchors.len();
+        let n_tgt = pair.target_anchors.len();
+        assert!((100..=220).contains(&n_src), "source concepts {n_src}");
+        assert!((55..=130).contains(&n_tgt), "target concepts {n_tgt}");
+    }
+
+    #[test]
+    fn zero_overlap_supported() {
+        let mut cfg = small_config(19);
+        cfg.overlap_of_target = 0.0;
+        let pair = SchemaPair::generate(&cfg);
+        assert!(pair.truth.is_empty());
+        assert_eq!(pair.actual_target_overlap(), 0.0);
+    }
+
+    #[test]
+    fn full_overlap_supported() {
+        let mut cfg = small_config(19);
+        cfg.overlap_of_target = 1.0;
+        let pair = SchemaPair::generate(&cfg);
+        let overlap = pair.actual_target_overlap();
+        assert!(overlap > 0.95, "overlap {overlap}");
+    }
+
+    #[test]
+    fn documentation_coverage_reflects_styles() {
+        let cfg = GeneratorConfig::paper_case_study(29, 0.5);
+        let pair = SchemaPair::generate(&cfg);
+        let src_cov = pair.source.doc_coverage();
+        let tgt_cov = pair.target.doc_coverage();
+        assert!(src_cov > 0.8, "rich source doc coverage {src_cov}");
+        assert!(
+            tgt_cov > 0.2 && tgt_cov < 0.55,
+            "sparse target doc coverage {tgt_cov}"
+        );
+    }
+}

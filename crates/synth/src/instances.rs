@@ -1,0 +1,242 @@
+//! Synthetic instance-value generation.
+//!
+//! Generates sampled column/element values for a generated schema so the
+//! conventional *instance-based* matching regime can be compared against the
+//! paper's documentation-based regime (experiment F9). Elements realizing
+//! the same semantic atom draw from the same underlying value distribution,
+//! so instance evidence is genuinely informative — exactly the property the
+//! paper says is often unavailable ("data … may not yet exist, or may be
+//! sensitive").
+
+use crate::ontology::SemanticId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sm_schema::instances::InstanceData;
+use sm_schema::{DataType, ElementId, Schema};
+use std::collections::HashMap;
+
+/// Configuration of instance sampling.
+#[derive(Debug, Clone)]
+pub struct InstanceConfig {
+    /// Seed; value distributions are keyed by semantic atom, not by schema,
+    /// so both sides of a pair should use the *same* seed.
+    pub seed: u64,
+    /// Sampled rows per element.
+    pub rows_per_element: usize,
+    /// Fraction of elements that have any data at all (systems in
+    /// development have empty tables).
+    pub coverage: f64,
+}
+
+impl Default for InstanceConfig {
+    fn default() -> Self {
+        InstanceConfig {
+            seed: 0,
+            rows_per_element: 24,
+            coverage: 0.9,
+        }
+    }
+}
+
+/// Generate instance samples for `schema`, given its element → semantic-atom
+/// map (from the generator's ground truth).
+pub fn generate_instances(
+    schema: &Schema,
+    semantics: &HashMap<ElementId, SemanticId>,
+    config: &InstanceConfig,
+) -> InstanceData {
+    let mut data = InstanceData::empty();
+    // Per-schema RNG decides coverage; per-atom RNGs decide values so the
+    // same atom yields overlapping value sets on both sides.
+    let mut coverage_rng = SmallRng::seed_from_u64(config.seed ^ schema.id.0 as u64 ^ 0xC0FF);
+    for e in schema.elements() {
+        if e.kind.is_container_like() {
+            continue;
+        }
+        if !coverage_rng.gen_bool(config.coverage.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let atom_key = match semantics.get(&e.id) {
+            Some(SemanticId::Attribute { concept, attr }) => {
+                (u64::from(*concept) << 20) | u64::from(*attr)
+            }
+            Some(SemanticId::Concept(c)) => u64::from(*c) << 40,
+            // Elements outside the atom space (fillers) get per-element
+            // streams: they will not overlap with anything.
+            None => 0xFFFF_0000 | u64::from(e.id.0),
+        };
+        let mut value_rng = SmallRng::seed_from_u64(config.seed ^ atom_key.wrapping_mul(0x9E37));
+        let values: Vec<String> = (0..config.rows_per_element)
+            .map(|_| render_value(e.datatype, atom_key, &mut value_rng))
+            .collect();
+        data.set(e.id, values);
+    }
+    data
+}
+
+/// Draw one value from the atom's distribution for the given type. The atom
+/// key biases the value range so different atoms of the same type still have
+/// distinguishable (and overlapping-within-atom) distributions.
+fn render_value(datatype: DataType, atom_key: u64, rng: &mut SmallRng) -> String {
+    let base = (atom_key % 9000) as i64;
+    match datatype {
+        DataType::Integer => (base * 10 + rng.gen_range(0..500)).to_string(),
+        DataType::Float => format!("{:.2}", base as f64 / 7.0 + rng.gen_range(0.0..90.0)),
+        DataType::Decimal { .. } => {
+            format!("{:.2}", base as f64 + rng.gen_range(0.0..1000.0))
+        }
+        DataType::Date => format!(
+            "20{:02}-{:02}-{:02}",
+            10 + (base % 15),
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28)
+        ),
+        DataType::DateTime => format!(
+            "20{:02}-{:02}-{:02}T{:02}:{:02}:00Z",
+            10 + (base % 15),
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28),
+            rng.gen_range(0..24),
+            rng.gen_range(0..60)
+        ),
+        DataType::Time => format!("{:02}:{:02}:00", rng.gen_range(0..24), rng.gen_range(0..60)),
+        DataType::Bool => if rng.gen_bool(0.5) { "true" } else { "false" }.to_string(),
+        DataType::Enum { variants } => {
+            let v = variants.max(2);
+            format!("CODE_{}_{}", base % 97, rng.gen_range(0..v))
+        }
+        DataType::Binary => format!("{:08x}", rng.gen::<u32>()),
+        DataType::Text { .. } | DataType::Unknown | DataType::None => {
+            // Word-like values drawn from an atom-specific mini-vocabulary.
+            let vocab_size = 12u64;
+            let pick = rng.gen_range(0..vocab_size);
+            format!("v{}w{}", atom_key % 9973, pick)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, SchemaPair};
+    use sm_schema::InstanceProfile;
+
+    fn pair() -> SchemaPair {
+        SchemaPair::generate(&GeneratorConfig::paper_case_study(9, 0.08))
+    }
+
+    #[test]
+    fn containers_get_no_values_and_coverage_respected() {
+        let p = pair();
+        let cfg = InstanceConfig {
+            coverage: 1.0,
+            ..Default::default()
+        };
+        let data = generate_instances(&p.source, &p.truth.source_semantics, &cfg);
+        for e in p.source.elements() {
+            if e.kind.is_container_like() {
+                assert!(data.get(e.id).is_none(), "{} is a container", e.name);
+            } else {
+                assert!(data.get(e.id).is_some());
+            }
+        }
+        let none = generate_instances(
+            &p.source,
+            &p.truth.source_semantics,
+            &InstanceConfig {
+                coverage: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn shared_atoms_share_value_distributions() {
+        let p = pair();
+        let cfg = InstanceConfig {
+            seed: 5,
+            rows_per_element: 30,
+            coverage: 1.0,
+        };
+        let src = generate_instances(&p.source, &p.truth.source_semantics, &cfg);
+        let tgt = generate_instances(&p.target, &p.truth.target_semantics, &cfg);
+        // For true leaf pairs, the profiles should be more similar than for
+        // random cross pairs.
+        let mut same_sim = Vec::new();
+        for &(s, t) in p.truth.pairs() {
+            let (Some(vs), Some(vt)) = (src.get(s), tgt.get(t)) else {
+                continue;
+            };
+            let ps = InstanceProfile::from_values(vs).unwrap();
+            let pt = InstanceProfile::from_values(vt).unwrap();
+            same_sim.push(ps.similarity(&pt));
+        }
+        assert!(!same_sim.is_empty());
+        let mean_same: f64 = same_sim.iter().sum::<f64>() / same_sim.len() as f64;
+        assert!(mean_same > 0.5, "true pairs should share values: {mean_same}");
+    }
+
+    #[test]
+    fn values_match_declared_types() {
+        let p = pair();
+        let cfg = InstanceConfig {
+            coverage: 1.0,
+            ..Default::default()
+        };
+        let data = generate_instances(&p.source, &p.truth.source_semantics, &cfg);
+        for e in p.source.elements() {
+            let Some(values) = data.get(e.id) else { continue };
+            assert_eq!(values.len(), cfg.rows_per_element);
+            match e.datatype {
+                DataType::Integer => {
+                    assert!(values.iter().all(|v| v.parse::<i64>().is_ok()), "{values:?}")
+                }
+                DataType::Date => {
+                    assert!(values.iter().all(|v| v.len() == 10 && v.contains('-')))
+                }
+                DataType::Bool => assert!(values.iter().all(|v| v == "true" || v == "false")),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = pair();
+        let cfg = InstanceConfig::default();
+        let a = generate_instances(&p.source, &p.truth.source_semantics, &cfg);
+        let b = generate_instances(&p.source, &p.truth.source_semantics, &cfg);
+        assert_eq!(a.len(), b.len());
+        for e in p.source.ids() {
+            assert_eq!(a.get(e), b.get(e));
+        }
+    }
+
+    #[test]
+    fn instance_voter_separates_true_from_false_pairs() {
+        use harmony_core::context::MatchContext;
+        use harmony_core::voter::{InstanceVoter, MatchVoter};
+        let p = pair();
+        let cfg = InstanceConfig {
+            seed: 5,
+            rows_per_element: 30,
+            coverage: 1.0,
+        };
+        let src = generate_instances(&p.source, &p.truth.source_semantics, &cfg);
+        let tgt = generate_instances(&p.target, &p.truth.target_semantics, &cfg);
+        let normalizer = sm_text::normalize::Normalizer::new();
+        let ctx =
+            MatchContext::build_with_instances(&p.source, &p.target, &normalizer, &src, &tgt);
+        let mut true_scores = Vec::new();
+        for &(s, t) in p.truth.pairs().iter().take(30) {
+            let v = InstanceVoter.vote(&ctx, s, t);
+            if !v.is_neutral() {
+                true_scores.push(v.value());
+            }
+        }
+        assert!(!true_scores.is_empty());
+        let mean_true: f64 = true_scores.iter().sum::<f64>() / true_scores.len() as f64;
+        assert!(mean_true > 0.1, "true pairs should vote positive: {mean_true}");
+    }
+}

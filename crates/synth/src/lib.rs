@@ -1,0 +1,40 @@
+//! # sm-synth — synthetic enterprise-schema workloads
+//!
+//! The paper's case study matched two proprietary military schemata (S_A:
+//! relational, 1378 elements; S_B: XML, 784 elements, reputedly a conceptual
+//! subset of S_A) that are not publicly available. Per the reproduction's
+//! substitution rule (see DESIGN.md §2) this crate generates schemata with
+//! the *statistical properties that drive matcher behaviour*:
+//!
+//! * element counts and tree shape (tables→columns, types→elements);
+//! * a latent **semantic atom** space shared between schemata, with a
+//!   controllable overlap rate (the paper measured 34% of S_B overlapping);
+//! * realistic **naming-convention noise**: abbreviation (`quantity`→`qty`),
+//!   synonym substitution (`begin`→`start`), case-convention changes, and
+//!   numeric suffixes — the processes behind the paper's example pair
+//!   `DATE_BEGIN_156 ⇔ DATETIME_FIRST_INFO`;
+//! * generated element **documentation** with controllable coverage, since
+//!   Harmony "relies heavily on textual documentation".
+//!
+//! Because atoms are planted, every generated pair carries exact
+//! [`GroundTruth`], enabling precision/recall evaluation the original
+//! engagement could not perform.
+
+#![warn(missing_docs)]
+
+pub mod docgen;
+pub mod evolution;
+pub mod generator;
+pub mod instances;
+pub mod groundtruth;
+pub mod naming;
+pub mod ontology;
+pub mod repository;
+
+pub use evolution::{evolve, EvolutionConfig, VersionPair};
+pub use generator::{GeneratorConfig, SchemaPair};
+pub use instances::{generate_instances, InstanceConfig};
+pub use groundtruth::{GroundTruth, PrEval};
+pub use naming::{Case, NamingStyle};
+pub use ontology::{AttributeSpec, ConceptSpec, Ontology};
+pub use repository::{RepositoryConfig, SyntheticRepository};

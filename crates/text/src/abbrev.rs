@@ -1,0 +1,233 @@
+//! Abbreviation expansion.
+//!
+//! Enterprise schemata abound with contractions (`QTY`, `DT`, `ORG_NM`). The
+//! dictionary maps common abbreviations to their expansions so that the name
+//! voter sees `quantity` for both `QTY` and `Quantity`. Users can extend the
+//! dictionary with enterprise-specific entries (e.g. military designators).
+
+use std::collections::HashMap;
+
+/// Built-in expansions common across enterprise data models.
+const BUILTIN: &[(&str, &str)] = &[
+    ("acct", "account"),
+    ("addr", "address"),
+    ("amt", "amount"),
+    ("avg", "average"),
+    ("bgn", "begin"),
+    ("cat", "category"),
+    ("cd", "code"),
+    ("cmt", "comment"),
+    ("cnt", "count"),
+    ("ctry", "country"),
+    ("curr", "current"),
+    ("dept", "department"),
+    ("desc", "description"),
+    ("descr", "description"),
+    ("dest", "destination"),
+    ("dob", "birth date"),
+    ("doc", "document"),
+    ("dt", "date"),
+    ("dtg", "date time group"),
+    ("dttm", "datetime"),
+    ("eff", "effective"),
+    ("emp", "employee"),
+    ("eqpt", "equipment"),
+    ("est", "estimated"),
+    ("evt", "event"),
+    ("fname", "first name"),
+    ("freq", "frequency"),
+    ("geo", "geographic"),
+    ("gp", "group"),
+    ("grp", "group"),
+    ("hosp", "hospital"),
+    ("hq", "headquarters"),
+    ("id", "identifier"),
+    ("ident", "identifier"),
+    ("lat", "latitude"),
+    ("lname", "last name"),
+    ("loc", "location"),
+    ("lon", "longitude"),
+    ("lvl", "level"),
+    ("max", "maximum"),
+    ("mgr", "manager"),
+    ("mil", "military"),
+    ("min", "minimum"),
+    ("msg", "message"),
+    ("mun", "munition"),
+    ("nat", "national"),
+    ("nbr", "number"),
+    ("nm", "name"),
+    ("no", "number"),
+    ("num", "number"),
+    ("obj", "object"),
+    ("obs", "observation"),
+    ("ord", "order"),
+    ("org", "organization"),
+    ("orig", "origin"),
+    ("pct", "percent"),
+    ("pers", "person"),
+    ("phn", "phone"),
+    ("pos", "position"),
+    ("prev", "previous"),
+    ("pri", "priority"),
+    ("proj", "project"),
+    ("psn", "position"),
+    ("qty", "quantity"),
+    ("ref", "reference"),
+    ("rgn", "region"),
+    ("rpt", "report"),
+    ("sched", "schedule"),
+    ("src", "source"),
+    ("sta", "station"),
+    ("stat", "status"),
+    ("std", "standard"),
+    ("svc", "service"),
+    ("sys", "system"),
+    ("tgt", "target"),
+    ("tm", "time"),
+    ("trk", "track"),
+    ("txt", "text"),
+    ("typ", "type"),
+    ("uom", "unit of measure"),
+    ("upd", "update"),
+    ("veh", "vehicle"),
+    ("ver", "version"),
+    ("wpn", "weapon"),
+    ("xfer", "transfer"),
+];
+
+/// An abbreviation-expansion dictionary.
+///
+/// Expansions may be multi-word (`dob` → `birth date`); [`AbbrevDict::expand`]
+/// splits them back into tokens.
+#[derive(Debug, Clone)]
+pub struct AbbrevDict {
+    map: HashMap<String, Vec<String>>,
+}
+
+impl AbbrevDict {
+    /// Dictionary with only the built-in entries.
+    pub fn builtin() -> Self {
+        let mut map = HashMap::with_capacity(BUILTIN.len());
+        for (k, v) in BUILTIN {
+            map.insert(
+                (*k).to_string(),
+                v.split_whitespace().map(str::to_string).collect(),
+            );
+        }
+        AbbrevDict { map }
+    }
+
+    /// Empty dictionary (expansion disabled).
+    pub fn empty() -> Self {
+        AbbrevDict {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Add or override an entry. `expansion` may contain several words.
+    pub fn insert(&mut self, abbrev: impl Into<String>, expansion: &str) {
+        self.map.insert(
+            abbrev.into().to_lowercase(),
+            expansion
+                .to_lowercase()
+                .split_whitespace()
+                .map(str::to_string)
+                .collect(),
+        );
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Expand one token. Returns the expansion tokens, or the token itself.
+    pub fn expand(&self, token: &str) -> Vec<String> {
+        match self.map.get(token) {
+            Some(exp) => exp.clone(),
+            None => vec![token.to_string()],
+        }
+    }
+
+    /// Expand every token in a list, flattening multi-word expansions.
+    pub fn expand_all(&self, tokens: &[String]) -> Vec<String> {
+        let mut out = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            out.extend(self.expand(t));
+        }
+        out
+    }
+
+    /// Does the dictionary know this abbreviation?
+    pub fn contains(&self, token: &str) -> bool {
+        self.map.contains_key(token)
+    }
+
+    /// Iterate `(abbreviation, expansion-tokens)` entries. Used by workload
+    /// generators to build the *reverse* (abbreviating) map, so synthetic
+    /// name noise and matcher normalization share one vocabulary.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
+
+impl Default for AbbrevDict {
+    fn default() -> Self {
+        AbbrevDict::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn builtin_expansions() {
+        let d = AbbrevDict::builtin();
+        assert_eq!(d.expand("qty"), v(&["quantity"]));
+        assert_eq!(d.expand("dob"), v(&["birth", "date"]));
+        assert_eq!(d.expand("vehicle"), v(&["vehicle"]), "unknown passes through");
+    }
+
+    #[test]
+    fn expand_all_flattens() {
+        let d = AbbrevDict::builtin();
+        assert_eq!(
+            d.expand_all(&v(&["pers", "dob"])),
+            v(&["person", "birth", "date"])
+        );
+    }
+
+    #[test]
+    fn custom_entries_override() {
+        let mut d = AbbrevDict::builtin();
+        d.insert("COI", "community of interest");
+        assert_eq!(d.expand("coi"), v(&["community", "of", "interest"]));
+        d.insert("dt", "delta");
+        assert_eq!(d.expand("dt"), v(&["delta"]));
+    }
+
+    #[test]
+    fn empty_dictionary_is_identity() {
+        let d = AbbrevDict::empty();
+        assert!(d.is_empty());
+        assert_eq!(d.expand_all(&v(&["qty", "dt"])), v(&["qty", "dt"]));
+    }
+
+    #[test]
+    fn builtin_has_expected_scale() {
+        let d = AbbrevDict::builtin();
+        assert!(d.len() >= 70, "dictionary unexpectedly small: {}", d.len());
+        assert!(d.contains("org") && d.contains("wpn"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # sm-text — linguistic preprocessing substrate
+//!
+//! The Harmony match engine "begins with linguistic preprocessing (e.g.,
+//! tokenization and stemming) of element names and any associated
+//! documentation" (CIDR 2009, §3.2). This crate implements that layer from
+//! scratch:
+//!
+//! * [`tokenize`] — splits identifiers like `DATE_BEGIN_156` or
+//!   `DateTimeFirstInfo` into word tokens.
+//! * [`stem`] — a full Porter stemmer.
+//! * [`stopwords`] — a stopword list tuned for schema documentation.
+//! * [`abbrev`] — an abbreviation-expansion dictionary covering the
+//!   contractions endemic to enterprise schemata (`qty`, `dt`, `org`, …).
+//! * [`normalize`] — the composed pipeline producing a canonical token bag.
+//! * [`similarity`] — classical string-similarity measures (Levenshtein,
+//!   Jaro-Winkler, n-gram Jaccard/Dice, LCS, Monge-Elkan).
+//! * [`tfidf`] — a TF-IDF vector-space model over documentation text, with
+//!   cosine similarity; the workhorse of the documentation voter.
+//! * [`soundex`] — phonetic encoding, a cheap extra evidence source.
+
+#![warn(missing_docs)]
+
+pub mod abbrev;
+pub mod normalize;
+pub mod soundex;
+pub mod stem;
+pub mod stopwords;
+pub mod similarity;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use abbrev::AbbrevDict;
+pub use normalize::{NormalizeOptions, Normalizer, TokenBag};
+pub use stem::porter_stem;
+pub use tfidf::{Corpus, DocVector};
+pub use tokenize::tokenize_identifier;

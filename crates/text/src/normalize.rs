@@ -1,0 +1,289 @@
+//! The composed normalization pipeline.
+//!
+//! Turns a raw element name (and optionally documentation prose) into a
+//! canonical [`TokenBag`]: tokenize → strip schema noise → expand
+//! abbreviations → strip stopwords → stem. Every stage is switchable so the
+//! ablation experiments can isolate each stage's contribution.
+
+use crate::abbrev::AbbrevDict;
+use crate::stem::porter_stem;
+use crate::stopwords::{strip_prose_stopwords, strip_schema_noise};
+use crate::tokenize::{tokenize_identifier, tokenize_prose};
+use std::collections::HashMap;
+
+/// Which pipeline stages to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalizeOptions {
+    /// Drop `tbl`/`col`-style schema-noise tokens from names.
+    pub strip_noise: bool,
+    /// Expand abbreviations via the dictionary.
+    pub expand_abbrevs: bool,
+    /// Drop English stopwords (applied to prose, not names).
+    pub strip_stopwords: bool,
+    /// Porter-stem tokens.
+    pub stem: bool,
+    /// Drop purely numeric tokens from names (`156` in `DATE_BEGIN_156`).
+    pub drop_numeric: bool,
+}
+
+impl Default for NormalizeOptions {
+    fn default() -> Self {
+        NormalizeOptions {
+            strip_noise: true,
+            expand_abbrevs: true,
+            strip_stopwords: true,
+            stem: true,
+            drop_numeric: true,
+        }
+    }
+}
+
+impl NormalizeOptions {
+    /// Everything off: raw lowercase tokenization only.
+    pub fn raw() -> Self {
+        NormalizeOptions {
+            strip_noise: false,
+            expand_abbrevs: false,
+            strip_stopwords: false,
+            stem: false,
+            drop_numeric: false,
+        }
+    }
+}
+
+/// A normalized multiset of tokens with counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TokenBag {
+    /// Tokens in normalized order (duplicates preserved).
+    pub tokens: Vec<String>,
+}
+
+impl TokenBag {
+    /// Number of tokens (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no tokens survived normalization.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Token counts as a map.
+    pub fn counts(&self) -> HashMap<&str, usize> {
+        let mut m: HashMap<&str, usize> = HashMap::with_capacity(self.tokens.len());
+        for t in &self.tokens {
+            *m.entry(t.as_str()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Number of shared tokens (multiset intersection size) with `other`.
+    pub fn overlap(&self, other: &TokenBag) -> usize {
+        let a = self.counts();
+        let b = other.counts();
+        a.iter()
+            .map(|(t, &ca)| ca.min(b.get(t).copied().unwrap_or(0)))
+            .sum()
+    }
+
+    /// Jaccard similarity over token *sets*.
+    pub fn jaccard(&self, other: &TokenBag) -> f64 {
+        use std::collections::HashSet;
+        let a: HashSet<&str> = self.tokens.iter().map(String::as_str).collect();
+        let b: HashSet<&str> = other.tokens.iter().map(String::as_str).collect();
+        crate::similarity::set_jaccard(&a, &b)
+    }
+
+    /// Join tokens with spaces (handy for display and TF-IDF ingestion).
+    pub fn joined(&self) -> String {
+        self.tokens.join(" ")
+    }
+}
+
+/// Stateful normalizer owning the abbreviation dictionary.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    /// Stage switches.
+    pub options: NormalizeOptions,
+    dict: AbbrevDict,
+}
+
+impl Normalizer {
+    /// Normalizer with default options and the built-in dictionary.
+    pub fn new() -> Self {
+        Normalizer {
+            options: NormalizeOptions::default(),
+            dict: AbbrevDict::builtin(),
+        }
+    }
+
+    /// Normalizer with explicit options.
+    pub fn with_options(options: NormalizeOptions) -> Self {
+        Normalizer {
+            options,
+            dict: AbbrevDict::builtin(),
+        }
+    }
+
+    /// Replace the abbreviation dictionary.
+    pub fn with_dict(mut self, dict: AbbrevDict) -> Self {
+        self.dict = dict;
+        self
+    }
+
+    /// Access the dictionary (e.g. to extend it).
+    pub fn dict_mut(&mut self) -> &mut AbbrevDict {
+        &mut self.dict
+    }
+
+    /// Normalize an element *name* (identifier conventions).
+    pub fn name(&self, raw: &str) -> TokenBag {
+        let mut tokens = tokenize_identifier(raw);
+        if self.options.drop_numeric {
+            let non_numeric: Vec<String> = tokens
+                .iter()
+                .filter(|t| !t.chars().all(|c| c.is_ascii_digit()))
+                .cloned()
+                .collect();
+            if !non_numeric.is_empty() {
+                tokens = non_numeric;
+            }
+        }
+        if self.options.strip_noise {
+            tokens = strip_schema_noise(tokens);
+        }
+        if self.options.expand_abbrevs {
+            tokens = self.dict.expand_all(&tokens);
+        }
+        if self.options.stem {
+            tokens = tokens.iter().map(|t| porter_stem(t)).collect();
+        }
+        TokenBag { tokens }
+    }
+
+    /// Normalize documentation *prose*.
+    pub fn prose(&self, raw: &str) -> TokenBag {
+        let mut tokens = tokenize_prose(raw);
+        if self.options.strip_stopwords {
+            tokens = strip_prose_stopwords(tokens);
+        }
+        if self.options.expand_abbrevs {
+            tokens = self.dict.expand_all(&tokens);
+        }
+        if self.options.stem {
+            tokens = tokens.iter().map(|t| porter_stem(t)).collect();
+        }
+        TokenBag { tokens }
+    }
+}
+
+impl Default for Normalizer {
+    fn default() -> Self {
+        Normalizer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_pair_shares_tokens_after_normalization() {
+        // The paper's example match: DATE_BEGIN_156 ⇔ DATETIME_FIRST_INFO.
+        let n = Normalizer::new();
+        let a = n.name("DATE_BEGIN_156");
+        let b = n.name("DATETIME_FIRST_INFO");
+        // `datetime` splits only if camel/underscore separated; here it stays
+        // one token, but `date` survives in bag a. Overlap may be zero —
+        // what matters is neither bag is empty and numerics are gone.
+        assert!(!a.tokens.contains(&"156".to_string()));
+        assert!(!a.is_empty() && !b.is_empty());
+    }
+
+    #[test]
+    fn abbreviations_expand_in_names() {
+        let n = Normalizer::new();
+        let a = n.name("PERS_DOB");
+        assert_eq!(
+            a.tokens,
+            vec![
+                porter_stem("person"),
+                porter_stem("birth"),
+                porter_stem("date")
+            ]
+        );
+    }
+
+    #[test]
+    fn noise_stripped_from_names() {
+        let n = Normalizer::new();
+        assert_eq!(n.name("TBL_PERSON").tokens, vec![porter_stem("person")]);
+    }
+
+    #[test]
+    fn all_numeric_name_keeps_tokens() {
+        let n = Normalizer::new();
+        assert_eq!(n.name("156").tokens, vec!["156"]);
+    }
+
+    #[test]
+    fn raw_options_do_nothing_but_tokenize() {
+        let n = Normalizer::with_options(NormalizeOptions::raw());
+        assert_eq!(
+            n.name("TBL_PERS_156").tokens,
+            vec!["tbl", "pers", "156"]
+        );
+    }
+
+    #[test]
+    fn prose_strips_stopwords_and_stems() {
+        let n = Normalizer::new();
+        let bag = n.prose("the date on which the event began");
+        assert!(!bag.tokens.iter().any(|t| t == "the" || t == "on"));
+        assert!(bag.tokens.contains(&porter_stem("date")));
+        assert!(bag.tokens.contains(&porter_stem("event")));
+    }
+
+    #[test]
+    fn overlap_and_jaccard() {
+        let n = Normalizer::new();
+        let a = n.name("event_begin_date");
+        let b = n.name("begin_date");
+        assert_eq!(a.overlap(&b), 2);
+        assert!((a.jaccard(&b) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(TokenBag::default().overlap(&a), 0);
+        assert_eq!(TokenBag::default().jaccard(&TokenBag::default()), 1.0);
+    }
+
+    #[test]
+    fn counts_respect_multiplicity() {
+        let bag = TokenBag {
+            tokens: vec!["a".into(), "a".into(), "b".into()],
+        };
+        let c = bag.counts();
+        assert_eq!(c["a"], 2);
+        assert_eq!(c["b"], 1);
+        let other = TokenBag {
+            tokens: vec!["a".into()],
+        };
+        assert_eq!(bag.overlap(&other), 1);
+    }
+
+    #[test]
+    fn shared_stem_connects_singular_plural() {
+        let n = Normalizer::new();
+        let a = n.name("vehicle_locations");
+        let b = n.name("VehicleLocation");
+        assert_eq!(a.overlap(&b), 2);
+    }
+
+    #[test]
+    fn custom_dictionary_applies() {
+        let mut n = Normalizer::new();
+        n.dict_mut().insert("jtf", "joint task force");
+        let bag = n.name("JTF_NAME");
+        assert!(bag.tokens.contains(&porter_stem("joint")));
+        assert!(bag.tokens.contains(&porter_stem("force")));
+    }
+}

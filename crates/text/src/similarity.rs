@@ -1,0 +1,290 @@
+//! Classical string-similarity measures.
+//!
+//! Each measure returns a similarity in `[0, 1]` with `1` meaning identical.
+//! They are the raw signals consumed by the Harmony-style name voters; the
+//! voters are responsible for turning them into evidence-weighted confidence
+//! scores.
+
+use crate::tokenize::char_ngrams;
+use std::collections::HashSet;
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row DP.
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let val = (row[j] + 1).min(row[j + 1] + 1).min(prev_diag + cost);
+            prev_diag = row[j + 1];
+            row[j + 1] = val;
+        }
+    }
+    row[b.len()]
+}
+
+/// Levenshtein similarity: `1 − distance / max_len`, in `[0, 1]`.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                b_matched[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_matched.iter())
+        .filter(|(_, &used)| used)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with standard scaling factor 0.1 and a prefix of
+/// at most 4 characters.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+}
+
+/// Jaccard similarity of character n-gram sets.
+pub fn ngram_jaccard(a: &str, b: &str, n: usize) -> f64 {
+    let ga: HashSet<String> = char_ngrams(a, n).into_iter().collect();
+    let gb: HashSet<String> = char_ngrams(b, n).into_iter().collect();
+    set_jaccard(&ga, &gb)
+}
+
+/// Dice coefficient of character n-gram sets.
+pub fn ngram_dice(a: &str, b: &str, n: usize) -> f64 {
+    let ga: HashSet<String> = char_ngrams(a, n).into_iter().collect();
+    let gb: HashSet<String> = char_ngrams(b, n).into_iter().collect();
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let inter = ga.intersection(&gb).count();
+    2.0 * inter as f64 / (ga.len() + gb.len()) as f64
+}
+
+/// Jaccard similarity of two pre-built sets.
+pub fn set_jaccard<T: std::hash::Hash + Eq>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Length of the longest common subsequence of two strings.
+pub fn lcs_len(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut row = vec![0usize; b.len() + 1];
+    for &ca in &a {
+        let mut prev_diag = 0usize;
+        for (j, &cb) in b.iter().enumerate() {
+            let tmp = row[j + 1];
+            row[j + 1] = if ca == cb {
+                prev_diag + 1
+            } else {
+                row[j + 1].max(row[j])
+            };
+            prev_diag = tmp;
+        }
+    }
+    row[b.len()]
+}
+
+/// LCS similarity: `lcs / max_len`, in `[0, 1]`.
+pub fn lcs_sim(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    lcs_len(a, b) as f64 / max_len as f64
+}
+
+/// Monge-Elkan similarity of two token lists under an inner measure: the
+/// average over tokens of `a` of the best inner similarity against tokens of
+/// `b`, symmetrized by averaging both directions.
+pub fn monge_elkan<F>(a: &[String], b: &[String], inner: F) -> f64
+where
+    F: Fn(&str, &str) -> f64,
+{
+    fn directed<F: Fn(&str, &str) -> f64>(xs: &[String], ys: &[String], inner: &F) -> f64 {
+        if xs.is_empty() {
+            return if ys.is_empty() { 1.0 } else { 0.0 };
+        }
+        if ys.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = xs
+            .iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| inner(x, y))
+                    .fold(0.0_f64, f64::max)
+            })
+            .sum();
+        total / xs.len() as f64
+    }
+    (directed(a, b, &inner) + directed(b, a, &inner)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_sim_range_and_identity() {
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert_eq!(levenshtein_sim("date", "date"), 1.0);
+        let s = levenshtein_sim("date", "datetime");
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        // Classic reference pairs (rounded).
+        assert!((jaro("martha", "marhta") - 0.944444).abs() < 1e-5);
+        assert!((jaro("dixon", "dicksonx") - 0.766667).abs() < 1e-5);
+        assert!((jaro("duane", "dwayne") - 0.822222).abs() < 1e-5);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_common_prefix() {
+        let jw = jaro_winkler("martha", "marhta");
+        assert!((jw - 0.961111).abs() < 1e-5);
+        assert!(jaro_winkler("prefixed", "prefixes") > jaro("prefixed", "prefixes"));
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn ngram_measures() {
+        assert_eq!(ngram_jaccard("night", "night", 2), 1.0);
+        assert!(ngram_jaccard("night", "nacht", 2) > 0.0);
+        assert!(ngram_dice("night", "nacht", 2) >= ngram_jaccard("night", "nacht", 2));
+        assert_eq!(ngram_jaccard("", "", 2), 1.0);
+        assert_eq!(ngram_jaccard("ab", "", 2), 0.0);
+    }
+
+    #[test]
+    fn lcs_basics() {
+        assert_eq!(lcs_len("ABCBDAB", "BDCABA"), 4);
+        assert_eq!(lcs_len("", "x"), 0);
+        assert_eq!(lcs_sim("abc", "abc"), 1.0);
+        assert_eq!(lcs_sim("", ""), 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_token_lists() {
+        let v = |ws: &[&str]| ws.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let a = v(&["date", "begin"]);
+        let b = v(&["begin", "date"]);
+        // Order-insensitive for perfect token matches.
+        assert!((monge_elkan(&a, &b, jaro_winkler) - 1.0).abs() < 1e-12);
+        // Partial overlap scores between 0 and 1.
+        let c = v(&["datetime", "first", "info"]);
+        let s = monge_elkan(&a, &c, jaro_winkler);
+        assert!(s > 0.3 && s < 1.0, "{s}");
+        // Empty lists.
+        assert_eq!(monge_elkan(&v(&[]), &v(&[]), jaro_winkler), 1.0);
+        assert_eq!(monge_elkan(&a, &v(&[]), jaro_winkler), 0.0);
+    }
+
+    #[test]
+    fn all_measures_bounded_and_symmetric() {
+        let pairs = [
+            ("DATE_BEGIN", "DATETIME_FIRST"),
+            ("person", "personnel"),
+            ("", "x"),
+            ("unit", "unit"),
+            ("a", "b"),
+        ];
+        for (a, b) in pairs {
+            for (name, s_ab, s_ba) in [
+                ("lev", levenshtein_sim(a, b), levenshtein_sim(b, a)),
+                ("jaro", jaro(a, b), jaro(b, a)),
+                ("ngram", ngram_jaccard(a, b, 2), ngram_jaccard(b, a, 2)),
+                ("dice", ngram_dice(a, b, 2), ngram_dice(b, a, 2)),
+                ("lcs", lcs_sim(a, b), lcs_sim(b, a)),
+            ] {
+                assert!((0.0..=1.0).contains(&s_ab), "{name}({a},{b}) = {s_ab}");
+                assert!((s_ab - s_ba).abs() < 1e-12, "{name} not symmetric");
+            }
+        }
+    }
+}

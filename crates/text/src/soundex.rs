@@ -1,0 +1,113 @@
+//! American Soundex phonetic encoding.
+//!
+//! A cheap auxiliary evidence source: element names that were spelled
+//! differently by different teams (`SMITH`/`SMYTHE`) often encode alike.
+
+/// Encode a word with American Soundex (letter + 3 digits, e.g. `R163`).
+///
+/// Non-alphabetic characters are ignored; an input with no ASCII letters
+/// yields an empty string.
+pub fn soundex(word: &str) -> String {
+    let letters: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let Some(&first) = letters.first() else {
+        return String::new();
+    };
+
+    fn code(c: char) -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            // 0 = vowels and others; they separate duplicate codes except H/W.
+            'H' | 'W' => 7, // special: do NOT separate duplicates
+            _ => 0,
+        }
+    }
+
+    let mut out = String::with_capacity(4);
+    out.push(first);
+    let mut last_code = code(first);
+    for &c in &letters[1..] {
+        let k = code(c);
+        match k {
+            0 => last_code = 0,
+            7 => { /* H and W are transparent */ }
+            k if k != last_code => {
+                out.push(char::from(b'0' + k));
+                last_code = k;
+                if out.len() == 4 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    out
+}
+
+/// `1.0` when both words encode identically, else `0.0`. Empty encodings
+/// (non-alphabetic inputs) never match.
+pub fn soundex_sim(a: &str, b: &str) -> f64 {
+    let sa = soundex(a);
+    if sa.is_empty() {
+        return 0.0;
+    }
+    if sa == soundex(b) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_encodings() {
+        // Canonical examples from the Soundex specification.
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Ashcroft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex("Honeyman"), "H555");
+    }
+
+    #[test]
+    fn padding_and_truncation() {
+        assert_eq!(soundex("A"), "A000");
+        assert_eq!(soundex("Jackson"), "J250");
+        assert_eq!(soundex("Washington"), "W252");
+    }
+
+    #[test]
+    fn case_and_noise_insensitive() {
+        assert_eq!(soundex("smith"), soundex("SMITH"));
+        assert_eq!(soundex("o'brien"), soundex("OBrien"));
+    }
+
+    #[test]
+    fn non_alpha_empty() {
+        assert_eq!(soundex("123"), "");
+        assert_eq!(soundex(""), "");
+        assert_eq!(soundex_sim("123", "123"), 0.0);
+    }
+
+    #[test]
+    fn sim_is_binary() {
+        assert_eq!(soundex_sim("Smith", "Smythe"), 1.0);
+        assert_eq!(soundex_sim("Smith", "Jones"), 0.0);
+    }
+}

@@ -1,0 +1,370 @@
+//! The Porter stemming algorithm (Porter, 1980), implemented from scratch.
+//!
+//! Stemming lets the name voter equate `locations`/`location`,
+//! `begins`/`beginning`/`began`-adjacent forms, etc. The implementation
+//! follows the original paper's five steps; it operates on lowercase ASCII
+//! and passes non-ASCII tokens through unchanged.
+
+/// Stem a lowercase word with the Porter algorithm.
+///
+/// Words of length ≤ 2 and words containing non-ASCII-alphabetic characters
+/// are returned unchanged (numbers and codes must not be mangled).
+///
+/// ```
+/// use sm_text::porter_stem;
+/// assert_eq!(porter_stem("locations"), "locat");
+/// assert_eq!(porter_stem("identification"), "identif");
+/// assert_eq!(porter_stem("dates"), "date");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut w: Vec<u8> = word.as_bytes().to_vec();
+    step_1a(&mut w);
+    step_1b(&mut w);
+    step_1c(&mut w);
+    step_2(&mut w);
+    step_3(&mut w);
+    step_4(&mut w);
+    step_5a(&mut w);
+    step_5b(&mut w);
+    String::from_utf8(w).expect("ascii in, ascii out")
+}
+
+/// Is `w[i]` a consonant (in Porter's sense)?
+fn is_cons(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_cons(w, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's measure m of `w[..len]`: the number of VC sequences.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_cons(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_cons(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Skip consonants — completes one VC.
+        while i < len && is_cons(w, i) {
+            i += 1;
+        }
+        m += 1;
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+/// Does the stem `w[..len]` contain a vowel?
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_cons(w, i))
+}
+
+/// Does `w[..len]` end with a double consonant?
+fn ends_double_cons(w: &[u8], len: usize) -> bool {
+    len >= 2 && w[len - 1] == w[len - 2] && is_cons(w, len - 1)
+}
+
+/// Does `w[..len]` end consonant-vowel-consonant, where the final consonant
+/// is not w, x, or y? (Porter's *o condition.)
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    is_cons(w, len - 3)
+        && !is_cons(w, len - 2)
+        && is_cons(w, len - 1)
+        && !matches!(w[len - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &[u8]) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix
+}
+
+/// If `w` ends with `suffix` and the remaining stem has measure > `min_m`,
+/// replace the suffix with `rep` and return true.
+fn replace_if_m(w: &mut Vec<u8>, suffix: &[u8], rep: &[u8], min_m: usize) -> bool {
+    if ends_with(w, suffix) {
+        let stem_len = w.len() - suffix.len();
+        if measure(w, stem_len) > min_m {
+            w.truncate(stem_len);
+            w.extend_from_slice(rep);
+            return true;
+        }
+        // Suffix matched but condition failed: stop trying other suffixes in
+        // this rule group (Porter semantics: longest match wins regardless).
+        return true;
+    }
+    false
+}
+
+fn step_1a(w: &mut Vec<u8>) {
+    if ends_with(w, b"sses") {
+        w.truncate(w.len() - 2); // sses -> ss
+    } else if ends_with(w, b"ies") {
+        w.truncate(w.len() - 2); // ies -> i
+    } else if ends_with(w, b"ss") {
+        // unchanged
+    } else if ends_with(w, b"s") {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step_1b(w: &mut Vec<u8>) {
+    if ends_with(w, b"eed") {
+        if measure(w, w.len() - 3) > 0 {
+            w.truncate(w.len() - 1); // eed -> ee
+        }
+        return;
+    }
+    let stripped = if ends_with(w, b"ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        true
+    } else if ends_with(w, b"ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        true
+    } else {
+        false
+    };
+    if stripped {
+        if ends_with(w, b"at") || ends_with(w, b"bl") || ends_with(w, b"iz") {
+            w.push(b'e');
+        } else if ends_double_cons(w, w.len()) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+            w.truncate(w.len() - 1);
+        } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+fn step_1c(w: &mut [u8]) {
+    if ends_with(w, b"y") && has_vowel(w, w.len() - 1) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+}
+
+fn step_2(w: &mut Vec<u8>) {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"ational", b"ate"),
+        (b"tional", b"tion"),
+        (b"enci", b"ence"),
+        (b"anci", b"ance"),
+        (b"izer", b"ize"),
+        (b"abli", b"able"),
+        (b"alli", b"al"),
+        (b"entli", b"ent"),
+        (b"eli", b"e"),
+        (b"ousli", b"ous"),
+        (b"ization", b"ize"),
+        (b"ation", b"ate"),
+        (b"ator", b"ate"),
+        (b"alism", b"al"),
+        (b"iveness", b"ive"),
+        (b"fulness", b"ful"),
+        (b"ousness", b"ous"),
+        (b"aliti", b"al"),
+        (b"iviti", b"ive"),
+        (b"biliti", b"ble"),
+    ];
+    for (suf, rep) in RULES {
+        if replace_if_m(w, suf, rep, 0) {
+            return;
+        }
+    }
+}
+
+fn step_3(w: &mut Vec<u8>) {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"icate", b"ic"),
+        (b"ative", b""),
+        (b"alize", b"al"),
+        (b"iciti", b"ic"),
+        (b"ical", b"ic"),
+        (b"ful", b""),
+        (b"ness", b""),
+    ];
+    for (suf, rep) in RULES {
+        if replace_if_m(w, suf, rep, 0) {
+            return;
+        }
+    }
+}
+
+fn step_4(w: &mut Vec<u8>) {
+    const RULES: &[&[u8]] = &[
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+        b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+    ];
+    // "ion" requires the stem to end in s or t.
+    if ends_with(w, b"ion") {
+        let stem_len = w.len() - 3;
+        if stem_len > 0
+            && matches!(w[stem_len - 1], b's' | b't')
+            && measure(w, stem_len) > 1
+        {
+            w.truncate(stem_len);
+        }
+        return;
+    }
+    for suf in RULES {
+        if ends_with(w, suf) {
+            let stem_len = w.len() - suf.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+}
+
+fn step_5a(w: &mut Vec<u8>) {
+    if ends_with(w, b"e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step_5b(w: &mut Vec<u8>) {
+    if ends_with(w, b"ll") && measure(w, w.len()) > 1 {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Canonical examples from Porter's paper and the reference vocabulary.
+    #[test]
+    fn porter_reference_cases() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adoption", "adopt"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn schema_vocabulary_conflates() {
+        assert_eq!(porter_stem("locations"), porter_stem("location"));
+        assert_eq!(porter_stem("vehicles"), porter_stem("vehicle"));
+        assert_eq!(porter_stem("organizations"), porter_stem("organization"));
+        assert_eq!(porter_stem("identifiers"), porter_stem("identifier"));
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(porter_stem("id"), "id");
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem(""), "");
+    }
+
+    #[test]
+    fn non_ascii_and_codes_untouched() {
+        assert_eq!(porter_stem("état"), "état");
+        assert_eq!(porter_stem("abc123"), "abc123");
+        assert_eq!(porter_stem("156"), "156");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for w in [
+            "location", "vehicles", "beginning", "classified", "operations",
+            "dates", "information", "management", "personnel",
+        ] {
+            let once = porter_stem(w);
+            let twice = porter_stem(&once);
+            // Porter is not guaranteed idempotent in general, but must be on
+            // this schema vocabulary (guards against gross over-stemming).
+            assert_eq!(once, twice, "{w}");
+        }
+    }
+
+    #[test]
+    fn measure_helper() {
+        let w = |s: &str| s.as_bytes().to_vec();
+        assert_eq!(measure(&w("tr"), 2), 0);
+        assert_eq!(measure(&w("ee"), 2), 0);
+        assert_eq!(measure(&w("tree"), 4), 0);
+        assert_eq!(measure(&w("trouble"), 7), 1);
+        assert_eq!(measure(&w("oats"), 4), 1);
+        assert_eq!(measure(&w("trees"), 5), 1);
+        assert_eq!(measure(&w("troubles"), 8), 2);
+        assert_eq!(measure(&w("private"), 7), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Stopword filtering for schema names and documentation.
+//!
+//! Two lists: a standard English prose list (for documentation text) and a
+//! small *schema-noise* list of tokens that carry no discriminating power in
+//! element names (`tbl`, `col`, `fld`, `rec`, …). The name voter removes the
+//! latter so that `TBL_PERSON` matches `Person`.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// Standard English stopwords appropriate for terse documentation prose.
+const PROSE: &[&str] = &[
+    "a", "an", "and", "any", "are", "as", "at", "be", "been", "but", "by", "can", "do", "does",
+    "each", "for", "from", "had", "has", "have", "if", "in", "into", "is", "it", "its", "may",
+    "more", "most", "no", "not", "of", "on", "or", "other", "shall", "should", "so", "some",
+    "such", "than", "that", "the", "their", "them", "then", "there", "these", "they", "this",
+    "those", "to", "upon", "used", "uses", "using", "was", "were", "when", "where", "which",
+    "while", "who", "whose", "will", "with", "within", "would",
+];
+
+/// Tokens that are structural noise in element names.
+const SCHEMA_NOISE: &[&str] = &[
+    "tbl", "tab", "col", "fld", "rec", "idx", "pk", "fk", "vw", "seq", "tmp", "new", "old",
+];
+
+fn prose_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| PROSE.iter().copied().collect())
+}
+
+fn noise_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| SCHEMA_NOISE.iter().copied().collect())
+}
+
+/// Is `token` an English prose stopword? Expects lowercase input.
+pub fn is_prose_stopword(token: &str) -> bool {
+    prose_set().contains(token)
+}
+
+/// Is `token` schema-name noise (`tbl`, `col`, …)? Expects lowercase input.
+pub fn is_schema_noise(token: &str) -> bool {
+    noise_set().contains(token)
+}
+
+/// Remove prose stopwords from a token list, preserving order.
+pub fn strip_prose_stopwords(tokens: Vec<String>) -> Vec<String> {
+    tokens
+        .into_iter()
+        .filter(|t| !is_prose_stopword(t))
+        .collect()
+}
+
+/// Remove schema-noise tokens, preserving order. If stripping would empty the
+/// list, the original is returned (a name must keep at least one token).
+pub fn strip_schema_noise(tokens: Vec<String>) -> Vec<String> {
+    let stripped: Vec<String> = tokens
+        .iter()
+        .filter(|t| !is_schema_noise(t))
+        .cloned()
+        .collect();
+    if stripped.is_empty() {
+        tokens
+    } else {
+        stripped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn prose_stopwords_detected() {
+        assert!(is_prose_stopword("the"));
+        assert!(is_prose_stopword("of"));
+        assert!(!is_prose_stopword("vehicle"));
+        assert!(!is_prose_stopword("THE"), "expects lowercase input");
+    }
+
+    #[test]
+    fn strip_prose_keeps_content_words() {
+        assert_eq!(
+            strip_prose_stopwords(v(&["the", "date", "of", "the", "event"])),
+            v(&["date", "event"])
+        );
+    }
+
+    #[test]
+    fn schema_noise_detected() {
+        assert!(is_schema_noise("tbl"));
+        assert!(is_schema_noise("fk"));
+        assert!(!is_schema_noise("person"));
+    }
+
+    #[test]
+    fn strip_noise_never_empties() {
+        assert_eq!(strip_schema_noise(v(&["tbl", "person"])), v(&["person"]));
+        // All-noise name keeps its tokens rather than vanishing.
+        assert_eq!(strip_schema_noise(v(&["tbl", "idx"])), v(&["tbl", "idx"]));
+        assert!(strip_schema_noise(Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! TF-IDF vector-space model over documentation text.
+//!
+//! Harmony's documentation voter compares the documentation of a source and
+//! target element. Raw token overlap over-weights ubiquitous words ("code",
+//! "number"); TF-IDF down-weights them using corpus statistics gathered from
+//! *both* schemata being matched.
+
+use std::collections::HashMap;
+
+/// A term-frequency/inverse-document-frequency corpus.
+///
+/// Build it by [`Corpus::add_document`]-ing every element's token bag, then
+/// [`Corpus::finalize`] to compute IDF weights and obtain [`DocVector`]s.
+#[derive(Debug, Default)]
+pub struct Corpus {
+    /// term → document frequency.
+    doc_freq: HashMap<String, u32>,
+    /// Raw documents (term counts), retained until finalize.
+    documents: Vec<HashMap<String, u32>>,
+}
+
+/// A sparse, L2-normalized TF-IDF vector for one document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DocVector {
+    /// Sorted (term, weight) pairs; weights L2-normalize to 1 unless empty.
+    weights: Vec<(String, f64)>,
+    /// Number of raw tokens in the source document (evidence size).
+    pub token_count: usize,
+}
+
+impl Corpus {
+    /// Empty corpus.
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Add a document given its (already normalized) tokens. Returns the
+    /// document's index, which [`FinalizedCorpus::vector`] accepts after
+    /// [`Corpus::finalize`] (which consumes the corpus, so the index set is
+    /// fixed by construction).
+    pub fn add_document<S: AsRef<str>>(&mut self, tokens: &[S]) -> usize {
+        let mut counts: HashMap<String, u32> = HashMap::with_capacity(tokens.len());
+        for t in tokens {
+            *counts.entry(t.as_ref().to_string()).or_insert(0) += 1;
+        }
+        for term in counts.keys() {
+            *self.doc_freq.entry(term.clone()).or_insert(0) += 1;
+        }
+        self.documents.push(counts);
+        self.documents.len() - 1
+    }
+
+    /// Number of documents added so far.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// True when no documents were added.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Freeze the corpus and compute per-document TF-IDF vectors.
+    pub fn finalize(self) -> FinalizedCorpus {
+        let n = self.documents.len().max(1) as f64;
+        let idf: HashMap<String, f64> = self
+            .doc_freq
+            .iter()
+            .map(|(term, &df)| {
+                // Smoothed IDF; never negative, never zero.
+                (term.clone(), ((n + 1.0) / (f64::from(df) + 1.0)).ln() + 1.0)
+            })
+            .collect();
+        let vectors: Vec<DocVector> = self
+            .documents
+            .iter()
+            .map(|counts| {
+                let token_count = counts.values().map(|&c| c as usize).sum();
+                let mut weights: Vec<(String, f64)> = counts
+                    .iter()
+                    .map(|(term, &tf)| {
+                        let w = (1.0 + f64::from(tf).ln()) * idf[term];
+                        (term.clone(), w)
+                    })
+                    .collect();
+                let norm = weights.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+                if norm > 0.0 {
+                    for (_, w) in &mut weights {
+                        *w /= norm;
+                    }
+                }
+                weights.sort_by(|a, b| a.0.cmp(&b.0));
+                DocVector {
+                    weights,
+                    token_count,
+                }
+            })
+            .collect();
+        FinalizedCorpus { idf, vectors }
+    }
+}
+
+/// A finalized corpus: IDF table plus per-document vectors.
+#[derive(Debug)]
+pub struct FinalizedCorpus {
+    idf: HashMap<String, f64>,
+    vectors: Vec<DocVector>,
+}
+
+impl FinalizedCorpus {
+    /// The vector of document `index` (as returned by `add_document`).
+    pub fn vector(&self, index: usize) -> &DocVector {
+        &self.vectors[index]
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when the corpus contains no documents.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// IDF of a term (`None` for unseen terms).
+    pub fn idf(&self, term: &str) -> Option<f64> {
+        self.idf.get(term).copied()
+    }
+
+    /// Vectorize an out-of-corpus document against the frozen IDF table.
+    /// Unseen terms receive the maximum default IDF (they are maximally
+    /// discriminating within this corpus).
+    pub fn vectorize<S: AsRef<str>>(&self, tokens: &[S]) -> DocVector {
+        let default_idf = self
+            .idf
+            .values()
+            .fold(1.0_f64, |acc, &v| acc.max(v));
+        let mut counts: HashMap<&str, u32> = HashMap::with_capacity(tokens.len());
+        for t in tokens {
+            *counts.entry(t.as_ref()).or_insert(0) += 1;
+        }
+        let token_count = tokens.len();
+        let mut weights: Vec<(String, f64)> = counts
+            .iter()
+            .map(|(term, &tf)| {
+                let idf = self.idf.get(*term).copied().unwrap_or(default_idf);
+                ((*term).to_string(), (1.0 + f64::from(tf).ln()) * idf)
+            })
+            .collect();
+        let norm = weights.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in &mut weights {
+                *w /= norm;
+            }
+        }
+        weights.sort_by(|a, b| a.0.cmp(&b.0));
+        DocVector {
+            weights,
+            token_count,
+        }
+    }
+}
+
+impl DocVector {
+    /// Cosine similarity with another vector, in `[0, 1]` (vectors are
+    /// non-negative). Empty vectors have similarity 0 with everything.
+    pub fn cosine(&self, other: &DocVector) -> f64 {
+        // Sorted-merge dot product over sparse vectors.
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut dot = 0.0;
+        while i < self.weights.len() && j < other.weights.len() {
+            match self.weights[i].0.cmp(&other.weights[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += self.weights[i].1 * other.weights[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        dot.clamp(0.0, 1.0)
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the vector has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn identical_documents_have_cosine_one() {
+        let mut c = Corpus::new();
+        let a = c.add_document(&toks("date event began"));
+        let b = c.add_document(&toks("date event began"));
+        c.add_document(&toks("vehicle wheel size"));
+        let f = c.finalize();
+        assert!((f.vector(a).cosine(f.vector(b)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_documents_have_cosine_zero() {
+        let mut c = Corpus::new();
+        let a = c.add_document(&toks("date event"));
+        let b = c.add_document(&toks("vehicle wheel"));
+        let f = c.finalize();
+        assert_eq!(f.vector(a).cosine(f.vector(b)), 0.0);
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_terms() {
+        let mut c = Corpus::new();
+        // "code" appears everywhere; "latitude" in two documents only.
+        let q = c.add_document(&toks("latitude code"));
+        let rare_match = c.add_document(&toks("latitude code"));
+        let common_match = c.add_document(&toks("code status"));
+        for _ in 0..20 {
+            c.add_document(&toks("code something"));
+        }
+        let f = c.finalize();
+        let to_rare = f.vector(q).cosine(f.vector(rare_match));
+        let to_common = f.vector(q).cosine(f.vector(common_match));
+        assert!(
+            to_rare > to_common,
+            "rare-term match {to_rare} should beat common-term match {to_common}"
+        );
+    }
+
+    #[test]
+    fn empty_document_is_orthogonal() {
+        let mut c = Corpus::new();
+        let e = c.add_document::<&str>(&[]);
+        let a = c.add_document(&toks("date"));
+        let f = c.finalize();
+        assert_eq!(f.vector(e).cosine(f.vector(a)), 0.0);
+        assert!(f.vector(e).is_empty());
+        assert_eq!(f.vector(e).token_count, 0);
+    }
+
+    #[test]
+    fn vectorize_out_of_corpus() {
+        let mut c = Corpus::new();
+        let a = c.add_document(&toks("date event began"));
+        let f = c.finalize();
+        let v = f.vectorize(&toks("date event"));
+        assert!(v.cosine(f.vector(a)) > 0.5);
+        // Unseen terms get max IDF, not a panic.
+        let w = f.vectorize(&toks("zebra"));
+        assert_eq!(w.term_count(), 1);
+        assert_eq!(w.cosine(f.vector(a)), 0.0);
+    }
+
+    #[test]
+    fn cosine_bounded_and_symmetric() {
+        let mut c = Corpus::new();
+        let a = c.add_document(&toks("alpha beta gamma beta"));
+        let b = c.add_document(&toks("beta delta"));
+        let f = c.finalize();
+        let ab = f.vector(a).cosine(f.vector(b));
+        let ba = f.vector(b).cosine(f.vector(a));
+        assert!((0.0..=1.0).contains(&ab));
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_count_tracks_evidence() {
+        let mut c = Corpus::new();
+        let a = c.add_document(&toks("a b c a"));
+        let f = c.finalize();
+        assert_eq!(f.vector(a).token_count, 4);
+        assert_eq!(f.vector(a).term_count(), 3);
+    }
+
+    #[test]
+    fn idf_lookup() {
+        let mut c = Corpus::new();
+        c.add_document(&toks("common rare"));
+        c.add_document(&toks("common"));
+        let f = c.finalize();
+        assert!(f.idf("rare").unwrap() > f.idf("common").unwrap());
+        assert!(f.idf("absent").is_none());
+    }
+}

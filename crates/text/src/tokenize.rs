@@ -1,0 +1,181 @@
+//! Identifier and prose tokenization.
+//!
+//! Element names in enterprise schemata mix conventions freely — the paper's
+//! own example match is `DATE_BEGIN_156 ⇔ DATETIME_FIRST_INFO`. The tokenizer
+//! splits on underscores, hyphens, dots, whitespace, digit boundaries, and
+//! lowercase→uppercase camel transitions, then lowercases.
+
+/// Split an identifier into lowercase word tokens.
+///
+/// Rules, in order:
+/// * separators (`_`, `-`, `.`, `/`, whitespace, other punctuation) split;
+/// * a lower→upper transition splits (`dateBegin` → `date`, `begin`);
+/// * an upper→lower transition splits *before* the last upper
+///   (`XMLParser` → `xml`, `parser`);
+/// * letter↔digit transitions split (`begin156` → `begin`, `156`);
+/// * purely numeric tokens are kept (they may be meaningful suffixes but the
+///   normalizer can drop them later).
+///
+/// ```
+/// use sm_text::tokenize_identifier;
+/// assert_eq!(tokenize_identifier("DATE_BEGIN_156"), vec!["date", "begin", "156"]);
+/// assert_eq!(tokenize_identifier("DateTimeFirstInfo"), vec!["date", "time", "first", "info"]);
+/// assert_eq!(tokenize_identifier("XMLHttpRequest"), vec!["xml", "http", "request"]);
+/// ```
+pub fn tokenize_identifier(input: &str) -> Vec<String> {
+    let mut tokens: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = input.chars().collect();
+
+    let flush = |cur: &mut String, tokens: &mut Vec<String>| {
+        if !cur.is_empty() {
+            tokens.push(std::mem::take(cur).to_lowercase());
+        }
+    };
+
+    for i in 0..chars.len() {
+        let c = chars[i];
+        if !c.is_alphanumeric() {
+            flush(&mut cur, &mut tokens);
+            continue;
+        }
+        if let Some(&prev) = cur.chars().last().as_ref() {
+            let split = (prev.is_lowercase() && c.is_uppercase())
+                || (prev.is_alphabetic() && c.is_numeric())
+                || (prev.is_numeric() && c.is_alphabetic())
+                // ABCd → AB | Cd : split before the upper that precedes a lower.
+                || (prev.is_uppercase()
+                    && c.is_uppercase()
+                    && chars.get(i + 1).is_some_and(|n| n.is_lowercase()));
+            if split {
+                flush(&mut cur, &mut tokens);
+            }
+        }
+        cur.push(c);
+    }
+    flush(&mut cur, &mut tokens);
+    tokens
+}
+
+/// Tokenize prose (documentation text): split on non-alphanumerics and
+/// letter/digit boundaries, lowercase. Identical to identifier rules, which
+/// keeps the two vocabularies aligned for cross-evidence.
+pub fn tokenize_prose(input: &str) -> Vec<String> {
+    tokenize_identifier(input)
+}
+
+/// Character n-grams of a token (used by the n-gram similarity measures).
+/// Returns the token itself when shorter than `n`.
+pub fn char_ngrams(token: &str, n: usize) -> Vec<String> {
+    let chars: Vec<char> = token.chars().collect();
+    if n == 0 {
+        return Vec::new();
+    }
+    if chars.len() <= n {
+        return vec![token.to_string()];
+    }
+    (0..=chars.len() - n)
+        .map(|i| chars[i..i + n].iter().collect())
+        .collect()
+}
+
+/// Heuristic acronym of a token sequence: first letters, e.g.
+/// `["communities","of","interest"]` → `"coi"`.
+pub fn acronym_of(tokens: &[String]) -> String {
+    tokens
+        .iter()
+        .filter_map(|t| t.chars().next())
+        .collect::<String>()
+        .to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_case() {
+        assert_eq!(
+            tokenize_identifier("DATE_BEGIN_156"),
+            vec!["date", "begin", "156"]
+        );
+        assert_eq!(tokenize_identifier("last_name"), vec!["last", "name"]);
+    }
+
+    #[test]
+    fn camel_case() {
+        assert_eq!(
+            tokenize_identifier("dateTimeFirstInfo"),
+            vec!["date", "time", "first", "info"]
+        );
+        assert_eq!(tokenize_identifier("PersonId"), vec!["person", "id"]);
+    }
+
+    #[test]
+    fn upper_runs_split_before_trailing_lower() {
+        assert_eq!(
+            tokenize_identifier("XMLHttpRequest"),
+            vec!["xml", "http", "request"]
+        );
+        assert_eq!(tokenize_identifier("IDNumber"), vec!["id", "number"]);
+    }
+
+    #[test]
+    fn digit_boundaries() {
+        assert_eq!(tokenize_identifier("begin156end"), vec!["begin", "156", "end"]);
+        assert_eq!(tokenize_identifier("v2"), vec!["v", "2"]);
+    }
+
+    #[test]
+    fn punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize_identifier("unit-name.official designation"),
+            vec!["unit", "name", "official", "designation"]
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(tokenize_identifier("").is_empty());
+        assert!(tokenize_identifier("___--  ").is_empty());
+        assert_eq!(tokenize_identifier("A"), vec!["a"]);
+        assert_eq!(tokenize_identifier("42"), vec!["42"]);
+    }
+
+    #[test]
+    fn all_caps_single_token() {
+        assert_eq!(tokenize_identifier("VIN"), vec!["vin"]);
+        assert_eq!(tokenize_identifier("ALL_EVENT_VITALS"), vec!["all", "event", "vitals"]);
+    }
+
+    #[test]
+    fn unicode_is_not_mangled() {
+        assert_eq!(tokenize_identifier("crédit_état"), vec!["crédit", "état"]);
+    }
+
+    #[test]
+    fn ngrams_basic() {
+        assert_eq!(char_ngrams("date", 2), vec!["da", "at", "te"]);
+        assert_eq!(char_ngrams("ab", 3), vec!["ab"]);
+        assert_eq!(char_ngrams("abc", 3), vec!["abc"]);
+        assert!(char_ngrams("abc", 0).is_empty());
+    }
+
+    #[test]
+    fn acronym() {
+        let toks: Vec<String> = ["communities", "of", "interest"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(acronym_of(&toks), "coi");
+        assert_eq!(acronym_of(&[]), "");
+    }
+
+    #[test]
+    fn tokens_are_lowercase_alphanumeric() {
+        for t in tokenize_identifier("Some_WILD-MixOf42Styles") {
+            assert!(t.chars().all(|c| c.is_alphanumeric()));
+            assert_eq!(t, t.to_lowercase());
+        }
+    }
+}

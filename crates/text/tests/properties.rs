@@ -1,0 +1,124 @@
+//! Property-based tests of the linguistic substrate's invariants.
+
+use proptest::prelude::*;
+use sm_text::abbrev::AbbrevDict;
+use sm_text::normalize::{NormalizeOptions, Normalizer};
+use sm_text::soundex::soundex;
+use sm_text::stem::porter_stem;
+use sm_text::tfidf::Corpus;
+use sm_text::tokenize::{char_ngrams, tokenize_identifier};
+
+proptest! {
+    /// Soundex output is always empty or letter + 3 digits.
+    #[test]
+    fn soundex_format(s in ".{0,24}") {
+        let code = soundex(&s);
+        if !code.is_empty() {
+            prop_assert_eq!(code.len(), 4);
+            let bytes = code.as_bytes();
+            prop_assert!(bytes[0].is_ascii_uppercase());
+            prop_assert!(bytes[1..].iter().all(|b| b.is_ascii_digit()));
+        }
+    }
+
+    /// Soundex ignores case and non-letters entirely.
+    #[test]
+    fn soundex_case_insensitive(s in "[a-zA-Z]{1,12}") {
+        prop_assert_eq!(soundex(&s), soundex(&s.to_uppercase()));
+        let with_noise = format!("{}123-_", s);
+        prop_assert_eq!(soundex(&s), soundex(&with_noise));
+    }
+
+    /// Porter stemming is a pure function of the input (stable) and never
+    /// empties non-empty lowercase words.
+    #[test]
+    fn stemmer_stability(s in "[a-z]{1,24}") {
+        let a = porter_stem(&s);
+        let b = porter_stem(&s);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(!a.is_empty());
+    }
+
+    /// n-grams reconstruct the token's length arithmetic.
+    #[test]
+    fn ngram_count_arithmetic(s in "[a-z]{0,20}", n in 1usize..5) {
+        let grams = char_ngrams(&s, n);
+        let len = s.chars().count();
+        if len == 0 {
+            prop_assert_eq!(grams.len(), 1, "short tokens return themselves");
+        } else if len <= n {
+            prop_assert_eq!(grams.len(), 1);
+            prop_assert_eq!(&grams[0], &s);
+        } else {
+            prop_assert_eq!(grams.len(), len - n + 1);
+            for g in &grams {
+                prop_assert_eq!(g.chars().count(), n);
+            }
+        }
+    }
+
+    /// Abbreviation expansion of unknown tokens is the identity, and known
+    /// expansions never produce empty token lists.
+    #[test]
+    fn abbrev_expansion_total(s in "[a-z]{1,10}") {
+        let d = AbbrevDict::builtin();
+        let out = d.expand(&s);
+        prop_assert!(!out.is_empty());
+        if !d.contains(&s) {
+            prop_assert_eq!(out, vec![s.clone()]);
+        }
+    }
+
+    /// TF-IDF cosine is bounded, symmetric, and 1 on identical documents.
+    #[test]
+    fn tfidf_cosine_axioms(
+        doc_a in prop::collection::vec("[a-z]{1,6}", 1..10),
+        doc_b in prop::collection::vec("[a-z]{1,6}", 1..10),
+    ) {
+        let mut corpus = Corpus::new();
+        let a = corpus.add_document(&doc_a);
+        let b = corpus.add_document(&doc_b);
+        let a2 = corpus.add_document(&doc_a);
+        let f = corpus.finalize();
+        let ab = f.vector(a).cosine(f.vector(b));
+        let ba = f.vector(b).cosine(f.vector(a));
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-12);
+        let aa = f.vector(a).cosine(f.vector(a2));
+        prop_assert!((aa - 1.0).abs() < 1e-9, "identical docs cosine {aa}");
+    }
+
+    /// Every normalizer option combination is total (no panics, no empty
+    /// tokens) over arbitrary input.
+    #[test]
+    fn normalizer_total_over_option_space(
+        s in ".{0,40}",
+        strip_noise in any::<bool>(),
+        expand in any::<bool>(),
+        stop in any::<bool>(),
+        stem in any::<bool>(),
+        nums in any::<bool>(),
+    ) {
+        let n = Normalizer::with_options(NormalizeOptions {
+            strip_noise,
+            expand_abbrevs: expand,
+            strip_stopwords: stop,
+            stem,
+            drop_numeric: nums,
+        });
+        for bag in [n.name(&s), n.prose(&s)] {
+            for t in &bag.tokens {
+                prop_assert!(!t.is_empty());
+            }
+        }
+    }
+
+    /// Tokenizing the tokenizer's joined output is a fixpoint, for ascii
+    /// identifiers.
+    #[test]
+    fn tokenize_fixpoint(s in "[A-Za-z0-9_\\- ]{0,30}") {
+        let once = tokenize_identifier(&s);
+        let again = tokenize_identifier(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+}

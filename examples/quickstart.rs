@@ -1,0 +1,124 @@
+//! Quickstart: match a relational schema against an XML schema and read the
+//! results the way the paper's decision makers did — as overlap knowledge,
+//! not as mapping code.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use harmony_core::prelude::*;
+use sm_schema::{ddl::parse_ddl, xsd::parse_xsd, SchemaId};
+
+const SOURCE_DDL: &str = r#"
+-- individuals tracked by the personnel system
+CREATE TABLE Person (
+    person_id INT PRIMARY KEY,     -- unique person identifier
+    last_name VARCHAR(40) NOT NULL, -- family name
+    first_name VARCHAR(40),
+    birth_dt DATE,                 -- date of birth
+    unit_id INT REFERENCES Unit(unit_id)
+);
+
+-- military units
+CREATE TABLE Unit (
+    unit_id INT PRIMARY KEY,
+    unit_name VARCHAR(80),         -- official designation of the unit
+    echelon_cd VARCHAR(8)          -- echelon code
+);
+
+-- ground vehicles and their assignments
+CREATE TABLE Vehicle (
+    vin VARCHAR(17) PRIMARY KEY,   -- vehicle identification number
+    vehicle_type VARCHAR(30),
+    owner_unit INT REFERENCES Unit(unit_id)
+);
+"#;
+
+const TARGET_XSD: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="PersonType">
+    <xs:annotation><xs:documentation>a person known to the legacy tracking system</xs:documentation></xs:annotation>
+    <xs:sequence>
+      <xs:element name="PersonIdentifier" type="xs:integer">
+        <xs:annotation><xs:documentation>unique identifier of the person</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="LastName" type="xs:string"/>
+      <xs:element name="BirthDate" type="xs:date"/>
+      <xs:element name="BloodType" type="xs:string"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="OrganizationType">
+    <xs:sequence>
+      <xs:element name="OrgName" type="xs:string">
+        <xs:annotation><xs:documentation>official designation of the organization</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="EchelonCode" type="xs:string"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="FacilityType">
+    <xs:sequence>
+      <xs:element name="FacilityName" type="xs:string"/>
+      <xs:element name="Latitude" type="xs:decimal"/>
+      <xs:element name="Longitude" type="xs:decimal"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>
+"#;
+
+fn main() {
+    // 1. Load the two schemata.
+    let source = parse_ddl(SchemaId(1), "PersonnelDB", SOURCE_DDL).expect("valid DDL");
+    let target = parse_xsd(SchemaId(2), "LegacyXml", TARGET_XSD).expect("valid XSD");
+    println!(
+        "source: {} ({} elements) | target: {} ({} elements)\n",
+        source.name,
+        source.len(),
+        target.name,
+        target.len()
+    );
+
+    // 2. Run the fully automated match.
+    let engine = MatchEngine::new();
+    let result = engine.run(&source, &target);
+    println!(
+        "MATCH(S1, S2): {} candidate pairs scored in {:?}\n",
+        result.pairs_considered, result.elapsed
+    );
+
+    // 3. Select one-to-one candidates above a confidence threshold.
+    let threshold = Confidence::new(0.25);
+    let candidates = Selection::OneToOne { min: threshold }.apply(&result.matrix);
+    println!("top candidates (score ≥ {threshold}):");
+    for c in candidates.all() {
+        println!(
+            "  {:<28} ⇔ {:<38} {}",
+            source.path(c.source).to_string(),
+            target.path(c.target).to_string(),
+            c.score
+        );
+    }
+
+    // 4. Per-pair explanation: which voters contributed?
+    if let Some(best) = candidates.all().first() {
+        let ctx = engine.build_context(&source, &target);
+        println!("\nwhy {} ⇔ {}:", source.path(best.source), target.path(best.target));
+        for (voter, conf) in engine.explain_pair(&ctx, best.source, best.target) {
+            println!("  {voter:<14} {conf}");
+        }
+    }
+
+    // 5. Treat the candidates as validated and partition — the knowledge a
+    // planner wants (Lesson #3 of the paper).
+    let mut validated = MatchSet::new();
+    for c in candidates.all() {
+        validated.push(c.clone().validate("quickstart", MatchAnnotation::Equivalent));
+    }
+    let partition = BinaryPartition::compute(&source, &target, &validated);
+    let (only_s, only_t, shared) = partition.cardinalities();
+    println!(
+        "\npartition: |S1−S2| = {only_s}, |S2−S1| = {only_t}, |S1∩S2| = {shared}"
+    );
+    println!(
+        "{:.0}% of the target schema matches the source → advice: {:?}",
+        partition.target_matched_fraction() * 100.0,
+        partition.subsumption_advice(0.5)
+    );
+}

@@ -1,0 +1,155 @@
+//! # schema-match-suite
+//!
+//! Umbrella crate of the reproduction of *The Role of Schema Matching in
+//! Large Enterprises* (Smith et al., CIDR 2009). It re-exports the workspace
+//! crates and provides high-level helpers used by the examples and
+//! integration tests:
+//!
+//! * [`consolidation_study`] — the paper's §3 end-to-end case study as one
+//!   function: generate (or accept) a schema pair, summarize, match
+//!   incrementally, partition, and produce the two-sheet workbook.
+//!
+//! The workspace layout mirrors the system inventory of `DESIGN.md`:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`sm_schema`] | schema model, mini-DDL / mini-XSD parsers |
+//! | [`sm_text`] | tokenizer, Porter stemmer, similarity metrics, TF-IDF |
+//! | [`harmony_core`] | the Harmony-style match engine + workflow operators |
+//! | [`sm_enterprise`] | repository, search, clustering, COI, planning |
+//! | [`sm_export`] | CSV workbooks, match-centric reports, clutter model |
+//! | [`sm_synth`] | synthetic workloads with planted ground truth |
+
+pub use harmony_core;
+pub use sm_enterprise;
+pub use sm_export;
+pub use sm_schema;
+pub use sm_synth;
+pub use sm_text;
+
+use harmony_core::prelude::*;
+use harmony_core::workflow::Oracle;
+use sm_export::Workbook;
+use sm_schema::Schema;
+
+/// Everything the paper's consolidation study produced, in one bundle.
+pub struct ConsolidationOutcome {
+    /// The validated element-level matches.
+    pub matches: MatchSet,
+    /// Concept-level matches as (source concept index, target concept index).
+    pub concept_matches: Vec<(usize, usize)>,
+    /// The source summary used to drive the workflow.
+    pub source_summary: Summary,
+    /// The target summary.
+    pub target_summary: Summary,
+    /// The three-way overlap partition.
+    pub partition: BinaryPartition,
+    /// The two-sheet spreadsheet deliverable.
+    pub workbook: Workbook,
+    /// Total candidate pairs scored across increments.
+    pub pairs_considered: usize,
+    /// Candidates shown to the reviewer.
+    pub inspected: usize,
+}
+
+/// Run the paper's §3 workflow end to end:
+///
+/// 1. `SUMMARIZE` both schemata (automatically, up to `concepts` concepts);
+/// 2. concept-at-a-time incremental matching with `oracle` reviewing
+///    candidates above `threshold`;
+/// 3. derive concept-level matches from validated element matches (the
+///    paper's "strong match from the fields of one concept to the fields of
+///    a corresponding concept");
+/// 4. partition into {S1−S2}, {S2−S1}, {S1∩S2};
+/// 5. assemble the outer-join workbook.
+pub fn consolidation_study(
+    engine: &MatchEngine,
+    source: &Schema,
+    target: &Schema,
+    concepts: usize,
+    threshold: Confidence,
+    oracle: &mut dyn Oracle,
+) -> ConsolidationOutcome {
+    let source_summary = auto_summarize(source, concepts);
+    let target_summary = auto_summarize(target, concepts);
+
+    let mut session = IncrementalSession::new(engine, source, target, threshold);
+    session.concept_at_a_time(&source_summary, oracle);
+    let matches = session.validated();
+
+    // Concept-level matches: a source concept matches the target concept
+    // that receives the plurality of its members' validated matches (at
+    // least 2 supporting element matches, the paper's "strong match").
+    let mut concept_matches = Vec::new();
+    for (si, concept) in source_summary.concepts.iter().enumerate() {
+        let mut votes: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for c in matches.validated() {
+            if concept.members.contains(&c.source) {
+                if let Some(ti) = target_summary.concept_index_of(c.target) {
+                    *votes.entry(ti).or_insert(0) += 1;
+                }
+            }
+        }
+        if let Some((&ti, &n)) = votes.iter().max_by_key(|(_, &n)| n) {
+            if n >= 2 {
+                concept_matches.push((si, ti));
+            }
+        }
+    }
+
+    let partition = BinaryPartition::compute(source, target, &matches);
+    let workbook = Workbook::build(
+        source,
+        target,
+        &source_summary,
+        &target_summary,
+        &concept_matches,
+        &matches,
+    );
+
+    ConsolidationOutcome {
+        pairs_considered: session.total_pairs_considered(),
+        inspected: session.total_inspected(),
+        matches,
+        concept_matches,
+        source_summary,
+        target_summary,
+        partition,
+        workbook,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_core::workflow::NoisyOracle;
+    use sm_synth::{GeneratorConfig, SchemaPair};
+
+    #[test]
+    fn consolidation_study_end_to_end_small() {
+        let pair = SchemaPair::generate(&GeneratorConfig::paper_case_study(3, 0.08));
+        let engine = MatchEngine::new().with_threads(2);
+        let mut oracle = NoisyOracle::perfect(pair.truth.pairs().clone());
+        let outcome = consolidation_study(
+            &engine,
+            &pair.source,
+            &pair.target,
+            50,
+            Confidence::new(0.25),
+            &mut oracle,
+        );
+        assert!(outcome.pairs_considered > 0);
+        assert!(outcome.inspected >= outcome.matches.len());
+        // With a perfect oracle everything validated is true.
+        let eval = pair.truth.evaluate_validated(&outcome.matches);
+        assert_eq!(eval.fp, 0);
+        assert!(eval.recall > 0.3, "recall {}", eval.recall);
+        // Partition covers both schemata.
+        let (only_a, only_b, shared_b) = outcome.partition.cardinalities();
+        assert_eq!(only_b + shared_b, pair.target.len());
+        assert!(only_a <= pair.source.len());
+        // Workbook accounting is consistent.
+        let (total, matches, rows) = outcome.workbook.concept_accounting();
+        assert_eq!(total - matches, rows);
+    }
+}

@@ -1,0 +1,299 @@
+//! Property-based tests over cross-crate invariants.
+
+use harmony_core::prelude::*;
+use proptest::prelude::*;
+use sm_export::csv::{parse_csv, CsvWriter};
+use sm_schema::{DataType, ElementId, ElementKind, Schema, SchemaFormat, SchemaId, SchemaPath};
+use sm_text::normalize::Normalizer;
+use sm_text::similarity::{jaro_winkler, levenshtein_sim, ngram_jaccard};
+use sm_text::{porter_stem, tokenize_identifier};
+
+// ---------------------------------------------------------------------------
+// sm-text invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn tokenizer_output_is_lowercase_alphanumeric(s in ".{0,40}") {
+        for t in tokenize_identifier(&s) {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(t.clone(), t.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn tokenizer_is_idempotent_on_its_own_output(s in "[a-zA-Z0-9_]{0,30}") {
+        let once = tokenize_identifier(&s);
+        let rejoined = once.join("_");
+        let twice = tokenize_identifier(&rejoined);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn stemmer_never_lengthens_ascii_words(s in "[a-z]{1,20}") {
+        let stem = porter_stem(&s);
+        prop_assert!(stem.len() <= s.len());
+        prop_assert!(!stem.is_empty());
+    }
+
+    #[test]
+    fn similarity_measures_are_bounded_and_symmetric(
+        a in "[a-z_0-9]{0,16}",
+        b in "[a-z_0-9]{0,16}",
+    ) {
+        for (sab, sba) in [
+            (levenshtein_sim(&a, &b), levenshtein_sim(&b, &a)),
+            (jaro_winkler(&a, &b), jaro_winkler(&b, &a)),
+            (ngram_jaccard(&a, &b, 2), ngram_jaccard(&b, &a, 2)),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&sab));
+            prop_assert!((sab - sba).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_similarity_is_one(a in "[a-z]{1,16}") {
+        prop_assert_eq!(levenshtein_sim(&a, &a), 1.0);
+        prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+        prop_assert_eq!(ngram_jaccard(&a, &a, 2), 1.0);
+    }
+
+    #[test]
+    fn normalizer_never_panics_and_bags_are_clean(s in ".{0,60}") {
+        let n = Normalizer::new();
+        let bag = n.name(&s);
+        for t in &bag.tokens {
+            prop_assert!(!t.is_empty());
+        }
+        let _ = n.prose(&s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// harmony-core invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn confidence_stays_in_open_interval(
+        ratio in -2.0..3.0f64,
+        evidence in 0.0..1e6f64,
+        damping in 0.0..100.0f64,
+    ) {
+        let c = Confidence::from_evidence(ratio, evidence, damping);
+        prop_assert!(c.value() > -1.0 && c.value() < 1.0);
+    }
+
+    #[test]
+    fn confidence_monotone_in_evidence(
+        ratio in 0.0..1.0f64,
+        e1 in 0.0..1e4f64,
+        delta in 0.0..1e4f64,
+    ) {
+        let lo = Confidence::from_evidence(ratio, e1, 4.0);
+        let hi = Confidence::from_evidence(ratio, e1 + delta, 4.0);
+        prop_assert!(hi.commitment() >= lo.commitment() - 1e-12);
+        // Direction never flips with more evidence.
+        prop_assert!(lo.value() * hi.value() >= 0.0);
+    }
+
+    #[test]
+    fn mergers_stay_bounded(votes in prop::collection::vec(-0.999..0.999f64, 0..12)) {
+        let confs: Vec<Confidence> = votes.iter().map(|&v| Confidence::new(v)).collect();
+        for strategy in [
+            MergeStrategy::HarmonyWeighted,
+            MergeStrategy::Average,
+            MergeStrategy::Max,
+            MergeStrategy::Linear(vec![0.5; 12]),
+        ] {
+            let merged = strategy.merge(&confs);
+            prop_assert!(merged.value() > -1.0 && merged.value() < 1.0);
+        }
+    }
+
+    #[test]
+    fn harmony_merge_within_vote_envelope(
+        votes in prop::collection::vec(-0.999..0.999f64, 1..12)
+    ) {
+        let confs: Vec<Confidence> = votes.iter().map(|&v| Confidence::new(v)).collect();
+        let merged = MergeStrategy::HarmonyWeighted.merge(&confs).value();
+        let min = votes.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = votes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(merged >= min - 1e-9 && merged <= max + 1e-9);
+    }
+
+    /// One-to-one selection over an arbitrary matrix never reuses a row or a
+    /// column, and every selected pair clears the threshold.
+    #[test]
+    fn one_to_one_selection_is_injective(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed in 0u64..1000,
+        th in -0.5..0.9f64,
+    ) {
+        let mut matrix = MatchMatrix::new(rows, cols);
+        // Deterministic pseudo-random fill.
+        let mut x = seed | 1;
+        for s in 0..rows as u32 {
+            for t in 0..cols as u32 {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+                let v = ((x >> 11) as f64 / (1u64 << 53) as f64) * 1.8 - 0.9;
+                matrix.set(ElementId(s), ElementId(t), Confidence::new(v));
+            }
+        }
+        let selected = Selection::OneToOne { min: Confidence::new(th) }.apply(&matrix);
+        let mut seen_s = std::collections::HashSet::new();
+        let mut seen_t = std::collections::HashSet::new();
+        for c in selected.all() {
+            prop_assert!(c.score.value() >= th - 1e-9);
+            prop_assert!(seen_s.insert(c.source));
+            prop_assert!(seen_t.insert(c.target));
+        }
+        prop_assert!(selected.len() <= rows.min(cols));
+    }
+
+    /// Partition is a disjoint cover of both schemata for arbitrary match
+    /// subsets.
+    #[test]
+    fn partition_is_disjoint_cover(
+        n_source in 1usize..30,
+        n_target in 1usize..30,
+        picks in prop::collection::vec((0usize..30, 0usize..30), 0..40),
+    ) {
+        let schema_of = |id: u32, n: usize| {
+            let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+            let r = s.add_root("R", ElementKind::Group, DataType::None);
+            for i in 0..n.saturating_sub(1) {
+                s.add_child(r, format!("e{i}"), ElementKind::Column, DataType::text()).unwrap();
+            }
+            s
+        };
+        let a = schema_of(1, n_source);
+        let b = schema_of(2, n_target);
+        let mut m = MatchSet::new();
+        for (s, t) in picks {
+            if s < a.len() && t < b.len() {
+                m.push(
+                    Correspondence::candidate(
+                        ElementId(s as u32),
+                        ElementId(t as u32),
+                        Confidence::new(0.5),
+                    )
+                    .validate("p", MatchAnnotation::Equivalent),
+                );
+            }
+        }
+        let p = BinaryPartition::compute(&a, &b, &m);
+        prop_assert_eq!(p.only_source.len() + p.shared_source.len(), a.len());
+        prop_assert_eq!(p.only_target.len() + p.shared_target.len(), b.len());
+        for id in &p.shared_source {
+            prop_assert!(!p.only_source.contains(id));
+        }
+        let f = p.target_matched_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// schema / path / export invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn schema_paths_round_trip(names in prop::collection::vec("[A-Za-z][A-Za-z0-9]{0,8}", 1..8)) {
+        // Build a chain schema from the names and check path lookup.
+        let mut s = Schema::new(SchemaId(1), "S", SchemaFormat::Generic);
+        let mut parent = s.add_root(names[0].clone(), ElementKind::Group, DataType::None);
+        for n in &names[1..] {
+            parent = s.add_child(parent, n.clone(), ElementKind::Group, DataType::None).unwrap();
+        }
+        s.validate().unwrap();
+        let path = s.path(parent);
+        prop_assert_eq!(path.depth(), names.len());
+        prop_assert_eq!(s.find_by_path(&path), Some(parent));
+        // String round trip.
+        let reparsed = SchemaPath::parse(&path.to_string());
+        prop_assert_eq!(reparsed, path);
+    }
+
+    #[test]
+    fn csv_round_trips_arbitrary_fields(
+        rows in prop::collection::vec(prop::collection::vec(".{0,20}", 3), 1..10)
+    ) {
+        let mut w = CsvWriter::new();
+        for r in &rows {
+            w.row(r);
+        }
+        let parsed = parse_csv(&w.finish());
+        prop_assert_eq!(parsed.len(), rows.len());
+        for (got, want) in parsed.iter().zip(&rows) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn subtree_filter_selects_exactly_descendants(
+        fanout in 1usize..5,
+        depth in 1usize..4,
+    ) {
+        // A complete tree; pick the first child of the root as subtree root.
+        let mut s = Schema::new(SchemaId(1), "S", SchemaFormat::Generic);
+        let root = s.add_root("root", ElementKind::Group, DataType::None);
+        let mut frontier = vec![root];
+        for d in 0..depth {
+            let mut next = Vec::new();
+            for &p in &frontier {
+                for i in 0..fanout {
+                    next.push(
+                        s.add_child(p, format!("n{d}_{i}"), ElementKind::Group, DataType::None)
+                            .unwrap(),
+                    );
+                }
+            }
+            frontier = next;
+        }
+        let first_child = s.element(root).children[0];
+        let ids = NodeFilter::subtree(first_child).select(&s);
+        prop_assert_eq!(ids.len(), s.subtree_size(first_child));
+        for id in ids {
+            prop_assert!(s.is_in_subtree(id, first_child));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sm-synth invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn generator_respects_config(
+        seed in 0u64..500,
+        scale_pct in 3u32..12,
+        overlap_pct in 0u32..100,
+    ) {
+        let mut cfg = sm_synth::GeneratorConfig::paper_case_study(seed, f64::from(scale_pct) / 100.0);
+        cfg.overlap_of_target = f64::from(overlap_pct) / 100.0;
+        let pair = sm_synth::SchemaPair::generate(&cfg);
+        prop_assert_eq!(pair.source.len(), cfg.source_elements);
+        prop_assert_eq!(pair.target.len(), cfg.target_elements);
+        pair.source.validate().unwrap();
+        pair.target.validate().unwrap();
+        // Planted overlap within 6 points of configured (rounding effects on
+        // small schemata).
+        let measured = pair.actual_target_overlap();
+        prop_assert!(
+            (measured - cfg.overlap_of_target).abs() < 0.06,
+            "measured {} vs configured {}", measured, cfg.overlap_of_target
+        );
+        // Every truth pair shares a semantic atom.
+        for &(s, t) in pair.truth.pairs() {
+            prop_assert_eq!(
+                pair.truth.source_semantics.get(&s),
+                pair.truth.target_semantics.get(&t)
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Failure-injection and adversarial-input tests: the pipeline must degrade
+//! gracefully, never panic, on degenerate schemata.
+
+use harmony_core::prelude::*;
+use harmony_core::workflow::NoisyOracle;
+use sm_export::{MatchReport, ScreenModel, Workbook};
+use sm_schema::{DataType, ElementKind, Schema, SchemaFormat, SchemaId};
+use std::collections::HashSet;
+
+fn empty(id: u32) -> Schema {
+    Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic)
+}
+
+#[test]
+fn empty_schemata_flow_through_the_whole_pipeline() {
+    let a = empty(1);
+    let b = empty(2);
+    let engine = MatchEngine::new().with_threads(1);
+    let result = engine.run(&a, &b);
+    assert_eq!(result.pairs_considered, 0);
+
+    let selected = Selection::Threshold(Confidence::new(0.1)).apply(&result.matrix);
+    assert!(selected.is_empty());
+
+    let partition = BinaryPartition::compute(&a, &b, &selected);
+    assert_eq!(partition.cardinalities(), (0, 0, 0));
+
+    let summary = auto_summarize(&a, 10);
+    assert!(summary.is_empty());
+
+    let wb = Workbook::build(&a, &b, &summary, &summary, &[], &selected);
+    assert!(wb.element_sheet.is_empty());
+
+    let report = MatchReport::build(&a, &b, &selected);
+    assert!(report.is_empty());
+
+    let stats = ScreenModel::default().render(&a, &b, &[], &NodeFilter::All, &NodeFilter::All);
+    assert_eq!(stats.total_lines, 0);
+}
+
+#[test]
+fn one_sided_emptiness() {
+    let mut a = empty(1);
+    let t = a.add_root("T", ElementKind::Table, DataType::None);
+    a.add_child(t, "x", ElementKind::Column, DataType::text())
+        .unwrap();
+    let b = empty(2);
+    let engine = MatchEngine::new().with_threads(1);
+    assert_eq!(engine.run(&a, &b).pairs_considered, 0);
+    assert_eq!(engine.run(&b, &a).pairs_considered, 0);
+}
+
+#[test]
+fn adversarial_identical_names_do_not_blow_up() {
+    // Every element named the same: the matcher sees maximal ambiguity.
+    let build = |id: u32, n: usize| {
+        let mut s = empty(id);
+        let root = s.add_root("thing", ElementKind::Table, DataType::None);
+        for _ in 0..n {
+            s.add_child(root, "thing", ElementKind::Column, DataType::text())
+                .unwrap();
+        }
+        s
+    };
+    let a = build(1, 40);
+    let b = build(2, 40);
+    let engine = MatchEngine::new().with_threads(1);
+    let result = engine.run(&a, &b);
+    // One-to-one selection still returns an injective assignment.
+    let selected = Selection::OneToOne {
+        min: Confidence::new(0.0),
+    }
+    .apply(&result.matrix);
+    let mut seen = HashSet::new();
+    for c in selected.all() {
+        assert!(seen.insert(c.target));
+    }
+    assert!(selected.len() <= 41);
+}
+
+#[test]
+fn documentation_free_matching_still_works() {
+    // Strip all documentation: the engine must fall back to name evidence.
+    let mut cfg = sm_synth::GeneratorConfig::paper_case_study(13, 0.08);
+    cfg.source_doc = sm_synth::docgen::DocStyle::none();
+    cfg.target_doc = sm_synth::docgen::DocStyle::none();
+    let pair = sm_synth::SchemaPair::generate(&cfg);
+    assert_eq!(pair.source.doc_coverage(), 0.0);
+
+    let engine = MatchEngine::new().with_threads(1);
+    let result = engine.run(&pair.source, &pair.target);
+    let selected = Selection::OneToOne {
+        min: Confidence::new(0.3),
+    }
+    .apply(&result.matrix);
+    let predicted: Vec<_> = selected.all().iter().map(|c| (c.source, c.target)).collect();
+    let eval = pair.truth.evaluate_pairs(predicted.iter());
+    assert!(
+        eval.f1 > 0.5,
+        "doc-free matching should still be serviceable: F1 {}",
+        eval.f1
+    );
+}
+
+#[test]
+fn unicode_and_hostile_names_survive_export() {
+    let mut a = empty(1);
+    let t = a.add_root("Täble,with \"quotes\"", ElementKind::Table, DataType::None);
+    a.add_child(t, "naïve\ncolumn", ElementKind::Column, DataType::text())
+        .unwrap();
+    let mut b = empty(2);
+    let u = b.add_root("日本語スキーマ", ElementKind::ComplexType, DataType::None);
+    b.add_child(u, "значение", ElementKind::XmlElement, DataType::text())
+        .unwrap();
+
+    let engine = MatchEngine::new().with_threads(1);
+    let result = engine.run(&a, &b);
+    let mut selected = Selection::Threshold(Confidence::new(-1.0)).apply(&result.matrix);
+    for c in selected.all_mut() {
+        *c = c.clone().validate("t", MatchAnnotation::Equivalent);
+    }
+    // CSV export must quote everything correctly and round-trip.
+    let report = MatchReport::build(&a, &b, &selected);
+    let rows = sm_export::csv::parse_csv(&report.to_csv());
+    assert_eq!(rows.len(), 1 + selected.len());
+    assert!(rows.iter().any(|r| r[0].contains("naïve\ncolumn")));
+}
+
+#[test]
+fn single_giant_table_is_summarizable_and_matchable() {
+    let mut a = empty(1);
+    let t = a.add_root("MEGA", ElementKind::Table, DataType::None);
+    for i in 0..600 {
+        a.add_child(t, format!("col_{i}"), ElementKind::Column, DataType::text())
+            .unwrap();
+    }
+    let summary = auto_summarize(&a, 10);
+    assert_eq!(summary.len(), 1, "one anchor tile covers everything");
+    assert!((summary.coverage(&a) - 1.0).abs() < 1e-12);
+
+    let mut b = empty(2);
+    let u = b.add_root("SMALL", ElementKind::ComplexType, DataType::None);
+    b.add_child(u, "col_5", ElementKind::XmlElement, DataType::text())
+        .unwrap();
+    let engine = MatchEngine::new().with_threads(1);
+    let mut session = IncrementalSession::new(&engine, &a, &b, Confidence::new(0.2));
+    let mut oracle = NoisyOracle::perfect(HashSet::new());
+    let report = session.run_increment("MEGA", &NodeFilter::subtree(t), &NodeFilter::All, &mut oracle);
+    assert_eq!(report.pairs_considered, 601 * 2);
+    assert_eq!(report.accepted, 0, "oracle with empty truth rejects all");
+}
+
+#[test]
+fn degenerate_effort_and_advice_inputs() {
+    let model = EffortModel::default();
+    let zero = model.estimate(&Workload::default());
+    assert_eq!(zero.person_days, 0.0);
+    assert!(zero.calendar_days(0).is_infinite());
+
+    let a = empty(1);
+    let b = empty(2);
+    let p = BinaryPartition::compute(&a, &b, &MatchSet::new());
+    // Empty target → 0% matched → retain-and-bridge is the safe default.
+    assert_eq!(p.subsumption_advice(0.5), SubsumptionAdvice::RetainAndBridge);
+}
+
+#[test]
+fn noisy_oracle_with_certain_error_inverts_truth() {
+    use harmony_core::workflow::Oracle;
+    let truth: HashSet<_> = [(sm_schema::ElementId(0), sm_schema::ElementId(0))]
+        .into_iter()
+        .collect();
+    let mut oracle = NoisyOracle::new(truth, 1.0, 3);
+    // error_rate 1.0 always inverts.
+    assert!(!oracle.judge(
+        sm_schema::ElementId(0),
+        sm_schema::ElementId(0),
+        Confidence::NEUTRAL
+    ));
+    assert!(oracle.judge(
+        sm_schema::ElementId(1),
+        sm_schema::ElementId(1),
+        Confidence::NEUTRAL
+    ));
+}
