@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Run from anywhere; everything executes at the
+# workspace root. Mirrors what reviewers run: release build, quiet tests,
+# clippy as errors.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all gates passed"

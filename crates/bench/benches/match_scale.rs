@@ -1,9 +1,14 @@
 //! Criterion bench behind experiment E1: full automated match runtime as
-//! schema size grows toward the paper's 1378×784.
+//! schema size grows toward the paper's 1378×784, plus the cold-vs-cached
+//! Prepare stage at exactly that scale (the `PreparedSchema` feature cache's
+//! reason to exist).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use harmony_core::context::MatchContext;
 use harmony_core::prelude::*;
+use harmony_core::prepare::PreparedSchema;
 use sm_bench::case_study;
+use sm_text::normalize::Normalizer;
 
 fn bench_full_match(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_full_match");
@@ -50,5 +55,47 @@ fn bench_selection(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_full_match, bench_context_build, bench_selection);
+/// Cold vs. cached Prepare at the paper's 1378×784 scale.
+///
+/// * `cold_features`: full linguistic preprocessing of both schemata
+///   (`PreparedSchema::build` — what every run paid before the cache).
+/// * `cold_context`: preprocessing + joint TF-IDF corpus (the historical
+///   context build).
+/// * `cached_context`: context assembly against a warm feature cache — the
+///   steady-state Prepare cost for repeated matching against a repository.
+fn bench_prepare_cold_vs_cached(c: &mut Criterion) {
+    let pair = case_study(1.0); // 1378×784
+    let mut group = c.benchmark_group("pipeline_prepare_1378x784");
+    group.sample_size(10);
+
+    group.bench_function("cold_features", |b| {
+        let normalizer = Normalizer::new();
+        b.iter(|| {
+            let ps = PreparedSchema::build(&pair.source, &normalizer);
+            let pt = PreparedSchema::build(&pair.target, &normalizer);
+            (ps.len(), pt.len())
+        });
+    });
+
+    group.bench_function("cold_context", |b| {
+        let normalizer = Normalizer::new();
+        b.iter(|| MatchContext::build(&pair.source, &pair.target, &normalizer));
+    });
+
+    group.bench_function("cached_context", |b| {
+        let engine = MatchEngine::new().with_normalizer(Normalizer::new());
+        let _warm = engine.build_context(&pair.source, &pair.target);
+        b.iter(|| engine.build_context(&pair.source, &pair.target));
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_match,
+    bench_context_build,
+    bench_selection,
+    bench_prepare_cold_vs_cached
+);
 criterion_main!(benches);

@@ -15,20 +15,8 @@ use std::time::Instant;
 fn pairwise_vocabulary(schemas: &[&Schema], threshold: f64) -> Vocabulary {
     let engine = MatchEngine::new();
     let mut nway = NWayMatch::new(schemas.to_vec());
-    for i in 0..schemas.len() {
-        for j in (i + 1)..schemas.len() {
-            let result = engine.run(schemas[i], schemas[j]);
-            let selected = Selection::OneToOne {
-                min: Confidence::new(threshold),
-            }
-            .apply(&result.matrix);
-            let mut validated = MatchSet::new();
-            for c in selected.all() {
-                validated.push(c.clone().validate("engine", MatchAnnotation::Equivalent));
-            }
-            nway.add_pairwise(i, j, &validated);
-        }
-    }
+    // One prepared-feature build per schema, N·(N−1)/2 pairwise matches.
+    nway.populate_pairwise(&engine, Confidence::new(threshold), "engine");
     nway.vocabulary()
 }
 

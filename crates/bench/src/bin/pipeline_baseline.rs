@@ -1,0 +1,109 @@
+//! Regenerate `BENCH_pipeline.json`: the staged-pipeline baseline at the
+//! paper's 1378×784 scale (§3.3's "10.2 seconds" datum).
+//!
+//! Measures the cold vs. cached Prepare stage (the `PreparedSchema` feature
+//! cache's payoff) and the per-stage breakdown of a full cached run, then
+//! writes the numbers as JSON to the workspace root so regressions are
+//! diffable in review.
+//!
+//! Run with: `cargo run --release -p sm-bench --bin pipeline_baseline`
+
+use harmony_core::context::MatchContext;
+use harmony_core::prelude::*;
+use harmony_core::prepare::PreparedSchema;
+use sm_bench::{case_study, header};
+use sm_text::normalize::Normalizer;
+use std::time::Instant;
+
+fn median_secs(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    median_secs(&mut samples)
+}
+
+fn main() {
+    header(
+        "pipeline_baseline",
+        "cold vs cached Prepare and stage breakdown at 1378×784 (paper §3.3: 10.2 s fully automated)",
+    );
+    let pair = case_study(1.0);
+    let rows = pair.source.len();
+    let cols = pair.target.len();
+    println!("schema pair: {rows}×{cols} = {} candidate pairs\n", rows * cols);
+
+    const REPS: usize = 5;
+    let normalizer = Normalizer::new();
+
+    // Cold per-schema features (what every layer re-paid before the cache).
+    let cold_features = time(REPS, || {
+        let ps = PreparedSchema::build(&pair.source, &normalizer);
+        let pt = PreparedSchema::build(&pair.target, &normalizer);
+        (ps.len(), pt.len())
+    });
+
+    // Cold full context (features + joint TF-IDF corpus).
+    let cold_context = time(REPS, || {
+        MatchContext::build(&pair.source, &pair.target, &normalizer)
+    });
+
+    // Cached context against a warm feature cache.
+    let engine = MatchEngine::new().with_normalizer(Normalizer::new());
+    let _warm = engine.build_context(&pair.source, &pair.target);
+    let cached_context = time(REPS, || engine.build_context(&pair.source, &pair.target));
+
+    // Full cached run with stage breakdown (median by total).
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut runs: Vec<(f64, StageTimings)> = (0..REPS)
+        .map(|_| {
+            let r = engine.run(&pair.source, &pair.target);
+            (r.elapsed.as_secs_f64(), r.timings)
+        })
+        .collect();
+    runs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let (run_total, stages) = runs[runs.len() / 2];
+
+    let speedup = cold_context / cached_context.max(1e-12);
+    println!("cold features        {:>10.4} s", cold_features);
+    println!("cold context         {:>10.4} s", cold_context);
+    println!("cached context       {:>10.4} s   ({speedup:.1}× vs cold)", cached_context);
+    println!("full run (cached)    {:>10.4} s   over {threads} threads", run_total);
+    println!(
+        "  stages: prepare {:.4}s  score {:.4}s  merge {:.4}s  propagate {:.4}s",
+        stages.prepare.as_secs_f64(),
+        stages.score.as_secs_f64(),
+        stages.merge.as_secs_f64(),
+        stages.propagate.as_secs_f64(),
+    );
+
+    // Hand-rolled JSON (the offline serde stand-in has no serializer).
+    let json = format!(
+        "{{\n  \"scale\": {{\"rows\": {rows}, \"cols\": {cols}, \"pairs\": {pairs}}},\n  \
+         \"threads\": {threads},\n  \
+         \"prepare_secs\": {{\n    \"cold_features\": {cold_features:.6},\n    \
+         \"cold_context\": {cold_context:.6},\n    \
+         \"cached_context\": {cached_context:.6},\n    \
+         \"cached_speedup\": {speedup:.2}\n  }},\n  \
+         \"full_run_secs\": {{\n    \"total\": {run_total:.6},\n    \
+         \"prepare\": {prepare:.6},\n    \"score\": {score:.6},\n    \
+         \"merge\": {merge:.6},\n    \"propagate\": {propagate:.6}\n  }},\n  \
+         \"paper_reference_secs\": 10.2\n}}\n",
+        pairs = rows * cols,
+        prepare = stages.prepare.as_secs_f64(),
+        score = stages.score.as_secs_f64(),
+        merge = stages.merge.as_secs_f64(),
+        propagate = stages.propagate.as_secs_f64(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(out, &json).expect("write BENCH_pipeline.json");
+    println!("\nwrote {out}");
+}

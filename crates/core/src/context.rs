@@ -2,12 +2,18 @@
 //!
 //! Voters are invoked for up to ~10^6 (source, target) pairs (the paper's
 //! 1378×784 case). All per-*element* work — tokenization, stemming,
-//! abbreviation expansion, TF-IDF vectorization — is done once per element
-//! here, so the per-pair cost is a handful of set intersections.
+//! abbreviation expansion — lives in [`crate::prepare::PreparedSchema`] and
+//! is computed once per schema (and cached across runs by
+//! [`crate::prepare::FeatureCache`]). This module assembles the per-*pair*
+//! remainder: the joint TF-IDF corpus, whose IDF weights depend on the
+//! combined vocabulary of the two schemata being matched, and optional
+//! instance profiles. Per-pair voter cost stays a handful of set
+//! intersections.
 
+use crate::prepare::{PreparedElement, PreparedSchema};
 use sm_schema::instances::{InstanceData, InstanceProfile};
 use sm_schema::{ElementId, Schema};
-use sm_text::normalize::{Normalizer, TokenBag};
+use sm_text::normalize::Normalizer;
 use sm_text::tfidf::{Corpus, DocVector, FinalizedCorpus};
 
 /// Which side of the match an element belongs to.
@@ -19,25 +25,32 @@ pub enum Side {
     Target,
 }
 
-/// Per-element precomputed features.
+/// Per-element precomputed features: the shared per-schema part (token
+/// bags, raw name — see [`PreparedElement`]) plus the per-pair part
+/// (TF-IDF vector against the joint corpus, instance profile).
+///
+/// The per-schema half is held by `Arc` and surfaced through `Deref`, so
+/// voters read `feat.name_bag` etc. without the context having deep-cloned
+/// any token bag: a context build against a warm cache copies only pointers
+/// and the per-pair vectors.
 #[derive(Debug, Clone)]
 pub struct ElementFeatures {
-    /// Normalized name tokens.
-    pub name_bag: TokenBag,
-    /// Raw lowercased name (for edit-distance voters).
-    pub raw_name: String,
-    /// Normalized documentation tokens.
-    pub doc_bag: TokenBag,
-    /// TF-IDF vector of name + documentation.
+    /// Shared per-schema features (name/doc/parent/children bags, raw name).
+    pub base: std::sync::Arc<PreparedElement>,
+    /// TF-IDF vector of name + documentation against the pair's joint corpus.
     pub doc_vector: DocVector,
-    /// Normalized tokens of the parent's name (empty for roots).
-    pub parent_bag: TokenBag,
-    /// Normalized name tokens of the element's children (flattened).
-    pub children_bag: TokenBag,
     /// Distributional profile of sampled instance values, when available.
     /// `None` in the paper's common case ("data … may not yet exist, or may
     /// be sensitive").
     pub instances: Option<InstanceProfile>,
+}
+
+impl std::ops::Deref for ElementFeatures {
+    type Target = PreparedElement;
+
+    fn deref(&self) -> &PreparedElement {
+        &self.base
+    }
 }
 
 /// Precomputed context for matching `source` against `target`.
@@ -55,7 +68,9 @@ pub struct MatchContext<'a> {
 
 impl<'a> MatchContext<'a> {
     /// Build the context, running the full normalization pipeline once per
-    /// element of each schema. No instance data is consulted.
+    /// element of each schema. No instance data is consulted. Callers holding
+    /// a [`crate::prepare::FeatureCache`] should prefer [`Self::from_prepared`],
+    /// which skips normalization entirely.
     pub fn build(source: &'a Schema, target: &'a Schema, normalizer: &Normalizer) -> Self {
         Self::build_with_instances(
             source,
@@ -76,44 +91,121 @@ impl<'a> MatchContext<'a> {
         source_instances: &InstanceData,
         target_instances: &InstanceData,
     ) -> Self {
-        // Pass 1: token bags.
-        let source_partial = Self::partial_features(source, normalizer, source_instances);
-        let target_partial = Self::partial_features(target, normalizer, target_instances);
+        let prepared_source = PreparedSchema::build(source, normalizer);
+        let prepared_target = PreparedSchema::build(target, normalizer);
+        Self::from_prepared_with_instances(
+            source,
+            target,
+            &prepared_source,
+            &prepared_target,
+            source_instances,
+            target_instances,
+        )
+    }
 
-        // Pass 2: joint TF-IDF corpus over name+doc tokens.
+    /// Assemble the context from already-prepared schemata (the Prepare stage
+    /// of the match pipeline). Only the joint TF-IDF corpus is computed here.
+    pub fn from_prepared(
+        source: &'a Schema,
+        target: &'a Schema,
+        prepared_source: &PreparedSchema,
+        prepared_target: &PreparedSchema,
+    ) -> Self {
+        Self::from_prepared_with_instances(
+            source,
+            target,
+            prepared_source,
+            prepared_target,
+            &InstanceData::empty(),
+            &InstanceData::empty(),
+        )
+    }
+
+    /// [`Self::from_prepared`] with sampled instance data attached.
+    ///
+    /// # Panics
+    /// Panics when a preparation does not reflect its schema's current
+    /// content (see [`PreparedSchema::is_current_for`]): a stale preparation
+    /// would silently misalign the TF-IDF corpus and produce wrong scores,
+    /// so the check is enforced in release builds too. The fingerprint
+    /// comparison is O(total name/doc bytes) — noise next to the corpus
+    /// assembly this method performs anyway.
+    pub fn from_prepared_with_instances(
+        source: &'a Schema,
+        target: &'a Schema,
+        prepared_source: &PreparedSchema,
+        prepared_target: &PreparedSchema,
+        source_instances: &InstanceData,
+        target_instances: &InstanceData,
+    ) -> Self {
+        assert!(
+            prepared_source.is_current_for(source),
+            "stale preparation for source schema {:?}",
+            source.id
+        );
+        assert!(
+            prepared_target.is_current_for(target),
+            "stale preparation for target schema {:?}",
+            target.id
+        );
+        Self::from_prepared_trusted(
+            source,
+            target,
+            prepared_source,
+            prepared_target,
+            source_instances,
+            target_instances,
+        )
+    }
+
+    /// [`Self::from_prepared_with_instances`] without the staleness
+    /// re-fingerprint — for callers that *just obtained* the preparations
+    /// from a [`crate::prepare::FeatureCache`] keyed by the same schemata,
+    /// where the fingerprint was computed moments ago for the cache lookup
+    /// (hashing all name/doc bytes twice per run would be pure overhead on
+    /// the hot path).
+    pub(crate) fn from_prepared_trusted(
+        source: &'a Schema,
+        target: &'a Schema,
+        prepared_source: &PreparedSchema,
+        prepared_target: &PreparedSchema,
+        source_instances: &InstanceData,
+        target_instances: &InstanceData,
+    ) -> Self {
+        debug_assert!(prepared_source.is_current_for(source));
+        debug_assert!(prepared_target.is_current_for(target));
+
+        // Joint TF-IDF corpus over name+doc tokens, source rows first —
+        // the same document order the historical single-pass build used.
         let mut corpus = Corpus::new();
-        let mut source_doc_ids = Vec::with_capacity(source_partial.len());
-        for f in &source_partial {
-            let mut toks = f.name_bag.tokens.clone();
-            toks.extend(f.doc_bag.tokens.iter().cloned());
-            source_doc_ids.push(corpus.add_document(&toks));
+        for e in prepared_source.elements() {
+            corpus.add_document(&e.corpus_tokens);
         }
-        let mut target_doc_ids = Vec::with_capacity(target_partial.len());
-        for f in &target_partial {
-            let mut toks = f.name_bag.tokens.clone();
-            toks.extend(f.doc_bag.tokens.iter().cloned());
-            target_doc_ids.push(corpus.add_document(&toks));
+        for e in prepared_target.elements() {
+            corpus.add_document(&e.corpus_tokens);
         }
         let corpus = corpus.finalize();
 
-        let attach = |partial: Vec<PartialFeatures>, ids: &[usize]| -> Vec<ElementFeatures> {
-            partial
-                .into_iter()
-                .zip(ids)
-                .map(|(p, &doc_id)| ElementFeatures {
-                    name_bag: p.name_bag,
-                    raw_name: p.raw_name,
-                    doc_bag: p.doc_bag,
-                    doc_vector: corpus.vector(doc_id).clone(),
-                    parent_bag: p.parent_bag,
-                    children_bag: p.children_bag,
-                    instances: p.instances,
+        let attach = |schema: &Schema,
+                      prepared: &PreparedSchema,
+                      instances: &InstanceData,
+                      doc_offset: usize|
+         -> Vec<ElementFeatures> {
+            schema
+                .elements()
+                .iter()
+                .zip(prepared.elements())
+                .enumerate()
+                .map(|(idx, (e, p))| ElementFeatures {
+                    base: std::sync::Arc::clone(p),
+                    doc_vector: corpus.vector(doc_offset + idx).clone(),
+                    instances: instances.get(e.id).and_then(InstanceProfile::from_values),
                 })
                 .collect()
         };
 
-        let source_features = attach(source_partial, &source_doc_ids);
-        let target_features = attach(target_partial, &target_doc_ids);
+        let source_features = attach(source, prepared_source, source_instances, 0);
+        let target_features = attach(target, prepared_target, target_instances, source.len());
 
         MatchContext {
             source,
@@ -122,44 +214,6 @@ impl<'a> MatchContext<'a> {
             target_features,
             corpus,
         }
-    }
-
-    fn partial_features(
-        schema: &Schema,
-        normalizer: &Normalizer,
-        instances: &InstanceData,
-    ) -> Vec<PartialFeatures> {
-        let bags: Vec<TokenBag> = schema
-            .elements()
-            .iter()
-            .map(|e| normalizer.name(&e.name))
-            .collect();
-        schema
-            .elements()
-            .iter()
-            .map(|e| {
-                let parent_bag = e
-                    .parent
-                    .map(|p| bags[p.index()].clone())
-                    .unwrap_or_default();
-                let mut children_tokens = Vec::new();
-                for &c in &e.children {
-                    children_tokens.extend(bags[c.index()].tokens.iter().cloned());
-                }
-                PartialFeatures {
-                    name_bag: bags[e.id.index()].clone(),
-                    raw_name: e.name.to_lowercase(),
-                    doc_bag: normalizer.prose(e.doc_text()),
-                    parent_bag,
-                    children_bag: TokenBag {
-                        tokens: children_tokens,
-                    },
-                    instances: instances
-                        .get(e.id)
-                        .and_then(InstanceProfile::from_values),
-                }
-            })
-            .collect()
     }
 
     /// Features of a source element.
@@ -182,15 +236,6 @@ impl<'a> MatchContext<'a> {
             Side::Target => self.target_feat(id),
         }
     }
-}
-
-struct PartialFeatures {
-    name_bag: TokenBag,
-    raw_name: String,
-    doc_bag: TokenBag,
-    parent_bag: TokenBag,
-    children_bag: TokenBag,
-    instances: Option<InstanceProfile>,
 }
 
 #[cfg(test)]
@@ -277,5 +322,28 @@ mod tests {
         let n = Normalizer::new();
         let ctx = MatchContext::build(&a, &b, &n);
         assert_eq!(ctx.corpus.len(), 0);
+    }
+
+    #[test]
+    fn from_prepared_equals_direct_build() {
+        let (a, b) = schemas();
+        let n = Normalizer::new();
+        let direct = MatchContext::build(&a, &b, &n);
+        let pa = PreparedSchema::build(&a, &n);
+        let pb = PreparedSchema::build(&b, &n);
+        let cached = MatchContext::from_prepared(&a, &b, &pa, &pb);
+        for id in a.ids() {
+            let d = direct.source_feat(id);
+            let c = cached.source_feat(id);
+            assert_eq!(d.name_bag, c.name_bag);
+            assert_eq!(d.raw_name, c.raw_name);
+            assert_eq!(d.doc_bag, c.doc_bag);
+            assert_eq!(d.doc_vector, c.doc_vector);
+            assert_eq!(d.parent_bag, c.parent_bag);
+            assert_eq!(d.children_bag, c.children_bag);
+        }
+        for id in b.ids() {
+            assert_eq!(direct.target_feat(id).doc_vector, cached.target_feat(id).doc_vector);
+        }
     }
 }

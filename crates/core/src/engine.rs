@@ -1,41 +1,50 @@
-//! The match engine: voters × merger over all candidate pairs, in parallel.
+//! The match engine: configuration + entry points over the staged pipeline.
 //!
 //! Reproduces the paper's headline performance datum: "we had recently scaled
 //! Harmony to perform matches of this size, and the fully automated match
 //! executed in 10.2 seconds" for 1378×784 ≈ 1.08·10^6 pairs (§3.3). The
-//! engine shards the match matrix by source row across worker threads
-//! (crossbeam scoped threads; the context is shared read-only).
+//! actual execution lives in [`crate::pipeline::MatchPipeline`], which stages
+//! the run as `Prepare → Score → Merge → Propagate → Select` and shards rows
+//! across scoped threads with chunked work-stealing. Linguistic
+//! preprocessing is served by the engine's [`FeatureCache`], so repeated
+//! matching against the same schemata (incremental sessions, n-way efforts,
+//! repository search) amortizes the Prepare stage across runs.
 
 use crate::confidence::Confidence;
 use crate::context::MatchContext;
 use crate::matrix::MatchMatrix;
 use crate::merger::MergeStrategy;
+use crate::pipeline::{MatchPipeline, StageTimings};
+use crate::prepare::{FeatureCache, PreparedSchema};
 use crate::voter::{default_voters, MatchVoter};
 use sm_schema::{ElementId, Schema};
 use sm_text::normalize::Normalizer;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a match run.
 pub struct MatchEngine {
-    voters: Vec<Box<dyn MatchVoter>>,
-    merger: MergeStrategy,
-    normalizer: Normalizer,
-    threads: usize,
+    pub(crate) voters: Vec<Box<dyn MatchVoter>>,
+    pub(crate) merger: MergeStrategy,
+    /// Per-schema feature cache (owns the normalizer).
+    pub(crate) cache: Arc<FeatureCache>,
+    pub(crate) threads: usize,
     /// Structural-propagation blend factor α ∈ [0,1): a non-root pair's final
     /// score is `(1−α)·own + α·parents'`. Disambiguates generic leaf names
     /// (`name`, `identifier`) by their containers — a one-step analogue of
     /// similarity flooding. 0 disables.
-    propagation_alpha: f64,
+    pub(crate) propagation_alpha: f64,
 }
 
 impl MatchEngine {
-    /// Engine with the default voter panel, Harmony merger, default
-    /// normalizer, and one thread per available CPU.
+    /// Engine with the default voter panel, Harmony merger, the process-wide
+    /// [`FeatureCache`] (default normalizer), and one thread per available
+    /// CPU.
     pub fn new() -> Self {
         MatchEngine {
             voters: default_voters(),
             merger: MergeStrategy::default(),
-            normalizer: Normalizer::new(),
+            cache: Arc::clone(FeatureCache::global()),
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -55,9 +64,18 @@ impl MatchEngine {
         self
     }
 
-    /// Replace the normalizer.
+    /// Replace the normalizer. The engine switches to a private feature cache
+    /// for the new configuration (prepared features are only valid for the
+    /// normalizer that produced them).
     pub fn with_normalizer(mut self, normalizer: Normalizer) -> Self {
-        self.normalizer = normalizer;
+        self.cache = Arc::new(FeatureCache::new(normalizer));
+        self
+    }
+
+    /// Share an explicit feature cache (e.g. one owned by a repository, or by
+    /// several engines with the same normalizer configuration).
+    pub fn with_feature_cache(mut self, cache: Arc<FeatureCache>) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -79,16 +97,45 @@ impl MatchEngine {
         self.voters.iter().map(|v| v.name()).collect()
     }
 
-    /// Borrow the normalizer (e.g. to extend its abbreviation dictionary).
+    /// Borrow the normalizer (e.g. to inspect its options).
     pub fn normalizer(&self) -> &Normalizer {
-        &self.normalizer
+        self.cache.normalizer()
+    }
+
+    /// The engine's feature cache.
+    pub fn feature_cache(&self) -> &Arc<FeatureCache> {
+        &self.cache
+    }
+
+    /// Fetch (or build) the cached per-schema preparation — the Prepare
+    /// stage's per-schema half, exposed so repositories and n-way efforts can
+    /// warm the cache explicitly.
+    pub fn prepare(&self, schema: &Schema) -> Arc<PreparedSchema> {
+        self.cache.prepare(schema)
+    }
+
+    /// A staged view of this engine's configuration.
+    pub fn pipeline(&self) -> MatchPipeline<'_> {
+        MatchPipeline::new(self)
     }
 
     /// Build the linguistic context for a schema pair. Exposed so callers
     /// performing many restricted matches (the incremental workflow) can
-    /// amortize it.
+    /// amortize it. Per-schema features come from the feature cache; only the
+    /// joint TF-IDF corpus is computed per pair.
     pub fn build_context<'a>(&self, source: &'a Schema, target: &'a Schema) -> MatchContext<'a> {
-        MatchContext::build(source, target, &self.normalizer)
+        let prepared_source = self.prepare(source);
+        let prepared_target = self.prepare(target);
+        // Trusted: the preparations were just served by the cache for these
+        // exact schemata, so the staleness re-fingerprint is skipped.
+        MatchContext::from_prepared_trusted(
+            source,
+            target,
+            &prepared_source,
+            &prepared_target,
+            &sm_schema::InstanceData::empty(),
+            &sm_schema::InstanceData::empty(),
+        )
     }
 
     /// The full automated match with sampled instance data attached (used
@@ -100,14 +147,28 @@ impl MatchEngine {
         source_instances: &sm_schema::InstanceData,
         target_instances: &sm_schema::InstanceData,
     ) -> MatchResult {
-        let ctx = MatchContext::build_with_instances(
+        let started = Instant::now();
+        let prepared_source = self.prepare(source);
+        let prepared_target = self.prepare(target);
+        let ctx = MatchContext::from_prepared_trusted(
             source,
             target,
-            &self.normalizer,
+            &prepared_source,
+            &prepared_target,
             source_instances,
             target_instances,
         );
-        self.run_on_context(source, target, &ctx)
+        let timings = StageTimings {
+            prepare: started.elapsed(),
+            ..StageTimings::default()
+        };
+        let run = self.pipeline().run_on_context(&ctx, timings);
+        MatchResult {
+            pairs_considered: run.pairs_considered,
+            matrix: run.matrix,
+            elapsed: started.elapsed(),
+            timings: run.timings,
+        }
     }
 
     /// Score one pair under the configured panel and merger.
@@ -130,94 +191,16 @@ impl MatchEngine {
     }
 
     /// The full automated match: every source element against every target
-    /// element. This is the paper's `MATCH(S1, S2)` operator.
+    /// element. This is the paper's `MATCH(S1, S2)` operator, executed as the
+    /// staged pipeline.
     pub fn run(&self, source: &Schema, target: &Schema) -> MatchResult {
-        let ctx = self.build_context(source, target);
-        self.run_on_context(source, target, &ctx)
-    }
-
-    /// Fill the full matrix against an already-built context.
-    fn run_on_context(
-        &self,
-        source: &Schema,
-        target: &Schema,
-        ctx: &MatchContext<'_>,
-    ) -> MatchResult {
         let started = Instant::now();
-        let mut matrix = MatchMatrix::new(source.len(), target.len());
-        let cols = target.len();
-
-        if source.is_empty() || target.is_empty() {
-            return MatchResult {
-                matrix,
-                elapsed: started.elapsed(),
-                pairs_considered: 0,
-            };
-        }
-
-        let threads = self.threads.min(source.len()).max(1);
-        if threads == 1 {
-            for s in source.ids() {
-                let row = matrix.row_mut(s);
-                for t in target.ids() {
-                    row[t.index()] = self.score_pair(ctx, s, t).value() as f32;
-                }
-            }
-        } else {
-            // Shard rows across scoped threads; each thread owns a disjoint
-            // set of row slices of the score buffer.
-            let rows_per_thread = source.len().div_ceil(threads);
-            let mut rows: Vec<(usize, &mut [f32])> = matrix.rows_mut().enumerate().collect();
-            let ctx_ref = &ctx;
-            let this = self;
-            crossbeam::thread::scope(|scope| {
-                while !rows.is_empty() {
-                    let take = rows_per_thread.min(rows.len());
-                    let chunk: Vec<(usize, &mut [f32])> = rows.drain(..take).collect();
-                    scope.spawn(move |_| {
-                        for (row_idx, row) in chunk {
-                            let s = ElementId(row_idx as u32);
-                            for (j, cell) in row.iter_mut().enumerate().take(cols) {
-                                let t = ElementId(j as u32);
-                                *cell = this.score_pair(ctx_ref, s, t).value() as f32;
-                            }
-                        }
-                    });
-                }
-            })
-            .expect("match worker panicked");
-        }
-
-        if self.propagation_alpha > 0.0 {
-            self.propagate(source, target, &mut matrix);
-        }
-
+        let run = self.pipeline().run(source, target);
         MatchResult {
-            pairs_considered: source.len() * target.len(),
-            matrix,
+            pairs_considered: run.pairs_considered,
+            matrix: run.matrix,
             elapsed: started.elapsed(),
-        }
-    }
-
-    /// One structural-propagation pass: blend every non-root pair with its
-    /// parents' *base* score (order-independent).
-    fn propagate(&self, source: &Schema, target: &Schema, matrix: &mut MatchMatrix) {
-        let alpha = self.propagation_alpha;
-        let base = matrix.clone();
-        let target_parents: Vec<Option<ElementId>> =
-            target.elements().iter().map(|e| e.parent).collect();
-        for s in source.ids() {
-            let Some(ps) = source.element(s).parent else {
-                continue;
-            };
-            let row = matrix.row_mut(s);
-            for (j, cell) in row.iter_mut().enumerate() {
-                if let Some(pt) = target_parents[j] {
-                    let own = f64::from(*cell);
-                    let par = base.get(ps, pt).value();
-                    *cell = ((1.0 - alpha) * own + alpha * par) as f32;
-                }
-            }
+            timings: run.timings,
         }
     }
 
@@ -275,6 +258,8 @@ pub struct MatchResult {
     pub elapsed: Duration,
     /// Number of candidate pairs scored (`|S1| · |S2|`).
     pub pairs_considered: usize,
+    /// Per-stage wall-clock breakdown of the pipeline.
+    pub timings: StageTimings,
 }
 
 /// Result of a restricted (incremental) match.
@@ -434,5 +419,33 @@ mod tests {
         let pid2 = b.find_by_name("PersonIdentifier").unwrap();
         // Average dilutes with neutral voters, Harmony does not.
         assert!(rh.matrix.get(pid, pid2).value() > ra.matrix.get(pid, pid2).value());
+    }
+
+    #[test]
+    fn second_run_hits_feature_cache() {
+        let (a, b) = fixture();
+        // Private cache so other tests' global-cache traffic can't interfere.
+        let engine = MatchEngine::new().with_normalizer(Normalizer::new());
+        let r1 = engine.run(&a, &b);
+        let stats_cold = engine.feature_cache().stats();
+        assert_eq!(stats_cold.misses, 2, "both schemata prepared once");
+        let r2 = engine.run(&a, &b);
+        let stats_warm = engine.feature_cache().stats();
+        assert_eq!(stats_warm.misses, 2, "warm run prepares nothing");
+        assert_eq!(stats_warm.hits, stats_cold.hits + 2);
+        assert_eq!(
+            r1.matrix.as_slice(),
+            r2.matrix.as_slice(),
+            "cached run must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn timings_sum_close_to_elapsed() {
+        let (a, b) = fixture();
+        let engine = MatchEngine::new().with_threads(2);
+        let r = engine.run(&a, &b);
+        assert!(r.timings.total() <= r.elapsed + Duration::from_millis(5));
+        assert!(r.timings.prepare > Duration::ZERO);
     }
 }

@@ -53,6 +53,8 @@ pub mod matrix;
 pub mod merger;
 pub mod nway;
 pub mod partition;
+pub mod pipeline;
+pub mod prepare;
 pub mod select;
 pub mod summarize;
 pub mod voter;
@@ -69,8 +71,10 @@ pub mod prelude {
     pub use crate::filter::{LinkFilter, NodeFilter};
     pub use crate::matrix::MatchMatrix;
     pub use crate::merger::MergeStrategy;
-    pub use crate::nway::{NWayMatch, Vocabulary, VocabularyTerm};
+    pub use crate::nway::{NWayMatch, PairwiseOutcome, Vocabulary, VocabularyTerm};
     pub use crate::partition::{BinaryPartition, SubsumptionAdvice};
+    pub use crate::pipeline::{MatchPipeline, PipelineRun, StageTimings};
+    pub use crate::prepare::{FeatureCache, PreparedSchema};
     pub use crate::select::Selection;
     pub use crate::summarize::{auto_summarize, Concept, Summary};
     pub use crate::voter::MatchVoter;

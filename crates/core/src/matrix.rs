@@ -85,6 +85,18 @@ impl MatchMatrix {
         self.scores.chunks_mut(self.cols.max(1))
     }
 
+    /// The raw row-major score buffer (e.g. for byte-level comparisons).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.scores
+    }
+
+    /// Mutable raw row-major score buffer (parallel merge fills).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.scores
+    }
+
     /// Iterate all `(source, target, score)` triples in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (ElementId, ElementId, Confidence)> + '_ {
         self.scores.iter().enumerate().map(move |(i, &v)| {

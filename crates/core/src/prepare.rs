@@ -1,0 +1,428 @@
+//! Per-schema linguistic preparation — the shared feature cache.
+//!
+//! Historically every layer of the system re-ran linguistic preprocessing for
+//! itself: `MatchContext` normalized both schemata per match run, and the
+//! enterprise operators (`SchemaSearch`, `cluster`, `coi`, `feasibility`)
+//! each owned a private `Normalizer` and re-tokenized every element name they
+//! looked at. For the paper's §5 repository scenario — matching one query
+//! schema against *thousands* of registry schemata — that preprocessing
+//! dominates, and it is pure per-schema work: nothing about it depends on the
+//! opposing schema.
+//!
+//! [`PreparedSchema`] captures exactly that per-schema work (token bags,
+//! abbreviation expansion, stems, raw names, parent/child context bags, the
+//! per-element TF-IDF documents, and the schema-level name-token signature),
+//! computed once and shared by every consumer. [`FeatureCache`] memoizes
+//! prepared schemata by content fingerprint, so repeated matching against a
+//! repository amortizes preprocessing across runs; [`FeatureCache::global`]
+//! is the process-wide instance behind `MatchEngine::new()` and the
+//! enterprise layer. Only the pairwise TF-IDF corpus (whose IDF weights
+//! depend on the *joint* vocabulary of a match problem) remains per-pair; see
+//! [`crate::context::MatchContext`].
+
+use sm_schema::{Schema, SchemaId};
+use sm_text::normalize::{Normalizer, TokenBag};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The default normalizer shared by every process path that does not
+/// configure its own (`MatchEngine::with_normalizer` being the exception).
+/// This is the single `Normalizer::new()` call in the production code paths.
+pub fn default_normalizer() -> &'static Normalizer {
+    static DEFAULT: OnceLock<Normalizer> = OnceLock::new();
+    DEFAULT.get_or_init(Normalizer::new)
+}
+
+/// Content fingerprint of everything [`PreparedSchema`] derives its features
+/// from: identity, element names, documentation, and tree shape. Two schemata
+/// with equal fingerprints prepare identically (FNV-1a; collisions are
+/// vanishingly unlikely at repository scale and would only cost a stale cache
+/// hit between deliberately colliding schemata).
+pub fn schema_fingerprint(schema: &Schema) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Field separator so ("ab","c") and ("a","bc") differ.
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    eat(&schema.id.0.to_le_bytes());
+    eat(schema.name.as_bytes());
+    eat(&(schema.len() as u64).to_le_bytes());
+    for e in schema.elements() {
+        eat(e.name.as_bytes());
+        eat(e.doc_text().as_bytes());
+        let parent = e.parent.map_or(u32::MAX, |p| p.0);
+        eat(&parent.to_le_bytes());
+    }
+    h
+}
+
+/// Precomputed linguistic features of one element, independent of any
+/// opposing schema.
+#[derive(Debug, Clone)]
+pub struct PreparedElement {
+    /// Normalized name tokens.
+    pub name_bag: TokenBag,
+    /// Raw lowercased name (for edit-distance voters).
+    pub raw_name: String,
+    /// Normalized documentation tokens.
+    pub doc_bag: TokenBag,
+    /// Normalized tokens of the parent's name (empty for roots).
+    pub parent_bag: TokenBag,
+    /// Normalized name tokens of the element's children (flattened).
+    pub children_bag: TokenBag,
+    /// The element's TF-IDF document: name tokens then documentation tokens,
+    /// in normalization order. Feeding these to a pairwise corpus reproduces
+    /// the historical `MatchContext` vectors exactly.
+    pub corpus_tokens: Vec<String>,
+}
+
+/// All per-schema linguistic preprocessing, computed once and reused by the
+/// match pipeline, n-way matching, incremental sessions, and the enterprise
+/// search / clustering / COI operators.
+#[derive(Debug)]
+pub struct PreparedSchema {
+    /// Identity of the prepared schema.
+    pub schema_id: SchemaId,
+    /// Fingerprint of the schema content this preparation reflects.
+    pub fingerprint: u64,
+    /// Individually shared so match contexts can reference element features
+    /// without deep-cloning token bags per run.
+    elements: Vec<Arc<PreparedElement>>,
+    /// Distinct normalized name tokens over the whole schema — the cheap
+    /// vocabulary signature used by search, clustering, COI proposal, and
+    /// feasibility grading.
+    signature: HashSet<String>,
+}
+
+impl PreparedSchema {
+    /// Run the full normalization pipeline once per element.
+    pub fn build(schema: &Schema, normalizer: &Normalizer) -> Self {
+        let bags: Vec<TokenBag> = schema
+            .elements()
+            .iter()
+            .map(|e| normalizer.name(&e.name))
+            .collect();
+        let mut signature = HashSet::new();
+        for bag in &bags {
+            signature.extend(bag.tokens.iter().cloned());
+        }
+        let elements = schema
+            .elements()
+            .iter()
+            .map(|e| {
+                let parent_bag = e
+                    .parent
+                    .map(|p| bags[p.index()].clone())
+                    .unwrap_or_default();
+                let mut children_tokens = Vec::new();
+                for &c in &e.children {
+                    children_tokens.extend(bags[c.index()].tokens.iter().cloned());
+                }
+                let name_bag = bags[e.id.index()].clone();
+                let doc_bag = normalizer.prose(e.doc_text());
+                let mut corpus_tokens = name_bag.tokens.clone();
+                corpus_tokens.extend(doc_bag.tokens.iter().cloned());
+                Arc::new(PreparedElement {
+                    name_bag,
+                    raw_name: e.name.to_lowercase(),
+                    doc_bag,
+                    parent_bag,
+                    children_bag: TokenBag {
+                        tokens: children_tokens,
+                    },
+                    corpus_tokens,
+                })
+            })
+            .collect();
+        PreparedSchema {
+            schema_id: schema.id,
+            fingerprint: schema_fingerprint(schema),
+            elements,
+            signature,
+        }
+    }
+
+    /// Number of prepared elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when the schema had no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Features of the element at dense index `idx`.
+    #[inline]
+    pub fn element(&self, idx: usize) -> &PreparedElement {
+        &self.elements[idx]
+    }
+
+    /// All prepared elements, in element-id order.
+    pub fn elements(&self) -> &[Arc<PreparedElement>] {
+        &self.elements
+    }
+
+    /// The schema's normalized name-token signature (distinct tokens).
+    pub fn signature(&self) -> &HashSet<String> {
+        &self.signature
+    }
+
+    /// Does this preparation still reflect `schema`'s current content?
+    pub fn is_current_for(&self, schema: &Schema) -> bool {
+        self.schema_id == schema.id && self.fingerprint == schema_fingerprint(schema)
+    }
+}
+
+/// Hit/miss counters of a [`FeatureCache`] (observability for benches and
+/// regression tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that had to build a [`PreparedSchema`].
+    pub misses: usize,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A memoizing store of [`PreparedSchema`]s, keyed by content fingerprint.
+///
+/// One cache serves one [`Normalizer`] configuration (fingerprints do not
+/// encode normalizer options, so mixing normalizers in one cache would serve
+/// wrong features). Eviction is LRU — hits refresh an entry's recency, so a
+/// stream of one-off schemata (ad-hoc search queries, say) cannot flush a
+/// hot repository working set the way FIFO would. The default capacity is
+/// generous: at repository scale a prepared schema is a few hundred KB, so
+/// hundreds of resident schemata cost tens of MB.
+pub struct FeatureCache {
+    normalizer: Normalizer,
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<u64, CacheEntry>,
+    /// Monotonic recency clock; bumped on every hit and insert.
+    tick: u64,
+}
+
+struct CacheEntry {
+    prepared: Arc<PreparedSchema>,
+    last_used: u64,
+}
+
+impl FeatureCache {
+    /// Default number of resident prepared schemata.
+    pub const DEFAULT_CAPACITY: usize = 512;
+
+    /// A cache for the given normalizer configuration.
+    pub fn new(normalizer: Normalizer) -> Self {
+        Self::with_capacity(normalizer, Self::DEFAULT_CAPACITY)
+    }
+
+    /// A cache holding at most `capacity` prepared schemata (≥ 1).
+    pub fn with_capacity(normalizer: Normalizer, capacity: usize) -> Self {
+        FeatureCache {
+            normalizer,
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-wide cache over the default normalizer. `MatchEngine::new`
+    /// and the enterprise operators all share it, so a schema prepared by any
+    /// of them is prepared for all of them.
+    pub fn global() -> &'static Arc<FeatureCache> {
+        static GLOBAL: OnceLock<Arc<FeatureCache>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(FeatureCache::new(default_normalizer().clone())))
+    }
+
+    /// The normalizer this cache prepares with.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// Fetch (or build and memoize) the preparation of `schema`. Keyed by
+    /// content fingerprint, so mutated or replaced schemata never see stale
+    /// features.
+    pub fn prepare(&self, schema: &Schema) -> Arc<PreparedSchema> {
+        let fp = schema_fingerprint(schema);
+        {
+            let mut inner = self.inner.lock().expect("feature cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&fp) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.prepared);
+            }
+        }
+        // Build outside the lock: preparation is the expensive part, and
+        // concurrent preparers of the same schema just race benignly.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = Arc::new(PreparedSchema::build(schema, &self.normalizer));
+        let mut inner = self.inner.lock().expect("feature cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.entry(fp).or_insert_with(|| CacheEntry {
+            prepared: Arc::clone(&prepared),
+            last_used: tick,
+        });
+        while inner.map.len() > self.capacity {
+            // O(n) scan, but only on eviction — hits stay O(1).
+            if let Some(evict) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&fp, _)| fp)
+            {
+                inner.map.remove(&evict);
+            }
+        }
+        prepared
+    }
+
+    /// Drop every resident entry (counters are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("feature cache poisoned");
+        inner.map.clear();
+    }
+
+    /// Current hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.inner.lock().expect("feature cache poisoned").map.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+impl std::fmt::Debug for FeatureCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("FeatureCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_schema::{DataType, Documentation, ElementKind, SchemaFormat};
+
+    fn schema(id: u32) -> Schema {
+        let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Relational);
+        let t = s.add_root("Person", ElementKind::Table, DataType::None);
+        let c = s
+            .add_child(t, "birth_dt", ElementKind::Column, DataType::Date)
+            .unwrap();
+        s.set_doc(c, Documentation::embedded("date of birth"))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn prepared_features_match_direct_normalization() {
+        let s = schema(1);
+        let n = Normalizer::new();
+        let p = PreparedSchema::build(&s, &n);
+        assert_eq!(p.len(), s.len());
+        let col = s.find_by_name("birth_dt").unwrap();
+        let e = p.element(col.index());
+        assert_eq!(e.name_bag, n.name("birth_dt"));
+        assert_eq!(e.raw_name, "birth_dt");
+        assert_eq!(e.doc_bag, n.prose("date of birth"));
+        assert!(!e.parent_bag.is_empty(), "column has a parent bag");
+        let root = s.find_by_name("Person").unwrap();
+        assert!(!p.element(root.index()).children_bag.is_empty());
+        // Corpus document is name tokens then doc tokens.
+        let mut expect = e.name_bag.tokens.clone();
+        expect.extend(e.doc_bag.tokens.iter().cloned());
+        assert_eq!(e.corpus_tokens, expect);
+    }
+
+    #[test]
+    fn signature_is_distinct_name_tokens() {
+        let s = schema(1);
+        let p = PreparedSchema::build(&s, &Normalizer::new());
+        assert!(p.signature().contains("birth"));
+        assert!(p.signature().contains("person"));
+        // Doc-only vocabulary is not part of the name signature.
+        assert!(!p.signature().contains("of"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_just_identity() {
+        let mut a = schema(1);
+        let b = schema(1);
+        assert_eq!(schema_fingerprint(&a), schema_fingerprint(&b));
+        let p = PreparedSchema::build(&a, &Normalizer::new());
+        assert!(p.is_current_for(&b));
+        let t = a.find_by_name("Person").unwrap();
+        a.add_child(t, "last_name", ElementKind::Column, DataType::text())
+            .unwrap();
+        assert_ne!(schema_fingerprint(&a), schema_fingerprint(&b));
+        assert!(!p.is_current_for(&a));
+    }
+
+    #[test]
+    fn cache_hits_on_equal_content_and_rebuilds_on_change() {
+        let cache = FeatureCache::new(Normalizer::new());
+        let mut s = schema(7);
+        let p1 = cache.prepare(&s);
+        let p2 = cache.prepare(&s);
+        assert!(Arc::ptr_eq(&p1, &p2), "second prepare is a cache hit");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        let t = s.find_by_name("Person").unwrap();
+        s.add_child(t, "ssn", ElementKind::Column, DataType::text())
+            .unwrap();
+        let p3 = cache.prepare(&s);
+        assert!(!Arc::ptr_eq(&p1, &p3), "mutated schema re-prepares");
+        assert_eq!(p3.len(), s.len());
+    }
+
+    #[test]
+    fn cache_capacity_evicts_least_recently_used() {
+        let cache = FeatureCache::with_capacity(Normalizer::new(), 2);
+        let a = schema(1);
+        let b = schema(2);
+        let c = schema(3);
+        cache.prepare(&a);
+        cache.prepare(&b);
+        // Touch `a` so `b` is the least recently used entry.
+        cache.prepare(&a);
+        cache.prepare(&c);
+        assert_eq!(cache.stats().entries, 2);
+        // `a` stayed hot; `b` was evicted.
+        let misses_before = cache.stats().misses;
+        cache.prepare(&a);
+        assert_eq!(cache.stats().misses, misses_before, "hot entry survived");
+        cache.prepare(&b);
+        assert_eq!(cache.stats().misses, misses_before + 1, "LRU entry evicted");
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        let g1 = FeatureCache::global();
+        let g2 = FeatureCache::global();
+        assert!(Arc::ptr_eq(g1, g2));
+    }
+}

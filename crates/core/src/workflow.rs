@@ -131,7 +131,11 @@ pub struct IncrementalSession<'a> {
 }
 
 impl<'a> IncrementalSession<'a> {
-    /// Start a session; builds the linguistic context once.
+    /// Start a session. The pairwise context is assembled once; per-schema
+    /// linguistic features come from the engine's
+    /// [`crate::prepare::FeatureCache`], so a session over schemata the
+    /// engine has already matched (or searched, or clustered) skips
+    /// normalization entirely.
     pub fn new(
         engine: &'a MatchEngine,
         source: &'a Schema,

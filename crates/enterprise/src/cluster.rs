@@ -8,15 +8,16 @@
 //! integration."*
 //!
 //! Distance = 1 − weighted vocabulary overlap (the same cheap signature the
-//! search index uses). Clustering = agglomerative hierarchical with
-//! selectable linkage, cut either at `k` clusters or at a distance
-//! threshold. Quality metrics (purity, adjusted Rand index) evaluate against
-//! generated ground truth.
+//! search index uses, served by the shared [`PreparedSchema`] feature cache).
+//! Clustering = agglomerative hierarchical with selectable linkage, cut
+//! either at `k` clusters or at a distance threshold. Quality metrics
+//! (purity, adjusted Rand index) evaluate against generated ground truth.
 
 use crate::repository::MetadataRepository;
+use harmony_core::prepare::{FeatureCache, PreparedSchema};
 use sm_schema::{Schema, SchemaId};
-use sm_text::normalize::Normalizer;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Linkage criterion for agglomerative clustering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,32 +69,33 @@ impl DistanceMatrix {
         Self::from_schemas(&schemas)
     }
 
-    /// Vocabulary-overlap distances for an explicit schema list.
+    /// Vocabulary-overlap distances for an explicit schema list (prepared
+    /// through the shared feature cache).
     pub fn from_schemas(schemas: &[&Schema]) -> Self {
-        let normalizer = Normalizer::new();
-        let sigs: Vec<HashSet<String>> = schemas
+        let prepared: Vec<Arc<PreparedSchema>> = schemas
             .iter()
-            .map(|s| {
-                let mut sig = HashSet::new();
-                for e in s.elements() {
-                    sig.extend(normalizer.name(&e.name).tokens);
-                }
-                sig
-            })
+            .map(|s| FeatureCache::global().prepare(s))
             .collect();
-        let n = schemas.len();
+        Self::from_prepared(&prepared)
+    }
+
+    /// Vocabulary-overlap distances over already-prepared schemata.
+    pub fn from_prepared(prepared: &[Arc<PreparedSchema>]) -> Self {
+        let n = prepared.len();
         let mut d = vec![0.0; n * n];
         for i in 0..n {
-            for j in (i + 1)..n {
-                let inter = sigs[i].intersection(&sigs[j]).count() as f64;
-                let union = (sigs[i].len() + sigs[j].len()) as f64 - inter;
+            let sig_i = prepared[i].signature();
+            for (j, p) in prepared.iter().enumerate().skip(i + 1) {
+                let sig_j = p.signature();
+                let inter = sig_i.intersection(sig_j).count() as f64;
+                let union = (sig_i.len() + sig_j.len()) as f64 - inter;
                 let dist = if union == 0.0 { 0.0 } else { 1.0 - inter / union };
                 d[i * n + j] = dist;
                 d[j * n + i] = dist;
             }
         }
         DistanceMatrix {
-            ids: schemas.iter().map(|s| s.id).collect(),
+            ids: prepared.iter().map(|p| p.schema_id).collect(),
             d,
         }
     }

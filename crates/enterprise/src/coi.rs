@@ -9,7 +9,6 @@
 use crate::cluster::{agglomerative, Cut, DistanceMatrix, Linkage};
 use crate::repository::MetadataRepository;
 use sm_schema::SchemaId;
-use sm_text::normalize::Normalizer;
 use std::collections::{HashMap, HashSet};
 
 /// A proposed community of interest.
@@ -42,7 +41,6 @@ pub fn propose_cois(
         .enumerate()
         .map(|(i, &id)| (id, i))
         .collect();
-    let normalizer = Normalizer::new();
 
     let mut proposals: Vec<CoiProposal> = clustering
         .clusters
@@ -62,17 +60,17 @@ pub fn propose_cois(
             if cohesion < min_cohesion {
                 return None;
             }
-            // Vocabulary shared by all members.
+            // Vocabulary shared by all members (signatures served by the
+            // shared feature cache via the repository).
             let mut shared: Option<HashSet<String>> = None;
             for id in &members {
-                let schema = repo.schema(*id)?;
-                let mut sig: HashSet<String> = HashSet::new();
-                for e in schema.elements() {
-                    sig.extend(normalizer.name(&e.name).tokens);
-                }
+                let prepared = repo.prepared(*id)?;
                 shared = Some(match shared {
-                    None => sig,
-                    Some(prev) => prev.intersection(&sig).cloned().collect(),
+                    None => prepared.signature().clone(),
+                    Some(prev) => prev
+                        .intersection(prepared.signature())
+                        .cloned()
+                        .collect(),
                 });
             }
             let mut shared_vocabulary: Vec<String> =

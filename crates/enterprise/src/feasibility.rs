@@ -13,10 +13,10 @@
 //! written against.
 
 use harmony_core::effort::{EffortEstimate, EffortModel};
+use harmony_core::prepare::{FeatureCache, PreparedSchema};
 use serde::{Deserialize, Serialize};
 use sm_schema::{Schema, SchemaId};
-use sm_text::normalize::Normalizer;
-use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Go / no-go grading of a proposed integration project.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,23 +54,18 @@ pub struct FeasibilityReport {
 /// the paper's workflow: summarize each source, then match each source pair
 /// incrementally.
 pub fn assess(schemas: &[&Schema], model: &EffortModel) -> FeasibilityReport {
-    let normalizer = Normalizer::new();
-    let sigs: Vec<HashSet<String>> = schemas
+    let prepared: Vec<Arc<PreparedSchema>> = schemas
         .iter()
-        .map(|s| {
-            let mut sig = HashSet::new();
-            for e in s.elements() {
-                sig.extend(normalizer.name(&e.name).tokens);
-            }
-            sig
-        })
+        .map(|s| FeatureCache::global().prepare(s))
         .collect();
 
     let mut overlaps: Vec<f64> = Vec::new();
-    for i in 0..schemas.len() {
-        for j in (i + 1)..schemas.len() {
-            let inter = sigs[i].intersection(&sigs[j]).count() as f64;
-            let union = (sigs[i].len() + sigs[j].len()) as f64 - inter;
+    for i in 0..prepared.len() {
+        let sig_i = prepared[i].signature();
+        for p in prepared.iter().skip(i + 1) {
+            let sig_j = p.signature();
+            let inter = sig_i.intersection(sig_j).count() as f64;
+            let union = (sig_i.len() + sig_j.len()) as f64 - inter;
             overlaps.push(if union == 0.0 { 0.0 } else { inter / union });
         }
     }

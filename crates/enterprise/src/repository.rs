@@ -9,9 +9,11 @@
 //! asserted it, trust queries).
 
 use harmony_core::correspondence::{MatchSet, MatchStatus};
+use harmony_core::prepare::{FeatureCache, PreparedSchema};
 use serde::{Deserialize, Serialize};
 use sm_schema::{ElementId, Schema, SchemaId, SchemaPath};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The intended consumption context of a stored match — §5's observation
 /// that "matches are context-dependent". Ordered by the precision the
@@ -117,6 +119,23 @@ impl MetadataRepository {
     /// Number of registered schemata.
     pub fn schema_count(&self) -> usize {
         self.schemas.len()
+    }
+
+    /// Prepared linguistic features of a registered schema, served from the
+    /// process-wide [`FeatureCache`]. Repeated calls — and every other
+    /// consumer of the cache (match engine, search, clustering, COI) — share
+    /// one preparation per schema content.
+    pub fn prepared(&self, id: SchemaId) -> Option<Arc<PreparedSchema>> {
+        self.schema(id).map(|s| FeatureCache::global().prepare(s))
+    }
+
+    /// Warm the feature cache for every registered schema (e.g. before a
+    /// batch of repository-wide searches); returns the preparations in
+    /// registration order.
+    pub fn prepare_all(&self) -> Vec<Arc<PreparedSchema>> {
+        self.schemas()
+            .map(|s| FeatureCache::global().prepare(s))
+            .collect()
     }
 
     /// Store a match artifact; returns its record index. Both schemata must

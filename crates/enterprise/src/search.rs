@@ -6,11 +6,34 @@
 //! thousands of registry schemata is wasteful; search instead uses a cheap
 //! vocabulary signature (normalized name tokens weighted by rarity across the
 //! repository) — the "characterize overlap approximately but quickly" of §5.
+//!
+//! Signatures come from the shared [`PreparedSchema`] feature cache
+//! ([`FeatureCache::global`]), so the index never re-tokenizes a schema the
+//! match engine (or clustering, or COI proposal) has already prepared — and
+//! vice versa.
 
 use crate::repository::MetadataRepository;
+use harmony_core::prepare::{FeatureCache, PreparedSchema};
 use sm_schema::{Schema, SchemaId};
-use sm_text::normalize::Normalizer;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Smoothed IDF weight of a token present in `df` of `n` schemata. The one
+/// definition shared by index build, query, and fragment scoring — the
+/// precomputed [`IndexedSchema::total_weight`] is only consistent with
+/// query-side weights because they all come from here.
+fn idf_weight(n: f64, df: f64) -> f64 {
+    ((n + 1.0) / (df + 1.0)).ln() + 1.0
+}
+
+/// Sum token weights in sorted-token order: float addition is not
+/// associative, and `HashSet` iteration order varies per instance, so an
+/// unsorted sum would make scores differ in the last ulp across runs.
+fn weighted_sum(tokens: &HashSet<String>, weight: &impl Fn(&str) -> f64) -> f64 {
+    let mut sorted: Vec<&str> = tokens.iter().map(String::as_str).collect();
+    sorted.sort_unstable();
+    sorted.into_iter().map(weight).sum()
+}
 
 /// One ranked search result.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,43 +60,75 @@ pub struct FragmentHit {
     pub shared_tokens: Vec<String>,
 }
 
+/// One indexed schema: its signature plus its total signature weight,
+/// precomputed at build time (the weight table is frozen once the index is
+/// built, so per-query work is the intersection alone).
+struct IndexedSchema {
+    id: SchemaId,
+    signature: HashSet<String>,
+    total_weight: f64,
+}
+
 /// A search index over a repository's schemata.
 pub struct SchemaSearch {
-    /// Per-schema normalized token sets.
-    signatures: Vec<(SchemaId, HashSet<String>)>,
+    /// Per-schema signatures with precomputed total weights.
+    signatures: Vec<IndexedSchema>,
     /// token → number of schemata containing it (for IDF weighting).
     schema_freq: HashMap<String, usize>,
-    normalizer: Normalizer,
+    /// The cache queries are prepared through — always the one whose
+    /// normalizer produced the indexed signatures, so index-side and
+    /// query-side tokenization can never diverge.
+    cache: Arc<FeatureCache>,
 }
 
 impl SchemaSearch {
-    /// Build the index from all schemata currently in the repository.
+    /// Build the index from all schemata currently in the repository,
+    /// preparing each through the shared global feature cache.
     pub fn build(repo: &MetadataRepository) -> Self {
-        let normalizer = Normalizer::new();
-        let mut signatures = Vec::with_capacity(repo.schema_count());
+        let cache = Arc::clone(FeatureCache::global());
+        let prepared: Vec<Arc<PreparedSchema>> =
+            repo.schemas().map(|s| cache.prepare(s)).collect();
+        Self::from_prepared(prepared, cache)
+    }
+
+    /// Build the index from already-prepared schemata. `cache` must be the
+    /// cache (and therefore normalizer configuration) that produced them;
+    /// queries are prepared through the same cache.
+    pub fn from_prepared(
+        prepared: impl IntoIterator<Item = Arc<PreparedSchema>>,
+        cache: Arc<FeatureCache>,
+    ) -> Self {
+        let mut sigs: Vec<(SchemaId, HashSet<String>)> = Vec::new();
         let mut schema_freq: HashMap<String, usize> = HashMap::new();
-        for schema in repo.schemas() {
-            let sig = Self::signature_of(schema, &normalizer);
+        for p in prepared {
+            let sig = p.signature().clone();
             for t in &sig {
                 *schema_freq.entry(t.clone()).or_insert(0) += 1;
             }
-            signatures.push((schema.id, sig));
+            sigs.push((p.schema_id, sig));
         }
+        // Second pass: schema_freq is complete, so per-schema total weights
+        // can be frozen now instead of recomputed per query.
+        let n = sigs.len().max(1) as f64;
+        let weight = |t: &str| -> f64 {
+            idf_weight(n, schema_freq.get(t).copied().unwrap_or(0) as f64)
+        };
+        let signatures = sigs
+            .into_iter()
+            .map(|(id, signature)| {
+                let total_weight = weighted_sum(&signature, &weight);
+                IndexedSchema {
+                    id,
+                    signature,
+                    total_weight,
+                }
+            })
+            .collect();
         SchemaSearch {
             signatures,
             schema_freq,
-            normalizer,
+            cache,
         }
-    }
-
-    fn signature_of(schema: &Schema, normalizer: &Normalizer) -> HashSet<String> {
-        let mut sig = HashSet::new();
-        for e in schema.elements() {
-            for t in normalizer.name(&e.name).tokens {
-                sig.insert(t);
-            }
-        }
-        sig
     }
 
     /// Number of indexed schemata.
@@ -91,36 +146,41 @@ impl SchemaSearch {
     /// it is one of the indexed schemata (searching for *other* relevant
     /// schemata).
     pub fn query(&self, query: &Schema, limit: usize) -> Vec<SearchHit> {
-        let q_sig = Self::signature_of(query, &self.normalizer);
+        let prepared = self.cache.prepare(query);
+        let q_sig = prepared.signature();
         if q_sig.is_empty() {
             return Vec::new();
         }
         let n = self.signatures.len().max(1) as f64;
         let weight = |t: &str| -> f64 {
-            let df = self.schema_freq.get(t).copied().unwrap_or(0) as f64;
-            ((n + 1.0) / (df + 1.0)).ln() + 1.0
+            idf_weight(n, self.schema_freq.get(t).copied().unwrap_or(0) as f64)
         };
-        let q_weight: f64 = q_sig.iter().map(|t| weight(t)).sum();
+        let q_weight = weighted_sum(q_sig, &weight);
 
         let mut hits: Vec<SearchHit> = self
             .signatures
             .iter()
-            .filter(|(id, _)| *id != query.id)
-            .filter_map(|(id, sig)| {
+            .filter(|c| c.id != query.id)
+            .filter_map(|candidate| {
                 let mut shared: Vec<(&String, f64)> = q_sig
-                    .intersection(sig)
+                    .intersection(&candidate.signature)
                     .map(|t| (t, weight(t)))
                     .collect();
                 if shared.is_empty() {
                     return None;
                 }
+                // Fully deterministic order (weight desc, token asc) so both
+                // the reported tokens and the float summation order are
+                // stable across runs and cache states.
+                shared.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(b.0))
+                });
                 let shared_weight: f64 = shared.iter().map(|(_, w)| w).sum();
-                let c_weight: f64 = sig.iter().map(|t| weight(t)).sum();
                 // Weighted Jaccard: shared / union weights.
-                let score = shared_weight / (q_weight + c_weight - shared_weight);
-                shared.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                let score =
+                    shared_weight / (q_weight + candidate.total_weight - shared_weight);
                 Some(SearchHit {
-                    schema_id: *id,
+                    schema_id: candidate.id,
                     score,
                     shared_tokens: shared
                         .into_iter()
@@ -150,14 +210,15 @@ impl SchemaSearch {
         candidate: &Schema,
         limit: usize,
     ) -> Vec<FragmentHit> {
-        let q_sig = Self::signature_of(query, &self.normalizer);
+        let prepared_query = self.cache.prepare(query);
+        let q_sig = prepared_query.signature();
         if q_sig.is_empty() {
             return Vec::new();
         }
+        let prepared_candidate = self.cache.prepare(candidate);
         let n = self.signatures.len().max(1) as f64;
         let weight = |t: &str| -> f64 {
-            let df = self.schema_freq.get(t).copied().unwrap_or(0) as f64;
-            ((n + 1.0) / (df + 1.0)).ln() + 1.0
+            idf_weight(n, self.schema_freq.get(t).copied().unwrap_or(0) as f64)
         };
         let mut hits: Vec<FragmentHit> = candidate
             .roots()
@@ -165,7 +226,14 @@ impl SchemaSearch {
             .filter_map(|&root| {
                 let mut sig: HashSet<String> = HashSet::new();
                 for e in candidate.subtree(root) {
-                    sig.extend(self.normalizer.name(&e.name).tokens);
+                    sig.extend(
+                        prepared_candidate
+                            .element(e.id.index())
+                            .name_bag
+                            .tokens
+                            .iter()
+                            .cloned(),
+                    );
                 }
                 let mut shared: Vec<(String, f64)> = q_sig
                     .intersection(&sig)
@@ -174,9 +242,11 @@ impl SchemaSearch {
                 if shared.is_empty() {
                     return None;
                 }
+                shared.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(&b.0))
+                });
                 let shared_weight: f64 = shared.iter().map(|(_, w)| w).sum();
-                let frag_weight: f64 = sig.iter().map(|t| weight(t)).sum();
-                shared.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                let frag_weight = weighted_sum(&sig, &weight);
                 Some(FragmentHit {
                     root,
                     score: shared_weight / frag_weight.max(1e-12),

@@ -83,13 +83,16 @@ impl Corpus {
                         (term.clone(), w)
                     })
                     .collect();
+                // Sort *before* the norm so the float summation order is
+                // deterministic (HashMap iteration order is not): identical
+                // documents must produce bit-identical vectors across runs.
+                weights.sort_by(|a, b| a.0.cmp(&b.0));
                 let norm = weights.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
                 if norm > 0.0 {
                     for (_, w) in &mut weights {
                         *w /= norm;
                     }
                 }
-                weights.sort_by(|a, b| a.0.cmp(&b.0));
                 DocVector {
                     weights,
                     token_count,
@@ -148,13 +151,14 @@ impl FinalizedCorpus {
                 ((*term).to_string(), (1.0 + f64::from(tf).ln()) * idf)
             })
             .collect();
+        // Deterministic summation order, as in `Corpus::finalize`.
+        weights.sort_by(|a, b| a.0.cmp(&b.0));
         let norm = weights.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
         if norm > 0.0 {
             for (_, w) in &mut weights {
                 *w /= norm;
             }
         }
-        weights.sort_by(|a, b| a.0.cmp(&b.0));
         DocVector {
             weights,
             token_count,

@@ -25,21 +25,14 @@ fn main() {
         println!("{n}: {} elements", s.len());
     }
 
-    // Pairwise matching: each unordered pair gets a one-to-one match.
+    // Pairwise matching: each unordered pair gets a one-to-one match. The
+    // engine's feature cache prepares each schema once, not once per pairing.
     let engine = MatchEngine::new();
     let threshold = Confidence::new(0.35);
     let mut nway = NWayMatch::new(schemas.clone());
-    for i in 0..schemas.len() {
-        for j in (i + 1)..schemas.len() {
-            let result = engine.run(schemas[i], schemas[j]);
-            let selected = Selection::OneToOne { min: threshold }.apply(&result.matrix);
-            let mut validated = MatchSet::new();
-            for c in selected.all() {
-                validated.push(c.clone().validate("engine", MatchAnnotation::Equivalent));
-            }
-            nway.add_pairwise(i, j, &validated);
-        }
-    }
+    let outcomes = nway.populate_pairwise(&engine, threshold, "engine");
+    let recorded: usize = outcomes.iter().map(|o| o.validated).sum();
+    println!("pairwise matches recorded: {recorded}");
 
     // The comprehensive vocabulary and its 2^N − 1 cells.
     let vocabulary = nway.vocabulary();

@@ -1,0 +1,186 @@
+//! Cross-crate contract of the `PreparedSchema` refactor: the shared feature
+//! cache must be a pure optimization. Cached runs are byte-identical to cold
+//! runs, and every consumer built from the cache agrees with one built from
+//! scratch.
+
+use harmony_core::prelude::*;
+use harmony_core::prepare::{FeatureCache, PreparedSchema};
+use sm_enterprise::cluster::DistanceMatrix;
+use sm_enterprise::{MetadataRepository, SchemaSearch};
+use sm_schema::Schema;
+use sm_synth::{GeneratorConfig, RepositoryConfig, SchemaPair, SyntheticRepository};
+use sm_text::normalize::Normalizer;
+
+fn case_pair() -> SchemaPair {
+    SchemaPair::generate(&GeneratorConfig::paper_case_study(11, 0.08))
+}
+
+fn population() -> SyntheticRepository {
+    SyntheticRepository::generate(&RepositoryConfig {
+        seed: 77,
+        domains: 2,
+        schemas_per_domain: 3,
+        concepts_per_domain: 12,
+        concept_coverage: 0.6,
+        attrs_per_concept: (3, 6),
+    })
+}
+
+/// A second `engine.run` against cached schemata reproduces the cold run
+/// bit for bit, while preparing nothing.
+#[test]
+fn cached_run_is_byte_identical_to_cold_run() {
+    let pair = case_pair();
+    // Private cache so concurrent tests' global-cache traffic is invisible.
+    let engine = MatchEngine::new()
+        .with_normalizer(Normalizer::new())
+        .with_threads(4);
+
+    let cold = engine.run(&pair.source, &pair.target);
+    let stats_cold = engine.feature_cache().stats();
+    assert_eq!(stats_cold.misses, 2, "cold run prepares both schemata");
+
+    let cached = engine.run(&pair.source, &pair.target);
+    let stats_cached = engine.feature_cache().stats();
+    assert_eq!(stats_cached.misses, 2, "cached run prepares nothing new");
+    assert!(stats_cached.hits >= stats_cold.hits + 2);
+
+    assert_eq!(
+        cold.matrix.as_slice(),
+        cached.matrix.as_slice(),
+        "feature cache must not change a single bit of the match matrix"
+    );
+}
+
+/// Engines sharing one cache see each other's preparations.
+#[test]
+fn engines_share_an_explicit_cache() {
+    let pair = case_pair();
+    let cache = std::sync::Arc::new(FeatureCache::new(Normalizer::new()));
+    let first = MatchEngine::new().with_feature_cache(std::sync::Arc::clone(&cache));
+    let second = MatchEngine::new().with_feature_cache(std::sync::Arc::clone(&cache));
+
+    let r1 = first.run(&pair.source, &pair.target);
+    let misses_after_first = cache.stats().misses;
+    let r2 = second.run(&pair.source, &pair.target);
+    assert_eq!(
+        cache.stats().misses,
+        misses_after_first,
+        "second engine re-prepares nothing"
+    );
+    assert_eq!(r1.matrix.as_slice(), r2.matrix.as_slice());
+}
+
+/// `SchemaSearch` built through the shared cache ranks exactly like one built
+/// from preparations computed from scratch.
+#[test]
+fn schema_search_from_cache_agrees_with_scratch_preparation() {
+    let pop = population();
+    let mut repo = MetadataRepository::new();
+    for s in &pop.schemas {
+        repo.register_schema(s.clone());
+    }
+    let via_cache = SchemaSearch::build(&repo);
+
+    // The ad-hoc path: a private cache, preparations built from scratch.
+    let private = std::sync::Arc::new(FeatureCache::new(Normalizer::new()));
+    let scratch = SchemaSearch::from_prepared(
+        repo.schemas()
+            .map(|s| private.prepare(s))
+            .collect::<Vec<_>>(),
+        std::sync::Arc::clone(&private),
+    );
+
+    assert_eq!(via_cache.len(), scratch.len());
+    for query in repo.schemas() {
+        let a = via_cache.query(query, 10);
+        let b = scratch.query(query, 10);
+        assert_eq!(a, b, "rankings diverged for query {}", query.name);
+    }
+}
+
+/// N-way vocabulary driven through the cached pipeline equals the historical
+/// ad-hoc loop (engine.run + one-to-one selection + validation) exactly.
+#[test]
+fn nway_from_cache_agrees_with_adhoc_loop() {
+    let pop = population();
+    let schemas: Vec<&Schema> = pop.schemas.iter().take(4).collect();
+    let threshold = Confidence::new(0.35);
+
+    let engine = MatchEngine::new().with_normalizer(Normalizer::new());
+    let mut cached = NWayMatch::new(schemas.clone());
+    let outcomes = cached.populate_pairwise(&engine, threshold, "engine");
+    assert_eq!(outcomes.len(), 4 * 3 / 2, "every unordered pair ran");
+    let vocab_cached = cached.vocabulary();
+
+    // Ad-hoc path: a fresh engine (fresh private cache) and the manual loop.
+    let adhoc_engine = MatchEngine::new().with_normalizer(Normalizer::new());
+    let mut adhoc = NWayMatch::new(schemas.clone());
+    for i in 0..schemas.len() {
+        for j in (i + 1)..schemas.len() {
+            let result = adhoc_engine.run(schemas[i], schemas[j]);
+            let selected = Selection::OneToOne { min: threshold }.apply(&result.matrix);
+            let mut validated = MatchSet::new();
+            for c in selected.all() {
+                validated.push(c.clone().validate("engine", MatchAnnotation::Equivalent));
+            }
+            adhoc.add_pairwise(i, j, &validated);
+        }
+    }
+    let vocab_adhoc = adhoc.vocabulary();
+
+    assert_eq!(vocab_cached.len(), vocab_adhoc.len());
+    for (a, b) in vocab_cached.terms.iter().zip(&vocab_adhoc.terms) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.signature, b.signature);
+        assert_eq!(a.members, b.members);
+    }
+}
+
+/// Clustering distances from the cache equal distances from scratch
+/// preparations.
+#[test]
+fn distance_matrix_from_cache_agrees_with_scratch() {
+    let pop = population();
+    let refs: Vec<&Schema> = pop.schemas.iter().collect();
+    let via_cache = DistanceMatrix::from_schemas(&refs);
+
+    let normalizer = Normalizer::new();
+    let prepared: Vec<std::sync::Arc<PreparedSchema>> = refs
+        .iter()
+        .map(|s| std::sync::Arc::new(PreparedSchema::build(s, &normalizer)))
+        .collect();
+    let scratch = DistanceMatrix::from_prepared(&prepared);
+
+    assert_eq!(via_cache.ids(), scratch.ids());
+    for i in 0..via_cache.len() {
+        for j in 0..via_cache.len() {
+            assert!(
+                (via_cache.get(i, j) - scratch.get(i, j)).abs() < 1e-15,
+                "distance ({i},{j}) diverged"
+            );
+        }
+    }
+}
+
+/// The incremental workflow rides the same cache: a session after a full
+/// match re-prepares nothing and still validates the same pairs.
+#[test]
+fn incremental_session_reuses_engine_cache() {
+    let pair = case_pair();
+    let engine = MatchEngine::new().with_normalizer(Normalizer::new());
+    let _warm = engine.run(&pair.source, &pair.target);
+    let misses_after_run = engine.feature_cache().stats().misses;
+
+    let summary = auto_summarize(&pair.source, 10);
+    let mut oracle = NoisyOracle::perfect(pair.truth.pairs().clone());
+    let mut session =
+        IncrementalSession::new(&engine, &pair.source, &pair.target, Confidence::new(0.25));
+    session.concept_at_a_time(&summary, &mut oracle);
+    assert_eq!(
+        engine.feature_cache().stats().misses,
+        misses_after_run,
+        "session construction must not re-run linguistic preprocessing"
+    );
+    assert!(!session.validated().is_empty());
+}

@@ -1,0 +1,529 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use — the `proptest!` macro, `Strategy` + `prop_map`, regex-subset string
+//! strategies, numeric range strategies, tuple strategies,
+//! `prop::collection::vec`, `any::<T>()`, and `ProptestConfig::with_cases` —
+//! as a deterministic random sampler (seeded per test from the test name).
+//! There is **no shrinking**: a failing case panics with its case index and
+//! seed so it can be replayed. Swap in real proptest when a registry is
+//! reachable. See `vendor/README.md`.
+
+pub mod rng {
+    //! Deterministic generator used by every strategy.
+
+    /// xoshiro256** seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seed deterministically (per-test seeds come from the test name).
+        pub fn from_seed(seed: u64) -> Self {
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next uniform 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform in `[0, bound)`; 0 when `bound` is 0.
+        pub fn below(&mut self, bound: usize) -> usize {
+            if bound == 0 {
+                0
+            } else {
+                ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+            }
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::rng::TestRng;
+
+    /// A recipe for producing values of `Self::Value`.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform produced values (the `prop_map` combinator).
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    /// String strategy from a regex-subset pattern (see [`crate::pattern`]).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::pattern::generate(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+    }
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit() * 2e6 - 1e6
+        }
+    }
+
+    /// Strategy over `T`'s whole domain.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod pattern {
+    //! Regex-subset string generator backing `&str` strategies.
+    //!
+    //! Supported grammar: a sequence of atoms, each optionally followed by a
+    //! `{m}` / `{m,n}` repetition. An atom is `.` (printable char pool),
+    //! `[...]` (literal chars, `a-z` ranges, `\`-escapes), or a literal
+    //! character (with `\`-escapes). This covers every pattern the workspace
+    //! tests use; anything else panics loudly rather than misgenerating.
+
+    use crate::rng::TestRng;
+
+    /// Pool for `.`: printable ASCII plus a few multibyte characters so
+    /// tokenizer/normalizer robustness is exercised beyond ASCII.
+    const DOT_EXTRA: &[char] = &['é', 'Ø', 'ß', 'λ', '中', '✓', 'ü'];
+
+    fn dot_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+        pool.extend_from_slice(DOT_EXTRA);
+        pool
+    }
+
+    enum Atom {
+        Pool(Vec<char>),
+        Repeat(Vec<char>, usize, usize),
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            let pool: Vec<char> = match chars[i] {
+                '.' => {
+                    i += 1;
+                    dot_pool()
+                }
+                '[' => {
+                    i += 1;
+                    let mut pool = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' {
+                            i += 1;
+                            *chars
+                                .get(i)
+                                .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"))
+                        } else {
+                            chars[i]
+                        };
+                        // Range like a-z (a literal '-' must be escaped or
+                        // placed where no right endpoint follows).
+                        if chars.get(i + 1) == Some(&'-')
+                            && chars.get(i + 2).is_some_and(|&r| r != ']')
+                            && chars[i] != '\\'
+                        {
+                            let hi = chars[i + 2];
+                            assert!(c <= hi, "bad class range {c}-{hi} in {pattern:?}");
+                            for v in (c as u32)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(v) {
+                                    pool.push(ch);
+                                }
+                            }
+                            i += 3;
+                        } else {
+                            pool.push(c);
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "unterminated character class in {pattern:?}"
+                    );
+                    i += 1; // consume ']'
+                    pool
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    assert!(
+                        !"{}()|*+?".contains(c),
+                        "unsupported regex construct {c:?} in {pattern:?}"
+                    );
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Optional {m} / {m,n} repetition.
+            if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (m, n) = match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("repetition lower bound"),
+                        n.trim().parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let k = body.trim().parse().expect("repetition count");
+                        (k, k)
+                    }
+                };
+                assert!(m <= n, "bad repetition {{{body}}} in {pattern:?}");
+                atoms.push(Atom::Repeat(pool, m, n));
+                i = close + 1;
+            } else {
+                atoms.push(Atom::Pool(pool));
+            }
+        }
+        atoms
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            match atom {
+                Atom::Pool(pool) => {
+                    assert!(!pool.is_empty(), "empty class in {pattern:?}");
+                    out.push(pool[rng.below(pool.len())]);
+                }
+                Atom::Repeat(pool, m, n) => {
+                    let len = m + rng.below(n - m + 1);
+                    assert!(!pool.is_empty() || len == 0, "empty class in {pattern:?}");
+                    for _ in 0..len {
+                        out.push(pool[rng.below(pool.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! `prop::collection` stand-ins.
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Sizes accepted by [`vec`]: a fixed count or a half-open range.
+    pub trait IntoSizeRange {
+        /// Lower and inclusive upper bound.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below(self.max - self.min + 1);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// The `prop::collection::vec(element, size)` entry point.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+pub mod test_runner {
+    //! Run-time configuration.
+
+    /// Subset of proptest's `Config`: only `cases` matters here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` sampled cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Namespace mirror of `proptest::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+#[doc(hidden)]
+pub fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Property assertion (plain `assert!` — no shrinking in the stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` block macro: each contained function becomes a `#[test]`
+/// that samples its arguments `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let seed = $crate::seed_of(stringify!($name));
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::rng::TestRng::from_seed(seed ^ (u64::from(case) << 32));
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest stand-in: {} failed at case {case} (seed {seed:#x})",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! *interface* the workspace compiles against — `Serialize` / `Deserialize`
+//! trait bounds and the derive macros — without any wire format. Every type
+//! trivially satisfies both traits via blanket impls, and the derives expand
+//! to nothing; swapping in real serde later is a one-line manifest change.
+//! See `vendor/README.md`.
+
+/// Marker counterpart of `serde::Serialize`.
+///
+/// Blanket-implemented for every type so derived and hand-written bounds
+/// (`T: Serialize`) compile unchanged against this stand-in.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

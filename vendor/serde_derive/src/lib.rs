@@ -1,0 +1,17 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The companion `serde` crate blanket-implements its marker traits for every
+//! type, so the derives only need to *exist* (and swallow `#[serde(...)]`
+//! attributes); they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
