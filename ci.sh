@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate. Run from anywhere; everything executes at the
 # workspace root. Mirrors what reviewers run: release build, quiet tests,
-# clippy as errors.
+# clippy as errors, rustfmt as errors, and checked-in bench JSON that parses.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -13,5 +13,26 @@ cargo test --workspace -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> BENCH_*.json schema check (keys must parse)"
+for f in BENCH_*.json; do
+    python3 - "$f" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as fh:
+    doc = json.load(fh)
+if not isinstance(doc, dict) or not doc:
+    sys.exit(f"{path}: top level must be a non-empty JSON object")
+bad = [k for k in doc if not isinstance(k, str) or not k.strip()]
+if bad:
+    sys.exit(f"{path}: unparseable keys: {bad}")
+print(f"{path}: ok ({len(doc)} top-level keys)")
+PY
+done
 
 echo "ci.sh: all gates passed"

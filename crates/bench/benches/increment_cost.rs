@@ -28,7 +28,9 @@ fn bench_increment(c: &mut Criterion) {
     ];
     for (anchor, size) in picks {
         let src_ids = pair.source.subtree_ids(anchor);
-        group.throughput(Throughput::Elements((src_ids.len() * target_ids.len()) as u64));
+        group.throughput(Throughput::Elements(
+            (src_ids.len() * target_ids.len()) as u64,
+        ));
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{size}elems_x_{}", target_ids.len())),
             &src_ids,

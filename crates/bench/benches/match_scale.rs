@@ -18,11 +18,7 @@ fn bench_full_match(c: &mut Criterion) {
         let pairs = (pair.source.len() * pair.target.len()) as u64;
         group.throughput(Throughput::Elements(pairs));
         group.bench_with_input(
-            BenchmarkId::from_parameter(format!(
-                "{}x{}",
-                pair.source.len(),
-                pair.target.len()
-            )),
+            BenchmarkId::from_parameter(format!("{}x{}", pair.source.len(), pair.target.len())),
             &pair,
             |b, pair| {
                 let engine = MatchEngine::new();

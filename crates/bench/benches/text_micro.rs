@@ -32,11 +32,19 @@ fn bench_stem(c: &mut Criterion) {
 
 fn bench_similarity(c: &mut Criterion) {
     c.bench_function("jaro_winkler", |b| {
-        b.iter(|| jaro_winkler(black_box("date_begin_156"), black_box("datetime_first_info")));
+        b.iter(|| {
+            jaro_winkler(
+                black_box("date_begin_156"),
+                black_box("datetime_first_info"),
+            )
+        });
     });
     c.bench_function("levenshtein_sim", |b| {
         b.iter(|| {
-            levenshtein_sim(black_box("date_begin_156"), black_box("datetime_first_info"))
+            levenshtein_sim(
+                black_box("date_begin_156"),
+                black_box("datetime_first_info"),
+            )
         });
     });
     let a: Vec<String> = ["date", "begin"].iter().map(|s| s.to_string()).collect();

@@ -1,0 +1,314 @@
+//! Regenerate `BENCH_blocking.json`: dense vs blocked matching at the
+//! paper's 1378×784 scale, and repository search latency at registry scale.
+//!
+//! Part A times the dense `MatchEngine::run` against the blocked
+//! `MatchEngine::run_blocked` (default [`BlockingPolicy`]) at equal thread
+//! count and reports stage timings, the scored-pair fraction, and recall of
+//! the blocked run against the dense run's above-threshold pairs and the
+//! workload's planted ground truth.
+//!
+//! Part B registers synthetic repositories of growing size and compares the
+//! historical linear scan (per-query IDF table + per-schema signature
+//! intersection) against retrieval over the repository token index, showing
+//! sub-linear latency growth in repository size.
+//!
+//! Run with: `cargo run --release -p sm-bench --bin blocking_baseline`
+
+use harmony_core::index::BlockingPolicy;
+use harmony_core::prelude::*;
+use sm_bench::{case_study, header};
+use sm_enterprise::{MetadataRepository, SchemaSearch};
+use sm_schema::{Schema, SchemaId};
+use sm_synth::{RepositoryConfig, SyntheticRepository};
+use sm_text::normalize::Normalizer;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// The operating threshold used across experiments.
+const THRESHOLD: f64 = 0.30;
+
+/// The historical linear scan: rebuild the IDF weight table per query and
+/// intersect the query signature with *every* registered schema. Kept here
+/// as the measured baseline the token index replaces.
+struct LinearScan {
+    signatures: Vec<(SchemaId, HashSet<String>)>,
+    schema_freq: HashMap<String, usize>,
+}
+
+impl LinearScan {
+    fn build(repo: &MetadataRepository) -> Self {
+        let mut signatures = Vec::new();
+        let mut schema_freq: HashMap<String, usize> = HashMap::new();
+        for p in repo.prepare_all() {
+            let sig = p.signature().clone();
+            for t in &sig {
+                *schema_freq.entry(t.clone()).or_insert(0) += 1;
+            }
+            signatures.push((p.schema_id, sig));
+        }
+        LinearScan {
+            signatures,
+            schema_freq,
+        }
+    }
+
+    fn query(
+        &self,
+        query_sig: &HashSet<String>,
+        query_id: SchemaId,
+        limit: usize,
+    ) -> Vec<SchemaId> {
+        let n = self.signatures.len().max(1) as f64;
+        // Per-query weight table over the whole repository vocabulary —
+        // the work SchemaSearch used to redo on every call.
+        let weights: HashMap<&str, f64> = self
+            .schema_freq
+            .iter()
+            .map(|(t, &df)| (t.as_str(), ((n + 1.0) / (df as f64 + 1.0)).ln() + 1.0))
+            .collect();
+        let weight = |t: &str| weights.get(t).copied().unwrap_or((n + 1.0).ln() + 1.0);
+        let sum = |sig: &HashSet<String>| -> f64 {
+            let mut ts: Vec<&str> = sig.iter().map(String::as_str).collect();
+            ts.sort_unstable();
+            ts.into_iter().map(weight).sum()
+        };
+        let q_weight = sum(query_sig);
+        let mut hits: Vec<(SchemaId, f64)> = self
+            .signatures
+            .iter()
+            .filter(|(id, _)| *id != query_id)
+            .filter_map(|(id, sig)| {
+                let mut shared: Vec<&str> =
+                    query_sig.intersection(sig).map(String::as_str).collect();
+                if shared.is_empty() {
+                    return None;
+                }
+                shared.sort_unstable();
+                let shared_weight: f64 = shared.into_iter().map(weight).sum();
+                let total = sum(sig);
+                Some((*id, shared_weight / (q_weight + total - shared_weight)))
+            })
+            .collect();
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        hits.truncate(limit);
+        hits.into_iter().map(|(id, _)| id).collect()
+    }
+}
+
+struct SearchPoint {
+    schemas: usize,
+    build_secs: f64,
+    linear_ms: f64,
+    indexed_ms: f64,
+}
+
+fn repo_search_point(size: usize) -> SearchPoint {
+    assert!(size % 8 == 0);
+    let population = SyntheticRepository::generate(&RepositoryConfig {
+        seed: 1234 + size as u64,
+        domains: size / 8,
+        schemas_per_domain: 8,
+        concepts_per_domain: 20,
+        concept_coverage: 0.5,
+        attrs_per_concept: (4, 9),
+    });
+    let mut repo = MetadataRepository::new();
+    for s in &population.schemas {
+        repo.register_schema(s.clone());
+    }
+
+    let t0 = Instant::now();
+    let _index = repo.token_index();
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let queries: Vec<&Schema> = population.schemas.iter().step_by(8).collect();
+    let search = SchemaSearch::build(&repo);
+    let linear = LinearScan::build(&repo);
+    let query_sigs: Vec<(SchemaId, HashSet<String>)> = queries
+        .iter()
+        .map(|q| {
+            (
+                q.id,
+                harmony_core::prepare::FeatureCache::global()
+                    .prepare(q)
+                    .signature()
+                    .clone(),
+            )
+        })
+        .collect();
+
+    // Agreement check (outside the timed loops): identical rankings.
+    for ((id, sig), q) in query_sigs.iter().zip(&queries) {
+        let lin: Vec<SchemaId> = linear.query(sig, *id, 5);
+        let idx: Vec<SchemaId> = search
+            .query(q, 5)
+            .into_iter()
+            .map(|h| h.schema_id)
+            .collect();
+        assert_eq!(lin, idx, "index retrieval diverged from the linear scan");
+    }
+
+    let t0 = Instant::now();
+    for (id, sig) in &query_sigs {
+        std::hint::black_box(linear.query(sig, *id, 10));
+    }
+    let linear_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+
+    let t0 = Instant::now();
+    for q in &queries {
+        std::hint::black_box(search.query(q, 10));
+    }
+    let indexed_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+
+    SearchPoint {
+        schemas: size,
+        build_secs,
+        linear_ms,
+        indexed_ms,
+    }
+}
+
+fn main() {
+    header(
+        "blocking_baseline",
+        "dense vs token-blocked matching at 1378×784 + sub-linear repository search",
+    );
+
+    // -------- Part A: dense vs blocked at paper scale, equal threads. -----
+    let pair = case_study(1.0);
+    let rows = pair.source.len();
+    let cols = pair.target.len();
+    let threads = 1usize;
+    let engine = MatchEngine::new()
+        .with_normalizer(Normalizer::new())
+        .with_threads(threads);
+    let policy = BlockingPolicy::default();
+
+    const REPS: usize = 3;
+    let mut dense_runs: Vec<MatchResult> = (0..REPS)
+        .map(|_| engine.run(&pair.source, &pair.target))
+        .collect();
+    dense_runs.sort_by_key(|r| r.elapsed);
+    let dense = &dense_runs[REPS / 2];
+
+    let mut blocked_runs: Vec<BlockedMatchResult> = (0..REPS)
+        .map(|_| engine.run_blocked(&pair.source, &pair.target, &policy))
+        .collect();
+    blocked_runs.sort_by_key(|r| r.elapsed);
+    let blocked = &blocked_runs[REPS / 2];
+
+    let dense_secs = dense.elapsed.as_secs_f64();
+    let blocked_secs = blocked.elapsed.as_secs_f64();
+    let th = Confidence::new(THRESHOLD);
+
+    // Recall of dense above-threshold pairs.
+    let dense_above: Vec<(sm_schema::ElementId, sm_schema::ElementId)> = dense
+        .matrix
+        .iter_above(th)
+        .map(|(s, t, _)| (s, t))
+        .collect();
+    let cand_kept = dense_above
+        .iter()
+        .filter(|(s, t)| blocked.candidates.contains(s.index(), t.index()))
+        .count();
+    let score_kept = dense_above
+        .iter()
+        .filter(|&&(s, t)| blocked.matrix.get(s, t).value() >= th.value())
+        .count();
+    let candidate_recall = cand_kept as f64 / dense_above.len().max(1) as f64;
+    let score_recall = score_kept as f64 / dense_above.len().max(1) as f64;
+
+    // Planted ground-truth recall of the above-threshold sets.
+    let truth_total = pair.truth.len().max(1);
+    let truth_dense = pair
+        .truth
+        .pairs()
+        .iter()
+        .filter(|&&(s, t)| dense.matrix.get(s, t).value() >= th.value())
+        .count();
+    let truth_blocked = pair
+        .truth
+        .pairs()
+        .iter()
+        .filter(|&&(s, t)| blocked.matrix.get(s, t).value() >= th.value())
+        .count();
+
+    println!("match scale {rows}×{cols}, {threads} thread(s), threshold {THRESHOLD}");
+    println!(
+        "dense    {dense_secs:>8.3} s   ({} pairs)",
+        dense.pairs_considered
+    );
+    println!(
+        "blocked  {blocked_secs:>8.3} s   ({} pairs scored, {:.1}% of cross product, block stage {:.3}s)",
+        blocked.pairs_scored,
+        100.0 * blocked.pairs_scored as f64 / blocked.pairs_considered as f64,
+        blocked.timings.block.as_secs_f64(),
+    );
+    println!(
+        "speedup  {:>8.1}×   candidate recall {candidate_recall:.4}, score recall {score_recall:.4} over {} dense above-threshold pairs",
+        dense_secs / blocked_secs.max(1e-12),
+        dense_above.len(),
+    );
+    println!(
+        "ground truth @{THRESHOLD}: dense {truth_dense}/{truth_total}, blocked {truth_blocked}/{truth_total}"
+    );
+
+    // -------- Part B: repository search latency scaling. ------------------
+    println!("\nrepository search (linear scan vs token index):");
+    let points: Vec<SearchPoint> = [128usize, 256, 512]
+        .into_iter()
+        .map(repo_search_point)
+        .collect();
+    for p in &points {
+        println!(
+            "  {:>4} schemata: build {:>7.4}s  linear {:>8.3} ms/query  indexed {:>8.3} ms/query",
+            p.schemas, p.build_secs, p.linear_ms, p.indexed_ms
+        );
+    }
+    let size_ratio = points[points.len() - 1].schemas as f64 / points[0].schemas as f64;
+    let latency_ratio = points[points.len() - 1].indexed_ms / points[0].indexed_ms.max(1e-12);
+    println!(
+        "  scaling: repository ×{size_ratio:.1} → indexed query latency ×{latency_ratio:.2} (sub-linear: {})",
+        latency_ratio < size_ratio
+    );
+
+    // Hand-rolled JSON (the offline serde stand-in has no serializer).
+    let search_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"schemas\": {}, \"index_build_secs\": {:.6}, \
+                 \"linear_ms_per_query\": {:.4}, \"indexed_ms_per_query\": {:.4}}}",
+                p.schemas, p.build_secs, p.linear_ms, p.indexed_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scale\": {{\"rows\": {rows}, \"cols\": {cols}, \"pairs\": {pairs}}},\n  \
+         \"threads\": {threads},\n  \"threshold\": {THRESHOLD},\n  \
+         \"dense_secs\": {dense_secs:.6},\n  \"blocked_secs\": {blocked_secs:.6},\n  \
+         \"blocked_over_dense\": {ratio:.4},\n  \
+         \"block_stage_secs\": {block:.6},\n  \
+         \"pairs_scored\": {scored},\n  \"candidate_fraction\": {fraction:.6},\n  \
+         \"dense_above_threshold\": {above},\n  \
+         \"candidate_recall\": {candidate_recall:.6},\n  \
+         \"score_recall\": {score_recall:.6},\n  \
+         \"ground_truth\": {{\"planted\": {truth_total}, \"dense_found\": {truth_dense}, \
+         \"blocked_found\": {truth_blocked}}},\n  \
+         \"repo_search\": [\n{search}\n  ],\n  \
+         \"repo_scaling\": {{\"size_ratio\": {size_ratio:.2}, \
+         \"indexed_latency_ratio\": {latency_ratio:.4}, \
+         \"sublinear\": {sublinear}}}\n}}\n",
+        pairs = rows * cols,
+        ratio = blocked_secs / dense_secs.max(1e-12),
+        block = blocked.timings.block.as_secs_f64(),
+        scored = blocked.pairs_scored,
+        fraction = blocked.pairs_scored as f64 / blocked.pairs_considered.max(1) as f64,
+        above = dense_above.len(),
+        search = search_json.join(",\n"),
+        sublinear = latency_ratio < size_ratio,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_blocking.json");
+    std::fs::write(out, &json).expect("write BENCH_blocking.json");
+    println!("\nwrote {out}");
+}

@@ -35,7 +35,15 @@ fn main() {
         attrs_per_concept: (5, 9),
     });
 
-    table_header(&["N", "elements", "pair-matches", "terms", "cells-used", "2^N-1", "secs"]);
+    table_header(&[
+        "N",
+        "elements",
+        "pair-matches",
+        "terms",
+        "cells-used",
+        "2^N-1",
+        "secs",
+    ]);
     for n in 2..=6usize {
         let schemas: Vec<&Schema> = population.schemas.iter().take(n).collect();
         let elements: usize = schemas.iter().map(|s| s.len()).sum();

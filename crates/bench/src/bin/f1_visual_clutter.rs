@@ -79,7 +79,14 @@ fn main() {
         unfiltered.total_lines,
         unfiltered.clutter_index()
     );
-    table_header(&["concept", "lines", "visible", "offscreen", "crossings", "clutter"]);
+    table_header(&[
+        "concept",
+        "lines",
+        "visible",
+        "offscreen",
+        "crossings",
+        "clutter",
+    ]);
     for &(anchor, _) in pair.source_anchors.iter().take(6) {
         // The engineer scrolls the target pane to the matched region (the
         // paper: "keep entirely visible at least one side of the match, and

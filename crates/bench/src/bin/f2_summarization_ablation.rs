@@ -25,7 +25,14 @@ fn main() {
     let summary = auto_summarize(&pair.source, pair.source_anchors.len());
     let target_summary = auto_summarize(&pair.target, pair.target_anchors.len());
 
-    table_header(&["workflow", "shown", "validated", "precision", "recall", "F1"]);
+    table_header(&[
+        "workflow",
+        "shown",
+        "validated",
+        "precision",
+        "recall",
+        "F1",
+    ]);
 
     // --- 1. Flat review -----------------------------------------------
     {

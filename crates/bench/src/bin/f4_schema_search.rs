@@ -17,14 +17,7 @@ fn main() {
         "query-by-schema search over a registry (§2): MRR and precision@k",
     );
     table_header(&[
-        "schemas",
-        "domains",
-        "MRR",
-        "P@1",
-        "P@3",
-        "P@5",
-        "index-ms",
-        "query-ms",
+        "schemas", "domains", "MRR", "P@1", "P@3", "P@5", "index-ms", "query-ms",
     ]);
     for (domains, per_domain) in [(3usize, 5usize), (5, 6), (8, 8), (10, 10)] {
         let population = SyntheticRepository::generate(&RepositoryConfig {

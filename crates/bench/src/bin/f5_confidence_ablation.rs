@@ -27,7 +27,11 @@ fn best_f1(pair: &SchemaPair, merger: MergeStrategy) -> (f64, f64) {
             min: Confidence::new(th),
         }
         .apply(&result.matrix);
-        let predicted: Vec<_> = selected.all().iter().map(|c| (c.source, c.target)).collect();
+        let predicted: Vec<_> = selected
+            .all()
+            .iter()
+            .map(|c| (c.source, c.target))
+            .collect();
         let eval = pair.truth.evaluate_pairs(predicted.iter());
         if eval.f1 > best.0 {
             best = (eval.f1, th);
@@ -43,7 +47,11 @@ fn f1_at(pair: &SchemaPair, merger: MergeStrategy, th: f64) -> f64 {
         min: Confidence::new(th),
     }
     .apply(&result.matrix);
-    let predicted: Vec<_> = selected.all().iter().map(|c| (c.source, c.target)).collect();
+    let predicted: Vec<_> = selected
+        .all()
+        .iter()
+        .map(|c| (c.source, c.target))
+        .collect();
     pair.truth.evaluate_pairs(predicted.iter()).f1
 }
 
@@ -70,12 +78,7 @@ fn main() {
             ("linear", MergeStrategy::Linear(vec![1.0; 9])),
         ] {
             let (f1, th) = best_f1(&pair, merger);
-            row(&[
-                name.to_string(),
-                mname.to_string(),
-                f3(f1),
-                f3(th),
-            ]);
+            row(&[name.to_string(), mname.to_string(), f3(f1), f3(th)]);
         }
         println!();
     }

@@ -29,8 +29,7 @@ fn main() {
     for scale in [0.25, 0.5, 1.0] {
         let pair = case_study(scale);
         let engine = MatchEngine::new();
-        let mut reviewer =
-            NoisyOracle::new(pair.truth.pairs().clone(), 0.05, 47).named("engineer");
+        let mut reviewer = NoisyOracle::new(pair.truth.pairs().clone(), 0.05, 47).named("engineer");
         let outcome = consolidation_study(
             &engine,
             &pair.source,

@@ -20,7 +20,11 @@ fn eval_alpha(alpha: f64) -> (f64, f64, f64) {
             min: Confidence::new(th),
         }
         .apply(&result.matrix);
-        let predicted: Vec<_> = selected.all().iter().map(|c| (c.source, c.target)).collect();
+        let predicted: Vec<_> = selected
+            .all()
+            .iter()
+            .map(|c| (c.source, c.target))
+            .collect();
         pair.truth.evaluate_pairs(predicted.iter()).f1
     };
     let mut best = (0.0, 0.0);

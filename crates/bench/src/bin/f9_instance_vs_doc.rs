@@ -41,7 +41,11 @@ fn best_f1(pair: &SchemaPair, instance_coverage: f64) -> f64 {
             min: Confidence::new(th),
         }
         .apply(&result.matrix);
-        let predicted: Vec<_> = selected.all().iter().map(|c| (c.source, c.target)).collect();
+        let predicted: Vec<_> = selected
+            .all()
+            .iter()
+            .map(|c| (c.source, c.target))
+            .collect();
         best = best.max(pair.truth.evaluate_pairs(predicted.iter()).f1);
     }
     best

@@ -2,9 +2,11 @@
 //! paper's 1378×784 scale (§3.3's "10.2 seconds" datum).
 //!
 //! Measures the cold vs. cached Prepare stage (the `PreparedSchema` feature
-//! cache's payoff) and the per-stage breakdown of a full cached run, then
-//! writes the numbers as JSON to the workspace root so regressions are
-//! diffable in review.
+//! cache's payoff), the per-stage breakdown of full cached runs at one
+//! thread *and* at the host's available parallelism, and the feature
+//! cache's hit/miss/eviction counters over the whole workload, then writes
+//! the numbers as JSON to the workspace root so regressions are diffable in
+//! review.
 //!
 //! Run with: `cargo run --release -p sm-bench --bin pipeline_baseline`
 
@@ -31,6 +33,34 @@ fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     median_secs(&mut samples)
 }
 
+/// Median full run (by total) with its stage breakdown.
+fn timed_runs(
+    engine: &MatchEngine,
+    pair: &sm_synth::SchemaPair,
+    reps: usize,
+) -> (f64, StageTimings) {
+    let mut runs: Vec<(f64, StageTimings)> = (0..reps)
+        .map(|_| {
+            let r = engine.run(&pair.source, &pair.target);
+            (r.elapsed.as_secs_f64(), r.timings)
+        })
+        .collect();
+    runs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    runs[runs.len() / 2]
+}
+
+fn stage_json(label: &str, threads: usize, total: f64, stages: &StageTimings) -> String {
+    format!(
+        "\"{label}\": {{\n    \"threads\": {threads},\n    \"total\": {total:.6},\n    \
+         \"prepare\": {prepare:.6},\n    \"score\": {score:.6},\n    \
+         \"merge\": {merge:.6},\n    \"propagate\": {propagate:.6}\n  }}",
+        prepare = stages.prepare.as_secs_f64(),
+        score = stages.score.as_secs_f64(),
+        merge = stages.merge.as_secs_f64(),
+        propagate = stages.propagate.as_secs_f64(),
+    )
+}
+
 fn main() {
     header(
         "pipeline_baseline",
@@ -39,7 +69,10 @@ fn main() {
     let pair = case_study(1.0);
     let rows = pair.source.len();
     let cols = pair.target.len();
-    println!("schema pair: {rows}×{cols} = {} candidate pairs\n", rows * cols);
+    println!(
+        "schema pair: {rows}×{cols} = {} candidate pairs\n",
+        rows * cols
+    );
 
     const REPS: usize = 5;
     let normalizer = Normalizer::new();
@@ -56,52 +89,68 @@ fn main() {
         MatchContext::build(&pair.source, &pair.target, &normalizer)
     });
 
-    // Cached context against a warm feature cache.
-    let engine = MatchEngine::new().with_normalizer(Normalizer::new());
-    let _warm = engine.build_context(&pair.source, &pair.target);
-    let cached_context = time(REPS, || engine.build_context(&pair.source, &pair.target));
+    // Cached context against a warm feature cache. The single- and multi-
+    // threaded engines share it, so it is warmed exactly once.
+    let cache = std::sync::Arc::new(harmony_core::prepare::FeatureCache::new(Normalizer::new()));
+    let engine_st = MatchEngine::new()
+        .with_feature_cache(std::sync::Arc::clone(&cache))
+        .with_threads(1);
+    let _warm = engine_st.build_context(&pair.source, &pair.target);
+    let cached_context = time(REPS, || engine_st.build_context(&pair.source, &pair.target));
 
-    // Full cached run with stage breakdown (median by total).
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut runs: Vec<(f64, StageTimings)> = (0..REPS)
-        .map(|_| {
-            let r = engine.run(&pair.source, &pair.target);
-            (r.elapsed.as_secs_f64(), r.timings)
-        })
-        .collect();
-    runs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-    let (run_total, stages) = runs[runs.len() / 2];
+    // Full cached runs with stage breakdown: single-threaded and at the
+    // host's available parallelism (median by total).
+    let threads_mt = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let engine_mt = MatchEngine::new()
+        .with_feature_cache(std::sync::Arc::clone(&cache))
+        .with_threads(threads_mt);
+    let (st_total, st_stages) = timed_runs(&engine_st, &pair, REPS);
+    let (mt_total, mt_stages) = timed_runs(&engine_mt, &pair, REPS);
 
     let speedup = cold_context / cached_context.max(1e-12);
+    let stats = cache.stats();
     println!("cold features        {:>10.4} s", cold_features);
     println!("cold context         {:>10.4} s", cold_context);
-    println!("cached context       {:>10.4} s   ({speedup:.1}× vs cold)", cached_context);
-    println!("full run (cached)    {:>10.4} s   over {threads} threads", run_total);
     println!(
-        "  stages: prepare {:.4}s  score {:.4}s  merge {:.4}s  propagate {:.4}s",
-        stages.prepare.as_secs_f64(),
-        stages.score.as_secs_f64(),
-        stages.merge.as_secs_f64(),
-        stages.propagate.as_secs_f64(),
+        "cached context       {:>10.4} s   ({speedup:.1}× vs cold)",
+        cached_context
+    );
+    println!("full run (1 thread)  {:>10.4} s", st_total);
+    println!("full run ({threads_mt} thread)  {:>10.4} s", mt_total);
+    for (label, stages) in [("1-thread", &st_stages), ("mt", &mt_stages)] {
+        println!(
+            "  {label} stages: prepare {:.4}s  score {:.4}s  merge {:.4}s  propagate {:.4}s",
+            stages.prepare.as_secs_f64(),
+            stages.score.as_secs_f64(),
+            stages.merge.as_secs_f64(),
+            stages.propagate.as_secs_f64(),
+        );
+    }
+    println!(
+        "feature cache: {} hits / {} misses / {} evictions / {} resident",
+        stats.hits, stats.misses, stats.evictions, stats.entries
     );
 
     // Hand-rolled JSON (the offline serde stand-in has no serializer).
     let json = format!(
         "{{\n  \"scale\": {{\"rows\": {rows}, \"cols\": {cols}, \"pairs\": {pairs}}},\n  \
-         \"threads\": {threads},\n  \
          \"prepare_secs\": {{\n    \"cold_features\": {cold_features:.6},\n    \
          \"cold_context\": {cold_context:.6},\n    \
          \"cached_context\": {cached_context:.6},\n    \
          \"cached_speedup\": {speedup:.2}\n  }},\n  \
-         \"full_run_secs\": {{\n    \"total\": {run_total:.6},\n    \
-         \"prepare\": {prepare:.6},\n    \"score\": {score:.6},\n    \
-         \"merge\": {merge:.6},\n    \"propagate\": {propagate:.6}\n  }},\n  \
+         {single},\n  {multi},\n  \
+         \"feature_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \
+         \"evictions\": {evictions}, \"entries\": {entries}}},\n  \
          \"paper_reference_secs\": 10.2\n}}\n",
         pairs = rows * cols,
-        prepare = stages.prepare.as_secs_f64(),
-        score = stages.score.as_secs_f64(),
-        merge = stages.merge.as_secs_f64(),
-        propagate = stages.propagate.as_secs_f64(),
+        single = stage_json("full_run_secs", 1, st_total, &st_stages),
+        multi = stage_json("full_run_mt_secs", threads_mt, mt_total, &mt_stages),
+        hits = stats.hits,
+        misses = stats.misses,
+        evictions = stats.evictions,
+        entries = stats.entries,
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     std::fs::write(out, &json).expect("write BENCH_pipeline.json");

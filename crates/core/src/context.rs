@@ -282,7 +282,10 @@ mod tests {
         let src = a.find_by_name("birth_dt").unwrap();
         let tgt = b.find_by_name("BirthDate").unwrap();
         // birth_dt expands dt→date; BirthDate tokenizes to birth/date.
-        let overlap = ctx.source_feat(src).name_bag.overlap(&ctx.target_feat(tgt).name_bag);
+        let overlap = ctx
+            .source_feat(src)
+            .name_bag
+            .overlap(&ctx.target_feat(tgt).name_bag);
         assert_eq!(overlap, 2, "birth and date should both be shared");
     }
 
@@ -292,9 +295,15 @@ mod tests {
         let n = Normalizer::new();
         let ctx = MatchContext::build(&a, &b, &n);
         let col = a.find_by_name("birth_dt").unwrap();
-        assert!(!ctx.source_feat(col).parent_bag.is_empty(), "column has parent");
+        assert!(
+            !ctx.source_feat(col).parent_bag.is_empty(),
+            "column has parent"
+        );
         let table = a.find_by_name("Person").unwrap();
-        assert!(ctx.source_feat(table).parent_bag.is_empty(), "root has none");
+        assert!(
+            ctx.source_feat(table).parent_bag.is_empty(),
+            "root has none"
+        );
         assert!(
             !ctx.source_feat(table).children_bag.is_empty(),
             "table sees child tokens"
@@ -312,7 +321,10 @@ mod tests {
             .source_feat(src)
             .doc_vector
             .cosine(&ctx.target_feat(tgt).doc_vector);
-        assert!(sim > 0.3, "documented date columns should be similar: {sim}");
+        assert!(
+            sim > 0.3,
+            "documented date columns should be similar: {sim}"
+        );
     }
 
     #[test]
@@ -343,7 +355,10 @@ mod tests {
             assert_eq!(d.children_bag, c.children_bag);
         }
         for id in b.ids() {
-            assert_eq!(direct.target_feat(id).doc_vector, cached.target_feat(id).doc_vector);
+            assert_eq!(
+                direct.target_feat(id).doc_vector,
+                cached.target_feat(id).doc_vector
+            );
         }
     }
 }

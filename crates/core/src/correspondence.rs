@@ -160,8 +160,12 @@ impl MatchSet {
 
     /// Sort (stable) by descending score — the match-centric view's default.
     pub fn sort_by_score(&mut self) {
-        self.correspondences
-            .sort_by(|a, b| b.score.value().partial_cmp(&a.score.value()).expect("finite"));
+        self.correspondences.sort_by(|a, b| {
+            b.score
+                .value()
+                .partial_cmp(&a.score.value())
+                .expect("finite")
+        });
     }
 
     /// Merge another set into this one (e.g. accumulating increments).
@@ -260,7 +264,10 @@ mod tests {
         set.push(c(1, 1, 0.5));
         set.dedup_pairs();
         assert_eq!(set.len(), 2);
-        assert!((set.all()[0].score.value() - 0.8).abs() < 1e-9, "best kept, sorted first");
+        assert!(
+            (set.all()[0].score.value() - 0.8).abs() < 1e-9,
+            "best kept, sorted first"
+        );
     }
 
     #[test]

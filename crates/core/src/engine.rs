@@ -12,6 +12,7 @@
 
 use crate::confidence::Confidence;
 use crate::context::MatchContext;
+use crate::index::{BlockingPolicy, CandidateSet};
 use crate::matrix::MatchMatrix;
 use crate::merger::MergeStrategy;
 use crate::pipeline::{MatchPipeline, StageTimings};
@@ -204,6 +205,29 @@ impl MatchEngine {
         }
     }
 
+    /// The blocked match: candidate pairs are generated from the token-
+    /// blocking index under `policy` and only those are scored (see
+    /// [`crate::index`]). With [`BlockingPolicy::Exhaustive`] the result is
+    /// byte-identical to [`Self::run`]; with the default policy it scores a
+    /// few percent of the cross product at paper scale.
+    pub fn run_blocked(
+        &self,
+        source: &Schema,
+        target: &Schema,
+        policy: &BlockingPolicy,
+    ) -> BlockedMatchResult {
+        let started = Instant::now();
+        let run = self.pipeline().run_blocked(source, target, policy);
+        BlockedMatchResult {
+            matrix: run.matrix,
+            elapsed: started.elapsed(),
+            pairs_considered: run.pairs_considered,
+            pairs_scored: run.pairs_scored,
+            candidates: run.candidates,
+            timings: run.timings,
+        }
+    }
+
     /// Restricted match over explicit candidate id lists (the sub-tree /
     /// depth-filtered increments of the paper's workflow). Returns scored
     /// pairs rather than a dense matrix, since restrictions are sparse.
@@ -262,6 +286,23 @@ pub struct MatchResult {
     pub timings: StageTimings,
 }
 
+/// Result of a blocked `MATCH(S1, S2)` run.
+#[derive(Debug)]
+pub struct BlockedMatchResult {
+    /// The score matrix; pairs pruned by blocking hold the neutral `0.0`.
+    pub matrix: MatchMatrix,
+    /// Wall-clock time of the run (prepare + block + scoring + propagate).
+    pub elapsed: Duration,
+    /// Size of the full cross product (`|S1| · |S2|`).
+    pub pairs_considered: usize,
+    /// Candidate pairs actually scored.
+    pub pairs_scored: usize,
+    /// The candidate set that was scored.
+    pub candidates: CandidateSet,
+    /// Per-stage wall-clock breakdown (including the Block stage).
+    pub timings: StageTimings,
+}
+
 /// Result of a restricted (incremental) match.
 #[derive(Debug)]
 pub struct RestrictedResult {
@@ -309,10 +350,18 @@ mod tests {
         let mut b = Schema::new(SchemaId(2), "S_B", SchemaFormat::Xml);
         let p2 = b.add_root("PersonType", ElementKind::ComplexType, DataType::None);
         let pid2 = b
-            .add_child(p2, "PersonIdentifier", ElementKind::XmlElement, DataType::Integer)
+            .add_child(
+                p2,
+                "PersonIdentifier",
+                ElementKind::XmlElement,
+                DataType::Integer,
+            )
             .unwrap();
-        b.set_doc(pid2, Documentation::embedded("unique identifier of the person"))
-            .unwrap();
+        b.set_doc(
+            pid2,
+            Documentation::embedded("unique identifier of the person"),
+        )
+        .unwrap();
         b.add_child(p2, "LastName", ElementKind::XmlElement, DataType::text())
             .unwrap();
         let w = b.add_root("WeaponType", ElementKind::ComplexType, DataType::None);

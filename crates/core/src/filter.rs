@@ -100,9 +100,7 @@ impl NodeFilter {
                 let d = schema.element(id).depth;
                 d >= *min && d <= *max
             }
-            NodeFilter::Subtree { roots } => {
-                roots.iter().any(|&r| schema.is_in_subtree(id, r))
-            }
+            NodeFilter::Subtree { roots } => roots.iter().any(|&r| schema.is_in_subtree(id, r)),
             NodeFilter::And(a, b) => a.passes(schema, id) && b.passes(schema, id),
         }
     }

@@ -49,6 +49,7 @@ pub mod correspondence;
 pub mod effort;
 pub mod engine;
 pub mod filter;
+pub mod index;
 pub mod matrix;
 pub mod merger;
 pub mod nway;
@@ -63,17 +64,16 @@ pub mod workflow;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::confidence::Confidence;
-    pub use crate::correspondence::{
-        Correspondence, MatchAnnotation, MatchSet, MatchStatus,
-    };
+    pub use crate::correspondence::{Correspondence, MatchAnnotation, MatchSet, MatchStatus};
     pub use crate::effort::{EffortEstimate, EffortModel, Workload};
-    pub use crate::engine::{MatchEngine, MatchResult};
+    pub use crate::engine::{BlockedMatchResult, MatchEngine, MatchResult};
     pub use crate::filter::{LinkFilter, NodeFilter};
+    pub use crate::index::{BlockingPolicy, CandidateSet, ElementTokenIndex};
     pub use crate::matrix::MatchMatrix;
     pub use crate::merger::MergeStrategy;
     pub use crate::nway::{NWayMatch, PairwiseOutcome, Vocabulary, VocabularyTerm};
     pub use crate::partition::{BinaryPartition, SubsumptionAdvice};
-    pub use crate::pipeline::{MatchPipeline, PipelineRun, StageTimings};
+    pub use crate::pipeline::{BlockedRun, MatchPipeline, PipelineRun, StageTimings};
     pub use crate::prepare::{FeatureCache, PreparedSchema};
     pub use crate::select::Selection;
     pub use crate::summarize::{auto_summarize, Concept, Summary};

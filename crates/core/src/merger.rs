@@ -11,8 +11,7 @@ use crate::confidence::Confidence;
 use serde::{Deserialize, Serialize};
 
 /// How per-voter confidences are combined into one match score.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum MergeStrategy {
     /// Harmony's scheme: a weighted mean where each vote's weight is its own
     /// commitment |c|. Confident voters (much evidence, decisive ratio)
@@ -79,7 +78,6 @@ impl MergeStrategy {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

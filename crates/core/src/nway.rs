@@ -71,7 +71,10 @@ impl<'a> NWayMatch<'a> {
     /// Panics when more than 32 schemata are supplied (the signature bitmask
     /// is a `u32`; the paper's scenarios involve single-digit N).
     pub fn new(schemas: Vec<&'a Schema>) -> Self {
-        assert!(schemas.len() <= 32, "N-way match supports at most 32 schemata");
+        assert!(
+            schemas.len() <= 32,
+            "N-way match supports at most 32 schemata"
+        );
         let mut offsets = Vec::with_capacity(schemas.len());
         let mut total = 0usize;
         for s in &schemas {
@@ -127,10 +130,8 @@ impl<'a> NWayMatch<'a> {
     /// Panics if either index is out of range.
     pub fn add_pairwise(&mut self, left: usize, right: usize, matches: &MatchSet) {
         assert!(left < self.schemas.len() && right < self.schemas.len());
-        let pairs: Vec<(ElementId, ElementId)> = matches
-            .validated()
-            .map(|c| (c.source, c.target))
-            .collect();
+        let pairs: Vec<(ElementId, ElementId)> =
+            matches.validated().map(|c| (c.source, c.target)).collect();
         for (s, t) in pairs {
             let a = self.node(GlobalElement {
                 schema_idx: left,
@@ -625,8 +626,13 @@ mod tests {
         let mk = |id: u32, root: &str| {
             let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
             let r = s.add_root(root, ElementKind::Group, sm_schema::DataType::None);
-            s.add_child(r, "remarks", ElementKind::Column, sm_schema::DataType::text())
-                .unwrap();
+            s.add_child(
+                r,
+                "remarks",
+                ElementKind::Column,
+                sm_schema::DataType::text(),
+            )
+            .unwrap();
             s
         };
         let a = mk(1, "Vehicle");

@@ -146,17 +146,9 @@ mod tests {
         assert_eq!(p.shared_target.len(), 2);
         assert_eq!(p.only_target.len(), 4);
         // Disjoint + complete on both sides.
-        let all_s: HashSet<_> = p
-            .only_source
-            .iter()
-            .chain(p.shared_source.iter())
-            .collect();
+        let all_s: HashSet<_> = p.only_source.iter().chain(p.shared_source.iter()).collect();
         assert_eq!(all_s.len(), a.len());
-        let all_t: HashSet<_> = p
-            .only_target
-            .iter()
-            .chain(p.shared_target.iter())
-            .collect();
+        let all_t: HashSet<_> = p.only_target.iter().chain(p.shared_target.iter()).collect();
         assert_eq!(all_t.len(), b.len());
     }
 
@@ -187,7 +179,10 @@ mod tests {
             Confidence::new(0.99),
         ));
         let p = BinaryPartition::compute(&a, &b, &m);
-        assert!(p.shared_source.is_empty(), "unvalidated matches are not overlap");
+        assert!(
+            p.shared_source.is_empty(),
+            "unvalidated matches are not overlap"
+        );
     }
 
     #[test]

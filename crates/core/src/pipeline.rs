@@ -33,6 +33,7 @@ use crate::confidence::Confidence;
 use crate::context::MatchContext;
 use crate::correspondence::MatchSet;
 use crate::engine::MatchEngine;
+use crate::index::{generate_candidates, BlockingPolicy, CandidateSet};
 use crate::matrix::MatchMatrix;
 use crate::select::Selection;
 use sm_schema::{ElementId, Schema};
@@ -44,6 +45,9 @@ use std::time::{Duration, Instant};
 pub struct StageTimings {
     /// Feature-cache lookup / linguistic preprocessing + corpus assembly.
     pub prepare: Duration,
+    /// Candidate generation over the token-blocking index (zero on dense
+    /// runs, which score the full cross product).
+    pub block: Duration,
     /// Voter panel over all candidate pairs.
     pub score: Duration,
     /// Vote merging.
@@ -57,7 +61,7 @@ pub struct StageTimings {
 impl StageTimings {
     /// Total time across all stages.
     pub fn total(&self) -> Duration {
-        self.prepare + self.score + self.merge + self.propagate + self.select
+        self.prepare + self.block + self.score + self.merge + self.propagate + self.select
     }
 }
 
@@ -69,6 +73,23 @@ pub struct PipelineRun {
     /// Number of candidate pairs scored (`|S1| · |S2|`).
     pub pairs_considered: usize,
     /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+}
+
+/// Output of one blocked pipeline execution (Prepare → Block → Score →
+/// Merge → Propagate).
+#[derive(Debug)]
+pub struct BlockedRun {
+    /// The merged, propagated score matrix. Pairs pruned by blocking hold
+    /// the neutral score `0.0` (their true score was never computed).
+    pub matrix: MatchMatrix,
+    /// Size of the full cross product (`|S1| · |S2|`).
+    pub pairs_considered: usize,
+    /// Candidate pairs actually scored by the voter panel.
+    pub pairs_scored: usize,
+    /// The candidate set the run scored (kept for recall accounting).
+    pub candidates: CandidateSet,
+    /// Per-stage wall-clock timings (including the Block stage).
     pub timings: StageTimings,
 }
 
@@ -157,6 +178,82 @@ impl<'e> MatchPipeline<'e> {
         }
     }
 
+    /// Run the blocked pipeline: Prepare → Block → sparse Score/Merge →
+    /// sparse Propagate.
+    ///
+    /// The Block stage builds token indices over both prepared schemata and
+    /// lets `policy` prune the cross product to a [`CandidateSet`]; only
+    /// candidates are scored. Propagation densifies exactly the rows that
+    /// have candidates: every cell of such a row with a parented target is
+    /// blended with its parents' base score (the parent pair is itself a
+    /// candidate by construction, so the base read is always a *scored*
+    /// value). With [`BlockingPolicy::Exhaustive`] the result is
+    /// byte-identical to [`Self::run`].
+    pub fn run_blocked(
+        &self,
+        source: &Schema,
+        target: &Schema,
+        policy: &BlockingPolicy,
+    ) -> BlockedRun {
+        let mut timings = StageTimings::default();
+
+        // Stage 1: Prepare (same trusted cache path as the dense run).
+        let started = Instant::now();
+        let prepared_source = self.engine.prepare(source);
+        let prepared_target = self.engine.prepare(target);
+        let ctx = MatchContext::from_prepared_trusted(
+            source,
+            target,
+            &prepared_source,
+            &prepared_target,
+            &sm_schema::InstanceData::empty(),
+            &sm_schema::InstanceData::empty(),
+        );
+        timings.prepare = started.elapsed();
+
+        // Stage 1.5: Block.
+        let started = Instant::now();
+        let candidates =
+            generate_candidates(source, target, &prepared_source, &prepared_target, policy);
+        timings.block = started.elapsed();
+
+        let rows = ctx.source.len();
+        let cols = ctx.target.len();
+        let mut matrix = MatchMatrix::new(rows, cols);
+        if rows == 0 || cols == 0 || candidates.is_empty() {
+            return BlockedRun {
+                matrix,
+                pairs_considered: rows * cols,
+                pairs_scored: 0,
+                candidates,
+                timings,
+            };
+        }
+
+        // Stages 2+3: sparse Score and Merge over the candidates.
+        let started = Instant::now();
+        let (score_ns, merge_ns) = self.score_and_merge_blocked(&ctx, &mut matrix, &candidates);
+        let fused = started.elapsed();
+        let total_ns = (score_ns + merge_ns).max(1);
+        timings.score = fused.mul_f64(score_ns as f64 / total_ns as f64);
+        timings.merge = fused.saturating_sub(timings.score);
+
+        // Stage 4: sparse Propagate.
+        let started = Instant::now();
+        if self.engine.propagation_alpha > 0.0 {
+            self.propagate_blocked(ctx.source, ctx.target, &mut matrix, &candidates);
+        }
+        timings.propagate = started.elapsed();
+
+        BlockedRun {
+            matrix,
+            pairs_considered: rows * cols,
+            pairs_scored: candidates.len(),
+            candidates,
+            timings,
+        }
+    }
+
     /// Rows per work-stealing block: small enough that every worker claims
     /// several blocks (smoothing out uneven row costs), large enough that
     /// queue traffic is noise.
@@ -210,7 +307,8 @@ impl<'e> MatchPipeline<'e> {
             let t1 = Instant::now();
             for (cell, pair_votes) in block.iter_mut().zip(w.votes.chunks(nv)) {
                 w.scratch.clear();
-                w.scratch.extend(pair_votes.iter().map(|&v| Confidence::new(v)));
+                w.scratch
+                    .extend(pair_votes.iter().map(|&v| Confidence::new(v)));
                 *cell = merger.merge(&w.scratch).value() as f32;
             }
             w.merge_ns += t1.elapsed().as_nanos() as u64;
@@ -246,8 +344,7 @@ impl<'e> MatchPipeline<'e> {
                         scope.spawn(|| {
                             let mut w = new_worker();
                             loop {
-                                let claimed =
-                                    queue.lock().expect("pipeline queue poisoned").next();
+                                let claimed = queue.lock().expect("pipeline queue poisoned").next();
                                 let Some((index, block)) = claimed else { break };
                                 process_block(index * block_rows, block, &mut w);
                             }
@@ -260,6 +357,149 @@ impl<'e> MatchPipeline<'e> {
                     (s + ws, m + wm)
                 })
             })
+        }
+    }
+
+    /// Sparse Stages 2+3: score and merge only the candidate pairs. The
+    /// per-pair arithmetic is exactly the dense path's (same voter order,
+    /// same `f64` vote buffer, same merge), so a cell scored here is bit-
+    /// identical to the same cell of a dense run; non-candidates are left at
+    /// the matrix's neutral `0.0`. Work-stealing operates on blocks of
+    /// *candidate-bearing rows* — rows blocking emptied cost nothing.
+    fn score_and_merge_blocked(
+        &self,
+        ctx: &MatchContext<'_>,
+        matrix: &mut MatchMatrix,
+        candidates: &CandidateSet,
+    ) -> (u64, u64) {
+        let voters = &self.engine.voters;
+        let merger = &self.engine.merger;
+        let nv = voters.len();
+        let cols = ctx.target.len();
+
+        // Candidate-bearing rows, paired with their mutable matrix rows.
+        let work: Vec<(usize, &mut [f32], &[u32])> = matrix
+            .as_mut_slice()
+            .chunks_mut(cols.max(1))
+            .enumerate()
+            .filter_map(|(r, slice)| {
+                let cand = candidates.row(r);
+                (!cand.is_empty()).then_some((r, slice, cand))
+            })
+            .collect();
+        let threads = self.engine.threads.min(work.len()).max(1);
+        let block_rows = self.block_rows(work.len(), threads);
+
+        struct Worker {
+            votes: Vec<f64>,
+            scratch: Vec<Confidence>,
+            score_ns: u64,
+            merge_ns: u64,
+        }
+
+        let process_block = |block: &mut [(usize, &mut [f32], &[u32])], w: &mut Worker| {
+            let pairs: usize = block.iter().map(|(_, _, cand)| cand.len()).sum();
+            let t0 = Instant::now();
+            w.votes.clear();
+            w.votes.resize(pairs * nv, 0.0);
+            let mut cursor = 0usize;
+            for (r, _, cand) in block.iter() {
+                let s = ElementId(*r as u32);
+                for &t in cand.iter() {
+                    let cell = &mut w.votes[cursor..cursor + nv];
+                    for (slot, voter) in cell.iter_mut().zip(voters) {
+                        *slot = voter.vote(ctx, s, ElementId(t)).value();
+                    }
+                    cursor += nv;
+                }
+            }
+            w.score_ns += t0.elapsed().as_nanos() as u64;
+
+            let t1 = Instant::now();
+            let mut votes = w.votes.chunks(nv);
+            for (_, slice, cand) in block.iter_mut() {
+                for &t in cand.iter() {
+                    let pair_votes = votes.next().expect("one vote chunk per pair");
+                    w.scratch.clear();
+                    w.scratch
+                        .extend(pair_votes.iter().map(|&v| Confidence::new(v)));
+                    slice[t as usize] = merger.merge(&w.scratch).value() as f32;
+                }
+            }
+            w.merge_ns += t1.elapsed().as_nanos() as u64;
+        };
+
+        let new_worker = || Worker {
+            votes: Vec::new(),
+            scratch: Vec::with_capacity(nv),
+            score_ns: 0,
+            merge_ns: 0,
+        };
+
+        let mut work = work;
+        if threads == 1 {
+            let mut w = new_worker();
+            for block in work.chunks_mut(block_rows) {
+                process_block(block, &mut w);
+            }
+            (w.score_ns, w.merge_ns)
+        } else {
+            let queue = Mutex::new(work.chunks_mut(block_rows));
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut w = new_worker();
+                            loop {
+                                let claimed = queue.lock().expect("pipeline queue poisoned").next();
+                                let Some(block) = claimed else { break };
+                                process_block(block, &mut w);
+                            }
+                            (w.score_ns, w.merge_ns)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().fold((0, 0), |(s, m), h| {
+                    let (ws, wm) = h.join().expect("pipeline worker panicked");
+                    (s + ws, m + wm)
+                })
+            })
+        }
+    }
+
+    /// Sparse Stage 4: the dense propagation blend, applied only to rows
+    /// that have candidates. Within such a row every parented cell is
+    /// blended (non-candidate cells blend their stored neutral `0.0` with
+    /// the parents' scored base — densifying children of strong container
+    /// pairs for free). Rows without candidates are untouched. Under the
+    /// exhaustive policy every row has candidates, making this identical to
+    /// the dense pass.
+    fn propagate_blocked(
+        &self,
+        source: &Schema,
+        target: &Schema,
+        matrix: &mut MatchMatrix,
+        candidates: &CandidateSet,
+    ) {
+        let alpha = self.engine.propagation_alpha;
+        let base = matrix.clone();
+        let target_parents: Vec<Option<ElementId>> =
+            target.elements().iter().map(|e| e.parent).collect();
+        for s in source.ids() {
+            if candidates.row(s.index()).is_empty() {
+                continue;
+            }
+            let Some(ps) = source.element(s).parent else {
+                continue;
+            };
+            let row = matrix.row_mut(s);
+            for (j, cell) in row.iter_mut().enumerate() {
+                if let Some(pt) = target_parents[j] {
+                    let own = f64::from(*cell);
+                    let par = base.get(ps, pt).value();
+                    *cell = ((1.0 - alpha) * own + alpha * par) as f32;
+                }
+            }
         }
     }
 
@@ -304,8 +544,13 @@ mod tests {
 
         let mut b = Schema::new(SchemaId(2), "S_B", SchemaFormat::Xml);
         let p2 = b.add_root("PersonType", ElementKind::ComplexType, DataType::None);
-        b.add_child(p2, "PersonIdentifier", ElementKind::XmlElement, DataType::Integer)
-            .unwrap();
+        b.add_child(
+            p2,
+            "PersonIdentifier",
+            ElementKind::XmlElement,
+            DataType::Integer,
+        )
+        .unwrap();
         b.add_child(p2, "LastName", ElementKind::XmlElement, DataType::text())
             .unwrap();
         (a, b)
@@ -379,6 +624,60 @@ mod tests {
     }
 
     #[test]
+    fn exhaustive_blocked_run_is_byte_identical_to_dense() {
+        let (a, b) = fixture();
+        for threads in [1, 3] {
+            let engine = MatchEngine::new()
+                .with_threads(threads)
+                .with_propagation(0.3);
+            let dense = engine.pipeline().run(&a, &b);
+            let blocked = engine
+                .pipeline()
+                .run_blocked(&a, &b, &BlockingPolicy::Exhaustive);
+            assert_eq!(blocked.pairs_scored, a.len() * b.len());
+            assert_eq!(
+                dense.matrix.as_slice(),
+                blocked.matrix.as_slice(),
+                "exhaustive blocking must reproduce the dense matrix bit for bit"
+            );
+        }
+    }
+
+    #[test]
+    fn default_policy_scores_candidates_identically_to_dense_base() {
+        let (a, b) = fixture();
+        // α = 0 isolates Score/Merge: every candidate cell must carry the
+        // exact dense score, every pruned cell the neutral zero.
+        let engine = MatchEngine::new().with_threads(2).with_propagation(0.0);
+        let dense = engine.pipeline().run(&a, &b);
+        let blocked = engine
+            .pipeline()
+            .run_blocked(&a, &b, &BlockingPolicy::default());
+        for s in a.ids() {
+            for t in b.ids() {
+                let got = blocked.matrix.get(s, t).value();
+                if blocked.candidates.contains(s.index(), t.index()) {
+                    assert_eq!(got, dense.matrix.get(s, t).value());
+                } else {
+                    assert_eq!(got, 0.0, "pruned pair must stay neutral");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_timings_report_the_block_stage() {
+        let (a, b) = fixture();
+        let engine = MatchEngine::new().with_threads(1);
+        let run = engine
+            .pipeline()
+            .run_blocked(&a, &b, &BlockingPolicy::default());
+        assert!(run.timings.block > Duration::ZERO);
+        assert!(run.timings.total() >= run.timings.block);
+        assert!(run.pairs_scored <= run.pairs_considered);
+    }
+
+    #[test]
     fn work_stealing_blocks_cover_all_rows() {
         // Thread counts far above the row count must still fill every cell.
         let (a, b) = fixture();
@@ -387,7 +686,10 @@ mod tests {
         let serial = MatchEngine::new().with_threads(1).pipeline().run(&a, &b);
         for s in a.ids() {
             for t in b.ids() {
-                assert_eq!(run.matrix.get(s, t).value(), serial.matrix.get(s, t).value());
+                assert_eq!(
+                    run.matrix.get(s, t).value(),
+                    serial.matrix.get(s, t).value()
+                );
             }
         }
     }

@@ -188,6 +188,8 @@ pub struct CacheStats {
     pub hits: usize,
     /// Lookups that had to build a [`PreparedSchema`].
     pub misses: usize,
+    /// Entries displaced by the LRU capacity bound since creation.
+    pub evictions: usize,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -207,6 +209,7 @@ pub struct FeatureCache {
     capacity: usize,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 #[derive(Default)]
@@ -238,6 +241,7 @@ impl FeatureCache {
             capacity: capacity.max(1),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 
@@ -289,6 +293,7 @@ impl FeatureCache {
                 .map(|(&fp, _)| fp)
             {
                 inner.map.remove(&evict);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         prepared
@@ -306,6 +311,7 @@ impl FeatureCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries,
         }
     }
@@ -417,6 +423,7 @@ mod tests {
         assert_eq!(cache.stats().misses, misses_before, "hot entry survived");
         cache.prepare(&b);
         assert_eq!(cache.stats().misses, misses_before + 1, "LRU entry evicted");
+        assert_eq!(cache.stats().evictions, 2, "both displacements counted");
     }
 
     #[test]

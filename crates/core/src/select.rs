@@ -64,8 +64,7 @@ impl Selection {
 
 /// Greedy global one-to-one assignment above a threshold.
 fn one_to_one(matrix: &MatchMatrix, min: Confidence) -> MatchSet {
-    let mut pairs: Vec<(ElementId, ElementId, Confidence)> =
-        matrix.iter_above(min).collect();
+    let mut pairs: Vec<(ElementId, ElementId, Confidence)> = matrix.iter_above(min).collect();
     pairs.sort_by(|a, b| b.2.value().partial_cmp(&a.2.value()).expect("finite"));
     let mut used_s = vec![false; matrix.rows()];
     let mut used_t = vec![false; matrix.cols()];
@@ -104,7 +103,7 @@ mod tests {
     fn threshold_selects_all_above() {
         let set = Selection::Threshold(Confidence::new(0.55)).apply(&matrix());
         assert_eq!(set.len(), 4); // 0.9 0.8 0.7 0.6
-        // Sorted best-first.
+                                  // Sorted best-first.
         assert!((set.all()[0].score.value() - 0.9).abs() < 1e-6);
     }
 

@@ -133,11 +133,7 @@ impl SummaryBuilder {
     }
 
     /// Create a concept from an explicit member list (first member anchors).
-    pub fn concept_members(
-        mut self,
-        label: impl Into<String>,
-        members: Vec<ElementId>,
-    ) -> Self {
+    pub fn concept_members(mut self, label: impl Into<String>, members: Vec<ElementId>) -> Self {
         let idx = self.summary.concepts.len();
         for &m in &members {
             self.summary.assignment.entry(m).or_insert(idx);
@@ -270,7 +266,10 @@ mod tests {
         let summary = Summary::builder().concept_subtree(&s, "Event", ev).build();
         let s_prime = summary.to_schema(SchemaId(100), "S_A'");
         assert_eq!(s_prime.len(), 1);
-        assert_eq!(s_prime.element(s_prime.roots()[0]).kind, ElementKind::Concept);
+        assert_eq!(
+            s_prime.element(s_prime.roots()[0]).kind,
+            ElementKind::Concept
+        );
         s_prime.validate().unwrap();
     }
 
@@ -329,8 +328,13 @@ mod tests {
             .add_child(root, "Tasking", ElementKind::ComplexType, DataType::None)
             .unwrap();
         for i in 0..6 {
-            s.add_child(sub, format!("t{i}"), ElementKind::XmlElement, DataType::text())
-                .unwrap();
+            s.add_child(
+                sub,
+                format!("t{i}"),
+                ElementKind::XmlElement,
+                DataType::text(),
+            )
+            .unwrap();
         }
         let summary = auto_summarize(&s, 2);
         assert_eq!(summary.len(), 1, "nested anchor suppressed");

@@ -318,7 +318,12 @@ mod tests {
         let mut a = Schema::new(SchemaId(1), "S_A", SchemaFormat::Relational);
         let ev = a.add_root("All_Event_Vitals", ElementKind::Table, DataType::None);
         let d = a
-            .add_child(ev, "DATE_BEGIN_156", ElementKind::Column, DataType::DateTime)
+            .add_child(
+                ev,
+                "DATE_BEGIN_156",
+                ElementKind::Column,
+                DataType::DateTime,
+            )
             .unwrap();
         a.set_doc(d, Documentation::embedded("date and time the event began"))
             .unwrap();
@@ -331,16 +336,30 @@ mod tests {
         let mut b = Schema::new(SchemaId(2), "S_B", SchemaFormat::Xml);
         let ev2 = b.add_root("Event", ElementKind::ComplexType, DataType::None);
         let d2 = b
-            .add_child(ev2, "DATETIME_FIRST_INFO", ElementKind::XmlElement, DataType::DateTime)
+            .add_child(
+                ev2,
+                "DATETIME_FIRST_INFO",
+                ElementKind::XmlElement,
+                DataType::DateTime,
+            )
             .unwrap();
         b.set_doc(
             d2,
             Documentation::embedded("date and time when information about the event first arrived"),
         )
         .unwrap();
-        b.add_child(ev2, "EventLocation", ElementKind::XmlElement, DataType::text())
-            .unwrap();
-        let c = b.add_root("CommunityOfInterest", ElementKind::ComplexType, DataType::None);
+        b.add_child(
+            ev2,
+            "EventLocation",
+            ElementKind::XmlElement,
+            DataType::text(),
+        )
+        .unwrap();
+        let c = b.add_root(
+            "CommunityOfInterest",
+            ElementKind::ComplexType,
+            DataType::None,
+        );
         b.add_child(c, "MemberName", ElementKind::XmlElement, DataType::text())
             .unwrap();
         (a, b)

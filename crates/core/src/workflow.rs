@@ -173,10 +173,11 @@ impl<'a> IncrementalSession<'a> {
         for (s, t, score) in &candidates {
             if oracle.judge(*s, *t, *score) {
                 accepted += 1;
-                self.validated.push(
-                    Correspondence::candidate(*s, *t, *score)
-                        .validate(oracle.reviewer_name().to_string(), MatchAnnotation::Equivalent),
-                );
+                self.validated
+                    .push(Correspondence::candidate(*s, *t, *score).validate(
+                        oracle.reviewer_name().to_string(),
+                        MatchAnnotation::Equivalent,
+                    ));
             }
         }
         self.reports.push(IncrementReport {
@@ -267,7 +268,12 @@ mod tests {
             .add_child(ev2, "BeginDate", ElementKind::XmlElement, DataType::Date)
             .unwrap();
         let b_loc = b
-            .add_child(ev2, "LocationName", ElementKind::XmlElement, DataType::text())
+            .add_child(
+                ev2,
+                "LocationName",
+                ElementKind::XmlElement,
+                DataType::text(),
+            )
             .unwrap();
         let p2 = b.add_root("PersonType", ElementKind::ComplexType, DataType::None);
         let b_ln = b
@@ -290,8 +296,7 @@ mod tests {
     fn increments_record_pair_counts() {
         let (a, b, truth) = fixture();
         let engine = MatchEngine::new().with_threads(1);
-        let mut session =
-            IncrementalSession::new(&engine, &a, &b, Confidence::new(0.15));
+        let mut session = IncrementalSession::new(&engine, &a, &b, Confidence::new(0.15));
         let mut oracle = NoisyOracle::perfect(truth);
         let ev = a.find_by_name("Event").unwrap();
         let report = session.run_increment(
@@ -317,8 +322,7 @@ mod tests {
             .concept_subtree(&a, "Event", ev)
             .concept_subtree(&a, "Person", p)
             .build();
-        let mut session =
-            IncrementalSession::new(&engine, &a, &b, Confidence::new(0.15));
+        let mut session = IncrementalSession::new(&engine, &a, &b, Confidence::new(0.15));
         let mut oracle = NoisyOracle::perfect(truth.clone());
         let reports = session.concept_at_a_time(&summary, &mut oracle);
         assert_eq!(reports.len(), 2);
@@ -373,8 +377,7 @@ mod tests {
     fn validated_set_is_deduplicated() {
         let (a, b, truth) = fixture();
         let engine = MatchEngine::new().with_threads(1);
-        let mut session =
-            IncrementalSession::new(&engine, &a, &b, Confidence::new(0.15));
+        let mut session = IncrementalSession::new(&engine, &a, &b, Confidence::new(0.15));
         let mut oracle = NoisyOracle::perfect(truth);
         let ev = a.find_by_name("Event").unwrap();
         // The same increment twice produces duplicate validations.
@@ -389,7 +392,10 @@ mod tests {
         let validated = session.validated();
         let mut seen = HashSet::new();
         for c in validated.all() {
-            assert!(seen.insert((c.source, c.target)), "duplicate survived dedup");
+            assert!(
+                seen.insert((c.source, c.target)),
+                "duplicate survived dedup"
+            );
         }
     }
 
@@ -397,11 +403,15 @@ mod tests {
     fn reviewer_name_recorded() {
         let (a, b, truth) = fixture();
         let engine = MatchEngine::new().with_threads(1);
-        let mut session =
-            IncrementalSession::new(&engine, &a, &b, Confidence::new(0.15));
+        let mut session = IncrementalSession::new(&engine, &a, &b, Confidence::new(0.15));
         let mut oracle = NoisyOracle::perfect(truth).named("alice");
         let ev = a.find_by_name("Event").unwrap();
-        session.run_increment("Event", &NodeFilter::subtree(ev), &NodeFilter::All, &mut oracle);
+        session.run_increment(
+            "Event",
+            &NodeFilter::subtree(ev),
+            &NodeFilter::All,
+            &mut oracle,
+        );
         let validated = session.validated();
         assert!(validated.validated().all(|c| c.asserted_by == "alice"));
         assert!(validated.validated().count() > 0);

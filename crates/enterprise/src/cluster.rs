@@ -13,6 +13,7 @@
 //! either at `k` clusters or at a distance threshold. Quality metrics
 //! (purity, adjusted Rand index) evaluate against generated ground truth.
 
+use crate::index::RepositoryIndex;
 use crate::repository::MetadataRepository;
 use harmony_core::prepare::{FeatureCache, PreparedSchema};
 use sm_schema::{Schema, SchemaId};
@@ -63,10 +64,10 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Vocabulary-overlap distances for all schemata in a repository.
+    /// Vocabulary-overlap distances for all schemata in a repository,
+    /// served by the repository's maintained token index.
     pub fn from_repository(repo: &MetadataRepository) -> Self {
-        let schemas: Vec<&Schema> = repo.schemas().collect();
-        Self::from_schemas(&schemas)
+        Self::from_index(&repo.token_index())
     }
 
     /// Vocabulary-overlap distances for an explicit schema list (prepared
@@ -79,23 +80,36 @@ impl DistanceMatrix {
         Self::from_prepared(&prepared)
     }
 
-    /// Vocabulary-overlap distances over already-prepared schemata.
+    /// Vocabulary-overlap distances over already-prepared schemata (builds
+    /// a transient token index).
     pub fn from_prepared(prepared: &[Arc<PreparedSchema>]) -> Self {
-        let n = prepared.len();
+        Self::from_index(&RepositoryIndex::build(prepared))
+    }
+
+    /// Vocabulary-overlap distances from a token index. Pairwise
+    /// intersection counts come from one walk over each posting list
+    /// (`Σ df²` work) instead of `n²` per-pair set intersections; the
+    /// Jaccard distances are identical.
+    pub fn from_index(index: &RepositoryIndex) -> Self {
+        let n = index.len();
+        let inter = index.pairwise_intersections();
         let mut d = vec![0.0; n * n];
         for i in 0..n {
-            let sig_i = prepared[i].signature();
-            for (j, p) in prepared.iter().enumerate().skip(i + 1) {
-                let sig_j = p.signature();
-                let inter = sig_i.intersection(sig_j).count() as f64;
-                let union = (sig_i.len() + sig_j.len()) as f64 - inter;
-                let dist = if union == 0.0 { 0.0 } else { 1.0 - inter / union };
+            let len_i = index.signature(i as u32).len();
+            for j in (i + 1)..n {
+                let shared = f64::from(inter[i * n + j]);
+                let union = (len_i + index.signature(j as u32).len()) as f64 - shared;
+                let dist = if union == 0.0 {
+                    0.0
+                } else {
+                    1.0 - shared / union
+                };
                 d[i * n + j] = dist;
                 d[j * n + i] = dist;
             }
         }
         DistanceMatrix {
-            ids: prepared.iter().map(|p| p.schema_id).collect(),
+            ids: index.ids().to_vec(),
             d,
         }
     }

@@ -9,7 +9,7 @@
 use crate::cluster::{agglomerative, Cut, DistanceMatrix, Linkage};
 use crate::repository::MetadataRepository;
 use sm_schema::SchemaId;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// A proposed community of interest.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,7 +30,8 @@ pub fn propose_cois(
     max_distance: f64,
     min_cohesion: f64,
 ) -> Vec<CoiProposal> {
-    let dm = DistanceMatrix::from_repository(repo);
+    let index = repo.token_index();
+    let dm = DistanceMatrix::from_index(&index);
     if dm.is_empty() {
         return Vec::new();
     }
@@ -60,22 +61,9 @@ pub fn propose_cois(
             if cohesion < min_cohesion {
                 return None;
             }
-            // Vocabulary shared by all members (signatures served by the
-            // shared feature cache via the repository).
-            let mut shared: Option<HashSet<String>> = None;
-            for id in &members {
-                let prepared = repo.prepared(*id)?;
-                shared = Some(match shared {
-                    None => prepared.signature().clone(),
-                    Some(prev) => prev
-                        .intersection(prepared.signature())
-                        .cloned()
-                        .collect(),
-                });
-            }
-            let mut shared_vocabulary: Vec<String> =
-                shared.unwrap_or_default().into_iter().collect();
-            shared_vocabulary.sort();
+            // Vocabulary shared by *all* members: a posting-list membership
+            // test on the repository token index, already sorted.
+            let mut shared_vocabulary = index.shared_tokens(&members);
             shared_vocabulary.truncate(12);
             Some(CoiProposal {
                 members,
@@ -147,7 +135,10 @@ mod tests {
             air.shared_vocabulary
         );
         let med = proposals.iter().find(|p| p.members.len() == 2).unwrap();
-        assert!(med.shared_vocabulary.iter().any(|t| t == "blood" || t == "patient"));
+        assert!(med
+            .shared_vocabulary
+            .iter()
+            .any(|t| t == "blood" || t == "patient"));
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! The repository-level token index.
+//!
+//! §5's registry scenarios — query-by-schema search, overlap clustering, COI
+//! proposal — all reduce to questions about shared vocabulary between
+//! schemata. Before this module each of them answered those questions by
+//! linear scans over per-schema signature sets: `SchemaSearch::query`
+//! intersected the query signature with *every* indexed schema,
+//! `DistanceMatrix` intersected all `n²` signature pairs, and COI proposal
+//! re-intersected member signatures cluster by cluster.
+//!
+//! [`RepositoryIndex`] inverts the data once: token → sorted posting list of
+//! schema slots, plus the frozen IDF weight table and per-schema total
+//! weights that used to be rebuilt per query. Searching then touches only
+//! the posting lists of the query's tokens (schemata sharing no vocabulary
+//! are never visited), pairwise intersection counts come from walking each
+//! posting list once, and all-member shared vocabulary is a posting-list
+//! membership test.
+//!
+//! The index is maintained by
+//! [`crate::repository::MetadataRepository::token_index`], which caches it
+//! and drops the cache whenever a schema is (re-)registered; schema
+//! preparations themselves come from the process-wide
+//! [`harmony_core::prepare::FeatureCache`], whose content fingerprints make
+//! re-registered-but-unchanged schemata free to re-index.
+
+use harmony_core::prepare::PreparedSchema;
+use sm_schema::SchemaId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Smoothed IDF weight of a token present in `df` of `n` schemata — the one
+/// definition shared by the index, search scoring, and fragment scoring.
+pub(crate) fn idf_weight(n: f64, df: f64) -> f64 {
+    ((n + 1.0) / (df + 1.0)).ln() + 1.0
+}
+
+/// An inverted token index over a repository's schema signatures, with the
+/// IDF weight table frozen at build time.
+#[derive(Debug)]
+pub struct RepositoryIndex {
+    /// Schema ids in slot order (registration order).
+    ids: Vec<SchemaId>,
+    /// id → slot.
+    slot_of: HashMap<SchemaId, u32>,
+    /// Content fingerprint of each indexed schema (staleness checks).
+    fingerprints: Vec<u64>,
+    /// Sorted distinct name tokens of each schema.
+    signatures: Vec<Vec<String>>,
+    /// token → ascending slots of schemata containing it.
+    postings: HashMap<String, Vec<u32>>,
+    /// Frozen IDF weight per indexed token.
+    weights: HashMap<String, f64>,
+    /// Weight of a token absent from every indexed schema (`df = 0`).
+    unseen_weight: f64,
+    /// Per-schema total signature weight, summed in sorted-token order.
+    total_weights: Vec<f64>,
+}
+
+impl RepositoryIndex {
+    /// Build the index over prepared schemata, in the given (slot) order.
+    pub fn build(prepared: &[Arc<PreparedSchema>]) -> Self {
+        let mut ids = Vec::with_capacity(prepared.len());
+        let mut fingerprints = Vec::with_capacity(prepared.len());
+        let mut signatures: Vec<Vec<String>> = Vec::with_capacity(prepared.len());
+        let mut postings: HashMap<String, Vec<u32>> = HashMap::new();
+        for (slot, p) in prepared.iter().enumerate() {
+            ids.push(p.schema_id);
+            fingerprints.push(p.fingerprint);
+            let mut sig: Vec<String> = p.signature().iter().cloned().collect();
+            sig.sort_unstable();
+            for t in &sig {
+                postings.entry(t.clone()).or_default().push(slot as u32);
+            }
+            signatures.push(sig);
+        }
+        let n = ids.len().max(1) as f64;
+        let weights: HashMap<String, f64> = postings
+            .iter()
+            .map(|(t, posting)| (t.clone(), idf_weight(n, posting.len() as f64)))
+            .collect();
+        let unseen_weight = idf_weight(n, 0.0);
+        // Sorted-token summation order keeps totals deterministic (float
+        // addition is not associative).
+        let total_weights: Vec<f64> = signatures
+            .iter()
+            .map(|sig| sig.iter().map(|t| weights[t]).sum())
+            .collect();
+        let slot_of = ids
+            .iter()
+            .enumerate()
+            .map(|(slot, &id)| (id, slot as u32))
+            .collect();
+        RepositoryIndex {
+            ids,
+            slot_of,
+            fingerprints,
+            signatures,
+            postings,
+            weights,
+            unseen_weight,
+            total_weights,
+        }
+    }
+
+    /// Number of indexed schemata.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Schema ids in slot order.
+    pub fn ids(&self) -> &[SchemaId] {
+        &self.ids
+    }
+
+    /// Slot of a schema id.
+    pub fn slot(&self, id: SchemaId) -> Option<u32> {
+        self.slot_of.get(&id).copied()
+    }
+
+    /// Content fingerprint the slot was indexed under.
+    pub fn fingerprint(&self, slot: u32) -> u64 {
+        self.fingerprints[slot as usize]
+    }
+
+    /// Sorted distinct name tokens of a slot.
+    pub fn signature(&self, slot: u32) -> &[String] {
+        &self.signatures[slot as usize]
+    }
+
+    /// Total signature weight of a slot (frozen at build).
+    pub fn total_weight(&self, slot: u32) -> f64 {
+        self.total_weights[slot as usize]
+    }
+
+    /// Frozen IDF weight of a token (`df = 0` weight for unseen tokens).
+    pub fn weight(&self, token: &str) -> f64 {
+        self.weights
+            .get(token)
+            .copied()
+            .unwrap_or(self.unseen_weight)
+    }
+
+    /// Posting list of a token: ascending slots of schemata containing it.
+    pub fn postings(&self, token: &str) -> &[u32] {
+        self.postings.get(token).map_or(&[], Vec::as_slice)
+    }
+
+    /// Accumulate the shared signature weight between a query signature and
+    /// every indexed schema, visiting only posting lists of the query's
+    /// tokens. Returns `(slot, shared_weight)` for every schema sharing at
+    /// least one token, slots ascending. `query_tokens` must be sorted so
+    /// each slot's weight sum has a deterministic order.
+    pub fn accumulate<'q>(
+        &self,
+        query_tokens: impl IntoIterator<Item = &'q str>,
+    ) -> Vec<(u32, f64)> {
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        for t in query_tokens {
+            let posting = self.postings(t);
+            if posting.is_empty() {
+                continue;
+            }
+            let w = self.weights[t];
+            for &slot in posting {
+                *acc.entry(slot).or_insert(0.0) += w;
+            }
+        }
+        let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
+        out.sort_unstable_by_key(|&(slot, _)| slot);
+        out
+    }
+
+    /// Pairwise signature-intersection counts, as a dense row-major `n×n`
+    /// symmetric matrix (diagonal zero). Each posting list is walked once,
+    /// so the cost is `Σ_token df(token)²` instead of the `n² · |signature|`
+    /// of all-pairs set intersection — far cheaper when overlap is sparse,
+    /// never asymptotically worse.
+    pub fn pairwise_intersections(&self) -> Vec<u32> {
+        let n = self.len();
+        let mut inter = vec![0u32; n * n];
+        for posting in self.postings.values() {
+            for (i, &a) in posting.iter().enumerate() {
+                for &b in &posting[i + 1..] {
+                    inter[a as usize * n + b as usize] += 1;
+                    inter[b as usize * n + a as usize] += 1;
+                }
+            }
+        }
+        inter
+    }
+
+    /// Tokens present in *every* given schema, sorted. Walks the smallest
+    /// member's signature and keeps tokens whose posting list contains all
+    /// other members (binary search per member). Unindexed ids yield an
+    /// empty result.
+    pub fn shared_tokens(&self, members: &[SchemaId]) -> Vec<String> {
+        let Some(mut slots) = members
+            .iter()
+            .map(|&id| self.slot(id))
+            .collect::<Option<Vec<u32>>>()
+        else {
+            return Vec::new();
+        };
+        // Dedup: a repeated member must not inflate the posting-size
+        // pre-check below.
+        slots.sort_unstable();
+        slots.dedup();
+        let Some(&smallest) = slots
+            .iter()
+            .min_by_key(|&&s| self.signatures[s as usize].len())
+        else {
+            return Vec::new();
+        };
+        self.signatures[smallest as usize]
+            .iter()
+            .filter(|t| {
+                let posting = self.postings(t);
+                posting.len() >= slots.len()
+                    && slots.iter().all(|s| posting.binary_search(s).is_ok())
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_core::prepare::FeatureCache;
+    use sm_schema::{DataType, ElementKind, Schema, SchemaFormat};
+    use sm_text::normalize::Normalizer;
+
+    fn schema(id: u32, words: &[&str]) -> Schema {
+        let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+        let r = s.add_root("Root", ElementKind::Group, DataType::None);
+        for w in words {
+            s.add_child(r, *w, ElementKind::Column, DataType::text())
+                .unwrap();
+        }
+        s
+    }
+
+    fn index(schemas: &[Schema]) -> RepositoryIndex {
+        let cache = FeatureCache::new(Normalizer::new());
+        let prepared: Vec<_> = schemas.iter().map(|s| cache.prepare(s)).collect();
+        RepositoryIndex::build(&prepared)
+    }
+
+    fn world() -> Vec<Schema> {
+        vec![
+            schema(0, &["vin", "make", "model"]),
+            schema(1, &["vin", "engine"]),
+            schema(2, &["patient", "blood"]),
+        ]
+    }
+
+    #[test]
+    fn postings_are_sorted_slots() {
+        let idx = index(&world());
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.postings("vin"), &[0, 1]);
+        assert_eq!(idx.postings("patient"), &[2]);
+        assert_eq!(idx.postings("absent"), &[] as &[u32]);
+        assert_eq!(idx.slot(SchemaId(1)), Some(1));
+        assert_eq!(idx.slot(SchemaId(9)), None);
+    }
+
+    #[test]
+    fn rare_tokens_weigh_more_and_unseen_most() {
+        let idx = index(&world());
+        assert!(idx.weight("patient") > idx.weight("vin"));
+        assert!(idx.weight("never-indexed") > idx.weight("patient"));
+    }
+
+    #[test]
+    fn accumulate_visits_only_sharing_schemata() {
+        let idx = index(&world());
+        // "engin" is the stemmed form of "engine", present only in slot 1.
+        let hits = idx.accumulate(["engin", "vin"]);
+        // Slot 2 shares neither token and must not appear.
+        assert_eq!(hits.iter().map(|&(s, _)| s).collect::<Vec<_>>(), vec![0, 1]);
+        let w0 = hits[0].1;
+        let w1 = hits[1].1;
+        assert!(w1 > w0, "slot 1 shares vin + engin, slot 0 only vin");
+    }
+
+    #[test]
+    fn pairwise_intersections_match_direct_counts() {
+        let idx = index(&world());
+        let inter = idx.pairwise_intersections();
+        let n = idx.len();
+        // Every schema shares the "root" container token; 0 and 1 also
+        // share "vin".
+        assert_eq!(inter[n], 2, "schemas 1,0 share vin + root");
+        assert_eq!(inter[1], 2, "symmetric");
+        assert_eq!(inter[2], 1, "vehicle/medical share only root");
+        assert_eq!(inter[0], 0, "diagonal untouched");
+    }
+
+    #[test]
+    fn shared_tokens_require_all_members() {
+        let idx = index(&world());
+        let both = idx.shared_tokens(&[SchemaId(0), SchemaId(1)]);
+        assert!(both.contains(&"vin".to_string()));
+        assert!(!both.contains(&"make".to_string()));
+        assert!(
+            idx.shared_tokens(&[SchemaId(0), SchemaId(2)])
+                .iter()
+                .all(|t| t == "root"), // only the shared Root container token, if kept
+        );
+        assert!(idx.shared_tokens(&[SchemaId(0), SchemaId(99)]).is_empty());
+        // Duplicate members must not shrink the result.
+        assert_eq!(
+            idx.shared_tokens(&[SchemaId(0), SchemaId(0)]),
+            idx.shared_tokens(&[SchemaId(0)]),
+        );
+    }
+}

@@ -10,6 +10,10 @@
 //! * [`repository`] — a metadata repository storing schemata *and matches as
 //!   knowledge artifacts*, with context tags and provenance ("who said that X
 //!   is the same as Y, and should I trust that assertion?", §5).
+//! * [`index`] — the repository-level inverted token index behind search,
+//!   clustering, and COI proposal: posting lists + a frozen IDF weight
+//!   table, so repository operations touch only schemata that share
+//!   vocabulary instead of scanning the whole registry.
 //! * [`search`] — query-by-schema search ("simply use one's target schema as
 //!   the query term", §2).
 //! * [`cluster`] — schema clustering over overlap distance ("revealing to
@@ -26,6 +30,7 @@
 pub mod cluster;
 pub mod coi;
 pub mod feasibility;
+pub mod index;
 pub mod repository;
 pub mod search;
 pub mod team;
@@ -33,6 +38,7 @@ pub mod team;
 pub use cluster::{agglomerative, ClusterEval, Clustering, Linkage};
 pub use coi::{propose_cois, CoiProposal};
 pub use feasibility::{FeasibilityGrade, FeasibilityReport};
+pub use index::RepositoryIndex;
 pub use repository::{MatchContextTag, MatchRecord, MetadataRepository, Provenance};
 pub use search::{FragmentHit, SchemaSearch, SearchHit};
 pub use team::{EngineerProfile, TaskQueue, TeamPlan};

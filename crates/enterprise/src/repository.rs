@@ -8,19 +8,18 @@
 //! may be too imprecise for business intelligence) and **provenance** (who
 //! asserted it, trust queries).
 
+use crate::index::RepositoryIndex;
 use harmony_core::correspondence::{MatchSet, MatchStatus};
 use harmony_core::prepare::{FeatureCache, PreparedSchema};
 use serde::{Deserialize, Serialize};
 use sm_schema::{ElementId, Schema, SchemaId, SchemaPath};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The intended consumption context of a stored match — §5's observation
 /// that "matches are context-dependent". Ordered by the precision the
 /// context demands (search tolerates noise; BI does not).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MatchContextTag {
     /// Discovery / search: recall over precision.
     Search,
@@ -85,6 +84,9 @@ pub struct MetadataRepository {
     insertion_order: Vec<SchemaId>,
     records: Vec<MatchRecord>,
     clock: u64,
+    /// Lazily built repository-level token index; dropped whenever a schema
+    /// is (re-)registered, rebuilt on next access.
+    index_cache: Mutex<Option<Arc<RepositoryIndex>>>,
 }
 
 impl MetadataRepository {
@@ -101,6 +103,10 @@ impl MetadataRepository {
         if prev.is_none() {
             self.insertion_order.push(id);
         }
+        // The token index no longer reflects the registry's content; drop
+        // it so the next consumer rebuilds. (Re-preparation of unchanged
+        // schemata is free — the FeatureCache is content-fingerprint keyed.)
+        *self.index_cache.lock().expect("index cache poisoned") = None;
         prev
     }
 
@@ -136,6 +142,30 @@ impl MetadataRepository {
         self.schemas()
             .map(|s| FeatureCache::global().prepare(s))
             .collect()
+    }
+
+    /// The repository-level token index over all registered schemata —
+    /// the retrieval structure behind [`crate::search::SchemaSearch`],
+    /// [`crate::cluster::DistanceMatrix::from_repository`], and COI
+    /// proposal. Built lazily from the shared [`FeatureCache`] preparations
+    /// and cached until the next [`Self::register_schema`] invalidates it,
+    /// so repeated searches against a stable registry pay the build once.
+    pub fn token_index(&self) -> Arc<RepositoryIndex> {
+        let mut guard = self.index_cache.lock().expect("index cache poisoned");
+        if let Some(index) = guard.as_ref() {
+            // The cache is only populated from the current registry state
+            // and dropped on every mutation, so stored fingerprints always
+            // match the live schemata; verify in debug builds.
+            debug_assert!(self.schemas().zip(index.ids()).all(|(s, &id)| {
+                s.id == id
+                    && index.fingerprint(index.slot(id).expect("indexed"))
+                        == harmony_core::prepare::schema_fingerprint(s)
+            }));
+            return Arc::clone(index);
+        }
+        let index = Arc::new(RepositoryIndex::build(&self.prepare_all()));
+        *guard = Some(Arc::clone(&index));
+        index
     }
 
     /// Store a match artifact; returns its record index. Both schemata must
@@ -186,10 +216,7 @@ impl MetadataRepository {
     }
 
     /// Records suitable for a required context (record context ≥ required).
-    pub fn records_for_context(
-        &self,
-        required: MatchContextTag,
-    ) -> Vec<(usize, &MatchRecord)> {
+    pub fn records_for_context(&self, required: MatchContextTag) -> Vec<(usize, &MatchRecord)> {
         self.records
             .iter()
             .enumerate()
@@ -351,14 +378,29 @@ mod tests {
         let mut repo = MetadataRepository::new();
         repo.register_schema(schema(1, &["A"]));
         repo.register_schema(schema(2, &["B"]));
-        repo.record_match(SchemaId(1), SchemaId(2), MatchSet::new(), MatchContextTag::Search, "t", "")
-            .unwrap();
-        repo.record_match(SchemaId(1), SchemaId(2), MatchSet::new(), MatchContextTag::Integration, "t", "")
-            .unwrap();
+        repo.record_match(
+            SchemaId(1),
+            SchemaId(2),
+            MatchSet::new(),
+            MatchContextTag::Search,
+            "t",
+            "",
+        )
+        .unwrap();
+        repo.record_match(
+            SchemaId(1),
+            SchemaId(2),
+            MatchSet::new(),
+            MatchContextTag::Integration,
+            "t",
+            "",
+        )
+        .unwrap();
         assert_eq!(repo.records_for_context(MatchContextTag::Search).len(), 2);
         assert_eq!(repo.records_for_context(MatchContextTag::Planning).len(), 1);
         assert_eq!(
-            repo.records_for_context(MatchContextTag::BusinessIntelligence).len(),
+            repo.records_for_context(MatchContextTag::BusinessIntelligence)
+                .len(),
             0
         );
     }
@@ -405,9 +447,39 @@ mod tests {
         let mut repo = MetadataRepository::new();
         repo.register_schema(schema(1, &["A"]));
         repo.register_schema(schema(2, &["B"]));
-        repo.record_match(SchemaId(2), SchemaId(1), MatchSet::new(), MatchContextTag::Search, "t", "")
-            .unwrap();
+        repo.record_match(
+            SchemaId(2),
+            SchemaId(1),
+            MatchSet::new(),
+            MatchContextTag::Search,
+            "t",
+            "",
+        )
+        .unwrap();
         assert_eq!(repo.records_between(SchemaId(1), SchemaId(2)).len(), 1);
+    }
+
+    #[test]
+    fn token_index_is_cached_and_invalidated_by_registration() {
+        let mut repo = MetadataRepository::new();
+        repo.register_schema(schema(1, &["Person"]));
+        let i1 = repo.token_index();
+        let i2 = repo.token_index();
+        assert!(Arc::ptr_eq(&i1, &i2), "stable registry reuses the index");
+        assert_eq!(i1.len(), 1);
+        assert!(!i1.postings("person").is_empty());
+
+        repo.register_schema(schema(2, &["Vehicle"]));
+        let i3 = repo.token_index();
+        assert!(!Arc::ptr_eq(&i1, &i3), "registration invalidates the index");
+        assert_eq!(i3.len(), 2);
+        assert!(!i3.postings("vehicl").is_empty());
+
+        // Re-registering changed content re-indexes it.
+        repo.register_schema(schema(1, &["PersonV2", "Address"]));
+        let i4 = repo.token_index();
+        assert!(!i4.postings("address").is_empty());
+        assert_eq!(i4.len(), 2, "replaced, not duplicated");
     }
 
     #[test]
@@ -415,8 +487,13 @@ mod tests {
         let mut repo = MetadataRepository::new();
         let mut s1 = schema(1, &["Patient"]);
         let t = s1.roots()[0];
-        s1.add_child(t, "blood_test_result", ElementKind::Column, DataType::text())
-            .unwrap();
+        s1.add_child(
+            t,
+            "blood_test_result",
+            ElementKind::Column,
+            DataType::text(),
+        )
+        .unwrap();
         repo.register_schema(s1);
         repo.register_schema(schema(2, &["Vehicle"]));
         let hits = repo.schemas_mentioning("BloodTest");

@@ -7,24 +7,24 @@
 //! vocabulary signature (normalized name tokens weighted by rarity across the
 //! repository) — the "characterize overlap approximately but quickly" of §5.
 //!
+//! Retrieval runs against the repository-level [`RepositoryIndex`]: the
+//! query's tokens are looked up in posting lists, so only schemata sharing
+//! at least one token are ever visited — no per-candidate signature
+//! intersection, no per-query IDF weight table (weights are frozen when the
+//! index is built). Shared-token details are materialized only for the
+//! top-`limit` hits that are actually returned.
+//!
 //! Signatures come from the shared [`PreparedSchema`] feature cache
 //! ([`FeatureCache::global`]), so the index never re-tokenizes a schema the
 //! match engine (or clustering, or COI proposal) has already prepared — and
 //! vice versa.
 
+use crate::index::RepositoryIndex;
 use crate::repository::MetadataRepository;
 use harmony_core::prepare::{FeatureCache, PreparedSchema};
 use sm_schema::{Schema, SchemaId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
-
-/// Smoothed IDF weight of a token present in `df` of `n` schemata. The one
-/// definition shared by index build, query, and fragment scoring — the
-/// precomputed [`IndexedSchema::total_weight`] is only consistent with
-/// query-side weights because they all come from here.
-fn idf_weight(n: f64, df: f64) -> f64 {
-    ((n + 1.0) / (df + 1.0)).ln() + 1.0
-}
 
 /// Sum token weights in sorted-token order: float addition is not
 /// associative, and `HashSet` iteration order varies per instance, so an
@@ -60,21 +60,10 @@ pub struct FragmentHit {
     pub shared_tokens: Vec<String>,
 }
 
-/// One indexed schema: its signature plus its total signature weight,
-/// precomputed at build time (the weight table is frozen once the index is
-/// built, so per-query work is the intersection alone).
-struct IndexedSchema {
-    id: SchemaId,
-    signature: HashSet<String>,
-    total_weight: f64,
-}
-
-/// A search index over a repository's schemata.
+/// A search façade over a repository's token index.
 pub struct SchemaSearch {
-    /// Per-schema signatures with precomputed total weights.
-    signatures: Vec<IndexedSchema>,
-    /// token → number of schemata containing it (for IDF weighting).
-    schema_freq: HashMap<String, usize>,
+    /// The inverted index + frozen IDF weight table + total weights.
+    index: Arc<RepositoryIndex>,
     /// The cache queries are prepared through — always the one whose
     /// normalizer produced the indexed signatures, so index-side and
     /// query-side tokenization can never diverge.
@@ -82,122 +71,106 @@ pub struct SchemaSearch {
 }
 
 impl SchemaSearch {
-    /// Build the index from all schemata currently in the repository,
-    /// preparing each through the shared global feature cache.
+    /// Build the search façade over a repository's maintained token index
+    /// (see [`MetadataRepository::token_index`]); queries are prepared
+    /// through the shared global feature cache that built it.
     pub fn build(repo: &MetadataRepository) -> Self {
-        let cache = Arc::clone(FeatureCache::global());
-        let prepared: Vec<Arc<PreparedSchema>> =
-            repo.schemas().map(|s| cache.prepare(s)).collect();
-        Self::from_prepared(prepared, cache)
+        SchemaSearch {
+            index: repo.token_index(),
+            cache: Arc::clone(FeatureCache::global()),
+        }
     }
 
-    /// Build the index from already-prepared schemata. `cache` must be the
-    /// cache (and therefore normalizer configuration) that produced them;
-    /// queries are prepared through the same cache.
+    /// Build a free-standing index from already-prepared schemata. `cache`
+    /// must be the cache (and therefore normalizer configuration) that
+    /// produced them; queries are prepared through the same cache.
     pub fn from_prepared(
         prepared: impl IntoIterator<Item = Arc<PreparedSchema>>,
         cache: Arc<FeatureCache>,
     ) -> Self {
-        let mut sigs: Vec<(SchemaId, HashSet<String>)> = Vec::new();
-        let mut schema_freq: HashMap<String, usize> = HashMap::new();
-        for p in prepared {
-            let sig = p.signature().clone();
-            for t in &sig {
-                *schema_freq.entry(t.clone()).or_insert(0) += 1;
-            }
-            sigs.push((p.schema_id, sig));
-        }
-        // Second pass: schema_freq is complete, so per-schema total weights
-        // can be frozen now instead of recomputed per query.
-        let n = sigs.len().max(1) as f64;
-        let weight = |t: &str| -> f64 {
-            idf_weight(n, schema_freq.get(t).copied().unwrap_or(0) as f64)
-        };
-        let signatures = sigs
-            .into_iter()
-            .map(|(id, signature)| {
-                let total_weight = weighted_sum(&signature, &weight);
-                IndexedSchema {
-                    id,
-                    signature,
-                    total_weight,
-                }
-            })
-            .collect();
+        let prepared: Vec<Arc<PreparedSchema>> = prepared.into_iter().collect();
         SchemaSearch {
-            signatures,
-            schema_freq,
+            index: Arc::new(RepositoryIndex::build(&prepared)),
             cache,
         }
     }
 
+    /// The underlying token index.
+    pub fn index(&self) -> &Arc<RepositoryIndex> {
+        &self.index
+    }
+
     /// Number of indexed schemata.
     pub fn len(&self) -> usize {
-        self.signatures.len()
+        self.index.len()
     }
 
     /// True when the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.signatures.is_empty()
+        self.index.is_empty()
     }
 
     /// Rank indexed schemata by relevance to `query`, best first. Schemata
-    /// with zero shared vocabulary are omitted. `query` itself is skipped if
-    /// it is one of the indexed schemata (searching for *other* relevant
-    /// schemata).
+    /// with zero shared vocabulary are never visited, let alone returned.
+    /// `query` itself is skipped if it is one of the indexed schemata
+    /// (searching for *other* relevant schemata).
     pub fn query(&self, query: &Schema, limit: usize) -> Vec<SearchHit> {
         let prepared = self.cache.prepare(query);
         let q_sig = prepared.signature();
         if q_sig.is_empty() {
             return Vec::new();
         }
-        let n = self.signatures.len().max(1) as f64;
-        let weight = |t: &str| -> f64 {
-            idf_weight(n, self.schema_freq.get(t).copied().unwrap_or(0) as f64)
-        };
+        let weight = |t: &str| self.index.weight(t);
         let q_weight = weighted_sum(q_sig, &weight);
 
-        let mut hits: Vec<SearchHit> = self
-            .signatures
-            .iter()
-            .filter(|c| c.id != query.id)
-            .filter_map(|candidate| {
-                let mut shared: Vec<(&String, f64)> = q_sig
-                    .intersection(&candidate.signature)
-                    .map(|t| (t, weight(t)))
-                    .collect();
-                if shared.is_empty() {
-                    return None;
-                }
-                // Fully deterministic order (weight desc, token asc) so both
-                // the reported tokens and the float summation order are
-                // stable across runs and cache states.
-                shared.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(b.0))
-                });
-                let shared_weight: f64 = shared.iter().map(|(_, w)| w).sum();
-                // Weighted Jaccard: shared / union weights.
+        // Posting-list accumulation (sorted tokens for deterministic float
+        // order), then weighted-Jaccard scoring of the touched slots only.
+        let mut q_tokens: Vec<&str> = q_sig.iter().map(String::as_str).collect();
+        q_tokens.sort_unstable();
+        let mut hits: Vec<(u32, f64)> = self
+            .index
+            .accumulate(q_tokens.iter().copied())
+            .into_iter()
+            .filter(|&(slot, _)| self.index.ids()[slot as usize] != query.id)
+            .map(|(slot, shared_weight)| {
                 let score =
-                    shared_weight / (q_weight + candidate.total_weight - shared_weight);
-                Some(SearchHit {
-                    schema_id: candidate.id,
-                    score,
-                    shared_tokens: shared
-                        .into_iter()
-                        .take(8)
-                        .map(|(t, _)| t.clone())
-                        .collect(),
-                })
+                    shared_weight / (q_weight + self.index.total_weight(slot) - shared_weight);
+                (slot, score)
             })
             .collect();
         hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
+            b.1.partial_cmp(&a.1)
                 .expect("finite")
-                .then(a.schema_id.cmp(&b.schema_id))
+                .then(self.index.ids()[a.0 as usize].cmp(&self.index.ids()[b.0 as usize]))
         });
         hits.truncate(limit);
-        hits
+
+        // Shared-token details only for the hits actually returned.
+        hits.into_iter()
+            .map(|(slot, score)| SearchHit {
+                schema_id: self.index.ids()[slot as usize],
+                score,
+                shared_tokens: self.shared_token_sample(q_sig, slot),
+            })
+            .collect()
+    }
+
+    /// Up to 8 tokens shared between the query signature and a slot,
+    /// most discriminating first (weight desc, token asc).
+    fn shared_token_sample(&self, q_sig: &HashSet<String>, slot: u32) -> Vec<String> {
+        let mut shared: Vec<(&String, f64)> = self
+            .index
+            .signature(slot)
+            .iter()
+            .filter(|t| q_sig.contains(*t))
+            .map(|t| (t, self.index.weight(t)))
+            .collect();
+        shared.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite")
+                .then_with(|| a.0.cmp(b.0))
+        });
+        shared.into_iter().take(8).map(|(t, _)| t.clone()).collect()
     }
 
     /// Fragment search — §5's "a more sophisticated one could return
@@ -216,10 +189,8 @@ impl SchemaSearch {
             return Vec::new();
         }
         let prepared_candidate = self.cache.prepare(candidate);
-        let n = self.signatures.len().max(1) as f64;
-        let weight = |t: &str| -> f64 {
-            idf_weight(n, self.schema_freq.get(t).copied().unwrap_or(0) as f64)
-        };
+        // Frozen at index build — no per-query weight-table work.
+        let weight = |t: &str| self.index.weight(t);
         let mut hits: Vec<FragmentHit> = candidate
             .roots()
             .iter()
@@ -243,7 +214,9 @@ impl SchemaSearch {
                     return None;
                 }
                 shared.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(&b.0))
+                    b.1.partial_cmp(&a.1)
+                        .expect("finite")
+                        .then_with(|| a.0.cmp(&b.0))
                 });
                 let shared_weight: f64 = shared.iter().map(|(_, w)| w).sum();
                 let frag_weight = weighted_sum(&sig, &weight);
@@ -318,12 +291,12 @@ mod tests {
         ));
         r.register_schema(schema(
             2,
-            &[("VehicleType", &["vin", "manufacturer"]), ("Engine", &["power"])],
+            &[
+                ("VehicleType", &["vin", "manufacturer"]),
+                ("Engine", &["power"]),
+            ],
         ));
-        r.register_schema(schema(
-            3,
-            &[("Patient", &["blood_type", "admission_date"])],
-        ));
+        r.register_schema(schema(3, &[("Patient", &["blood_type", "admission_date"])]));
         r
     }
 
@@ -352,7 +325,10 @@ mod tests {
         let r = repo();
         let search = SchemaSearch::build(&r);
         let hits = search.query(&vehicle_query(), 10);
-        assert!(hits[0].shared_tokens.iter().any(|t| t == "vin" || t == "vehicl"));
+        assert!(hits[0]
+            .shared_tokens
+            .iter()
+            .any(|t| t == "vin" || t == "vehicl"));
     }
 
     #[test]
@@ -406,7 +382,9 @@ mod tests {
         // The Vehicle subtree shares vin/model tokens; Wheel shares nothing.
         let top = candidate.element(hits[0].root);
         assert_eq!(top.name, "Vehicle");
-        assert!(hits.iter().all(|h| candidate.element(h.root).name != "Wheel"));
+        assert!(hits
+            .iter()
+            .all(|h| candidate.element(h.root).name != "Wheel"));
         assert!(hits[0].score > 0.0 && hits[0].score <= 1.0);
         assert!(!hits[0].shared_tokens.is_empty());
     }
@@ -419,7 +397,9 @@ mod tests {
         let candidate = r.schema(SchemaId(1)).unwrap();
         assert!(search.query_fragments(&empty, candidate, 5).is_empty());
         let patient = r.schema(SchemaId(3)).unwrap();
-        assert!(search.query_fragments(&vehicle_query(), patient, 5).is_empty());
+        assert!(search
+            .query_fragments(&vehicle_query(), patient, 5)
+            .is_empty());
     }
 
     #[test]
@@ -434,5 +414,40 @@ mod tests {
         let hits = search.query(&q, 10);
         assert_eq!(hits[0].schema_id, SchemaId(1));
         assert!(hits[0].score > hits[1].score);
+    }
+
+    /// The frozen weight table must reproduce the historical per-query IDF
+    /// weighting exactly: the weighted-Jaccard score of a hit equals a
+    /// from-scratch computation over the same signatures.
+    #[test]
+    fn frozen_weights_match_direct_weighted_jaccard() {
+        let r = repo();
+        let search = SchemaSearch::build(&r);
+        let q = vehicle_query();
+        let hits = search.query(&q, 10);
+        let index = search.index();
+        let q_sig = FeatureCache::global().prepare(&q);
+        for hit in hits {
+            let slot = index.slot(hit.schema_id).unwrap();
+            let cand: HashSet<String> = index.signature(slot).iter().cloned().collect();
+            let weight = |t: &str| index.weight(t);
+            let shared: f64 = {
+                let mut ts: Vec<&str> = q_sig
+                    .signature()
+                    .intersection(&cand)
+                    .map(String::as_str)
+                    .collect();
+                ts.sort_unstable();
+                ts.into_iter().map(weight).sum()
+            };
+            let qw = weighted_sum(q_sig.signature(), &weight);
+            let cw = weighted_sum(&cand, &weight);
+            let expect = shared / (qw + cw - shared);
+            assert!(
+                (hit.score - expect).abs() < 1e-12,
+                "{} vs {expect}",
+                hit.score
+            );
+        }
     }
 }

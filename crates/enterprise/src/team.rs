@@ -169,8 +169,13 @@ mod tests {
         for (name, size) in sizes {
             let t = s.add_root(*name, ElementKind::Table, DataType::None);
             for i in 0..size - 1 {
-                s.add_child(t, format!("{name}_{i}"), ElementKind::Column, DataType::text())
-                    .unwrap();
+                s.add_child(
+                    t,
+                    format!("{name}_{i}"),
+                    ElementKind::Column,
+                    DataType::text(),
+                )
+                .unwrap();
             }
             builder = builder.concept_subtree(&s, *name, t);
         }
@@ -229,7 +234,10 @@ mod tests {
         let plan = plan_team(&s, &summary, &team);
         let mech = plan.queue_of("mech").unwrap();
         assert!(mech.tasks.iter().any(|t| t.concept == "VehicleMaintenance"));
-        assert!(mech.tasks.iter().all(|t| t.expertise_hit || t.concept != "VehicleMaintenance"));
+        assert!(mech
+            .tasks
+            .iter()
+            .all(|t| t.expertise_hit || t.concept != "VehicleMaintenance"));
         let doc = plan.queue_of("doc").unwrap();
         assert!(doc.tasks.iter().any(|t| t.concept == "PatientRecord"));
     }

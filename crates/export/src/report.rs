@@ -201,7 +201,10 @@ mod tests {
         let (a, b, m) = fixture();
         let r = MatchReport::build(&a, &b, &m);
         assert_eq!(r.len(), 3);
-        assert!(r.rows().iter().any(|row| row.source == "T/x" && row.target == "U/p"));
+        assert!(r
+            .rows()
+            .iter()
+            .any(|row| row.source == "T/x" && row.target == "U/p"));
     }
 
     #[test]

@@ -194,7 +194,11 @@ fn filtered_rows(schema: &Schema, filter: &NodeFilter) -> HashMap<ElementId, usi
 
 fn indent_name(schema: &Schema, id: ElementId) -> String {
     let e = schema.element(id);
-    format!("{}{}", "  ".repeat((e.depth as usize).saturating_sub(1)), e.name)
+    format!(
+        "{}{}",
+        "  ".repeat((e.depth as usize).saturating_sub(1)),
+        e.name
+    )
 }
 
 #[cfg(test)]
@@ -208,8 +212,13 @@ mod tests {
         for t in 0..tables {
             let tid = s.add_root(format!("T{t}"), ElementKind::Table, DataType::None);
             for c in 0..cols {
-                s.add_child(tid, format!("c{t}_{c}"), ElementKind::Column, DataType::text())
-                    .unwrap();
+                s.add_child(
+                    tid,
+                    format!("c{t}_{c}"),
+                    ElementKind::Column,
+                    DataType::text(),
+                )
+                .unwrap();
             }
         }
         s
@@ -217,7 +226,9 @@ mod tests {
 
     /// Diagonal pairs between two same-shaped schemata.
     fn diagonal_pairs(n: usize) -> Vec<(ElementId, ElementId)> {
-        (0..n as u32).map(|i| (ElementId(i), ElementId(i))).collect()
+        (0..n as u32)
+            .map(|i| (ElementId(i), ElementId(i)))
+            .collect()
     }
 
     #[test]
@@ -225,7 +236,8 @@ mod tests {
         let a = schema(1, 3, 3);
         let b = schema(2, 3, 3);
         let pairs = diagonal_pairs(a.len());
-        let stats = ScreenModel::default().render(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
+        let stats =
+            ScreenModel::default().render(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
         assert_eq!(stats.total_lines, 12);
         assert_eq!(stats.fully_visible, 12);
         assert_eq!(stats.offscreen_endpoint, 0);
@@ -238,7 +250,8 @@ mod tests {
         let a = schema(1, 40, 9); // 400 elements
         let b = schema(2, 40, 9);
         let pairs = diagonal_pairs(a.len());
-        let stats = ScreenModel::default().render(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
+        let stats =
+            ScreenModel::default().render(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
         assert_eq!(stats.total_lines, 400);
         assert_eq!(stats.fully_visible, 40, "only one screenful is visible");
         // With aligned scrolls the rest are fully off-screen, not dangling.
@@ -258,11 +271,9 @@ mod tests {
         let a = schema(1, 1, 2); // rows 0,1,2
         let b = schema(2, 1, 2);
         // Cross the two columns: (1→2) and (2→1).
-        let pairs = vec![
-            (ElementId(1), ElementId(2)),
-            (ElementId(2), ElementId(1)),
-        ];
-        let stats = ScreenModel::default().render(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
+        let pairs = vec![(ElementId(1), ElementId(2)), (ElementId(2), ElementId(1))];
+        let stats =
+            ScreenModel::default().render(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
         assert_eq!(stats.crossings, 1);
     }
 
@@ -278,13 +289,7 @@ mod tests {
         let model = ScreenModel::default();
         let unfiltered = model.render(&a, &b, &pairs, &NodeFilter::All, &NodeFilter::All);
         let t0 = a.find_by_name("T0").unwrap();
-        let filtered = model.render(
-            &a,
-            &b,
-            &pairs,
-            &NodeFilter::subtree(t0),
-            &NodeFilter::All,
-        );
+        let filtered = model.render(&a, &b, &pairs, &NodeFilter::subtree(t0), &NodeFilter::All);
         assert!(filtered.total_lines < unfiltered.total_lines / 10);
         assert!(
             filtered.clutter_index() < unfiltered.clutter_index() / 5.0,
@@ -329,8 +334,7 @@ mod tests {
     fn empty_pairs_render_clean() {
         let a = schema(1, 2, 2);
         let b = schema(2, 2, 2);
-        let stats =
-            ScreenModel::default().render(&a, &b, &[], &NodeFilter::All, &NodeFilter::All);
+        let stats = ScreenModel::default().render(&a, &b, &[], &NodeFilter::All, &NodeFilter::All);
         assert_eq!(stats.total_lines, 0);
         assert_eq!(stats.clutter_index(), 0.0);
         let text = ScreenModel::default().ascii(&a, &b, &[], &NodeFilter::All, &NodeFilter::All);

@@ -336,7 +336,10 @@ mod tests {
         let wb = Workbook::build(&a, &b, &sa, &sb, &[(0, 0)], &m);
         let concept_rows = crate::csv::parse_csv(&wb.concept_csv());
         assert_eq!(concept_rows.len(), 1 + wb.concept_sheet.len());
-        assert_eq!(concept_rows[0], vec!["row_type", "source_concept", "target_concept"]);
+        assert_eq!(
+            concept_rows[0],
+            vec!["row_type", "source_concept", "target_concept"]
+        );
         let element_rows = crate::csv::parse_csv(&wb.element_csv());
         assert_eq!(element_rows.len(), 1 + wb.element_sheet.len());
         assert!(element_rows
@@ -354,10 +357,7 @@ mod tests {
             Confidence::new(0.99),
         ));
         let wb = Workbook::build(&a, &b, &sa, &sb, &[], &m);
-        assert!(wb
-            .element_sheet
-            .iter()
-            .all(|r| r.kind != RowKind::Matched));
+        assert!(wb.element_sheet.iter().all(|r| r.kind != RowKind::Matched));
     }
 
     #[test]

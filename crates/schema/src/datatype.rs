@@ -13,8 +13,7 @@ use std::fmt;
 /// The variants cover the types that actually occur in enterprise data models
 /// (the paper's S_A/S_B carried dates, identifiers, free text, quantities and
 /// codes). Structural nodes (tables, complex types) use [`DataType::None`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum DataType {
     /// Structural element without a value type (table, complex type, group).
     None,
@@ -139,7 +138,6 @@ impl DataType {
     }
 }
 
-
 impl fmt::Display for DataType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -227,8 +225,8 @@ pub fn parse_xsd_type(raw: &str) -> DataType {
     let t = raw.trim();
     let local = t.rsplit(':').next().unwrap_or(t).to_ascii_lowercase();
     match local.as_str() {
-        "string" | "normalizedstring" | "token" | "anyuri" | "id" | "idref" | "name"
-        | "ncname" | "qname" => DataType::text(),
+        "string" | "normalizedstring" | "token" | "anyuri" | "id" | "idref" | "name" | "ncname"
+        | "qname" => DataType::text(),
         "int" | "integer" | "long" | "short" | "byte" | "unsignedint" | "unsignedlong"
         | "unsignedshort" | "unsignedbyte" | "positiveinteger" | "nonnegativeinteger"
         | "negativeinteger" | "nonpositiveinteger" => DataType::Integer,

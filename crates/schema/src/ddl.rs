@@ -88,7 +88,9 @@ fn apply_comment_on(schema: &mut Schema, line: usize, stmt: &str) -> Result<(), 
     if !is_col && !is_tab {
         return Err(err(format!("unsupported COMMENT statement {stmt:?}")));
     }
-    let is_pos = upper.find(" IS ").ok_or_else(|| err("missing IS clause".into()))?;
+    let is_pos = upper
+        .find(" IS ")
+        .ok_or_else(|| err("missing IS clause".into()))?;
     let target = stmt[if is_col {
         "COMMENT ON COLUMN".len()
     } else {
@@ -99,13 +101,19 @@ fn apply_comment_on(schema: &mut Schema, line: usize, stmt: &str) -> Result<(), 
     let text = text_part
         .strip_prefix('\'')
         .and_then(|t| t.strip_suffix('\''))
-        .ok_or_else(|| err(format!("comment text must be single-quoted, got {text_part:?}")))?
+        .ok_or_else(|| {
+            err(format!(
+                "comment text must be single-quoted, got {text_part:?}"
+            ))
+        })?
         .replace("''", "'");
 
     let id = if is_col {
-        let (table, column) = target
-            .split_once('.')
-            .ok_or_else(|| err(format!("COLUMN target must be table.column, got {target:?}")))?;
+        let (table, column) = target.split_once('.').ok_or_else(|| {
+            err(format!(
+                "COLUMN target must be table.column, got {target:?}"
+            ))
+        })?;
         let tid = schema
             .find_by_name(table.trim())
             .ok_or_else(|| err(format!("unknown table {table:?}")))?;
@@ -151,7 +159,11 @@ fn strip_trailing_comment(line: &str) -> (&str, Option<String>) {
             let c = line[i + 2..].trim();
             (
                 &line[..i],
-                if c.is_empty() { None } else { Some(c.to_string()) },
+                if c.is_empty() {
+                    None
+                } else {
+                    Some(c.to_string())
+                },
             )
         }
         None => (line, None),

@@ -11,9 +11,7 @@ use std::fmt;
 /// schema, which lets the match engine store scores in flat matrices indexed
 /// by `(source id, target id)` — essential for the paper's 1378×784 ≈ 10^6
 /// pair workload.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ElementId(pub u32);
 
 impl ElementId {
@@ -131,7 +129,10 @@ impl Element {
 
     /// Documentation text, or `""` when absent.
     pub fn doc_text(&self) -> &str {
-        self.doc.as_ref().map(|d| d.description.as_str()).unwrap_or("")
+        self.doc
+            .as_ref()
+            .map(|d| d.description.as_str())
+            .unwrap_or("")
     }
 
     /// Whether any non-empty documentation is attached.

@@ -51,7 +51,9 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("line 7"));
         assert!(s.contains("expected ')'"));
-        assert!(SchemaError::Duplicate("T".into()).to_string().contains("\"T\""));
+        assert!(SchemaError::Duplicate("T".into())
+            .to_string()
+            .contains("\"T\""));
         assert!(SchemaError::UnknownElement(3).to_string().contains('3'));
     }
 

@@ -126,8 +126,11 @@ impl InstanceProfile {
         let alpha_sim = closeness(self.alpha_frac, other.alpha_frac, 1.0);
         let numeric_sim = closeness(self.numeric_frac, other.numeric_frac, 1.0);
         let distinct_sim = closeness(self.distinct_ratio, other.distinct_ratio, 1.0);
-        let feature_sim =
-            0.2 * len_sim + 0.25 * digit_sim + 0.2 * alpha_sim + 0.2 * numeric_sim + 0.15 * distinct_sim;
+        let feature_sim = 0.2 * len_sim
+            + 0.25 * digit_sim
+            + 0.2 * alpha_sim
+            + 0.2 * numeric_sim
+            + 0.15 * distinct_sim;
 
         let a: std::collections::HashSet<&str> =
             self.value_sample.iter().map(String::as_str).collect();

@@ -121,15 +121,20 @@ mod tests {
         assert!(a.is_prefix_of(&ab));
         assert!(a.is_prefix_of(&a));
         assert!(!ab.is_prefix_of(&a));
-        assert!(SchemaPath::parse("").is_prefix_of(&a), "empty path prefixes all");
+        assert!(
+            SchemaPath::parse("").is_prefix_of(&a),
+            "empty path prefixes all"
+        );
         assert!(!SchemaPath::parse("A/X").is_prefix_of(&ab));
     }
 
     #[test]
     fn ordering_is_lexicographic_by_segment() {
-        let mut v = [SchemaPath::parse("B"),
+        let mut v = [
+            SchemaPath::parse("B"),
             SchemaPath::parse("A/Z"),
-            SchemaPath::parse("A")];
+            SchemaPath::parse("A"),
+        ];
         v.sort();
         assert_eq!(
             v.iter().map(|p| p.to_string()).collect::<Vec<_>>(),

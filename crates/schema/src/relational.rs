@@ -170,10 +170,8 @@ impl RelationalSchemaBuilder {
         for t in &self.tables {
             for c in &t.columns {
                 if let Some((rt, rc)) = &c.references {
-                    if let Some(target) = self
-                        .tables
-                        .iter()
-                        .find(|x| x.name.eq_ignore_ascii_case(rt))
+                    if let Some(target) =
+                        self.tables.iter().find(|x| x.name.eq_ignore_ascii_case(rt))
                     {
                         if !target
                             .columns
@@ -283,17 +281,19 @@ mod tests {
     fn fk_to_missing_column_rejected_but_missing_table_tolerated() {
         // Missing table: tolerated.
         RelationalSchemaBuilder::new(SchemaId(1), "x")
-            .table(TableSpec::new("T").column(
-                ColumnSpec::new("r", DataType::Integer).referencing("Ghost", "id"),
-            ))
+            .table(
+                TableSpec::new("T")
+                    .column(ColumnSpec::new("r", DataType::Integer).referencing("Ghost", "id")),
+            )
             .build()
             .unwrap();
         // Known table, missing column: error.
         let err = RelationalSchemaBuilder::new(SchemaId(1), "x")
             .table(TableSpec::new("U").column(ColumnSpec::new("id", DataType::Integer)))
-            .table(TableSpec::new("T").column(
-                ColumnSpec::new("r", DataType::Integer).referencing("U", "nope"),
-            ))
+            .table(
+                TableSpec::new("T")
+                    .column(ColumnSpec::new("r", DataType::Integer).referencing("U", "nope")),
+            )
             .build()
             .unwrap_err();
         assert!(matches!(err, SchemaError::InvalidStructure(_)));

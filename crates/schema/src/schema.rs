@@ -10,9 +10,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Stable identifier of a schema within a registry or matching effort.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SchemaId(pub u32);
 
 impl fmt::Display for SchemaId {
@@ -287,7 +285,9 @@ impl Schema {
     pub fn name_index(&self) -> HashMap<String, Vec<ElementId>> {
         let mut map: HashMap<String, Vec<ElementId>> = HashMap::with_capacity(self.len());
         for e in &self.elements {
-            map.entry(e.name.to_ascii_lowercase()).or_default().push(e.id);
+            map.entry(e.name.to_ascii_lowercase())
+                .or_default()
+                .push(e.id);
         }
         map
     }
@@ -408,8 +408,13 @@ mod tests {
         let person = s.add_root("Person", ElementKind::Table, DataType::None);
         s.add_child(person, "person_id", ElementKind::Column, DataType::Integer)
             .unwrap();
-        s.add_child(person, "last_name", ElementKind::Column, DataType::varchar(40))
-            .unwrap();
+        s.add_child(
+            person,
+            "last_name",
+            ElementKind::Column,
+            DataType::varchar(40),
+        )
+        .unwrap();
         let vehicle = s.add_root("Vehicle", ElementKind::Table, DataType::None);
         s.add_child(vehicle, "vin", ElementKind::Column, DataType::varchar(17))
             .unwrap();
@@ -499,8 +504,11 @@ mod tests {
         let mut s = tiny_relational();
         assert_eq!(s.doc_coverage(), 0.0);
         let vin = s.find_by_name("vin").unwrap();
-        s.set_doc(vin, Documentation::embedded("vehicle identification number"))
-            .unwrap();
+        s.set_doc(
+            vin,
+            Documentation::embedded("vehicle identification number"),
+        )
+        .unwrap();
         assert!((s.doc_coverage() - 0.2).abs() < 1e-12);
     }
 

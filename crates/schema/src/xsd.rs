@@ -27,16 +27,13 @@
 
 use crate::datatype::{parse_xsd_type, DataType};
 use crate::error::SchemaError;
-use crate::xml::{Occurs, XmlNodeSpec, XmlSchemaBuilder};
 use crate::schema::{Schema, SchemaId};
+use crate::xml::{Occurs, XmlNodeSpec, XmlSchemaBuilder};
 
 /// Parse mini-XSD text into an XML [`Schema`].
 pub fn parse_xsd(id: SchemaId, name: &str, input: &str) -> Result<Schema, SchemaError> {
     let tokens = tokenize(input)?;
-    let mut parser = XsdParser {
-        tokens,
-        pos: 0,
-    };
+    let mut parser = XsdParser { tokens, pos: 0 };
     let roots = parser.parse_schema()?;
     XmlSchemaBuilder::new(id, name).roots(roots).build()
 }
@@ -149,9 +146,7 @@ fn utf8_len(b: u8) -> usize {
 /// Parse `name attr="v" attr2='w'` into the tag name and attribute list.
 fn parse_tag_body(body: &str, line: usize) -> Result<(String, Vec<(String, String)>), SchemaError> {
     let body = body.trim();
-    let name_end = body
-        .find(|c: char| c.is_whitespace())
-        .unwrap_or(body.len());
+    let name_end = body.find(|c: char| c.is_whitespace()).unwrap_or(body.len());
     let name = body[..name_end].to_string();
     if name.is_empty() {
         return Err(SchemaError::Parse {
@@ -249,9 +244,9 @@ impl XsdParser {
         // Find the xs:schema open tag.
         loop {
             match self.next() {
-                Some(Token::Open { name, self_closing, .. })
-                    if local_name(&name) == "schema" =>
-                {
+                Some(Token::Open {
+                    name, self_closing, ..
+                }) if local_name(&name) == "schema" => {
                     if self_closing {
                         return Ok(Vec::new());
                     }
@@ -314,12 +309,13 @@ impl XsdParser {
         self_closing: bool,
         line: usize,
     ) -> Result<XmlNodeSpec, SchemaError> {
-        let name = attr(attrs, "name")
-            .or_else(|| attr(attrs, "ref"))
-            .ok_or(SchemaError::Parse {
-                line,
-                message: "xs:element missing name".into(),
-            })?;
+        let name =
+            attr(attrs, "name")
+                .or_else(|| attr(attrs, "ref"))
+                .ok_or(SchemaError::Parse {
+                    line,
+                    message: "xs:element missing name".into(),
+                })?;
         let dtype = attr(attrs, "type")
             .map(|t| parse_xsd_type(&t))
             .unwrap_or(DataType::Unknown);
@@ -410,9 +406,7 @@ impl XsdParser {
 
     /// Parse the body of a complexType (open tag consumed) up to its close.
     /// Returns (children, documentation).
-    fn parse_complex_body(
-        &mut self,
-    ) -> Result<(Vec<XmlNodeSpec>, Option<String>), SchemaError> {
+    fn parse_complex_body(&mut self) -> Result<(Vec<XmlNodeSpec>, Option<String>), SchemaError> {
         let mut children = Vec::new();
         let mut doc = None;
         loop {
@@ -645,8 +639,7 @@ pub fn to_xsd(schema: &Schema) -> String {
         }
     }
 
-    let mut out =
-        String::from("<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n");
+    let mut out = String::from("<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n");
     for &r in schema.roots() {
         render(schema, r, 1, &mut out);
     }

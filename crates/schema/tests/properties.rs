@@ -22,8 +22,13 @@ fn relational_schema() -> impl Strategy<Value = Schema> {
             // tree invariants.
             let t = s.add_root(format!("{tname}_{ti}"), ElementKind::Table, DataType::None);
             for (ci, c) in cols.into_iter().enumerate() {
-                s.add_child(t, format!("{c}_{ci}"), ElementKind::Column, DataType::Integer)
-                    .unwrap();
+                s.add_child(
+                    t,
+                    format!("{c}_{ci}"),
+                    ElementKind::Column,
+                    DataType::Integer,
+                )
+                .unwrap();
             }
         }
         s

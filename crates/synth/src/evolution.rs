@@ -263,7 +263,11 @@ mod tests {
             min: harmony_core::confidence::Confidence::new(0.3),
         }
         .apply(&result.matrix);
-        let predicted: Vec<_> = selected.all().iter().map(|c| (c.source, c.target)).collect();
+        let predicted: Vec<_> = selected
+            .all()
+            .iter()
+            .map(|c| (c.source, c.target))
+            .collect();
         let eval = vp.lineage.evaluate_pairs(predicted.iter());
         assert!(
             eval.f1 > 0.6,

@@ -102,10 +102,12 @@ pub struct SchemaPair {
 impl SchemaPair {
     /// Generate a pair from a configuration.
     pub fn generate(config: &GeneratorConfig) -> SchemaPair {
-        let shared_goal =
-            ((config.target_elements as f64) * config.overlap_of_target.clamp(0.0, 1.0)).round()
-                as usize;
-        let shared_goal = shared_goal.min(config.target_elements).min(config.source_elements);
+        let shared_goal = ((config.target_elements as f64)
+            * config.overlap_of_target.clamp(0.0, 1.0))
+        .round() as usize;
+        let shared_goal = shared_goal
+            .min(config.target_elements)
+            .min(config.source_elements);
 
         // Ontology big enough for both unique parts plus shared concepts.
         let (amin, amax) = config.attrs_per_concept;
@@ -153,10 +155,8 @@ impl SchemaPair {
             }
             let n_attrs = spec.attributes.len().min(remaining.saturating_sub(1));
             // Ensure both sides still have element budget.
-            let src_left = config.source_elements - shared_plan
-                .iter()
-                .map(|&(_, n)| n + 1)
-                .sum::<usize>();
+            let src_left =
+                config.source_elements - shared_plan.iter().map(|&(_, n)| n + 1).sum::<usize>();
             let tgt_left = config.target_elements - shared_done;
             if src_left == 0 || tgt_left == 0 {
                 break;
@@ -473,8 +473,16 @@ mod tests {
         let pair = SchemaPair::generate(&small_config(11));
         assert!(!pair.truth.is_empty());
         for &(s, t) in pair.truth.pairs() {
-            let ss = pair.truth.source_semantics.get(&s).expect("source semantic");
-            let ts = pair.truth.target_semantics.get(&t).expect("target semantic");
+            let ss = pair
+                .truth
+                .source_semantics
+                .get(&s)
+                .expect("source semantic");
+            let ts = pair
+                .truth
+                .target_semantics
+                .get(&t)
+                .expect("target semantic");
             assert_eq!(ss, ts, "paired elements must realize the same atom");
         }
     }

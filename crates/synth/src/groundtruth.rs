@@ -82,8 +82,7 @@ impl GroundTruth {
     where
         I: IntoIterator<Item = &'a (ElementId, ElementId)>,
     {
-        let predicted: HashSet<(ElementId, ElementId)> =
-            predicted.into_iter().copied().collect();
+        let predicted: HashSet<(ElementId, ElementId)> = predicted.into_iter().copied().collect();
         let tp = predicted.intersection(&self.pairs).count();
         let fp = predicted.len() - tp;
         let fn_ = self.pairs.len() - tp;
@@ -92,21 +91,16 @@ impl GroundTruth {
 
     /// Evaluate a [`MatchSet`]'s *validated* correspondences.
     pub fn evaluate_validated(&self, matches: &MatchSet) -> PrEval {
-        let predicted: Vec<(ElementId, ElementId)> = matches
-            .validated()
-            .map(|c| (c.source, c.target))
-            .collect();
+        let predicted: Vec<(ElementId, ElementId)> =
+            matches.validated().map(|c| (c.source, c.target)).collect();
         self.evaluate_pairs(predicted.iter())
     }
 
     /// Evaluate *all* correspondences of a set regardless of status (useful
     /// for raw selection-policy output).
     pub fn evaluate_all(&self, matches: &MatchSet) -> PrEval {
-        let predicted: Vec<(ElementId, ElementId)> = matches
-            .all()
-            .iter()
-            .map(|c| (c.source, c.target))
-            .collect();
+        let predicted: Vec<(ElementId, ElementId)> =
+            matches.all().iter().map(|c| (c.source, c.target)).collect();
         self.evaluate_pairs(predicted.iter())
     }
 }
@@ -157,9 +151,11 @@ mod tests {
     #[test]
     fn perfect_prediction() {
         let t = truth();
-        let predicted = [(ElementId(0), ElementId(0)),
+        let predicted = [
+            (ElementId(0), ElementId(0)),
             (ElementId(1), ElementId(1)),
-            (ElementId(2), ElementId(2))];
+            (ElementId(2), ElementId(2)),
+        ];
         let e = t.evaluate_pairs(predicted.iter());
         assert_eq!((e.tp, e.fp, e.fn_), (3, 0, 0));
         assert_eq!(e.precision, 1.0);

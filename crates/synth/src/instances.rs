@@ -174,7 +174,10 @@ mod tests {
         }
         assert!(!same_sim.is_empty());
         let mean_same: f64 = same_sim.iter().sum::<f64>() / same_sim.len() as f64;
-        assert!(mean_same > 0.5, "true pairs should share values: {mean_same}");
+        assert!(
+            mean_same > 0.5,
+            "true pairs should share values: {mean_same}"
+        );
     }
 
     #[test]
@@ -186,11 +189,16 @@ mod tests {
         };
         let data = generate_instances(&p.source, &p.truth.source_semantics, &cfg);
         for e in p.source.elements() {
-            let Some(values) = data.get(e.id) else { continue };
+            let Some(values) = data.get(e.id) else {
+                continue;
+            };
             assert_eq!(values.len(), cfg.rows_per_element);
             match e.datatype {
                 DataType::Integer => {
-                    assert!(values.iter().all(|v| v.parse::<i64>().is_ok()), "{values:?}")
+                    assert!(
+                        values.iter().all(|v| v.parse::<i64>().is_ok()),
+                        "{values:?}"
+                    )
                 }
                 DataType::Date => {
                     assert!(values.iter().all(|v| v.len() == 10 && v.contains('-')))
@@ -226,8 +234,7 @@ mod tests {
         let src = generate_instances(&p.source, &p.truth.source_semantics, &cfg);
         let tgt = generate_instances(&p.target, &p.truth.target_semantics, &cfg);
         let normalizer = sm_text::normalize::Normalizer::new();
-        let ctx =
-            MatchContext::build_with_instances(&p.source, &p.target, &normalizer, &src, &tgt);
+        let ctx = MatchContext::build_with_instances(&p.source, &p.target, &normalizer, &src, &tgt);
         let mut true_scores = Vec::new();
         for &(s, t) in p.truth.pairs().iter().take(30) {
             let v = InstanceVoter.vote(&ctx, s, t);
@@ -237,6 +244,9 @@ mod tests {
         }
         assert!(!true_scores.is_empty());
         let mean_true: f64 = true_scores.iter().sum::<f64>() / true_scores.len() as f64;
-        assert!(mean_true > 0.1, "true pairs should vote positive: {mean_true}");
+        assert!(
+            mean_true > 0.1,
+            "true pairs should vote positive: {mean_true}"
+        );
     }
 }

@@ -25,16 +25,16 @@
 pub mod docgen;
 pub mod evolution;
 pub mod generator;
-pub mod instances;
 pub mod groundtruth;
+pub mod instances;
 pub mod naming;
 pub mod ontology;
 pub mod repository;
 
 pub use evolution::{evolve, EvolutionConfig, VersionPair};
 pub use generator::{GeneratorConfig, SchemaPair};
-pub use instances::{generate_instances, InstanceConfig};
 pub use groundtruth::{GroundTruth, PrEval};
+pub use instances::{generate_instances, InstanceConfig};
 pub use naming::{Case, NamingStyle};
 pub use ontology::{AttributeSpec, ConceptSpec, Ontology};
 pub use repository::{RepositoryConfig, SyntheticRepository};

@@ -67,34 +67,120 @@ pub struct Ontology {
 /// the paper's "persons, vehicles, and military units" and the emergency-
 /// response / health examples of §2).
 const BASE_CONCEPTS: &[&str] = &[
-    "person", "vehicle", "unit", "event", "location", "weapon", "mission", "organization",
-    "facility", "equipment", "supply", "order", "report", "track", "sensor", "aircraft",
-    "vessel", "convoy", "casualty", "patient", "incident", "shipment", "contract", "asset",
-    "route", "position", "message", "observation", "target", "exercise", "deployment",
-    "inventory", "munition", "personnel", "agency", "operation",
+    "person",
+    "vehicle",
+    "unit",
+    "event",
+    "location",
+    "weapon",
+    "mission",
+    "organization",
+    "facility",
+    "equipment",
+    "supply",
+    "order",
+    "report",
+    "track",
+    "sensor",
+    "aircraft",
+    "vessel",
+    "convoy",
+    "casualty",
+    "patient",
+    "incident",
+    "shipment",
+    "contract",
+    "asset",
+    "route",
+    "position",
+    "message",
+    "observation",
+    "target",
+    "exercise",
+    "deployment",
+    "inventory",
+    "munition",
+    "personnel",
+    "agency",
+    "operation",
 ];
 
 /// Modifier nouns used to derive compound concepts (`vehicle maintenance`,
 /// `unit readiness`, …).
 const MODIFIERS: &[&str] = &[
-    "maintenance", "status", "history", "assignment", "readiness", "schedule", "summary",
-    "detail", "contact", "capability", "category", "authorization", "allocation",
-    "qualification", "movement", "support",
+    "maintenance",
+    "status",
+    "history",
+    "assignment",
+    "readiness",
+    "schedule",
+    "summary",
+    "detail",
+    "contact",
+    "capability",
+    "category",
+    "authorization",
+    "allocation",
+    "qualification",
+    "movement",
+    "support",
 ];
 
 /// Attribute nouns combined into attribute names.
 const ATTR_NOUNS: &[&str] = &[
-    "identifier", "name", "type", "status", "code", "category", "description", "priority",
-    "quantity", "count", "level", "grade", "rank", "weight", "height", "width", "length",
-    "speed", "heading", "latitude", "longitude", "altitude", "address", "city", "country",
-    "region", "phone", "frequency", "source", "remarks", "version", "comment",
+    "identifier",
+    "name",
+    "type",
+    "status",
+    "code",
+    "category",
+    "description",
+    "priority",
+    "quantity",
+    "count",
+    "level",
+    "grade",
+    "rank",
+    "weight",
+    "height",
+    "width",
+    "length",
+    "speed",
+    "heading",
+    "latitude",
+    "longitude",
+    "altitude",
+    "address",
+    "city",
+    "country",
+    "region",
+    "phone",
+    "frequency",
+    "source",
+    "remarks",
+    "version",
+    "comment",
 ];
 
 /// Attribute qualifiers (prefix position).
 const ATTR_QUALIFIERS: &[&str] = &[
-    "begin", "end", "first", "last", "primary", "secondary", "current", "previous",
-    "planned", "actual", "estimated", "reported", "effective", "expiration", "creation",
-    "update", "review",
+    "begin",
+    "end",
+    "first",
+    "last",
+    "primary",
+    "secondary",
+    "current",
+    "previous",
+    "planned",
+    "actual",
+    "estimated",
+    "reported",
+    "effective",
+    "expiration",
+    "creation",
+    "update",
+    "review",
 ];
 
 /// Date-ish attribute nouns (get temporal types).
@@ -268,8 +354,8 @@ fn attr_type(tokens: &[String], rng: &mut SmallRng) -> DataType {
         Some("datetime") => DataType::DateTime,
         Some("identifier") | Some("count") | Some("quantity") => DataType::Integer,
         Some("latitude") | Some("longitude") | Some("altitude") | Some("speed")
-        | Some("weight") | Some("height") | Some("width") | Some("length")
-        | Some("heading") | Some("frequency") => DataType::Float,
+        | Some("weight") | Some("height") | Some("width") | Some("length") | Some("heading")
+        | Some("frequency") => DataType::Float,
         Some("code") | Some("type") | Some("category") | Some("status") | Some("grade")
         | Some("rank") | Some("priority") | Some("level") => DataType::Enum {
             variants: rng.gen_range(3..40),
@@ -327,7 +413,11 @@ mod tests {
     fn attributes_unique_within_concept_and_bounded() {
         let o = Ontology::generate(3, 60, 4, 9);
         for c in &o.concepts {
-            assert!(c.attributes.len() >= 4 && c.attributes.len() <= 9, "{}", c.attributes.len());
+            assert!(
+                c.attributes.len() >= 4 && c.attributes.len() <= 9,
+                "{}",
+                c.attributes.len()
+            );
             let set: std::collections::HashSet<&Vec<String>> =
                 c.attributes.iter().map(|a| &a.tokens).collect();
             assert_eq!(set.len(), c.attributes.len());
@@ -379,8 +469,16 @@ mod tests {
         let mut saw_temporal = false;
         for c in &o.concepts {
             for a in &c.attributes {
-                if matches!(a.tokens.last().map(String::as_str), Some("date") | Some("time") | Some("datetime")) {
-                    assert!(a.datatype.is_temporal(), "{:?} has {:?}", a.tokens, a.datatype);
+                if matches!(
+                    a.tokens.last().map(String::as_str),
+                    Some("date") | Some("time") | Some("datetime")
+                ) {
+                    assert!(
+                        a.datatype.is_temporal(),
+                        "{:?} has {:?}",
+                        a.tokens,
+                        a.datatype
+                    );
                     saw_temporal = true;
                 }
             }

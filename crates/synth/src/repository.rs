@@ -232,8 +232,7 @@ mod tests {
                 .collect()
         };
         let t: Vec<_> = repo.schemas.iter().map(tokens_of).collect();
-        let jac = |a: &std::collections::HashSet<String>,
-                   b: &std::collections::HashSet<String>| {
+        let jac = |a: &std::collections::HashSet<String>, b: &std::collections::HashSet<String>| {
             let i = a.intersection(b).count() as f64;
             let u = (a.len() + b.len()) as f64 - i;
             if u == 0.0 {

@@ -196,7 +196,11 @@ mod tests {
         let d = AbbrevDict::builtin();
         assert_eq!(d.expand("qty"), v(&["quantity"]));
         assert_eq!(d.expand("dob"), v(&["birth", "date"]));
-        assert_eq!(d.expand("vehicle"), v(&["vehicle"]), "unknown passes through");
+        assert_eq!(
+            d.expand("vehicle"),
+            v(&["vehicle"]),
+            "unknown passes through"
+        );
     }
 
     #[test]

@@ -22,10 +22,10 @@
 
 pub mod abbrev;
 pub mod normalize;
+pub mod similarity;
 pub mod soundex;
 pub mod stem;
 pub mod stopwords;
-pub mod similarity;
 pub mod tfidf;
 pub mod tokenize;
 

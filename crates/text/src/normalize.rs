@@ -230,10 +230,7 @@ mod tests {
     #[test]
     fn raw_options_do_nothing_but_tokenize() {
         let n = Normalizer::with_options(NormalizeOptions::raw());
-        assert_eq!(
-            n.name("TBL_PERS_156").tokens,
-            vec!["tbl", "pers", "156"]
-        );
+        assert_eq!(n.name("TBL_PERS_156").tokens, vec!["tbl", "pers", "156"]);
     }
 
     #[test]

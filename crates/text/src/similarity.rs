@@ -181,11 +181,7 @@ where
         }
         let total: f64 = xs
             .iter()
-            .map(|x| {
-                ys.iter()
-                    .map(|y| inner(x, y))
-                    .fold(0.0_f64, f64::max)
-            })
+            .map(|x| ys.iter().map(|y| inner(x, y)).fold(0.0_f64, f64::max))
             .sum();
         total / xs.len() as f64
     }

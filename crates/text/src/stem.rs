@@ -206,16 +206,13 @@ fn step_3(w: &mut Vec<u8>) {
 
 fn step_4(w: &mut Vec<u8>) {
     const RULES: &[&[u8]] = &[
-        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
-        b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment", b"ent",
+        b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
     ];
     // "ion" requires the stem to end in s or t.
     if ends_with(w, b"ion") {
         let stem_len = w.len() - 3;
-        if stem_len > 0
-            && matches!(w[stem_len - 1], b's' | b't')
-            && measure(w, stem_len) > 1
-        {
+        if stem_len > 0 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
             w.truncate(stem_len);
         }
         return;
@@ -344,8 +341,15 @@ mod tests {
     #[test]
     fn stemming_is_idempotent_on_common_words() {
         for w in [
-            "location", "vehicles", "beginning", "classified", "operations",
-            "dates", "information", "management", "personnel",
+            "location",
+            "vehicles",
+            "beginning",
+            "classified",
+            "operations",
+            "dates",
+            "information",
+            "management",
+            "personnel",
         ] {
             let once = porter_stem(w);
             let twice = porter_stem(&once);

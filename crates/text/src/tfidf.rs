@@ -135,10 +135,7 @@ impl FinalizedCorpus {
     /// Unseen terms receive the maximum default IDF (they are maximally
     /// discriminating within this corpus).
     pub fn vectorize<S: AsRef<str>>(&self, tokens: &[S]) -> DocVector {
-        let default_idf = self
-            .idf
-            .values()
-            .fold(1.0_f64, |acc, &v| acc.max(v));
+        let default_idf = self.idf.values().fold(1.0_f64, |acc, &v| acc.max(v));
         let mut counts: HashMap<&str, u32> = HashMap::with_capacity(tokens.len());
         for t in tokens {
             *counts.entry(t.as_ref()).or_insert(0) += 1;

@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn digit_boundaries() {
-        assert_eq!(tokenize_identifier("begin156end"), vec!["begin", "156", "end"]);
+        assert_eq!(
+            tokenize_identifier("begin156end"),
+            vec!["begin", "156", "end"]
+        );
         assert_eq!(tokenize_identifier("v2"), vec!["v", "2"]);
     }
 
@@ -145,7 +148,10 @@ mod tests {
     #[test]
     fn all_caps_single_token() {
         assert_eq!(tokenize_identifier("VIN"), vec!["vin"]);
-        assert_eq!(tokenize_identifier("ALL_EVENT_VITALS"), vec!["all", "event", "vitals"]);
+        assert_eq!(
+            tokenize_identifier("ALL_EVENT_VITALS"),
+            vec!["all", "event", "vitals"]
+        );
     }
 
     #[test]

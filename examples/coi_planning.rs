@@ -6,8 +6,8 @@
 
 use harmony_core::effort::EffortModel;
 use sm_enterprise::{
-    agglomerative, cluster::Cut, cluster::DistanceMatrix, feasibility, propose_cois,
-    ClusterEval, Linkage, MetadataRepository, SchemaSearch,
+    agglomerative, cluster::Cut, cluster::DistanceMatrix, feasibility, propose_cois, ClusterEval,
+    Linkage, MetadataRepository, SchemaSearch,
 };
 use sm_schema::SchemaId;
 use sm_synth::{RepositoryConfig, SyntheticRepository};
@@ -46,7 +46,11 @@ fn main() {
             repo.schema(hit.schema_id).unwrap().name,
             hit.score,
             hit.shared_tokens.join(", "),
-            if same { "(same community)" } else { "(other community)" }
+            if same {
+                "(same community)"
+            } else {
+                "(other community)"
+            }
         );
     }
 

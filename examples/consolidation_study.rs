@@ -37,8 +37,7 @@ fn main() {
 
     // Two integration engineers of 95% judgment accuracy review candidates.
     let engine = MatchEngine::new();
-    let mut reviewer =
-        NoisyOracle::new(pair.truth.pairs().clone(), 0.05, 7).named("engineer-1");
+    let mut reviewer = NoisyOracle::new(pair.truth.pairs().clone(), 0.05, 7).named("engineer-1");
 
     let started = Instant::now();
     let outcome = consolidation_study(
@@ -71,7 +70,10 @@ fn main() {
     // matches, 167 sheet-1 rows in the original engagement).
     let (concepts, concept_matches, rows) = outcome.workbook.concept_accounting();
     println!("sheet 1: {concepts} concepts, {concept_matches} concept-level matches → {rows} rows");
-    println!("sheet 2: {} element rows", outcome.workbook.element_sheet.len());
+    println!(
+        "sheet 2: {} element rows",
+        outcome.workbook.element_sheet.len()
+    );
 
     // The decision the customer actually cared about.
     let matched_pct = outcome.partition.target_matched_fraction() * 100.0;

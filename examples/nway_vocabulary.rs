@@ -71,12 +71,8 @@ fn main() {
 
     // The §2 emergency-response scenario: distill a minimal mediated schema
     // from everything at least three partners share.
-    let mediated = vocabulary.mediated_schema(
-        &schemas,
-        sm_schema::SchemaId(99),
-        "ExchangeSchema",
-        3,
-    );
+    let mediated =
+        vocabulary.mediated_schema(&schemas, sm_schema::SchemaId(99), "ExchangeSchema", 3);
     println!(
         "\nmediated exchange schema (terms shared by ≥3 partners): {} elements, {} concepts",
         mediated.len(),

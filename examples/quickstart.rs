@@ -99,7 +99,11 @@ fn main() {
     // 4. Per-pair explanation: which voters contributed?
     if let Some(best) = candidates.all().first() {
         let ctx = engine.build_context(&source, &target);
-        println!("\nwhy {} ⇔ {}:", source.path(best.source), target.path(best.target));
+        println!(
+            "\nwhy {} ⇔ {}:",
+            source.path(best.source),
+            target.path(best.target)
+        );
         for (voter, conf) in engine.explain_pair(&ctx, best.source, best.target) {
             println!("  {voter:<14} {conf}");
         }
@@ -109,13 +113,14 @@ fn main() {
     // planner wants (Lesson #3 of the paper).
     let mut validated = MatchSet::new();
     for c in candidates.all() {
-        validated.push(c.clone().validate("quickstart", MatchAnnotation::Equivalent));
+        validated.push(
+            c.clone()
+                .validate("quickstart", MatchAnnotation::Equivalent),
+        );
     }
     let partition = BinaryPartition::compute(&source, &target, &validated);
     let (only_s, only_t, shared) = partition.cardinalities();
-    println!(
-        "\npartition: |S1−S2| = {only_s}, |S2−S1| = {only_t}, |S1∩S2| = {shared}"
-    );
+    println!("\npartition: |S1−S2| = {only_s}, |S2−S1| = {only_t}, |S1∩S2| = {shared}");
     println!(
         "{:.0}% of the target schema matches the source → advice: {:?}",
         partition.target_matched_fraction() * 100.0,

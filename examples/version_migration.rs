@@ -44,7 +44,11 @@ fn main() {
         min: Confidence::new(0.3),
     }
     .apply(&result.matrix);
-    let predicted: Vec<_> = recovered.all().iter().map(|c| (c.source, c.target)).collect();
+    let predicted: Vec<_> = recovered
+        .all()
+        .iter()
+        .map(|c| (c.source, c.target))
+        .collect();
     let eval = vp.lineage.evaluate_pairs(predicted.iter());
     println!(
         "matcher reconnects the versions: precision {:.3}, recall {:.3}, F1 {:.3}",

@@ -56,9 +56,10 @@ fn parse_match_partition_export_pipeline() {
     }
     .apply(&result.matrix);
     let has = |s: &str, t: &str| {
-        candidates.all().iter().any(|c| {
-            source.element(c.source).name == s && target.element(c.target).name == t
-        })
+        candidates
+            .all()
+            .iter()
+            .any(|c| source.element(c.source).name == s && target.element(c.target).name == t)
     };
     assert!(has("person_id", "PersonIdentifier"));
     assert!(has("last_name", "LastName"));
@@ -250,7 +251,8 @@ fn instance_evidence_improves_hostile_name_matching() {
     let with_instances = MatchEngine::new()
         .with_voters(voters_with_instances())
         .with_threads(1);
-    let f1_inst = eval_at(&with_instances.run_with_instances(&pair.source, &pair.target, &src, &tgt));
+    let f1_inst =
+        eval_at(&with_instances.run_with_instances(&pair.source, &pair.target, &src, &tgt));
     assert!(
         f1_inst > f1_names,
         "instances should help under hostile naming: {f1_inst} vs {f1_names}"
@@ -276,7 +278,10 @@ fn workbook_and_viz_agree_on_match_counts() {
         .iter()
         .filter(|r| r.kind == sm_export::RowKind::Matched)
         .count();
-    let pairs: Vec<_> = validated.validated().map(|c| (c.source, c.target)).collect();
+    let pairs: Vec<_> = validated
+        .validated()
+        .map(|c| (c.source, c.target))
+        .collect();
     let stats = sm_export::ScreenModel::default().render(
         &pair.source,
         &pair.target,

@@ -93,7 +93,11 @@ fn documentation_free_matching_still_works() {
         min: Confidence::new(0.3),
     }
     .apply(&result.matrix);
-    let predicted: Vec<_> = selected.all().iter().map(|c| (c.source, c.target)).collect();
+    let predicted: Vec<_> = selected
+        .all()
+        .iter()
+        .map(|c| (c.source, c.target))
+        .collect();
     let eval = pair.truth.evaluate_pairs(predicted.iter());
     assert!(
         eval.f1 > 0.5,
@@ -145,7 +149,12 @@ fn single_giant_table_is_summarizable_and_matchable() {
     let engine = MatchEngine::new().with_threads(1);
     let mut session = IncrementalSession::new(&engine, &a, &b, Confidence::new(0.2));
     let mut oracle = NoisyOracle::perfect(HashSet::new());
-    let report = session.run_increment("MEGA", &NodeFilter::subtree(t), &NodeFilter::All, &mut oracle);
+    let report = session.run_increment(
+        "MEGA",
+        &NodeFilter::subtree(t),
+        &NodeFilter::All,
+        &mut oracle,
+    );
     assert_eq!(report.pairs_considered, 601 * 2);
     assert_eq!(report.accepted, 0, "oracle with empty truth rejects all");
 }
@@ -161,7 +170,10 @@ fn degenerate_effort_and_advice_inputs() {
     let b = empty(2);
     let p = BinaryPartition::compute(&a, &b, &MatchSet::new());
     // Empty target → 0% matched → retain-and-bridge is the safe default.
-    assert_eq!(p.subsumption_advice(0.5), SubsumptionAdvice::RetainAndBridge);
+    assert_eq!(
+        p.subsumption_advice(0.5),
+        SubsumptionAdvice::RetainAndBridge
+    );
 }
 
 #[test]

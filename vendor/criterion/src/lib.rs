@@ -127,11 +127,7 @@ impl BenchmarkGroup<'_> {
             sample_size: self.criterion.sample_size,
         };
         f(&mut bencher, input);
-        report(
-            &format!("{}/{}", self.name, id),
-            &samples,
-            self.throughput,
-        );
+        report(&format!("{}/{}", self.name, id), &samples, self.throughput);
     }
 
     /// Run one benchmark.
