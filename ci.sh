@@ -35,4 +35,32 @@ print(f"{path}: ok ({len(doc)} top-level keys)")
 PY
 done
 
+echo "==> BENCH_pipeline.json score-stage gate (token-interning kernels)"
+python3 - BENCH_pipeline.json <<'PY'
+import json
+import sys
+
+# The pre-interning string-path baseline recorded a single-threaded dense
+# Score stage of 2.652265 s at 1378x784 (PR 2's checked-in value). The
+# token-interning + flat-kernel change must keep the checked-in Score stage
+# at or below half of that; regressing past the gate means a String crept
+# back into the per-pair hot path.
+OLD_SCORE_SECS = 2.652265
+MAX_SCORE_SECS = OLD_SCORE_SECS * 0.5
+
+path = sys.argv[1]
+with open(path) as fh:
+    doc = json.load(fh)
+score = doc["full_run_secs"]["score"]
+if score > MAX_SCORE_SECS:
+    sys.exit(
+        f"{path}: full_run_secs.score = {score:.6f} s exceeds the interning "
+        f"gate of {MAX_SCORE_SECS:.6f} s (50% of the string-path {OLD_SCORE_SECS} s)"
+    )
+print(
+    f"{path}: score stage {score:.6f} s <= {MAX_SCORE_SECS:.6f} s "
+    f"({OLD_SCORE_SECS / max(score, 1e-12):.1f}x vs string path)"
+)
+PY
+
 echo "ci.sh: all gates passed"

@@ -37,9 +37,7 @@ fn main() {
     // parallel path.
     println!(
         "\nthread scaling (host has {} core(s)):",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        harmony_core::engine::detect_threads()
     );
     table_header(&["threads", "seconds", "speedup"]);
     let pair = case_study(1.0);

@@ -2,15 +2,24 @@
 //! paper's 1378×784 scale (§3.3's "10.2 seconds" datum).
 //!
 //! Measures the cold vs. cached Prepare stage (the `PreparedSchema` feature
-//! cache's payoff), the per-stage breakdown of full cached runs at one
-//! thread *and* at the host's available parallelism, and the feature
+//! cache's payoff), the per-stage breakdown of full cached runs — dense and
+//! token-blocked, single-threaded and multi-threaded — and the feature
 //! cache's hit/miss/eviction counters over the whole workload, then writes
 //! the numbers as JSON to the workspace root so regressions are diffable in
 //! review.
 //!
+//! Thread counts come from `harmony_core::engine::detect_threads` (the
+//! `SM_THREADS` env var overrides; `available_parallelism` and
+//! `/proc/cpuinfo` are the fallbacks). On a single-core host the
+//! multi-threaded run still spawns two workers so the scoped-thread
+//! work-stealing path — dense *and* blocked — is actually exercised and
+//! honestly labeled, instead of silently collapsing into a second copy of
+//! the single-threaded run.
+//!
 //! Run with: `cargo run --release -p sm-bench --bin pipeline_baseline`
 
 use harmony_core::context::MatchContext;
+use harmony_core::index::BlockingPolicy;
 use harmony_core::prelude::*;
 use harmony_core::prepare::PreparedSchema;
 use sm_bench::{case_study, header};
@@ -33,7 +42,7 @@ fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     median_secs(&mut samples)
 }
 
-/// Median full run (by total) with its stage breakdown.
+/// Median full dense run (by total) with its stage breakdown.
 fn timed_runs(
     engine: &MatchEngine,
     pair: &sm_synth::SchemaPair,
@@ -49,16 +58,45 @@ fn timed_runs(
     runs[runs.len() / 2]
 }
 
+/// Median blocked run (by total) with its stage breakdown and scored count.
+fn timed_blocked_runs(
+    engine: &MatchEngine,
+    pair: &sm_synth::SchemaPair,
+    policy: &BlockingPolicy,
+    reps: usize,
+) -> (f64, StageTimings, usize) {
+    let mut runs: Vec<(f64, StageTimings, usize)> = (0..reps)
+        .map(|_| {
+            let r = engine.run_blocked(&pair.source, &pair.target, policy);
+            (r.elapsed.as_secs_f64(), r.timings, r.pairs_scored)
+        })
+        .collect();
+    runs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    runs[runs.len() / 2]
+}
+
 fn stage_json(label: &str, threads: usize, total: f64, stages: &StageTimings) -> String {
     format!(
         "\"{label}\": {{\n    \"threads\": {threads},\n    \"total\": {total:.6},\n    \
-         \"prepare\": {prepare:.6},\n    \"score\": {score:.6},\n    \
+         \"prepare\": {prepare:.6},\n    \"block\": {block:.6},\n    \"score\": {score:.6},\n    \
          \"merge\": {merge:.6},\n    \"propagate\": {propagate:.6}\n  }}",
         prepare = stages.prepare.as_secs_f64(),
+        block = stages.block.as_secs_f64(),
         score = stages.score.as_secs_f64(),
         merge = stages.merge.as_secs_f64(),
         propagate = stages.propagate.as_secs_f64(),
     )
+}
+
+fn print_stages(label: &str, stages: &StageTimings) {
+    println!(
+        "  {label} stages: prepare {:.4}s  block {:.4}s  score {:.4}s  merge {:.4}s  propagate {:.4}s",
+        stages.prepare.as_secs_f64(),
+        stages.block.as_secs_f64(),
+        stages.score.as_secs_f64(),
+        stages.merge.as_secs_f64(),
+        stages.propagate.as_secs_f64(),
+    );
 }
 
 fn main() {
@@ -98,16 +136,24 @@ fn main() {
     let _warm = engine_st.build_context(&pair.source, &pair.target);
     let cached_context = time(REPS, || engine_st.build_context(&pair.source, &pair.target));
 
-    // Full cached runs with stage breakdown: single-threaded and at the
-    // host's available parallelism (median by total).
-    let threads_mt = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // Full cached runs with stage breakdown: single-threaded and multi-
+    // threaded. `detect_threads` honors SM_THREADS and cgroup-aware
+    // parallelism; the floor of 2 keeps the multi-threaded configuration a
+    // genuinely different code path (scoped workers + work-stealing queue)
+    // even on a single-core host, and `threads_mt` records what actually ran.
+    let threads_mt = detect_threads().max(2);
     let engine_mt = MatchEngine::new()
         .with_feature_cache(std::sync::Arc::clone(&cache))
         .with_threads(threads_mt);
     let (st_total, st_stages) = timed_runs(&engine_st, &pair, REPS);
     let (mt_total, mt_stages) = timed_runs(&engine_mt, &pair, REPS);
+
+    // Blocked runs at both thread counts: the sparse Score stage fans out
+    // across the same work-stealing workers as the dense one.
+    let policy = BlockingPolicy::default();
+    let (bst_total, bst_stages, pairs_scored) =
+        timed_blocked_runs(&engine_st, &pair, &policy, REPS);
+    let (bmt_total, bmt_stages, _) = timed_blocked_runs(&engine_mt, &pair, &policy, REPS);
 
     let speedup = cold_context / cached_context.max(1e-12);
     let stats = cache.stats();
@@ -117,16 +163,21 @@ fn main() {
         "cached context       {:>10.4} s   ({speedup:.1}× vs cold)",
         cached_context
     );
-    println!("full run (1 thread)  {:>10.4} s", st_total);
-    println!("full run ({threads_mt} thread)  {:>10.4} s", mt_total);
-    for (label, stages) in [("1-thread", &st_stages), ("mt", &mt_stages)] {
-        println!(
-            "  {label} stages: prepare {:.4}s  score {:.4}s  merge {:.4}s  propagate {:.4}s",
-            stages.prepare.as_secs_f64(),
-            stages.score.as_secs_f64(),
-            stages.merge.as_secs_f64(),
-            stages.propagate.as_secs_f64(),
-        );
+    println!("dense run   (1 thr)  {:>10.4} s", st_total);
+    println!("dense run   ({threads_mt} thr)  {:>10.4} s", mt_total);
+    println!(
+        "blocked run (1 thr)  {:>10.4} s   ({pairs_scored} pairs scored, {:.1}% of cross product)",
+        bst_total,
+        100.0 * pairs_scored as f64 / (rows * cols) as f64
+    );
+    println!("blocked run ({threads_mt} thr)  {:>10.4} s", bmt_total);
+    for (label, stages) in [
+        ("dense 1-thread", &st_stages),
+        ("dense mt", &mt_stages),
+        ("blocked 1-thread", &bst_stages),
+        ("blocked mt", &bmt_stages),
+    ] {
+        print_stages(label, stages);
     }
     println!(
         "feature cache: {} hits / {} misses / {} evictions / {} resident",
@@ -140,13 +191,16 @@ fn main() {
          \"cold_context\": {cold_context:.6},\n    \
          \"cached_context\": {cached_context:.6},\n    \
          \"cached_speedup\": {speedup:.2}\n  }},\n  \
-         {single},\n  {multi},\n  \
+         {single},\n  {multi},\n  {bsingle},\n  {bmulti},\n  \
+         \"blocked_pairs_scored\": {pairs_scored},\n  \
          \"feature_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \
          \"evictions\": {evictions}, \"entries\": {entries}}},\n  \
          \"paper_reference_secs\": 10.2\n}}\n",
         pairs = rows * cols,
         single = stage_json("full_run_secs", 1, st_total, &st_stages),
         multi = stage_json("full_run_mt_secs", threads_mt, mt_total, &mt_stages),
+        bsingle = stage_json("blocked_run_secs", 1, bst_total, &bst_stages),
+        bmulti = stage_json("blocked_run_mt_secs", threads_mt, bmt_total, &bmt_stages),
         hits = stats.hits,
         misses = stats.misses,
         evictions = stats.evictions,

@@ -64,6 +64,8 @@ pub struct MatchContext<'a> {
     /// TF-IDF corpus built over *both* schemata's documentation, so IDF
     /// reflects the joint vocabulary of the match problem.
     pub corpus: FinalizedCorpus,
+    /// Tag of the arena both preparations' ids point into (memo keys).
+    arena_tag: u32,
 }
 
 impl<'a> MatchContext<'a> {
@@ -174,15 +176,23 @@ impl<'a> MatchContext<'a> {
     ) -> Self {
         debug_assert!(prepared_source.is_current_for(source));
         debug_assert!(prepared_target.is_current_for(target));
+        // Interned ids are only meaningful within one arena; preparations
+        // from different arenas would silently mis-key the corpus.
+        assert!(
+            std::sync::Arc::ptr_eq(prepared_source.arena(), prepared_target.arena()),
+            "source and target preparations must share one token arena"
+        );
 
         // Joint TF-IDF corpus over name+doc tokens, source rows first —
         // the same document order the historical single-pass build used.
-        let mut corpus = Corpus::new();
+        // Documents are fed as pre-interned ids: corpus assembly allocates
+        // no strings at all.
+        let mut corpus = Corpus::with_arena(std::sync::Arc::clone(prepared_source.arena()));
         for e in prepared_source.elements() {
-            corpus.add_document(&e.corpus_tokens);
+            corpus.add_document_ids(&e.corpus_ids);
         }
         for e in prepared_target.elements() {
-            corpus.add_document(&e.corpus_tokens);
+            corpus.add_document_ids(&e.corpus_ids);
         }
         let corpus = corpus.finalize();
 
@@ -213,7 +223,16 @@ impl<'a> MatchContext<'a> {
             source_features,
             target_features,
             corpus,
+            arena_tag: prepared_source.arena().tag(),
         }
+    }
+
+    /// The tag of the token arena this context's interned ids point into
+    /// (see [`sm_text::intern::TokenArena::tag`]); voters fold it into
+    /// their per-thread memo keys.
+    #[inline]
+    pub fn arena_tag(&self) -> u32 {
+        self.arena_tag
     }
 
     /// Features of a source element.

@@ -23,6 +23,40 @@ use sm_text::normalize::Normalizer;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Detect the worker-thread count for this host.
+///
+/// Order of precedence:
+/// 1. the `SM_THREADS` environment variable (explicit operator override —
+///    containers with distorted CPU accounting, benchmark rigs pinning a
+///    thread count);
+/// 2. [`std::thread::available_parallelism`] (respects cgroup quotas and
+///    CPU affinity masks);
+/// 3. the processor count in `/proc/cpuinfo` — the fallback for platforms
+///    where `available_parallelism` errors out entirely;
+/// 4. 1.
+pub fn detect_threads() -> usize {
+    if let Ok(v) = std::env::var("SM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    if let Ok(n) = std::thread::available_parallelism() {
+        return n.get();
+    }
+    if let Ok(cpuinfo) = std::fs::read_to_string("/proc/cpuinfo") {
+        let n = cpuinfo
+            .lines()
+            .filter(|l| l.starts_with("processor"))
+            .count();
+        if n >= 1 {
+            return n;
+        }
+    }
+    1
+}
+
 /// Configuration of a match run.
 pub struct MatchEngine {
     pub(crate) voters: Vec<Box<dyn MatchVoter>>,
@@ -46,9 +80,7 @@ impl MatchEngine {
             voters: default_voters(),
             merger: MergeStrategy::default(),
             cache: Arc::clone(FeatureCache::global()),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: detect_threads(),
             propagation_alpha: 0.3,
         }
     }

@@ -30,9 +30,9 @@
 
 use crate::prepare::PreparedSchema;
 use sm_schema::Schema;
-use sm_text::soundex::soundex;
-use sm_text::tokenize::acronym_of;
+use sm_text::intern::{TokenArena, TokenId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Smoothed IDF weight of a feature present in `df` of `n` documents — the
 /// same shape the repository search index uses, so "rare ⇒ discriminating"
@@ -165,72 +165,39 @@ impl CandidateSet {
 /// Inverted index from lexical features to posting lists of element indices,
 /// built over one side's [`PreparedSchema`].
 ///
-/// Features per element, all drawn from already-prepared data (building the
-/// index re-tokenizes nothing):
-/// * distinct normalized name + documentation tokens (`corpus_tokens`);
+/// Features per element are the preparation's interned
+/// [`crate::prepare::PreparedElement::block_features`] (building the index
+/// re-tokenizes nothing and allocates no strings):
+/// * distinct normalized name + documentation tokens (`corpus_ids`);
 /// * `s:`-prefixed Soundex keys of the name tokens, so misspellings and
 ///   convention drift (`organisation`/`organization`) still collide;
 /// * `a:`-prefixed acronym keys: every short raw name, and the acronym of
 ///   every multi-token name (`coi` ↔ `community_of_interest`).
 #[derive(Debug)]
 pub struct ElementTokenIndex {
-    /// feature → sorted element indices containing it.
-    postings: HashMap<String, Vec<u32>>,
+    /// Interned feature id → sorted element indices containing it.
+    postings: HashMap<TokenId, Vec<u32>>,
+    /// The arena the feature ids point into (string-keyed lookups intern
+    /// through it).
+    arena: Arc<TokenArena>,
     /// Number of indexed elements.
     len: usize,
 }
 
-/// Longest raw name emitted as an acronym key. Acronyms in the wild are
-/// short; indexing long raw names as "acronyms" would only add noise pairs.
-const MAX_ACRONYM_LEN: usize = 6;
-
-/// Distinct features of one prepared element, in deterministic order.
-fn element_features(prepared: &PreparedSchema, idx: usize) -> Vec<String> {
-    let e = prepared.element(idx);
-    let mut feats: Vec<String> = e.corpus_tokens.clone();
-    for t in &e.name_bag.tokens {
-        let code = soundex(t);
-        if !code.is_empty() {
-            feats.push(format!("s:{code}"));
-        }
-    }
-    if e.name_bag.len() >= 2 {
-        feats.push(format!("a:{}", acronym_of(&e.name_bag.tokens)));
-    }
-    if (2..=MAX_ACRONYM_LEN).contains(&e.raw_name.len()) {
-        feats.push(format!("a:{}", e.raw_name));
-    }
-    feats.sort_unstable();
-    feats.dedup();
-    feats
-}
-
-/// Features of every element of a prepared schema — extracted once and
-/// shared between index build and probing, so candidate generation never
-/// pays the allocation-heavy extraction twice per side.
-fn schema_features(prepared: &PreparedSchema) -> Vec<Vec<String>> {
-    (0..prepared.len())
-        .map(|idx| element_features(prepared, idx))
-        .collect()
-}
-
 impl ElementTokenIndex {
-    /// Index every element of a prepared schema.
+    /// Index every element of a prepared schema by its interned blocking
+    /// features.
     pub fn build(prepared: &PreparedSchema) -> Self {
-        Self::from_features(&schema_features(prepared))
-    }
-
-    /// Index pre-extracted per-element feature lists.
-    fn from_features(features: &[Vec<String>]) -> Self {
-        let mut postings: HashMap<String, Vec<u32>> = HashMap::new();
-        for (idx, feats) in features.iter().enumerate() {
-            for feat in feats {
-                postings.entry(feat.clone()).or_default().push(idx as u32);
+        let mut postings: HashMap<TokenId, Vec<u32>> = HashMap::new();
+        for idx in 0..prepared.len() {
+            for &feat in &prepared.element(idx).block_features {
+                postings.entry(feat).or_default().push(idx as u32);
             }
         }
         ElementTokenIndex {
             postings,
-            len: features.len(),
+            arena: Arc::clone(prepared.arena()),
+            len: prepared.len(),
         }
     }
 
@@ -249,9 +216,17 @@ impl ElementTokenIndex {
         self.postings.len()
     }
 
-    /// Posting list of a feature (empty when absent).
+    /// Posting list of an interned feature (empty when absent).
+    pub fn postings_by_id(&self, feature: TokenId) -> &[u32] {
+        self.postings.get(&feature).map_or(&[], Vec::as_slice)
+    }
+
+    /// Posting list of a feature string (empty when absent). Convenience
+    /// for inspection and tests; the probe loop uses ids.
     pub fn postings(&self, feature: &str) -> &[u32] {
-        self.postings.get(feature).map_or(&[], Vec::as_slice)
+        self.arena
+            .lookup(feature)
+            .map_or(&[], |id| self.postings_by_id(id))
     }
 
     /// IDF weight of a feature under this index's document frequency.
@@ -261,22 +236,26 @@ impl ElementTokenIndex {
 }
 
 /// One direction of candidate generation: probe `index` (built over the
-/// `to` side) with every element of the `from` side (pre-extracted feature
-/// lists), returning per-`from`-element `(candidate, overlap weight)` lists
-/// under `policy`.
+/// `to` side) with every element of the `from` side's interned blocking
+/// features, returning per-`from`-element `(candidate, overlap weight)`
+/// lists under `policy`. Features are walked in their prepared order
+/// (lexicographic by resolved string), which keeps the float accumulation
+/// order — and therefore every borderline policy decision — identical to
+/// the historical string-keyed implementation.
 fn probe_side(
-    from_features: &[Vec<String>],
+    from: &PreparedSchema,
     index: &ElementTokenIndex,
     policy: &BlockingPolicy,
 ) -> Vec<Vec<(u32, f64)>> {
     let n_to = index.len();
     let mut acc: Vec<f64> = vec![0.0; n_to];
     let mut touched: Vec<u32> = Vec::new();
-    let mut out: Vec<Vec<(u32, f64)>> = Vec::with_capacity(from_features.len());
-    for feats in from_features {
+    let mut out: Vec<Vec<(u32, f64)>> = Vec::with_capacity(from.len());
+    for idx in 0..from.len() {
+        let feats = &from.element(idx).block_features;
         touched.clear();
-        for feat in feats {
-            let posting = index.postings(feat);
+        for &feat in feats {
+            let posting = index.postings_by_id(feat);
             if posting.is_empty() {
                 continue;
             }
@@ -373,14 +352,11 @@ pub fn generate_candidates(
         return CandidateSet::exhaustive(rows, cols);
     }
 
-    // Extract each side's features once; they serve both that side's index
-    // build and the probe *from* that side.
-    let source_features = schema_features(prepared_source);
-    let target_features = schema_features(prepared_target);
-
-    // Forward: probe the target index with source elements.
-    let target_index = ElementTokenIndex::from_features(&target_features);
-    let weighted = probe_side(&source_features, &target_index, policy);
+    // Forward: probe the target index with source elements. Features come
+    // pre-interned from the preparations, so neither index build nor probe
+    // allocates a single string.
+    let target_index = ElementTokenIndex::build(prepared_target);
+    let weighted = probe_side(prepared_source, &target_index, policy);
     let mut per_row: Vec<Vec<u32>> = weighted
         .iter()
         .map(|list| list.iter().map(|&(t, _)| t).collect())
@@ -396,8 +372,8 @@ pub fn generate_candidates(
         .collect();
 
     // Backward: probe the source index with target elements; transpose in.
-    let source_index = ElementTokenIndex::from_features(&source_features);
-    for (t, sources) in probe_side(&target_features, &source_index, policy)
+    let source_index = ElementTokenIndex::build(prepared_source);
+    for (t, sources) in probe_side(prepared_target, &source_index, policy)
         .into_iter()
         .enumerate()
     {
@@ -487,6 +463,7 @@ mod tests {
     use super::*;
     use crate::prepare::default_normalizer;
     use sm_schema::{DataType, Documentation, ElementKind, SchemaFormat, SchemaId};
+    use sm_text::soundex::soundex;
 
     fn prepared(s: &Schema) -> PreparedSchema {
         PreparedSchema::build(s, default_normalizer())

@@ -66,7 +66,7 @@ pub mod prelude {
     pub use crate::confidence::Confidence;
     pub use crate::correspondence::{Correspondence, MatchAnnotation, MatchSet, MatchStatus};
     pub use crate::effort::{EffortEstimate, EffortModel, Workload};
-    pub use crate::engine::{BlockedMatchResult, MatchEngine, MatchResult};
+    pub use crate::engine::{detect_threads, BlockedMatchResult, MatchEngine, MatchResult};
     pub use crate::filter::{LinkFilter, NodeFilter};
     pub use crate::index::{BlockingPolicy, CandidateSet, ElementTokenIndex};
     pub use crate::matrix::MatchMatrix;

@@ -21,7 +21,10 @@
 //! [`crate::context::MatchContext`].
 
 use sm_schema::{Schema, SchemaId};
+use sm_text::intern::{to_sorted_set, TokenArena, TokenId};
 use sm_text::normalize::{Normalizer, TokenBag};
+use sm_text::soundex::{soundex, soundex_key};
+use sm_text::tokenize::acronym_of;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -62,8 +65,19 @@ pub fn schema_fingerprint(schema: &Schema) -> u64 {
     h
 }
 
+/// Longest raw name emitted as an acronym blocking feature. Acronyms in the
+/// wild are short; indexing long raw names as "acronyms" would only add
+/// noise pairs.
+pub(crate) const MAX_ACRONYM_LEN: usize = 6;
+
 /// Precomputed linguistic features of one element, independent of any
 /// opposing schema.
+///
+/// The string-valued fields are the canonical features (and what reports,
+/// summaries, and reference tests read); the interned fields are the same
+/// features as `u32` [`TokenId`]s into the schema's [`TokenArena`], which is
+/// what every per-pair kernel consumes — the voter hot loop never hashes or
+/// compares a `String`.
 #[derive(Debug, Clone)]
 pub struct PreparedElement {
     /// Normalized name tokens.
@@ -80,6 +94,37 @@ pub struct PreparedElement {
     /// in normalization order. Feeding these to a pairwise corpus reproduces
     /// the historical `MatchContext` vectors exactly.
     pub corpus_tokens: Vec<String>,
+    /// `name_bag.tokens`, interned, in normalization order (sequence
+    /// equality ⇔ exact-name equality).
+    pub name_ids: Vec<TokenId>,
+    /// Sorted, deduplicated set form of [`Self::name_ids`] (merge-walk
+    /// Jaccards and membership tests).
+    pub name_set: Vec<TokenId>,
+    /// Sorted, deduplicated interned parent-name tokens (empty for roots).
+    pub parent_set: Vec<TokenId>,
+    /// Sorted, deduplicated interned children-name tokens.
+    pub children_set: Vec<TokenId>,
+    /// [`Self::corpus_tokens`], interned, in the same order — the zero-copy
+    /// input to each match pair's joint TF-IDF corpus.
+    pub corpus_ids: Vec<TokenId>,
+    /// [`Self::raw_name`] interned whole (acronym-voter equality in one
+    /// integer compare).
+    pub raw_name_id: TokenId,
+    /// [`Self::raw_name`] decoded to chars once (edit-distance voters run
+    /// on slices instead of re-collecting per pair).
+    pub raw_chars: Vec<char>,
+    /// The acronym of [`Self::name_ids`], interned (`community_of_interest`
+    /// → `coi`).
+    pub acronym_id: TokenId,
+    /// Packed Soundex key of the raw name (`None` when it has no ASCII
+    /// letters).
+    pub raw_soundex: Option<u32>,
+    /// The element's blocking features (name + doc tokens, `s:`-prefixed
+    /// Soundex keys, `a:`-prefixed acronym keys), interned, deduplicated,
+    /// sorted lexicographically by resolved string — the exact order the
+    /// historical string-keyed blocking index accumulated IDF weights in,
+    /// so candidate generation stays bit-for-bit reproducible.
+    pub block_features: Vec<TokenId>,
 }
 
 /// All per-schema linguistic preprocessing, computed once and reused by the
@@ -91,6 +136,8 @@ pub struct PreparedSchema {
     pub schema_id: SchemaId,
     /// Fingerprint of the schema content this preparation reflects.
     pub fingerprint: u64,
+    /// The arena all interned ids in this preparation point into.
+    arena: Arc<TokenArena>,
     /// Individually shared so match contexts can reference element features
     /// without deep-cloning token bags per run.
     elements: Vec<Arc<PreparedElement>>,
@@ -98,39 +145,100 @@ pub struct PreparedSchema {
     /// vocabulary signature used by search, clustering, COI proposal, and
     /// feasibility grading.
     signature: HashSet<String>,
+    /// The signature, interned and sorted lexicographically by resolved
+    /// string — the order repository-index weight totals are summed in.
+    signature_ids: Vec<TokenId>,
 }
 
 impl PreparedSchema {
-    /// Run the full normalization pipeline once per element.
+    /// Run the full normalization pipeline once per element, interning
+    /// through the process-wide [`TokenArena`].
     pub fn build(schema: &Schema, normalizer: &Normalizer) -> Self {
+        Self::build_with_arena(schema, normalizer, Arc::clone(TokenArena::global()))
+    }
+
+    /// [`Self::build`] against an explicit arena (private caches, tests).
+    pub fn build_with_arena(
+        schema: &Schema,
+        normalizer: &Normalizer,
+        arena: Arc<TokenArena>,
+    ) -> Self {
         let bags: Vec<TokenBag> = schema
             .elements()
             .iter()
             .map(|e| normalizer.name(&e.name))
             .collect();
+        let bag_ids: Vec<Vec<TokenId>> = bags.iter().map(|b| arena.intern_all(&b.tokens)).collect();
         let mut signature = HashSet::new();
         for bag in &bags {
             signature.extend(bag.tokens.iter().cloned());
         }
+        let mut signature_ids =
+            to_sorted_set(bag_ids.iter().flat_map(|ids| ids.iter().copied()).collect());
+        arena.sort_lexical(&mut signature_ids);
         let elements = schema
             .elements()
             .iter()
             .map(|e| {
+                let idx = e.id.index();
                 let parent_bag = e
                     .parent
                     .map(|p| bags[p.index()].clone())
                     .unwrap_or_default();
+                let parent_set = e
+                    .parent
+                    .map(|p| to_sorted_set(bag_ids[p.index()].clone()))
+                    .unwrap_or_default();
                 let mut children_tokens = Vec::new();
+                let mut children_ids = Vec::new();
                 for &c in &e.children {
                     children_tokens.extend(bags[c.index()].tokens.iter().cloned());
+                    children_ids.extend(bag_ids[c.index()].iter().copied());
                 }
-                let name_bag = bags[e.id.index()].clone();
+                let name_bag = bags[idx].clone();
+                let name_ids = bag_ids[idx].clone();
                 let doc_bag = normalizer.prose(e.doc_text());
+                let doc_ids = arena.intern_all(&doc_bag.tokens);
                 let mut corpus_tokens = name_bag.tokens.clone();
                 corpus_tokens.extend(doc_bag.tokens.iter().cloned());
+                let mut corpus_ids = name_ids.clone();
+                corpus_ids.extend(doc_ids.iter().copied());
+                let raw_name = e.name.to_lowercase();
+
+                // Blocking features: distinct corpus tokens plus prefixed
+                // Soundex / acronym keys, interned and ordered by resolved
+                // string — exactly the feature set (and IDF accumulation
+                // order) of the historical string-keyed blocking index.
+                let mut block_features: Vec<TokenId> = corpus_ids.clone();
+                for t in &name_bag.tokens {
+                    let code = soundex(t);
+                    if !code.is_empty() {
+                        block_features.push(arena.intern(&format!("s:{code}")));
+                    }
+                }
+                let acronym = acronym_of(&name_bag.tokens);
+                if name_bag.len() >= 2 {
+                    block_features.push(arena.intern(&format!("a:{acronym}")));
+                }
+                if (2..=MAX_ACRONYM_LEN).contains(&raw_name.len()) {
+                    block_features.push(arena.intern(&format!("a:{raw_name}")));
+                }
+                block_features = to_sorted_set(block_features);
+                arena.sort_lexical(&mut block_features);
+
                 Arc::new(PreparedElement {
+                    name_set: to_sorted_set(name_ids.clone()),
+                    name_ids,
+                    raw_name_id: arena.intern(&raw_name),
+                    raw_chars: raw_name.chars().collect(),
+                    acronym_id: arena.intern(&acronym),
+                    raw_soundex: soundex_key(&raw_name),
+                    parent_set,
+                    children_set: to_sorted_set(children_ids),
+                    corpus_ids,
+                    block_features,
                     name_bag,
-                    raw_name: e.name.to_lowercase(),
+                    raw_name,
                     doc_bag,
                     parent_bag,
                     children_bag: TokenBag {
@@ -143,8 +251,10 @@ impl PreparedSchema {
         PreparedSchema {
             schema_id: schema.id,
             fingerprint: schema_fingerprint(schema),
+            arena,
             elements,
             signature,
+            signature_ids,
         }
     }
 
@@ -172,6 +282,17 @@ impl PreparedSchema {
     /// The schema's normalized name-token signature (distinct tokens).
     pub fn signature(&self) -> &HashSet<String> {
         &self.signature
+    }
+
+    /// The signature as interned ids, sorted lexicographically by resolved
+    /// string (deterministic weight-sum order for repository indices).
+    pub fn signature_ids(&self) -> &[TokenId] {
+        &self.signature_ids
+    }
+
+    /// The arena every interned id of this preparation points into.
+    pub fn arena(&self) -> &Arc<TokenArena> {
+        &self.arena
     }
 
     /// Does this preparation still reflect `schema`'s current content?
@@ -205,6 +326,11 @@ pub struct CacheStats {
 /// hundreds of resident schemata cost tens of MB.
 pub struct FeatureCache {
     normalizer: Normalizer,
+    /// The arena preparations intern through. Every cache shares the
+    /// process-wide arena by default, so ids are exchangeable across caches
+    /// (different normalizer configurations merely intern different token
+    /// strings into the one table).
+    arena: Arc<TokenArena>,
     inner: Mutex<CacheInner>,
     capacity: usize,
     hits: AtomicUsize,
@@ -237,6 +363,7 @@ impl FeatureCache {
     pub fn with_capacity(normalizer: Normalizer, capacity: usize) -> Self {
         FeatureCache {
             normalizer,
+            arena: Arc::clone(TokenArena::global()),
             inner: Mutex::new(CacheInner::default()),
             capacity: capacity.max(1),
             hits: AtomicUsize::new(0),
@@ -258,6 +385,11 @@ impl FeatureCache {
         &self.normalizer
     }
 
+    /// The arena this cache's preparations intern through.
+    pub fn arena(&self) -> &Arc<TokenArena> {
+        &self.arena
+    }
+
     /// Fetch (or build and memoize) the preparation of `schema`. Keyed by
     /// content fingerprint, so mutated or replaced schemata never see stale
     /// features.
@@ -276,7 +408,11 @@ impl FeatureCache {
         // Build outside the lock: preparation is the expensive part, and
         // concurrent preparers of the same schema just race benignly.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let prepared = Arc::new(PreparedSchema::build(schema, &self.normalizer));
+        let prepared = Arc::new(PreparedSchema::build_with_arena(
+            schema,
+            &self.normalizer,
+            Arc::clone(&self.arena),
+        ));
         let mut inner = self.inner.lock().expect("feature cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -361,6 +497,37 @@ mod tests {
         let mut expect = e.name_bag.tokens.clone();
         expect.extend(e.doc_bag.tokens.iter().cloned());
         assert_eq!(e.corpus_tokens, expect);
+    }
+
+    #[test]
+    fn interned_fields_mirror_string_fields() {
+        let s = schema(1);
+        let p = PreparedSchema::build(&s, &Normalizer::new());
+        let arena = p.arena();
+        for e in p.elements() {
+            assert_eq!(arena.resolve_all(&e.name_ids), e.name_bag.tokens);
+            assert_eq!(arena.resolve_all(&e.corpus_ids), e.corpus_tokens);
+            assert_eq!(&*arena.resolve(e.raw_name_id), e.raw_name);
+            assert_eq!(e.raw_chars, e.raw_name.chars().collect::<Vec<char>>());
+            assert_eq!(
+                &*arena.resolve(e.acronym_id),
+                sm_text::tokenize::acronym_of(&e.name_bag.tokens)
+            );
+            // Sets are sorted, deduped views of the corresponding bags.
+            let mut expect = e.name_ids.clone();
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(e.name_set, expect);
+            assert!(e.block_features.windows(2).all(|w| w[0] != w[1]));
+            // Block features are sorted by resolved string.
+            let resolved = arena.resolve_all(&e.block_features);
+            let mut sorted = resolved.clone();
+            sorted.sort();
+            assert_eq!(resolved, sorted);
+        }
+        // Signature ids resolve to the signature set, lexicographically.
+        let resolved: HashSet<String> = arena.resolve_all(p.signature_ids()).into_iter().collect();
+        assert_eq!(&resolved, p.signature());
     }
 
     #[test]

@@ -9,9 +9,9 @@
 use crate::confidence::Confidence;
 use crate::context::MatchContext;
 use sm_schema::ElementId;
-use sm_text::similarity::{jaro_winkler, levenshtein_sim};
-use sm_text::soundex::soundex_sim;
-use sm_text::tokenize::acronym_of;
+use sm_text::intern::sorted_ids_jaccard;
+use sm_text::similarity::{jaro_winkler_chars, levenshtein_sim_chars, monge_elkan_jw_interned};
+use sm_text::soundex::soundex_key_sim;
 
 /// A strategy that scores candidate correspondences.
 pub trait MatchVoter: Send + Sync {
@@ -35,12 +35,13 @@ impl MatchVoter for ExactNameVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let a = &ctx.source_feat(s).name_bag;
-        let b = &ctx.target_feat(t).name_bag;
+        let a = &ctx.source_feat(s).name_ids;
+        let b = &ctx.target_feat(t).name_ids;
         if a.is_empty() || b.is_empty() {
             return Confidence::NEUTRAL;
         }
-        if a.tokens == b.tokens {
+        // Interned-sequence equality ⇔ normalized-token-sequence equality.
+        if a == b {
             Confidence::from_evidence(1.0, a.len() as f64, 0.8)
         } else {
             // Exact mismatch is weak negative evidence only: most true
@@ -61,18 +62,29 @@ impl MatchVoter for TokenVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let a = &ctx.source_feat(s).name_bag;
-        let b = &ctx.target_feat(t).name_bag;
-        if a.is_empty() || b.is_empty() {
+        let fa = ctx.source_feat(s);
+        let fb = ctx.target_feat(t);
+        if fa.name_ids.is_empty() || fb.name_ids.is_empty() {
             return Confidence::NEUTRAL;
         }
         // Exact token overlap plus soft (per-token edit-distance) alignment:
         // `date` vs `datetime` should contribute even though the stems
         // differ. The soft component is discounted so exact overlap wins.
-        let jaccard = a.jaccard(b);
-        let soft = sm_text::similarity::monge_elkan(&a.tokens, &b.tokens, jaro_winkler);
+        // Both run on interned ids: the Jaccard is a sorted merge walk, and
+        // Monge-Elkan short-circuits every shared token to 1.0 via an id
+        // membership test before falling back to character-level JW.
+        let jaccard = sorted_ids_jaccard(&fa.name_set, &fb.name_set);
+        let soft = monge_elkan_jw_interned(
+            ctx.arena_tag(),
+            &fa.name_bag.tokens,
+            &fa.name_ids,
+            &fa.name_set,
+            &fb.name_bag.tokens,
+            &fb.name_ids,
+            &fb.name_set,
+        );
         let sim = jaccard.max(0.85 * soft);
-        let evidence = (a.len() + b.len()) as f64 / 2.0;
+        let evidence = (fa.name_ids.len() + fb.name_ids.len()) as f64 / 2.0;
         Confidence::from_evidence(sim, evidence, 1.5)
     }
 }
@@ -89,17 +101,36 @@ impl MatchVoter for EditDistanceVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let a = &ctx.source_feat(s).raw_name;
-        let b = &ctx.target_feat(t).raw_name;
-        if a.is_empty() || b.is_empty() {
+        let a = &ctx.source_feat(s);
+        let b = &ctx.target_feat(t);
+        if a.raw_chars.is_empty() || b.raw_chars.is_empty() {
             return Confidence::NEUTRAL;
         }
-        let jw = jaro_winkler(a, b);
-        let lev = levenshtein_sim(a, b);
-        let sdx = soundex_sim(a, b);
-        let sim = 0.5 * jw + 0.4 * lev + 0.1 * sdx;
+        // Names were char-decoded and Soundex-encoded once at prepare time;
+        // the pair loop runs on slices and packed keys only. Raw names
+        // repeat heavily across enterprise schemata (boilerplate `id`,
+        // `name`, `code` columns), so the blended similarity is memoized per
+        // thread by interned raw-name pair — ids are stable and the blend is
+        // a pure function of the two strings, so entries never invalidate.
+        std::thread_local! {
+            static EDIT_MEMO: std::cell::RefCell<sm_text::intern::PairMemo> =
+                std::cell::RefCell::new(sm_text::intern::PairMemo::new());
+        }
+        let sim = EDIT_MEMO.with(|memo| {
+            memo.borrow_mut().get_or_insert_with(
+                ctx.arena_tag(),
+                a.raw_name_id,
+                b.raw_name_id,
+                || {
+                    let jw = jaro_winkler_chars(&a.raw_chars, &b.raw_chars);
+                    let lev = levenshtein_sim_chars(&a.raw_chars, &b.raw_chars);
+                    let sdx = soundex_key_sim(a.raw_soundex, b.raw_soundex);
+                    0.5 * jw + 0.4 * lev + 0.1 * sdx
+                },
+            )
+        });
         // Short names provide little evidence; evidence grows with length.
-        let evidence = (a.chars().count().min(b.chars().count()) as f64) / 3.0;
+        let evidence = (a.raw_chars.len().min(b.raw_chars.len()) as f64) / 3.0;
         Confidence::from_evidence(sim, evidence, 1.2)
     }
 }
@@ -169,13 +200,14 @@ impl MatchVoter for PathVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let pa = &ctx.source_feat(s).parent_bag;
-        let pb = &ctx.target_feat(t).parent_bag;
-        if pa.is_empty() || pb.is_empty() {
+        let fa = ctx.source_feat(s);
+        let fb = ctx.target_feat(t);
+        if fa.parent_set.is_empty() || fb.parent_set.is_empty() {
             return Confidence::NEUTRAL;
         }
-        let jaccard = pa.jaccard(pb);
-        let evidence = (pa.len() + pb.len()) as f64 / 2.0;
+        let jaccard = sorted_ids_jaccard(&fa.parent_set, &fb.parent_set);
+        // Evidence counts tokens with multiplicity, as the bags do.
+        let evidence = (fa.parent_bag.len() + fb.parent_bag.len()) as f64 / 2.0;
         Confidence::from_evidence(jaccard, evidence, 2.0)
     }
 }
@@ -192,13 +224,13 @@ impl MatchVoter for StructureVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let ca = &ctx.source_feat(s).children_bag;
-        let cb = &ctx.target_feat(t).children_bag;
-        if ca.is_empty() || cb.is_empty() {
+        let fa = ctx.source_feat(s);
+        let fb = ctx.target_feat(t);
+        if fa.children_set.is_empty() || fb.children_set.is_empty() {
             return Confidence::NEUTRAL;
         }
-        let jaccard = ca.jaccard(cb);
-        let evidence = (ca.len().min(cb.len())) as f64;
+        let jaccard = sorted_ids_jaccard(&fa.children_set, &fb.children_set);
+        let evidence = (fa.children_bag.len().min(fb.children_bag.len())) as f64;
         Confidence::from_evidence(jaccard, evidence, 6.0)
     }
 }
@@ -238,17 +270,16 @@ impl MatchVoter for AcronymVoter {
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
         let fa = ctx.source_feat(s);
         let fb = ctx.target_feat(t);
-        let a_raw = &fa.raw_name;
-        let b_raw = &fb.raw_name;
-        if a_raw.len() < 2 || b_raw.len() < 2 {
+        if fa.raw_name.len() < 2 || fb.raw_name.len() < 2 {
             return Confidence::NEUTRAL;
         }
-        let b_acr = acronym_of(&fb.name_bag.tokens);
-        let a_acr = acronym_of(&fa.name_bag.tokens);
-        let hit = (fb.name_bag.len() >= 2 && *a_raw == b_acr)
-            || (fa.name_bag.len() >= 2 && *b_raw == a_acr);
+        // Acronyms were computed and interned at prepare time; the per-pair
+        // check is two integer compares (interning is injective, so id
+        // equality is string equality).
+        let hit = (fb.name_ids.len() >= 2 && fa.raw_name_id == fb.acronym_id)
+            || (fa.name_ids.len() >= 2 && fb.raw_name_id == fa.acronym_id);
         if hit {
-            let evidence = fa.name_bag.len().max(fb.name_bag.len()) as f64;
+            let evidence = fa.name_ids.len().max(fb.name_ids.len()) as f64;
             Confidence::from_evidence(0.95, evidence, 1.0)
         } else {
             Confidence::NEUTRAL

@@ -25,6 +25,7 @@
 
 use harmony_core::prepare::PreparedSchema;
 use sm_schema::SchemaId;
+use sm_text::intern::{TokenArena, TokenId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -36,6 +37,13 @@ pub(crate) fn idf_weight(n: f64, df: f64) -> f64 {
 
 /// An inverted token index over a repository's schema signatures, with the
 /// IDF weight table frozen at build time.
+///
+/// Internally everything is keyed by interned [`TokenId`]s straight from the
+/// preparations' `signature_ids` — index build resolves strings once (for
+/// the display-facing signature lists) and every query afterwards moves
+/// integers. Signature id lists are ordered lexicographically by resolved
+/// string, which keeps all weight summations in the historical string-sorted
+/// order (float addition is not associative).
 #[derive(Debug)]
 pub struct RepositoryIndex {
     /// Schema ids in slot order (registration order).
@@ -44,12 +52,17 @@ pub struct RepositoryIndex {
     slot_of: HashMap<SchemaId, u32>,
     /// Content fingerprint of each indexed schema (staleness checks).
     fingerprints: Vec<u64>,
-    /// Sorted distinct name tokens of each schema.
+    /// The arena the token ids point into.
+    arena: Arc<TokenArena>,
+    /// Distinct name token ids of each schema, lexicographically ordered by
+    /// resolved string.
+    signature_ids: Vec<Vec<TokenId>>,
+    /// The same signatures, resolved (display, reports, compat).
     signatures: Vec<Vec<String>>,
-    /// token → ascending slots of schemata containing it.
-    postings: HashMap<String, Vec<u32>>,
-    /// Frozen IDF weight per indexed token.
-    weights: HashMap<String, f64>,
+    /// token id → ascending slots of schemata containing it.
+    postings: HashMap<TokenId, Vec<u32>>,
+    /// Frozen IDF weight per indexed token id.
+    weights: HashMap<TokenId, f64>,
     /// Weight of a token absent from every indexed schema (`df = 0`).
     unseen_weight: f64,
     /// Per-schema total signature weight, summed in sorted-token order.
@@ -58,30 +71,44 @@ pub struct RepositoryIndex {
 
 impl RepositoryIndex {
     /// Build the index over prepared schemata, in the given (slot) order.
+    ///
+    /// # Panics
+    /// Panics when the preparations do not all share one token arena
+    /// (mixed-arena ids are not comparable).
     pub fn build(prepared: &[Arc<PreparedSchema>]) -> Self {
+        let arena = prepared
+            .first()
+            .map(|p| Arc::clone(p.arena()))
+            .unwrap_or_else(|| Arc::clone(TokenArena::global()));
         let mut ids = Vec::with_capacity(prepared.len());
         let mut fingerprints = Vec::with_capacity(prepared.len());
+        let mut signature_ids: Vec<Vec<TokenId>> = Vec::with_capacity(prepared.len());
         let mut signatures: Vec<Vec<String>> = Vec::with_capacity(prepared.len());
-        let mut postings: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut postings: HashMap<TokenId, Vec<u32>> = HashMap::new();
         for (slot, p) in prepared.iter().enumerate() {
+            assert!(
+                Arc::ptr_eq(p.arena(), &arena),
+                "all indexed preparations must share one token arena"
+            );
             ids.push(p.schema_id);
             fingerprints.push(p.fingerprint);
-            let mut sig: Vec<String> = p.signature().iter().cloned().collect();
-            sig.sort_unstable();
-            for t in &sig {
-                postings.entry(t.clone()).or_default().push(slot as u32);
+            // Already lexicographically sorted by the preparation.
+            let sig = p.signature_ids().to_vec();
+            for &t in &sig {
+                postings.entry(t).or_default().push(slot as u32);
             }
-            signatures.push(sig);
+            signatures.push(arena.resolve_all(&sig));
+            signature_ids.push(sig);
         }
         let n = ids.len().max(1) as f64;
-        let weights: HashMap<String, f64> = postings
+        let weights: HashMap<TokenId, f64> = postings
             .iter()
-            .map(|(t, posting)| (t.clone(), idf_weight(n, posting.len() as f64)))
+            .map(|(&t, posting)| (t, idf_weight(n, posting.len() as f64)))
             .collect();
         let unseen_weight = idf_weight(n, 0.0);
         // Sorted-token summation order keeps totals deterministic (float
         // addition is not associative).
-        let total_weights: Vec<f64> = signatures
+        let total_weights: Vec<f64> = signature_ids
             .iter()
             .map(|sig| sig.iter().map(|t| weights[t]).sum())
             .collect();
@@ -94,6 +121,8 @@ impl RepositoryIndex {
             ids,
             slot_of,
             fingerprints,
+            arena,
+            signature_ids,
             signatures,
             postings,
             weights,
@@ -132,40 +161,65 @@ impl RepositoryIndex {
         &self.signatures[slot as usize]
     }
 
+    /// Interned signature of a slot, lexicographically ordered by resolved
+    /// string.
+    pub fn signature_ids(&self, slot: u32) -> &[TokenId] {
+        &self.signature_ids[slot as usize]
+    }
+
+    /// The arena this index's token ids point into.
+    pub fn arena(&self) -> &Arc<TokenArena> {
+        &self.arena
+    }
+
     /// Total signature weight of a slot (frozen at build).
     pub fn total_weight(&self, slot: u32) -> f64 {
         self.total_weights[slot as usize]
     }
 
-    /// Frozen IDF weight of a token (`df = 0` weight for unseen tokens).
-    pub fn weight(&self, token: &str) -> f64 {
+    /// Frozen IDF weight of an interned token (`df = 0` weight for tokens
+    /// absent from every indexed schema).
+    pub fn weight_by_id(&self, token: TokenId) -> f64 {
         self.weights
-            .get(token)
+            .get(&token)
             .copied()
             .unwrap_or(self.unseen_weight)
     }
 
+    /// Frozen IDF weight of a token (`df = 0` weight for unseen tokens).
+    pub fn weight(&self, token: &str) -> f64 {
+        self.arena
+            .lookup(token)
+            .map_or(self.unseen_weight, |id| self.weight_by_id(id))
+    }
+
+    /// Posting list of an interned token: ascending slots of schemata
+    /// containing it.
+    pub fn postings_by_id(&self, token: TokenId) -> &[u32] {
+        self.postings.get(&token).map_or(&[], Vec::as_slice)
+    }
+
     /// Posting list of a token: ascending slots of schemata containing it.
     pub fn postings(&self, token: &str) -> &[u32] {
-        self.postings.get(token).map_or(&[], Vec::as_slice)
+        self.arena
+            .lookup(token)
+            .map_or(&[], |id| self.postings_by_id(id))
     }
 
     /// Accumulate the shared signature weight between a query signature and
     /// every indexed schema, visiting only posting lists of the query's
     /// tokens. Returns `(slot, shared_weight)` for every schema sharing at
-    /// least one token, slots ascending. `query_tokens` must be sorted so
-    /// each slot's weight sum has a deterministic order.
-    pub fn accumulate<'q>(
-        &self,
-        query_tokens: impl IntoIterator<Item = &'q str>,
-    ) -> Vec<(u32, f64)> {
+    /// least one token, slots ascending. `query_tokens` must be in
+    /// lexicographic resolved-string order so each slot's weight sum has the
+    /// deterministic historical order.
+    pub fn accumulate_ids(&self, query_tokens: &[TokenId]) -> Vec<(u32, f64)> {
         let mut acc: HashMap<u32, f64> = HashMap::new();
-        for t in query_tokens {
-            let posting = self.postings(t);
+        for &t in query_tokens {
+            let posting = self.postings_by_id(t);
             if posting.is_empty() {
                 continue;
             }
-            let w = self.weights[t];
+            let w = self.weights[&t];
             for &slot in posting {
                 *acc.entry(slot).or_insert(0.0) += w;
             }
@@ -173,6 +227,19 @@ impl RepositoryIndex {
         let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
         out.sort_unstable_by_key(|&(slot, _)| slot);
         out
+    }
+
+    /// String-keyed [`Self::accumulate_ids`] (inspection and tests; the
+    /// search path feeds pre-interned signature ids).
+    pub fn accumulate<'q>(
+        &self,
+        query_tokens: impl IntoIterator<Item = &'q str>,
+    ) -> Vec<(u32, f64)> {
+        let ids: Vec<TokenId> = query_tokens
+            .into_iter()
+            .filter_map(|t| self.arena.lookup(t))
+            .collect();
+        self.accumulate_ids(&ids)
     }
 
     /// Pairwise signature-intersection counts, as a dense row-major `n×n`
@@ -212,19 +279,22 @@ impl RepositoryIndex {
         slots.dedup();
         let Some(&smallest) = slots
             .iter()
-            .min_by_key(|&&s| self.signatures[s as usize].len())
+            .min_by_key(|&&s| self.signature_ids[s as usize].len())
         else {
             return Vec::new();
         };
-        self.signatures[smallest as usize]
+        // Walk the smallest signature's ids (lexical order is preserved
+        // into the result) and keep tokens posted in every member.
+        let kept: Vec<TokenId> = self.signature_ids[smallest as usize]
             .iter()
-            .filter(|t| {
-                let posting = self.postings(t);
+            .filter(|&&t| {
+                let posting = self.postings_by_id(t);
                 posting.len() >= slots.len()
                     && slots.iter().all(|s| posting.binary_search(s).is_ok())
             })
-            .cloned()
-            .collect()
+            .copied()
+            .collect();
+        self.arena.resolve_all(&kept)
     }
 }
 

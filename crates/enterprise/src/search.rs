@@ -23,17 +23,9 @@ use crate::index::RepositoryIndex;
 use crate::repository::MetadataRepository;
 use harmony_core::prepare::{FeatureCache, PreparedSchema};
 use sm_schema::{Schema, SchemaId};
+use sm_text::intern::TokenId;
 use std::collections::HashSet;
 use std::sync::Arc;
-
-/// Sum token weights in sorted-token order: float addition is not
-/// associative, and `HashSet` iteration order varies per instance, so an
-/// unsorted sum would make scores differ in the last ulp across runs.
-fn weighted_sum(tokens: &HashSet<String>, weight: &impl Fn(&str) -> f64) -> f64 {
-    let mut sorted: Vec<&str> = tokens.iter().map(String::as_str).collect();
-    sorted.sort_unstable();
-    sorted.into_iter().map(weight).sum()
-}
 
 /// One ranked search result.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,20 +108,20 @@ impl SchemaSearch {
     /// (searching for *other* relevant schemata).
     pub fn query(&self, query: &Schema, limit: usize) -> Vec<SearchHit> {
         let prepared = self.cache.prepare(query);
-        let q_sig = prepared.signature();
-        if q_sig.is_empty() {
+        // Interned query signature, lexicographically ordered by resolved
+        // string — the deterministic weight-summation order.
+        let q_ids = prepared.signature_ids();
+        if q_ids.is_empty() {
             return Vec::new();
         }
-        let weight = |t: &str| self.index.weight(t);
-        let q_weight = weighted_sum(q_sig, &weight);
+        let q_weight: f64 = q_ids.iter().map(|&t| self.index.weight_by_id(t)).sum();
 
-        // Posting-list accumulation (sorted tokens for deterministic float
-        // order), then weighted-Jaccard scoring of the touched slots only.
-        let mut q_tokens: Vec<&str> = q_sig.iter().map(String::as_str).collect();
-        q_tokens.sort_unstable();
+        // Posting-list accumulation, then weighted-Jaccard scoring of the
+        // touched slots only. All integer-keyed: no string hashing per
+        // query.
         let mut hits: Vec<(u32, f64)> = self
             .index
-            .accumulate(q_tokens.iter().copied())
+            .accumulate_ids(q_ids)
             .into_iter()
             .filter(|&(slot, _)| self.index.ids()[slot as usize] != query.id)
             .map(|(slot, shared_weight)| {
@@ -146,24 +138,27 @@ impl SchemaSearch {
         hits.truncate(limit);
 
         // Shared-token details only for the hits actually returned.
+        let q_set: HashSet<TokenId> = q_ids.iter().copied().collect();
         hits.into_iter()
             .map(|(slot, score)| SearchHit {
                 schema_id: self.index.ids()[slot as usize],
                 score,
-                shared_tokens: self.shared_token_sample(q_sig, slot),
+                shared_tokens: self.shared_token_sample(&q_set, slot),
             })
             .collect()
     }
 
     /// Up to 8 tokens shared between the query signature and a slot,
     /// most discriminating first (weight desc, token asc).
-    fn shared_token_sample(&self, q_sig: &HashSet<String>, slot: u32) -> Vec<String> {
+    fn shared_token_sample(&self, q_set: &HashSet<TokenId>, slot: u32) -> Vec<String> {
+        let slot_ids = self.index.signature_ids(slot);
         let mut shared: Vec<(&String, f64)> = self
             .index
             .signature(slot)
             .iter()
-            .filter(|t| q_sig.contains(*t))
-            .map(|t| (t, self.index.weight(t)))
+            .zip(slot_ids)
+            .filter(|(_, id)| q_set.contains(id))
+            .map(|(t, &id)| (t, self.index.weight_by_id(id)))
             .collect();
         shared.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
@@ -184,31 +179,38 @@ impl SchemaSearch {
         limit: usize,
     ) -> Vec<FragmentHit> {
         let prepared_query = self.cache.prepare(query);
-        let q_sig = prepared_query.signature();
-        if q_sig.is_empty() {
+        let q_ids = prepared_query.signature_ids();
+        if q_ids.is_empty() {
             return Vec::new();
         }
+        let q_set: HashSet<TokenId> = q_ids.iter().copied().collect();
         let prepared_candidate = self.cache.prepare(candidate);
-        // Frozen at index build — no per-query weight-table work.
-        let weight = |t: &str| self.index.weight(t);
+        let arena = prepared_candidate.arena();
         let mut hits: Vec<FragmentHit> = candidate
             .roots()
             .iter()
             .filter_map(|&root| {
-                let mut sig: HashSet<String> = HashSet::new();
-                for e in candidate.subtree(root) {
-                    sig.extend(
-                        prepared_candidate
-                            .element(e.id.index())
-                            .name_bag
-                            .tokens
-                            .iter()
-                            .cloned(),
-                    );
-                }
-                let mut shared: Vec<(String, f64)> = q_sig
-                    .intersection(&sig)
-                    .map(|t| (t.clone(), weight(t)))
+                // Distinct fragment vocabulary, lexicographically ordered so
+                // the fragment-weight sum keeps the deterministic historical
+                // order.
+                let mut sig: Vec<TokenId> = sm_text::intern::to_sorted_set(
+                    candidate
+                        .subtree(root)
+                        .flat_map(|e| {
+                            prepared_candidate
+                                .element(e.id.index())
+                                .name_set
+                                .iter()
+                                .copied()
+                        })
+                        .collect(),
+                );
+                arena.sort_lexical(&mut sig);
+                // Weights were frozen at index build — no per-query table.
+                let mut shared: Vec<(String, f64)> = sig
+                    .iter()
+                    .filter(|id| q_set.contains(id))
+                    .map(|&id| (arena.resolve(id).to_string(), self.index.weight_by_id(id)))
                     .collect();
                 if shared.is_empty() {
                     return None;
@@ -219,7 +221,7 @@ impl SchemaSearch {
                         .then_with(|| a.0.cmp(&b.0))
                 });
                 let shared_weight: f64 = shared.iter().map(|(_, w)| w).sum();
-                let frag_weight = weighted_sum(&sig, &weight);
+                let frag_weight: f64 = sig.iter().map(|&id| self.index.weight_by_id(id)).sum();
                 Some(FragmentHit {
                     root,
                     score: shared_weight / frag_weight.max(1e-12),
@@ -270,6 +272,14 @@ impl SchemaSearch {
 mod tests {
     use super::*;
     use sm_schema::{DataType, ElementKind, SchemaFormat};
+
+    /// Reference weighted sum in sorted-token order — the historical
+    /// string-path computation the interned query path must reproduce.
+    fn weighted_sum(tokens: &HashSet<String>, weight: &impl Fn(&str) -> f64) -> f64 {
+        let mut sorted: Vec<&str> = tokens.iter().map(String::as_str).collect();
+        sorted.sort_unstable();
+        sorted.into_iter().map(weight).sum()
+    }
 
     fn schema(id: u32, tables: &[(&str, &[&str])]) -> Schema {
         let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);

@@ -17,10 +17,13 @@
 //! * [`tfidf`] — a TF-IDF vector-space model over documentation text, with
 //!   cosine similarity; the workhorse of the documentation voter.
 //! * [`soundex`] — phonetic encoding, a cheap extra evidence source.
+//! * [`intern`] — the token arena (string ↔ `u32` id) plus sorted-id merge
+//!   kernels; everything per-pair downstream moves integers, not strings.
 
 #![warn(missing_docs)]
 
 pub mod abbrev;
+pub mod intern;
 pub mod normalize;
 pub mod similarity;
 pub mod soundex;
@@ -30,6 +33,7 @@ pub mod tfidf;
 pub mod tokenize;
 
 pub use abbrev::AbbrevDict;
+pub use intern::{TokenArena, TokenId};
 pub use normalize::{NormalizeOptions, Normalizer, TokenBag};
 pub use stem::porter_stem;
 pub use tfidf::{Corpus, DocVector};

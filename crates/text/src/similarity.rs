@@ -5,6 +5,7 @@
 //! voters are responsible for turning them into evidence-weighted confidence
 //! scores.
 
+use crate::intern::{sorted_ids_contains, TokenId};
 use crate::tokenize::char_ngrams;
 use std::collections::HashSet;
 
@@ -12,14 +13,36 @@ use std::collections::HashSet;
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    levenshtein_chars(&a, &b)
+}
+
+/// [`levenshtein`] over pre-collected char slices — the allocation-free
+/// variant the per-pair voters use (raw names are char-decoded once at
+/// prepare time, not once per pair).
+pub fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
     if a.is_empty() {
         return b.len();
     }
     if b.is_empty() {
         return a.len();
     }
-    // Single-row DP.
+    // Rolling single-row DP (the second "row" of the classic two-row
+    // formulation lives in `prev_diag`): O(|b|) memory, no matrix. Names up
+    // to 64 chars keep the row on the stack — no allocation per call.
+    if b.len() <= 64 {
+        let mut row = [0usize; 65];
+        for (j, r) in row.iter_mut().enumerate().take(b.len() + 1) {
+            *r = j;
+        }
+        return levenshtein_row(a, b, &mut row);
+    }
     let mut row: Vec<usize> = (0..=b.len()).collect();
+    levenshtein_row(a, b, &mut row)
+}
+
+/// The DP inner loop over a pre-seeded first row (`row[j] = j`).
+#[inline]
+fn levenshtein_row(a: &[char], b: &[char], row: &mut [usize]) -> usize {
     for (i, &ca) in a.iter().enumerate() {
         let mut prev_diag = row[0];
         row[0] = i + 1;
@@ -35,22 +58,40 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 
 /// Levenshtein similarity: `1 − distance / max_len`, in `[0, 1]`.
 pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_sim_chars(&a, &b)
+}
+
+/// [`levenshtein_sim`] over pre-collected char slices.
+pub fn levenshtein_sim_chars(a: &[char], b: &[char]) -> f64 {
+    let max_len = a.len().max(b.len());
     if max_len == 0 {
         return 1.0;
     }
-    1.0 - levenshtein(a, b) as f64 / max_len as f64
+    1.0 - levenshtein_chars(a, b) as f64 / max_len as f64
 }
 
 /// Jaro similarity.
 pub fn jaro(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    jaro_chars(&a, &b)
+}
+
+/// [`jaro`] over pre-collected char slices. Inputs up to 64 chars (every
+/// realistic schema name and token) run entirely on the stack: the matched
+/// flags become one `u64` bitmask and the matched-character buffers fixed
+/// arrays, so the hot path allocates nothing.
+pub fn jaro_chars(a: &[char], b: &[char]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
     if a.is_empty() || b.is_empty() {
         return 0.0;
+    }
+    if a.len() <= 64 && b.len() <= 64 {
+        return jaro_small(a, b);
     }
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
     let mut b_matched = vec![false; b.len()];
@@ -86,28 +127,168 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
 }
 
+/// Allocation-free Jaro for inputs ≤ 64 chars — the same arithmetic as the
+/// general path, so results are bit-identical.
+fn jaro_small(a: &[char], b: &[char]) -> f64 {
+    debug_assert!(!a.is_empty() && !b.is_empty());
+    debug_assert!(a.len() <= 64 && b.len() <= 64);
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched: u64 = 0;
+    let mut matches_a = ['\0'; 64];
+    let mut m = 0usize;
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for (j, &cb) in b.iter().enumerate().take(hi).skip(lo) {
+            if b_matched & (1u64 << j) == 0 && cb == ca {
+                b_matched |= 1u64 << j;
+                matches_a[m] = ca;
+                m += 1;
+                break;
+            }
+        }
+    }
+    if m == 0 {
+        return 0.0;
+    }
+    // Walk b's matched characters in order against a's matched sequence.
+    let mut raw_transpositions = 0usize;
+    let mut k = 0usize;
+    for (j, &cb) in b.iter().enumerate() {
+        if b_matched & (1u64 << j) != 0 {
+            if matches_a[k] != cb {
+                raw_transpositions += 1;
+            }
+            k += 1;
+        }
+    }
+    let transpositions = raw_transpositions / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
 /// Jaro-Winkler similarity with standard scaling factor 0.1 and a prefix of
 /// at most 4 characters.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
-    let j = jaro(a, b);
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    jaro_winkler_chars(&a, &b)
+}
+
+/// [`jaro_winkler`] over pre-collected char slices.
+pub fn jaro_winkler_chars(a: &[char], b: &[char]) -> f64 {
+    let j = jaro_chars(a, b);
     let prefix = a
-        .chars()
-        .zip(b.chars())
+        .iter()
+        .zip(b.iter())
         .take(4)
         .take_while(|(x, y)| x == y)
         .count() as f64;
     (j + prefix * 0.1 * (1.0 - j)).min(1.0)
 }
 
+/// Longest n-gram (in bytes) that fits a packed `u64` key: 7 data bytes
+/// plus a length tag byte. Every practical n-gram size (2–4) packs.
+const MAX_PACKED_NGRAM: usize = 7;
+
+/// Pack an ASCII n-gram (≤ [`MAX_PACKED_NGRAM`] bytes) into a `u64`:
+/// length tag in the top byte, bytes little-endian below. Injective over
+/// the packable domain, so packed equality is string equality.
+#[inline]
+fn pack_ascii_gram(bytes: &[u8]) -> u64 {
+    debug_assert!(bytes.len() <= MAX_PACKED_NGRAM);
+    let mut v = (bytes.len() as u64) << 56;
+    for (i, &b) in bytes.iter().enumerate() {
+        v |= u64::from(b) << (8 * i);
+    }
+    v
+}
+
+/// The packed n-gram *set* of an ASCII string: sorted, deduplicated `u64`
+/// keys, mirroring [`char_ngrams`] semantics (a token no longer than `n`
+/// yields itself as its only gram; `n == 0` yields nothing).
+fn packed_ngram_set(s: &str, n: usize, out: &mut Vec<u64>) {
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    let bytes = s.as_bytes();
+    if bytes.len() <= n {
+        out.push(pack_ascii_gram(bytes));
+        return;
+    }
+    out.extend((0..=bytes.len() - n).map(|i| pack_ascii_gram(&bytes[i..i + n])));
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// Intersection size of two sorted, deduplicated `u64` key sets.
+#[inline]
+fn packed_intersection(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// Can both strings take the packed-`u64` n-gram path?
+#[inline]
+fn packable(a: &str, b: &str, n: usize) -> bool {
+    n <= MAX_PACKED_NGRAM && a.is_ascii() && b.is_ascii()
+}
+
 /// Jaccard similarity of character n-gram sets.
+///
+/// ASCII inputs with `n ≤ 7` (every schema-name case) take a packed `u64`
+/// key path: grams become integers, sets become sorted slices, and the
+/// intersection is a merge walk — no `HashSet<String>` allocation per call.
+/// The packing is injective, so the result is identical to the string-set
+/// path, which remains as the general-input fallback.
 pub fn ngram_jaccard(a: &str, b: &str, n: usize) -> f64 {
+    if packable(a, b, n) {
+        let (mut ga, mut gb) = (Vec::new(), Vec::new());
+        packed_ngram_set(a, n, &mut ga);
+        packed_ngram_set(b, n, &mut gb);
+        if ga.is_empty() && gb.is_empty() {
+            return 1.0;
+        }
+        if ga.is_empty() || gb.is_empty() {
+            return 0.0;
+        }
+        let inter = packed_intersection(&ga, &gb);
+        let union = ga.len() + gb.len() - inter;
+        return inter as f64 / union as f64;
+    }
     let ga: HashSet<String> = char_ngrams(a, n).into_iter().collect();
     let gb: HashSet<String> = char_ngrams(b, n).into_iter().collect();
     set_jaccard(&ga, &gb)
 }
 
-/// Dice coefficient of character n-gram sets.
+/// Dice coefficient of character n-gram sets (packed `u64` fast path as in
+/// [`ngram_jaccard`]).
 pub fn ngram_dice(a: &str, b: &str, n: usize) -> f64 {
+    if packable(a, b, n) {
+        let (mut ga, mut gb) = (Vec::new(), Vec::new());
+        packed_ngram_set(a, n, &mut ga);
+        packed_ngram_set(b, n, &mut gb);
+        if ga.is_empty() && gb.is_empty() {
+            return 1.0;
+        }
+        if ga.is_empty() || gb.is_empty() {
+            return 0.0;
+        }
+        let inter = packed_intersection(&ga, &gb);
+        return 2.0 * inter as f64 / (ga.len() + gb.len()) as f64;
+    }
     let ga: HashSet<String> = char_ngrams(a, n).into_iter().collect();
     let gb: HashSet<String> = char_ngrams(b, n).into_iter().collect();
     if ga.is_empty() && gb.is_empty() {
@@ -188,6 +369,135 @@ where
     (directed(a, b, &inner) + directed(b, a, &inner)) / 2.0
 }
 
+/// [`monge_elkan`] with an interned-token shortcut, byte-identical to the
+/// string version under any inner measure bounded by 1 with
+/// `inner(x, x) == 1.0` (Jaro-Winkler qualifies).
+///
+/// `a_ids`/`b_ids` are the tokens' interned ids in sequence order (same
+/// arena on both sides); `a_set`/`b_set` the corresponding sorted,
+/// deduplicated id sets. When a token's id appears in the opposite set the
+/// directed max is exactly `1.0` — no inner-measure calls — which skips the
+/// quadratic character work for every shared token (the common case for
+/// candidate pairs, which blocking selected *because* they share tokens).
+pub fn monge_elkan_interned<F>(
+    a: &[String],
+    a_ids: &[TokenId],
+    a_set: &[TokenId],
+    b: &[String],
+    b_ids: &[TokenId],
+    b_set: &[TokenId],
+    inner: F,
+) -> f64
+where
+    F: Fn(&str, &str) -> f64,
+{
+    fn directed<F: Fn(&str, &str) -> f64>(
+        xs: &[String],
+        xs_ids: &[TokenId],
+        ys: &[String],
+        ys_set: &[TokenId],
+        inner: &F,
+    ) -> f64 {
+        if xs.is_empty() {
+            return if ys.is_empty() { 1.0 } else { 0.0 };
+        }
+        if ys.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = xs
+            .iter()
+            .zip(xs_ids)
+            .map(|(x, &xid)| {
+                if sorted_ids_contains(ys_set, xid) {
+                    // An equal token exists on the other side: the fold max
+                    // is exactly 1.0 (inner(x, x) == 1.0 and inner ≤ 1.0).
+                    1.0
+                } else {
+                    ys.iter().map(|y| inner(x, y)).fold(0.0_f64, f64::max)
+                }
+            })
+            .sum();
+        total / xs.len() as f64
+    }
+    debug_assert_eq!(a.len(), a_ids.len());
+    debug_assert_eq!(b.len(), b_ids.len());
+    (directed(a, a_ids, b, b_set, &inner) + directed(b, b_ids, a, a_set, &inner)) / 2.0
+}
+
+std::thread_local! {
+    /// Per-thread Jaro-Winkler memo over ordered interned token-id pairs
+    /// (see [`crate::intern::PairMemo`] for the key discipline, the arena
+    /// guard, and why entries never invalidate). Bounded by the number of
+    /// *distinct* token pairs actually compared — a few hundred thousand
+    /// entries at repository scale.
+    static JW_MEMO: std::cell::RefCell<crate::intern::PairMemo> =
+        std::cell::RefCell::new(crate::intern::PairMemo::new());
+}
+
+/// Jaro-Winkler of two interned tokens, memoized per thread by
+/// `(arena tag, ordered id pair)`. Returns exactly what
+/// `jaro_winkler(a, b)` returns (the memo stores the computed `f64`
+/// verbatim).
+pub fn jaro_winkler_memo(tag: u32, a: &str, a_id: TokenId, b: &str, b_id: TokenId) -> f64 {
+    JW_MEMO.with(|memo| {
+        memo.borrow_mut()
+            .get_or_insert_with(tag, a_id, b_id, || jaro_winkler(a, b))
+    })
+}
+
+/// [`monge_elkan_interned`] specialized to the Jaro-Winkler inner measure,
+/// with per-thread memoization of the inner calls by token-id pair.
+///
+/// This is the production TokenVoter kernel: shared tokens short-circuit to
+/// `1.0` through an id membership test, and the character-level work for
+/// non-shared tokens is paid once per *distinct token pair per thread*
+/// instead of once per element pair. Byte-identical to
+/// `monge_elkan(a, b, jaro_winkler)`. `tag` is the id arena's
+/// [`crate::intern::TokenArena::tag`].
+pub fn monge_elkan_jw_interned(
+    tag: u32,
+    a: &[String],
+    a_ids: &[TokenId],
+    a_set: &[TokenId],
+    b: &[String],
+    b_ids: &[TokenId],
+    b_set: &[TokenId],
+) -> f64 {
+    fn directed(
+        tag: u32,
+        xs: &[String],
+        xs_ids: &[TokenId],
+        ys: &[String],
+        ys_ids: &[TokenId],
+        ys_set: &[TokenId],
+    ) -> f64 {
+        if xs.is_empty() {
+            return if ys.is_empty() { 1.0 } else { 0.0 };
+        }
+        if ys.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = xs
+            .iter()
+            .zip(xs_ids)
+            .map(|(x, &xid)| {
+                if sorted_ids_contains(ys_set, xid) {
+                    1.0
+                } else {
+                    ys.iter()
+                        .zip(ys_ids)
+                        .map(|(y, &yid)| jaro_winkler_memo(tag, x, xid, y, yid))
+                        .fold(0.0_f64, f64::max)
+                }
+            })
+            .sum();
+        total / xs.len() as f64
+    }
+    debug_assert_eq!(a.len(), a_ids.len());
+    debug_assert_eq!(b.len(), b_ids.len());
+    (directed(tag, a, a_ids, b, b_ids, b_set) + directed(tag, b, b_ids, a, a_ids, a_set)) / 2.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +569,82 @@ mod tests {
         // Empty lists.
         assert_eq!(monge_elkan(&v(&[]), &v(&[]), jaro_winkler), 1.0);
         assert_eq!(monge_elkan(&a, &v(&[]), jaro_winkler), 0.0);
+    }
+
+    #[test]
+    fn interned_monge_elkan_matches_string_version() {
+        let arena = crate::intern::TokenArena::new();
+        let v = |ws: &[&str]| ws.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let cases = [
+            (v(&["date", "begin"]), v(&["begin", "date"])),
+            (v(&["date", "begin"]), v(&["datetime", "first", "info"])),
+            (v(&["organisation", "name"]), v(&["organization", "name"])),
+            (v(&[]), v(&["x"])),
+            (v(&[]), v(&[])),
+            (v(&["a", "a", "b"]), v(&["a", "c"])),
+        ];
+        for (a, b) in &cases {
+            let a_ids = arena.intern_all(a);
+            let b_ids = arena.intern_all(b);
+            let a_set = crate::intern::to_sorted_set(a_ids.clone());
+            let b_set = crate::intern::to_sorted_set(b_ids.clone());
+            let plain = monge_elkan(a, b, jaro_winkler);
+            let interned = monge_elkan_interned(a, &a_ids, &a_set, b, &b_ids, &b_set, jaro_winkler);
+            assert_eq!(plain, interned, "diverged on {a:?} vs {b:?}");
+            let tag = arena.tag();
+            let memoized = monge_elkan_jw_interned(tag, a, &a_ids, &a_set, b, &b_ids, &b_set);
+            assert_eq!(plain, memoized, "memoized diverged on {a:?} vs {b:?}");
+            // Second call answers from the memo and must agree too.
+            let memo_hit = monge_elkan_jw_interned(tag, a, &a_ids, &a_set, b, &b_ids, &b_set);
+            assert_eq!(plain, memo_hit, "memo hit diverged on {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn packed_ngrams_match_string_sets() {
+        // The packed u64 path must agree exactly with the string-set path,
+        // including degenerate and shorter-than-n inputs.
+        let cases = [
+            ("night", "nacht"),
+            ("date_begin", "datetime_first"),
+            ("", ""),
+            ("ab", ""),
+            ("a", "ab"),
+            ("aaaa", "aa"),
+            ("same", "same"),
+        ];
+        for (a, b) in cases {
+            for n in [0usize, 1, 2, 3, 4] {
+                let ga: HashSet<String> = char_ngrams(a, n).into_iter().collect();
+                let gb: HashSet<String> = char_ngrams(b, n).into_iter().collect();
+                let want_j = set_jaccard(&ga, &gb);
+                assert_eq!(ngram_jaccard(a, b, n), want_j, "jaccard {a:?} {b:?} n={n}");
+                let want_d = if ga.is_empty() && gb.is_empty() {
+                    1.0
+                } else if ga.is_empty() || gb.is_empty() {
+                    0.0
+                } else {
+                    2.0 * ga.intersection(&gb).count() as f64 / (ga.len() + gb.len()) as f64
+                };
+                assert_eq!(ngram_dice(a, b, n), want_d, "dice {a:?} {b:?} n={n}");
+            }
+        }
+        // Non-ASCII falls back to the string path and still works.
+        assert_eq!(ngram_jaccard("crédit", "crédit", 2), 1.0);
+        assert!(ngram_jaccard("crédit", "credit", 2) < 1.0);
+    }
+
+    #[test]
+    fn char_slice_variants_match_string_variants() {
+        let pairs = [("kitten", "sitting"), ("martha", "marhta"), ("", "abc")];
+        for (a, b) in pairs {
+            let ca: Vec<char> = a.chars().collect();
+            let cb: Vec<char> = b.chars().collect();
+            assert_eq!(levenshtein(a, b), levenshtein_chars(&ca, &cb));
+            assert_eq!(levenshtein_sim(a, b), levenshtein_sim_chars(&ca, &cb));
+            assert_eq!(jaro(a, b), jaro_chars(&ca, &cb));
+            assert_eq!(jaro_winkler(a, b), jaro_winkler_chars(&ca, &cb));
+        }
     }
 
     #[test]

@@ -55,6 +55,31 @@ pub fn soundex(word: &str) -> String {
     out
 }
 
+/// The Soundex code packed into a `u32` (the code is always exactly 4 ASCII
+/// bytes), or `None` for inputs with no ASCII letters. Packed equality is
+/// code equality, so per-pair phonetic comparison reduces to one integer
+/// compare when both sides precompute their keys (see
+/// [`soundex_key_sim`]).
+pub fn soundex_key(word: &str) -> Option<u32> {
+    let code = soundex(word);
+    if code.is_empty() {
+        return None;
+    }
+    let b = code.as_bytes();
+    debug_assert_eq!(b.len(), 4);
+    Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// [`soundex_sim`] over precomputed packed keys: `1.0` when both keys exist
+/// and are equal, else `0.0` — byte-identical to the string version.
+#[inline]
+pub fn soundex_key_sim(a: Option<u32>, b: Option<u32>) -> f64 {
+    match (a, b) {
+        (Some(ka), Some(kb)) if ka == kb => 1.0,
+        _ => 0.0,
+    }
+}
+
 /// `1.0` when both words encode identically, else `0.0`. Empty encodings
 /// (non-alphabetic inputs) never match.
 pub fn soundex_sim(a: &str, b: &str) -> f64 {
@@ -109,5 +134,25 @@ mod tests {
     fn sim_is_binary() {
         assert_eq!(soundex_sim("Smith", "Smythe"), 1.0);
         assert_eq!(soundex_sim("Smith", "Jones"), 0.0);
+    }
+
+    #[test]
+    fn packed_keys_match_string_codes() {
+        for (a, b) in [
+            ("Smith", "Smythe"),
+            ("Smith", "Jones"),
+            ("123", "123"),
+            ("", "x"),
+            ("Robert", "Rupert"),
+        ] {
+            assert_eq!(
+                soundex_key_sim(soundex_key(a), soundex_key(b)),
+                soundex_sim(a, b),
+                "packed diverged on {a:?} vs {b:?}"
+            );
+        }
+        assert_eq!(soundex_key("123"), None);
+        assert_eq!(soundex_key("Robert"), soundex_key("Rupert"));
+        assert_ne!(soundex_key("Smith"), soundex_key("Jones"));
     }
 }
