@@ -63,4 +63,35 @@ print(
 )
 PY
 
+echo "==> BENCH_nway.json batch gate (executor + batch planner)"
+python3 - BENCH_nway.json <<'PY'
+import json
+import sys
+
+# The batch planner + persistent executor must keep batch-blocked N-way
+# pairwise population at or below half of the sequential dense loop's wall
+# clock (the pre-batch populate_pairwise shape), measured at the 12-schema
+# arity with byte-identical one-to-one selections. Regressing past the gate
+# means per-pair work crept back into the planned path (index rebuilds,
+# per-run thread churn, lost concurrency).
+MAX_RATIO = 0.5
+
+path = sys.argv[1]
+with open(path) as fh:
+    doc = json.load(fh)
+for arity in ("five_schema", "twelve_schema"):
+    if not doc[arity]["equal_selections"]:
+        sys.exit(f"{path}: {arity} batch selections diverged from the dense loop")
+ratio = doc["twelve_schema"]["ratio"]
+if ratio > MAX_RATIO:
+    sys.exit(
+        f"{path}: twelve_schema ratio {ratio:.4f} exceeds the batch gate of "
+        f"{MAX_RATIO} (batch-blocked must be <= 50% of sequential dense)"
+    )
+print(
+    f"{path}: twelve_schema batch-blocked at {100 * ratio:.1f}% of sequential "
+    f"dense (gate {100 * MAX_RATIO:.0f}%), selections identical"
+)
+PY
+
 echo "ci.sh: all gates passed"

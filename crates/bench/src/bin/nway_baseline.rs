@@ -1,0 +1,226 @@
+//! Regenerate `BENCH_nway.json`: sequential-dense vs batch-blocked N-way
+//! pairwise population, at the paper's 5-schema vocabulary arity and at a
+//! 12-schema consolidation arity.
+//!
+//! The sequential-dense side reproduces the pre-batch `populate_pairwise`
+//! loop verbatim: one dense `run_select` per unordered pair, each run
+//! spawning its own Score/Merge workers and paying the full cross product.
+//! The batch-blocked side is the production path: one `BatchPlanner` plan
+//! (every schema prepared and token-indexed once), candidates from the
+//! shared index under the default blocking policy, and all pairs executed
+//! concurrently on the persistent executor. Both sides select one-to-one
+//! correspondences at the same threshold; the bench asserts the *selected
+//! pair sets are identical* (the blocking-recall property at work), so the
+//! wall-clock ratio is measured at equal recall by construction.
+//!
+//! `ci.sh` gates on the 12-schema ratio: batch-blocked must finish in at
+//! most 50% of the sequential-dense wall clock.
+//!
+//! Run with: `cargo run --release -p sm-bench --bin nway_baseline`
+
+use harmony_core::prelude::*;
+use sm_bench::header;
+use sm_schema::Schema;
+use sm_synth::{RepositoryConfig, SyntheticRepository};
+use sm_text::normalize::Normalizer;
+use std::time::Instant;
+
+/// The operating threshold used across experiments.
+const THRESHOLD: f64 = 0.35;
+const REPS: usize = 3;
+
+/// One unordered pair's selected correspondences, as comparable tuples.
+type SelectedPairs = Vec<(u32, u32)>;
+
+fn selected_tuples(set: &MatchSet) -> SelectedPairs {
+    let mut pairs: SelectedPairs = set.all().iter().map(|c| (c.source.0, c.target.0)).collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// The pre-batch behavior, verbatim: a sequential loop of dense
+/// `run_select` calls over every unordered pair.
+fn sequential_dense(
+    engine: &MatchEngine,
+    schemas: &[&Schema],
+    selection: &Selection,
+) -> (f64, Vec<SelectedPairs>) {
+    let t0 = Instant::now();
+    let mut selections = Vec::new();
+    for i in 0..schemas.len() {
+        for j in (i + 1)..schemas.len() {
+            let (_, selected) = engine
+                .pipeline()
+                .run_select(schemas[i], schemas[j], selection);
+            selections.push(selected_tuples(&selected));
+        }
+    }
+    (t0.elapsed().as_secs_f64(), selections)
+}
+
+struct BatchMeasurement {
+    total_secs: f64,
+    plan_secs: f64,
+    pairs_scored: usize,
+    cross_product: usize,
+    selections: Vec<SelectedPairs>,
+}
+
+/// The production path: one plan, one shared index, all pairs concurrent,
+/// selection-only execution (matrices drop inside the jobs).
+fn batch_blocked(
+    engine: &MatchEngine,
+    schemas: &[&Schema],
+    selection: &Selection,
+) -> BatchMeasurement {
+    let t0 = Instant::now();
+    let batch = engine.batch().plan_all_pairs(schemas);
+    let result = batch.run_select_only(selection);
+    let total_secs = t0.elapsed().as_secs_f64();
+    BatchMeasurement {
+        total_secs,
+        plan_secs: batch.plan_time().as_secs_f64(),
+        pairs_scored: result.pairs_scored(),
+        cross_product: result.pairs_considered(),
+        selections: result
+            .pairs
+            .iter()
+            .map(|p| selected_tuples(&p.selected))
+            .collect(),
+    }
+}
+
+struct ArityPoint {
+    label: &'static str,
+    schemas: usize,
+    pairs: usize,
+    elements: usize,
+    cross_product: usize,
+    pairs_scored: usize,
+    dense_secs: f64,
+    batch_secs: f64,
+    plan_secs: f64,
+    equal_selections: bool,
+}
+
+fn measure(label: &'static str, n: usize, seed: u64, engine: &MatchEngine) -> ArityPoint {
+    let population = SyntheticRepository::generate(&RepositoryConfig {
+        seed,
+        domains: 1,
+        schemas_per_domain: n,
+        concepts_per_domain: 48,
+        concept_coverage: 0.7,
+        attrs_per_concept: (5, 9),
+    });
+    let schemas: Vec<&Schema> = population.schemas.iter().collect();
+    let elements: usize = schemas.iter().map(|s| s.len()).sum();
+    let selection = Selection::OneToOne {
+        min: Confidence::new(THRESHOLD),
+    };
+
+    // Warm the feature cache once so both sides measure execution, not
+    // first-touch preparation (both amortize it identically in steady
+    // state; the batch additionally amortizes the index builds, which stay
+    // in the measurement as part of its Plan stage).
+    for s in &schemas {
+        let _ = engine.prepare(s);
+    }
+
+    let mut dense_runs: Vec<(f64, Vec<SelectedPairs>)> = (0..REPS)
+        .map(|_| sequential_dense(engine, &schemas, &selection))
+        .collect();
+    dense_runs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let (dense_secs, dense_selections) = dense_runs.swap_remove(REPS / 2);
+
+    let mut batch_runs: Vec<BatchMeasurement> = (0..REPS)
+        .map(|_| batch_blocked(engine, &schemas, &selection))
+        .collect();
+    batch_runs.sort_by(|a, b| a.total_secs.partial_cmp(&b.total_secs).expect("finite"));
+    let batch = batch_runs.swap_remove(REPS / 2);
+
+    let equal_selections = dense_selections == batch.selections;
+    ArityPoint {
+        label,
+        schemas: n,
+        pairs: n * (n - 1) / 2,
+        elements,
+        cross_product: batch.cross_product,
+        pairs_scored: batch.pairs_scored,
+        dense_secs,
+        batch_secs: batch.total_secs,
+        plan_secs: batch.plan_secs,
+        equal_selections,
+    }
+}
+
+fn point_json(p: &ArityPoint) -> String {
+    format!(
+        "\"{label}\": {{\n    \"schemas\": {schemas},\n    \"pairs\": {pairs},\n    \
+         \"elements\": {elements},\n    \"cross_product\": {cross},\n    \
+         \"pairs_scored\": {scored},\n    \"scored_fraction\": {fraction:.6},\n    \
+         \"sequential_dense_secs\": {dense:.6},\n    \"batch_blocked_secs\": {batch:.6},\n    \
+         \"batch_plan_secs\": {plan:.6},\n    \"ratio\": {ratio:.6},\n    \
+         \"equal_selections\": {equal}\n  }}",
+        label = p.label,
+        schemas = p.schemas,
+        pairs = p.pairs,
+        elements = p.elements,
+        cross = p.cross_product,
+        scored = p.pairs_scored,
+        fraction = p.pairs_scored as f64 / p.cross_product.max(1) as f64,
+        dense = p.dense_secs,
+        batch = p.batch_secs,
+        plan = p.plan_secs,
+        ratio = p.batch_secs / p.dense_secs.max(1e-12),
+        equal = p.equal_selections,
+    )
+}
+
+fn main() {
+    header(
+        "nway_baseline",
+        "sequential-dense vs batch-blocked pairwise population at 5-schema and 12-schema arity",
+    );
+    let threads = detect_threads();
+    let engine = MatchEngine::new()
+        .with_normalizer(Normalizer::new())
+        .with_threads(threads);
+    println!("threads: {threads}, threshold: {THRESHOLD}, reps: {REPS} (median)\n");
+
+    let points = [
+        measure("five_schema", 5, 2010, &engine),
+        measure("twelve_schema", 12, 2021, &engine),
+    ];
+    for p in &points {
+        println!(
+            "{:<14} {} schemata / {} pairs / {} elements: dense {:>8.3}s  batch {:>8.3}s \
+             (plan {:.3}s)  ratio {:.3}  scored {:.1}%  equal selections: {}",
+            p.label,
+            p.schemas,
+            p.pairs,
+            p.elements,
+            p.dense_secs,
+            p.batch_secs,
+            p.plan_secs,
+            p.batch_secs / p.dense_secs.max(1e-12),
+            100.0 * p.pairs_scored as f64 / p.cross_product.max(1) as f64,
+            p.equal_selections,
+        );
+        assert!(
+            p.equal_selections,
+            "{}: batch-blocked selections diverged from the dense loop",
+            p.label
+        );
+    }
+
+    // Hand-rolled JSON (the offline serde stand-in has no serializer).
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"threshold\": {THRESHOLD},\n  \"reps\": {REPS},\n  \
+         {five},\n  {twelve}\n}}\n",
+        five = point_json(&points[0]),
+        twelve = point_json(&points[1]),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nway.json");
+    std::fs::write(out, &json).expect("write BENCH_nway.json");
+    println!("\nwrote {out}");
+}

@@ -1,0 +1,624 @@
+//! Batch match planning: one shared index and one worker pool for a whole
+//! many-pair workload.
+//!
+//! The paper's enterprise scenarios are inherently *many-pair*: the
+//! five-schema comprehensive vocabulary (§3.4) needs all 10 unordered pairs,
+//! clustering for consolidation compares every registry schema with every
+//! other, COI agreement matches each member against each member. Executing
+//! those as a loop of independent two-schema runs repays per-pair costs that
+//! are really per-*schema*: linguistic preparation (already cached by
+//! [`FeatureCache`]) and — before this module — the token-blocking index,
+//! which `generate_candidates` rebuilt twice per pair (once per probe
+//! direction), i.e. `N·(N−1)` builds for an N-way effort that needs exactly
+//! `N`.
+//!
+//! [`BatchPlanner::plan`] front-loads all shared work into a **Plan** stage
+//! (reported as [`StageTimings::plan`]): every schema is prepared through
+//! the engine's cache (concurrently, on the executor, with
+//! [`FeatureCache::get_or_prepare`] coalescing racing preparations of the
+//! same content) and indexed exactly once into a [`BatchIndex`] — the
+//! multi-schema token index, partitioned per schema so each pair's IDF
+//! weights are bit-for-bit those of a standalone run. [`MatchBatch::run`]
+//! then executes all requested pairs concurrently on the persistent
+//! [`Executor`]: pairs are job-level lanes claiming from the batch's
+//! request queue, and each pair's Score/Merge stage fans its row chunks out
+//! to the *same* pool, so an idle worker steals chunk work from the
+//! straggler pair instead of idling at the tail (two-level scheduling; see
+//! [`crate::exec`]).
+//!
+//! The contract mirrors the blocking index's: batching is an *execution*
+//! change, never a semantics change. Per-pair results are byte-identical to
+//! a sequential `run_blocked` loop over the same requests — pinned in
+//! `tests/batch_pin.rs` across seeds, pair counts, and pool widths.
+
+use crate::correspondence::MatchSet;
+use crate::engine::{BlockedMatchResult, MatchEngine};
+use crate::exec::Executor;
+use crate::index::{BlockingPolicy, ElementTokenIndex};
+use crate::pipeline::StageTimings;
+use crate::prepare::{CacheStats, FeatureCache, PreparedSchema};
+use crate::select::Selection;
+use sm_schema::Schema;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One requested pairwise match: indices into the batch's schema list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairRequest {
+    /// Source-side schema slot.
+    pub left: usize,
+    /// Target-side schema slot.
+    pub right: usize,
+}
+
+impl From<(usize, usize)> for PairRequest {
+    fn from((left, right): (usize, usize)) -> Self {
+        PairRequest { left, right }
+    }
+}
+
+/// Plans batches over one engine's configuration (obtained from
+/// [`MatchEngine::batch`]).
+pub struct BatchPlanner<'e> {
+    engine: &'e MatchEngine,
+    policy: BlockingPolicy,
+}
+
+impl<'e> BatchPlanner<'e> {
+    pub(crate) fn new(engine: &'e MatchEngine) -> Self {
+        BatchPlanner {
+            engine,
+            policy: BlockingPolicy::default(),
+        }
+    }
+
+    /// Use a specific blocking policy for every pair of the batch
+    /// ([`BlockingPolicy::Exhaustive`] reproduces dense runs byte for byte).
+    pub fn with_policy(mut self, policy: BlockingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Plan a batch: prepare all `schemas` and build the shared
+    /// [`BatchIndex`] up front (the Plan stage), recording the requested
+    /// pairs for [`MatchBatch::run`].
+    ///
+    /// # Panics
+    /// Panics when a request indexes outside `schemas`.
+    pub fn plan<'s>(
+        &self,
+        schemas: &[&'s Schema],
+        requests: impl IntoIterator<Item = impl Into<PairRequest>>,
+    ) -> MatchBatch<'e, 's> {
+        let requests: Vec<PairRequest> = requests.into_iter().map(Into::into).collect();
+        for r in &requests {
+            assert!(
+                r.left < schemas.len() && r.right < schemas.len(),
+                "pair request ({}, {}) outside the {}-schema batch",
+                r.left,
+                r.right,
+                schemas.len()
+            );
+        }
+
+        let cache = self.engine.feature_cache();
+        let exec = self.engine.executor();
+        let started = Instant::now();
+        let stats_before = cache.stats();
+        // The engine's thread cap bounds planning lanes exactly like the
+        // execute phase's job lanes. An exhaustive batch never probes an
+        // index (candidate generation short-circuits to the full cross
+        // product), so building one would be dead work.
+        let prepared = prepare_schemas(cache, exec, self.engine.threads, schemas);
+        let index = if matches!(self.policy, BlockingPolicy::Exhaustive) {
+            BatchIndex::empty()
+        } else {
+            BatchIndex::build(exec, self.engine.threads, &prepared)
+        };
+        let stats_after = cache.stats();
+        let plan = started.elapsed();
+
+        MatchBatch {
+            engine: self.engine,
+            policy: self.policy,
+            schemas: schemas.to_vec(),
+            prepared,
+            index,
+            requests,
+            plan,
+            cache: delta_stats(stats_before, stats_after),
+        }
+    }
+
+    /// Plan every unordered pair `(i, j)` with `i < j` — the N-way shape.
+    pub fn plan_all_pairs<'s>(&self, schemas: &[&'s Schema]) -> MatchBatch<'e, 's> {
+        let n = schemas.len();
+        let requests =
+            (0..n).flat_map(move |i| ((i + 1)..n).map(move |j| PairRequest { left: i, right: j }));
+        self.plan(schemas, requests)
+    }
+}
+
+/// Counter movement of the feature cache across one batch phase.
+/// `hits`/`misses`/`evictions` are after−before deltas; `entries` is the
+/// absolute resident count at the end of the phase (an occupancy gauge has
+/// no meaningful delta).
+fn delta_stats(before: CacheStats, after: CacheStats) -> CacheStats {
+    CacheStats {
+        hits: after.hits.saturating_sub(before.hits),
+        misses: after.misses.saturating_sub(before.misses),
+        evictions: after.evictions.saturating_sub(before.evictions),
+        entries: after.entries,
+    }
+}
+
+/// Prepare many schemata through one cache, concurrently on the executor
+/// (at most `parallelism` lanes — callers bound by an engine pass its
+/// thread cap; standalone bulk consumers pass `exec.threads()`).
+///
+/// Lanes claim schema slots from a shared queue;
+/// [`FeatureCache::get_or_prepare`] guarantees a fingerprint is built at
+/// most once even when two lanes (or two batches) race on equal content.
+/// Exposed for the enterprise layer's bulk operations (clustering,
+/// feasibility, repository warming), whose per-schema loops this replaces.
+pub fn prepare_schemas(
+    cache: &FeatureCache,
+    exec: &Executor,
+    parallelism: usize,
+    schemas: &[&Schema],
+) -> Vec<Arc<PreparedSchema>> {
+    exec.run_map(parallelism, schemas, |_, schema| {
+        cache.get_or_prepare(schema)
+    })
+}
+
+/// [`prepare_schemas`] against the process-wide cache and executor at full
+/// pool width — the standalone bulk-prepare the enterprise operators
+/// (clustering, feasibility, repository warming) share.
+pub fn prepare_schemas_global(schemas: &[&Schema]) -> Vec<Arc<PreparedSchema>> {
+    let exec = Executor::global();
+    prepare_schemas(FeatureCache::global(), exec, exec.threads(), schemas)
+}
+
+/// The batch's shared multi-schema token index: every schema of the batch
+/// indexed exactly once, partitioned per schema.
+///
+/// Partitioning is what keeps batching invisible to results: blocking
+/// weights are IDF-smoothed per opposing schema (`ln((n+1)/(df+1))+1` with
+/// that schema's `n` and `df`), so candidate generation for a pair reads
+/// only that pair's two partitions and reproduces the standalone
+/// [`ElementTokenIndex`] probe bit for bit — while an N-way batch performs
+/// `N` index builds instead of the sequential loop's `N·(N−1)`.
+#[derive(Debug)]
+pub struct BatchIndex {
+    per_schema: Vec<ElementTokenIndex>,
+}
+
+impl BatchIndex {
+    /// Index every prepared schema, concurrently on the executor (at most
+    /// `parallelism` lanes).
+    pub fn build(exec: &Executor, parallelism: usize, prepared: &[Arc<PreparedSchema>]) -> Self {
+        BatchIndex {
+            per_schema: exec.run_map(parallelism, prepared, |_, prepared| {
+                ElementTokenIndex::build(prepared)
+            }),
+        }
+    }
+
+    /// An index over no schemata — what an exhaustive batch carries, since
+    /// its candidate generation never probes one.
+    pub fn empty() -> Self {
+        BatchIndex {
+            per_schema: Vec::new(),
+        }
+    }
+
+    /// Number of indexed schemata.
+    pub fn len(&self) -> usize {
+        self.per_schema.len()
+    }
+
+    /// True when the batch holds no schemata.
+    pub fn is_empty(&self) -> bool {
+        self.per_schema.is_empty()
+    }
+
+    /// The partition of one schema slot.
+    pub fn schema(&self, slot: usize) -> &ElementTokenIndex {
+        &self.per_schema[slot]
+    }
+}
+
+/// A planned batch: prepared schemata, the shared index, and the request
+/// list, ready to execute (possibly several times).
+pub struct MatchBatch<'e, 's> {
+    engine: &'e MatchEngine,
+    policy: BlockingPolicy,
+    schemas: Vec<&'s Schema>,
+    prepared: Vec<Arc<PreparedSchema>>,
+    index: BatchIndex,
+    requests: Vec<PairRequest>,
+    plan: Duration,
+    cache: CacheStats,
+}
+
+impl MatchBatch<'_, '_> {
+    /// The planned pair requests, in execution-result order.
+    pub fn requests(&self) -> &[PairRequest] {
+        &self.requests
+    }
+
+    /// The prepared schemata, in schema-list order.
+    pub fn prepared(&self) -> &[Arc<PreparedSchema>] {
+        &self.prepared
+    }
+
+    /// The shared multi-schema token index ([`BatchIndex::empty`] for an
+    /// exhaustive batch, which never probes one).
+    pub fn index(&self) -> &BatchIndex {
+        &self.index
+    }
+
+    /// Wall-clock time of the Plan stage (bulk prepare + index build).
+    pub fn plan_time(&self) -> Duration {
+        self.plan
+    }
+
+    /// Execute every requested pair concurrently on the engine's executor.
+    pub fn run(&self) -> BatchResult {
+        self.execute(None)
+    }
+
+    /// [`Self::run`], additionally applying `selection` to every pair's
+    /// matrix (the Select stage, timed per pair).
+    pub fn run_select(&self, selection: &Selection) -> BatchResult {
+        self.execute(Some(selection))
+    }
+
+    /// Selection-only execution: apply `selection` to every pair and keep
+    /// just the selected correspondences plus lightweight stats — each
+    /// pair's matrix and candidate set drop inside the job, right after
+    /// selection. This is the memory-bounded path for bulk consumers that
+    /// never read scores (n-way population, repository bulk recording, COI
+    /// evidence): a [`Self::run_select`] over P pairs retains P full
+    /// matrices until its result drops, where this holds at most
+    /// one-per-lane transiently.
+    pub fn run_select_only(&self, selection: &Selection) -> BatchSelectResult {
+        let started = Instant::now();
+        let pairs: Vec<BatchSelection> = self.engine.executor().run_map(
+            self.engine.threads,
+            &self.requests,
+            |_, &PairRequest { left, right }| {
+                let mut run = self.run_pair(left, right);
+                let select_started = Instant::now();
+                let selected = selection.apply(&run.matrix);
+                run.timings.select = select_started.elapsed();
+                BatchSelection {
+                    left,
+                    right,
+                    selected,
+                    pairs_considered: run.pairs_considered,
+                    pairs_scored: run.pairs_scored,
+                    timings: run.timings,
+                }
+            },
+        );
+        let mut timings = StageTimings {
+            plan: self.plan,
+            ..StageTimings::default()
+        };
+        for p in &pairs {
+            timings.accumulate(&p.timings);
+        }
+        BatchSelectResult {
+            pairs,
+            timings,
+            cache: self.cache,
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// One pair's blocked run against the batch's shared preparation and
+    /// index (exhaustive batches carry no index — candidate generation
+    /// short-circuits before probing).
+    fn run_pair(&self, left: usize, right: usize) -> crate::pipeline::BlockedRun {
+        let indices = (!matches!(self.policy, BlockingPolicy::Exhaustive))
+            .then(|| (self.index.schema(left), self.index.schema(right)));
+        self.engine.pipeline().run_blocked_prepared(
+            self.schemas[left],
+            self.schemas[right],
+            &self.prepared[left],
+            &self.prepared[right],
+            indices,
+            &self.policy,
+        )
+    }
+
+    fn execute(&self, selection: Option<&Selection>) -> BatchResult {
+        let started = Instant::now();
+
+        // Job-level lanes claim whole pairs; each pair's Score/Merge fans
+        // chunk lanes out to the same pool (see the module docs).
+        let pairs: Vec<BatchPairResult> = self.engine.executor().run_map(
+            self.engine.threads,
+            &self.requests,
+            |_, &PairRequest { left, right }| {
+                let pair_started = Instant::now();
+                let mut run = self.run_pair(left, right);
+                let selected = selection.map(|sel| {
+                    let select_started = Instant::now();
+                    let set = sel.apply(&run.matrix);
+                    run.timings.select = select_started.elapsed();
+                    set
+                });
+                BatchPairResult {
+                    left,
+                    right,
+                    selected,
+                    result: BlockedMatchResult {
+                        matrix: run.matrix,
+                        elapsed: pair_started.elapsed(),
+                        pairs_considered: run.pairs_considered,
+                        pairs_scored: run.pairs_scored,
+                        candidates: run.candidates,
+                        timings: run.timings,
+                    },
+                }
+            },
+        );
+        let mut timings = StageTimings {
+            plan: self.plan,
+            ..StageTimings::default()
+        };
+        for p in &pairs {
+            timings.accumulate(&p.result.timings);
+        }
+        BatchResult {
+            pairs,
+            timings,
+            cache: self.cache,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+/// One pair's outcome within a batch.
+#[derive(Debug)]
+pub struct BatchPairResult {
+    /// Source-side schema slot of the request.
+    pub left: usize,
+    /// Target-side schema slot of the request.
+    pub right: usize,
+    /// The pair's match result — byte-identical to a standalone
+    /// [`MatchEngine::run_blocked`] under the batch's policy.
+    pub result: BlockedMatchResult,
+    /// Selected correspondences when the batch ran with a selection.
+    pub selected: Option<MatchSet>,
+}
+
+/// Outcome of one batch execution.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-pair results, in request order.
+    pub pairs: Vec<BatchPairResult>,
+    /// Aggregated stage timings: the batch's Plan stage plus the sum of
+    /// every pair's per-stage times (CPU-time-like across concurrent pairs,
+    /// so stages remain comparable with sequential runs).
+    pub timings: StageTimings,
+    /// Feature-cache counter movement during planning — how much of the
+    /// preparation was amortized (`hits`) versus newly built (`misses`),
+    /// and whether planning displaced resident entries (`evictions`).
+    ///
+    /// `hits`/`misses`/`evictions` are before/after deltas of the engine's
+    /// cache counters; `entries` is the absolute resident count after
+    /// planning (occupancy, not movement). On a *shared* cache (the global
+    /// default) traffic from other engines planning concurrently is
+    /// attributed to this batch too — treat the deltas as exact only for a
+    /// private cache or an otherwise-idle process, and as an upper bound
+    /// under concurrency.
+    pub cache: CacheStats,
+    /// Wall-clock time of the execution phase (planning is
+    /// [`MatchBatch::plan_time`]).
+    pub elapsed: Duration,
+}
+
+impl BatchResult {
+    /// Total candidate pairs scored across the batch.
+    pub fn pairs_scored(&self) -> usize {
+        self.pairs.iter().map(|p| p.result.pairs_scored).sum()
+    }
+
+    /// Total cross-product size across the batch.
+    pub fn pairs_considered(&self) -> usize {
+        self.pairs.iter().map(|p| p.result.pairs_considered).sum()
+    }
+}
+
+/// One pair's selection-only outcome within a batch
+/// ([`MatchBatch::run_select_only`]).
+#[derive(Debug)]
+pub struct BatchSelection {
+    /// Source-side schema slot of the request.
+    pub left: usize,
+    /// Target-side schema slot of the request.
+    pub right: usize,
+    /// The selected correspondences — identical to applying the selection
+    /// to the pair's [`MatchEngine::run_blocked`] matrix.
+    pub selected: MatchSet,
+    /// Size of the pair's full cross product.
+    pub pairs_considered: usize,
+    /// Candidate pairs the voter panel actually scored.
+    pub pairs_scored: usize,
+    /// Per-stage wall-clock timings of the pair.
+    pub timings: StageTimings,
+}
+
+/// Outcome of one selection-only batch execution (matrices were dropped
+/// per pair; see [`MatchBatch::run_select_only`]).
+#[derive(Debug)]
+pub struct BatchSelectResult {
+    /// Per-pair selections, in request order.
+    pub pairs: Vec<BatchSelection>,
+    /// Aggregated stage timings (Plan plus per-pair sums, as in
+    /// [`BatchResult::timings`]).
+    pub timings: StageTimings,
+    /// Feature-cache counter movement during planning (same semantics and
+    /// caveats as [`BatchResult::cache`]).
+    pub cache: CacheStats,
+    /// Wall-clock time of the execution phase.
+    pub elapsed: Duration,
+}
+
+impl BatchSelectResult {
+    /// Total candidate pairs scored across the batch.
+    pub fn pairs_scored(&self) -> usize {
+        self.pairs.iter().map(|p| p.pairs_scored).sum()
+    }
+
+    /// Total cross-product size across the batch.
+    pub fn pairs_considered(&self) -> usize {
+        self.pairs.iter().map(|p| p.pairs_considered).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::Confidence;
+    use sm_schema::{DataType, ElementKind, SchemaFormat, SchemaId};
+    use sm_text::normalize::Normalizer;
+
+    fn schema(id: u32, words: &[&str]) -> Schema {
+        let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+        let r = s.add_root("Record", ElementKind::Group, DataType::None);
+        for w in words {
+            s.add_child(r, *w, ElementKind::Column, DataType::text())
+                .unwrap();
+        }
+        s
+    }
+
+    fn trio() -> Vec<Schema> {
+        vec![
+            schema(1, &["begin_date", "location_name", "remarks"]),
+            schema(2, &["BeginDate", "LocationName", "priority"]),
+            schema(3, &["start_date", "site_name", "severity"]),
+        ]
+    }
+
+    fn engine() -> MatchEngine {
+        MatchEngine::new().with_normalizer(Normalizer::new())
+    }
+
+    #[test]
+    fn batch_matches_sequential_run_blocked_loop() {
+        let schemas = trio();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = engine().with_threads(2);
+        let batch = engine.batch().plan_all_pairs(&refs);
+        let result = batch.run();
+        assert_eq!(result.pairs.len(), 3);
+        for p in &result.pairs {
+            let standalone =
+                engine.run_blocked(refs[p.left], refs[p.right], &BlockingPolicy::default());
+            assert_eq!(
+                p.result.matrix.as_slice(),
+                standalone.matrix.as_slice(),
+                "batched pair ({}, {}) diverged from the standalone run",
+                p.left,
+                p.right
+            );
+            assert_eq!(p.result.pairs_scored, standalone.pairs_scored);
+        }
+        assert!(result.timings.plan > Duration::ZERO);
+        assert!(result.timings.total() >= result.timings.plan);
+    }
+
+    #[test]
+    fn plan_amortizes_preparation() {
+        let schemas = trio();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = engine();
+        let batch = engine.batch().plan_all_pairs(&refs);
+        assert_eq!(batch.prepared().len(), 3);
+        assert_eq!(batch.index().len(), 3);
+        assert_eq!(batch.requests().len(), 3);
+        // Cold plan: every schema prepared exactly once, no re-preparation
+        // per pair.
+        assert_eq!(batch.cache.misses, 3);
+        // A second plan over the same schemata is all hits.
+        let batch2 = engine.batch().plan_all_pairs(&refs);
+        assert_eq!(batch2.cache.misses, 0);
+        assert_eq!(batch2.cache.hits, 3);
+    }
+
+    #[test]
+    fn run_select_attaches_selections() {
+        let schemas = trio();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = engine();
+        let selection = Selection::OneToOne {
+            min: Confidence::new(0.2),
+        };
+        let result = engine.batch().plan_all_pairs(&refs).run_select(&selection);
+        for p in &result.pairs {
+            let expected = selection.apply(&p.result.matrix);
+            let got = p.selected.as_ref().expect("selection ran");
+            assert_eq!(got.len(), expected.len());
+        }
+    }
+
+    #[test]
+    fn run_select_only_matches_run_select() {
+        let schemas = trio();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = engine();
+        let selection = Selection::OneToOne {
+            min: Confidence::new(0.2),
+        };
+        let batch = engine.batch().plan_all_pairs(&refs);
+        let full = batch.run_select(&selection);
+        let lean = batch.run_select_only(&selection);
+        assert_eq!(full.pairs.len(), lean.pairs.len());
+        for (f, l) in full.pairs.iter().zip(&lean.pairs) {
+            assert_eq!((f.left, f.right), (l.left, l.right));
+            assert_eq!(f.result.pairs_scored, l.pairs_scored);
+            let f_sel = f.selected.as_ref().expect("selection ran");
+            assert_eq!(f_sel.len(), l.selected.len());
+            for (a, b) in f_sel.all().iter().zip(l.selected.all()) {
+                assert_eq!((a.source, a.target), (b.source, b.target));
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_requests_execute_in_order() {
+        let schemas = trio();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = engine();
+        let result = engine.batch().plan(&refs, [(2usize, 0usize), (0, 1)]).run();
+        assert_eq!(result.pairs.len(), 2);
+        assert_eq!((result.pairs[0].left, result.pairs[0].right), (2, 0));
+        assert_eq!((result.pairs[1].left, result.pairs[1].right), (0, 1));
+        assert_eq!(result.pairs_considered(), 2 * 4 * 4);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = engine();
+        let result = engine
+            .batch()
+            .plan(&[] as &[&Schema], Vec::<PairRequest>::new())
+            .run();
+        assert!(result.pairs.is_empty());
+        assert_eq!(result.pairs_scored(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn out_of_range_request_rejected() {
+        let schemas = trio();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let _ = engine().batch().plan(&refs, [(0usize, 7usize)]);
+    }
+}

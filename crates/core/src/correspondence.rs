@@ -107,6 +107,22 @@ impl MatchSet {
         self.correspondences.push(c);
     }
 
+    /// A copy of `selected` with every correspondence validated as
+    /// `asserted_by` under `annotation` — the auto-validation step every
+    /// machine-selected batch (n-way population, repository bulk
+    /// recording) applies before recording.
+    pub fn validated_from(
+        selected: &MatchSet,
+        asserted_by: &str,
+        annotation: MatchAnnotation,
+    ) -> MatchSet {
+        let mut validated = MatchSet::new();
+        for c in selected.all() {
+            validated.push(c.clone().validate(asserted_by.to_string(), annotation));
+        }
+        validated
+    }
+
     /// All correspondences.
     pub fn all(&self) -> &[Correspondence] {
         &self.correspondences

@@ -1,0 +1,467 @@
+//! The persistent executor: one worker pool for every match workload.
+//!
+//! Before this module, every `MatchPipeline::run` / `run_blocked` invocation
+//! spawned its own `std::thread::scope` workers and joined them at the end of
+//! the stage — fine for one heavyweight match, but a many-pair workload (the
+//! paper's five-schema vocabulary effort, clustering for consolidation, COI
+//! agreement) paid thread creation and teardown once per pair per stage.
+//! [`Executor`] replaces that with a pool of persistent workers created once
+//! (lazily, for the [`Executor::global`] instance) and fed through a shared
+//! injector queue.
+//!
+//! Scheduling is two-level:
+//!
+//! * **job level** — a batch (see [`crate::batch`]) enqueues its pairs as
+//!   independent lanes; each lane claims whole pairs from the batch's job
+//!   queue;
+//! * **chunk level** — inside one pair, the Score/Merge stage enqueues its
+//!   row-shard lanes onto the *same* pool, so an idle worker can steal chunk
+//!   work from whichever pair is currently the straggler instead of sitting
+//!   out the tail.
+//!
+//! Both levels use [`Executor::run_lanes`], whose contract makes nesting
+//! deadlock-free: the calling thread always executes lane 0 itself, so a
+//! lane body that drains a shared claim queue completes even when the pool
+//! is saturated and no helper lane ever starts. Helper lanes that arrive
+//! after the queue is drained return immediately. A consequence worth
+//! stating: the pool bounds *helpers*, not correctness — results are
+//! byte-identical for every pool size, including zero helpers, because all
+//! parallel stages write disjoint output and claim work from deterministic
+//! queues.
+//!
+//! The global pool is sized by [`crate::engine::detect_threads`] (so the
+//! `SM_THREADS` override reaches it) at first use; tests and embedders that
+//! need a specific width inject their own instance via
+//! [`crate::engine::MatchEngine::with_executor`].
+
+use crate::engine::detect_threads;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of pool work: an erased helper-lane closure, tagged with the
+/// `run_lanes` invocation that enqueued it so the owner can claim its own
+/// pending helpers back while waiting (see the cooperative wait in
+/// [`Executor::run_lanes`]).
+struct Task {
+    owner: u64,
+    run: Box<dyn FnOnce() + Send>,
+}
+
+/// Shared state between an executor handle and its workers.
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signalled when a task is enqueued or shutdown is requested.
+    wake: Condvar,
+    /// Ticket counter handing each `run_lanes` invocation a unique owner id.
+    next_owner: std::sync::atomic::AtomicU64,
+}
+
+#[derive(Default)]
+struct PoolQueue {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+/// A persistent pool of worker threads with a shared injector queue.
+///
+/// Workers live for the lifetime of the executor ([`Executor::global`] lives
+/// for the process). Work is submitted through [`Executor::run_lanes`]; see
+/// the module docs for the two-level scheduling model.
+pub struct Executor {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// A pool with `threads` persistent workers (values < 1 are treated
+    /// as 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue::default()),
+            wake: Condvar::new(),
+            next_owner: std::sync::atomic::AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sm-exec-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    /// The process-wide executor, created on first use and sized by
+    /// [`detect_threads`] (`SM_THREADS` override → `available_parallelism`
+    /// → `/proc/cpuinfo`). `MatchEngine::new()` runs on this instance
+    /// unless given a private one.
+    pub fn global() -> &'static Arc<Executor> {
+        static GLOBAL: OnceLock<Arc<Executor>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(Executor::new(detect_threads())))
+    }
+
+    /// Number of persistent pool workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Tasks currently queued but not yet claimed by a worker (observability
+    /// for benches; racy by nature).
+    pub fn queued(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("executor poisoned")
+            .tasks
+            .len()
+    }
+
+    /// Parallel indexed map: apply `f` to every item of `items`, returning
+    /// the results in item order. Lanes claim items from a shared queue
+    /// (one item at a time — the right granularity when each item is
+    /// itself substantial, like preparing a schema or executing a pair);
+    /// any subset of lanes completes the whole job, per the
+    /// [`Self::run_lanes`] contract. One lane per item at most.
+    pub fn run_map<T, R, F>(&self, parallelism: usize, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(items.len(), || None);
+        let queue = Mutex::new(slots.iter_mut().zip(items.iter()).enumerate());
+        self.run_lanes(parallelism.min(items.len()), |_| loop {
+            let claimed = queue.lock().expect("run_map queue poisoned").next();
+            let Some((index, (slot, item))) = claimed else {
+                break;
+            };
+            *slot = Some(f(index, item));
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every item mapped"))
+            .collect()
+    }
+
+    /// Execute `work(lane)` from up to `parallelism` concurrent lanes and
+    /// return when every lane has finished.
+    ///
+    /// Lane 0 always runs on the calling thread; lanes `1..` are offered to
+    /// the pool (capped at the pool width — extra lanes beyond the worker
+    /// count could never run concurrently anyway). `work` must be written as
+    /// a *claim loop* over shared state: any subset of lanes, in any order,
+    /// must complete the whole job, because a helper lane may start
+    /// arbitrarily late — or find the queue already drained — when the pool
+    /// is busy with other jobs. This is exactly the shape of the pipeline's
+    /// chunked work-stealing and the batch's pair queue.
+    ///
+    /// Panics in any lane are captured, every other lane is still waited
+    /// for (the borrow of `work` must outlive all helpers), and the first
+    /// panic is then propagated on the calling thread.
+    pub fn run_lanes<F>(&self, parallelism: usize, work: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let helpers = parallelism.max(1).saturating_sub(1).min(self.threads);
+        if helpers == 0 {
+            work(0);
+            return;
+        }
+
+        let sync = LaneSync {
+            state: Mutex::new(LaneState {
+                remaining: helpers,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        };
+        // Erase the stack lifetimes of `work` and `sync`. Soundness: this
+        // function does not return (or unwind) before `remaining` reaches
+        // zero, i.e. before every helper closure has finished running, so
+        // the raw pointers never dangle.
+        let work_ref: &(dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync + '_), &(dyn Fn(usize) + Sync + 'static)>(
+                &work,
+            )
+        };
+        let launch = LanePointers {
+            work: std::ptr::from_ref(work_ref),
+            sync: std::ptr::from_ref(&sync),
+        };
+        let owner = self
+            .shared
+            .next_owner
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        {
+            let mut queue = self.shared.queue.lock().expect("executor poisoned");
+            for lane in 1..=helpers {
+                let ptrs = launch;
+                let run = Box::new(move || {
+                    // Rebind the whole struct: edition-2021 disjoint capture
+                    // would otherwise capture the raw-pointer fields
+                    // individually and lose the struct's `Send` impl.
+                    let ptrs = ptrs;
+                    // SAFETY: `run_lanes` keeps `work` and `sync` alive
+                    // until this closure signals completion below.
+                    let (work, sync) = unsafe { (&*ptrs.work, &*ptrs.sync) };
+                    let outcome = catch_unwind(AssertUnwindSafe(|| work(lane)));
+                    let mut state = sync.state.lock().expect("lane sync poisoned");
+                    if let Err(payload) = outcome {
+                        state.panic.get_or_insert(payload);
+                    }
+                    state.remaining -= 1;
+                    if state.remaining == 0 {
+                        sync.done.notify_all();
+                    }
+                });
+                queue.tasks.push_back(Task { owner, run });
+            }
+            drop(queue);
+            self.shared.wake.notify_all();
+        }
+
+        // Lane 0 on the calling thread. Even if it panics, helpers must be
+        // waited for before unwinding (see the safety note above).
+        let own = catch_unwind(AssertUnwindSafe(|| work_ref(0)));
+
+        // Cooperative wait: while our helpers are pending, reclaim and run
+        // *our own* still-queued helper tasks instead of blocking. This is
+        // what makes nested fan-out (a batch job lane running on a pool
+        // worker, fanning its pair's row chunks out to the same pool)
+        // deadlock-free on any pool width: the latch only ever waits on
+        // this invocation's tasks, and every one of them is either still in
+        // the queue (we run it here) or already claimed by another thread
+        // (it finishes without needing us — helper bodies are
+        // self-contained claim loops). Foreign tasks are deliberately left
+        // alone: executing another job's whole-pair task here would bound a
+        // millisecond run's latency by a stranger's seconds-long work.
+        loop {
+            if sync.state.lock().expect("lane sync poisoned").remaining == 0 {
+                break;
+            }
+            let reclaimed = {
+                let mut queue = self.shared.queue.lock().expect("executor poisoned");
+                queue
+                    .tasks
+                    .iter()
+                    .position(|t| t.owner == owner)
+                    .and_then(|at| queue.tasks.remove(at))
+            };
+            match reclaimed {
+                // The task body records its own panic in the latch; the
+                // catch_unwind here enforces the unsafe contract locally
+                // (nothing may unwind out of this frame before
+                // `remaining == 0`) even for a non-conforming future task.
+                Some(task) => {
+                    let _ = catch_unwind(AssertUnwindSafe(task.run));
+                }
+                None => {
+                    let mut state = sync.state.lock().expect("lane sync poisoned");
+                    while state.remaining > 0 {
+                        state = sync.done.wait(state).expect("lane sync poisoned");
+                    }
+                    break;
+                }
+            }
+        }
+        let helper_panic = sync.state.lock().expect("lane sync poisoned").panic.take();
+
+        if let Err(payload) = own {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(payload) = helper_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("executor poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Completion latch of one `run_lanes` invocation.
+struct LaneSync {
+    state: Mutex<LaneState>,
+    done: Condvar,
+}
+
+struct LaneState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Lifetime-erased pointers shipped into helper-lane tasks.
+#[derive(Clone, Copy)]
+struct LanePointers {
+    work: *const (dyn Fn(usize) + Sync),
+    sync: *const LaneSync,
+}
+
+// SAFETY: the pointees are `Sync` (`work` by bound, `LaneSync` by
+// construction) and outlive the tasks; see `run_lanes`.
+unsafe impl Send for LanePointers {}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("executor poisoned");
+            loop {
+                if let Some(task) = queue.tasks.pop_front() {
+                    break task;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.wake.wait(queue).expect("executor poisoned");
+            }
+        };
+        // Lane closures catch and record their own panics; this guard only
+        // keeps a non-conforming task from killing the pool worker.
+        let _ = catch_unwind(AssertUnwindSafe(task.run));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_lane_runs_inline() {
+        let exec = Executor::new(2);
+        let hits = AtomicUsize::new(0);
+        exec.run_lanes(1, |lane| {
+            assert_eq!(lane, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn all_lanes_observe_distinct_indices() {
+        let exec = Executor::new(4);
+        let seen = Mutex::new(Vec::new());
+        exec.run_lanes(4, |lane| {
+            seen.lock().unwrap().push(lane);
+        });
+        let mut lanes = seen.into_inner().unwrap();
+        lanes.sort_unstable();
+        assert_eq!(lanes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn claim_loop_jobs_complete_with_any_pool_width() {
+        for pool in [1usize, 2, 8] {
+            let exec = Executor::new(pool);
+            let next = AtomicUsize::new(0);
+            let done = AtomicUsize::new(0);
+            exec.run_lanes(6, |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= 100 {
+                    break;
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(done.load(Ordering::Relaxed), 100, "pool width {pool}");
+        }
+    }
+
+    #[test]
+    fn run_map_preserves_item_order() {
+        let exec = Executor::new(3);
+        let items: Vec<usize> = (0..50).collect();
+        let out = exec.run_map(4, &items, |i, &x| {
+            assert_eq!(i, x, "index must match the item's position");
+            x * 2
+        });
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(exec.run_map(4, &[] as &[usize], |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn nested_run_lanes_does_not_deadlock() {
+        let exec = Arc::new(Executor::new(2));
+        let total = AtomicUsize::new(0);
+        let outer_jobs = AtomicUsize::new(0);
+        exec.run_lanes(3, |_| loop {
+            let job = outer_jobs.fetch_add(1, Ordering::Relaxed);
+            if job >= 5 {
+                break;
+            }
+            // Each outer job fans out again on the same saturated pool.
+            exec.run_lanes(3, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        // 5 inner invocations × up to 3 lanes each; every lane body ran at
+        // least once per inner call on lane 0.
+        assert!(total.load(Ordering::Relaxed) >= 5);
+    }
+
+    #[test]
+    fn lane_panic_propagates_after_all_lanes_finish() {
+        let exec = Executor::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            exec.run_lanes(3, |lane| {
+                if lane == 0 {
+                    panic!("lane zero exploded");
+                }
+                finished.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        // The executor remains usable afterwards.
+        let hits = AtomicUsize::new(0);
+        exec.run_lanes(2, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn global_executor_is_shared_and_sized() {
+        let g1 = Executor::global();
+        let g2 = Executor::global();
+        assert!(Arc::ptr_eq(g1, g2));
+        assert!(g1.threads() >= 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let exec = Executor::new(3);
+        let hits = AtomicUsize::new(0);
+        exec.run_lanes(3, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(exec); // must not hang
+        assert!(hits.load(Ordering::Relaxed) >= 1);
+    }
+}

@@ -177,6 +177,11 @@ impl CandidateSet {
 pub struct ElementTokenIndex {
     /// Interned feature id → sorted element indices containing it.
     postings: HashMap<TokenId, Vec<u32>>,
+    /// Exact normalized-name key (the full `name_ids` sequence) → element
+    /// indices bearing that name. Backs the exact-name rescue of candidate
+    /// generation; building it here means a batch pays it once per schema,
+    /// like every other posting.
+    name_postings: HashMap<Vec<TokenId>, Vec<u32>>,
     /// The arena the feature ids point into (string-keyed lookups intern
     /// through it).
     arena: Arc<TokenArena>,
@@ -189,16 +194,35 @@ impl ElementTokenIndex {
     /// features.
     pub fn build(prepared: &PreparedSchema) -> Self {
         let mut postings: HashMap<TokenId, Vec<u32>> = HashMap::new();
+        let mut name_postings: HashMap<Vec<TokenId>, Vec<u32>> = HashMap::new();
         for idx in 0..prepared.len() {
-            for &feat in &prepared.element(idx).block_features {
+            let element = prepared.element(idx);
+            for &feat in &element.block_features {
                 postings.entry(feat).or_default().push(idx as u32);
+            }
+            if !element.name_ids.is_empty() {
+                // Clone the key only on first sight of a name — duplicate
+                // names (what this map exists for) just push.
+                match name_postings.get_mut(element.name_ids.as_slice()) {
+                    Some(list) => list.push(idx as u32),
+                    None => {
+                        name_postings.insert(element.name_ids.clone(), vec![idx as u32]);
+                    }
+                }
             }
         }
         ElementTokenIndex {
             postings,
+            name_postings,
             arena: Arc::clone(prepared.arena()),
             len: prepared.len(),
         }
+    }
+
+    /// Elements whose full normalized name equals `name_ids` (empty when
+    /// none, or when `name_ids` is empty).
+    pub fn name_postings(&self, name_ids: &[TokenId]) -> &[u32] {
+        self.name_postings.get(name_ids).map_or(&[], Vec::as_slice)
     }
 
     /// Number of indexed elements.
@@ -327,6 +351,15 @@ const CHILD_RESCUE_PARTNERS: usize = 3;
 ///
 /// Both directions are probed and unioned, then the set is closed
 /// structurally:
+/// * **exact-name rescue** — two elements whose normalized name token
+///   sequences are equal (the `exact-name` voter's own equality test, so
+///   `NM`/`name` and `Id`/`identifier` collide after abbreviation
+///   expansion) are always candidates. Exact name equality is the
+///   strongest single voter signal, but a ubiquitous name (`identifier`,
+///   `name`) carries so little IDF weight that the top-k cap can drop the
+///   true counterpart in a dense neighborhood of look-alikes; a hash join
+///   on the interned token sequences recovers exactly those pairs at
+///   `O(rows + cols + collisions)` cost;
 /// * **child rescue** — a candidate pair of containers whose overlap weight
 ///   reaches [`CHILD_RESCUE_WEIGHT`] adds its children's cross product, so
 ///   pairs that only clear the operating threshold through their parents'
@@ -343,8 +376,61 @@ pub fn generate_candidates(
 ) -> CandidateSet {
     let rows = prepared_source.len();
     let cols = prepared_target.len();
+    if rows == 0 || cols == 0 {
+        return CandidateSet::from_rows(vec![Vec::new(); rows], cols);
+    }
+    if matches!(policy, BlockingPolicy::Exhaustive) {
+        return CandidateSet::exhaustive(rows, cols);
+    }
+    // Per-pair index builds; a batch amortizes them via
+    // [`generate_candidates_with`] instead.
+    let source_index = ElementTokenIndex::build(prepared_source);
+    let target_index = ElementTokenIndex::build(prepared_target);
+    generate_candidates_with(
+        source,
+        target,
+        prepared_source,
+        prepared_target,
+        &source_index,
+        &target_index,
+        policy,
+    )
+}
+
+/// [`generate_candidates`] against pre-built per-schema token indices — the
+/// batch planner's entry point, which indexes each of a batch's N schemata
+/// once instead of once per pair per direction.
+///
+/// `source_index` / `target_index` must be built over exactly
+/// `prepared_source` / `prepared_target`; the result is then bit-for-bit the
+/// set [`generate_candidates`] produces (index construction is deterministic
+/// per schema, so sharing one build across pairs changes nothing).
+#[allow(clippy::too_many_arguments)]
+pub fn generate_candidates_with(
+    source: &Schema,
+    target: &Schema,
+    prepared_source: &PreparedSchema,
+    prepared_target: &PreparedSchema,
+    source_index: &ElementTokenIndex,
+    target_index: &ElementTokenIndex,
+    policy: &BlockingPolicy,
+) -> CandidateSet {
+    let rows = prepared_source.len();
+    let cols = prepared_target.len();
     debug_assert_eq!(rows, source.len());
     debug_assert_eq!(cols, target.len());
+    // Hard checks (cheap next to the probe): a stale or swapped index would
+    // otherwise produce a plausible-but-wrong candidate set in release.
+    assert_eq!(
+        source_index.len(),
+        rows,
+        "source index does not match the prepared source schema"
+    );
+    assert_eq!(
+        target_index.len(),
+        cols,
+        "target index does not match the prepared target schema"
+    );
     if rows == 0 || cols == 0 {
         return CandidateSet::from_rows(vec![Vec::new(); rows], cols);
     }
@@ -353,10 +439,8 @@ pub fn generate_candidates(
     }
 
     // Forward: probe the target index with source elements. Features come
-    // pre-interned from the preparations, so neither index build nor probe
-    // allocates a single string.
-    let target_index = ElementTokenIndex::build(prepared_target);
-    let weighted = probe_side(prepared_source, &target_index, policy);
+    // pre-interned from the preparations, so the probe allocates no strings.
+    let weighted = probe_side(prepared_source, target_index, policy);
     let mut per_row: Vec<Vec<u32>> = weighted
         .iter()
         .map(|list| list.iter().map(|&(t, _)| t).collect())
@@ -372,8 +456,7 @@ pub fn generate_candidates(
         .collect();
 
     // Backward: probe the source index with target elements; transpose in.
-    let source_index = ElementTokenIndex::build(prepared_source);
-    for (t, sources) in probe_side(prepared_target, &source_index, policy)
+    for (t, sources) in probe_side(prepared_target, source_index, policy)
         .into_iter()
         .enumerate()
     {
@@ -382,6 +465,17 @@ pub fn generate_candidates(
             if w >= CHILD_RESCUE_WEIGHT {
                 strong.push((s, t as u32, w));
             }
+        }
+    }
+
+    // Exact-name rescue: equal normalized name-token sequences (the
+    // exact-name voter's equality test) are always candidates. Empty bags
+    // excepted — the voter is neutral on those. The name postings live on
+    // the prebuilt index, so a batch pays the map once per schema.
+    for (s, list) in per_row.iter_mut().enumerate() {
+        let ids = prepared_source.element(s).name_ids.as_slice();
+        if !ids.is_empty() {
+            list.extend(target_index.name_postings(ids).iter().copied());
         }
     }
 
@@ -569,6 +663,56 @@ mod tests {
     }
 
     #[test]
+    fn exact_name_pairs_survive_any_cap() {
+        // Dozens of elements all sharing the ubiquitous "identifier" token:
+        // the IDF weight of the collision is tiny and the top-k cap is 1,
+        // but the one *exactly equal* name must still be a candidate.
+        let mut a = Schema::new(SchemaId(1), "A", SchemaFormat::Generic);
+        let ra = a.add_root("Root", ElementKind::Group, DataType::None);
+        a.add_child(ra, "identifier", ElementKind::Column, DataType::Integer)
+            .unwrap();
+        for i in 0..30 {
+            a.add_child(
+                ra,
+                format!("thing_{i}_identifier"),
+                ElementKind::Column,
+                DataType::Integer,
+            )
+            .unwrap();
+        }
+        let mut b = Schema::new(SchemaId(2), "B", SchemaFormat::Generic);
+        let rb = b.add_root("Base", ElementKind::Group, DataType::None);
+        let target = b
+            .add_child(rb, "identifier", ElementKind::Column, DataType::Integer)
+            .unwrap();
+        for i in 0..30 {
+            b.add_child(
+                rb,
+                format!("item_{i}_identifier"),
+                ElementKind::Column,
+                DataType::Integer,
+            )
+            .unwrap();
+        }
+        let (pa, pb) = (prepared(&a), prepared(&b));
+        let cands = generate_candidates(
+            &a,
+            &b,
+            &pa,
+            &pb,
+            &BlockingPolicy::TopK {
+                k: 1,
+                min_weight: f64::INFINITY,
+            },
+        );
+        let source = a.find_by_name("identifier").unwrap();
+        assert!(
+            cands.contains(source.index(), target.index()),
+            "exact-name pair must survive the cap"
+        );
+    }
+
+    #[test]
     fn parents_of_candidates_are_candidates() {
         let (a, b) = fixture();
         let (pa, pb) = (prepared(&a), prepared(&b));
@@ -600,7 +744,7 @@ mod tests {
     }
 
     #[test]
-    fn weighted_threshold_prunes_everything_at_infinity() {
+    fn weighted_threshold_at_infinity_keeps_exactly_the_name_rescue_closure() {
         let (a, b) = fixture();
         let (pa, pb) = (prepared(&a), prepared(&b));
         let cands = generate_candidates(
@@ -612,8 +756,31 @@ mod tests {
                 min_weight: f64::INFINITY,
             },
         );
-        assert!(cands.is_empty());
-        assert_eq!(cands.density(), 0.0);
+        // Probing keeps nothing at infinite weight; the candidate set is
+        // exactly the exact-name rescue (equal normalized name tokens, e.g.
+        // "last_name" ≡ "LastName") closed under parenthood.
+        let mut expected: std::collections::BTreeSet<(usize, usize)> =
+            std::collections::BTreeSet::new();
+        for s in 0..a.len() {
+            for t in 0..b.len() {
+                if !pa.element(s).name_ids.is_empty()
+                    && pa.element(s).name_ids == pb.element(t).name_ids
+                {
+                    let (mut sp, mut tp) = (Some(s), Some(t));
+                    while let (Some(cs), Some(ct)) = (sp, tp) {
+                        expected.insert((cs, ct));
+                        sp = a.elements()[cs].parent.map(|p| p.index());
+                        tp = b.elements()[ct].parent.map(|p| p.index());
+                    }
+                }
+            }
+        }
+        let got: std::collections::BTreeSet<(usize, usize)> = (0..cands.rows())
+            .flat_map(|s| cands.row(s).iter().map(move |&t| (s, t as usize)))
+            .collect();
+        assert_eq!(got, expected);
+        assert!(!got.is_empty(), "fixture has exact-name pairs");
+        assert!(cands.density() < 1.0, "still prunes almost everything");
     }
 
     #[test]

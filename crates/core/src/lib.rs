@@ -43,11 +43,13 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod confidence;
 pub mod context;
 pub mod correspondence;
 pub mod effort;
 pub mod engine;
+pub mod exec;
 pub mod filter;
 pub mod index;
 pub mod matrix;
@@ -63,10 +65,15 @@ pub mod workflow;
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::batch::{
+        BatchIndex, BatchPairResult, BatchPlanner, BatchResult, BatchSelectResult, BatchSelection,
+        MatchBatch, PairRequest,
+    };
     pub use crate::confidence::Confidence;
     pub use crate::correspondence::{Correspondence, MatchAnnotation, MatchSet, MatchStatus};
     pub use crate::effort::{EffortEstimate, EffortModel, Workload};
     pub use crate::engine::{detect_threads, BlockedMatchResult, MatchEngine, MatchResult};
+    pub use crate::exec::Executor;
     pub use crate::filter::{LinkFilter, NodeFilter};
     pub use crate::index::{BlockingPolicy, CandidateSet, ElementTokenIndex};
     pub use crate::matrix::MatchMatrix;

@@ -16,6 +16,7 @@
 use crate::confidence::Confidence;
 use crate::correspondence::{MatchAnnotation, MatchSet};
 use crate::engine::MatchEngine;
+use crate::index::BlockingPolicy;
 use crate::select::Selection;
 use serde::{Deserialize, Serialize};
 use sm_schema::{ElementId, Schema, SchemaId};
@@ -33,7 +34,7 @@ pub struct GlobalElement {
 
 /// One term of the comprehensive vocabulary: a transitively-closed cluster of
 /// corresponding elements across schemata.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VocabularyTerm {
     /// Canonical display name (the most common element name in the cluster).
     pub name: String,
@@ -145,15 +146,29 @@ impl<'a> NWayMatch<'a> {
         }
     }
 
-    /// Drive every unordered pairwise match through `engine`, select
-    /// candidates above `threshold` one-to-one, auto-validate them as
-    /// `asserted_by`, and record the correspondences.
+    /// Drive every unordered pairwise match through `engine` as one planned
+    /// **batch** (see [`crate::batch`]), select candidates above `threshold`
+    /// one-to-one, auto-validate them as `asserted_by`, and record the
+    /// correspondences.
     ///
     /// This replaces the historical ad-hoc loop every n-way caller wrote by
-    /// hand. Because the engine serves per-schema features from its
-    /// [`crate::prepare::FeatureCache`], each of the N schemata is prepared
-    /// **once** rather than once per pairing — for the paper's five-schema
-    /// vocabulary effort that removes 4/5 of the linguistic preprocessing.
+    /// hand — and since the batch planner landed, the sequential dense loop
+    /// this method itself used to run. Each of the N schemata is prepared
+    /// **and token-indexed** once rather than once per pairing, candidates
+    /// come from the shared index under [`BlockingPolicy::default`], and
+    /// all pairs execute concurrently on the engine's persistent executor.
+    ///
+    /// Scores of scored pairs are byte-identical to the dense loop's;
+    /// *which* pairs are scored is the default blocking policy's recall
+    /// property — every dense above-threshold pair survives on the pinned
+    /// workloads (`tests/blocking_recall.rs`, `tests/batch_pin.rs`,
+    /// including exact-name pairs via the rescue closure), making
+    /// vocabulary results empirically unchanged from the historical dense
+    /// loop. A correspondence whose only evidence is fuzzy (shared *no*
+    /// token, Soundex, or acronym feature, scored purely by edit distance)
+    /// can in principle be pruned; callers that must reproduce the dense
+    /// loop exactly use [`Self::populate_pairwise_with_policy`] with
+    /// [`BlockingPolicy::Exhaustive`].
     ///
     /// Returns one [`PairwiseOutcome`] per pair, in `(i, j)` order.
     pub fn populate_pairwise(
@@ -162,27 +177,45 @@ impl<'a> NWayMatch<'a> {
         threshold: Confidence,
         asserted_by: &str,
     ) -> Vec<PairwiseOutcome> {
+        self.populate_pairwise_with_policy(
+            engine,
+            &BlockingPolicy::default(),
+            threshold,
+            asserted_by,
+        )
+    }
+
+    /// [`Self::populate_pairwise`] under an explicit blocking policy.
+    /// [`BlockingPolicy::Exhaustive`] reproduces the historical sequential
+    /// dense loop byte for byte (same scores, same selections, same
+    /// vocabulary).
+    pub fn populate_pairwise_with_policy(
+        &mut self,
+        engine: &MatchEngine,
+        policy: &BlockingPolicy,
+        threshold: Confidence,
+        asserted_by: &str,
+    ) -> Vec<PairwiseOutcome> {
         let selection = Selection::OneToOne { min: threshold };
-        let mut outcomes = Vec::new();
-        for i in 0..self.schemas.len() {
-            for j in (i + 1)..self.schemas.len() {
-                let (left, right) = (self.schemas[i], self.schemas[j]);
-                let (run, selected) = engine.pipeline().run_select(left, right, &selection);
-                let mut validated = MatchSet::new();
-                for c in selected.all() {
-                    validated.push(
-                        c.clone()
-                            .validate(asserted_by.to_string(), MatchAnnotation::Equivalent),
-                    );
-                }
-                self.add_pairwise(i, j, &validated);
-                outcomes.push(PairwiseOutcome {
-                    left: i,
-                    right: j,
-                    pairs_considered: run.pairs_considered,
-                    validated: validated.len(),
-                });
-            }
+        let batch = engine
+            .batch()
+            .with_policy(*policy)
+            .plan_all_pairs(&self.schemas);
+        // Selection-only execution: vocabulary building never reads scores,
+        // so per-pair matrices drop inside the batch jobs.
+        let result = batch.run_select_only(&selection);
+        let mut outcomes = Vec::with_capacity(result.pairs.len());
+        for pair in result.pairs {
+            let validated =
+                MatchSet::validated_from(&pair.selected, asserted_by, MatchAnnotation::Equivalent);
+            self.add_pairwise(pair.left, pair.right, &validated);
+            outcomes.push(PairwiseOutcome {
+                left: pair.left,
+                right: pair.right,
+                pairs_considered: pair.pairs_considered,
+                pairs_scored: pair.pairs_scored,
+                validated: validated.len(),
+            });
         }
         outcomes
     }
@@ -260,14 +293,17 @@ pub struct PairwiseOutcome {
     pub left: usize,
     /// Index of the right schema.
     pub right: usize,
-    /// Candidate pairs the engine scored.
+    /// Size of the pair's full cross product.
     pub pairs_considered: usize,
+    /// Candidate pairs the voter panel actually scored (equal to
+    /// `pairs_considered` under the exhaustive policy).
+    pub pairs_scored: usize,
     /// Correspondences selected and recorded.
     pub validated: usize,
 }
 
 /// The comprehensive vocabulary of an N-way match.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Vocabulary {
     /// Number of schemata.
     pub n: usize,
@@ -664,5 +700,85 @@ mod tests {
         let schemas: Vec<Schema> = (0..33).map(|i| schema(i, &["x"])).collect();
         let refs: Vec<&Schema> = schemas.iter().collect();
         let _ = NWayMatch::new(refs);
+    }
+
+    /// Three structured schemata with genuine lexical overlap, for the
+    /// batch-vs-legacy-loop equivalence pins.
+    fn overlapping_trio() -> Vec<Schema> {
+        let mk = |id: u32, root: &str, leaves: &[&str]| {
+            let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+            let r = s.add_root(root, ElementKind::Group, DataType::None);
+            for l in leaves {
+                s.add_child(r, *l, ElementKind::Column, DataType::text())
+                    .unwrap();
+            }
+            s
+        };
+        vec![
+            mk(1, "Event", &["begin_date", "location_name", "remarks"]),
+            mk(2, "EventType", &["BeginDate", "LocationName", "priority"]),
+            mk(3, "Incident", &["start_date", "site_name", "severity"]),
+        ]
+    }
+
+    /// The pre-batch behavior of `populate_pairwise`, reproduced verbatim:
+    /// a sequential loop of dense `run_select` calls.
+    fn legacy_dense_vocabulary(
+        schemas: &[&Schema],
+        engine: &MatchEngine,
+        threshold: Confidence,
+    ) -> Vocabulary {
+        let selection = crate::select::Selection::OneToOne { min: threshold };
+        let mut nway = NWayMatch::new(schemas.to_vec());
+        for i in 0..schemas.len() {
+            for j in (i + 1)..schemas.len() {
+                let (_, selected) = engine
+                    .pipeline()
+                    .run_select(schemas[i], schemas[j], &selection);
+                let mut validated = MatchSet::new();
+                for c in selected.all() {
+                    validated.push(c.clone().validate("x", MatchAnnotation::Equivalent));
+                }
+                nway.add_pairwise(i, j, &validated);
+            }
+        }
+        nway.vocabulary()
+    }
+
+    /// Pin: the batched `populate_pairwise` leaves vocabulary results
+    /// unchanged from the historical sequential dense loop — exactly, under
+    /// the exhaustive policy, and equally under the default blocking policy
+    /// (whose recall property keeps every dense above-threshold pair).
+    #[test]
+    fn populate_pairwise_matches_legacy_dense_loop() {
+        let schemas = overlapping_trio();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = MatchEngine::new().with_threads(2);
+        let threshold = Confidence::new(0.3);
+        let legacy = legacy_dense_vocabulary(&refs, &engine, threshold);
+        assert!(
+            legacy.terms.iter().any(|t| t.schema_count() > 1),
+            "fixture must actually produce cross-schema terms"
+        );
+
+        let mut exhaustive = NWayMatch::new(refs.clone());
+        let outcomes = exhaustive.populate_pairwise_with_policy(
+            &engine,
+            &BlockingPolicy::Exhaustive,
+            threshold,
+            "x",
+        );
+        assert!(outcomes
+            .iter()
+            .all(|o| o.pairs_scored == o.pairs_considered));
+        assert_eq!(exhaustive.vocabulary(), legacy);
+
+        let mut blocked = NWayMatch::new(refs.clone());
+        let outcomes = blocked.populate_pairwise(&engine, threshold, "x");
+        assert!(
+            outcomes.iter().any(|o| o.pairs_scored < o.pairs_considered),
+            "default policy must actually prune"
+        );
+        assert_eq!(blocked.vocabulary(), legacy);
     }
 }

@@ -9,10 +9,12 @@
 //!    a cache miss) and assemble the pairwise [`MatchContext`] (joint TF-IDF
 //!    corpus).
 //! 2. **Score** — every voter scores every candidate pair into a per-block
-//!    `f64` vote buffer. Rows are sharded across scoped threads with chunked
-//!    work-stealing: workers repeatedly claim the next block of rows from a
-//!    shared queue, so a straggler block cannot idle the other cores the way
-//!    a static partition can.
+//!    `f64` vote buffer. Rows are sharded across the persistent
+//!    [`crate::exec::Executor`] with chunked work-stealing: lanes repeatedly
+//!    claim the next block of rows from a shared queue, so a straggler block
+//!    cannot idle the other cores the way a static partition can, and the
+//!    pool is shared with every concurrent pair of a batch instead of being
+//!    spawned and joined per run.
 //! 3. **Merge** — the engine's [`crate::merger::MergeStrategy`] collapses
 //!    each pair's votes into one score. Score and Merge execute as one fused
 //!    parallel pass over block-sized scratch (never a full
@@ -33,16 +35,25 @@ use crate::confidence::Confidence;
 use crate::context::MatchContext;
 use crate::correspondence::MatchSet;
 use crate::engine::MatchEngine;
-use crate::index::{generate_candidates, BlockingPolicy, CandidateSet};
+use crate::index::{
+    generate_candidates, generate_candidates_with, BlockingPolicy, CandidateSet, ElementTokenIndex,
+};
 use crate::matrix::MatchMatrix;
+use crate::prepare::PreparedSchema;
 use crate::select::Selection;
 use sm_schema::{ElementId, Schema};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Wall-clock time spent in each pipeline stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimings {
+    /// Batch planning: bulk preparation of all schemata plus the shared
+    /// multi-schema token index build (zero on single-pair runs, whose
+    /// per-pair preparation is reported under `prepare`). See
+    /// [`crate::batch`].
+    pub plan: Duration,
     /// Feature-cache lookup / linguistic preprocessing + corpus assembly.
     pub prepare: Duration,
     /// Candidate generation over the token-blocking index (zero on dense
@@ -61,7 +72,25 @@ pub struct StageTimings {
 impl StageTimings {
     /// Total time across all stages.
     pub fn total(&self) -> Duration {
-        self.prepare + self.block + self.score + self.merge + self.propagate + self.select
+        self.plan
+            + self.prepare
+            + self.block
+            + self.score
+            + self.merge
+            + self.propagate
+            + self.select
+    }
+
+    /// Accumulate another run's stage times into this one (batch
+    /// aggregation).
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.plan += other.plan;
+        self.prepare += other.prepare;
+        self.block += other.block;
+        self.score += other.score;
+        self.merge += other.merge;
+        self.propagate += other.propagate;
+        self.select += other.select;
     }
 }
 
@@ -195,26 +224,74 @@ impl<'e> MatchPipeline<'e> {
         target: &Schema,
         policy: &BlockingPolicy,
     ) -> BlockedRun {
-        let mut timings = StageTimings::default();
-
-        // Stage 1: Prepare (same trusted cache path as the dense run).
+        // Per-schema preparation belongs to this run's Prepare stage (on a
+        // cold cache it dominates); the batch planner instead reports it
+        // under its Plan stage.
         let started = Instant::now();
         let prepared_source = self.engine.prepare(source);
         let prepared_target = self.engine.prepare(target);
-        let ctx = MatchContext::from_prepared_trusted(
+        let prepare = started.elapsed();
+        let mut run = self.run_blocked_prepared(
             source,
             target,
             &prepared_source,
             &prepared_target,
+            None,
+            policy,
+        );
+        run.timings.prepare += prepare;
+        run
+    }
+
+    /// The blocked pipeline against already-prepared schemata and (optionally)
+    /// pre-built token indices — the batch planner's per-pair entry point.
+    ///
+    /// `prepared_*` must be the preparations of exactly these schemata (the
+    /// batch fetches them from the engine's content-fingerprint-keyed cache,
+    /// which guarantees it); when `indices` is `Some((source_index,
+    /// target_index))` they must be built over the same preparations.
+    /// Output is byte-identical to [`Self::run_blocked`] — index reuse only
+    /// removes the per-pair index builds from the Block stage.
+    pub fn run_blocked_prepared(
+        &self,
+        source: &Schema,
+        target: &Schema,
+        prepared_source: &Arc<PreparedSchema>,
+        prepared_target: &Arc<PreparedSchema>,
+        indices: Option<(&ElementTokenIndex, &ElementTokenIndex)>,
+        policy: &BlockingPolicy,
+    ) -> BlockedRun {
+        let mut timings = StageTimings::default();
+
+        // Stage 1: Prepare (the per-schema half is the caller's cache hit;
+        // only the joint TF-IDF corpus is assembled here).
+        let started = Instant::now();
+        let ctx = MatchContext::from_prepared_trusted(
+            source,
+            target,
+            prepared_source,
+            prepared_target,
             &sm_schema::InstanceData::empty(),
             &sm_schema::InstanceData::empty(),
         );
         timings.prepare = started.elapsed();
 
-        // Stage 1.5: Block.
+        // Stage 1.5: Block. With pre-built indices the stage is pure
+        // probing; otherwise the per-pair index builds land here, exactly as
+        // before the batch planner existed.
         let started = Instant::now();
-        let candidates =
-            generate_candidates(source, target, &prepared_source, &prepared_target, policy);
+        let candidates = match indices {
+            Some((source_index, target_index)) => generate_candidates_with(
+                source,
+                target,
+                prepared_source,
+                prepared_target,
+                source_index,
+                target_index,
+                policy,
+            ),
+            None => generate_candidates(source, target, prepared_source, prepared_target, policy),
+        };
         timings.block = started.elapsed();
 
         let rows = ctx.source.len();
@@ -263,10 +340,12 @@ impl<'e> MatchPipeline<'e> {
 
     /// Stages 2+3, fused: per claimed block, fill a block-local `f64` vote
     /// buffer (Score), then collapse it into the matrix rows (Merge). Peak
-    /// scratch is `threads × block_rows × cols × voters` doubles instead of
-    /// a full-matrix tensor. Returns accumulated `(score, merge)` CPU
-    /// nanoseconds across all workers, for the proportional wall-clock
-    /// split.
+    /// scratch is `lanes × block_rows × cols × voters` doubles instead of
+    /// a full-matrix tensor. Chunk lanes run on the engine's persistent
+    /// [`crate::exec::Executor`] — under a batch, idle pool workers steal
+    /// these blocks from whichever pair is currently executing. Returns
+    /// accumulated `(score, merge)` CPU nanoseconds across all lanes, for
+    /// the proportional wall-clock split.
     fn score_and_merge(
         &self,
         ctx: &MatchContext<'_>,
@@ -321,43 +400,28 @@ impl<'e> MatchPipeline<'e> {
             merge_ns: 0,
         };
 
-        if threads == 1 {
-            let mut w = new_worker();
-            for (index, block) in matrix
+        let score_total = AtomicU64::new(0);
+        let merge_total = AtomicU64::new(0);
+        let queue = Mutex::new(
+            matrix
                 .as_mut_slice()
                 .chunks_mut(block_rows * cols)
-                .enumerate()
-            {
+                .enumerate(),
+        );
+        self.engine.executor().run_lanes(threads, |_| {
+            let mut w = new_worker();
+            loop {
+                let claimed = queue.lock().expect("pipeline queue poisoned").next();
+                let Some((index, block)) = claimed else { break };
                 process_block(index * block_rows, block, &mut w);
             }
-            (w.score_ns, w.merge_ns)
-        } else {
-            let queue = Mutex::new(
-                matrix
-                    .as_mut_slice()
-                    .chunks_mut(block_rows * cols)
-                    .enumerate(),
-            );
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut w = new_worker();
-                            loop {
-                                let claimed = queue.lock().expect("pipeline queue poisoned").next();
-                                let Some((index, block)) = claimed else { break };
-                                process_block(index * block_rows, block, &mut w);
-                            }
-                            (w.score_ns, w.merge_ns)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().fold((0, 0), |(s, m), h| {
-                    let (ws, wm) = h.join().expect("pipeline worker panicked");
-                    (s + ws, m + wm)
-                })
-            })
-        }
+            score_total.fetch_add(w.score_ns, Ordering::Relaxed);
+            merge_total.fetch_add(w.merge_ns, Ordering::Relaxed);
+        });
+        (
+            score_total.load(Ordering::Relaxed),
+            merge_total.load(Ordering::Relaxed),
+        )
     }
 
     /// Sparse Stages 2+3: score and merge only the candidate pairs. The
@@ -365,7 +429,8 @@ impl<'e> MatchPipeline<'e> {
     /// same `f64` vote buffer, same merge), so a cell scored here is bit-
     /// identical to the same cell of a dense run; non-candidates are left at
     /// the matrix's neutral `0.0`. Work-stealing operates on blocks of
-    /// *candidate-bearing rows* — rows blocking emptied cost nothing.
+    /// *candidate-bearing rows* — rows blocking emptied cost nothing — and
+    /// the lanes come from the engine's persistent executor.
     fn score_and_merge_blocked(
         &self,
         ctx: &MatchContext<'_>,
@@ -437,34 +502,23 @@ impl<'e> MatchPipeline<'e> {
         };
 
         let mut work = work;
-        if threads == 1 {
+        let score_total = AtomicU64::new(0);
+        let merge_total = AtomicU64::new(0);
+        let queue = Mutex::new(work.chunks_mut(block_rows));
+        self.engine.executor().run_lanes(threads, |_| {
             let mut w = new_worker();
-            for block in work.chunks_mut(block_rows) {
+            loop {
+                let claimed = queue.lock().expect("pipeline queue poisoned").next();
+                let Some(block) = claimed else { break };
                 process_block(block, &mut w);
             }
-            (w.score_ns, w.merge_ns)
-        } else {
-            let queue = Mutex::new(work.chunks_mut(block_rows));
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut w = new_worker();
-                            loop {
-                                let claimed = queue.lock().expect("pipeline queue poisoned").next();
-                                let Some(block) = claimed else { break };
-                                process_block(block, &mut w);
-                            }
-                            (w.score_ns, w.merge_ns)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().fold((0, 0), |(s, m), h| {
-                    let (ws, wm) = h.join().expect("pipeline worker panicked");
-                    (s + ws, m + wm)
-                })
-            })
-        }
+            score_total.fetch_add(w.score_ns, Ordering::Relaxed);
+            merge_total.fetch_add(w.merge_ns, Ordering::Relaxed);
+        });
+        (
+            score_total.load(Ordering::Relaxed),
+            merge_total.load(Ordering::Relaxed),
+        )
     }
 
     /// Sparse Stage 4: the dense propagation blend, applied only to rows

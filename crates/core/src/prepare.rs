@@ -27,7 +27,7 @@ use sm_text::soundex::{soundex, soundex_key};
 use sm_text::tokenize::acronym_of;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// The default normalizer shared by every process path that does not
 /// configure its own (`MatchEngine::with_normalizer` being the exception).
@@ -343,11 +343,66 @@ struct CacheInner {
     map: HashMap<u64, CacheEntry>,
     /// Monotonic recency clock; bumped on every hit and insert.
     tick: u64,
+    /// Fingerprints currently being prepared by some thread; racing callers
+    /// wait on the slot instead of preparing the same content twice.
+    building: HashMap<u64, Arc<BuildSlot>>,
 }
 
 struct CacheEntry {
     prepared: Arc<PreparedSchema>,
     last_used: u64,
+}
+
+/// Rendezvous for one in-flight preparation.
+struct BuildSlot {
+    state: Mutex<BuildState>,
+    done: Condvar,
+}
+
+enum BuildState {
+    Pending,
+    Ready(Arc<PreparedSchema>),
+    /// The building thread unwound; waiters retry (and typically become the
+    /// builder themselves).
+    Failed,
+}
+
+/// What `get_or_prepare`'s rendezvous decided for the calling thread.
+enum Waiter {
+    Wait(Arc<BuildSlot>),
+    Build(Arc<BuildSlot>),
+}
+
+/// Publishes a build's outcome to its slot; marks the slot `Failed` (so
+/// waiters retry rather than hang) if the build unwinds before
+/// [`BuildGuard::publish`] runs.
+struct BuildGuard<'a> {
+    cache: &'a FeatureCache,
+    slot: &'a Arc<BuildSlot>,
+    fp: u64,
+    published: bool,
+}
+
+impl BuildGuard<'_> {
+    fn publish(mut self, prepared: Arc<PreparedSchema>) {
+        self.cache.insert_prepared(self.fp, &prepared);
+        *self.slot.state.lock().expect("build slot poisoned") = BuildState::Ready(prepared);
+        self.slot.done.notify_all();
+        self.published = true;
+    }
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        let mut inner = self.cache.inner.lock().expect("feature cache poisoned");
+        inner.building.remove(&self.fp);
+        drop(inner);
+        *self.slot.state.lock().expect("build slot poisoned") = BuildState::Failed;
+        self.slot.done.notify_all();
+    }
 }
 
 impl FeatureCache {
@@ -392,34 +447,96 @@ impl FeatureCache {
 
     /// Fetch (or build and memoize) the preparation of `schema`. Keyed by
     /// content fingerprint, so mutated or replaced schemata never see stale
-    /// features.
+    /// features. Alias of [`Self::get_or_prepare`].
     pub fn prepare(&self, schema: &Schema) -> Arc<PreparedSchema> {
+        self.get_or_prepare(schema)
+    }
+
+    /// Contention-safe fetch-or-build: when several threads (batch jobs,
+    /// concurrent engines) ask for the same fingerprint at once, exactly one
+    /// builds while the others wait on the in-flight slot and share the
+    /// result — the same content is never prepared twice. Waiters count as
+    /// `hits` (they were served without building); only the building thread
+    /// records a `miss`.
+    pub fn get_or_prepare(&self, schema: &Schema) -> Arc<PreparedSchema> {
         let fp = schema_fingerprint(schema);
-        {
-            let mut inner = self.inner.lock().expect("feature cache poisoned");
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some(entry) = inner.map.get_mut(&fp) {
-                entry.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(&entry.prepared);
+        loop {
+            // Fast path / rendezvous decision under one short lock.
+            let slot = {
+                let mut inner = self.inner.lock().expect("feature cache poisoned");
+                inner.tick += 1;
+                let tick = inner.tick;
+                if let Some(entry) = inner.map.get_mut(&fp) {
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(&entry.prepared);
+                }
+                match inner.building.get(&fp) {
+                    Some(slot) => Waiter::Wait(Arc::clone(slot)),
+                    None => {
+                        let slot = Arc::new(BuildSlot {
+                            state: Mutex::new(BuildState::Pending),
+                            done: Condvar::new(),
+                        });
+                        inner.building.insert(fp, Arc::clone(&slot));
+                        Waiter::Build(slot)
+                    }
+                }
+            };
+
+            match slot {
+                Waiter::Wait(slot) => {
+                    let mut state = slot.state.lock().expect("build slot poisoned");
+                    loop {
+                        match &*state {
+                            BuildState::Pending => {
+                                state = slot.done.wait(state).expect("build slot poisoned");
+                            }
+                            BuildState::Ready(prepared) => {
+                                self.hits.fetch_add(1, Ordering::Relaxed);
+                                return Arc::clone(prepared);
+                            }
+                            // Builder unwound; retry from the top (this
+                            // thread will usually claim the build).
+                            BuildState::Failed => break,
+                        }
+                    }
+                }
+                Waiter::Build(slot) => {
+                    // Build outside the cache lock: preparation is the
+                    // expensive part. The guard publishes `Failed` (and
+                    // unregisters the slot) if the build unwinds, so
+                    // waiters never hang.
+                    let guard = BuildGuard {
+                        cache: self,
+                        slot: &slot,
+                        fp,
+                        published: false,
+                    };
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let prepared = Arc::new(PreparedSchema::build_with_arena(
+                        schema,
+                        &self.normalizer,
+                        Arc::clone(&self.arena),
+                    ));
+                    guard.publish(Arc::clone(&prepared));
+                    return prepared;
+                }
             }
         }
-        // Build outside the lock: preparation is the expensive part, and
-        // concurrent preparers of the same schema just race benignly.
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let prepared = Arc::new(PreparedSchema::build_with_arena(
-            schema,
-            &self.normalizer,
-            Arc::clone(&self.arena),
-        ));
+    }
+
+    /// Insert a finished preparation and run the LRU eviction sweep. Called
+    /// with the cache lock *not* held.
+    fn insert_prepared(&self, fp: u64, prepared: &Arc<PreparedSchema>) {
         let mut inner = self.inner.lock().expect("feature cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
         inner.map.entry(fp).or_insert_with(|| CacheEntry {
-            prepared: Arc::clone(&prepared),
+            prepared: Arc::clone(prepared),
             last_used: tick,
         });
+        inner.building.remove(&fp);
         while inner.map.len() > self.capacity {
             // O(n) scan, but only on eviction — hits stay O(1).
             if let Some(evict) = inner
@@ -432,7 +549,6 @@ impl FeatureCache {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        prepared
     }
 
     /// Drop every resident entry (counters are preserved).
@@ -598,5 +714,36 @@ mod tests {
         let g1 = FeatureCache::global();
         let g2 = FeatureCache::global();
         assert!(Arc::ptr_eq(g1, g2));
+    }
+
+    #[test]
+    fn racing_get_or_prepare_builds_once() {
+        let cache = Arc::new(FeatureCache::new(Normalizer::new()));
+        let s = schema(99);
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let s = s.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_prepare(&s)
+                })
+            })
+            .collect();
+        let prepared: Vec<Arc<PreparedSchema>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("prepare thread panicked"))
+            .collect();
+        for p in &prepared[1..] {
+            assert!(
+                Arc::ptr_eq(&prepared[0], p),
+                "racing callers must share one preparation"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "the fingerprint was built exactly once");
+        assert_eq!(stats.hits, 7, "waiters and late arrivals count as hits");
     }
 }

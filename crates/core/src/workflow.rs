@@ -12,7 +12,10 @@
 //! [`IncrementalSession`] drives that loop. The human reviewer is modelled by
 //! the [`Oracle`] trait; [`NoisyOracle`] wraps ground truth with a
 //! configurable error rate (a deterministic xorshift RNG keeps `rand` out of
-//! the core crate and makes sessions reproducible).
+//! the core crate and makes sessions reproducible). Machine time per
+//! increment rides the same persistent [`crate::exec::Executor`] as every
+//! other workload — increment scoring shards across pool lanes while the
+//! reviewer loop stays sequential and deterministic.
 
 use crate::confidence::Confidence;
 use crate::context::MatchContext;
@@ -156,6 +159,10 @@ impl<'a> IncrementalSession<'a> {
     /// Run one increment: source elements passing `source_filter` against
     /// target elements passing `target_filter`; candidates above the session
     /// threshold go to `oracle`; accepted pairs are recorded as validated.
+    ///
+    /// Scoring runs on the engine's persistent executor (each increment is
+    /// the paper's 10^4–10^5 pairs — `run_restricted` shards its source
+    /// rows across pool lanes); only the human-review loop is sequential.
     pub fn run_increment(
         &mut self,
         label: impl Into<String>,

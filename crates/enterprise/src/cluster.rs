@@ -15,7 +15,8 @@
 
 use crate::index::RepositoryIndex;
 use crate::repository::MetadataRepository;
-use harmony_core::prepare::{FeatureCache, PreparedSchema};
+use harmony_core::batch::prepare_schemas_global;
+use harmony_core::prepare::PreparedSchema;
 use sm_schema::{Schema, SchemaId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -70,14 +71,12 @@ impl DistanceMatrix {
         Self::from_index(&repo.token_index())
     }
 
-    /// Vocabulary-overlap distances for an explicit schema list (prepared
-    /// through the shared feature cache).
+    /// Vocabulary-overlap distances for an explicit schema list, bulk-
+    /// prepared through the shared feature cache on the process-wide
+    /// executor (the batch layer's Plan-stage primitive — cold registries
+    /// prepare concurrently instead of one schema at a time).
     pub fn from_schemas(schemas: &[&Schema]) -> Self {
-        let prepared: Vec<Arc<PreparedSchema>> = schemas
-            .iter()
-            .map(|s| FeatureCache::global().prepare(s))
-            .collect();
-        Self::from_prepared(&prepared)
+        Self::from_prepared(&prepare_schemas_global(schemas))
     }
 
     /// Vocabulary-overlap distances over already-prepared schemata (builds

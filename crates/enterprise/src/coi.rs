@@ -7,7 +7,10 @@
 //! "potential value" that justifies committing resources).
 
 use crate::cluster::{agglomerative, Cut, DistanceMatrix, Linkage};
-use crate::repository::MetadataRepository;
+use crate::repository::{MetadataRepository, SlotMap};
+use harmony_core::confidence::Confidence;
+use harmony_core::engine::MatchEngine;
+use harmony_core::select::Selection;
 use sm_schema::SchemaId;
 use std::collections::HashMap;
 
@@ -21,6 +24,11 @@ pub struct CoiProposal {
     /// Sample of vocabulary shared by *all* members (up to 12 tokens) — the
     /// seed of the community vocabulary the COI would build.
     pub shared_vocabulary: Vec<String>,
+    /// Validated one-to-one correspondences among member pairs — the hard
+    /// match evidence behind the proposal. `None` until
+    /// [`attach_match_evidence`] runs (cheap signature clustering proposes;
+    /// real matching substantiates).
+    pub match_support: Option<usize>,
 }
 
 /// Propose COIs by clustering the repository and keeping clusters of at
@@ -69,6 +77,7 @@ pub fn propose_cois(
                 members,
                 cohesion,
                 shared_vocabulary,
+                match_support: None,
             })
         })
         .collect();
@@ -79,6 +88,73 @@ pub fn propose_cois(
             .then(a.members.len().cmp(&b.members.len()))
     });
     proposals
+}
+
+/// Substantiate proposals with actual match evidence: every member pair of
+/// every proposal is executed as **one** planned batch (shared preparation
+/// and token index, all pairs concurrent on the engine's executor — see
+/// [`harmony_core::batch`]), and each proposal's `match_support` is filled
+/// with the total one-to-one correspondences selected at `threshold`
+/// across its member pairs.
+///
+/// A convening decision maker reads `cohesion` as "these schemata talk
+/// about the same things" and `match_support` as "and here is how many
+/// element-level agreements a COI vocabulary could start from". A proposal
+/// with a member the repository no longer holds (a stale proposal from an
+/// earlier registry snapshot) keeps `match_support == None` — a partial
+/// count would be indistinguishable from "matched and found little".
+pub fn attach_match_evidence(
+    repo: &MetadataRepository,
+    engine: &MatchEngine,
+    proposals: &mut [CoiProposal],
+    threshold: Confidence,
+) {
+    // Stale proposals (any member gone from the repo) contribute nothing
+    // to the batch — decided first, so their still-registered members are
+    // not needlessly prepared and indexed.
+    let complete: Vec<bool> = proposals
+        .iter()
+        .map(|p| p.members.iter().all(|id| repo.schema(*id).is_some()))
+        .collect();
+
+    // One schema list over all complete proposals (members are disjoint
+    // clusters, but dedup defensively), one batch over all within-proposal
+    // pairs.
+    let mut slots = SlotMap::new();
+    let mut requests: Vec<(usize, usize)> = Vec::new();
+    let mut owner: Vec<usize> = Vec::new();
+    for (pi, proposal) in proposals.iter().enumerate() {
+        if !complete[pi] {
+            continue;
+        }
+        for &id in &proposal.members {
+            slots.slot_for(repo.schema(id).expect("membership checked above"));
+        }
+        for i in 0..proposal.members.len() {
+            for j in (i + 1)..proposal.members.len() {
+                requests.push((
+                    slots.slot_of(proposal.members[i]),
+                    slots.slot_of(proposal.members[j]),
+                ));
+                owner.push(pi);
+            }
+        }
+    }
+
+    // Selection-only execution: only the selected-correspondence counts
+    // matter, so per-pair matrices drop inside the batch jobs.
+    let selection = Selection::OneToOne { min: threshold };
+    let result = engine
+        .batch()
+        .plan(slots.schemas(), requests)
+        .run_select_only(&selection);
+    let mut support = vec![0usize; proposals.len()];
+    for (pair, &pi) in result.pairs.iter().zip(&owner) {
+        support[pi] += pair.selected.len();
+    }
+    for ((proposal, support), complete) in proposals.iter_mut().zip(support).zip(complete) {
+        proposal.match_support = complete.then_some(support);
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +244,42 @@ mod tests {
     fn strict_distance_threshold_prevents_grouping() {
         let proposals = propose_cois(&repo(), 0.0, 0.0);
         assert!(proposals.is_empty(), "nothing merges at distance 0");
+    }
+
+    #[test]
+    fn match_evidence_fills_support_from_one_batch() {
+        let repo = repo();
+        let mut proposals = propose_cois(&repo, 0.85, 0.1);
+        assert!(proposals.iter().all(|p| p.match_support.is_none()));
+        let engine = MatchEngine::new();
+        attach_match_evidence(&repo, &engine, &mut proposals, Confidence::new(0.3));
+        for p in &proposals {
+            let support = p.match_support.expect("evidence attached");
+            assert!(
+                support > 0,
+                "members share vocabulary, so one-to-one matches must exist: {p:?}"
+            );
+            // Support is bounded by the total one-to-one capacity of the
+            // member pairs.
+            let cap: usize = (0..p.members.len())
+                .flat_map(|i| ((i + 1)..p.members.len()).map(move |j| (i, j)))
+                .map(|(i, j)| {
+                    let a = repo.schema(p.members[i]).unwrap().len();
+                    let b = repo.schema(p.members[j]).unwrap().len();
+                    a.min(b)
+                })
+                .sum();
+            assert!(support <= cap);
+        }
+        // A stale proposal naming an unregistered schema stays unfilled —
+        // a partial count would masquerade as real evidence.
+        let mut stale = vec![CoiProposal {
+            members: vec![SchemaId(0), SchemaId(999)],
+            cohesion: 0.5,
+            shared_vocabulary: vec![],
+            match_support: None,
+        }];
+        attach_match_evidence(&repo, &engine, &mut stale, Confidence::new(0.3));
+        assert_eq!(stale[0].match_support, None);
     }
 }

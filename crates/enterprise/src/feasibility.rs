@@ -12,8 +12,9 @@
 //! produce the go/no-go evidence and the cost estimate a contract would be
 //! written against.
 
+use harmony_core::batch::prepare_schemas_global;
 use harmony_core::effort::{EffortEstimate, EffortModel};
-use harmony_core::prepare::{FeatureCache, PreparedSchema};
+use harmony_core::prepare::PreparedSchema;
 use serde::{Deserialize, Serialize};
 use sm_schema::{Schema, SchemaId};
 use std::sync::Arc;
@@ -54,10 +55,9 @@ pub struct FeasibilityReport {
 /// the paper's workflow: summarize each source, then match each source pair
 /// incrementally.
 pub fn assess(schemas: &[&Schema], model: &EffortModel) -> FeasibilityReport {
-    let prepared: Vec<Arc<PreparedSchema>> = schemas
-        .iter()
-        .map(|s| FeatureCache::global().prepare(s))
-        .collect();
+    // Bulk-prepare on the shared executor: a feasibility sweep over a cold
+    // candidate set is exactly the batch layer's Plan-stage workload.
+    let prepared: Vec<Arc<PreparedSchema>> = prepare_schemas_global(schemas);
 
     let mut overlaps: Vec<f64> = Vec::new();
     for i in 0..prepared.len() {

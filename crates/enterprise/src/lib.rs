@@ -36,7 +36,7 @@ pub mod search;
 pub mod team;
 
 pub use cluster::{agglomerative, ClusterEval, Clustering, Linkage};
-pub use coi::{propose_cois, CoiProposal};
+pub use coi::{attach_match_evidence, propose_cois, CoiProposal};
 pub use feasibility::{FeasibilityGrade, FeasibilityReport};
 pub use index::RepositoryIndex;
 pub use repository::{MatchContextTag, MatchRecord, MetadataRepository, Provenance};

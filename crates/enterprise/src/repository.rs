@@ -9,8 +9,12 @@
 //! asserted it, trust queries).
 
 use crate::index::RepositoryIndex;
-use harmony_core::correspondence::{MatchSet, MatchStatus};
+use harmony_core::batch::prepare_schemas_global;
+use harmony_core::confidence::Confidence;
+use harmony_core::correspondence::{MatchAnnotation, MatchSet, MatchStatus};
+use harmony_core::engine::MatchEngine;
 use harmony_core::prepare::{FeatureCache, PreparedSchema};
+use harmony_core::select::Selection;
 use serde::{Deserialize, Serialize};
 use sm_schema::{ElementId, Schema, SchemaId, SchemaPath};
 use std::collections::HashMap;
@@ -77,6 +81,41 @@ pub struct Provenance {
     pub created_at: u64,
 }
 
+/// Dense slot assignment for the schemata a batch references: schemas are
+/// registered on first sight and the slot list feeds
+/// [`harmony_core::batch::BatchPlanner::plan`]. Shared by the bulk match
+/// paths here and in [`crate::coi`].
+#[derive(Default)]
+pub(crate) struct SlotMap<'a> {
+    schemas: Vec<&'a Schema>,
+    slot_of: HashMap<SchemaId, usize>,
+}
+
+impl<'a> SlotMap<'a> {
+    pub(crate) fn new() -> Self {
+        SlotMap::default()
+    }
+
+    /// The slot of `schema`, registering it on first sight.
+    pub(crate) fn slot_for(&mut self, schema: &'a Schema) -> usize {
+        let schemas = &mut self.schemas;
+        *self.slot_of.entry(schema.id).or_insert_with(|| {
+            schemas.push(schema);
+            schemas.len() - 1
+        })
+    }
+
+    /// The slot of an already-registered schema id.
+    pub(crate) fn slot_of(&self, id: SchemaId) -> usize {
+        self.slot_of[&id]
+    }
+
+    /// The registered schemata, in slot order.
+    pub(crate) fn schemas(&self) -> &[&'a Schema] {
+        &self.schemas
+    }
+}
+
 /// An in-memory enterprise metadata repository.
 #[derive(Debug, Default)]
 pub struct MetadataRepository {
@@ -137,11 +176,67 @@ impl MetadataRepository {
 
     /// Warm the feature cache for every registered schema (e.g. before a
     /// batch of repository-wide searches); returns the preparations in
-    /// registration order.
+    /// registration order. Runs as a bulk prepare on the process-wide
+    /// executor — cold registries preprocess concurrently, and racing
+    /// consumers coalesce on the cache's in-flight build slots.
     pub fn prepare_all(&self) -> Vec<Arc<PreparedSchema>> {
-        self.schemas()
-            .map(|s| FeatureCache::global().prepare(s))
-            .collect()
+        let schemas: Vec<&Schema> = self.schemas().collect();
+        prepare_schemas_global(&schemas)
+    }
+
+    /// Bulk match-and-record: execute every requested schema pair as one
+    /// planned batch (shared preparation + token index, all pairs
+    /// concurrent on the executor — see [`harmony_core::batch`]), select
+    /// one-to-one correspondences above `threshold`, auto-validate them as
+    /// `created_by`, and store one [`MatchRecord`] per pair under
+    /// `context`. Returns the new record indices in request order.
+    ///
+    /// This is the production path for populating a registry's match
+    /// knowledge — the per-pair `engine.run(..)` + `record_match(..)` loop
+    /// it replaces repaid preparation and indexing once per pair.
+    pub fn match_and_record_all(
+        &mut self,
+        engine: &MatchEngine,
+        requests: &[(SchemaId, SchemaId)],
+        threshold: Confidence,
+        context: MatchContextTag,
+        created_by: &str,
+        notes: &str,
+    ) -> Result<Vec<usize>, String> {
+        // Resolve ids to slots over exactly the schemata the requests name
+        // (deduplicated) — planning over the whole registry would prepare
+        // and index every registered schema for possibly one pair of real
+        // work. Unknown ids fail here, before any matching runs.
+        let mut slots = SlotMap::new();
+        let mut slot_requests = Vec::with_capacity(requests.len());
+        for &(source, target) in requests {
+            for id in [source, target] {
+                let schema = self
+                    .schema(id)
+                    .ok_or_else(|| format!("schema {id} not registered"))?;
+                slots.slot_for(schema);
+            }
+            slot_requests.push((slots.slot_of(source), slots.slot_of(target)));
+        }
+
+        let selection = Selection::OneToOne { min: threshold };
+        let batch = engine.batch().plan(slots.schemas(), slot_requests);
+        // Selection-only execution: recording never reads scores, so
+        // per-pair matrices drop inside the batch jobs.
+        let result = batch.run_select_only(&selection);
+        drop(batch);
+
+        let mut indices = Vec::with_capacity(result.pairs.len());
+        // Results come back in request order; zipping states that invariant
+        // instead of relying on positional indexing.
+        for (pair, &(source_id, target_id)) in result.pairs.iter().zip(requests) {
+            let validated =
+                MatchSet::validated_from(&pair.selected, created_by, MatchAnnotation::Equivalent);
+            indices.push(
+                self.record_match(source_id, target_id, validated, context, created_by, notes)?,
+            );
+        }
+        Ok(indices)
     }
 
     /// The repository-level token index over all registered schemata —
@@ -480,6 +575,62 @@ mod tests {
         let i4 = repo.token_index();
         assert!(!i4.postings("address").is_empty());
         assert_eq!(i4.len(), 2, "replaced, not duplicated");
+    }
+
+    #[test]
+    fn match_and_record_all_batches_and_stores() {
+        let mut repo = MetadataRepository::new();
+        repo.register_schema(schema(1, &["Person", "Vehicle"]));
+        repo.register_schema(schema(2, &["Person", "Weapon"]));
+        repo.register_schema(schema(3, &["Vehicle", "Facility"]));
+        let engine = MatchEngine::new();
+        let threshold = Confidence::new(0.3);
+        let requests = [
+            (SchemaId(1), SchemaId(2)),
+            (SchemaId(1), SchemaId(3)),
+            (SchemaId(2), SchemaId(3)),
+        ];
+        let indices = repo
+            .match_and_record_all(
+                &engine,
+                &requests,
+                threshold,
+                MatchContextTag::Planning,
+                "batch-tool",
+                "bulk",
+            )
+            .expect("all schemata registered");
+        assert_eq!(indices, vec![0, 1, 2]);
+        // Each record matches the standalone blocked run + selection.
+        for (idx, &(source_id, target_id)) in indices.iter().zip(&requests) {
+            let r = &repo.records()[*idx];
+            assert_eq!((r.source_id, r.target_id), (source_id, target_id));
+            assert_eq!(r.context, MatchContextTag::Planning);
+            let standalone = engine.run_blocked(
+                repo.schema(source_id).unwrap(),
+                repo.schema(target_id).unwrap(),
+                &harmony_core::index::BlockingPolicy::default(),
+            );
+            let expected = Selection::OneToOne { min: threshold }.apply(&standalone.matrix);
+            assert_eq!(r.matches.len(), expected.len());
+            assert!(r.matches.validated().count() == r.matches.len());
+        }
+        // Shared tables collide across schemata, so some record is non-empty.
+        assert!(repo.records().iter().any(|r| !r.matches.is_empty()));
+        // Unknown ids fail fast without recording anything.
+        let before = repo.records().len();
+        let err = repo
+            .match_and_record_all(
+                &engine,
+                &[(SchemaId(1), SchemaId(99))],
+                threshold,
+                MatchContextTag::Search,
+                "t",
+                "",
+            )
+            .unwrap_err();
+        assert!(err.contains("not registered"));
+        assert_eq!(repo.records().len(), before);
     }
 
     #[test]

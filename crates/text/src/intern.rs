@@ -260,6 +260,13 @@ pub type PairKeyBuild = std::hash::BuildHasherDefault<PairKeyHasher>;
 /// itself when a different arena shows up, so two arenas that both hand out
 /// ids `0, 1, 2, …` for different strings can never serve each other's
 /// values.
+///
+/// Occupancy is bounded by [`Self::CAPACITY`]: the memos live in
+/// thread-locals on *persistent* executor workers (process lifetime, not
+/// per-run scoped threads), so an unbounded table would grow with every
+/// distinct pair a long-running service ever scores. Hitting the bound
+/// clears the table — memoized functions are pure, so a flush can never
+/// change a result, only recompute it.
 #[derive(Default)]
 pub struct PairMemo {
     tag: u32,
@@ -267,6 +274,13 @@ pub struct PairMemo {
 }
 
 impl PairMemo {
+    /// Maximum resident entries before the table flushes. At 2^18 occupied
+    /// entries a std `HashMap<u64, f64>` holds roughly twice that many
+    /// ~17-byte slots (control byte + key + value), i.e. on the order of
+    /// 10 MB per memo per worker thread — bounded and predictable, versus
+    /// unbounded growth over a service's lifetime.
+    pub const CAPACITY: usize = 1 << 18;
+
     /// An empty memo.
     pub fn new() -> Self {
         PairMemo::default()
@@ -289,6 +303,9 @@ impl PairMemo {
         let key = (u64::from(a.0) << 32) | u64::from(b.0);
         if let Some(&v) = self.map.get(&key) {
             return v;
+        }
+        if self.map.len() >= Self::CAPACITY {
+            self.map.clear();
         }
         let v = f();
         self.map.insert(key, v);
@@ -428,6 +445,25 @@ mod tests {
         assert_eq!(memo.get_or_insert_with(a.tag(), x, z, || 0.1), 0.1);
         assert_eq!(memo.get_or_insert_with(a.tag(), z, x, || 0.2), 0.2);
         assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn pair_memo_occupancy_is_bounded() {
+        // Distinct pairs beyond CAPACITY flush the table instead of growing
+        // it without bound (the memos live on persistent worker threads).
+        let arena = TokenArena::new();
+        let mut memo = PairMemo::new();
+        let probes = PairMemo::CAPACITY + 1000;
+        for i in 0..probes {
+            let a = TokenId(i as u32);
+            let b = TokenId((i % 7) as u32);
+            memo.get_or_insert_with(arena.tag(), a, b, || 0.5);
+        }
+        assert!(memo.len() <= PairMemo::CAPACITY);
+        assert!(!memo.is_empty());
+        // Values survive a flush semantically: recomputation is pure.
+        let v = memo.get_or_insert_with(arena.tag(), TokenId(0), TokenId(0), || 0.25);
+        assert!(v == 0.25 || v == 0.5);
     }
 
     #[test]

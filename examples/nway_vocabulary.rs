@@ -25,14 +25,35 @@ fn main() {
         println!("{n}: {} elements", s.len());
     }
 
-    // Pairwise matching: each unordered pair gets a one-to-one match. The
-    // engine's feature cache prepares each schema once, not once per pairing.
+    // Pairwise matching is one planned batch — the production path for
+    // every many-pair workload: the planner prepares and token-indexes each
+    // of the five schemata exactly once, generates candidates per pair from
+    // the shared index under the default blocking policy, and executes all
+    // ten pairs concurrently on the persistent executor.
     let engine = MatchEngine::new();
     let threshold = Confidence::new(0.35);
+
+    // The planner is also directly visible: inspect the Plan stage before
+    // committing to execution.
+    let batch = engine.batch().plan_all_pairs(&schemas);
+    println!(
+        "batch plan: {} schemata indexed once, {} pair requests, planned in {:?}",
+        batch.index().len(),
+        batch.requests().len(),
+        batch.plan_time()
+    );
+    drop(batch);
+
+    // `populate_pairwise` runs exactly that batch and closes the union-find.
     let mut nway = NWayMatch::new(schemas.clone());
     let outcomes = nway.populate_pairwise(&engine, threshold, "engine");
     let recorded: usize = outcomes.iter().map(|o| o.validated).sum();
-    println!("pairwise matches recorded: {recorded}");
+    let scored: usize = outcomes.iter().map(|o| o.pairs_scored).sum();
+    let considered: usize = outcomes.iter().map(|o| o.pairs_considered).sum();
+    println!(
+        "pairwise matches recorded: {recorded} ({scored} of {considered} cross-product pairs scored, {:.1}%)",
+        100.0 * scored as f64 / considered.max(1) as f64
+    );
 
     // The comprehensive vocabulary and its 2^N − 1 cells.
     let vocabulary = nway.vocabulary();

@@ -1,0 +1,182 @@
+//! Pin: batch execution is an *execution* change, never a semantics change.
+//!
+//! The batch planner (`harmony_core::batch`) amortizes preparation and
+//! token-index builds across a whole pair list and executes all pairs
+//! concurrently on the persistent executor. Its contract is that every
+//! per-pair result is byte-identical to the sequential per-pair
+//! `run_blocked` loop it replaces — across synthetic seeds, pair counts,
+//! and worker-pool widths (the executor analogue of `SM_THREADS` ∈
+//! {1, 2, 8}: the global pool reads `SM_THREADS` once per process, so the
+//! pin injects explicitly-sized pools instead, which exercises exactly the
+//! code path the env var sizes).
+
+use harmony_core::prelude::*;
+use sm_schema::Schema;
+use sm_synth::{RepositoryConfig, SyntheticRepository};
+use sm_text::normalize::Normalizer;
+use std::sync::Arc;
+
+/// A small population of genuinely overlapping schemata.
+fn population(seed: u64, n: usize) -> Vec<Schema> {
+    let repo = SyntheticRepository::generate(&RepositoryConfig {
+        seed,
+        domains: 1,
+        schemas_per_domain: n,
+        concepts_per_domain: 14,
+        concept_coverage: 0.6,
+        attrs_per_concept: (3, 6),
+    });
+    repo.schemas
+}
+
+fn engine(threads: usize) -> MatchEngine {
+    // Private feature cache (other tests' global-cache traffic can't
+    // interfere) + a private pool of exactly `threads` workers.
+    MatchEngine::new()
+        .with_normalizer(Normalizer::new())
+        .with_threads(threads)
+        .with_executor(Arc::new(Executor::new(threads)))
+}
+
+/// The legacy shape: a sequential loop of standalone `run_blocked` calls.
+fn sequential_loop(
+    engine: &MatchEngine,
+    schemas: &[&Schema],
+    requests: &[(usize, usize)],
+    policy: &BlockingPolicy,
+) -> Vec<BlockedMatchResult> {
+    requests
+        .iter()
+        .map(|&(i, j)| engine.run_blocked(schemas[i], schemas[j], policy))
+        .collect()
+}
+
+/// Batch execution is byte-identical to the sequential per-pair
+/// `run_blocked` loop — across seeds, pair counts, pool widths, and both
+/// the default and exhaustive policies.
+#[test]
+fn batch_is_byte_identical_to_sequential_blocked_loop() {
+    for (seed, n) in [(11u64, 3usize), (29, 5)] {
+        let schemas = population(seed, n);
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        // All unordered pairs, and a sparse subset (pair-count variation).
+        let all_pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let subset: Vec<(usize, usize)> = all_pairs.iter().copied().step_by(2).collect();
+
+        for threads in [1usize, 2, 8] {
+            let engine = engine(threads);
+            for policy in [BlockingPolicy::default(), BlockingPolicy::Exhaustive] {
+                for requests in [&all_pairs, &subset] {
+                    let expected = sequential_loop(&engine, &refs, requests, &policy);
+                    let result = engine
+                        .batch()
+                        .with_policy(policy)
+                        .plan(&refs, requests.iter().copied())
+                        .run();
+                    assert_eq!(result.pairs.len(), expected.len());
+                    for (got, want) in result.pairs.iter().zip(&expected) {
+                        assert_eq!(
+                            got.result.matrix.as_slice(),
+                            want.matrix.as_slice(),
+                            "batch diverged from sequential run_blocked \
+                             (seed {seed}, n {n}, {threads} threads, {policy:?}, \
+                             pair ({}, {}))",
+                            got.left,
+                            got.right
+                        );
+                        assert_eq!(got.result.pairs_scored, want.pairs_scored);
+                        assert_eq!(got.result.pairs_considered, want.pairs_considered);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Re-running the same batch (warm cache, fresh plan) reproduces itself,
+/// and plans on differently-sized pools agree with each other.
+#[test]
+fn batch_is_deterministic_across_pool_widths() {
+    let schemas = population(7, 4);
+    let refs: Vec<&Schema> = schemas.iter().collect();
+    let baseline = engine(1).batch().plan_all_pairs(&refs).run();
+    for threads in [2usize, 8] {
+        let result = engine(threads).batch().plan_all_pairs(&refs).run();
+        for (got, want) in result.pairs.iter().zip(&baseline.pairs) {
+            assert_eq!(
+                got.result.matrix.as_slice(),
+                want.result.matrix.as_slice(),
+                "pool width {threads} changed pair ({}, {})",
+                got.left,
+                got.right
+            );
+        }
+    }
+    // And a warm re-run on the same engine instance.
+    let engine = engine(2);
+    let first = engine.batch().plan_all_pairs(&refs).run();
+    let second = engine.batch().plan_all_pairs(&refs).run();
+    for (a, b) in first.pairs.iter().zip(&second.pairs) {
+        assert_eq!(a.result.matrix.as_slice(), b.result.matrix.as_slice());
+    }
+}
+
+/// The N-way vocabulary built through the batched `populate_pairwise` is
+/// identical to the historical sequential dense loop: exactly under the
+/// exhaustive policy, and equally under the default blocking policy (whose
+/// recall property keeps every dense above-threshold pair, so one-to-one
+/// selection — and therefore the union-find closure — sees the same pairs).
+#[test]
+fn nway_vocabulary_unchanged_by_batched_blocking() {
+    let schemas = population(42, 5);
+    let refs: Vec<&Schema> = schemas.iter().collect();
+    let engine = engine(2);
+    let threshold = Confidence::new(0.35);
+    let selection = Selection::OneToOne { min: threshold };
+
+    // The pre-batch behavior, reproduced verbatim: sequential dense
+    // run_select per unordered pair.
+    let mut legacy = NWayMatch::new(refs.clone());
+    for i in 0..refs.len() {
+        for j in (i + 1)..refs.len() {
+            let (_, selected) = engine.pipeline().run_select(refs[i], refs[j], &selection);
+            let mut validated = MatchSet::new();
+            for c in selected.all() {
+                validated.push(c.clone().validate("engine", MatchAnnotation::Equivalent));
+            }
+            legacy.add_pairwise(i, j, &validated);
+        }
+    }
+    let legacy_vocab = legacy.vocabulary();
+    assert!(
+        legacy_vocab.terms.iter().any(|t| t.schema_count() > 1),
+        "workload must produce cross-schema terms for the pin to mean anything"
+    );
+
+    let mut exhaustive = NWayMatch::new(refs.clone());
+    exhaustive.populate_pairwise_with_policy(
+        &engine,
+        &BlockingPolicy::Exhaustive,
+        threshold,
+        "engine",
+    );
+    assert_eq!(
+        exhaustive.vocabulary(),
+        legacy_vocab,
+        "exhaustive batch must reproduce the dense loop exactly"
+    );
+
+    let mut blocked = NWayMatch::new(refs.clone());
+    let outcomes = blocked.populate_pairwise(&engine, threshold, "engine");
+    assert!(
+        outcomes.iter().any(|o| o.pairs_scored < o.pairs_considered),
+        "default policy must actually prune"
+    );
+    assert_eq!(
+        blocked.vocabulary(),
+        legacy_vocab,
+        "default blocking changed the vocabulary"
+    );
+}
