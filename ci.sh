@@ -63,6 +63,50 @@ print(
 )
 PY
 
+echo "==> BENCH_blocking.json block-stage gate (CSR index + parallel probe)"
+python3 - BENCH_blocking.json <<'PY'
+import json
+import sys
+
+# PR 4's checked-in single-threaded Block stage at 1378x784 was 0.056186 s
+# (map-keyed postings, IDF recomputed per probe, serial probing). The flat
+# CSR rebuild must keep the checked-in value at or below half of that;
+# regressing past the gate means per-probe hashing/ln or quadratic pair
+# bookkeeping crept back into candidate generation. Blocking must also stay
+# lossless on the benchmark workload (recall gates), and the thread-scaling
+# curve must never make more workers slower (5% jitter allowance).
+OLD_BLOCK_SECS = 0.056186
+MAX_BLOCK_SECS = OLD_BLOCK_SECS * 0.5
+
+path = sys.argv[1]
+with open(path) as fh:
+    doc = json.load(fh)
+block = doc["block_stage_secs"]
+if block > MAX_BLOCK_SECS:
+    sys.exit(
+        f"{path}: block_stage_secs = {block:.6f} s exceeds the CSR gate of "
+        f"{MAX_BLOCK_SECS:.6f} s (50% of the map-path {OLD_BLOCK_SECS} s)"
+    )
+for key in ("candidate_recall", "score_recall"):
+    if doc[key] != 1.0:
+        sys.exit(f"{path}: {key} = {doc[key]} (blocking must stay lossless)")
+curve = doc["block_scaling"]
+if not curve or curve[0]["threads"] != 1:
+    sys.exit(f"{path}: block_scaling must start at 1 thread")
+for prev, cur in zip(curve, curve[1:]):
+    if cur["block_stage_secs"] > prev["block_stage_secs"] * 1.05:
+        sys.exit(
+            f"{path}: block stage at {cur['threads']} threads "
+            f"({cur['block_stage_secs']:.6f} s) is slower than at "
+            f"{prev['threads']} ({prev['block_stage_secs']:.6f} s)"
+        )
+print(
+    f"{path}: block stage {block:.6f} s <= {MAX_BLOCK_SECS:.6f} s "
+    f"({OLD_BLOCK_SECS / max(block, 1e-12):.1f}x vs map path), recalls 1.0, "
+    f"scaling curve non-increasing over {len(curve)} thread points"
+)
+PY
+
 echo "==> BENCH_nway.json batch gate (executor + batch planner)"
 python3 - BENCH_nway.json <<'PY'
 import json

@@ -168,6 +168,13 @@ fn repo_search_point(size: usize) -> SearchPoint {
     }
 }
 
+/// One point of the block-stage thread-scaling curve.
+struct ScalePoint {
+    threads: usize,
+    block_secs: f64,
+    total_secs: f64,
+}
+
 fn main() {
     header(
         "blocking_baseline",
@@ -184,7 +191,7 @@ fn main() {
         .with_threads(threads);
     let policy = BlockingPolicy::default();
 
-    const REPS: usize = 3;
+    const REPS: usize = 5;
     let mut dense_runs: Vec<MatchResult> = (0..REPS)
         .map(|_| engine.run(&pair.source, &pair.target))
         .collect();
@@ -196,6 +203,60 @@ fn main() {
         .collect();
     blocked_runs.sort_by_key(|r| r.elapsed);
     let blocked = &blocked_runs[REPS / 2];
+
+    // Block-stage thread-scaling curve: 1, 2, and max threads (median of
+    // REPS each, keyed by the block stage itself so probe noise in other
+    // stages cannot reorder the curve). Engines share the global executor;
+    // lanes are capped at pool width − 1 helpers + the caller, so a host
+    // with fewer cores than the requested thread count degrades to the
+    // serial path instead of oversubscribing (see `harmony_core::exec`).
+    let mut thread_points: Vec<usize> = vec![1, 2, detect_threads().max(2)];
+    thread_points.dedup();
+    // One pre-warmed engine per thread point; rounds interleave the points
+    // (1, 2, …, max, then again) so slow drift — CPU frequency wander,
+    // cache warmth — lands on every point equally instead of biasing
+    // whichever point happened to run in a fast minute. Medians are taken
+    // per point across rounds, keyed by the block stage itself.
+    let engines: Vec<MatchEngine> = thread_points
+        .iter()
+        .map(|&n| {
+            let engine = MatchEngine::new()
+                .with_normalizer(Normalizer::new())
+                .with_threads(n);
+            // Warm the engine's private feature cache outside the timings.
+            let _ = engine.prepare(&pair.source);
+            let _ = engine.prepare(&pair.target);
+            engine
+        })
+        .collect();
+    let mut samples: Vec<Vec<(std::time::Duration, std::time::Duration)>> =
+        vec![Vec::with_capacity(REPS); thread_points.len()];
+    for round in 0..REPS {
+        // Forward on even rounds, reversed on odd: no point always runs on
+        // the freshly-idle (or freshly-warmed) core.
+        let order: Vec<usize> = if round % 2 == 0 {
+            (0..engines.len()).collect()
+        } else {
+            (0..engines.len()).rev().collect()
+        };
+        for point in order {
+            let run = engines[point].run_blocked(&pair.source, &pair.target, &policy);
+            samples[point].push((run.timings.block, run.elapsed));
+        }
+    }
+    let scaling: Vec<ScalePoint> = thread_points
+        .iter()
+        .zip(&mut samples)
+        .map(|(&n, samples)| {
+            samples.sort_by_key(|&(block, _)| block);
+            let (block, total) = samples[samples.len() / 2];
+            ScalePoint {
+                threads: n,
+                block_secs: block.as_secs_f64(),
+                total_secs: total.as_secs_f64(),
+            }
+        })
+        .collect();
 
     let dense_secs = dense.elapsed.as_secs_f64();
     let blocked_secs = blocked.elapsed.as_secs_f64();
@@ -252,6 +313,13 @@ fn main() {
     println!(
         "ground truth @{THRESHOLD}: dense {truth_dense}/{truth_total}, blocked {truth_blocked}/{truth_total}"
     );
+    println!("block-stage thread scaling (median of {REPS}):");
+    for p in &scaling {
+        println!(
+            "  {} thread(s): block {:.4}s  blocked total {:.4}s",
+            p.threads, p.block_secs, p.total_secs
+        );
+    }
 
     // -------- Part B: repository search latency scaling. ------------------
     println!("\nrepository search (linear scan vs token index):");
@@ -283,12 +351,23 @@ fn main() {
             )
         })
         .collect();
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"block_stage_secs\": {:.6}, \
+                 \"blocked_total_secs\": {:.6}}}",
+                p.threads, p.block_secs, p.total_secs
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"scale\": {{\"rows\": {rows}, \"cols\": {cols}, \"pairs\": {pairs}}},\n  \
-         \"threads\": {threads},\n  \"threshold\": {THRESHOLD},\n  \
+         \"threads\": {threads},\n  \"threshold\": {THRESHOLD},\n  \"reps\": {REPS},\n  \
          \"dense_secs\": {dense_secs:.6},\n  \"blocked_secs\": {blocked_secs:.6},\n  \
          \"blocked_over_dense\": {ratio:.4},\n  \
          \"block_stage_secs\": {block:.6},\n  \
+         \"block_scaling\": [\n{scaling}\n  ],\n  \
          \"pairs_scored\": {scored},\n  \"candidate_fraction\": {fraction:.6},\n  \
          \"dense_above_threshold\": {above},\n  \
          \"candidate_recall\": {candidate_recall:.6},\n  \
@@ -301,7 +380,8 @@ fn main() {
          \"sublinear\": {sublinear}}}\n}}\n",
         pairs = rows * cols,
         ratio = blocked_secs / dense_secs.max(1e-12),
-        block = blocked.timings.block.as_secs_f64(),
+        block = scaling[0].block_secs,
+        scaling = scaling_json.join(",\n"),
         scored = blocked.pairs_scored,
         fraction = blocked.pairs_scored as f64 / blocked.pairs_considered.max(1) as f64,
         above = dense_above.len(),

@@ -10,11 +10,14 @@
 //!
 //! Thread counts come from `harmony_core::engine::detect_threads` (the
 //! `SM_THREADS` env var overrides; `available_parallelism` and
-//! `/proc/cpuinfo` are the fallbacks). On a single-core host the
-//! multi-threaded run still spawns two workers so the scoped-thread
-//! work-stealing path — dense *and* blocked — is actually exercised and
-//! honestly labeled, instead of silently collapsing into a second copy of
-//! the single-threaded run.
+//! `/proc/cpuinfo` are the fallbacks). The multi-threaded run is labeled
+//! with the *requested* engine width (min 2); the executor caps actual
+//! lanes at its pool width — caller + pool-width−1 helpers — so on a host
+//! with fewer cores than the request the run degrades to the serial path
+//! instead of oversubscribing (requesting more workers is never slower
+//! than requesting fewer; see `harmony_core::exec`). The block-stage
+//! scaling section reports the blocked Block stage at 1, 2, and max
+//! threads, median of N reps each.
 //!
 //! Run with: `cargo run --release -p sm-bench --bin pipeline_baseline`
 
@@ -31,6 +34,17 @@ fn median_secs(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Slot visit order for one interleaved measurement round: forward on even
+/// rounds, reversed on odd ones, so no slot is always the one running on a
+/// freshly-idle (or freshly-warmed) core.
+fn round_order(round: usize, slots: usize) -> Vec<usize> {
+    if round % 2 == 0 {
+        (0..slots).collect()
+    } else {
+        (0..slots).rev().collect()
+    }
+}
+
 fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
@@ -42,37 +56,57 @@ fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     median_secs(&mut samples)
 }
 
-/// Median full dense run (by total) with its stage breakdown.
-fn timed_runs(
-    engine: &MatchEngine,
+/// Median full dense run (by total) with its stage breakdown, per engine.
+/// Rounds interleave the engines (one run each per round) so slow drift —
+/// CPU frequency wander, cache warmth — lands on every engine equally; a
+/// sequential block per engine would bias whichever ran in a fast minute,
+/// which is exactly the artifact an ST-vs-MT comparison must not carry.
+fn timed_runs_interleaved(
+    engines: &[&MatchEngine],
     pair: &sm_synth::SchemaPair,
     reps: usize,
-) -> (f64, StageTimings) {
-    let mut runs: Vec<(f64, StageTimings)> = (0..reps)
-        .map(|_| {
-            let r = engine.run(&pair.source, &pair.target);
-            (r.elapsed.as_secs_f64(), r.timings)
+) -> Vec<(f64, StageTimings)> {
+    let mut samples: Vec<Vec<(f64, StageTimings)>> = vec![Vec::with_capacity(reps); engines.len()];
+    for round in 0..reps {
+        // Alternate the within-round order too: the slot that runs second
+        // consistently sees a slightly warmer (slower) core.
+        for slot in round_order(round, engines.len()) {
+            let r = engines[slot].run(&pair.source, &pair.target);
+            samples[slot].push((r.elapsed.as_secs_f64(), r.timings));
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut runs| {
+            runs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            runs[runs.len() / 2]
         })
-        .collect();
-    runs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-    runs[runs.len() / 2]
+        .collect()
 }
 
-/// Median blocked run (by total) with its stage breakdown and scored count.
-fn timed_blocked_runs(
-    engine: &MatchEngine,
+/// [`timed_runs_interleaved`] for blocked runs, also reporting the scored
+/// candidate count (identical across engines — blocking is deterministic).
+fn timed_blocked_runs_interleaved(
+    engines: &[&MatchEngine],
     pair: &sm_synth::SchemaPair,
     policy: &BlockingPolicy,
     reps: usize,
-) -> (f64, StageTimings, usize) {
-    let mut runs: Vec<(f64, StageTimings, usize)> = (0..reps)
-        .map(|_| {
-            let r = engine.run_blocked(&pair.source, &pair.target, policy);
-            (r.elapsed.as_secs_f64(), r.timings, r.pairs_scored)
+) -> Vec<(f64, StageTimings, usize)> {
+    let mut samples: Vec<Vec<(f64, StageTimings, usize)>> =
+        vec![Vec::with_capacity(reps); engines.len()];
+    for round in 0..reps {
+        for slot in round_order(round, engines.len()) {
+            let r = engines[slot].run_blocked(&pair.source, &pair.target, policy);
+            samples[slot].push((r.elapsed.as_secs_f64(), r.timings, r.pairs_scored));
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut runs| {
+            runs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            runs[runs.len() / 2]
         })
-        .collect();
-    runs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-    runs[runs.len() / 2]
+        .collect()
 }
 
 fn stage_json(label: &str, threads: usize, total: f64, stages: &StageTimings) -> String {
@@ -145,15 +179,43 @@ fn main() {
     let engine_mt = MatchEngine::new()
         .with_feature_cache(std::sync::Arc::clone(&cache))
         .with_threads(threads_mt);
-    let (st_total, st_stages) = timed_runs(&engine_st, &pair, REPS);
-    let (mt_total, mt_stages) = timed_runs(&engine_mt, &pair, REPS);
+    let dense = timed_runs_interleaved(&[&engine_st, &engine_mt], &pair, REPS);
+    let ((st_total, st_stages), (mt_total, mt_stages)) = (dense[0], dense[1]);
 
     // Blocked runs at both thread counts: the sparse Score stage fans out
     // across the same work-stealing workers as the dense one.
     let policy = BlockingPolicy::default();
-    let (bst_total, bst_stages, pairs_scored) =
-        timed_blocked_runs(&engine_st, &pair, &policy, REPS);
-    let (bmt_total, bmt_stages, _) = timed_blocked_runs(&engine_mt, &pair, &policy, REPS);
+    let blocked = timed_blocked_runs_interleaved(&[&engine_st, &engine_mt], &pair, &policy, REPS);
+    let ((bst_total, bst_stages, pairs_scored), (bmt_total, bmt_stages, _)) =
+        (blocked[0], blocked[1]);
+
+    // Block-stage thread scaling at 1, 2, and max threads (median of REPS
+    // each): the parallel candidate generation must never make 2 workers
+    // slower than 1, and should scale where the host has the cores. Rounds
+    // interleave the thread points so slow drift (CPU frequency wander)
+    // lands on every point equally instead of biasing one.
+    let mut scaling_threads: Vec<usize> = vec![1, 2, threads_mt];
+    scaling_threads.dedup();
+    let scaling_engines: Vec<MatchEngine> = scaling_threads
+        .iter()
+        .map(|&n| {
+            MatchEngine::new()
+                .with_feature_cache(std::sync::Arc::clone(&cache))
+                .with_threads(n)
+        })
+        .collect();
+    let mut block_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(REPS); scaling_threads.len()];
+    for round in 0..REPS {
+        for point in round_order(round, scaling_engines.len()) {
+            let r = scaling_engines[point].run_blocked(&pair.source, &pair.target, &policy);
+            block_samples[point].push(r.timings.block.as_secs_f64());
+        }
+    }
+    let block_scaling: Vec<(usize, f64)> = scaling_threads
+        .iter()
+        .zip(&mut block_samples)
+        .map(|(&n, samples)| (n, median_secs(samples)))
+        .collect();
 
     let speedup = cold_context / cached_context.max(1e-12);
     let stats = cache.stats();
@@ -183,6 +245,10 @@ fn main() {
         "feature cache: {} hits / {} misses / {} evictions / {} resident",
         stats.hits, stats.misses, stats.evictions, stats.entries
     );
+    println!("block-stage scaling (median of {REPS}):");
+    for (n, secs) in &block_scaling {
+        println!("  {n} thread(s): block {secs:.4}s");
+    }
 
     // Hand-rolled JSON (the offline serde stand-in has no serializer).
     let json = format!(
@@ -193,10 +259,16 @@ fn main() {
          \"cached_speedup\": {speedup:.2}\n  }},\n  \
          {single},\n  {multi},\n  {bsingle},\n  {bmulti},\n  \
          \"blocked_pairs_scored\": {pairs_scored},\n  \
+         \"block_stage_scaling\": [\n{scaling}\n  ],\n  \
          \"feature_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \
          \"evictions\": {evictions}, \"entries\": {entries}}},\n  \
          \"paper_reference_secs\": 10.2\n}}\n",
         pairs = rows * cols,
+        scaling = block_scaling
+            .iter()
+            .map(|(n, secs)| format!("    {{\"threads\": {n}, \"block_stage_secs\": {secs:.6}}}"))
+            .collect::<Vec<_>>()
+            .join(",\n"),
         single = stage_json("full_run_secs", 1, st_total, &st_stages),
         multi = stage_json("full_run_mt_secs", threads_mt, mt_total, &mt_stages),
         bsingle = stage_json("blocked_run_secs", 1, bst_total, &bst_stages),

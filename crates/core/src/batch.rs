@@ -196,11 +196,13 @@ pub struct BatchIndex {
 
 impl BatchIndex {
     /// Index every prepared schema, concurrently on the executor (at most
-    /// `parallelism` lanes).
+    /// `parallelism` lanes). Each schema's build further fans its element
+    /// chunks out to the same pool ([`ElementTokenIndex::build_parallel`]),
+    /// so a small batch of large schemata still fills every lane.
     pub fn build(exec: &Executor, parallelism: usize, prepared: &[Arc<PreparedSchema>]) -> Self {
         BatchIndex {
             per_schema: exec.run_map(parallelism, prepared, |_, prepared| {
-                ElementTokenIndex::build(prepared)
+                ElementTokenIndex::build_parallel(prepared, exec, parallelism)
             }),
         }
     }

@@ -157,8 +157,15 @@ impl Executor {
     /// return when every lane has finished.
     ///
     /// Lane 0 always runs on the calling thread; lanes `1..` are offered to
-    /// the pool (capped at the pool width — extra lanes beyond the worker
-    /// count could never run concurrently anyway). `work` must be written as
+    /// the pool, capped at **pool width − 1**: the caller participates, so
+    /// a `threads`-wide pool already has its full width of runnable lanes
+    /// with `threads − 1` helpers. Offering `threads` helpers — the
+    /// pre-PR-5 behavior — oversubscribed the machine by one thread, which
+    /// on a small host turned "2 workers" into two threads time-slicing one
+    /// core and made the multi-threaded dense run *slower* than the serial
+    /// one (`BENCH_pipeline.json`, PR 4: 0.321 s at 2 threads vs 0.282 s at
+    /// 1). In particular, a 1-wide pool now runs every lane inline on the
+    /// caller. `work` must be written as
     /// a *claim loop* over shared state: any subset of lanes, in any order,
     /// must complete the whole job, because a helper lane may start
     /// arbitrarily late — or find the queue already drained — when the pool
@@ -172,7 +179,10 @@ impl Executor {
     where
         F: Fn(usize) + Sync,
     {
-        let helpers = parallelism.max(1).saturating_sub(1).min(self.threads);
+        let helpers = parallelism
+            .max(1)
+            .saturating_sub(1)
+            .min(self.threads.saturating_sub(1));
         if helpers == 0 {
             work(0);
             return;

@@ -18,6 +18,36 @@
 //!    sparse row-major (CSR) pair set the pipeline then scores instead of
 //!    the full cross product.
 //!
+//! # Layout: flat CSR, weights precomputed
+//!
+//! The index is a *flat* compressed-sparse-row store: one sorted feature-id
+//! table, one contiguous postings arena sliced by CSR offsets, and one
+//! parallel `f64` table of **IDF weights computed once at build** — a probe
+//! does a binary search over contiguous `u32`s and reads its weight next to
+//! the posting slice, instead of hashing a `TokenId` into a
+//! `HashMap<TokenId, Vec<u32>>` and recomputing `ln((n+1)/(df+1))+1` per
+//! feature per probing element. The exact-name table is flattened the same
+//! way (sorted distinct name-token sequences + CSR postings). Weights are
+//! per-feature functions of `(n, df)` only, so precomputation changes no
+//! bit of any accumulated overlap: each probe row still adds the exact same
+//! `f64` values in the exact same feature order as the historical map-keyed
+//! implementation (retained, verbatim, in [`reference`] and pinned against
+//! this module in `tests/csr_index_pin.rs`).
+//!
+//! # Parallelism
+//!
+//! Index build and probing both run on the persistent
+//! [`crate::exec::Executor`] when the caller provides one
+//! ([`generate_candidates_exec`] / [`ElementTokenIndex::build_parallel`];
+//! the plain entry points run the same code inline). Build fans element
+//! chunks out to lanes and merges their `(feature, element)` pair lists in
+//! deterministic chunk order; probing fans chunks of *both* directions out
+//! through one shared claim queue, so the source→target and target→source
+//! probes execute as concurrent lanes and each lane reuses one
+//! accumulator/scratch block across every element it claims. Results are
+//! assembled in element order, so the candidate set is bit-identical at
+//! every lane count.
+//!
 //! Candidate generation runs in both directions (source→target and
 //! target→source) and the results are unioned, so an element with an
 //! unusually generic vocabulary on one side can still be rescued by the
@@ -27,18 +57,69 @@
 //! reads its parents' *scored* base value, never an unscored zero) and
 //! implicitly recovers container pairs whose own names disagree but whose
 //! children overlap — exactly the pairs the `StructureVoter` exists for.
+//! The union, child-rescue, and parent-closure passes all operate on one
+//! flat packed pair list (sorted `(row << 32) | col` keys) instead of
+//! per-row `Vec<Vec<u32>>` buffers: closure membership is a merge walk over
+//! sorted runs, not a linear `contains` per frontier pair.
 
+use crate::exec::Executor;
 use crate::prepare::PreparedSchema;
 use sm_schema::Schema;
 use sm_text::intern::{TokenArena, TokenId};
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
 
 /// Smoothed IDF weight of a feature present in `df` of `n` documents — the
 /// same shape the repository search index uses, so "rare ⇒ discriminating"
 /// means the same thing at both element and schema granularity.
 fn idf_weight(n: f64, df: f64) -> f64 {
     ((n + 1.0) / (df + 1.0)).ln() + 1.0
+}
+
+/// Flat CSR posting arrays assembled from *sorted* packed
+/// `(key << 32) | slot` pairs: distinct keys ascending, `offsets[k]..[k+1]`
+/// slicing `postings` (slots ascending per key), and
+/// `weights[k] = ln((n_docs+1)/(df+1)) + 1` — the one smoothed-IDF formula
+/// shared by the element-level blocking index and the repository index, so
+/// precomputed weight bits are identical wherever the layout is used.
+pub fn csr_from_sorted_pairs(pairs: &[u64], n_docs: f64) -> CsrPostings {
+    debug_assert!(pairs.windows(2).all(|w| w[0] <= w[1]), "pairs sorted");
+    let mut keys: Vec<u32> = Vec::new();
+    let mut offsets: Vec<u32> = vec![0];
+    let mut postings: Vec<u32> = Vec::with_capacity(pairs.len());
+    let mut weights: Vec<f64> = Vec::new();
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let key = (pairs[i] >> 32) as u32;
+        let start = i;
+        while i < pairs.len() && (pairs[i] >> 32) as u32 == key {
+            postings.push((pairs[i] & 0xffff_ffff) as u32);
+            i += 1;
+        }
+        keys.push(key);
+        offsets.push(postings.len() as u32);
+        weights.push(idf_weight(n_docs, (i - start) as f64));
+    }
+    CsrPostings {
+        keys,
+        offsets,
+        postings,
+        weights,
+    }
+}
+
+/// Output of [`csr_from_sorted_pairs`]: one flat CSR posting store with its
+/// precomputed per-key IDF weights.
+#[derive(Debug)]
+pub struct CsrPostings {
+    /// Distinct keys, ascending.
+    pub keys: Vec<u32>,
+    /// `offsets[k]..offsets[k+1]` slices `postings` for `keys[k]`.
+    pub offsets: Vec<u32>,
+    /// Contiguous posting arena: ascending slots per key.
+    pub postings: Vec<u32>,
+    /// Precomputed smoothed IDF weight per key.
+    pub weights: Vec<f64>,
 }
 
 /// How aggressively to prune the candidate space. All policies operate on
@@ -84,7 +165,7 @@ impl Default for BlockingPolicy {
 /// A sparse set of candidate `(source element, target element)` pairs in
 /// CSR (row-major) layout: for each source row, a sorted slice of target
 /// column indices.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CandidateSet {
     rows: usize,
     cols: usize,
@@ -95,8 +176,9 @@ pub struct CandidateSet {
 
 impl CandidateSet {
     /// Build from per-row candidate lists (each list must be sorted and
-    /// deduplicated).
-    fn from_rows(rows_lists: Vec<Vec<u32>>, cols: usize) -> Self {
+    /// deduplicated). Used by the [`reference`] implementation and tests;
+    /// the CSR path assembles from a flat sorted pair list instead.
+    pub(crate) fn from_rows(rows_lists: Vec<Vec<u32>>, cols: usize) -> Self {
         let rows = rows_lists.len();
         let mut offsets = Vec::with_capacity(rows + 1);
         let mut targets = Vec::with_capacity(rows_lists.iter().map(Vec::len).sum());
@@ -114,10 +196,60 @@ impl CandidateSet {
         }
     }
 
+    /// Build from a sorted, deduplicated flat list of packed
+    /// `(row << 32) | col` pairs — the zero-copy output of the flat
+    /// union/closure passes.
+    fn from_sorted_pairs(rows: usize, cols: usize, pairs: &[u64]) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        let mut offsets = Vec::with_capacity(rows + 1);
+        let mut targets = Vec::with_capacity(pairs.len());
+        offsets.push(0);
+        let mut row = 0usize;
+        for &p in pairs {
+            let (r, c) = ((p >> 32) as usize, (p & 0xffff_ffff) as u32);
+            while row < r {
+                offsets.push(targets.len());
+                row += 1;
+            }
+            targets.push(c);
+        }
+        while row < rows {
+            offsets.push(targets.len());
+            row += 1;
+        }
+        CandidateSet {
+            rows,
+            cols,
+            offsets,
+            targets,
+        }
+    }
+
+    /// A set with no candidates at all.
+    fn empty(rows: usize, cols: usize) -> Self {
+        CandidateSet {
+            rows,
+            cols,
+            offsets: vec![0; rows + 1],
+            targets: Vec::new(),
+        }
+    }
+
     /// The complete cross product (every pair a candidate).
     pub fn exhaustive(rows: usize, cols: usize) -> Self {
-        let all: Vec<u32> = (0..cols as u32).collect();
-        CandidateSet::from_rows(vec![all; rows], cols)
+        let mut offsets = Vec::with_capacity(rows + 1);
+        let mut targets = Vec::with_capacity(rows * cols);
+        offsets.push(0);
+        for _ in 0..rows {
+            targets.extend(0..cols as u32);
+            offsets.push(targets.len());
+        }
+        CandidateSet {
+            rows,
+            cols,
+            offsets,
+            targets,
+        }
     }
 
     /// Number of source rows.
@@ -162,8 +294,43 @@ impl CandidateSet {
     }
 }
 
+/// Elements per build/probe chunk: small enough that lanes load-balance,
+/// large enough that per-chunk bookkeeping (one queue claim, one result
+/// push) is noise next to the posting walks inside.
+const CHUNK_ELEMENTS: usize = 64;
+
+/// Run `f` over `chunk`-sized ranges of `0..n`, returning the chunk outputs
+/// in chunk order. With `Some((exec, parallelism))` and more than one chunk,
+/// ranges are claimed as [`Executor::run_map`] items; otherwise the loop
+/// runs inline on the caller (no executor required — tests and the plain
+/// entry points take this path). Shared with the repository-level index
+/// (`sm_enterprise::index`), whose parallel build has the same
+/// deterministic chunk-merge shape.
+pub fn run_chunked<T: Send>(
+    par: Option<(&Executor, usize)>,
+    n: usize,
+    chunk: usize,
+    f: impl Fn(usize, Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    let ranges: Vec<Range<usize>> = (0..n)
+        .step_by(chunk.max(1))
+        .map(|start| start..(start + chunk).min(n))
+        .collect();
+    match par {
+        Some((exec, parallelism)) if parallelism > 1 && ranges.len() > 1 => {
+            exec.run_map(parallelism, &ranges, |index, range| f(index, range.clone()))
+        }
+        _ => ranges
+            .into_iter()
+            .enumerate()
+            .map(|(index, range)| f(index, range))
+            .collect(),
+    }
+}
+
 /// Inverted index from lexical features to posting lists of element indices,
-/// built over one side's [`PreparedSchema`].
+/// built over one side's [`PreparedSchema`] — flat CSR layout with the IDF
+/// weight table precomputed at build (see the module docs).
 ///
 /// Features per element are the preparation's interned
 /// [`crate::prepare::PreparedElement::block_features`] (building the index
@@ -175,13 +342,25 @@ impl CandidateSet {
 ///   every multi-token name (`coi` ↔ `community_of_interest`).
 #[derive(Debug)]
 pub struct ElementTokenIndex {
-    /// Interned feature id → sorted element indices containing it.
-    postings: HashMap<TokenId, Vec<u32>>,
-    /// Exact normalized-name key (the full `name_ids` sequence) → element
-    /// indices bearing that name. Backs the exact-name rescue of candidate
-    /// generation; building it here means a batch pays it once per schema,
-    /// like every other posting.
-    name_postings: HashMap<Vec<TokenId>, Vec<u32>>,
+    /// Distinct feature ids, ascending — the binary-search probe table.
+    features: Vec<TokenId>,
+    /// `offsets[f]..offsets[f+1]` slices `postings` for `features[f]`.
+    offsets: Vec<u32>,
+    /// Contiguous posting arena: ascending element indices per feature.
+    postings: Vec<u32>,
+    /// Precomputed IDF weight of `features[f]` (`idf_weight(len, df)`,
+    /// computed once here instead of per probe per feature).
+    weights: Vec<f64>,
+    /// Flattened exact-name table: `name_key_offsets[k]..[k+1]` slices
+    /// `name_tokens` into the `k`-th distinct normalized-name token
+    /// sequence; keys ascend in `TokenId`-lexicographic sequence order.
+    name_key_offsets: Vec<u32>,
+    name_tokens: Vec<TokenId>,
+    /// `name_post_offsets[k]..[k+1]` slices `name_posts`: ascending element
+    /// indices bearing the `k`-th name key. Backs the exact-name rescue;
+    /// building it here means a batch pays it once per schema.
+    name_post_offsets: Vec<u32>,
+    name_posts: Vec<u32>,
     /// The arena the feature ids point into (string-keyed lookups intern
     /// through it).
     arena: Arc<TokenArena>,
@@ -191,38 +370,135 @@ pub struct ElementTokenIndex {
 
 impl ElementTokenIndex {
     /// Index every element of a prepared schema by its interned blocking
-    /// features.
+    /// features, inline on the calling thread.
     pub fn build(prepared: &PreparedSchema) -> Self {
-        let mut postings: HashMap<TokenId, Vec<u32>> = HashMap::new();
-        let mut name_postings: HashMap<Vec<TokenId>, Vec<u32>> = HashMap::new();
-        for idx in 0..prepared.len() {
-            let element = prepared.element(idx);
-            for &feat in &element.block_features {
-                postings.entry(feat).or_default().push(idx as u32);
-            }
-            if !element.name_ids.is_empty() {
-                // Clone the key only on first sight of a name — duplicate
-                // names (what this map exists for) just push.
-                match name_postings.get_mut(element.name_ids.as_slice()) {
-                    Some(list) => list.push(idx as u32),
-                    None => {
-                        name_postings.insert(element.name_ids.clone(), vec![idx as u32]);
-                    }
+        Self::build_opt(prepared, None)
+    }
+
+    /// [`Self::build`] with element chunks fanned out across up to
+    /// `parallelism` executor lanes. The per-chunk `(feature, element)`
+    /// pair lists are merged in chunk order before the sort that lays out
+    /// the CSR arena, so the result is bit-identical to the inline build at
+    /// every lane count.
+    pub fn build_parallel(prepared: &PreparedSchema, exec: &Executor, parallelism: usize) -> Self {
+        Self::build_opt(prepared, Some((exec, parallelism)))
+    }
+
+    fn build_opt(prepared: &PreparedSchema, par: Option<(&Executor, usize)>) -> Self {
+        let n = prepared.len();
+
+        // Phase 1 (parallel): per element chunk, emit packed
+        // `(feature << 32) | element` pairs. Chunks merge in chunk order,
+        // i.e. element order — deterministic at any lane count.
+        let chunk_pairs = run_chunked(par, n, CHUNK_ELEMENTS, |_, range| {
+            let mut out: Vec<u64> = Vec::new();
+            for idx in range {
+                for &feat in prepared.block_features_of(idx) {
+                    out.push((u64::from(feat.0) << 32) | idx as u64);
                 }
             }
+            out
+        });
+        let mut pairs: Vec<u64> = Vec::with_capacity(chunk_pairs.iter().map(Vec::len).sum());
+        for c in chunk_pairs {
+            pairs.extend(c);
         }
+        // Feature-major, element-ascending: exactly the CSR layout order.
+        // Features are distinct per element, so there are no duplicates.
+        pairs.sort_unstable();
+        let csr = csr_from_sorted_pairs(&pairs, n as f64);
+        let features: Vec<TokenId> = csr.keys.into_iter().map(TokenId).collect();
+        let (offsets, postings, weights) = (csr.offsets, csr.postings, csr.weights);
+
+        // Phase 2 (serial; cheap next to the postings sort): the flattened
+        // exact-name table. Elements sort by (name sequence, element), so
+        // groups are contiguous and each group's postings ascend.
+        let mut named: Vec<u32> = (0..n as u32)
+            .filter(|&idx| !prepared.element(idx as usize).name_ids.is_empty())
+            .collect();
+        named.sort_unstable_by(|&a, &b| {
+            prepared
+                .element(a as usize)
+                .name_ids
+                .cmp(&prepared.element(b as usize).name_ids)
+                .then(a.cmp(&b))
+        });
+        let mut name_key_offsets: Vec<u32> = vec![0];
+        let mut name_tokens: Vec<TokenId> = Vec::new();
+        let mut name_post_offsets: Vec<u32> = vec![0];
+        let mut name_posts: Vec<u32> = Vec::with_capacity(named.len());
+        let mut j = 0usize;
+        while j < named.len() {
+            let key = prepared.element(named[j] as usize).name_ids.as_slice();
+            name_tokens.extend_from_slice(key);
+            name_key_offsets.push(name_tokens.len() as u32);
+            while j < named.len() && prepared.element(named[j] as usize).name_ids == key {
+                name_posts.push(named[j]);
+                j += 1;
+            }
+            name_post_offsets.push(name_posts.len() as u32);
+        }
+
         ElementTokenIndex {
+            features,
+            offsets,
             postings,
-            name_postings,
+            weights,
+            name_key_offsets,
+            name_tokens,
+            name_post_offsets,
+            name_posts,
             arena: Arc::clone(prepared.arena()),
-            len: prepared.len(),
+            len: n,
         }
+    }
+
+    /// Slot of a feature in the sorted table, if indexed.
+    #[inline]
+    fn feature_slot(&self, feature: TokenId) -> Option<usize> {
+        self.features.binary_search(&feature).ok()
+    }
+
+    /// Posting slice and precomputed IDF weight of a feature — the probe
+    /// loop's single lookup (`None` when the feature is absent).
+    #[inline]
+    pub fn probe_feature(&self, feature: TokenId) -> Option<(&[u32], f64)> {
+        let slot = self.feature_slot(feature)?;
+        let range = self.offsets[slot] as usize..self.offsets[slot + 1] as usize;
+        Some((&self.postings[range], self.weights[slot]))
+    }
+
+    /// The `k`-th distinct name key (sorted ascending by token sequence).
+    #[inline]
+    fn name_key(&self, k: usize) -> &[TokenId] {
+        &self.name_tokens[self.name_key_offsets[k] as usize..self.name_key_offsets[k + 1] as usize]
     }
 
     /// Elements whose full normalized name equals `name_ids` (empty when
     /// none, or when `name_ids` is empty).
     pub fn name_postings(&self, name_ids: &[TokenId]) -> &[u32] {
-        self.name_postings.get(name_ids).map_or(&[], Vec::as_slice)
+        if name_ids.is_empty() {
+            return &[];
+        }
+        let n_keys = self.name_key_offsets.len() - 1;
+        let at = {
+            let (mut lo, mut hi) = (0usize, n_keys);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if self.name_key(mid) < name_ids {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        if at < n_keys && self.name_key(at) == name_ids {
+            &self.name_posts
+                [self.name_post_offsets[at] as usize..self.name_post_offsets[at + 1] as usize]
+        } else {
+            &[]
+        }
     }
 
     /// Number of indexed elements.
@@ -237,12 +513,13 @@ impl ElementTokenIndex {
 
     /// Number of distinct features.
     pub fn feature_count(&self) -> usize {
-        self.postings.len()
+        self.features.len()
     }
 
     /// Posting list of an interned feature (empty when absent).
     pub fn postings_by_id(&self, feature: TokenId) -> &[u32] {
-        self.postings.get(&feature).map_or(&[], Vec::as_slice)
+        self.probe_feature(feature)
+            .map_or(&[], |(posting, _)| posting)
     }
 
     /// Posting list of a feature string (empty when absent). Convenience
@@ -253,81 +530,265 @@ impl ElementTokenIndex {
             .map_or(&[], |id| self.postings_by_id(id))
     }
 
+    /// IDF weight of an interned feature under this index's document
+    /// frequency — the precomputed table entry, or the `df = 0` weight for
+    /// features absent from every indexed element.
+    pub fn weight_by_id(&self, feature: TokenId) -> f64 {
+        self.feature_slot(feature).map_or_else(
+            || idf_weight(self.len as f64, 0.0),
+            |slot| self.weights[slot],
+        )
+    }
+
     /// IDF weight of a feature under this index's document frequency.
     pub fn weight(&self, feature: &str) -> f64 {
-        idf_weight(self.len as f64, self.postings(feature).len() as f64)
+        self.arena.lookup(feature).map_or_else(
+            || idf_weight(self.len as f64, 0.0),
+            |id| self.weight_by_id(id),
+        )
+    }
+
+    /// Probe one element's features under `policy`, returning its kept
+    /// `(candidate, overlap weight)` list — the per-row kernel of candidate
+    /// generation, exposed for probe micro-benches and custom drivers. The
+    /// result lives in `scratch` and is overwritten by the next call;
+    /// `scratch` must have been sized for at least [`Self::len`] candidates.
+    pub fn probe_row<'s>(
+        &self,
+        feats: &[TokenId],
+        policy: &BlockingPolicy,
+        scratch: &'s mut ProbeScratch,
+    ) -> &'s [(u32, f64)] {
+        assert!(scratch.acc.len() >= self.len, "scratch smaller than index");
+        probe_element(feats, self, policy, scratch);
+        &scratch.kept
     }
 }
 
-/// One direction of candidate generation: probe `index` (built over the
-/// `to` side) with every element of the `from` side's interned blocking
-/// features, returning per-`from`-element `(candidate, overlap weight)`
-/// lists under `policy`. Features are walked in their prepared order
-/// (lexicographic by resolved string), which keeps the float accumulation
-/// order — and therefore every borderline policy decision — identical to
-/// the historical string-keyed implementation.
-fn probe_side(
-    from: &PreparedSchema,
+/// One side's probe output in CSR form: per probing element, a slice of
+/// `(candidate, overlap weight)` entries.
+struct ProbeRows {
+    offsets: Vec<u32>,
+    entries: Vec<(u32, f64)>,
+}
+
+impl ProbeRows {
+    #[inline]
+    fn row(&self, r: usize) -> &[(u32, f64)] {
+        &self.entries[self.offsets[r] as usize..self.offsets[r + 1] as usize]
+    }
+}
+
+/// Lane-owned probe scratch, reused across every element the lane claims —
+/// no per-pair (or per-element) allocation churn. Public so callers (and
+/// the probe micro-benches) can drive [`ElementTokenIndex::probe_row`]
+/// without paying an allocation per row.
+#[derive(Debug)]
+pub struct ProbeScratch {
+    /// Per-candidate accumulated overlap weight (reset via `touched`).
+    acc: Vec<f64>,
+    /// Candidates touched by the current element, in first-touch order.
+    touched: Vec<u32>,
+    /// Ranking buffer for the top-k policy.
+    ranked: Vec<u32>,
+    /// The current element's kept candidates before they join the chunk
+    /// output.
+    kept: Vec<(u32, f64)>,
+}
+
+impl ProbeScratch {
+    /// Scratch able to probe any index of at most `max_candidates` elements.
+    pub fn new(max_candidates: usize) -> Self {
+        ProbeScratch {
+            acc: vec![0.0; max_candidates],
+            touched: Vec::new(),
+            ranked: Vec::new(),
+            kept: Vec::new(),
+        }
+    }
+}
+
+/// Probe one element's features against `index`, applying `policy` into
+/// `scratch.kept`. The accumulation order (features in prepared order,
+/// postings ascending) and every policy decision are exactly the historical
+/// [`reference`] implementation's; only the per-feature weight lookup moved
+/// from a recomputed `ln` to the precomputed table.
+fn probe_element(
+    feats: &[TokenId],
     index: &ElementTokenIndex,
     policy: &BlockingPolicy,
-) -> Vec<Vec<(u32, f64)>> {
-    let n_to = index.len();
-    let mut acc: Vec<f64> = vec![0.0; n_to];
-    let mut touched: Vec<u32> = Vec::new();
-    let mut out: Vec<Vec<(u32, f64)>> = Vec::with_capacity(from.len());
-    for idx in 0..from.len() {
-        let feats = &from.element(idx).block_features;
-        touched.clear();
-        for &feat in feats {
-            let posting = index.postings_by_id(feat);
-            if posting.is_empty() {
-                continue;
+    scratch: &mut ProbeScratch,
+) {
+    let acc = &mut scratch.acc;
+    let touched = &mut scratch.touched;
+    touched.clear();
+    for &feat in feats {
+        let Some((posting, w)) = index.probe_feature(feat) else {
+            continue;
+        };
+        for &t in posting {
+            if acc[t as usize] == 0.0 {
+                touched.push(t);
             }
-            let w = idf_weight(n_to as f64, posting.len() as f64);
-            for &t in posting {
-                if acc[t as usize] == 0.0 {
-                    touched.push(t);
-                }
-                acc[t as usize] += w;
-            }
+            acc[t as usize] += w;
         }
-        let mut kept: Vec<(u32, f64)> = match *policy {
-            BlockingPolicy::Exhaustive => (0..n_to as u32).map(|t| (t, acc[t as usize])).collect(),
-            BlockingPolicy::WeightedThreshold { min_weight } => {
-                let mut kept: Vec<(u32, f64)> = touched
+    }
+    let kept = &mut scratch.kept;
+    kept.clear();
+    match *policy {
+        BlockingPolicy::Exhaustive => {
+            kept.extend((0..index.len() as u32).map(|t| (t, acc[t as usize])));
+        }
+        BlockingPolicy::WeightedThreshold { min_weight } => {
+            kept.extend(
+                touched
                     .iter()
                     .filter(|&&t| acc[t as usize] >= min_weight)
-                    .map(|&t| (t, acc[t as usize]))
-                    .collect();
-                kept.sort_unstable_by_key(|&(t, _)| t);
-                kept
-            }
-            BlockingPolicy::TopK { k, min_weight } => {
-                let mut ranked: Vec<u32> = touched.clone();
-                // Deterministic order: weight desc, column asc.
-                ranked.sort_unstable_by(|&a, &b| {
-                    acc[b as usize]
-                        .partial_cmp(&acc[a as usize])
-                        .expect("finite overlap weight")
-                        .then(a.cmp(&b))
-                });
-                let mut kept: Vec<(u32, f64)> = ranked
-                    .iter()
-                    .enumerate()
-                    .filter(|&(rank, &t)| rank < k || acc[t as usize] >= min_weight)
-                    .map(|(_, &t)| (t, acc[t as usize]))
-                    .collect();
-                kept.sort_unstable_by_key(|&(t, _)| t);
-                kept
-            }
-        };
-        kept.dedup_by_key(|&mut (t, _)| t);
-        for &t in &touched {
-            acc[t as usize] = 0.0;
+                    .map(|&t| (t, acc[t as usize])),
+            );
+            kept.sort_unstable_by_key(|&(t, _)| t);
         }
-        out.push(kept);
+        BlockingPolicy::TopK { k, min_weight } => {
+            let ranked = &mut scratch.ranked;
+            ranked.clear();
+            ranked.extend_from_slice(touched);
+            // Deterministic rank order: weight desc, column asc. The
+            // reference sorts the whole buffer; selecting the k-th pivot
+            // partitions the identical total order, so the kept *set* —
+            // ranks below k, plus everything at or above `min_weight` — is
+            // unchanged while the cost drops from O(m log m) to O(m).
+            let by_rank = |&a: &u32, &b: &u32| {
+                acc[b as usize]
+                    .partial_cmp(&acc[a as usize])
+                    .expect("finite overlap weight")
+                    .then(a.cmp(&b))
+            };
+            if ranked.len() > k {
+                if k > 0 {
+                    ranked.select_nth_unstable_by(k - 1, by_rank);
+                }
+                kept.extend(ranked[..k].iter().map(|&t| (t, acc[t as usize])));
+                kept.extend(
+                    ranked[k..]
+                        .iter()
+                        .filter(|&&t| acc[t as usize] >= min_weight)
+                        .map(|&t| (t, acc[t as usize])),
+                );
+            } else {
+                kept.extend(ranked.iter().map(|&t| (t, acc[t as usize])));
+            }
+            kept.sort_unstable_by_key(|&(t, _)| t);
+        }
     }
-    out
+    for &t in touched.iter() {
+        acc[t as usize] = 0.0;
+    }
+}
+
+/// Both probe directions — source elements against `target_index` and
+/// target elements against `source_index` — as chunks fed through one
+/// shared claim queue, so the directions run as concurrent executor lanes
+/// and a lane finishing one direction's chunks immediately steals the
+/// other's. Each lane owns one [`ProbeScratch`], reused across all its
+/// claims. Outputs are stitched per direction in element order:
+/// bit-identical at any lane count.
+fn probe_sides(
+    prepared_source: &PreparedSchema,
+    prepared_target: &PreparedSchema,
+    source_index: &ElementTokenIndex,
+    target_index: &ElementTokenIndex,
+    policy: &BlockingPolicy,
+    par: Option<(&Executor, usize)>,
+) -> (ProbeRows, ProbeRows) {
+    let rows = prepared_source.len();
+    let cols = prepared_target.len();
+    struct ChunkDesc {
+        /// 0 = forward (source→target index), 1 = backward.
+        dir: usize,
+        range: Range<usize>,
+    }
+    struct ChunkOut {
+        counts: Vec<u32>,
+        entries: Vec<(u32, f64)>,
+    }
+    let mut descs: Vec<ChunkDesc> = Vec::new();
+    for start in (0..rows).step_by(CHUNK_ELEMENTS) {
+        descs.push(ChunkDesc {
+            dir: 0,
+            range: start..(start + CHUNK_ELEMENTS).min(rows),
+        });
+    }
+    for start in (0..cols).step_by(CHUNK_ELEMENTS) {
+        descs.push(ChunkDesc {
+            dir: 1,
+            range: start..(start + CHUNK_ELEMENTS).min(cols),
+        });
+    }
+
+    let run_chunk = |desc: &ChunkDesc, scratch: &mut ProbeScratch| -> ChunkOut {
+        let (from, index) = if desc.dir == 0 {
+            (prepared_source, target_index)
+        } else {
+            (prepared_target, source_index)
+        };
+        let mut out = ChunkOut {
+            counts: Vec::with_capacity(desc.range.len()),
+            entries: Vec::new(),
+        };
+        for idx in desc.range.clone() {
+            probe_element(from.block_features_of(idx), index, policy, scratch);
+            out.counts.push(scratch.kept.len() as u32);
+            out.entries.extend_from_slice(&scratch.kept);
+        }
+        out
+    };
+
+    let outs: Vec<ChunkOut> = match par {
+        Some((exec, parallelism)) if parallelism > 1 && descs.len() > 1 => {
+            let done: Mutex<Vec<(usize, ChunkOut)>> = Mutex::new(Vec::with_capacity(descs.len()));
+            let queue = Mutex::new(descs.iter().enumerate());
+            exec.run_lanes(parallelism.min(descs.len()), |_| {
+                let mut scratch = ProbeScratch::new(rows.max(cols));
+                loop {
+                    let claimed = queue.lock().expect("probe queue poisoned").next();
+                    let Some((index, desc)) = claimed else { break };
+                    let out = run_chunk(desc, &mut scratch);
+                    done.lock()
+                        .expect("probe results poisoned")
+                        .push((index, out));
+                }
+            });
+            let mut done = done.into_inner().expect("probe results poisoned");
+            done.sort_unstable_by_key(|&(index, _)| index);
+            done.into_iter().map(|(_, out)| out).collect()
+        }
+        _ => {
+            let mut scratch = ProbeScratch::new(rows.max(cols));
+            descs.iter().map(|d| run_chunk(d, &mut scratch)).collect()
+        }
+    };
+
+    // Stitch per direction, in chunk (= element) order.
+    let stitch = |dir: usize, n: usize| -> ProbeRows {
+        let mut probe = ProbeRows {
+            offsets: Vec::with_capacity(n + 1),
+            entries: Vec::new(),
+        };
+        probe.offsets.push(0);
+        for (desc, out) in descs.iter().zip(&outs) {
+            if desc.dir != dir {
+                continue;
+            }
+            probe.entries.extend_from_slice(&out.entries);
+            let mut at = *probe.offsets.last().expect("non-empty offsets");
+            for &c in &out.counts {
+                at += c;
+                probe.offsets.push(at);
+            }
+        }
+        probe
+    };
+    (stitch(0, rows), stitch(1, cols))
 }
 
 /// Overlap weight at which a candidate *container* pair also enqueues its
@@ -347,7 +808,7 @@ const CHILD_RESCUE_WEIGHT: f64 = 5.0;
 const CHILD_RESCUE_PARTNERS: usize = 3;
 
 /// Generate the candidate pair set for matching `source` against `target`
-/// under `policy`.
+/// under `policy`, inline on the calling thread (index builds included).
 ///
 /// Both directions are probed and unioned, then the set is closed
 /// structurally:
@@ -357,9 +818,9 @@ const CHILD_RESCUE_PARTNERS: usize = 3;
 ///   expansion) are always candidates. Exact name equality is the
 ///   strongest single voter signal, but a ubiquitous name (`identifier`,
 ///   `name`) carries so little IDF weight that the top-k cap can drop the
-///   true counterpart in a dense neighborhood of look-alikes; a hash join
-///   on the interned token sequences recovers exactly those pairs at
-///   `O(rows + cols + collisions)` cost;
+///   true counterpart in a dense neighborhood of look-alikes; a sorted-key
+///   join on the interned token sequences recovers exactly those pairs at
+///   `O((rows + cols) log keys + collisions)` cost;
 /// * **child rescue** — a candidate pair of containers whose overlap weight
 ///   reaches [`CHILD_RESCUE_WEIGHT`] adds its children's cross product, so
 ///   pairs that only clear the operating threshold through their parents'
@@ -374,19 +835,66 @@ pub fn generate_candidates(
     prepared_target: &PreparedSchema,
     policy: &BlockingPolicy,
 ) -> CandidateSet {
+    generate_candidates_opt(
+        source,
+        target,
+        prepared_source,
+        prepared_target,
+        policy,
+        None,
+    )
+}
+
+/// [`generate_candidates`] with index builds and probes fanned out across
+/// up to `parallelism` lanes of `exec` — the pipeline's entry point.
+pub fn generate_candidates_exec(
+    source: &Schema,
+    target: &Schema,
+    prepared_source: &PreparedSchema,
+    prepared_target: &PreparedSchema,
+    policy: &BlockingPolicy,
+    exec: &Executor,
+    parallelism: usize,
+) -> CandidateSet {
+    generate_candidates_opt(
+        source,
+        target,
+        prepared_source,
+        prepared_target,
+        policy,
+        Some((exec, parallelism)),
+    )
+}
+
+fn generate_candidates_opt(
+    source: &Schema,
+    target: &Schema,
+    prepared_source: &PreparedSchema,
+    prepared_target: &PreparedSchema,
+    policy: &BlockingPolicy,
+    par: Option<(&Executor, usize)>,
+) -> CandidateSet {
     let rows = prepared_source.len();
     let cols = prepared_target.len();
     if rows == 0 || cols == 0 {
-        return CandidateSet::from_rows(vec![Vec::new(); rows], cols);
+        return CandidateSet::empty(rows, cols);
     }
     if matches!(policy, BlockingPolicy::Exhaustive) {
         return CandidateSet::exhaustive(rows, cols);
     }
     // Per-pair index builds; a batch amortizes them via
     // [`generate_candidates_with`] instead.
-    let source_index = ElementTokenIndex::build(prepared_source);
-    let target_index = ElementTokenIndex::build(prepared_target);
-    generate_candidates_with(
+    let (source_index, target_index) = match par {
+        Some((exec, parallelism)) => (
+            ElementTokenIndex::build_parallel(prepared_source, exec, parallelism),
+            ElementTokenIndex::build_parallel(prepared_target, exec, parallelism),
+        ),
+        None => (
+            ElementTokenIndex::build(prepared_source),
+            ElementTokenIndex::build(prepared_target),
+        ),
+    };
+    generate_candidates_with_opt(
         source,
         target,
         prepared_source,
@@ -394,6 +902,7 @@ pub fn generate_candidates(
         &source_index,
         &target_index,
         policy,
+        par,
     )
 }
 
@@ -415,6 +924,62 @@ pub fn generate_candidates_with(
     target_index: &ElementTokenIndex,
     policy: &BlockingPolicy,
 ) -> CandidateSet {
+    generate_candidates_with_opt(
+        source,
+        target,
+        prepared_source,
+        prepared_target,
+        source_index,
+        target_index,
+        policy,
+        None,
+    )
+}
+
+/// [`generate_candidates_with`] with the two probe directions running as
+/// concurrent lanes on `exec` (each direction further chunked; see
+/// [`probe_sides`]).
+#[allow(clippy::too_many_arguments)]
+pub fn generate_candidates_with_exec(
+    source: &Schema,
+    target: &Schema,
+    prepared_source: &PreparedSchema,
+    prepared_target: &PreparedSchema,
+    source_index: &ElementTokenIndex,
+    target_index: &ElementTokenIndex,
+    policy: &BlockingPolicy,
+    exec: &Executor,
+    parallelism: usize,
+) -> CandidateSet {
+    generate_candidates_with_opt(
+        source,
+        target,
+        prepared_source,
+        prepared_target,
+        source_index,
+        target_index,
+        policy,
+        Some((exec, parallelism)),
+    )
+}
+
+/// Pack a pair into the sort key of the flat union/closure passes.
+#[inline]
+fn pack(s: u32, t: u32) -> u64 {
+    (u64::from(s) << 32) | u64::from(t)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn generate_candidates_with_opt(
+    source: &Schema,
+    target: &Schema,
+    prepared_source: &PreparedSchema,
+    prepared_target: &PreparedSchema,
+    source_index: &ElementTokenIndex,
+    target_index: &ElementTokenIndex,
+    policy: &BlockingPolicy,
+    par: Option<(&Executor, usize)>,
+) -> CandidateSet {
     let rows = prepared_source.len();
     let cols = prepared_target.len();
     debug_assert_eq!(rows, source.len());
@@ -432,50 +997,67 @@ pub fn generate_candidates_with(
         "target index does not match the prepared target schema"
     );
     if rows == 0 || cols == 0 {
-        return CandidateSet::from_rows(vec![Vec::new(); rows], cols);
+        return CandidateSet::empty(rows, cols);
     }
     if matches!(policy, BlockingPolicy::Exhaustive) {
         return CandidateSet::exhaustive(rows, cols);
     }
 
-    // Forward: probe the target index with source elements. Features come
-    // pre-interned from the preparations, so the probe allocates no strings.
-    let weighted = probe_side(prepared_source, target_index, policy);
-    let mut per_row: Vec<Vec<u32>> = weighted
-        .iter()
-        .map(|list| list.iter().map(|&(t, _)| t).collect())
-        .collect();
-    let mut strong: Vec<(u32, u32, f64)> = weighted
-        .iter()
-        .enumerate()
-        .flat_map(|(s, list)| {
-            list.iter()
-                .filter(|&&(_, w)| w >= CHILD_RESCUE_WEIGHT)
-                .map(move |&(t, w)| (s as u32, t, w))
-        })
-        .collect();
+    // Both probe directions (concurrent lanes under an executor). Features
+    // come pre-interned from the preparations, so probing allocates no
+    // strings.
+    let (fwd, bwd) = probe_sides(
+        prepared_source,
+        prepared_target,
+        source_index,
+        target_index,
+        policy,
+        par,
+    );
 
-    // Backward: probe the source index with target elements; transpose in.
-    for (t, sources) in probe_side(prepared_target, source_index, policy)
-        .into_iter()
-        .enumerate()
-    {
-        for (s, w) in sources {
-            per_row[s as usize].push(t as u32);
-            if w >= CHILD_RESCUE_WEIGHT {
-                strong.push((s, t as u32, w));
+    // Union + rescues into one flat packed pair list (no per-row buffers).
+    // `strong` collects child-rescue candidates: only pairs where *both*
+    // elements are containers can ever fan out, and a childless entry has
+    // zero side effects in the capped rescue loop (its skip increments no
+    // fanout counter), so filtering here is invisible to the result while
+    // shrinking the weight-sorted buffer from "most kept pairs" (almost
+    // everything clears the weight bound) to the handful of container
+    // collisions.
+    let source_has_children: Vec<bool> = source
+        .elements()
+        .iter()
+        .map(|e| !e.children.is_empty())
+        .collect();
+    let target_has_children: Vec<bool> = target
+        .elements()
+        .iter()
+        .map(|e| !e.children.is_empty())
+        .collect();
+    let mut pairs: Vec<u64> =
+        Vec::with_capacity(fwd.entries.len() + bwd.entries.len() + rows + cols);
+    let mut strong: Vec<(u32, u32, f64)> = Vec::new();
+    for (s, &s_container) in source_has_children.iter().enumerate() {
+        for &(t, w) in fwd.row(s) {
+            pairs.push(pack(s as u32, t));
+            if w >= CHILD_RESCUE_WEIGHT && s_container && target_has_children[t as usize] {
+                strong.push((s as u32, t, w));
             }
         }
-    }
-
-    // Exact-name rescue: equal normalized name-token sequences (the
-    // exact-name voter's equality test) are always candidates. Empty bags
-    // excepted — the voter is neutral on those. The name postings live on
-    // the prebuilt index, so a batch pays the map once per schema.
-    for (s, list) in per_row.iter_mut().enumerate() {
+        // Exact-name rescue: equal normalized name-token sequences (the
+        // exact-name voter's equality test) are always candidates. Empty
+        // bags excepted — the voter is neutral on those. The name table
+        // lives on the prebuilt index, so a batch pays it once per schema.
         let ids = prepared_source.element(s).name_ids.as_slice();
-        if !ids.is_empty() {
-            list.extend(target_index.name_postings(ids).iter().copied());
+        for &t in target_index.name_postings(ids) {
+            pairs.push(pack(s as u32, t));
+        }
+    }
+    for (t, &t_container) in target_has_children.iter().enumerate() {
+        for &(s, w) in bwd.row(t) {
+            pairs.push(pack(s, t as u32));
+            if w >= CHILD_RESCUE_WEIGHT && t_container && source_has_children[s as usize] {
+                strong.push((s, t as u32, w));
+            }
         }
     }
 
@@ -499,20 +1081,29 @@ pub fn generate_candidates_with(
         if source_fanout[s] >= CHILD_RESCUE_PARTNERS || target_fanout[t] >= CHILD_RESCUE_PARTNERS {
             continue;
         }
+        // Both sides have children by the collection filter above.
         let sc = &source.elements()[s].children;
         let tc = &target.elements()[t].children;
-        if sc.is_empty() || tc.is_empty() {
-            continue;
-        }
+        debug_assert!(!sc.is_empty() && !tc.is_empty());
         source_fanout[s] += 1;
         target_fanout[t] += 1;
         for &cs in sc {
-            let list = &mut per_row[cs.index()];
-            list.extend(tc.iter().map(|ct| ct.0));
+            for ct in tc {
+                pairs.push(pack(cs.0, ct.0));
+            }
         }
     }
 
+    pairs.sort_unstable();
+    pairs.dedup();
+
     // Parent closure (transitive): parents of candidates are candidates.
+    // Level by level: the frontier is the sorted set of parent pairs of the
+    // previous level's *new* pairs; membership is a merge walk against the
+    // sorted accumulated set, and each level merges in sorted order. The
+    // loop depth is the schema tree height, and the resulting set is the
+    // unique parenthood closure — identical to the reference's
+    // stack-based `contains` walk, without its linear scans.
     let source_parents: Vec<Option<u32>> = source
         .elements()
         .iter()
@@ -523,33 +1114,350 @@ pub fn generate_candidates_with(
         .iter()
         .map(|e| e.parent.map(|p| p.0))
         .collect();
-    for list in &mut per_row {
-        list.sort_unstable();
-        list.dedup();
-    }
-    let mut frontier: Vec<(u32, u32)> = Vec::new();
-    for (s, list) in per_row.iter().enumerate() {
-        for &t in list {
-            if let (Some(ps), Some(pt)) = (source_parents[s], target_parents[t as usize]) {
-                frontier.push((ps, pt));
+    let parents_of = |level: &[u64]| -> Vec<u64> {
+        let mut up: Vec<u64> = level
+            .iter()
+            .filter_map(|&p| {
+                let (s, t) = ((p >> 32) as usize, (p & 0xffff_ffff) as usize);
+                match (source_parents[s], target_parents[t]) {
+                    (Some(ps), Some(pt)) => Some(pack(ps, pt)),
+                    _ => None,
+                }
+            })
+            .collect();
+        up.sort_unstable();
+        up.dedup();
+        up
+    };
+    let mut frontier = parents_of(&pairs);
+    while !frontier.is_empty() {
+        // fresh = frontier \ pairs (both sorted).
+        let mut fresh: Vec<u64> = Vec::new();
+        let mut at = 0usize;
+        for &p in &frontier {
+            while at < pairs.len() && pairs[at] < p {
+                at += 1;
+            }
+            if at >= pairs.len() || pairs[at] != p {
+                fresh.push(p);
             }
         }
-    }
-    while let Some((s, t)) = frontier.pop() {
-        let list = &mut per_row[s as usize];
-        if !list.contains(&t) {
-            list.push(t);
-            if let (Some(ps), Some(pt)) = (source_parents[s as usize], target_parents[t as usize]) {
-                frontier.push((ps, pt));
+        if fresh.is_empty() {
+            break;
+        }
+        let mut merged: Vec<u64> = Vec::with_capacity(pairs.len() + fresh.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < pairs.len() && j < fresh.len() {
+            if pairs[i] < fresh[j] {
+                merged.push(pairs[i]);
+                i += 1;
+            } else {
+                merged.push(fresh[j]);
+                j += 1;
             }
+        }
+        merged.extend_from_slice(&pairs[i..]);
+        merged.extend_from_slice(&fresh[j..]);
+        pairs = merged;
+        frontier = parents_of(&fresh);
+    }
+
+    CandidateSet::from_sorted_pairs(rows, cols, &pairs)
+}
+
+pub mod reference {
+    //! The retained map-based reference implementation of the blocking
+    //! index — the exact pre-CSR code path, kept as the oracle for the pin
+    //! tests (`tests/csr_index_pin.rs`) and the CSR-vs-map micro-benches.
+    //! Semantics documentation lives on the production items; this module
+    //! only mirrors them.
+
+    use super::{
+        idf_weight, BlockingPolicy, CandidateSet, CHILD_RESCUE_PARTNERS, CHILD_RESCUE_WEIGHT,
+    };
+    use crate::prepare::PreparedSchema;
+    use sm_schema::Schema;
+    use sm_text::intern::{TokenArena, TokenId};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// The historical map-keyed inverted index: `HashMap` postings, IDF
+    /// weights recomputed on every probe.
+    #[derive(Debug)]
+    pub struct ReferenceTokenIndex {
+        postings: HashMap<TokenId, Vec<u32>>,
+        name_postings: HashMap<Vec<TokenId>, Vec<u32>>,
+        arena: Arc<TokenArena>,
+        len: usize,
+    }
+
+    impl ReferenceTokenIndex {
+        /// Index every element of a prepared schema (single-threaded map
+        /// inserts, exactly as before the CSR rebuild).
+        pub fn build(prepared: &PreparedSchema) -> Self {
+            let mut postings: HashMap<TokenId, Vec<u32>> = HashMap::new();
+            let mut name_postings: HashMap<Vec<TokenId>, Vec<u32>> = HashMap::new();
+            for idx in 0..prepared.len() {
+                let element = prepared.element(idx);
+                for &feat in &element.block_features {
+                    postings.entry(feat).or_default().push(idx as u32);
+                }
+                if !element.name_ids.is_empty() {
+                    match name_postings.get_mut(element.name_ids.as_slice()) {
+                        Some(list) => list.push(idx as u32),
+                        None => {
+                            name_postings.insert(element.name_ids.clone(), vec![idx as u32]);
+                        }
+                    }
+                }
+            }
+            ReferenceTokenIndex {
+                postings,
+                name_postings,
+                arena: Arc::clone(prepared.arena()),
+                len: prepared.len(),
+            }
+        }
+
+        /// Elements whose full normalized name equals `name_ids`.
+        pub fn name_postings(&self, name_ids: &[TokenId]) -> &[u32] {
+            self.name_postings.get(name_ids).map_or(&[], Vec::as_slice)
+        }
+
+        /// Number of indexed elements.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// True when no elements are indexed.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// Every indexed feature id (arbitrary map order).
+        pub fn feature_ids(&self) -> impl Iterator<Item = TokenId> + '_ {
+            self.postings.keys().copied()
+        }
+
+        /// Posting list of an interned feature (empty when absent).
+        pub fn postings_by_id(&self, feature: TokenId) -> &[u32] {
+            self.postings.get(&feature).map_or(&[], Vec::as_slice)
+        }
+
+        /// Posting list of a feature string (empty when absent).
+        pub fn postings(&self, feature: &str) -> &[u32] {
+            self.arena
+                .lookup(feature)
+                .map_or(&[], |id| self.postings_by_id(id))
+        }
+
+        /// IDF weight, recomputed from the document frequency per call —
+        /// the historical per-probe cost the CSR table eliminates.
+        pub fn weight_by_id(&self, feature: TokenId) -> f64 {
+            idf_weight(self.len as f64, self.postings_by_id(feature).len() as f64)
+        }
+
+        /// String-keyed [`Self::weight_by_id`].
+        pub fn weight(&self, feature: &str) -> f64 {
+            idf_weight(self.len as f64, self.postings(feature).len() as f64)
         }
     }
 
-    for list in &mut per_row {
-        list.sort_unstable();
-        list.dedup();
+    /// One direction of candidate generation over the map index, verbatim
+    /// from the pre-CSR implementation.
+    fn probe_side(
+        from: &PreparedSchema,
+        index: &ReferenceTokenIndex,
+        policy: &BlockingPolicy,
+    ) -> Vec<Vec<(u32, f64)>> {
+        let n_to = index.len();
+        let mut acc: Vec<f64> = vec![0.0; n_to];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut out: Vec<Vec<(u32, f64)>> = Vec::with_capacity(from.len());
+        for idx in 0..from.len() {
+            let feats = &from.element(idx).block_features;
+            touched.clear();
+            for &feat in feats {
+                let posting = index.postings_by_id(feat);
+                if posting.is_empty() {
+                    continue;
+                }
+                let w = idf_weight(n_to as f64, posting.len() as f64);
+                for &t in posting {
+                    if acc[t as usize] == 0.0 {
+                        touched.push(t);
+                    }
+                    acc[t as usize] += w;
+                }
+            }
+            let mut kept: Vec<(u32, f64)> = match *policy {
+                BlockingPolicy::Exhaustive => {
+                    (0..n_to as u32).map(|t| (t, acc[t as usize])).collect()
+                }
+                BlockingPolicy::WeightedThreshold { min_weight } => {
+                    let mut kept: Vec<(u32, f64)> = touched
+                        .iter()
+                        .filter(|&&t| acc[t as usize] >= min_weight)
+                        .map(|&t| (t, acc[t as usize]))
+                        .collect();
+                    kept.sort_unstable_by_key(|&(t, _)| t);
+                    kept
+                }
+                BlockingPolicy::TopK { k, min_weight } => {
+                    let mut ranked: Vec<u32> = touched.clone();
+                    ranked.sort_unstable_by(|&a, &b| {
+                        acc[b as usize]
+                            .partial_cmp(&acc[a as usize])
+                            .expect("finite overlap weight")
+                            .then(a.cmp(&b))
+                    });
+                    let mut kept: Vec<(u32, f64)> = ranked
+                        .iter()
+                        .enumerate()
+                        .filter(|&(rank, &t)| rank < k || acc[t as usize] >= min_weight)
+                        .map(|(_, &t)| (t, acc[t as usize]))
+                        .collect();
+                    kept.sort_unstable_by_key(|&(t, _)| t);
+                    kept
+                }
+            };
+            kept.dedup_by_key(|&mut (t, _)| t);
+            for &t in &touched {
+                acc[t as usize] = 0.0;
+            }
+            out.push(kept);
+        }
+        out
     }
-    CandidateSet::from_rows(per_row, cols)
+
+    /// The pre-CSR candidate generation: map-keyed indices, per-row
+    /// `Vec<Vec<u32>>` union buffers, stack-based parent closure. The CSR
+    /// path must reproduce its output byte for byte under every policy.
+    pub fn generate_candidates(
+        source: &Schema,
+        target: &Schema,
+        prepared_source: &PreparedSchema,
+        prepared_target: &PreparedSchema,
+        policy: &BlockingPolicy,
+    ) -> CandidateSet {
+        let rows = prepared_source.len();
+        let cols = prepared_target.len();
+        if rows == 0 || cols == 0 {
+            return CandidateSet::from_rows(vec![Vec::new(); rows], cols);
+        }
+        if matches!(policy, BlockingPolicy::Exhaustive) {
+            return CandidateSet::exhaustive(rows, cols);
+        }
+        let source_index = ReferenceTokenIndex::build(prepared_source);
+        let target_index = ReferenceTokenIndex::build(prepared_target);
+
+        let weighted = probe_side(prepared_source, &target_index, policy);
+        let mut per_row: Vec<Vec<u32>> = weighted
+            .iter()
+            .map(|list| list.iter().map(|&(t, _)| t).collect())
+            .collect();
+        let mut strong: Vec<(u32, u32, f64)> = weighted
+            .iter()
+            .enumerate()
+            .flat_map(|(s, list)| {
+                list.iter()
+                    .filter(|&&(_, w)| w >= CHILD_RESCUE_WEIGHT)
+                    .map(move |&(t, w)| (s as u32, t, w))
+            })
+            .collect();
+
+        for (t, sources) in probe_side(prepared_target, &source_index, policy)
+            .into_iter()
+            .enumerate()
+        {
+            for (s, w) in sources {
+                per_row[s as usize].push(t as u32);
+                if w >= CHILD_RESCUE_WEIGHT {
+                    strong.push((s, t as u32, w));
+                }
+            }
+        }
+
+        for (s, list) in per_row.iter_mut().enumerate() {
+            let ids = prepared_source.element(s).name_ids.as_slice();
+            if !ids.is_empty() {
+                list.extend(target_index.name_postings(ids).iter().copied());
+            }
+        }
+
+        strong.sort_unstable_by(|a, b| {
+            (a.0, a.1)
+                .cmp(&(b.0, b.1))
+                .then(b.2.partial_cmp(&a.2).expect("finite"))
+        });
+        strong.dedup_by_key(|&mut (s, t, _)| (s, t));
+        strong.sort_unstable_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .expect("finite")
+                .then((a.0, a.1).cmp(&(b.0, b.1)))
+        });
+        let mut source_fanout = vec![0usize; rows];
+        let mut target_fanout = vec![0usize; cols];
+        for (s, t, _) in strong {
+            let (s, t) = (s as usize, t as usize);
+            if source_fanout[s] >= CHILD_RESCUE_PARTNERS
+                || target_fanout[t] >= CHILD_RESCUE_PARTNERS
+            {
+                continue;
+            }
+            let sc = &source.elements()[s].children;
+            let tc = &target.elements()[t].children;
+            if sc.is_empty() || tc.is_empty() {
+                continue;
+            }
+            source_fanout[s] += 1;
+            target_fanout[t] += 1;
+            for &cs in sc {
+                let list = &mut per_row[cs.index()];
+                list.extend(tc.iter().map(|ct| ct.0));
+            }
+        }
+
+        let source_parents: Vec<Option<u32>> = source
+            .elements()
+            .iter()
+            .map(|e| e.parent.map(|p| p.0))
+            .collect();
+        let target_parents: Vec<Option<u32>> = target
+            .elements()
+            .iter()
+            .map(|e| e.parent.map(|p| p.0))
+            .collect();
+        for list in &mut per_row {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut frontier: Vec<(u32, u32)> = Vec::new();
+        for (s, list) in per_row.iter().enumerate() {
+            for &t in list {
+                if let (Some(ps), Some(pt)) = (source_parents[s], target_parents[t as usize]) {
+                    frontier.push((ps, pt));
+                }
+            }
+        }
+        while let Some((s, t)) = frontier.pop() {
+            let list = &mut per_row[s as usize];
+            if !list.contains(&t) {
+                list.push(t);
+                if let (Some(ps), Some(pt)) =
+                    (source_parents[s as usize], target_parents[t as usize])
+                {
+                    frontier.push((ps, pt));
+                }
+            }
+        }
+
+        for list in &mut per_row {
+            list.sort_unstable();
+            list.dedup();
+        }
+        CandidateSet::from_rows(per_row, cols)
+    }
 }
 
 #[cfg(test)]
@@ -616,6 +1524,57 @@ mod tests {
         // Short raw name indexed as an acronym key.
         let coi = a.find_by_name("COI").unwrap();
         assert!(index.postings("a:coi").contains(&(coi.0)));
+    }
+
+    #[test]
+    fn csr_index_mirrors_reference_postings_and_weights() {
+        let (a, b) = fixture();
+        for s in [&a, &b] {
+            let p = prepared(s);
+            let csr = ElementTokenIndex::build(&p);
+            let reference = reference::ReferenceTokenIndex::build(&p);
+            let mut seen = 0usize;
+            for feat in reference.feature_ids() {
+                assert_eq!(csr.postings_by_id(feat), reference.postings_by_id(feat));
+                assert_eq!(
+                    csr.weight_by_id(feat).to_bits(),
+                    reference.weight_by_id(feat).to_bits()
+                );
+                seen += 1;
+            }
+            assert_eq!(csr.feature_count(), seen);
+            // Name table round-trips every element's name key.
+            for idx in 0..p.len() {
+                let ids = p.element(idx).name_ids.as_slice();
+                assert_eq!(csr.name_postings(ids), reference.name_postings(ids));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_inline_build() {
+        let (a, _) = fixture();
+        let pa = prepared(&a);
+        let exec = Executor::new(4);
+        let inline = ElementTokenIndex::build(&pa);
+        let parallel = ElementTokenIndex::build_parallel(&pa, &exec, 4);
+        assert_eq!(inline.features, parallel.features);
+        assert_eq!(inline.offsets, parallel.offsets);
+        assert_eq!(inline.postings, parallel.postings);
+        assert_eq!(
+            inline
+                .weights
+                .iter()
+                .map(|w| w.to_bits())
+                .collect::<Vec<_>>(),
+            parallel
+                .weights
+                .iter()
+                .map(|w| w.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(inline.name_posts, parallel.name_posts);
+        assert_eq!(inline.name_tokens, parallel.name_tokens);
     }
 
     #[test]
@@ -781,6 +1740,28 @@ mod tests {
         assert_eq!(got, expected);
         assert!(!got.is_empty(), "fixture has exact-name pairs");
         assert!(cands.density() < 1.0, "still prunes almost everything");
+    }
+
+    #[test]
+    fn csr_generation_matches_reference_on_fixture() {
+        let (a, b) = fixture();
+        let (pa, pb) = (prepared(&a), prepared(&b));
+        let exec = Executor::new(3);
+        for policy in [
+            BlockingPolicy::default(),
+            BlockingPolicy::TopK {
+                k: 2,
+                min_weight: 3.0,
+            },
+            BlockingPolicy::WeightedThreshold { min_weight: 2.0 },
+            BlockingPolicy::Exhaustive,
+        ] {
+            let expect = reference::generate_candidates(&a, &b, &pa, &pb, &policy);
+            let inline = generate_candidates(&a, &b, &pa, &pb, &policy);
+            assert_eq!(inline, expect, "inline CSR diverged under {policy:?}");
+            let parallel = generate_candidates_exec(&a, &b, &pa, &pb, &policy, &exec, 3);
+            assert_eq!(parallel, expect, "parallel CSR diverged under {policy:?}");
+        }
     }
 
     #[test]

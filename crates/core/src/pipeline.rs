@@ -36,7 +36,8 @@ use crate::context::MatchContext;
 use crate::correspondence::MatchSet;
 use crate::engine::MatchEngine;
 use crate::index::{
-    generate_candidates, generate_candidates_with, BlockingPolicy, CandidateSet, ElementTokenIndex,
+    generate_candidates_exec, generate_candidates_with_exec, BlockingPolicy, CandidateSet,
+    ElementTokenIndex,
 };
 use crate::matrix::MatchMatrix;
 use crate::prepare::PreparedSchema;
@@ -278,10 +279,12 @@ impl<'e> MatchPipeline<'e> {
 
         // Stage 1.5: Block. With pre-built indices the stage is pure
         // probing; otherwise the per-pair index builds land here, exactly as
-        // before the batch planner existed.
+        // before the batch planner existed. Both probe directions (and the
+        // per-pair builds) fan out across the engine's executor lanes.
         let started = Instant::now();
+        let exec = self.engine.executor();
         let candidates = match indices {
-            Some((source_index, target_index)) => generate_candidates_with(
+            Some((source_index, target_index)) => generate_candidates_with_exec(
                 source,
                 target,
                 prepared_source,
@@ -289,8 +292,18 @@ impl<'e> MatchPipeline<'e> {
                 source_index,
                 target_index,
                 policy,
+                exec,
+                self.engine.threads,
             ),
-            None => generate_candidates(source, target, prepared_source, prepared_target, policy),
+            None => generate_candidates_exec(
+                source,
+                target,
+                prepared_source,
+                prepared_target,
+                policy,
+                exec,
+                self.engine.threads,
+            ),
         };
         timings.block = started.elapsed();
 

@@ -148,6 +148,12 @@ pub struct PreparedSchema {
     /// The signature, interned and sorted lexicographically by resolved
     /// string — the order repository-index weight totals are summed in.
     signature_ids: Vec<TokenId>,
+    /// Flat CSR view of every element's `block_features`:
+    /// `block_feature_offsets[i]..[i+1]` slices `block_feature_ids` for
+    /// element `i`. The blocking index build and probe walk this one
+    /// contiguous arena instead of chasing per-element `Vec`s.
+    block_feature_offsets: Vec<u32>,
+    block_feature_ids: Vec<TokenId>,
 }
 
 impl PreparedSchema {
@@ -176,7 +182,7 @@ impl PreparedSchema {
         let mut signature_ids =
             to_sorted_set(bag_ids.iter().flat_map(|ids| ids.iter().copied()).collect());
         arena.sort_lexical(&mut signature_ids);
-        let elements = schema
+        let elements: Vec<Arc<PreparedElement>> = schema
             .elements()
             .iter()
             .map(|e| {
@@ -248,6 +254,14 @@ impl PreparedSchema {
                 })
             })
             .collect();
+        let mut block_feature_offsets: Vec<u32> = Vec::with_capacity(elements.len() + 1);
+        block_feature_offsets.push(0);
+        let mut block_feature_ids: Vec<TokenId> =
+            Vec::with_capacity(elements.iter().map(|e| e.block_features.len()).sum());
+        for e in &elements {
+            block_feature_ids.extend_from_slice(&e.block_features);
+            block_feature_offsets.push(block_feature_ids.len() as u32);
+        }
         PreparedSchema {
             schema_id: schema.id,
             fingerprint: schema_fingerprint(schema),
@@ -255,6 +269,8 @@ impl PreparedSchema {
             elements,
             signature,
             signature_ids,
+            block_feature_offsets,
+            block_feature_ids,
         }
     }
 
@@ -277,6 +293,16 @@ impl PreparedSchema {
     /// All prepared elements, in element-id order.
     pub fn elements(&self) -> &[Arc<PreparedElement>] {
         &self.elements
+    }
+
+    /// The blocking features of element `idx` as a slice of the schema's
+    /// flat feature arena — identical content to
+    /// [`PreparedElement::block_features`], but contiguous across elements
+    /// so the index build and probe stream one allocation.
+    #[inline]
+    pub fn block_features_of(&self, idx: usize) -> &[TokenId] {
+        &self.block_feature_ids
+            [self.block_feature_offsets[idx] as usize..self.block_feature_offsets[idx + 1] as usize]
     }
 
     /// The schema's normalized name-token signature (distinct tokens).

@@ -80,9 +80,14 @@ impl DistanceMatrix {
     }
 
     /// Vocabulary-overlap distances over already-prepared schemata (builds
-    /// a transient token index).
+    /// a transient token index in parallel on the global executor).
     pub fn from_prepared(prepared: &[Arc<PreparedSchema>]) -> Self {
-        Self::from_index(&RepositoryIndex::build(prepared))
+        let exec = harmony_core::exec::Executor::global();
+        Self::from_index(&RepositoryIndex::build_parallel(
+            prepared,
+            exec,
+            exec.threads(),
+        ))
     }
 
     /// Vocabulary-overlap distances from a token index. Pairwise

@@ -16,6 +16,16 @@
 //! posting list once, and all-member shared vocabulary is a posting-list
 //! membership test.
 //!
+//! Like the element-level blocking index (`harmony_core::index`), the store
+//! is a flat CSR layout: one sorted token table, one contiguous postings
+//! arena sliced by offsets, and a parallel `f64` weight table — lookups are
+//! binary searches over contiguous `u32`s instead of `HashMap` probes, and
+//! query accumulation runs over a dense per-slot buffer instead of a
+//! `HashMap<u32, f64>`. Building fans schema chunks out across the
+//! persistent executor ([`RepositoryIndex::build_parallel`]) and merges the
+//! per-chunk `(token, slot)` pair lists in chunk order, so the index — and
+//! every weight bit — is identical at any lane count.
+//!
 //! The index is maintained by
 //! [`crate::repository::MetadataRepository::token_index`], which caches it
 //! and drops the cache whenever a schema is (re-)registered; schema
@@ -23,6 +33,7 @@
 //! [`harmony_core::prepare::FeatureCache`], whose content fingerprints make
 //! re-registered-but-unchanged schemata free to re-index.
 
+use harmony_core::exec::Executor;
 use harmony_core::prepare::PreparedSchema;
 use sm_schema::SchemaId;
 use sm_text::intern::{TokenArena, TokenId};
@@ -59,58 +70,120 @@ pub struct RepositoryIndex {
     signature_ids: Vec<Vec<TokenId>>,
     /// The same signatures, resolved (display, reports, compat).
     signatures: Vec<Vec<String>>,
-    /// token id → ascending slots of schemata containing it.
-    postings: HashMap<TokenId, Vec<u32>>,
-    /// Frozen IDF weight per indexed token id.
-    weights: HashMap<TokenId, f64>,
+    /// Distinct indexed token ids, ascending — the binary-search table.
+    tokens: Vec<TokenId>,
+    /// `offsets[t]..offsets[t+1]` slices `postings` for `tokens[t]`.
+    offsets: Vec<u32>,
+    /// Contiguous posting arena: ascending schema slots per token.
+    postings: Vec<u32>,
+    /// Frozen IDF weight of `tokens[t]`, parallel to `tokens`.
+    weights: Vec<f64>,
     /// Weight of a token absent from every indexed schema (`df = 0`).
     unseen_weight: f64,
     /// Per-schema total signature weight, summed in sorted-token order.
     total_weights: Vec<f64>,
 }
 
+/// Schemata per parallel build chunk — signature resolution (the string
+/// half of a build) dominates, so chunks stay small enough to balance.
+const BUILD_CHUNK_SCHEMAS: usize = 16;
+
 impl RepositoryIndex {
-    /// Build the index over prepared schemata, in the given (slot) order.
+    /// Build the index over prepared schemata, in the given (slot) order,
+    /// inline on the calling thread.
     ///
     /// # Panics
     /// Panics when the preparations do not all share one token arena
     /// (mixed-arena ids are not comparable).
     pub fn build(prepared: &[Arc<PreparedSchema>]) -> Self {
+        Self::build_opt(prepared, None)
+    }
+
+    /// [`Self::build`] with schema chunks fanned out across up to
+    /// `parallelism` executor lanes. Per-chunk outputs merge in slot order
+    /// before the sort that lays out the postings arena, so the index is
+    /// bit-identical to the inline build at every lane count.
+    pub fn build_parallel(
+        prepared: &[Arc<PreparedSchema>],
+        exec: &Executor,
+        parallelism: usize,
+    ) -> Self {
+        Self::build_opt(prepared, Some((exec, parallelism)))
+    }
+
+    fn build_opt(prepared: &[Arc<PreparedSchema>], par: Option<(&Executor, usize)>) -> Self {
         let arena = prepared
             .first()
             .map(|p| Arc::clone(p.arena()))
             .unwrap_or_else(|| Arc::clone(TokenArena::global()));
-        let mut ids = Vec::with_capacity(prepared.len());
-        let mut fingerprints = Vec::with_capacity(prepared.len());
-        let mut signature_ids: Vec<Vec<TokenId>> = Vec::with_capacity(prepared.len());
-        let mut signatures: Vec<Vec<String>> = Vec::with_capacity(prepared.len());
-        let mut postings: HashMap<TokenId, Vec<u32>> = HashMap::new();
-        for (slot, p) in prepared.iter().enumerate() {
+        for p in prepared {
             assert!(
                 Arc::ptr_eq(p.arena(), &arena),
                 "all indexed preparations must share one token arena"
             );
-            ids.push(p.schema_id);
-            fingerprints.push(p.fingerprint);
-            // Already lexicographically sorted by the preparation.
-            let sig = p.signature_ids().to_vec();
-            for &t in &sig {
-                postings.entry(t).or_default().push(slot as u32);
-            }
-            signatures.push(arena.resolve_all(&sig));
-            signature_ids.push(sig);
         }
-        let n = ids.len().max(1) as f64;
-        let weights: HashMap<TokenId, f64> = postings
+        let ids: Vec<SchemaId> = prepared.iter().map(|p| p.schema_id).collect();
+        let fingerprints: Vec<u64> = prepared.iter().map(|p| p.fingerprint).collect();
+
+        // Parallel phase: per schema chunk, resolve the display signatures
+        // (the string-allocating half) and emit packed `(token << 32) |
+        // slot` posting pairs. Chunk outputs stitch in slot order via the
+        // shared deterministic chunk runner.
+        struct ChunkOut {
+            pairs: Vec<u64>,
+            signatures: Vec<Vec<String>>,
+        }
+        let outs: Vec<ChunkOut> = harmony_core::index::run_chunked(
+            par,
+            prepared.len(),
+            BUILD_CHUNK_SCHEMAS,
+            |_, range| {
+                let mut out = ChunkOut {
+                    pairs: Vec::new(),
+                    signatures: Vec::with_capacity(range.len()),
+                };
+                for slot in range {
+                    let sig = prepared[slot].signature_ids();
+                    for &t in sig {
+                        out.pairs.push((u64::from(t.0) << 32) | slot as u64);
+                    }
+                    out.signatures.push(arena.resolve_all(sig));
+                }
+                out
+            },
+        );
+
+        let mut signatures: Vec<Vec<String>> = Vec::with_capacity(prepared.len());
+        let mut pairs: Vec<u64> = Vec::with_capacity(outs.iter().map(|o| o.pairs.len()).sum());
+        for out in outs {
+            signatures.extend(out.signatures);
+            pairs.extend(out.pairs);
+        }
+        let signature_ids: Vec<Vec<TokenId>> = prepared
             .iter()
-            .map(|(&t, posting)| (t, idf_weight(n, posting.len() as f64)))
+            .map(|p| p.signature_ids().to_vec())
             .collect();
+
+        // Token-major, slot-ascending: the CSR layout order. Signatures are
+        // distinct per schema, so there are no duplicate pairs. The CSR
+        // assembly (and the one smoothed-IDF formula) is shared with the
+        // element-level blocking index.
+        pairs.sort_unstable();
+        let n = ids.len().max(1) as f64;
+        let csr = harmony_core::index::csr_from_sorted_pairs(&pairs, n);
+        let tokens: Vec<TokenId> = csr.keys.into_iter().map(TokenId).collect();
+        let (offsets, postings, weights) = (csr.offsets, csr.postings, csr.weights);
         let unseen_weight = idf_weight(n, 0.0);
+
         // Sorted-token summation order keeps totals deterministic (float
         // addition is not associative).
+        let weight_of = |t: TokenId| -> f64 {
+            let slot = tokens.binary_search(&t).expect("signature token indexed");
+            weights[slot]
+        };
         let total_weights: Vec<f64> = signature_ids
             .iter()
-            .map(|sig| sig.iter().map(|t| weights[t]).sum())
+            .map(|sig| sig.iter().map(|&t| weight_of(t)).sum())
             .collect();
         let slot_of = ids
             .iter()
@@ -124,6 +197,8 @@ impl RepositoryIndex {
             arena,
             signature_ids,
             signatures,
+            tokens,
+            offsets,
             postings,
             weights,
             unseen_weight,
@@ -177,13 +252,17 @@ impl RepositoryIndex {
         self.total_weights[slot as usize]
     }
 
+    /// Slot of a token in the sorted table, if indexed.
+    #[inline]
+    fn token_slot(&self, token: TokenId) -> Option<usize> {
+        self.tokens.binary_search(&token).ok()
+    }
+
     /// Frozen IDF weight of an interned token (`df = 0` weight for tokens
     /// absent from every indexed schema).
     pub fn weight_by_id(&self, token: TokenId) -> f64 {
-        self.weights
-            .get(&token)
-            .copied()
-            .unwrap_or(self.unseen_weight)
+        self.token_slot(token)
+            .map_or(self.unseen_weight, |slot| self.weights[slot])
     }
 
     /// Frozen IDF weight of a token (`df = 0` weight for unseen tokens).
@@ -193,10 +272,19 @@ impl RepositoryIndex {
             .map_or(self.unseen_weight, |id| self.weight_by_id(id))
     }
 
+    /// Posting slice and frozen IDF weight of an interned token — one
+    /// binary search for both (`None` when unindexed).
+    #[inline]
+    fn probe_token(&self, token: TokenId) -> Option<(&[u32], f64)> {
+        let slot = self.token_slot(token)?;
+        let range = self.offsets[slot] as usize..self.offsets[slot + 1] as usize;
+        Some((&self.postings[range], self.weights[slot]))
+    }
+
     /// Posting list of an interned token: ascending slots of schemata
     /// containing it.
     pub fn postings_by_id(&self, token: TokenId) -> &[u32] {
-        self.postings.get(&token).map_or(&[], Vec::as_slice)
+        self.probe_token(token).map_or(&[], |(posting, _)| posting)
     }
 
     /// Posting list of a token: ascending slots of schemata containing it.
@@ -213,20 +301,27 @@ impl RepositoryIndex {
     /// lexicographic resolved-string order so each slot's weight sum has the
     /// deterministic historical order.
     pub fn accumulate_ids(&self, query_tokens: &[TokenId]) -> Vec<(u32, f64)> {
-        let mut acc: HashMap<u32, f64> = HashMap::new();
+        // Dense per-slot accumulator + touched list: the per-slot addition
+        // order is the query-token order, exactly as the historical
+        // map-keyed accumulator summed.
+        let mut acc: Vec<f64> = vec![0.0; self.len()];
+        let mut touched: Vec<u32> = Vec::new();
         for &t in query_tokens {
-            let posting = self.postings_by_id(t);
-            if posting.is_empty() {
+            let Some((posting, w)) = self.probe_token(t) else {
                 continue;
-            }
-            let w = self.weights[&t];
+            };
             for &slot in posting {
-                *acc.entry(slot).or_insert(0.0) += w;
+                if acc[slot as usize] == 0.0 {
+                    touched.push(slot);
+                }
+                acc[slot as usize] += w;
             }
         }
-        let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
-        out.sort_unstable_by_key(|&(slot, _)| slot);
-        out
+        touched.sort_unstable();
+        touched
+            .into_iter()
+            .map(|slot| (slot, acc[slot as usize]))
+            .collect()
     }
 
     /// String-keyed [`Self::accumulate_ids`] (inspection and tests; the
@@ -250,7 +345,8 @@ impl RepositoryIndex {
     pub fn pairwise_intersections(&self) -> Vec<u32> {
         let n = self.len();
         let mut inter = vec![0u32; n * n];
-        for posting in self.postings.values() {
+        for w in self.offsets.windows(2) {
+            let posting = &self.postings[w[0] as usize..w[1] as usize];
             for (i, &a) in posting.iter().enumerate() {
                 for &b in &posting[i + 1..] {
                     inter[a as usize * n + b as usize] += 1;

@@ -258,7 +258,12 @@ impl MetadataRepository {
             }));
             return Arc::clone(index);
         }
-        let index = Arc::new(RepositoryIndex::build(&self.prepare_all()));
+        let exec = harmony_core::exec::Executor::global();
+        let index = Arc::new(RepositoryIndex::build_parallel(
+            &self.prepare_all(),
+            exec,
+            exec.threads(),
+        ));
         *guard = Some(Arc::clone(&index));
         index
     }

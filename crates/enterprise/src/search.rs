@@ -81,8 +81,13 @@ impl SchemaSearch {
         cache: Arc<FeatureCache>,
     ) -> Self {
         let prepared: Vec<Arc<PreparedSchema>> = prepared.into_iter().collect();
+        let exec = harmony_core::exec::Executor::global();
         SchemaSearch {
-            index: Arc::new(RepositoryIndex::build(&prepared)),
+            index: Arc::new(RepositoryIndex::build_parallel(
+                &prepared,
+                exec,
+                exec.threads(),
+            )),
             cache,
         }
     }
