@@ -45,6 +45,12 @@ import sys
 # token-interning + flat-kernel change must keep the checked-in Score stage
 # at or below half of that; regressing past the gate means a String crept
 # back into the per-pair hot path.
+#
+# Host-drift caveat: absolute-seconds gates compare numbers regenerated on
+# *different* hosts/days (PR 5's session measured this container ~1.5x
+# slower than PR 3/4's). This gate survives drift only because its margin
+# is ~5x; when retuning, prefer same-run ratios (e.g. the cascade gate's
+# cascade-vs-reference speedup below) over absolute seconds.
 OLD_SCORE_SECS = 2.652265
 MAX_SCORE_SECS = OLD_SCORE_SECS * 0.5
 
@@ -75,6 +81,10 @@ import sys
 # bookkeeping crept back into candidate generation. Blocking must also stay
 # lossless on the benchmark workload (recall gates), and the thread-scaling
 # curve must never make more workers slower (5% jitter allowance).
+#
+# Host-drift caveat: this absolute gate was tuned on a faster host than
+# later sessions measured (~1.5x); the recall and scaling checks are the
+# drift-proof part. Lean on ratios when retuning.
 OLD_BLOCK_SECS = 0.056186
 MAX_BLOCK_SECS = OLD_BLOCK_SECS * 0.5
 
@@ -104,6 +114,57 @@ print(
     f"{path}: block stage {block:.6f} s <= {MAX_BLOCK_SECS:.6f} s "
     f"({OLD_BLOCK_SECS / max(block, 1e-12):.1f}x vs map path), recalls 1.0, "
     f"scaling curve non-increasing over {len(curve)} thread points"
+)
+PY
+
+echo "==> BENCH_pipeline.json score-cascade gate (tier-1 prefilter + SoA tier 2)"
+python3 - BENCH_pipeline.json <<'PY'
+import json
+import sys
+
+# PR 5's checked-in single-threaded *blocked* Score stage at 1378x784 was
+# 0.042891 s (full nine-voter panel on every candidate pair). The two-tier
+# cascade must keep the checked-in blocked Score at or below half of that,
+# must actually prune (a zero skip rate means tier 1 degenerated into pure
+# overhead), and the tier counters must partition the scored pairs.
+# Byte-identity of the cascade's matrices and selections against the
+# same-floor full-panel reference is enforced by tests/cascade_pin.rs in
+# the `cargo test` step above, and the score_micro criterion bench isolates
+# the kernel for ad-hoc profiling.
+#
+# Host-drift caveat: the 0.042891 s anchor and the regenerated value come
+# from different sessions of the same container image whose effective CPU
+# speed has drifted ~1.5x between sessions. The same-run cascade-vs-
+# reference speedup below is the drift-proof signal; the absolute check
+# keeps the checked-in artifact honest on the host that produced it.
+OLD_BLOCKED_SCORE_SECS = 0.042891
+MAX_BLOCKED_SCORE_SECS = OLD_BLOCKED_SCORE_SECS * 0.5
+MIN_SAME_RUN_SPEEDUP = 1.5
+
+path = sys.argv[1]
+with open(path) as fh:
+    doc = json.load(fh)
+cascade = doc["score_cascade"]
+score = cascade["cascade_score_secs"]
+if score > MAX_BLOCKED_SCORE_SECS:
+    sys.exit(
+        f"{path}: cascade_score_secs = {score:.6f} s exceeds the cascade "
+        f"gate of {MAX_BLOCKED_SCORE_SECS:.6f} s (50% of the full-panel "
+        f"{OLD_BLOCKED_SCORE_SECS} s)"
+    )
+if cascade["tier1_skip_rate"] <= 0.0 or cascade["pairs_pruned"] <= 0:
+    sys.exit(f"{path}: tier-1 pruned nothing (skip rate {cascade['tier1_skip_rate']})")
+if cascade["pairs_pruned"] + cascade["pairs_full"] != doc["blocked_pairs_scored"]:
+    sys.exit(f"{path}: tier counters do not partition the scored pairs")
+if cascade["score_speedup"] < MIN_SAME_RUN_SPEEDUP:
+    sys.exit(
+        f"{path}: same-run cascade speedup {cascade['score_speedup']:.2f}x is "
+        f"below {MIN_SAME_RUN_SPEEDUP}x against the interleaved reference"
+    )
+print(
+    f"{path}: blocked score {score:.6f} s <= {MAX_BLOCKED_SCORE_SECS:.6f} s, "
+    f"skip rate {100 * cascade['tier1_skip_rate']:.1f}%, same-run speedup "
+    f"{cascade['score_speedup']:.2f}x (floor {cascade['floor']})"
 )
 PY
 

@@ -1,0 +1,61 @@
+//! Score-stage kernel micro-benches: the two-tier cascade versus the
+//! reference full voter panel over the same blocked candidate set, at half
+//! the paper's 1378×784 scale. These isolate the Score/Merge pass so
+//! cascade-level regressions (a tier-1 bound getting slower than the
+//! voters it skips, say) are visible without running the full
+//! `pipeline_baseline` bin.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use harmony_core::index::BlockingPolicy;
+use harmony_core::prelude::*;
+use sm_bench::case_study;
+
+fn bench_blocked_score(c: &mut Criterion) {
+    let pair = case_study(0.5);
+    let policy = BlockingPolicy::default();
+    // Floor at the 0.30 operating threshold, mirroring pipeline_baseline's
+    // cascade configuration (the reference runs the same floor, so the
+    // byte-identity assertion below is the cascade's losslessness claim).
+    let cascade = MatchEngine::new()
+        .with_threads(1)
+        .with_score_floor(Some(0.3));
+    let reference = MatchEngine::new()
+        .with_threads(1)
+        .with_score_floor(Some(0.3))
+        .with_cascade(false);
+    // Warm both engines' feature caches so the iterations time the
+    // Block+Score+Merge stages, not linguistic preparation.
+    let warm = cascade
+        .pipeline()
+        .run_blocked(&pair.source, &pair.target, &policy);
+    let check = reference
+        .pipeline()
+        .run_blocked(&pair.source, &pair.target, &policy);
+    assert_eq!(
+        warm.matrix.as_slice(),
+        check.matrix.as_slice(),
+        "cascade must be lossless before its speed matters"
+    );
+    let pairs = warm.pairs_scored as u64;
+
+    let mut group = c.benchmark_group("blocked_score");
+    group.throughput(Throughput::Elements(pairs));
+    group.bench_function("cascade", |b| {
+        b.iter(|| {
+            cascade
+                .pipeline()
+                .run_blocked(&pair.source, &pair.target, &policy)
+        });
+    });
+    group.bench_function("full_panel", |b| {
+        b.iter(|| {
+            reference
+                .pipeline()
+                .run_blocked(&pair.source, &pair.target, &policy)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocked_score);
+criterion_main!(benches);

@@ -16,6 +16,13 @@
 //! `ci.sh` gates on the 12-schema ratio: batch-blocked must finish in at
 //! most 50% of the sequential-dense wall clock.
 //!
+//! The equal-selections gate deliberately runs with the score cascade's
+//! floor *off* (matching the historical dense loop exactly). A third,
+//! reporting-only configuration per arity runs the batch with the cascade
+//! enabled at the 0.30 floor and records its tier-1 skip rate and
+//! tier-split Score timings in the JSON; its losslessness relative to a
+//! same-floor full panel is pinned separately in `tests/cascade_pin.rs`.
+//!
 //! Run with: `cargo run --release -p sm-bench --bin nway_baseline`
 
 use harmony_core::prelude::*;
@@ -27,6 +34,9 @@ use std::time::Instant;
 
 /// The operating threshold used across experiments.
 const THRESHOLD: f64 = 0.35;
+/// Score floor for the reporting-only cascade configuration (the same
+/// 0.30 operating floor `pipeline_baseline` benches the cascade at).
+const CASCADE_FLOOR: f64 = 0.30;
 const REPS: usize = 3;
 
 /// One unordered pair's selected correspondences, as comparable tuples.
@@ -90,6 +100,57 @@ fn batch_blocked(
     }
 }
 
+/// Reporting-only numbers from the cascade-enabled batch configuration.
+struct CascadeReport {
+    score_secs: f64,
+    tier1_secs: f64,
+    tier2_secs: f64,
+    pairs_pruned: u64,
+    pairs_full: u64,
+    /// Whether the floored cascade run selected the very same pairs the
+    /// floor-off dense loop did (informational — flooring below the
+    /// selection threshold can in principle shift propagation blends).
+    selections_match_unfloored: bool,
+}
+
+/// Median-by-score cascade batch run; selections compared against the
+/// dense loop's for the informational flag.
+fn cascade_blocked(
+    engine: &MatchEngine,
+    schemas: &[&Schema],
+    selection: &Selection,
+    dense_selections: &[SelectedPairs],
+) -> CascadeReport {
+    let mut runs: Vec<_> = (0..REPS)
+        .map(|_| {
+            engine
+                .batch()
+                .plan_all_pairs(schemas)
+                .run_select_only(selection)
+        })
+        .collect();
+    runs.sort_by(|a, b| {
+        a.timings
+            .score
+            .partial_cmp(&b.timings.score)
+            .expect("total order")
+    });
+    let run = runs.swap_remove(REPS / 2);
+    let selections: Vec<SelectedPairs> = run
+        .pairs
+        .iter()
+        .map(|p| selected_tuples(&p.selected))
+        .collect();
+    CascadeReport {
+        score_secs: run.timings.score.as_secs_f64(),
+        tier1_secs: run.timings.score_tier1.as_secs_f64(),
+        tier2_secs: run.timings.score_tier2.as_secs_f64(),
+        pairs_pruned: run.timings.pairs_pruned,
+        pairs_full: run.timings.pairs_full,
+        selections_match_unfloored: selections == dense_selections,
+    }
+}
+
 struct ArityPoint {
     label: &'static str,
     schemas: usize,
@@ -101,9 +162,16 @@ struct ArityPoint {
     batch_secs: f64,
     plan_secs: f64,
     equal_selections: bool,
+    cascade: CascadeReport,
 }
 
-fn measure(label: &'static str, n: usize, seed: u64, engine: &MatchEngine) -> ArityPoint {
+fn measure(
+    label: &'static str,
+    n: usize,
+    seed: u64,
+    engine: &MatchEngine,
+    cascade_engine: &MatchEngine,
+) -> ArityPoint {
     let population = SyntheticRepository::generate(&RepositoryConfig {
         seed,
         domains: 1,
@@ -138,6 +206,11 @@ fn measure(label: &'static str, n: usize, seed: u64, engine: &MatchEngine) -> Ar
     batch_runs.sort_by(|a, b| a.total_secs.partial_cmp(&b.total_secs).expect("finite"));
     let batch = batch_runs.swap_remove(REPS / 2);
 
+    // Reporting-only: the cascade engine re-prepares inside its own plan
+    // (its cache is distinct), but the Score-stage timings and tier
+    // counters it emits are unaffected by that.
+    let cascade = cascade_blocked(cascade_engine, &schemas, &selection, &dense_selections);
+
     let equal_selections = dense_selections == batch.selections;
     ArityPoint {
         label,
@@ -150,6 +223,7 @@ fn measure(label: &'static str, n: usize, seed: u64, engine: &MatchEngine) -> Ar
         batch_secs: batch.total_secs,
         plan_secs: batch.plan_secs,
         equal_selections,
+        cascade,
     }
 }
 
@@ -160,7 +234,12 @@ fn point_json(p: &ArityPoint) -> String {
          \"pairs_scored\": {scored},\n    \"scored_fraction\": {fraction:.6},\n    \
          \"sequential_dense_secs\": {dense:.6},\n    \"batch_blocked_secs\": {batch:.6},\n    \
          \"batch_plan_secs\": {plan:.6},\n    \"ratio\": {ratio:.6},\n    \
-         \"equal_selections\": {equal}\n  }}",
+         \"equal_selections\": {equal},\n    \
+         \"cascade\": {{\n      \"floor\": {CASCADE_FLOOR},\n      \
+         \"score_secs\": {cscore:.6},\n      \"score_tier1_secs\": {ct1:.6},\n      \
+         \"score_tier2_secs\": {ct2:.6},\n      \"pairs_pruned\": {cpruned},\n      \
+         \"pairs_full\": {cfull},\n      \"tier1_skip_rate\": {cskip:.6},\n      \
+         \"selections_match_unfloored\": {cmatch}\n    }}\n  }}",
         label = p.label,
         schemas = p.schemas,
         pairs = p.pairs,
@@ -173,6 +252,14 @@ fn point_json(p: &ArityPoint) -> String {
         plan = p.plan_secs,
         ratio = p.batch_secs / p.dense_secs.max(1e-12),
         equal = p.equal_selections,
+        cscore = p.cascade.score_secs,
+        ct1 = p.cascade.tier1_secs,
+        ct2 = p.cascade.tier2_secs,
+        cpruned = p.cascade.pairs_pruned,
+        cfull = p.cascade.pairs_full,
+        cskip = p.cascade.pairs_pruned as f64
+            / (p.cascade.pairs_pruned + p.cascade.pairs_full).max(1) as f64,
+        cmatch = p.cascade.selections_match_unfloored,
     )
 }
 
@@ -185,11 +272,18 @@ fn main() {
     let engine = MatchEngine::new()
         .with_normalizer(Normalizer::new())
         .with_threads(threads);
-    println!("threads: {threads}, threshold: {THRESHOLD}, reps: {REPS} (median)\n");
+    let cascade_engine = MatchEngine::new()
+        .with_normalizer(Normalizer::new())
+        .with_threads(threads)
+        .with_score_floor(Some(CASCADE_FLOOR));
+    println!(
+        "threads: {threads}, threshold: {THRESHOLD}, reps: {REPS} (median), \
+         cascade floor (reporting run): {CASCADE_FLOOR}\n"
+    );
 
     let points = [
-        measure("five_schema", 5, 2010, &engine),
-        measure("twelve_schema", 12, 2021, &engine),
+        measure("five_schema", 5, 2010, &engine, &cascade_engine),
+        measure("twelve_schema", 12, 2021, &engine, &cascade_engine),
     ];
     for p in &points {
         println!(
@@ -205,6 +299,19 @@ fn main() {
             p.batch_secs / p.dense_secs.max(1e-12),
             100.0 * p.pairs_scored as f64 / p.cross_product.max(1) as f64,
             p.equal_selections,
+        );
+        println!(
+            "{:<14} cascade (floor {CASCADE_FLOOR}): score {:.4}s (tier1 {:.4}s + tier2 {:.4}s), \
+             {} of {} pairs pruned ({:.1}%), selections match unfloored: {}",
+            "",
+            p.cascade.score_secs,
+            p.cascade.tier1_secs,
+            p.cascade.tier2_secs,
+            p.cascade.pairs_pruned,
+            p.cascade.pairs_pruned + p.cascade.pairs_full,
+            100.0 * p.cascade.pairs_pruned as f64
+                / (p.cascade.pairs_pruned + p.cascade.pairs_full).max(1) as f64,
+            p.cascade.selections_match_unfloored,
         );
         assert!(
             p.equal_selections,

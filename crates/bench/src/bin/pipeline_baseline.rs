@@ -6,7 +6,10 @@
 //! token-blocked, single-threaded and multi-threaded — and the feature
 //! cache's hit/miss/eviction counters over the whole workload, then writes
 //! the numbers as JSON to the workspace root so regressions are diffable in
-//! review.
+//! review. The blocked runs enable the score cascade with the floor at the
+//! 0.30 operating threshold (`CASCADE_FLOOR`), and a cascade-off reference
+//! at the same floor rides in the same interleaved rounds, so the JSON
+//! reports the tier-1 skip rate and the Score-stage speedup side by side.
 //!
 //! Thread counts come from `harmony_core::engine::detect_threads` (the
 //! `SM_THREADS` env var overrides; `available_parallelism` and
@@ -28,6 +31,13 @@ use harmony_core::prepare::PreparedSchema;
 use sm_bench::{case_study, header};
 use sm_text::normalize::Normalizer;
 use std::time::Instant;
+
+/// Score floor for the cascade runs: the 0.30 accept/propagation threshold
+/// the experiments select at. Losslessness is relative to a full-panel
+/// reference at the *same* floor (pinned byte-identical in
+/// `tests/cascade_pin.rs`); the selections-equality gates in the n-way
+/// bench keep running floor-off engines.
+const CASCADE_FLOOR: f64 = 0.30;
 
 fn median_secs(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -113,21 +123,30 @@ fn stage_json(label: &str, threads: usize, total: f64, stages: &StageTimings) ->
     format!(
         "\"{label}\": {{\n    \"threads\": {threads},\n    \"total\": {total:.6},\n    \
          \"prepare\": {prepare:.6},\n    \"block\": {block:.6},\n    \"score\": {score:.6},\n    \
-         \"merge\": {merge:.6},\n    \"propagate\": {propagate:.6}\n  }}",
+         \"score_tier1\": {tier1:.6},\n    \"score_tier2\": {tier2:.6},\n    \
+         \"merge\": {merge:.6},\n    \"propagate\": {propagate:.6},\n    \
+         \"pairs_pruned\": {pruned},\n    \"pairs_full\": {full}\n  }}",
         prepare = stages.prepare.as_secs_f64(),
         block = stages.block.as_secs_f64(),
         score = stages.score.as_secs_f64(),
+        tier1 = stages.score_tier1.as_secs_f64(),
+        tier2 = stages.score_tier2.as_secs_f64(),
         merge = stages.merge.as_secs_f64(),
         propagate = stages.propagate.as_secs_f64(),
+        pruned = stages.pairs_pruned,
+        full = stages.pairs_full,
     )
 }
 
 fn print_stages(label: &str, stages: &StageTimings) {
     println!(
-        "  {label} stages: prepare {:.4}s  block {:.4}s  score {:.4}s  merge {:.4}s  propagate {:.4}s",
+        "  {label} stages: prepare {:.4}s  block {:.4}s  score {:.4}s  \
+         (tier1 {:.4}s + tier2 {:.4}s)  merge {:.4}s  propagate {:.4}s",
         stages.prepare.as_secs_f64(),
         stages.block.as_secs_f64(),
         stages.score.as_secs_f64(),
+        stages.score_tier1.as_secs_f64(),
+        stages.score_tier2.as_secs_f64(),
         stages.merge.as_secs_f64(),
         stages.propagate.as_secs_f64(),
     );
@@ -183,11 +202,38 @@ fn main() {
     let ((st_total, st_stages), (mt_total, mt_stages)) = (dense[0], dense[1]);
 
     // Blocked runs at both thread counts: the sparse Score stage fans out
-    // across the same work-stealing workers as the dense one.
+    // across the same work-stealing workers as the dense one. The blocked
+    // engines run the score cascade with the floor at the 0.30 operating
+    // threshold the experiments select at — cells the Harmony merge scores
+    // below it are floored to the matrix's neutral 0.0 before propagation,
+    // which tier 1 exploits losslessly (the matrix is byte-identical to
+    // the same-floor full-panel reference; tests/cascade_pin.rs pins
+    // this). A cascade-off reference engine rides along in the same
+    // interleaved rounds so the cascade's Score-stage speedup is measured
+    // under identical drift.
+    let engine_bst = MatchEngine::new()
+        .with_feature_cache(std::sync::Arc::clone(&cache))
+        .with_threads(1)
+        .with_score_floor(Some(CASCADE_FLOOR));
+    let engine_bmt = MatchEngine::new()
+        .with_feature_cache(std::sync::Arc::clone(&cache))
+        .with_threads(threads_mt)
+        .with_score_floor(Some(CASCADE_FLOOR));
+    let engine_bref = MatchEngine::new()
+        .with_feature_cache(std::sync::Arc::clone(&cache))
+        .with_threads(1)
+        .with_score_floor(Some(CASCADE_FLOOR))
+        .with_cascade(false);
     let policy = BlockingPolicy::default();
-    let blocked = timed_blocked_runs_interleaved(&[&engine_st, &engine_mt], &pair, &policy, REPS);
+    let blocked = timed_blocked_runs_interleaved(
+        &[&engine_bst, &engine_bmt, &engine_bref],
+        &pair,
+        &policy,
+        REPS,
+    );
     let ((bst_total, bst_stages, pairs_scored), (bmt_total, bmt_stages, _)) =
         (blocked[0], blocked[1]);
+    let (bref_total, bref_stages, _) = blocked[2];
 
     // Block-stage thread scaling at 1, 2, and max threads (median of REPS
     // each): the parallel candidate generation must never make 2 workers
@@ -233,14 +279,33 @@ fn main() {
         100.0 * pairs_scored as f64 / (rows * cols) as f64
     );
     println!("blocked run ({threads_mt} thr)  {:>10.4} s", bmt_total);
+    println!("blocked run (1 thr, cascade off)  {:>10.4} s", bref_total);
     for (label, stages) in [
         ("dense 1-thread", &st_stages),
         ("dense mt", &mt_stages),
         ("blocked 1-thread", &bst_stages),
         ("blocked mt", &bmt_stages),
+        ("blocked reference", &bref_stages),
     ] {
         print_stages(label, stages);
     }
+    let skip_rate = bst_stages.pairs_pruned as f64
+        / (bst_stages.pairs_pruned + bst_stages.pairs_full).max(1) as f64;
+    let score_speedup = bref_stages.score.as_secs_f64() / bst_stages.score.as_secs_f64().max(1e-12);
+    println!(
+        "score cascade: {} of {} candidate pairs pruned by tier 1 ({:.1}%), \
+         score stage {:.4}s vs {:.4}s reference ({score_speedup:.2}×)",
+        bst_stages.pairs_pruned,
+        pairs_scored,
+        100.0 * skip_rate,
+        bst_stages.score.as_secs_f64(),
+        bref_stages.score.as_secs_f64(),
+    );
+    let memo = sm_text::intern::pair_memo_stats();
+    println!(
+        "edit-distance pair memo: {} misses / {} flushes (process-wide)",
+        memo.misses, memo.flushes
+    );
     println!(
         "feature cache: {} hits / {} misses / {} evictions / {} resident",
         stats.hits, stats.misses, stats.evictions, stats.entries
@@ -257,12 +322,26 @@ fn main() {
          \"cold_context\": {cold_context:.6},\n    \
          \"cached_context\": {cached_context:.6},\n    \
          \"cached_speedup\": {speedup:.2}\n  }},\n  \
-         {single},\n  {multi},\n  {bsingle},\n  {bmulti},\n  \
+         {single},\n  {multi},\n  {bsingle},\n  {bmulti},\n  {bref},\n  \
          \"blocked_pairs_scored\": {pairs_scored},\n  \
+         \"score_cascade\": {{\n    \"floor\": {CASCADE_FLOOR},\n    \
+         \"pairs_pruned\": {pruned},\n    \"pairs_full\": {full},\n    \
+         \"tier1_skip_rate\": {skip_rate:.6},\n    \
+         \"cascade_score_secs\": {cascade_score:.6},\n    \
+         \"reference_score_secs\": {reference_score:.6},\n    \
+         \"score_speedup\": {score_speedup:.2}\n  }},\n  \
+         \"edit_memo\": {{\"misses\": {memo_misses}, \"flushes\": {memo_flushes}}},\n  \
          \"block_stage_scaling\": [\n{scaling}\n  ],\n  \
          \"feature_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \
          \"evictions\": {evictions}, \"entries\": {entries}}},\n  \
          \"paper_reference_secs\": 10.2\n}}\n",
+        bref = stage_json("blocked_run_reference_secs", 1, bref_total, &bref_stages),
+        pruned = bst_stages.pairs_pruned,
+        full = bst_stages.pairs_full,
+        cascade_score = bst_stages.score.as_secs_f64(),
+        reference_score = bref_stages.score.as_secs_f64(),
+        memo_misses = memo.misses,
+        memo_flushes = memo.flushes,
         pairs = rows * cols,
         scaling = block_scaling
             .iter()

@@ -536,6 +536,37 @@ mod tests {
         assert!(result.timings.total() >= result.timings.plan);
     }
 
+    /// The batch planner's per-pair runs go through `run_blocked_prepared`,
+    /// so a floored engine's cascade applies to every pair of the batch and
+    /// the aggregated timings carry the tier counters.
+    #[test]
+    fn batch_inherits_cascade_and_aggregates_tier_counters() {
+        let schemas = trio();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let cascade = engine().with_threads(2).with_score_floor(Some(0.0));
+        let reference = engine()
+            .with_threads(2)
+            .with_score_floor(Some(0.0))
+            .with_cascade(false);
+        let got = cascade.batch().plan_all_pairs(&refs).run();
+        let want = reference.batch().plan_all_pairs(&refs).run();
+        for (g, w) in got.pairs.iter().zip(&want.pairs) {
+            assert_eq!(
+                g.result.matrix.as_slice(),
+                w.result.matrix.as_slice(),
+                "cascade diverged on batched pair ({}, {})",
+                g.left,
+                g.right
+            );
+        }
+        assert_eq!(
+            got.timings.pairs_pruned + got.timings.pairs_full,
+            got.pairs_scored() as u64,
+            "aggregated tier counters must partition the scored pairs"
+        );
+        assert_eq!(want.timings.pairs_pruned, 0);
+    }
+
     #[test]
     fn plan_amortizes_preparation() {
         let schemas = trio();

@@ -1,0 +1,458 @@
+//! Two-tier score cascade over CSR candidate rows.
+//!
+//! Tier 1 computes, per candidate pair, a provable upper bound on the
+//! merged Harmony-weighted score from O(1)-per-voter digests built at
+//! prepare time (128-bit token signatures, char-count profiles, per-token
+//! Jaro-Winkler digests). Pairs whose bound falls below the engine's
+//! score floor are written as `0.0` without ever running the expensive
+//! voters. Tier 2 then runs the remaining voters structure-of-arrays
+//! style — one voter lane at a time over the row's survivors — calling
+//! the exact same free-function kernels in `crate::voter` that the
+//! per-pair reference path uses, so surviving cells are bit-identical to
+//! the reference by construction.
+//!
+//! # Losslessness
+//!
+//! [`MergeStrategy::HarmonyWeighted`] computes `N/D` with
+//! `N = Σ vᵢ·|vᵢ|` and `D = Σ |vᵢ|`, and the floor write fires on
+//! `merged < floor`. Rather than bounding `N` and `D` separately (the
+//! ratio of two decorrelated bounds is loose), the test is *linearized*:
+//! `merged < floor ⟺ N − floor·D < 0` whenever `D > 0`, and
+//! `N − floor·D = Σ φ(vᵢ)` with the per-vote score
+//! `φ(v) = v·|v| − floor·|v|`. Exact votes contribute `φ(v)` exactly; an
+//! unresolved vote known to lie in `[l, u]` contributes at most
+//! [`lane_max`]`(l, u)` — `φ` is piecewise quadratic with maxima only at
+//! the interval endpoints, at `v = 0` (a kink where `φ = 0`), or at
+//! `v = floor/2` on the negative branch when the floor is negative. If the
+//! summed maximum (`slack`) is provably negative, then *every* realization
+//! has `N − floor·D < 0`; the all-zero realization (`D == 0`) yields
+//! `Σ φ = 0` and is therefore excluded, so `D > 0` and
+//! `merged = N/D < floor` — the reference path would write the very same
+//! `0.0`. (The merge's ±(1−1e-9) clamp only ever moves a value below
+//! `-LIMIT` up toward zero, which cannot cross a floor the value was
+//! already below, floors being ≥ `-LIMIT` in practice.) For
+//! `floor == 0.0`, `φ(v) = v·|v|` and the test collapses to "is the
+//! numerator provably negative"; a zero or negative merge and the prune
+//! both write the same `0.0` f32.
+//!
+//! Every per-lane interval is derived from a quantity that provably
+//! brackets the voter's evidence *ratio*, then mapped through
+//! [`Confidence::from_evidence`] with the voter's own evidence and
+//! damping — `from_evidence` is monotone in the ratio, so ratio bounds
+//! survive the mapping (including its clamps).
+//!
+//! # Branch and bound
+//!
+//! Tier-1 cost is dominated by the char-profile edit caps and the
+//! per-token soft-overlap walk, so [`tier1_pair`] orders the work
+//! cheapest-first and exits as soon as the verdict is decided in either
+//! direction: prune the moment `slack` goes provably negative under even
+//! a coarse cap, and *survive* the moment no further refinement (each
+//! pending lane collapsed to its lower endpoint) could push `slack`
+//! negative. Survivors' caps are never consumed — tier 2 computes their
+//! real votes — so a fast-surviving pair skips the expensive bounds
+//! entirely.
+
+use crate::confidence::Confidence;
+use crate::context::{ElementFeatures, MatchContext};
+use crate::merger::MergeStrategy;
+use crate::voter::{
+    acronym_vote, doc_vote, edit_distance_vote, exact_name_vote, path_vote, role_vote,
+    structure_vote, token_vote, type_vote,
+};
+use sm_schema::{DataType, ElementId, ElementKind};
+use sm_text::bounds::{
+    edit_blend_upper_bound, jw_prefix_len, signature_intersection_bound, signature_jaccard_bound,
+    token_jw_upper_bound, TokenStat,
+};
+use sm_text::intern::{sorted_ids_contains, sorted_ids_jaccard, TokenId};
+use sm_text::soundex::soundex_key_sim;
+
+/// Number of voters in the default panel (cascade is gated on it).
+pub(crate) const LANES: usize = 9;
+const LANE_TOKEN: usize = 1;
+const LANE_EDIT: usize = 2;
+const LANE_DOC: usize = 3;
+const LANE_STRUCT: usize = 6;
+
+/// Margin absorbing f64 rounding-order differences between the bound
+/// arithmetic here and the reference merge. Both are exact to ~1e-15
+/// relative, so 1e-9 is ample and costs essentially no pruning power.
+const EPS: f64 = 1e-9;
+
+/// Reusable per-worker buffers for one row's cascade. Cleared and refilled
+/// per row; allocations amortize across the whole run.
+#[derive(Default)]
+pub(crate) struct CascadeScratch {
+    /// `LANES` vote values per survivor, panel order, survivor-major.
+    votes: Vec<f64>,
+    /// Per-survivor bitmask of lanes still awaiting their tier-2 vote.
+    pending: Vec<u8>,
+    /// Target column ids of pairs that survived tier 1.
+    survivors: Vec<u32>,
+    /// Merge input buffer (reused across survivors).
+    scratch: Vec<Confidence>,
+}
+
+/// The linearized per-vote score `φ(v) = v·|v| − floor·|v|`; the merged
+/// score is below the floor iff `Σ φ(vᵢ) < 0` (see the module doc).
+#[inline]
+fn phi(v: f64, floor: f64) -> f64 {
+    v * v.abs() - floor * v.abs()
+}
+
+/// Maximum of `φ` over a vote interval `[l, u]`. `φ` is quadratic on each
+/// sign branch: on `v ≥ 0` it opens upward (interior minimum only), on
+/// `v < 0` downward with its apex at `floor/2` — reachable only when the
+/// floor is negative. The kink at `v = 0` always scores `φ(0) = 0`.
+#[inline]
+fn lane_max(l: f64, u: f64, floor: f64) -> f64 {
+    let mut m = phi(l, floor).max(phi(u, floor));
+    if l <= 0.0 && 0.0 <= u {
+        m = m.max(0.0);
+    }
+    let apex = 0.5 * floor;
+    if floor < 0.0 && l <= apex && apex <= u {
+        m = m.max(phi(apex, floor));
+    }
+    m
+}
+
+/// Tier-1 classification of one pair. Returns `None` when the pair is
+/// provably below the floor (the caller writes `0.0`); otherwise the
+/// resolved exact votes plus a bitmask of lanes tier 2 must still run.
+fn tier1_pair(
+    fa: &ElementFeatures,
+    fb: &ElementFeatures,
+    dt_s: DataType,
+    kind_s: ElementKind,
+    dt_t: DataType,
+    kind_t: ElementKind,
+    floor: f64,
+) -> Option<([f64; LANES], u8)> {
+    let mut votes = [0.0f64; LANES];
+    let mut pending = 0u8;
+
+    // Exact cheap lanes: integer compares and tiny sorted merge walks.
+    votes[0] = exact_name_vote(fa, fb).value();
+    votes[4] = type_vote(dt_s, dt_t).value();
+    votes[5] = path_vote(fa, fb).value();
+    votes[7] = role_vote(kind_s, kind_t).value();
+    votes[8] = acronym_vote(fa, fb).value();
+
+    let mut slack = 0.0;
+    for &v in &[votes[0], votes[4], votes[5], votes[7], votes[8]] {
+        slack += phi(v, floor);
+    }
+
+    // Token lane: the Jaccard half of the blend is cheap enough to compute
+    // exactly here (name sets are tiny, and disjoint signatures prove it
+    // zero); the Monge-Elkan soft half is capped at 1 and only refined in
+    // phase B when that refinement could flip the verdict. `tok` carries
+    // (jacc, evidence, lower vote, this lane's current slack term).
+    let mut tok = None;
+    if !(fa.name_ids.is_empty() || fb.name_ids.is_empty()) {
+        let jacc = if fa.name_sig & fb.name_sig == 0 {
+            0.0
+        } else {
+            sorted_ids_jaccard(&fa.name_set, &fb.name_set)
+        };
+        let ev = (fa.name_ids.len() + fb.name_ids.len()) as f64 / 2.0;
+        let u = Confidence::from_evidence(jacc.max(0.85), ev, 1.5).value();
+        let l = Confidence::from_evidence(jacc, ev, 1.5).value();
+        pending |= 1 << LANE_TOKEN;
+        let m = lane_max(l, u, floor);
+        slack += m;
+        tok = Some((jacc, ev, l, m));
+    }
+
+    // Doc lane: corpus-signature cap on the shared-term count, then
+    // Cauchy-Schwarz over each side's top-I squared TF-IDF weights. A
+    // provably empty term intersection resolves the vote exactly — the
+    // cosine merge walk accumulates nothing and returns exactly 0.0.
+    if !(fa.doc_vector.is_empty() || fb.doc_vector.is_empty()) {
+        let ev = fa.doc_vector.token_count.min(fb.doc_vector.token_count) as f64;
+        let i = signature_intersection_bound(
+            fa.corpus_sig,
+            fa.doc_vector.term_count(),
+            fb.corpus_sig,
+            fb.doc_vector.term_count(),
+        );
+        if i == 0 {
+            let v = Confidence::from_evidence(0.0, ev, 5.0).value();
+            votes[LANE_DOC] = v;
+            slack += phi(v, floor);
+        } else {
+            let dot_ub = (fa.doc_sq_prefix[i] * fb.doc_sq_prefix[i]).sqrt().min(1.0);
+            let u = Confidence::from_evidence(dot_ub.sqrt(), ev, 5.0).value();
+            let l = Confidence::from_evidence(0.0, ev, 5.0).value();
+            pending |= 1 << LANE_DOC;
+            slack += lane_max(l, u, floor);
+        }
+    }
+
+    // Structure lane: children-set signature Jaccard cap; disjoint
+    // signatures resolve the vote exactly (sorted_ids_jaccard of disjoint
+    // non-empty sets is exactly 0.0).
+    if !(fa.children_set.is_empty() || fb.children_set.is_empty()) {
+        let ev = (fa.children_bag.len().min(fb.children_bag.len())) as f64;
+        if fa.children_sig & fb.children_sig == 0 {
+            let v = Confidence::from_evidence(0.0, ev, 6.0).value();
+            votes[LANE_STRUCT] = v;
+            slack += phi(v, floor);
+        } else {
+            let jacc_ub = signature_jaccard_bound(
+                fa.children_sig,
+                fa.children_set.len(),
+                fb.children_sig,
+                fb.children_set.len(),
+            );
+            let u = Confidence::from_evidence(jacc_ub, ev, 6.0).value();
+            let l = Confidence::from_evidence(0.0, ev, 6.0).value();
+            pending |= 1 << LANE_STRUCT;
+            slack += lane_max(l, u, floor);
+        }
+    }
+
+    // How much could phase B's token refinement still subtract? At best it
+    // collapses the token cap to the exact-Jaccard lower vote.
+    let tok_drop = match tok {
+        Some((_, _, l, m)) => m - lane_max(l, l, floor),
+        None => 0.0,
+    };
+
+    // Edit lane, branch-and-bound: the trivial cap (Jaro-Winkler and
+    // Levenshtein ≤ 1; the Soundex term is exact already) costs two
+    // `from_evidence` calls, the char-profile cap a 32-kind min-fold. Run
+    // the cheap one first, and the expensive one only while the verdict is
+    // still open in both directions.
+    if !(fa.raw_chars.is_empty() || fb.raw_chars.is_empty()) {
+        let sdx = soundex_key_sim(fa.raw_soundex, fb.raw_soundex);
+        let ev = (fa.raw_chars.len().min(fb.raw_chars.len()) as f64) / 3.0;
+        let l = Confidence::from_evidence(0.1 * sdx, ev, 1.2).value();
+        let coarse_u = Confidence::from_evidence(0.9 + 0.1 * sdx, ev, 1.2).value();
+        pending |= 1 << LANE_EDIT;
+        let coarse = lane_max(l, coarse_u, floor);
+        if slack + coarse < -EPS {
+            return None; // pruned without touching the char profiles
+        }
+        // Could any refinement (tight edit cap and/or phase B) still
+        // prune? If not even the lane's lower endpoint would, survive now
+        // and skip the profile fold and the phase-B walk altogether.
+        let best = lane_max(l, l, floor);
+        if slack - tok_drop + best >= -EPS {
+            return Some((votes, pending));
+        }
+        let blend_ub = edit_blend_upper_bound(
+            &fa.raw_profile,
+            &fb.raw_profile,
+            jw_prefix_len(&fa.raw_chars, &fb.raw_chars),
+            sdx,
+        );
+        let u = Confidence::from_evidence(blend_ub, ev, 1.2).value();
+        slack += lane_max(l, u, floor);
+    } else if slack - tok_drop >= -EPS {
+        return Some((votes, pending));
+    }
+
+    // Phase A verdict with every lane's tight cap in place.
+    if slack < -EPS {
+        return None;
+    }
+
+    // Phase B: refine the token soft-overlap cap per token — but only when
+    // a perfect refinement (all the way down to the exact-Jaccard lower
+    // vote) would actually prune; otherwise the O(|a|·|b|) stat walk is
+    // guaranteed-wasted work.
+    if let Some((jacc, ev, l, m)) = tok {
+        if slack - m + lane_max(l, l, floor) < -EPS {
+            let soft_ub = monge_elkan_soft_upper_bound(fa, fb);
+            let u2 = Confidence::from_evidence(jacc.max(0.85 * soft_ub), ev, 1.5).value();
+            if slack - m + lane_max(l, u2, floor) < -EPS {
+                return None;
+            }
+        }
+    }
+
+    Some((votes, pending))
+}
+
+/// Upper bound on `monge_elkan_jw_interned` from per-token digests: shared
+/// tokens contribute their exact 1.0 (mirroring the kernel's id
+/// short-circuit), the rest their best O(1) pairwise Jaro-Winkler cap.
+/// Callers guarantee both sides are non-empty.
+fn monge_elkan_soft_upper_bound(fa: &ElementFeatures, fb: &ElementFeatures) -> f64 {
+    let d_ab = directed_soft_ub(
+        &fa.name_token_stats,
+        &fa.name_ids,
+        &fb.name_set,
+        &fb.name_token_stats,
+    );
+    let d_ba = directed_soft_ub(
+        &fb.name_token_stats,
+        &fb.name_ids,
+        &fa.name_set,
+        &fa.name_token_stats,
+    );
+    (d_ab + d_ba) / 2.0
+}
+
+fn directed_soft_ub(
+    xs: &[TokenStat],
+    x_ids: &[TokenId],
+    ys_set: &[TokenId],
+    ys: &[TokenStat],
+) -> f64 {
+    let mut total = 0.0;
+    for (x, &id) in xs.iter().zip(x_ids) {
+        if sorted_ids_contains(ys_set, id) {
+            total += 1.0;
+        } else {
+            let mut best = 0.0f64;
+            for y in ys {
+                best = best.max(token_jw_upper_bound(x, y));
+            }
+            total += best;
+        }
+    }
+    total / xs.len() as f64
+}
+
+/// Tier 1 over one CSR candidate row: classify every pair, write `0.0`
+/// for pruned cells, stash survivors in `out`. Returns the pruned count.
+pub(crate) fn tier1_row(
+    ctx: &MatchContext<'_>,
+    s: ElementId,
+    cand: &[u32],
+    floor: f64,
+    slice: &mut [f32],
+    out: &mut CascadeScratch,
+) -> u64 {
+    out.votes.clear();
+    out.pending.clear();
+    out.survivors.clear();
+    let fa = ctx.source_feat(s);
+    let el_s = ctx.source.element(s);
+    let mut pruned = 0u64;
+    for &t in cand {
+        let fb = ctx.target_feat(ElementId(t));
+        let el_t = ctx.target.element(ElementId(t));
+        match tier1_pair(
+            fa,
+            fb,
+            el_s.datatype,
+            el_s.kind,
+            el_t.datatype,
+            el_t.kind,
+            floor,
+        ) {
+            None => {
+                slice[t as usize] = 0.0;
+                pruned += 1;
+            }
+            Some((votes, pending)) => {
+                out.survivors.push(t);
+                out.votes.extend_from_slice(&votes);
+                out.pending.push(pending);
+            }
+        }
+    }
+    pruned
+}
+
+/// Tier 2 over one row's survivors, voter-major: each unresolved lane is
+/// completed in its own pass so one voter's code and tables stay hot
+/// across the whole row. The kernels are the same free functions the
+/// per-pair reference path calls — bit-identical votes by construction.
+pub(crate) fn tier2_row(ctx: &MatchContext<'_>, s: ElementId, out: &mut CascadeScratch) {
+    let tag = ctx.arena_tag();
+    let fa = ctx.source_feat(s);
+    for (i, &t) in out.survivors.iter().enumerate() {
+        if out.pending[i] & (1 << LANE_TOKEN) != 0 {
+            out.votes[i * LANES + LANE_TOKEN] =
+                token_vote(tag, fa, ctx.target_feat(ElementId(t))).value();
+        }
+    }
+    for (i, &t) in out.survivors.iter().enumerate() {
+        if out.pending[i] & (1 << LANE_EDIT) != 0 {
+            out.votes[i * LANES + LANE_EDIT] =
+                edit_distance_vote(tag, fa, ctx.target_feat(ElementId(t))).value();
+        }
+    }
+    for (i, &t) in out.survivors.iter().enumerate() {
+        if out.pending[i] & (1 << LANE_DOC) != 0 {
+            out.votes[i * LANES + LANE_DOC] = doc_vote(fa, ctx.target_feat(ElementId(t))).value();
+        }
+    }
+    for (i, &t) in out.survivors.iter().enumerate() {
+        if out.pending[i] & (1 << LANE_STRUCT) != 0 {
+            out.votes[i * LANES + LANE_STRUCT] =
+                structure_vote(fa, ctx.target_feat(ElementId(t))).value();
+        }
+    }
+}
+
+/// Merge one row's survivors into the matrix slice, applying the floor on
+/// the f64 merged value before the f32 narrowing — the same order the
+/// reference path uses, so the written bytes are identical.
+pub(crate) fn merge_row(
+    merger: &MergeStrategy,
+    floor: f64,
+    out: &mut CascadeScratch,
+    slice: &mut [f32],
+) {
+    for (i, &t) in out.survivors.iter().enumerate() {
+        out.scratch.clear();
+        out.scratch.extend(
+            out.votes[i * LANES..(i + 1) * LANES]
+                .iter()
+                .map(|&v| Confidence::new(v)),
+        );
+        let merged = merger.merge(&out.scratch).value();
+        slice[t as usize] = if merged < floor { 0.0 } else { merged as f32 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_recovers_numerator_sign_at_zero_floor() {
+        assert_eq!(phi(0.5, 0.0), 0.25);
+        assert_eq!(phi(-0.5, 0.0), -0.25);
+        assert_eq!(phi(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn phi_linearizes_the_floor_test() {
+        // merged = N/D < f ⟺ Σφ < 0: check on a concrete panel.
+        let votes = [0.6, -0.3, 0.1];
+        let f = 0.35;
+        let n: f64 = votes.iter().map(|&v: &f64| v * v.abs()).sum();
+        let d: f64 = votes.iter().map(|v| v.abs()).sum();
+        let slack: f64 = votes.iter().map(|&v| phi(v, f)).sum();
+        assert_eq!(n / d < f, slack < 0.0);
+    }
+
+    #[test]
+    fn lane_max_covers_the_zero_kink() {
+        // φ(u) and φ(l) are both negative for a small positive floor, but
+        // a vote of exactly 0 scores 0 — the interval max must include it.
+        let f = 0.3;
+        let (l, u) = (-0.4, 0.2);
+        assert!(phi(l, f) < 0.0 && phi(u, f) < 0.0);
+        assert_eq!(lane_max(l, u, f), 0.0);
+        // Interval strictly negative: endpoint max only.
+        assert_eq!(lane_max(-0.6, -0.2, f), phi(-0.2, f));
+    }
+
+    #[test]
+    fn lane_max_covers_the_negative_floor_apex() {
+        // With f < 0 the negative branch −v² + f·v peaks at v = f/2.
+        let f = -0.4;
+        let apex = 0.5 * f;
+        assert!(lane_max(-0.9, -0.1, f) >= phi(apex, f));
+        assert!(phi(apex, f) > phi(-0.9, f) && phi(apex, f) > phi(-0.1, f));
+    }
+}

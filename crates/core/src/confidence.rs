@@ -33,6 +33,7 @@ impl Confidence {
     /// The open interval is enforced by clamping to ±(1 − ε): the paper's
     /// semantics reserve exactly ±1 for *definite* knowledge, which evidence
     /// accumulation can approach but not reach.
+    #[inline]
     pub fn new(value: f64) -> Self {
         const LIMIT: f64 = 1.0 - 1e-9;
         if value.is_nan() {
@@ -51,6 +52,7 @@ impl Confidence {
     ///   at `evidence == damping` the score reaches half its asymptote.
     ///
     /// With `evidence == 0` the result is exactly [`Confidence::NEUTRAL`].
+    #[inline]
     pub fn from_evidence(ratio: f64, evidence: f64, damping: f64) -> Self {
         let ratio = ratio.clamp(0.0, 1.0);
         let evidence = evidence.max(0.0);

@@ -39,6 +39,12 @@ pub struct ElementFeatures {
     pub base: std::sync::Arc<PreparedElement>,
     /// TF-IDF vector of name + documentation against the pair's joint corpus.
     pub doc_vector: DocVector,
+    /// Prefix sums of [`Self::doc_vector`]'s squared weights in descending
+    /// order (see [`DocVector::top_squared_prefix`]) — with a cap on the
+    /// number of shared terms, Cauchy-Schwarz bounds the cosine from above.
+    /// Tier-1 cascade input; empty-document vectors get the single-entry
+    /// `[0.0]` prefix.
+    pub doc_sq_prefix: Vec<f64>,
     /// Distributional profile of sampled instance values, when available.
     /// `None` in the paper's common case ("data … may not yet exist, or may
     /// be sensitive").
@@ -206,10 +212,14 @@ impl<'a> MatchContext<'a> {
                 .iter()
                 .zip(prepared.elements())
                 .enumerate()
-                .map(|(idx, (e, p))| ElementFeatures {
-                    base: std::sync::Arc::clone(p),
-                    doc_vector: corpus.vector(doc_offset + idx).clone(),
-                    instances: instances.get(e.id).and_then(InstanceProfile::from_values),
+                .map(|(idx, (e, p))| {
+                    let doc_vector = corpus.vector(doc_offset + idx).clone();
+                    ElementFeatures {
+                        base: std::sync::Arc::clone(p),
+                        doc_sq_prefix: doc_vector.top_squared_prefix(),
+                        doc_vector,
+                        instances: instances.get(e.id).and_then(InstanceProfile::from_values),
+                    }
                 })
                 .collect()
         };

@@ -73,6 +73,21 @@ pub struct MatchEngine {
     /// (`name`, `identifier`) by their containers — a one-step analogue of
     /// similarity flooding. 0 disables.
     pub(crate) propagation_alpha: f64,
+    /// Merged-score floor: when `Some(f)`, merged cells scoring below `f`
+    /// are written as exactly `0.0` (on the f64 merged value, before the
+    /// f32 matrix narrowing). `None` — the default — preserves the exact
+    /// historical semantics. The floor is what licenses the score cascade:
+    /// a pair whose provable merged upper bound already falls below `f`
+    /// can skip the expensive voters and write `0.0` directly.
+    pub(crate) score_floor: Option<f64>,
+    /// Whether `voters` is still the untouched [`default_voters`] panel —
+    /// the cascade's per-voter bounds are derived for exactly that panel,
+    /// so any `with_voters` replacement disables tier-1 skipping.
+    pub(crate) panel_is_default: bool,
+    /// Test/bench override: `false` forces the full-panel reference path
+    /// even when a floor is set (the retained reference the cascade is
+    /// pinned against).
+    pub(crate) cascade_enabled: bool,
 }
 
 impl MatchEngine {
@@ -87,13 +102,47 @@ impl MatchEngine {
             exec: Arc::clone(Executor::global()),
             threads: detect_threads(),
             propagation_alpha: 0.3,
+            score_floor: None,
+            panel_is_default: true,
+            cascade_enabled: true,
         }
     }
 
-    /// Replace the voter panel.
+    /// Replace the voter panel. A custom panel disables the tier-1 cascade
+    /// (its per-voter bounds are derived for the default panel only); runs
+    /// fall back to full-panel scoring, floored if a floor is set.
     pub fn with_voters(mut self, voters: Vec<Box<dyn MatchVoter>>) -> Self {
         self.voters = voters;
+        self.panel_is_default = false;
         self
+    }
+
+    /// Set the merged-score floor: merged scores below `floor` are written
+    /// as exactly `0.0`. Cells a selection threshold ≥ `floor` would never
+    /// accept anyway become skippable for the scoring cascade — with
+    /// `Some(0.0)`, every non-positive merged score flattens to `0.0` and
+    /// the Score stage may prune provably-losing pairs outright. `None`
+    /// restores the exact historical semantics.
+    pub fn with_score_floor(mut self, floor: Option<f64>) -> Self {
+        self.score_floor = floor;
+        self
+    }
+
+    /// Force the full-panel reference path even when a floor is set
+    /// (pin tests and benches compare the cascade against exactly this).
+    pub fn with_cascade(mut self, enabled: bool) -> Self {
+        self.cascade_enabled = enabled;
+        self
+    }
+
+    /// True when runs will use the tier-1/tier-2 cascade: a floor is set,
+    /// the panel is the untouched default, and the merger is the Harmony
+    /// weighted vote (the bound derivation targets exactly that merge).
+    pub fn cascade_active(&self) -> bool {
+        self.cascade_enabled
+            && self.score_floor.is_some()
+            && self.panel_is_default
+            && matches!(self.merger, MergeStrategy::HarmonyWeighted)
     }
 
     /// Replace the merge strategy.

@@ -273,6 +273,11 @@ impl CandidateSet {
     }
 
     /// Candidate target columns of one source row (sorted ascending).
+    ///
+    /// This slice is the unit of work for the sparse Score stage: the
+    /// pipeline hands it to the score cascade's tier-1 row kernel (or the
+    /// reference per-pair loop) together with the row's matrix slice, so
+    /// the CSR layout is consumed directly with no per-pair indirection.
     pub fn row(&self, r: usize) -> &[u32] {
         &self.targets[self.offsets[r]..self.offsets[r + 1]]
     }

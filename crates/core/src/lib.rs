@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+mod cascade;
 pub mod confidence;
 pub mod context;
 pub mod correspondence;

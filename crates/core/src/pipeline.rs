@@ -14,14 +14,23 @@
 //!    claim the next block of rows from a shared queue, so a straggler block
 //!    cannot idle the other cores the way a static partition can, and the
 //!    pool is shared with every concurrent pair of a batch instead of being
-//!    spawned and joined per run.
+//!    spawned and joined per run. When the engine's score cascade is active
+//!    ([`MatchEngine::cascade_active`]), the blocked path scores in two
+//!    tiers (see [`crate::cascade`]): tier 1 prunes candidate pairs whose
+//!    provable upper bound on the merged score falls below the engine's
+//!    floor, tier 2 runs the remaining voter lanes SoA-style over the
+//!    survivors — losslessly, the matrix stays bit-identical.
 //! 3. **Merge** — the engine's [`crate::merger::MergeStrategy`] collapses
 //!    each pair's votes into one score. Score and Merge execute as one fused
 //!    parallel pass over block-sized scratch (never a full
 //!    `rows × cols × voters` tensor — at the paper's 1378×784 scale that
-//!    would be ~75 MB of transient allocation); their reported timings are
-//!    the fused pass's wall-clock split proportionally to the CPU time each
-//!    sub-stage consumed across workers.
+//!    would be ~75 MB of transient allocation). Each worker measures its
+//!    tier-1, tier-2, and merge phases directly with per-row monotonic
+//!    timestamps; the fused pass's wall-clock is then split across
+//!    `score_tier1`/`score_tier2`/`merge` proportionally to those measured
+//!    CPU nanoseconds (`score` is the sum of the two tiers), replacing the
+//!    old whole-pass estimate that attributed time by a single
+//!    score-vs-merge ratio.
 //! 4. **Propagate** — one structural pass blends every non-root pair with its
 //!    parents' merged score (the engine's `propagation_alpha`).
 //! 5. **Select** — an optional [`Selection`] turns the matrix into candidate
@@ -60,18 +69,34 @@ pub struct StageTimings {
     /// Candidate generation over the token-blocking index (zero on dense
     /// runs, which score the full cross product).
     pub block: Duration,
-    /// Voter panel over all candidate pairs.
+    /// Voter panel over all candidate pairs. Always the sum of
+    /// `score_tier1` and `score_tier2`.
     pub score: Duration,
+    /// Cascade tier 1: signature/profile bound computation and pruning.
+    /// Zero when the cascade is off (dense runs, non-default panels, no
+    /// score floor). A sub-component of `score`, not an extra stage.
+    pub score_tier1: Duration,
+    /// Cascade tier 2 (full voter panel over surviving pairs), or the
+    /// whole Score stage when the cascade is off. A sub-component of
+    /// `score`, not an extra stage.
+    pub score_tier2: Duration,
     /// Vote merging.
     pub merge: Duration,
     /// Structural propagation.
     pub propagate: Duration,
     /// Candidate selection (zero unless a selection ran).
     pub select: Duration,
+    /// Candidate pairs the cascade's tier-1 bound pruned (their expensive
+    /// voters never ran; the merged matrix is provably unchanged).
+    pub pairs_pruned: u64,
+    /// Candidate pairs scored by the full voter panel (tier-2 survivors,
+    /// or every scored pair when the cascade is off).
+    pub pairs_full: u64,
 }
 
 impl StageTimings {
-    /// Total time across all stages.
+    /// Total time across all stages. The tier sub-components are already
+    /// counted inside `score` and must not be added again.
     pub fn total(&self) -> Duration {
         self.plan
             + self.prepare
@@ -89,9 +114,13 @@ impl StageTimings {
         self.prepare += other.prepare;
         self.block += other.block;
         self.score += other.score;
+        self.score_tier1 += other.score_tier1;
+        self.score_tier2 += other.score_tier2;
         self.merge += other.merge;
         self.propagate += other.propagate;
         self.select += other.select;
+        self.pairs_pruned += other.pairs_pruned;
+        self.pairs_full += other.pairs_full;
     }
 }
 
@@ -121,6 +150,16 @@ pub struct BlockedRun {
     pub candidates: CandidateSet,
     /// Per-stage wall-clock timings (including the Block stage).
     pub timings: StageTimings,
+}
+
+/// Per-worker CPU-nanosecond totals and prune counter from the fused
+/// Score/Merge pass, used for the proportional wall-clock split. On the
+/// reference (non-cascade) path all score time lands in `tier2_ns`.
+struct FusedStats {
+    tier1_ns: u64,
+    tier2_ns: u64,
+    merge_ns: u64,
+    pruned: u64,
 }
 
 /// A staged execution of the engine's match configuration.
@@ -186,13 +225,17 @@ impl<'e> MatchPipeline<'e> {
             };
         }
 
-        // Stages 2+3: Score and Merge, fused per block.
+        // Stages 2+3: Score and Merge, fused per block. The dense path
+        // always runs the full panel (the cascade only pays off against
+        // CSR candidate rows), so tier 1 is zero by definition.
         let started = Instant::now();
         let (score_ns, merge_ns) = self.score_and_merge(ctx, &mut matrix, rows, cols);
         let fused = started.elapsed();
         let total_ns = (score_ns + merge_ns).max(1);
         timings.score = fused.mul_f64(score_ns as f64 / total_ns as f64);
+        timings.score_tier2 = timings.score;
         timings.merge = fused.saturating_sub(timings.score);
+        timings.pairs_full = (rows * cols) as u64;
 
         // Stage 4: Propagate.
         let started = Instant::now();
@@ -320,13 +363,19 @@ impl<'e> MatchPipeline<'e> {
             };
         }
 
-        // Stages 2+3: sparse Score and Merge over the candidates.
+        // Stages 2+3: sparse Score and Merge over the candidates. The
+        // workers time their tier-1/tier-2/merge phases directly; the
+        // fused wall-clock is split in proportion to those measurements.
         let started = Instant::now();
-        let (score_ns, merge_ns) = self.score_and_merge_blocked(&ctx, &mut matrix, &candidates);
+        let stats = self.score_and_merge_blocked(&ctx, &mut matrix, &candidates);
         let fused = started.elapsed();
-        let total_ns = (score_ns + merge_ns).max(1);
-        timings.score = fused.mul_f64(score_ns as f64 / total_ns as f64);
+        let total_ns = (stats.tier1_ns + stats.tier2_ns + stats.merge_ns).max(1);
+        timings.score_tier1 = fused.mul_f64(stats.tier1_ns as f64 / total_ns as f64);
+        timings.score_tier2 = fused.mul_f64(stats.tier2_ns as f64 / total_ns as f64);
+        timings.score = timings.score_tier1 + timings.score_tier2;
         timings.merge = fused.saturating_sub(timings.score);
+        timings.pairs_pruned = stats.pruned;
+        timings.pairs_full = candidates.len() as u64 - stats.pruned;
 
         // Stage 4: sparse Propagate.
         let started = Instant::now();
@@ -368,6 +417,11 @@ impl<'e> MatchPipeline<'e> {
     ) -> (u64, u64) {
         let voters = &self.engine.voters;
         let merger = &self.engine.merger;
+        // No floor is a floor of -∞: `merged < floor` is never true and
+        // every merged value is written verbatim. The comparison runs on
+        // the f64 merged value before the f32 narrowing, so floored and
+        // unfloored runs agree bit-for-bit on every surviving cell.
+        let floor = self.engine.score_floor.unwrap_or(f64::NEG_INFINITY);
         let nv = voters.len();
         let threads = self.engine.threads.min(rows).max(1);
         let block_rows = self.block_rows(rows, threads);
@@ -401,7 +455,8 @@ impl<'e> MatchPipeline<'e> {
                 w.scratch.clear();
                 w.scratch
                     .extend(pair_votes.iter().map(|&v| Confidence::new(v)));
-                *cell = merger.merge(&w.scratch).value() as f32;
+                let merged = merger.merge(&w.scratch).value();
+                *cell = if merged < floor { 0.0 } else { merged as f32 };
             }
             w.merge_ns += t1.elapsed().as_nanos() as u64;
         };
@@ -444,14 +499,22 @@ impl<'e> MatchPipeline<'e> {
     /// the matrix's neutral `0.0`. Work-stealing operates on blocks of
     /// *candidate-bearing rows* — rows blocking emptied cost nothing — and
     /// the lanes come from the engine's persistent executor.
+    ///
+    /// With [`MatchEngine::cascade_active`] the pass dispatches to the
+    /// two-tier cascade kernels in [`crate::cascade`] instead of the
+    /// reference full-panel loop; pruned pairs are written as `0.0`, which
+    /// the floor would have written anyway (that is the cascade's
+    /// losslessness invariant, pinned by `tests/cascade_pin.rs`).
     fn score_and_merge_blocked(
         &self,
         ctx: &MatchContext<'_>,
         matrix: &mut MatchMatrix,
         candidates: &CandidateSet,
-    ) -> (u64, u64) {
+    ) -> FusedStats {
         let voters = &self.engine.voters;
         let merger = &self.engine.merger;
+        // See `score_and_merge`: absent floor = -∞, nothing is floored.
+        let floor = self.engine.score_floor.unwrap_or(f64::NEG_INFINITY);
         let nv = voters.len();
         let cols = ctx.target.len();
 
@@ -467,6 +530,69 @@ impl<'e> MatchPipeline<'e> {
             .collect();
         let threads = self.engine.threads.min(work.len()).max(1);
         let block_rows = self.block_rows(work.len(), threads);
+
+        if self.engine.cascade_active() {
+            debug_assert_eq!(nv, crate::cascade::LANES);
+            let floor = self
+                .engine
+                .score_floor
+                .expect("cascade_active implies a floor");
+
+            struct Worker {
+                row: crate::cascade::CascadeScratch,
+                tier1_ns: u64,
+                tier2_ns: u64,
+                merge_ns: u64,
+                pruned: u64,
+            }
+
+            let process_block = |block: &mut [(usize, &mut [f32], &[u32])], w: &mut Worker| {
+                for (r, slice, cand) in block.iter_mut() {
+                    let s = ElementId(*r as u32);
+                    let t0 = Instant::now();
+                    w.pruned += crate::cascade::tier1_row(ctx, s, cand, floor, slice, &mut w.row);
+                    let t1 = Instant::now();
+                    crate::cascade::tier2_row(ctx, s, &mut w.row);
+                    let t2 = Instant::now();
+                    crate::cascade::merge_row(merger, floor, &mut w.row, slice);
+                    let t3 = Instant::now();
+                    w.tier1_ns += t1.duration_since(t0).as_nanos() as u64;
+                    w.tier2_ns += t2.duration_since(t1).as_nanos() as u64;
+                    w.merge_ns += t3.duration_since(t2).as_nanos() as u64;
+                }
+            };
+
+            let mut work = work;
+            let tier1_total = AtomicU64::new(0);
+            let tier2_total = AtomicU64::new(0);
+            let merge_total = AtomicU64::new(0);
+            let pruned_total = AtomicU64::new(0);
+            let queue = Mutex::new(work.chunks_mut(block_rows));
+            self.engine.executor().run_lanes(threads, |_| {
+                let mut w = Worker {
+                    row: crate::cascade::CascadeScratch::default(),
+                    tier1_ns: 0,
+                    tier2_ns: 0,
+                    merge_ns: 0,
+                    pruned: 0,
+                };
+                loop {
+                    let claimed = queue.lock().expect("pipeline queue poisoned").next();
+                    let Some(block) = claimed else { break };
+                    process_block(block, &mut w);
+                }
+                tier1_total.fetch_add(w.tier1_ns, Ordering::Relaxed);
+                tier2_total.fetch_add(w.tier2_ns, Ordering::Relaxed);
+                merge_total.fetch_add(w.merge_ns, Ordering::Relaxed);
+                pruned_total.fetch_add(w.pruned, Ordering::Relaxed);
+            });
+            return FusedStats {
+                tier1_ns: tier1_total.load(Ordering::Relaxed),
+                tier2_ns: tier2_total.load(Ordering::Relaxed),
+                merge_ns: merge_total.load(Ordering::Relaxed),
+                pruned: pruned_total.load(Ordering::Relaxed),
+            };
+        }
 
         struct Worker {
             votes: Vec<f64>,
@@ -501,7 +627,8 @@ impl<'e> MatchPipeline<'e> {
                     w.scratch.clear();
                     w.scratch
                         .extend(pair_votes.iter().map(|&v| Confidence::new(v)));
-                    slice[t as usize] = merger.merge(&w.scratch).value() as f32;
+                    let merged = merger.merge(&w.scratch).value();
+                    slice[t as usize] = if merged < floor { 0.0 } else { merged as f32 };
                 }
             }
             w.merge_ns += t1.elapsed().as_nanos() as u64;
@@ -528,10 +655,12 @@ impl<'e> MatchPipeline<'e> {
             score_total.fetch_add(w.score_ns, Ordering::Relaxed);
             merge_total.fetch_add(w.merge_ns, Ordering::Relaxed);
         });
-        (
-            score_total.load(Ordering::Relaxed),
-            merge_total.load(Ordering::Relaxed),
-        )
+        FusedStats {
+            tier1_ns: 0,
+            tier2_ns: score_total.load(Ordering::Relaxed),
+            merge_ns: merge_total.load(Ordering::Relaxed),
+            pruned: 0,
+        }
     }
 
     /// Sparse Stage 4: the dense propagation blend, applied only to rows

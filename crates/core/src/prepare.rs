@@ -21,6 +21,7 @@
 //! [`crate::context::MatchContext`].
 
 use sm_schema::{Schema, SchemaId};
+use sm_text::bounds::{id_signature, CharProfile, TokenStat};
 use sm_text::intern::{to_sorted_set, TokenArena, TokenId};
 use sm_text::normalize::{Normalizer, TokenBag};
 use sm_text::soundex::{soundex, soundex_key};
@@ -125,6 +126,23 @@ pub struct PreparedElement {
     /// historical string-keyed blocking index accumulated IDF weights in,
     /// so candidate generation stays bit-for-bit reproducible.
     pub block_features: Vec<TokenId>,
+    /// 128-bit hash signature of [`Self::name_set`] — two signatures'
+    /// difference popcounts bound the true token intersection from above
+    /// (see [`sm_text::bounds::signature_intersection_bound`]), the tier-1
+    /// prefilter of the score cascade.
+    pub name_sig: u128,
+    /// Signature of [`Self::children_set`] (structure-voter prefilter).
+    pub children_sig: u128,
+    /// Signature of the *distinct* ids in [`Self::corpus_ids`] — a zero AND
+    /// against the opposing element proves the TF-IDF dot product is zero.
+    pub corpus_sig: u128,
+    /// Character-kind counts of [`Self::raw_chars`] — O(1) upper bounds on
+    /// Jaro-Winkler and Levenshtein similarity of the raw names.
+    pub raw_profile: CharProfile,
+    /// Per-token O(1) Jaro-Winkler bound summaries of
+    /// [`Self::name_bag`]`.tokens`, aligned with [`Self::name_ids`] — the
+    /// tier-1 refinement of the Monge-Elkan soft-overlap bound.
+    pub name_token_stats: Vec<TokenStat>,
 }
 
 /// All per-schema linguistic preprocessing, computed once and reused by the
@@ -232,15 +250,23 @@ impl PreparedSchema {
                 block_features = to_sorted_set(block_features);
                 arena.sort_lexical(&mut block_features);
 
+                let name_set = to_sorted_set(name_ids.clone());
+                let children_set = to_sorted_set(children_ids);
+                let raw_chars: Vec<char> = raw_name.chars().collect();
                 Arc::new(PreparedElement {
-                    name_set: to_sorted_set(name_ids.clone()),
+                    name_sig: id_signature(&name_set),
+                    children_sig: id_signature(&children_set),
+                    corpus_sig: id_signature(&corpus_ids),
+                    raw_profile: CharProfile::of_chars(&raw_chars),
+                    name_token_stats: name_bag.tokens.iter().map(|t| TokenStat::of(t)).collect(),
+                    name_set,
                     name_ids,
                     raw_name_id: arena.intern(&raw_name),
-                    raw_chars: raw_name.chars().collect(),
+                    raw_chars,
                     acronym_id: arena.intern(&acronym),
                     raw_soundex: soundex_key(&raw_name),
                     parent_set,
-                    children_set: to_sorted_set(children_ids),
+                    children_set,
                     corpus_ids,
                     block_features,
                     name_bag,
@@ -660,6 +686,15 @@ mod tests {
             expect.sort_unstable();
             expect.dedup();
             assert_eq!(e.name_set, expect);
+            // Cascade signatures/profiles mirror the fields they summarize.
+            assert_eq!(e.name_sig, id_signature(&e.name_set));
+            assert_eq!(e.children_sig, id_signature(&e.children_set));
+            assert_eq!(e.corpus_sig, id_signature(&e.corpus_ids));
+            assert_eq!(e.raw_profile, CharProfile::of_chars(&e.raw_chars));
+            assert_eq!(e.name_token_stats.len(), e.name_bag.tokens.len());
+            for (stat, tok) in e.name_token_stats.iter().zip(&e.name_bag.tokens) {
+                assert_eq!(*stat, TokenStat::of(tok));
+            }
             assert!(e.block_features.windows(2).all(|w| w[0] != w[1]));
             // Block features are sorted by resolved string.
             let resolved = arena.resolve_all(&e.block_features);

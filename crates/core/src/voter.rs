@@ -5,10 +5,17 @@
 //! a (source element, target element) pair to an evidence-aware
 //! [`Confidence`]. Voters must be cheap per pair — all heavy per-element work
 //! lives in [`MatchContext`].
+//!
+//! Each voter's scoring body is a `pub(crate)` free function over
+//! [`ElementFeatures`] (`exact_name_vote`, `token_vote`, …); the trait impls
+//! here delegate to them, and so do the structure-of-arrays batch kernels in
+//! [`crate::cascade`], which re-invoke the *same* functions voter-major over
+//! a CSR candidate row. One body per voter is what keeps the cascaded score
+//! path bit-identical to per-pair `MatchVoter` dispatch.
 
 use crate::confidence::Confidence;
-use crate::context::MatchContext;
-use sm_schema::ElementId;
+use crate::context::{ElementFeatures, MatchContext};
+use sm_schema::{DataType, ElementId, ElementKind};
 use sm_text::intern::sorted_ids_jaccard;
 use sm_text::similarity::{jaro_winkler_chars, levenshtein_sim_chars, monge_elkan_jw_interned};
 use sm_text::soundex::soundex_key_sim;
@@ -20,6 +27,168 @@ pub trait MatchVoter: Send + Sync {
 
     /// Score one candidate pair.
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence;
+}
+
+// ---------------------------------------------------------------------------
+// Free-function voter kernels. One body per voter, shared by the trait impls
+// below and by the cascade's batch path (`crate::cascade`) — the only way to
+// guarantee both paths produce bit-identical confidences.
+// ---------------------------------------------------------------------------
+
+/// [`ExactNameVoter`]'s body.
+pub(crate) fn exact_name_vote(fa: &ElementFeatures, fb: &ElementFeatures) -> Confidence {
+    let a = &fa.name_ids;
+    let b = &fb.name_ids;
+    if a.is_empty() || b.is_empty() {
+        return Confidence::NEUTRAL;
+    }
+    // Interned-sequence equality ⇔ normalized-token-sequence equality.
+    if a == b {
+        Confidence::from_evidence(1.0, a.len() as f64, 0.8)
+    } else {
+        // Exact mismatch is weak negative evidence only: most true
+        // correspondences do NOT share exact names.
+        Confidence::from_evidence(0.35, 1.0, 6.0)
+    }
+}
+
+/// [`TokenVoter`]'s body.
+pub(crate) fn token_vote(tag: u32, fa: &ElementFeatures, fb: &ElementFeatures) -> Confidence {
+    if fa.name_ids.is_empty() || fb.name_ids.is_empty() {
+        return Confidence::NEUTRAL;
+    }
+    // Exact token overlap plus soft (per-token edit-distance) alignment:
+    // `date` vs `datetime` should contribute even though the stems
+    // differ. The soft component is discounted so exact overlap wins.
+    // Both run on interned ids: the Jaccard is a sorted merge walk, and
+    // Monge-Elkan short-circuits every shared token to 1.0 via an id
+    // membership test before falling back to character-level JW.
+    let jaccard = sorted_ids_jaccard(&fa.name_set, &fb.name_set);
+    let soft = monge_elkan_jw_interned(
+        tag,
+        &fa.name_bag.tokens,
+        &fa.name_ids,
+        &fa.name_set,
+        &fb.name_bag.tokens,
+        &fb.name_ids,
+        &fb.name_set,
+    );
+    let sim = jaccard.max(0.85 * soft);
+    let evidence = (fa.name_ids.len() + fb.name_ids.len()) as f64 / 2.0;
+    Confidence::from_evidence(sim, evidence, 1.5)
+}
+
+/// The memoized raw-name similarity blend behind [`EditDistanceVoter`].
+/// Names were char-decoded and Soundex-encoded once at prepare time; the
+/// pair loop runs on slices and packed keys only. Raw names repeat heavily
+/// across enterprise schemata (boilerplate `id`, `name`, `code` columns),
+/// so the blended similarity is memoized per thread by interned raw-name
+/// pair — ids are stable and the blend is a pure function of the two
+/// strings, so entries never invalidate. The memo is capacity-bounded
+/// (see [`sm_text::intern::PairMemo`]); flushes surface through
+/// [`sm_text::intern::pair_memo_stats`].
+pub(crate) fn edit_distance_sim(tag: u32, fa: &ElementFeatures, fb: &ElementFeatures) -> f64 {
+    std::thread_local! {
+        static EDIT_MEMO: std::cell::RefCell<sm_text::intern::PairMemo> =
+            std::cell::RefCell::new(sm_text::intern::PairMemo::new());
+    }
+    EDIT_MEMO.with(|memo| {
+        memo.borrow_mut()
+            .get_or_insert_with(tag, fa.raw_name_id, fb.raw_name_id, || {
+                let jw = jaro_winkler_chars(&fa.raw_chars, &fb.raw_chars);
+                let lev = levenshtein_sim_chars(&fa.raw_chars, &fb.raw_chars);
+                let sdx = soundex_key_sim(fa.raw_soundex, fb.raw_soundex);
+                0.5 * jw + 0.4 * lev + 0.1 * sdx
+            })
+    })
+}
+
+/// [`EditDistanceVoter`]'s body.
+pub(crate) fn edit_distance_vote(
+    tag: u32,
+    fa: &ElementFeatures,
+    fb: &ElementFeatures,
+) -> Confidence {
+    if fa.raw_chars.is_empty() || fb.raw_chars.is_empty() {
+        return Confidence::NEUTRAL;
+    }
+    let sim = edit_distance_sim(tag, fa, fb);
+    // Short names provide little evidence; evidence grows with length.
+    let evidence = (fa.raw_chars.len().min(fb.raw_chars.len()) as f64) / 3.0;
+    Confidence::from_evidence(sim, evidence, 1.2)
+}
+
+/// [`DocVoter`]'s body.
+pub(crate) fn doc_vote(fa: &ElementFeatures, fb: &ElementFeatures) -> Confidence {
+    if fa.doc_vector.is_empty() || fb.doc_vector.is_empty() {
+        return Confidence::NEUTRAL;
+    }
+    let cosine = fa.doc_vector.cosine(&fb.doc_vector);
+    // Calibration: a random documentation pair has cosine near 0, not
+    // near 0.5, so raw cosine is a poor evidence *ratio*. The square
+    // root re-centres it: cosine 0.25 ≈ "as much for as against".
+    let ratio = cosine.sqrt();
+    let evidence = fa.doc_vector.token_count.min(fb.doc_vector.token_count) as f64;
+    Confidence::from_evidence(ratio, evidence, 5.0)
+}
+
+/// [`TypeVoter`]'s body.
+pub(crate) fn type_vote(ta: DataType, tb: DataType) -> Confidence {
+    let compat = ta.compatibility(tb);
+    // A single type observation is modest evidence; incompatibility is
+    // stronger evidence than compatibility (types rule out, they don't
+    // rule in).
+    let evidence = if compat < 0.2 { 3.0 } else { 1.0 };
+    Confidence::from_evidence(compat, evidence, 2.0)
+}
+
+/// [`PathVoter`]'s body.
+pub(crate) fn path_vote(fa: &ElementFeatures, fb: &ElementFeatures) -> Confidence {
+    if fa.parent_set.is_empty() || fb.parent_set.is_empty() {
+        return Confidence::NEUTRAL;
+    }
+    let jaccard = sorted_ids_jaccard(&fa.parent_set, &fb.parent_set);
+    // Evidence counts tokens with multiplicity, as the bags do.
+    let evidence = (fa.parent_bag.len() + fb.parent_bag.len()) as f64 / 2.0;
+    Confidence::from_evidence(jaccard, evidence, 2.0)
+}
+
+/// [`StructureVoter`]'s body.
+pub(crate) fn structure_vote(fa: &ElementFeatures, fb: &ElementFeatures) -> Confidence {
+    if fa.children_set.is_empty() || fb.children_set.is_empty() {
+        return Confidence::NEUTRAL;
+    }
+    let jaccard = sorted_ids_jaccard(&fa.children_set, &fb.children_set);
+    let evidence = (fa.children_bag.len().min(fb.children_bag.len())) as f64;
+    Confidence::from_evidence(jaccard, evidence, 6.0)
+}
+
+/// [`RoleVoter`]'s body.
+pub(crate) fn role_vote(ka: ElementKind, kb: ElementKind) -> Confidence {
+    if ka.role_compatible(kb) {
+        Confidence::NEUTRAL
+    } else {
+        // A container/leaf mismatch is solid negative evidence.
+        Confidence::from_evidence(0.0, 4.0, 2.0)
+    }
+}
+
+/// [`AcronymVoter`]'s body.
+pub(crate) fn acronym_vote(fa: &ElementFeatures, fb: &ElementFeatures) -> Confidence {
+    if fa.raw_name.len() < 2 || fb.raw_name.len() < 2 {
+        return Confidence::NEUTRAL;
+    }
+    // Acronyms were computed and interned at prepare time; the per-pair
+    // check is two integer compares (interning is injective, so id
+    // equality is string equality).
+    let hit = (fb.name_ids.len() >= 2 && fa.raw_name_id == fb.acronym_id)
+        || (fa.name_ids.len() >= 2 && fb.raw_name_id == fa.acronym_id);
+    if hit {
+        let evidence = fa.name_ids.len().max(fb.name_ids.len()) as f64;
+        Confidence::from_evidence(0.95, evidence, 1.0)
+    } else {
+        Confidence::NEUTRAL
+    }
 }
 
 /// Exact-name voter: full-credit when normalized token sequences are equal.
@@ -35,19 +204,7 @@ impl MatchVoter for ExactNameVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let a = &ctx.source_feat(s).name_ids;
-        let b = &ctx.target_feat(t).name_ids;
-        if a.is_empty() || b.is_empty() {
-            return Confidence::NEUTRAL;
-        }
-        // Interned-sequence equality ⇔ normalized-token-sequence equality.
-        if a == b {
-            Confidence::from_evidence(1.0, a.len() as f64, 0.8)
-        } else {
-            // Exact mismatch is weak negative evidence only: most true
-            // correspondences do NOT share exact names.
-            Confidence::from_evidence(0.35, 1.0, 6.0)
-        }
+        exact_name_vote(ctx.source_feat(s), ctx.target_feat(t))
     }
 }
 
@@ -62,30 +219,7 @@ impl MatchVoter for TokenVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let fa = ctx.source_feat(s);
-        let fb = ctx.target_feat(t);
-        if fa.name_ids.is_empty() || fb.name_ids.is_empty() {
-            return Confidence::NEUTRAL;
-        }
-        // Exact token overlap plus soft (per-token edit-distance) alignment:
-        // `date` vs `datetime` should contribute even though the stems
-        // differ. The soft component is discounted so exact overlap wins.
-        // Both run on interned ids: the Jaccard is a sorted merge walk, and
-        // Monge-Elkan short-circuits every shared token to 1.0 via an id
-        // membership test before falling back to character-level JW.
-        let jaccard = sorted_ids_jaccard(&fa.name_set, &fb.name_set);
-        let soft = monge_elkan_jw_interned(
-            ctx.arena_tag(),
-            &fa.name_bag.tokens,
-            &fa.name_ids,
-            &fa.name_set,
-            &fb.name_bag.tokens,
-            &fb.name_ids,
-            &fb.name_set,
-        );
-        let sim = jaccard.max(0.85 * soft);
-        let evidence = (fa.name_ids.len() + fb.name_ids.len()) as f64 / 2.0;
-        Confidence::from_evidence(sim, evidence, 1.5)
+        token_vote(ctx.arena_tag(), ctx.source_feat(s), ctx.target_feat(t))
     }
 }
 
@@ -101,37 +235,7 @@ impl MatchVoter for EditDistanceVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let a = &ctx.source_feat(s);
-        let b = &ctx.target_feat(t);
-        if a.raw_chars.is_empty() || b.raw_chars.is_empty() {
-            return Confidence::NEUTRAL;
-        }
-        // Names were char-decoded and Soundex-encoded once at prepare time;
-        // the pair loop runs on slices and packed keys only. Raw names
-        // repeat heavily across enterprise schemata (boilerplate `id`,
-        // `name`, `code` columns), so the blended similarity is memoized per
-        // thread by interned raw-name pair — ids are stable and the blend is
-        // a pure function of the two strings, so entries never invalidate.
-        std::thread_local! {
-            static EDIT_MEMO: std::cell::RefCell<sm_text::intern::PairMemo> =
-                std::cell::RefCell::new(sm_text::intern::PairMemo::new());
-        }
-        let sim = EDIT_MEMO.with(|memo| {
-            memo.borrow_mut().get_or_insert_with(
-                ctx.arena_tag(),
-                a.raw_name_id,
-                b.raw_name_id,
-                || {
-                    let jw = jaro_winkler_chars(&a.raw_chars, &b.raw_chars);
-                    let lev = levenshtein_sim_chars(&a.raw_chars, &b.raw_chars);
-                    let sdx = soundex_key_sim(a.raw_soundex, b.raw_soundex);
-                    0.5 * jw + 0.4 * lev + 0.1 * sdx
-                },
-            )
-        });
-        // Short names provide little evidence; evidence grows with length.
-        let evidence = (a.raw_chars.len().min(b.raw_chars.len()) as f64) / 3.0;
-        Confidence::from_evidence(sim, evidence, 1.2)
+        edit_distance_vote(ctx.arena_tag(), ctx.source_feat(s), ctx.target_feat(t))
     }
 }
 
@@ -152,18 +256,7 @@ impl MatchVoter for DocVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let fa = ctx.source_feat(s);
-        let fb = ctx.target_feat(t);
-        if fa.doc_vector.is_empty() || fb.doc_vector.is_empty() {
-            return Confidence::NEUTRAL;
-        }
-        let cosine = fa.doc_vector.cosine(&fb.doc_vector);
-        // Calibration: a random documentation pair has cosine near 0, not
-        // near 0.5, so raw cosine is a poor evidence *ratio*. The square
-        // root re-centres it: cosine 0.25 ≈ "as much for as against".
-        let ratio = cosine.sqrt();
-        let evidence = fa.doc_vector.token_count.min(fb.doc_vector.token_count) as f64;
-        Confidence::from_evidence(ratio, evidence, 5.0)
+        doc_vote(ctx.source_feat(s), ctx.target_feat(t))
     }
 }
 
@@ -178,14 +271,10 @@ impl MatchVoter for TypeVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let ta = ctx.source.element(s).datatype;
-        let tb = ctx.target.element(t).datatype;
-        let compat = ta.compatibility(tb);
-        // A single type observation is modest evidence; incompatibility is
-        // stronger evidence than compatibility (types rule out, they don't
-        // rule in).
-        let evidence = if compat < 0.2 { 3.0 } else { 1.0 };
-        Confidence::from_evidence(compat, evidence, 2.0)
+        type_vote(
+            ctx.source.element(s).datatype,
+            ctx.target.element(t).datatype,
+        )
     }
 }
 
@@ -200,15 +289,7 @@ impl MatchVoter for PathVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let fa = ctx.source_feat(s);
-        let fb = ctx.target_feat(t);
-        if fa.parent_set.is_empty() || fb.parent_set.is_empty() {
-            return Confidence::NEUTRAL;
-        }
-        let jaccard = sorted_ids_jaccard(&fa.parent_set, &fb.parent_set);
-        // Evidence counts tokens with multiplicity, as the bags do.
-        let evidence = (fa.parent_bag.len() + fb.parent_bag.len()) as f64 / 2.0;
-        Confidence::from_evidence(jaccard, evidence, 2.0)
+        path_vote(ctx.source_feat(s), ctx.target_feat(t))
     }
 }
 
@@ -224,14 +305,7 @@ impl MatchVoter for StructureVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let fa = ctx.source_feat(s);
-        let fb = ctx.target_feat(t);
-        if fa.children_set.is_empty() || fb.children_set.is_empty() {
-            return Confidence::NEUTRAL;
-        }
-        let jaccard = sorted_ids_jaccard(&fa.children_set, &fb.children_set);
-        let evidence = (fa.children_bag.len().min(fb.children_bag.len())) as f64;
-        Confidence::from_evidence(jaccard, evidence, 6.0)
+        structure_vote(ctx.source_feat(s), ctx.target_feat(t))
     }
 }
 
@@ -246,14 +320,7 @@ impl MatchVoter for RoleVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let ka = ctx.source.element(s).kind;
-        let kb = ctx.target.element(t).kind;
-        if ka.role_compatible(kb) {
-            Confidence::NEUTRAL
-        } else {
-            // A container/leaf mismatch is solid negative evidence.
-            Confidence::from_evidence(0.0, 4.0, 2.0)
-        }
+        role_vote(ctx.source.element(s).kind, ctx.target.element(t).kind)
     }
 }
 
@@ -268,22 +335,7 @@ impl MatchVoter for AcronymVoter {
     }
 
     fn vote(&self, ctx: &MatchContext<'_>, s: ElementId, t: ElementId) -> Confidence {
-        let fa = ctx.source_feat(s);
-        let fb = ctx.target_feat(t);
-        if fa.raw_name.len() < 2 || fb.raw_name.len() < 2 {
-            return Confidence::NEUTRAL;
-        }
-        // Acronyms were computed and interned at prepare time; the per-pair
-        // check is two integer compares (interning is injective, so id
-        // equality is string equality).
-        let hit = (fb.name_ids.len() >= 2 && fa.raw_name_id == fb.acronym_id)
-            || (fa.name_ids.len() >= 2 && fb.raw_name_id == fa.acronym_id);
-        if hit {
-            let evidence = fa.name_ids.len().max(fb.name_ids.len()) as f64;
-            Confidence::from_evidence(0.95, evidence, 1.0)
-        } else {
-            Confidence::NEUTRAL
-        }
+        acronym_vote(ctx.source_feat(s), ctx.target_feat(t))
     }
 }
 

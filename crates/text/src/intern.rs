@@ -261,29 +261,76 @@ pub type PairKeyBuild = std::hash::BuildHasherDefault<PairKeyHasher>;
 /// ids `0, 1, 2, …` for different strings can never serve each other's
 /// values.
 ///
-/// Occupancy is bounded by [`Self::CAPACITY`]: the memos live in
-/// thread-locals on *persistent* executor workers (process lifetime, not
-/// per-run scoped threads), so an unbounded table would grow with every
-/// distinct pair a long-running service ever scores. Hitting the bound
-/// clears the table — memoized functions are pure, so a flush can never
-/// change a result, only recompute it.
-#[derive(Default)]
+/// Occupancy is bounded by a capacity ([`Self::CAPACITY`] by default): the
+/// memos live in thread-locals on *persistent* executor workers (process
+/// lifetime, not per-run scoped threads), so an unbounded table would grow
+/// with every distinct pair a long-running service ever scores. Hitting the
+/// bound clears the table — memoized functions are pure, so a flush can
+/// never change a result, only recompute it. Misses and capacity flushes
+/// feed process-wide counters ([`pair_memo_stats`]); both events already
+/// sit on the slow path (a miss pays the memoized computation), so the hit
+/// path stays atomic-free.
 pub struct PairMemo {
     tag: u32,
+    cap: usize,
     map: HashMap<u64, f64, PairKeyBuild>,
 }
 
+impl Default for PairMemo {
+    fn default() -> Self {
+        PairMemo::new()
+    }
+}
+
+/// Process-wide movement counters for every [`PairMemo`] in the process
+/// (the per-thread Jaro-Winkler and edit-distance memos), in the style of
+/// the feature cache's `CacheStats`. Hits are not tracked — counting them
+/// would put an atomic on the memo hit path, which is exactly the path the
+/// memos exist to keep cheap. `misses` counts recomputations (each one
+/// paid the underlying measure), `flushes` counts capacity evictions
+/// (whole-table clears).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Memoized-function invocations (first sight or post-flush re-sight).
+    pub misses: u64,
+    /// Capacity-triggered whole-table clears.
+    pub flushes: u64,
+}
+
+static MEMO_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static MEMO_FLUSHES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A snapshot of the process-wide [`PairMemo`] counters. Counters are
+/// cumulative for the process lifetime; callers interested in one
+/// workload's movement snapshot before and after and difference.
+pub fn pair_memo_stats() -> MemoStats {
+    MemoStats {
+        misses: MEMO_MISSES.load(std::sync::atomic::Ordering::Relaxed),
+        flushes: MEMO_FLUSHES.load(std::sync::atomic::Ordering::Relaxed),
+    }
+}
+
 impl PairMemo {
-    /// Maximum resident entries before the table flushes. At 2^18 occupied
-    /// entries a std `HashMap<u64, f64>` holds roughly twice that many
-    /// ~17-byte slots (control byte + key + value), i.e. on the order of
-    /// 10 MB per memo per worker thread — bounded and predictable, versus
-    /// unbounded growth over a service's lifetime.
+    /// Default maximum resident entries before the table flushes. At 2^18
+    /// occupied entries a std `HashMap<u64, f64>` holds roughly twice that
+    /// many ~17-byte slots (control byte + key + value), i.e. on the order
+    /// of 10 MB per memo per worker thread — bounded and predictable,
+    /// versus unbounded growth over a service's lifetime.
     pub const CAPACITY: usize = 1 << 18;
 
-    /// An empty memo.
+    /// An empty memo with the default capacity.
     pub fn new() -> Self {
-        PairMemo::default()
+        PairMemo::with_capacity(Self::CAPACITY)
+    }
+
+    /// An empty memo flushing at `capacity` resident entries (primarily
+    /// for tests that want to exercise the flush path cheaply).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PairMemo {
+            tag: 0,
+            cap: capacity.max(1),
+            map: HashMap::default(),
+        }
     }
 
     /// The memoized value of `(a, b)` under `tag`'s arena, computing (and
@@ -304,9 +351,11 @@ impl PairMemo {
         if let Some(&v) = self.map.get(&key) {
             return v;
         }
-        if self.map.len() >= Self::CAPACITY {
+        if self.map.len() >= self.cap {
             self.map.clear();
+            MEMO_FLUSHES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
+        MEMO_MISSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let v = f();
         self.map.insert(key, v);
         v
@@ -464,6 +513,26 @@ mod tests {
         // Values survive a flush semantically: recomputation is pure.
         let v = memo.get_or_insert_with(arena.tag(), TokenId(0), TokenId(0), || 0.25);
         assert!(v == 0.25 || v == 0.5);
+    }
+
+    #[test]
+    fn memo_stats_count_misses_and_flushes() {
+        let arena = TokenArena::new();
+        let before = pair_memo_stats();
+        let mut memo = PairMemo::with_capacity(4);
+        // 6 distinct pairs through a 4-entry table: every probe is a miss,
+        // and the 5th insert flushes.
+        for i in 0..6u32 {
+            memo.get_or_insert_with(arena.tag(), TokenId(i), TokenId(i), || 1.0);
+        }
+        assert!(memo.len() <= 4);
+        // A repeat within capacity is a hit: no counter movement from it.
+        let resident = memo.len() as u32;
+        memo.get_or_insert_with(arena.tag(), TokenId(5), TokenId(5), || 2.0);
+        assert_eq!(memo.len() as u32, resident);
+        let after = pair_memo_stats();
+        assert!(after.misses >= before.misses + 6, "all probes were misses");
+        assert!(after.flushes > before.flushes, "capacity flush counted");
     }
 
     #[test]

@@ -19,10 +19,13 @@
 //! * [`soundex`] — phonetic encoding, a cheap extra evidence source.
 //! * [`intern`] — the token arena (string ↔ `u32` id) plus sorted-id merge
 //!   kernels; everything per-pair downstream moves integers, not strings.
+//! * [`bounds`] — O(1) upper bounds on the measures (token-id signatures,
+//!   character profiles), the substrate of the engine's score cascade.
 
 #![warn(missing_docs)]
 
 pub mod abbrev;
+pub mod bounds;
 pub mod intern;
 pub mod normalize;
 pub mod similarity;

@@ -285,6 +285,26 @@ impl DocVector {
         dot.clamp(0.0, 1.0)
     }
 
+    /// Prefix sums of the squared weights in *descending* weight order:
+    /// entry `i` is the sum of the `i` largest squared weights (entry 0 is
+    /// 0). By Cauchy-Schwarz, the dot product of two vectors that can
+    /// share at most `k` terms is bounded by
+    /// `sqrt(a.top_squared_prefix()[k] * b.top_squared_prefix()[k])` —
+    /// the cap the score cascade combines with the corpus-id signature
+    /// bound to skip documentation cosines that provably cannot matter.
+    pub fn top_squared_prefix(&self) -> Vec<f64> {
+        let mut sq: Vec<f64> = self.weights.iter().map(|&(_, w)| w * w).collect();
+        sq.sort_unstable_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
+        let mut prefix = Vec::with_capacity(sq.len() + 1);
+        let mut acc = 0.0;
+        prefix.push(0.0);
+        for w in sq {
+            acc += w;
+            prefix.push(acc);
+        }
+        prefix
+    }
+
     /// Number of distinct terms.
     pub fn term_count(&self) -> usize {
         self.weights.len()
@@ -408,6 +428,37 @@ mod tests {
         let f = c.finalize();
         assert_eq!(f.vector(a).token_count, 4);
         assert_eq!(f.vector(a).term_count(), 3);
+    }
+
+    #[test]
+    fn top_squared_prefix_bounds_cosine() {
+        let mut c = Corpus::new();
+        let docs = [
+            toks("date event began code"),
+            toks("date event"),
+            toks("vehicle wheel code code size"),
+            toks(""),
+        ];
+        let idx: Vec<usize> = docs.iter().map(|d| c.add_document(d)).collect();
+        let f = c.finalize();
+        for &i in &idx {
+            for &j in &idx {
+                let (a, b) = (f.vector(i), f.vector(j));
+                let (pa, pb) = (a.top_squared_prefix(), b.top_squared_prefix());
+                assert_eq!(pa.len(), a.term_count() + 1);
+                // With k = min(term counts) shared terms allowed, the
+                // Cauchy-Schwarz cap must dominate the true cosine.
+                let k = a.term_count().min(b.term_count());
+                let cap = (pa[k] * pb[k]).sqrt();
+                assert!(
+                    cap >= a.cosine(b) - 1e-12,
+                    "cap {cap} under-estimates cosine {} for docs {i},{j}",
+                    a.cosine(b)
+                );
+                // Zero shared terms caps the dot at exactly zero.
+                assert_eq!((pa[0] * pb[0]).sqrt(), 0.0);
+            }
+        }
     }
 
     #[test]
