@@ -263,7 +263,55 @@ fn point_json(p: &ArityPoint) -> String {
     )
 }
 
+/// `--trace` mode: one instrumented cascade batch population at the
+/// 5-schema arity (all 10 unordered pairs on a private ≥2-wide executor),
+/// exported as chrome-trace + report JSON — the per-pair-job view that
+/// complements `pipeline_baseline --trace`'s per-stage view.
+fn run_trace(req: &sm_bench::TraceRequest) {
+    header(
+        "nway_baseline --trace",
+        "one instrumented 5-schema batch-blocked population",
+    );
+    let population = SyntheticRepository::generate(&RepositoryConfig {
+        seed: 2010,
+        domains: 1,
+        schemas_per_domain: 5,
+        concepts_per_domain: 48,
+        concept_coverage: 0.7,
+        attrs_per_concept: (5, 9),
+    });
+    let schemas: Vec<&Schema> = population.schemas.iter().collect();
+    let threads = detect_threads().max(2);
+    let engine = MatchEngine::new()
+        .with_normalizer(Normalizer::new())
+        .with_threads(threads)
+        .with_score_floor(Some(CASCADE_FLOOR))
+        .with_executor(std::sync::Arc::new(Executor::new(threads)));
+    let selection = Selection::OneToOne {
+        min: Confidence::new(THRESHOLD),
+    };
+    harmony_core::obs::reset();
+    harmony_core::obs::ObsConfig::default().apply();
+    let result = engine
+        .batch()
+        .plan_all_pairs(&schemas)
+        .run_select_only(&selection);
+    println!(
+        "batch ({threads} thr): {} pair jobs, {} candidate pairs scored",
+        result.pairs.len(),
+        result.pairs_scored(),
+    );
+    sm_bench::write_trace(req);
+}
+
 fn main() {
+    if let Some(req) = sm_bench::trace_request(
+        "nway_baseline",
+        "one 5-schema batch-blocked population, all pairs concurrent",
+    ) {
+        run_trace(&req);
+        return;
+    }
     header(
         "nway_baseline",
         "sequential-dense vs batch-blocked pairwise population at 5-schema and 12-schema arity",

@@ -22,10 +22,18 @@
 //! scaling section reports the blocked Block stage at 1, 2, and max
 //! threads, median of N reps each.
 //!
+//! The bench also measures the observability recorder's own cost: the same
+//! blocked cascade engine runs with recording enabled and runtime-disabled
+//! in interleaved rounds, and the JSON reports the ratio (`obs_overhead`);
+//! `ci.sh` gates it at ≤ 1.05.
+//!
 //! Run with: `cargo run --release -p sm-bench --bin pipeline_baseline`
+//! Trace one instrumented run instead: `... --bin pipeline_baseline -- --trace`
+//! (see `--help` for the artifact layout).
 
 use harmony_core::context::MatchContext;
 use harmony_core::index::BlockingPolicy;
+use harmony_core::obs;
 use harmony_core::prelude::*;
 use harmony_core::prepare::PreparedSchema;
 use sm_bench::{case_study, header};
@@ -122,10 +130,12 @@ fn timed_blocked_runs_interleaved(
 fn stage_json(label: &str, threads: usize, total: f64, stages: &StageTimings) -> String {
     format!(
         "\"{label}\": {{\n    \"threads\": {threads},\n    \"total\": {total:.6},\n    \
+         \"stage_sum\": {stage_sum:.6},\n    \
          \"prepare\": {prepare:.6},\n    \"block\": {block:.6},\n    \"score\": {score:.6},\n    \
          \"score_tier1\": {tier1:.6},\n    \"score_tier2\": {tier2:.6},\n    \
          \"merge\": {merge:.6},\n    \"propagate\": {propagate:.6},\n    \
          \"pairs_pruned\": {pruned},\n    \"pairs_full\": {full}\n  }}",
+        stage_sum = stages.total().as_secs_f64(),
         prepare = stages.prepare.as_secs_f64(),
         block = stages.block.as_secs_f64(),
         score = stages.score.as_secs_f64(),
@@ -152,7 +162,48 @@ fn print_stages(label: &str, stages: &StageTimings) {
     );
 }
 
+/// `--trace` mode: one instrumented blocked cascade run at the paper scale,
+/// plus the one-to-one selection at the operating threshold, exported as
+/// chrome-trace + report JSON. A private ≥2-wide executor guarantees the
+/// trace has per-lane worker rows even on a single-core host.
+fn run_trace(req: &sm_bench::TraceRequest) {
+    header(
+        "pipeline_baseline --trace",
+        "one instrumented blocked cascade run + selection at 1378×784",
+    );
+    let pair = case_study(1.0);
+    let threads = detect_threads().max(2);
+    let engine = MatchEngine::new()
+        .with_feature_cache(std::sync::Arc::new(
+            harmony_core::prepare::FeatureCache::new(Normalizer::new()),
+        ))
+        .with_threads(threads)
+        .with_score_floor(Some(CASCADE_FLOOR))
+        .with_executor(std::sync::Arc::new(Executor::new(threads)));
+    obs::reset();
+    obs::ObsConfig::default().apply();
+    let result = engine.run_blocked(&pair.source, &pair.target, &BlockingPolicy::default());
+    let selected = Selection::OneToOne {
+        min: Confidence::new(CASCADE_FLOOR),
+    }
+    .apply(&result.matrix);
+    println!(
+        "blocked run ({threads} thr): {} pairs scored, {} selected, {:.4}s wall",
+        result.pairs_scored,
+        selected.len(),
+        result.elapsed.as_secs_f64(),
+    );
+    sm_bench::write_trace(req);
+}
+
 fn main() {
+    if let Some(req) = sm_bench::trace_request(
+        "pipeline_baseline",
+        "one blocked cascade match + selection at 1378×784",
+    ) {
+        run_trace(&req);
+        return;
+    }
     header(
         "pipeline_baseline",
         "cold vs cached Prepare and stage breakdown at 1378×784 (paper §3.3: 10.2 s fully automated)",
@@ -263,6 +314,28 @@ fn main() {
         .map(|(&n, samples)| (n, median_secs(samples)))
         .collect();
 
+    // Observability overhead: the same single-threaded blocked cascade
+    // engine with the obs recorder enabled vs runtime-disabled, in
+    // interleaved rounds so drift lands on both sides equally. ci.sh gates
+    // the ratio at ≤ 1.05 (the recorder's ring writes are a handful of
+    // relaxed stores per span; the compile-time `obs-off` feature removes
+    // even those). More reps than the timing sections because the gate is
+    // a ratio of two small numbers.
+    const OBS_REPS: usize = 9;
+    let mut obs_samples: Vec<Vec<f64>> = (0..2).map(|_| Vec::with_capacity(OBS_REPS)).collect();
+    for round in 0..OBS_REPS {
+        for slot in round_order(round, 2) {
+            obs::set_enabled(slot == 0);
+            let t0 = Instant::now();
+            std::hint::black_box(engine_bst.run_blocked(&pair.source, &pair.target, &policy));
+            obs_samples[slot].push(t0.elapsed().as_secs_f64());
+        }
+    }
+    obs::set_enabled(true);
+    let obs_on_secs = median_secs(&mut obs_samples[0]);
+    let obs_off_secs = median_secs(&mut obs_samples[1]);
+    let obs_ratio = obs_on_secs / obs_off_secs.max(1e-12);
+
     let speedup = cold_context / cached_context.max(1e-12);
     let stats = cache.stats();
     println!("cold features        {:>10.4} s", cold_features);
@@ -301,10 +374,16 @@ fn main() {
         bst_stages.score.as_secs_f64(),
         bref_stages.score.as_secs_f64(),
     );
+    println!(
+        "obs overhead: blocked run {obs_on_secs:.4}s instrumented vs {obs_off_secs:.4}s \
+         disabled ({obs_ratio:.3}× , median of {OBS_REPS} interleaved)"
+    );
     let memo = sm_text::intern::pair_memo_stats();
     println!(
-        "edit-distance pair memo: {} misses / {} flushes (process-wide)",
-        memo.misses, memo.flushes
+        "edit-distance pair memo: {} misses / {} flushes (process-wide, cap {})",
+        memo.misses,
+        memo.flushes,
+        sm_text::intern::PairMemo::CAPACITY
     );
     println!(
         "feature cache: {} hits / {} misses / {} evictions / {} resident",
@@ -330,7 +409,10 @@ fn main() {
          \"cascade_score_secs\": {cascade_score:.6},\n    \
          \"reference_score_secs\": {reference_score:.6},\n    \
          \"score_speedup\": {score_speedup:.2}\n  }},\n  \
-         \"edit_memo\": {{\"misses\": {memo_misses}, \"flushes\": {memo_flushes}}},\n  \
+         \"obs_overhead\": {{\n    \"instrumented_secs\": {obs_on_secs:.6},\n    \
+         \"disabled_secs\": {obs_off_secs:.6},\n    \"ratio\": {obs_ratio:.4}\n  }},\n  \
+         \"edit_memo\": {{\"misses\": {memo_misses}, \"flushes\": {memo_flushes}, \
+         \"capacity\": {memo_capacity}}},\n  \
          \"block_stage_scaling\": [\n{scaling}\n  ],\n  \
          \"feature_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \
          \"evictions\": {evictions}, \"entries\": {entries}}},\n  \
@@ -342,6 +424,7 @@ fn main() {
         reference_score = bref_stages.score.as_secs_f64(),
         memo_misses = memo.misses,
         memo_flushes = memo.flushes,
+        memo_capacity = sm_text::intern::PairMemo::CAPACITY,
         pairs = rows * cols,
         scaling = block_scaling
             .iter()

@@ -5,6 +5,7 @@
 //! keep their output format uniform: a titled, aligned table plus
 //! paper-vs-measured annotations.
 
+use harmony_core::obs;
 use harmony_core::prelude::*;
 use sm_synth::{GeneratorConfig, SchemaPair};
 
@@ -58,6 +59,103 @@ pub fn auto_match(pair: &SchemaPair, threshold: f64) -> MatchSet {
     .apply(&result.matrix)
 }
 
+/// A parsed `--trace` request: where a bench binary's instrumented run
+/// should write its chrome-trace JSON and the aggregate report beside it.
+pub struct TraceRequest {
+    /// Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto).
+    pub trace_path: String,
+    /// Aggregate [`harmony_core::obs::TraceReport`] JSON: per-kind
+    /// percentiles, lane utilization, and every registered counter.
+    pub report_path: String,
+}
+
+/// Derive the trace/report output paths from argv. Pure so it is testable:
+/// `--trace` with no following path (or a following flag) falls back to
+/// `target/<stem>.trace.json`; the report lands beside the trace with the
+/// `.trace.json` suffix swapped for `.report.json`.
+pub fn trace_paths(args: &[String], stem: &str) -> Option<(String, String)> {
+    let pos = args.iter().position(|a| a == "--trace")?;
+    let trace_path = args
+        .get(pos + 1)
+        .filter(|a| !a.starts_with('-'))
+        .cloned()
+        .unwrap_or_else(|| format!("target/{stem}.trace.json"));
+    let stripped = trace_path
+        .strip_suffix(".trace.json")
+        .or_else(|| trace_path.strip_suffix(".json"))
+        .unwrap_or(&trace_path);
+    Some((trace_path.clone(), format!("{stripped}.report.json")))
+}
+
+/// Parse `--trace [PATH]` (and `--help`) from a bench binary's command
+/// line. Returns `Some` when the binary should skip the full benchmark and
+/// instead record one instrumented run; `--help`/`-h` prints README-style
+/// usage for the flag and exits.
+pub fn trace_request(stem: &str, traced_run: &str) -> Option<TraceRequest> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "Usage: {stem} [--trace [PATH]]\n\
+             \n\
+             Without flags: run the full benchmark and regenerate its\n\
+             checked-in BENCH_*.json at the workspace root.\n\
+             \n\
+             --trace [PATH]\n\
+             \x20   Skip the benchmark and record one instrumented run\n\
+             \x20   ({traced_run}) through the harmony_core::obs recorder,\n\
+             \x20   then write two JSON artifacts:\n\
+             \x20     PATH                   chrome-trace (trace_event) JSON;\n\
+             \x20                            load it in chrome://tracing or\n\
+             \x20                            https://ui.perfetto.dev to see\n\
+             \x20                            per-stage spans on per-lane rows\n\
+             \x20     PATH with .trace.json  aggregate TraceReport JSON:\n\
+             \x20     -> .report.json        per-kind p50/p95/p99 latencies,\n\
+             \x20                            lane busy-time, all counters\n\
+             \x20   PATH defaults to target/{stem}.trace.json (untracked).\n\
+             \n\
+             Tracing costs <5% on instrumented runs (ci.sh gates this); the\n\
+             obs-off cargo feature of harmony-core compiles it out entirely."
+        );
+        std::process::exit(0);
+    }
+    let (trace_path, report_path) = trace_paths(&args, stem)?;
+    Some(TraceRequest {
+        trace_path,
+        report_path,
+    })
+}
+
+/// Collect everything recorded since the last `obs::reset()` and write the
+/// two trace artifacts of a [`TraceRequest`], printing a one-line digest of
+/// what the trace holds and where to open it.
+pub fn write_trace(req: &TraceRequest) {
+    let events = obs::collect();
+    let report = obs::TraceReport::from_events(&events);
+    for path in [&req.trace_path, &req.report_path] {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create trace output dir");
+            }
+        }
+    }
+    std::fs::write(&req.trace_path, obs::chrome_trace_from_events(&events))
+        .expect("write chrome trace JSON");
+    std::fs::write(&req.report_path, report.to_json()).expect("write trace report JSON");
+    let busy_ns: u64 = report.lanes.iter().map(|l| l.busy_ns).sum();
+    println!(
+        "trace: {} events over {:.3} ms across {} lane(s) ({:.3} ms busy)",
+        events.len(),
+        report.wall_ns as f64 / 1e6,
+        report.lanes.len(),
+        busy_ns as f64 / 1e6,
+    );
+    println!(
+        "wrote {} (open in chrome://tracing or ui.perfetto.dev)",
+        req.trace_path
+    );
+    println!("wrote {}", req.report_path);
+}
+
 /// Validate every correspondence of a set (for partition accounting of
 /// fully automatic runs).
 pub fn validate_all(set: &MatchSet) -> MatchSet {
@@ -88,6 +186,31 @@ mod tests {
         let v = validate_all(&m);
         assert_eq!(v.len(), m.len());
         assert!(v.validated().count() == v.len());
+    }
+
+    #[test]
+    fn trace_path_derivation() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(trace_paths(&args(&["--foo"]), "x"), None);
+        assert_eq!(
+            trace_paths(&args(&["--trace"]), "pipeline_baseline"),
+            Some((
+                "target/pipeline_baseline.trace.json".into(),
+                "target/pipeline_baseline.report.json".into()
+            ))
+        );
+        assert_eq!(
+            trace_paths(&args(&["--trace", "/tmp/t.trace.json"]), "x"),
+            Some(("/tmp/t.trace.json".into(), "/tmp/t.report.json".into()))
+        );
+        assert_eq!(
+            trace_paths(&args(&["--trace", "out.json"]), "x"),
+            Some(("out.json".into(), "out.report.json".into()))
+        );
+        assert_eq!(
+            trace_paths(&args(&["--trace", "plain"]), "x"),
+            Some(("plain".into(), "plain.report.json".into()))
+        );
     }
 
     #[test]

@@ -324,6 +324,11 @@ impl MatchBatch<'_, '_> {
     /// index (exhaustive batches carry no index — candidate generation
     /// short-circuits before probing).
     fn run_pair(&self, left: usize, right: usize) -> crate::pipeline::BlockedRun {
+        crate::obs::add(crate::obs::Counter::PairJobs, 1);
+        let _job = crate::obs::span(
+            crate::obs::SpanKind::PairJob,
+            ((left as u64) << 32) | right as u64,
+        );
         let indices = (!matches!(self.policy, BlockingPolicy::Exhaustive))
             .then(|| (self.index.schema(left), self.index.schema(right)));
         self.engine.pipeline().run_blocked_prepared(

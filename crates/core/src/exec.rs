@@ -35,8 +35,10 @@
 //! [`crate::engine::MatchEngine::with_executor`].
 
 use crate::engine::detect_threads;
+use crate::obs;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// A unit of pool work: an erased helper-lane closure, tagged with the
@@ -55,6 +57,41 @@ struct PoolShared {
     wake: Condvar,
     /// Ticket counter handing each `run_lanes` invocation a unique owner id.
     next_owner: std::sync::atomic::AtomicU64,
+    /// Per-instance scheduling counters (see [`ExecStats`]). Always
+    /// collected — they are per-task-granularity cheap and the regression
+    /// tests rely on them even under `obs-off`; the process-wide
+    /// [`obs::Counter`] mirrors are what the runtime/compile-time obs gates
+    /// control.
+    counters: PoolCounters,
+}
+
+#[derive(Default)]
+struct PoolCounters {
+    enqueued: AtomicU64,
+    stolen: AtomicU64,
+    reclaimed: AtomicU64,
+    parked: AtomicU64,
+    inline_runs: AtomicU64,
+    queue_depth_max: AtomicU64,
+}
+
+/// Snapshot of one executor instance's scheduling counters
+/// ([`Executor::stats`]). All values are cumulative since pool creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Helper tasks pushed onto the shared queue by `run_lanes`.
+    pub enqueued: u64,
+    /// Queued tasks executed by a pool worker.
+    pub stolen: u64,
+    /// Queued tasks reclaimed and drained inline by their owner.
+    pub reclaimed: u64,
+    /// Worker condvar waits entered (once at startup per worker, then once
+    /// per drain-to-empty).
+    pub parked: u64,
+    /// `run_lanes` invocations that ran fully inline (no helpers offered).
+    pub inline_runs: u64,
+    /// High-water mark of the shared queue depth.
+    pub queue_depth_max: u64,
 }
 
 #[derive(Default)]
@@ -83,6 +120,7 @@ impl Executor {
             queue: Mutex::new(PoolQueue::default()),
             wake: Condvar::new(),
             next_owner: std::sync::atomic::AtomicU64::new(0),
+            counters: PoolCounters::default(),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -123,6 +161,21 @@ impl Executor {
             .expect("executor poisoned")
             .tasks
             .len()
+    }
+
+    /// Cumulative scheduling counters of this pool instance. Unlike the
+    /// process-wide [`obs`] counters these are per-instance and always on,
+    /// so a private pool can be asserted against without cross-test noise.
+    pub fn stats(&self) -> ExecStats {
+        let c = &self.shared.counters;
+        ExecStats {
+            enqueued: c.enqueued.load(Ordering::Relaxed),
+            stolen: c.stolen.load(Ordering::Relaxed),
+            reclaimed: c.reclaimed.load(Ordering::Relaxed),
+            parked: c.parked.load(Ordering::Relaxed),
+            inline_runs: c.inline_runs.load(Ordering::Relaxed),
+            queue_depth_max: c.queue_depth_max.load(Ordering::Relaxed),
+        }
     }
 
     /// Parallel indexed map: apply `f` to every item of `items`, returning
@@ -184,6 +237,11 @@ impl Executor {
             .saturating_sub(1)
             .min(self.threads.saturating_sub(1));
         if helpers == 0 {
+            self.shared
+                .counters
+                .inline_runs
+                .fetch_add(1, Ordering::Relaxed);
+            obs::add(obs::Counter::ExecInline, 1);
             work(0);
             return;
         }
@@ -236,7 +294,18 @@ impl Executor {
                 });
                 queue.tasks.push_back(Task { owner, run });
             }
+            let depth = queue.tasks.len() as u64;
             drop(queue);
+            self.shared
+                .counters
+                .enqueued
+                .fetch_add(helpers as u64, Ordering::Relaxed);
+            self.shared
+                .counters
+                .queue_depth_max
+                .fetch_max(depth, Ordering::Relaxed);
+            obs::add(obs::Counter::ExecEnqueued, helpers as u64);
+            obs::gauge_max(obs::Counter::ExecQueueDepthMax, depth);
             self.shared.wake.notify_all();
         }
 
@@ -273,7 +342,15 @@ impl Executor {
                 // (nothing may unwind out of this frame before
                 // `remaining == 0`) even for a non-conforming future task.
                 Some(task) => {
-                    let _ = catch_unwind(AssertUnwindSafe(task.run));
+                    self.shared
+                        .counters
+                        .reclaimed
+                        .fetch_add(1, Ordering::Relaxed);
+                    obs::add(obs::Counter::ExecReclaimed, 1);
+                    let run = task.run;
+                    let _ = obs::timed(obs::SpanKind::ExecDrain, task.owner, || {
+                        let _ = catch_unwind(AssertUnwindSafe(run));
+                    });
                 }
                 None => {
                     let mut state = sync.state.lock().expect("lane sync poisoned");
@@ -349,12 +426,26 @@ fn worker_loop(shared: &PoolShared) {
                 if queue.shutdown {
                     return;
                 }
+                shared.counters.parked.fetch_add(1, Ordering::Relaxed);
+                obs::add(obs::Counter::ExecParked, 1);
+                let park_start = obs::now_ns();
                 queue = shared.wake.wait(queue).expect("executor poisoned");
+                obs::record_span(
+                    obs::SpanKind::ExecPark,
+                    0,
+                    park_start,
+                    obs::now_ns().saturating_sub(park_start),
+                );
             }
         };
+        shared.counters.stolen.fetch_add(1, Ordering::Relaxed);
+        obs::add(obs::Counter::ExecStolen, 1);
         // Lane closures catch and record their own panics; this guard only
         // keeps a non-conforming task from killing the pool worker.
-        let _ = catch_unwind(AssertUnwindSafe(task.run));
+        let run = task.run;
+        let _ = obs::timed(obs::SpanKind::ExecLane, task.owner, || {
+            let _ = catch_unwind(AssertUnwindSafe(run));
+        });
     }
 }
 
@@ -454,6 +545,64 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    /// Guards the PR 5 oversubscription fix: single-lane runs must stay off
+    /// the shared queue entirely (no enqueues, no queue depth, no worker
+    /// wakeups), while multi-lane runs must actually use it.
+    #[test]
+    fn scheduling_counters_single_vs_multi_lane() {
+        let exec = Executor::new(2);
+        // Let both workers reach their startup park so the baseline is
+        // stable: the park counter only moves again if someone notifies.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while exec.stats().parked < 2 {
+            assert!(std::time::Instant::now() < deadline, "workers never parked");
+            std::thread::yield_now();
+        }
+
+        let base = exec.stats();
+        for _ in 0..10 {
+            exec.run_lanes(1, |lane| assert_eq!(lane, 0));
+        }
+        let single = exec.stats();
+        assert_eq!(
+            single.enqueued, base.enqueued,
+            "single-lane must not enqueue"
+        );
+        assert_eq!(single.queue_depth_max, base.queue_depth_max);
+        assert_eq!(
+            single.parked, base.parked,
+            "single-lane must not wake workers"
+        );
+        assert_eq!(single.inline_runs, base.inline_runs + 10);
+
+        let hits = AtomicUsize::new(0);
+        exec.run_lanes(2, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        let multi = exec.stats();
+        assert!(
+            multi.enqueued > single.enqueued,
+            "multi-lane must enqueue helpers"
+        );
+        assert!(multi.queue_depth_max >= 1);
+        assert_eq!(
+            multi.stolen + multi.reclaimed,
+            multi.enqueued,
+            "every helper task drained exactly once"
+        );
+        // The enqueue notified the pool, so the workers wake and re-park:
+        // the park counter must become strictly positive relative to the
+        // pre-run baseline (racy timing, hence the poll).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while exec.stats().parked <= single.parked {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "multi-lane run never re-parked a worker"
+            );
+            std::thread::yield_now();
+        }
     }
 
     #[test]

@@ -391,6 +391,7 @@ impl ElementTokenIndex {
 
     fn build_opt(prepared: &PreparedSchema, par: Option<(&Executor, usize)>) -> Self {
         let n = prepared.len();
+        let _span = crate::obs::span(crate::obs::SpanKind::IndexBuild, n as u64);
 
         // Phase 1 (parallel): per element chunk, emit packed
         // `(feature << 32) | element` pairs. Chunks merge in chunk order,
@@ -599,6 +600,11 @@ pub struct ProbeScratch {
     /// The current element's kept candidates before they join the chunk
     /// output.
     kept: Vec<(u32, f64)>,
+    /// Rows probed through this scratch since the last flush — accumulated
+    /// locally so the posting hot loop never touches a process-wide atomic.
+    rows_probed: u64,
+    /// Posting-list entries walked since the last flush.
+    postings_touched: u64,
 }
 
 impl ProbeScratch {
@@ -609,7 +615,20 @@ impl ProbeScratch {
             touched: Vec::new(),
             ranked: Vec::new(),
             kept: Vec::new(),
+            rows_probed: 0,
+            postings_touched: 0,
         }
+    }
+
+    /// Flush the locally accumulated probe counters into the process-wide
+    /// [`crate::obs`] registry (`probe.rows` / `probe.postings`) and zero
+    /// them. Called once per lane by the pipeline's probe pass; custom
+    /// `probe_row` drivers may call it at whatever granularity they like.
+    pub fn flush_probe_counters(&mut self) {
+        crate::obs::add(crate::obs::Counter::ProbeRows, self.rows_probed);
+        crate::obs::add(crate::obs::Counter::ProbePostings, self.postings_touched);
+        self.rows_probed = 0;
+        self.postings_touched = 0;
     }
 }
 
@@ -624,6 +643,7 @@ fn probe_element(
     policy: &BlockingPolicy,
     scratch: &mut ProbeScratch,
 ) {
+    scratch.rows_probed += 1;
     let acc = &mut scratch.acc;
     let touched = &mut scratch.touched;
     touched.clear();
@@ -631,6 +651,7 @@ fn probe_element(
         let Some((posting, w)) = index.probe_feature(feat) else {
             continue;
         };
+        scratch.postings_touched += posting.len() as u64;
         for &t in posting {
             if acc[t as usize] == 0.0 {
                 touched.push(t);
@@ -731,6 +752,7 @@ fn probe_sides(
     }
 
     let run_chunk = |desc: &ChunkDesc, scratch: &mut ProbeScratch| -> ChunkOut {
+        let _chunk = crate::obs::span(crate::obs::SpanKind::ProbeChunk, desc.range.len() as u64);
         let (from, index) = if desc.dir == 0 {
             (prepared_source, target_index)
         } else {
@@ -762,6 +784,7 @@ fn probe_sides(
                         .expect("probe results poisoned")
                         .push((index, out));
                 }
+                scratch.flush_probe_counters();
             });
             let mut done = done.into_inner().expect("probe results poisoned");
             done.sort_unstable_by_key(|&(index, _)| index);
@@ -769,7 +792,9 @@ fn probe_sides(
         }
         _ => {
             let mut scratch = ProbeScratch::new(rows.max(cols));
-            descs.iter().map(|d| run_chunk(d, &mut scratch)).collect()
+            let outs = descs.iter().map(|d| run_chunk(d, &mut scratch)).collect();
+            scratch.flush_probe_counters();
+            outs
         }
     };
 

@@ -56,6 +56,7 @@ pub mod index;
 pub mod matrix;
 pub mod merger;
 pub mod nway;
+pub mod obs;
 pub mod partition;
 pub mod pipeline;
 pub mod prepare;
@@ -74,12 +75,13 @@ pub mod prelude {
     pub use crate::correspondence::{Correspondence, MatchAnnotation, MatchSet, MatchStatus};
     pub use crate::effort::{EffortEstimate, EffortModel, Workload};
     pub use crate::engine::{detect_threads, BlockedMatchResult, MatchEngine, MatchResult};
-    pub use crate::exec::Executor;
+    pub use crate::exec::{ExecStats, Executor};
     pub use crate::filter::{LinkFilter, NodeFilter};
     pub use crate::index::{BlockingPolicy, CandidateSet, ElementTokenIndex};
     pub use crate::matrix::MatchMatrix;
     pub use crate::merger::MergeStrategy;
     pub use crate::nway::{NWayMatch, PairwiseOutcome, Vocabulary, VocabularyTerm};
+    pub use crate::obs::{ObsConfig, SpanKind, TraceReport};
     pub use crate::partition::{BinaryPartition, SubsumptionAdvice};
     pub use crate::pipeline::{BlockedRun, MatchPipeline, PipelineRun, StageTimings};
     pub use crate::prepare::{FeatureCache, PreparedSchema};

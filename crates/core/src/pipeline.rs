@@ -49,6 +49,8 @@ use crate::index::{
     ElementTokenIndex,
 };
 use crate::matrix::MatchMatrix;
+use crate::obs;
+use crate::obs::SpanKind;
 use crate::prepare::PreparedSchema;
 use crate::select::Selection;
 use sm_schema::{ElementId, Schema};
@@ -162,6 +164,26 @@ struct FusedStats {
     pruned: u64,
 }
 
+/// Emit the `stage.score` / `stage.merge` spans for one fused Score+Merge
+/// window. The fused pass has no wall-clock boundary between the two
+/// stages, so the spans carry the same proportional split `StageTimings`
+/// reports: Score from the window start, Merge immediately after.
+fn record_fused_stage_spans(fused_start_ns: u64, timings: &StageTimings) {
+    let score_ns = timings.score.as_nanos() as u64;
+    obs::record_span(
+        SpanKind::StageScore,
+        timings.pairs_full + timings.pairs_pruned,
+        fused_start_ns,
+        score_ns,
+    );
+    obs::record_span(
+        SpanKind::StageMerge,
+        0,
+        fused_start_ns + score_ns,
+        timings.merge.as_nanos() as u64,
+    );
+}
+
 /// A staged execution of the engine's match configuration.
 ///
 /// Obtained from [`MatchEngine::pipeline`]; borrows the engine's voter panel,
@@ -181,18 +203,19 @@ impl<'e> MatchPipeline<'e> {
 
         // Stage 1: Prepare. The preparations come straight from the engine's
         // cache, so the trusted (no re-fingerprint) assembly applies.
-        let started = Instant::now();
-        let prepared_source = self.engine.prepare(source);
-        let prepared_target = self.engine.prepare(target);
-        let ctx = MatchContext::from_prepared_trusted(
-            source,
-            target,
-            &prepared_source,
-            &prepared_target,
-            &sm_schema::InstanceData::empty(),
-            &sm_schema::InstanceData::empty(),
-        );
-        timings.prepare = started.elapsed();
+        let (ctx, prepare_ns) = obs::timed(SpanKind::StagePrepare, 0, || {
+            let prepared_source = self.engine.prepare(source);
+            let prepared_target = self.engine.prepare(target);
+            MatchContext::from_prepared_trusted(
+                source,
+                target,
+                &prepared_source,
+                &prepared_target,
+                &sm_schema::InstanceData::empty(),
+                &sm_schema::InstanceData::empty(),
+            )
+        });
+        timings.prepare = Duration::from_nanos(prepare_ns);
 
         self.run_on_context(&ctx, timings)
     }
@@ -229,6 +252,7 @@ impl<'e> MatchPipeline<'e> {
         // always runs the full panel (the cascade only pays off against
         // CSR candidate rows), so tier 1 is zero by definition.
         let started = Instant::now();
+        let fused_start = obs::now_ns();
         let (score_ns, merge_ns) = self.score_and_merge(ctx, &mut matrix, rows, cols);
         let fused = started.elapsed();
         let total_ns = (score_ns + merge_ns).max(1);
@@ -236,13 +260,21 @@ impl<'e> MatchPipeline<'e> {
         timings.score_tier2 = timings.score;
         timings.merge = fused.saturating_sub(timings.score);
         timings.pairs_full = (rows * cols) as u64;
+        record_fused_stage_spans(fused_start, &timings);
 
         // Stage 4: Propagate.
         let started = Instant::now();
+        let prop_start = obs::now_ns();
         if self.engine.propagation_alpha > 0.0 {
             self.propagate(ctx.source, ctx.target, &mut matrix);
         }
         timings.propagate = started.elapsed();
+        obs::record_span(
+            SpanKind::StagePropagate,
+            0,
+            prop_start,
+            timings.propagate.as_nanos() as u64,
+        );
 
         PipelineRun {
             matrix,
@@ -309,22 +341,24 @@ impl<'e> MatchPipeline<'e> {
 
         // Stage 1: Prepare (the per-schema half is the caller's cache hit;
         // only the joint TF-IDF corpus is assembled here).
-        let started = Instant::now();
-        let ctx = MatchContext::from_prepared_trusted(
-            source,
-            target,
-            prepared_source,
-            prepared_target,
-            &sm_schema::InstanceData::empty(),
-            &sm_schema::InstanceData::empty(),
-        );
-        timings.prepare = started.elapsed();
+        let (ctx, prepare_ns) = obs::timed(SpanKind::StagePrepare, 0, || {
+            MatchContext::from_prepared_trusted(
+                source,
+                target,
+                prepared_source,
+                prepared_target,
+                &sm_schema::InstanceData::empty(),
+                &sm_schema::InstanceData::empty(),
+            )
+        });
+        timings.prepare = Duration::from_nanos(prepare_ns);
 
         // Stage 1.5: Block. With pre-built indices the stage is pure
         // probing; otherwise the per-pair index builds land here, exactly as
         // before the batch planner existed. Both probe directions (and the
         // per-pair builds) fan out across the engine's executor lanes.
         let started = Instant::now();
+        let block_start = obs::now_ns();
         let exec = self.engine.executor();
         let candidates = match indices {
             Some((source_index, target_index)) => generate_candidates_with_exec(
@@ -349,6 +383,12 @@ impl<'e> MatchPipeline<'e> {
             ),
         };
         timings.block = started.elapsed();
+        obs::record_span(
+            SpanKind::StageBlock,
+            candidates.len() as u64,
+            block_start,
+            timings.block.as_nanos() as u64,
+        );
 
         let rows = ctx.source.len();
         let cols = ctx.target.len();
@@ -367,6 +407,7 @@ impl<'e> MatchPipeline<'e> {
         // workers time their tier-1/tier-2/merge phases directly; the
         // fused wall-clock is split in proportion to those measurements.
         let started = Instant::now();
+        let fused_start = obs::now_ns();
         let stats = self.score_and_merge_blocked(&ctx, &mut matrix, &candidates);
         let fused = started.elapsed();
         let total_ns = (stats.tier1_ns + stats.tier2_ns + stats.merge_ns).max(1);
@@ -376,13 +417,25 @@ impl<'e> MatchPipeline<'e> {
         timings.merge = fused.saturating_sub(timings.score);
         timings.pairs_pruned = stats.pruned;
         timings.pairs_full = candidates.len() as u64 - stats.pruned;
+        record_fused_stage_spans(fused_start, &timings);
+        obs::add(obs::Counter::CascadePairsPruned, timings.pairs_pruned);
+        if self.engine.cascade_active() {
+            obs::add(obs::Counter::CascadePairsFull, timings.pairs_full);
+        }
 
         // Stage 4: sparse Propagate.
         let started = Instant::now();
+        let prop_start = obs::now_ns();
         if self.engine.propagation_alpha > 0.0 {
             self.propagate_blocked(ctx.source, ctx.target, &mut matrix, &candidates);
         }
         timings.propagate = started.elapsed();
+        obs::record_span(
+            SpanKind::StagePropagate,
+            0,
+            prop_start,
+            timings.propagate.as_nanos() as u64,
+        );
 
         BlockedRun {
             matrix,
@@ -481,6 +534,7 @@ impl<'e> MatchPipeline<'e> {
             loop {
                 let claimed = queue.lock().expect("pipeline queue poisoned").next();
                 let Some((index, block)) = claimed else { break };
+                let _chunk = obs::span(SpanKind::ScoreChunk, (index * block_rows) as u64);
                 process_block(index * block_rows, block, &mut w);
             }
             score_total.fetch_add(w.score_ns, Ordering::Relaxed);
@@ -546,19 +600,27 @@ impl<'e> MatchPipeline<'e> {
                 pruned: u64,
             }
 
+            // Each phase runs under `obs::timed`, which both feeds the
+            // per-worker nanosecond totals (the proportional stage split —
+            // same arithmetic as the old hand-rolled timestamps) and, when
+            // recording is on, emits one span per row and phase.
             let process_block = |block: &mut [(usize, &mut [f32], &[u32])], w: &mut Worker| {
                 for (r, slice, cand) in block.iter_mut() {
                     let s = ElementId(*r as u32);
-                    let t0 = Instant::now();
-                    w.pruned += crate::cascade::tier1_row(ctx, s, cand, floor, slice, &mut w.row);
-                    let t1 = Instant::now();
-                    crate::cascade::tier2_row(ctx, s, &mut w.row);
-                    let t2 = Instant::now();
-                    crate::cascade::merge_row(merger, floor, &mut w.row, slice);
-                    let t3 = Instant::now();
-                    w.tier1_ns += t1.duration_since(t0).as_nanos() as u64;
-                    w.tier2_ns += t2.duration_since(t1).as_nanos() as u64;
-                    w.merge_ns += t3.duration_since(t2).as_nanos() as u64;
+                    let row = &mut w.row;
+                    let (pruned, t1_ns) = obs::timed(SpanKind::ScoreTier1, *r as u64, || {
+                        crate::cascade::tier1_row(ctx, s, cand, floor, slice, row)
+                    });
+                    let ((), t2_ns) = obs::timed(SpanKind::ScoreTier2, *r as u64, || {
+                        crate::cascade::tier2_row(ctx, s, row)
+                    });
+                    let ((), merge_ns) = obs::timed(SpanKind::MergeRow, *r as u64, || {
+                        crate::cascade::merge_row(merger, floor, row, slice)
+                    });
+                    w.pruned += pruned;
+                    w.tier1_ns += t1_ns;
+                    w.tier2_ns += t2_ns;
+                    w.merge_ns += merge_ns;
                 }
             };
 
@@ -579,6 +641,7 @@ impl<'e> MatchPipeline<'e> {
                 loop {
                     let claimed = queue.lock().expect("pipeline queue poisoned").next();
                     let Some(block) = claimed else { break };
+                    let _chunk = obs::span(SpanKind::ScoreChunk, block.len() as u64);
                     process_block(block, &mut w);
                 }
                 tier1_total.fetch_add(w.tier1_ns, Ordering::Relaxed);
@@ -650,6 +713,7 @@ impl<'e> MatchPipeline<'e> {
             loop {
                 let claimed = queue.lock().expect("pipeline queue poisoned").next();
                 let Some(block) = claimed else { break };
+                let _chunk = obs::span(SpanKind::ScoreChunk, block.len() as u64);
                 process_block(block, &mut w);
             }
             score_total.fetch_add(w.score_ns, Ordering::Relaxed);

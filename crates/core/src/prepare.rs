@@ -521,6 +521,7 @@ impl FeatureCache {
                 if let Some(entry) = inner.map.get_mut(&fp) {
                     entry.last_used = tick;
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    crate::obs::add(crate::obs::Counter::CacheHits, 1);
                     return Arc::clone(&entry.prepared);
                 }
                 match inner.building.get(&fp) {
@@ -538,6 +539,10 @@ impl FeatureCache {
 
             match slot {
                 Waiter::Wait(slot) => {
+                    // The whole rendezvous is a coalesced wait: this thread
+                    // is blocked on someone else's build.
+                    crate::obs::add(crate::obs::Counter::CacheCoalesced, 1);
+                    let _wait = crate::obs::span(crate::obs::SpanKind::CacheWait, fp);
                     let mut state = slot.state.lock().expect("build slot poisoned");
                     loop {
                         match &*state {
@@ -546,6 +551,7 @@ impl FeatureCache {
                             }
                             BuildState::Ready(prepared) => {
                                 self.hits.fetch_add(1, Ordering::Relaxed);
+                                crate::obs::add(crate::obs::Counter::CacheHits, 1);
                                 return Arc::clone(prepared);
                             }
                             // Builder unwound; retry from the top (this
@@ -566,11 +572,15 @@ impl FeatureCache {
                         published: false,
                     };
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    let prepared = Arc::new(PreparedSchema::build_with_arena(
-                        schema,
-                        &self.normalizer,
-                        Arc::clone(&self.arena),
-                    ));
+                    crate::obs::add(crate::obs::Counter::CacheMisses, 1);
+                    let (prepared, _build_ns) =
+                        crate::obs::timed(crate::obs::SpanKind::CacheBuild, fp, || {
+                            Arc::new(PreparedSchema::build_with_arena(
+                                schema,
+                                &self.normalizer,
+                                Arc::clone(&self.arena),
+                            ))
+                        });
                     guard.publish(Arc::clone(&prepared));
                     return prepared;
                 }
@@ -599,6 +609,7 @@ impl FeatureCache {
             {
                 inner.map.remove(&evict);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                crate::obs::add(crate::obs::Counter::CacheEvictions, 1);
             }
         }
     }

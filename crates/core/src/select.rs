@@ -34,7 +34,14 @@ pub enum Selection {
 
 impl Selection {
     /// Apply the policy to a matrix, producing candidates (best first).
+    /// Every application records a `stage.select` span (payload = matrix
+    /// cell count), so blocked/batch runs get a Select row in traces even
+    /// though selection happens outside the pipeline proper.
     pub fn apply(&self, matrix: &MatchMatrix) -> MatchSet {
+        let _span = crate::obs::span(
+            crate::obs::SpanKind::StageSelect,
+            (matrix.rows() * matrix.cols()) as u64,
+        );
         let mut set = match self {
             Selection::Threshold(min) => {
                 let mut out = MatchSet::new();

@@ -112,6 +112,11 @@ impl RepositoryIndex {
     }
 
     fn build_opt(prepared: &[Arc<PreparedSchema>], par: Option<(&Executor, usize)>) -> Self {
+        harmony_core::obs::add(harmony_core::obs::Counter::RepoIndexBuilds, 1);
+        let _span = harmony_core::obs::span(
+            harmony_core::obs::SpanKind::RepoIndexBuild,
+            prepared.len() as u64,
+        );
         let arena = prepared
             .first()
             .map(|p| Arc::clone(p.arena()))
@@ -306,10 +311,12 @@ impl RepositoryIndex {
         // map-keyed accumulator summed.
         let mut acc: Vec<f64> = vec![0.0; self.len()];
         let mut touched: Vec<u32> = Vec::new();
+        let mut postings_touched = 0u64;
         for &t in query_tokens {
             let Some((posting, w)) = self.probe_token(t) else {
                 continue;
             };
+            postings_touched += posting.len() as u64;
             for &slot in posting {
                 if acc[slot as usize] == 0.0 {
                     touched.push(slot);
@@ -317,6 +324,8 @@ impl RepositoryIndex {
                 acc[slot as usize] += w;
             }
         }
+        harmony_core::obs::add(harmony_core::obs::Counter::RepoProbeRows, 1);
+        harmony_core::obs::add(harmony_core::obs::Counter::RepoPostings, postings_touched);
         touched.sort_unstable();
         touched
             .into_iter()

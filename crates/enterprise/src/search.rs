@@ -112,6 +112,10 @@ impl SchemaSearch {
     /// `query` itself is skipped if it is one of the indexed schemata
     /// (searching for *other* relevant schemata).
     pub fn query(&self, query: &Schema, limit: usize) -> Vec<SearchHit> {
+        let _span = harmony_core::obs::span(
+            harmony_core::obs::SpanKind::RepoQuery,
+            self.index.len() as u64,
+        );
         let prepared = self.cache.prepare(query);
         // Interned query signature, lexicographically ordered by resolved
         // string — the deterministic weight-summation order.
@@ -183,6 +187,10 @@ impl SchemaSearch {
         candidate: &Schema,
         limit: usize,
     ) -> Vec<FragmentHit> {
+        let _span = harmony_core::obs::span(
+            harmony_core::obs::SpanKind::RepoQuery,
+            self.index.len() as u64,
+        );
         let prepared_query = self.cache.prepare(query);
         let q_ids = prepared_query.signature_ids();
         if q_ids.is_empty() {
