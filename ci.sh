@@ -117,6 +117,67 @@ print(
 )
 PY
 
+echo "==> BENCH_blocking.json sharded-index gates (incremental + warm start + p99)"
+python3 - BENCH_blocking.json <<'PY'
+import json
+import sys
+
+# The sharded index's registry-scale contracts, all same-run ratios (host
+# drift cancels; this box's wall clock swings ~1.7x run to run):
+#   * delta insert refresh must cost <= 10% of a structure-only full
+#     rebuild at the 10^4-schema tier (the whole point of the delta path
+#     is maintenance proportional to the change, not the registry);
+#   * warm-start (image load + cache admission + index build) must cost
+#     <= 20% of cold start (linguistic re-preparation + build) measured
+#     in the same process;
+#   * every repository-search tier must record a p99 indexed query
+#     latency, sane (>= p50) and bounded at 10x the same-run p50 — a
+#     blown tail means a lock or rebuild crept into the read path. The
+#     top tier also gets an absolute sanity ceiling, generous enough to
+#     absorb host drift.
+MAX_INSERT_OVER_REBUILD = 0.10
+MAX_WARM_OVER_COLD = 0.20
+MAX_P99_OVER_P50 = 10.0
+MAX_TOP_TIER_P99_MS = 25.0
+
+path = sys.argv[1]
+with open(path) as fh:
+    doc = json.load(fh)
+inc = doc["repo_incremental"]
+if inc["insert_over_rebuild"] > MAX_INSERT_OVER_REBUILD:
+    sys.exit(
+        f"{path}: insert_over_rebuild = {inc['insert_over_rebuild']:.4f} "
+        f"exceeds {MAX_INSERT_OVER_REBUILD} (delta insert must stay a small "
+        f"fraction of a full rebuild)"
+    )
+if inc["warm_over_cold"] > MAX_WARM_OVER_COLD:
+    sys.exit(
+        f"{path}: warm_over_cold = {inc['warm_over_cold']:.4f} exceeds "
+        f"{MAX_WARM_OVER_COLD} (warm start {inc['warm_start_secs']:.3f} s vs "
+        f"cold {inc['cold_start_secs']:.3f} s)"
+    )
+tiers = doc["repo_search"]
+for p in tiers:
+    p50, p99 = p["indexed_p50_ms"], p["indexed_p99_ms"]
+    if not (0.0 < p50 <= p99):
+        sys.exit(f"{path}: tier {p['schemas']}: p50/p99 not recorded sanely "
+                 f"(p50 {p50}, p99 {p99})")
+    if p99 > p50 * MAX_P99_OVER_P50:
+        sys.exit(f"{path}: tier {p['schemas']}: p99 {p99:.4f} ms exceeds "
+                 f"{MAX_P99_OVER_P50}x same-run p50 ({p50:.4f} ms)")
+top = max(tiers, key=lambda p: p["schemas"])
+if top["indexed_p99_ms"] > MAX_TOP_TIER_P99_MS:
+    sys.exit(f"{path}: top tier p99 {top['indexed_p99_ms']:.4f} ms exceeds "
+             f"the {MAX_TOP_TIER_P99_MS} ms sanity ceiling")
+print(
+    f"{path}: insert at {100 * inc['insert_over_rebuild']:.1f}% of rebuild "
+    f"(gate {100 * MAX_INSERT_OVER_REBUILD:.0f}%), warm start at "
+    f"{100 * inc['warm_over_cold']:.1f}% of cold (gate "
+    f"{100 * MAX_WARM_OVER_COLD:.0f}%), p99 tails bounded over "
+    f"{len(tiers)} tiers (top-tier p99 {top['indexed_p99_ms']:.4f} ms)"
+)
+PY
+
 echo "==> BENCH_pipeline.json score-cascade gate (tier-1 prefilter + SoA tier 2)"
 python3 - BENCH_pipeline.json <<'PY'
 import json
@@ -219,6 +280,8 @@ REGISTERED_COUNTERS = [
     "cascade.pairs_pruned", "cascade.pairs_full",
     "probe.rows", "probe.postings", "pair.jobs",
     "repo.index_builds", "repo.probe_rows", "repo.postings",
+    "repo.shard_builds", "repo.delta_ops", "repo.compactions",
+    "repo.snapshots",
     "memo.misses", "memo.flushes",
 ]
 REQUIRED_SPANS = {

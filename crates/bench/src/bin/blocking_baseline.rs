@@ -7,10 +7,18 @@
 //! the blocked run against the dense run's above-threshold pairs and the
 //! workload's planted ground truth.
 //!
-//! Part B registers synthetic repositories of growing size and compares the
+//! Part B registers synthetic repositories of growing size (up to the
+//! paper's "thousands of schemata" registry scale) and compares the
 //! historical linear scan (per-query IDF table + per-schema signature
 //! intersection) against retrieval over the repository token index, showing
-//! sub-linear latency growth in repository size.
+//! sub-linear latency growth in repository size plus p50/p99 tails.
+//!
+//! Part C measures incremental index maintenance at the 10⁴ tier: delta
+//! insert/remove refresh vs a structure-only full rebuild, shard
+//! compaction, and warm-start load vs cold re-preparation. It *executes
+//! first* (see the comment in `main`): cold/warm start model a restarted
+//! process, so they must run against a pristine heap, not the allocator
+//! state Parts A/B leave behind.
 //!
 //! Run with: `cargo run --release -p sm-bench --bin blocking_baseline`
 
@@ -40,7 +48,7 @@ impl LinearScan {
         let mut signatures = Vec::new();
         let mut schema_freq: HashMap<String, usize> = HashMap::new();
         for p in repo.prepare_all() {
-            let sig = p.signature().clone();
+            let sig: HashSet<String> = p.signature().iter().map(|t| t.to_string()).collect();
             for t in &sig {
                 *schema_freq.entry(t.clone()).or_insert(0) += 1;
             }
@@ -98,20 +106,33 @@ impl LinearScan {
 struct SearchPoint {
     schemas: usize,
     build_secs: f64,
-    linear_ms: f64,
+    /// `None` at registry scale: the historical scan is quadratic-ish in
+    /// repository size and exists only as a small-tier reference.
+    linear_ms: Option<f64>,
     indexed_ms: f64,
+    indexed_p50_ms: f64,
+    indexed_p99_ms: f64,
 }
 
-fn repo_search_point(size: usize) -> SearchPoint {
+fn population(size: usize) -> SyntheticRepository {
     assert!(size % 8 == 0);
-    let population = SyntheticRepository::generate(&RepositoryConfig {
+    SyntheticRepository::generate(&RepositoryConfig {
         seed: 1234 + size as u64,
         domains: size / 8,
         schemas_per_domain: 8,
         concepts_per_domain: 20,
         concept_coverage: 0.5,
         attrs_per_concept: (4, 9),
-    });
+    })
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn repo_search_point(size: usize) -> SearchPoint {
+    let population = population(size);
     let mut repo = MetadataRepository::new();
     for s in &population.schemas {
         repo.register_schema(s.clone());
@@ -123,48 +144,184 @@ fn repo_search_point(size: usize) -> SearchPoint {
 
     let queries: Vec<&Schema> = population.schemas.iter().step_by(8).collect();
     let search = SchemaSearch::build(&repo);
-    let linear = LinearScan::build(&repo);
-    let query_sigs: Vec<(SchemaId, HashSet<String>)> = queries
-        .iter()
-        .map(|q| {
-            (
-                q.id,
-                harmony_core::prepare::FeatureCache::global()
-                    .prepare(q)
-                    .signature()
-                    .clone(),
-            )
-        })
-        .collect();
 
-    // Agreement check (outside the timed loops): identical rankings.
-    for ((id, sig), q) in query_sigs.iter().zip(&queries) {
-        let lin: Vec<SchemaId> = linear.query(sig, *id, 5);
-        let idx: Vec<SchemaId> = search
-            .query(q, 5)
-            .into_iter()
-            .map(|h| h.schema_id)
+    // The linear reference (and its agreement check) only at small tiers —
+    // every query visits every schema, so at 10⁴ it is the scenario the
+    // index exists to avoid.
+    let linear_ms = (size <= 512).then(|| {
+        let linear = LinearScan::build(&repo);
+        let query_sigs: Vec<(SchemaId, HashSet<String>)> = queries
+            .iter()
+            .map(|q| {
+                (
+                    q.id,
+                    harmony_core::prepare::FeatureCache::global()
+                        .prepare(q)
+                        .signature()
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect(),
+                )
+            })
             .collect();
-        assert_eq!(lin, idx, "index retrieval diverged from the linear scan");
-    }
 
-    let t0 = Instant::now();
-    for (id, sig) in &query_sigs {
-        std::hint::black_box(linear.query(sig, *id, 10));
-    }
-    let linear_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+        // Agreement check (outside the timed loops): identical rankings.
+        for ((id, sig), q) in query_sigs.iter().zip(&queries) {
+            let lin: Vec<SchemaId> = linear.query(sig, *id, 5);
+            let idx: Vec<SchemaId> = search
+                .query(q, 5)
+                .into_iter()
+                .map(|h| h.schema_id)
+                .collect();
+            assert_eq!(lin, idx, "index retrieval diverged from the linear scan");
+        }
 
+        let t0 = Instant::now();
+        for (id, sig) in &query_sigs {
+            std::hint::black_box(linear.query(sig, *id, 10));
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64
+    });
+
+    // Per-query latencies for the tail percentiles the satellite dashboards
+    // track (mean alone hides slow outlier queries).
+    let mut per_query_ms: Vec<f64> = Vec::with_capacity(queries.len());
     let t0 = Instant::now();
     for q in &queries {
+        let q0 = Instant::now();
         std::hint::black_box(search.query(q, 10));
+        per_query_ms.push(q0.elapsed().as_secs_f64() * 1e3);
     }
     let indexed_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+    per_query_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
 
     SearchPoint {
         schemas: size,
         build_secs,
         linear_ms,
         indexed_ms,
+        indexed_p50_ms: percentile(&per_query_ms, 0.50),
+        indexed_p99_ms: percentile(&per_query_ms, 0.99),
+    }
+}
+
+/// Incremental-maintenance + warm-start timings at registry scale (10⁴
+/// schemata): the delta write path, compaction, and persistence against
+/// their full-rebuild / cold-start equivalents — all same-run ratios, so
+/// host drift cancels in the ci.sh gates.
+struct IncrementalPoint {
+    schemas: usize,
+    cold_start_secs: f64,
+    full_rebuild_secs: f64,
+    insert_refresh_secs: f64,
+    remove_refresh_secs: f64,
+    compact_secs: f64,
+    save_secs: f64,
+    warm_start_secs: f64,
+}
+
+fn repo_incremental_point(size: usize) -> IncrementalPoint {
+    use sm_schema::{DataType, ElementKind, SchemaFormat};
+
+    let population = population(size);
+    let mut repo = MetadataRepository::new();
+    for s in &population.schemas {
+        repo.register_schema(s.clone());
+    }
+
+    // Cold start: linguistic preparation of the whole registry plus the
+    // sharded build (what a restarted process without an image pays).
+    let t0 = Instant::now();
+    let index = repo.token_index();
+    let cold_start_secs = t0.elapsed().as_secs_f64();
+
+    // Structure-only full rebuild over already-prepared schemata — the
+    // strictest honest baseline for the incremental write path (a rebuild
+    // that also re-prepared would flatter the delta path).
+    let prepared: Vec<_> = index
+        .live_slots()
+        .into_iter()
+        .map(|s| std::sync::Arc::clone(index.prepared(s).expect("live")))
+        .collect();
+    let exec = harmony_core::exec::Executor::global();
+    let t0 = Instant::now();
+    let rebuilt = sm_enterprise::ShardedRepositoryIndex::build_parallel(
+        &prepared,
+        exec,
+        exec.threads(),
+        repo.shard_config(),
+    );
+    let full_rebuild_secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(rebuilt.len());
+    drop(rebuilt);
+    drop(prepared);
+    drop(index);
+
+    // Insert: one new schema, then the incremental refresh (prepare one
+    // schema + delta append + snapshot publish — never a rebuild).
+    let mut extra = Schema::new(
+        SchemaId(size as u32 + 1),
+        "bench_orders_extra",
+        SchemaFormat::Relational,
+    );
+    let root = extra.add_root("PurchaseOrderLine", ElementKind::Table, DataType::None);
+    for col in ["order_id", "line_no", "sku", "quantity", "unit_price"] {
+        extra
+            .add_child(root, col, ElementKind::Column, DataType::text())
+            .expect("root exists");
+    }
+    repo.register_schema(extra);
+    let t0 = Instant::now();
+    let after_insert = repo.token_index();
+    let insert_refresh_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(after_insert.len(), size + 1);
+    drop(after_insert);
+
+    // Remove: tombstone + df bookkeeping, again via refresh.
+    repo.remove_schema(population.schemas[3].id);
+    let t0 = Instant::now();
+    let after_remove = repo.token_index();
+    let remove_refresh_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(after_remove.len(), size);
+
+    // Compaction: fold every shard's delta/tombstones into fresh base CSRs.
+    let mut compactable = after_remove.begin_update();
+    let t0 = Instant::now();
+    compactable.compact_all();
+    let compact_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(compactable.pending_ops(), 0);
+    drop(compactable);
+    drop(after_remove);
+
+    // Warm start: persist the prepared registry, then load it into a fresh
+    // repository registered with the same schemata.
+    let image = std::env::temp_dir().join(format!("sm_bench_warm_{}.bin", std::process::id()));
+    let t0 = Instant::now();
+    repo.save_registry(&image).expect("save warm-start image");
+    let save_secs = t0.elapsed().as_secs_f64();
+    let mut warm_repo = MetadataRepository::new();
+    for s in repo.schemas() {
+        warm_repo.register_schema(s.clone());
+    }
+    let t0 = Instant::now();
+    let reused = warm_repo.warm_start(&image).expect("warm start");
+    let warm_start_secs = t0.elapsed().as_secs_f64();
+    std::fs::remove_file(&image).ok();
+    assert_eq!(
+        reused,
+        warm_repo.schema_count(),
+        "every preparation must be reused"
+    );
+
+    IncrementalPoint {
+        schemas: size,
+        cold_start_secs,
+        full_rebuild_secs,
+        insert_refresh_secs,
+        remove_refresh_secs,
+        compact_secs,
+        save_secs,
+        warm_start_secs,
     }
 }
 
@@ -181,7 +338,40 @@ fn main() {
         "dense vs token-blocked matching at 1378×784 + sub-linear repository search",
     );
 
+    // -------- Part C: incremental maintenance + warm start at 10⁴. --------
+    // Runs FIRST, in a pristine process: the warm-start claim is about a
+    // *restarted* service, so cold start must pay true first-touch costs
+    // and the image load must not run in whatever allocator state hours of
+    // unrelated matching left behind. (Measured: running this section after
+    // Parts A/B inflates the load's millions of small allocations ~5×
+    // purely from free-list fragmentation, while leaving cold start — whose
+    // transient allocations recycle LIFO — almost untouched, turning a
+    // genuine 5× warm-start win into an apparent regression.) The gate
+    // ratios below stay same-run either way.
+    println!("repository incremental maintenance (10⁴ tier):");
+    let inc = repo_incremental_point(10240);
+    let insert_over_rebuild = inc.insert_refresh_secs / inc.full_rebuild_secs.max(1e-12);
+    let warm_over_cold = inc.warm_start_secs / inc.cold_start_secs.max(1e-12);
+    println!(
+        "  cold start (prepare + build) {:>8.3}s   structure-only rebuild {:>8.4}s",
+        inc.cold_start_secs, inc.full_rebuild_secs
+    );
+    println!(
+        "  insert refresh {:>8.5}s ({:.1}% of rebuild)   remove refresh {:>8.5}s   compact {:>8.5}s",
+        inc.insert_refresh_secs,
+        100.0 * insert_over_rebuild,
+        inc.remove_refresh_secs,
+        inc.compact_secs
+    );
+    println!(
+        "  save {:>8.4}s   warm start {:>8.4}s ({:.1}% of cold start)",
+        inc.save_secs,
+        inc.warm_start_secs,
+        100.0 * warm_over_cold
+    );
+
     // -------- Part A: dense vs blocked at paper scale, equal threads. -----
+    println!();
     let pair = case_study(1.0);
     let rows = pair.source.len();
     let cols = pair.target.len();
@@ -323,14 +513,18 @@ fn main() {
 
     // -------- Part B: repository search latency scaling. ------------------
     println!("\nrepository search (linear scan vs token index):");
-    let points: Vec<SearchPoint> = [128usize, 256, 512]
+    let points: Vec<SearchPoint> = [128usize, 256, 512, 2048, 10240]
         .into_iter()
         .map(repo_search_point)
         .collect();
     for p in &points {
+        let linear = p
+            .linear_ms
+            .map(|ms| format!("{ms:>8.3} ms/query"))
+            .unwrap_or_else(|| "   (skipped)   ".to_string());
         println!(
-            "  {:>4} schemata: build {:>7.4}s  linear {:>8.3} ms/query  indexed {:>8.3} ms/query",
-            p.schemas, p.build_secs, p.linear_ms, p.indexed_ms
+            "  {:>5} schemata: build {:>7.4}s  linear {linear}  indexed {:>8.4} ms/query  p50 {:>7.4}  p99 {:>7.4}",
+            p.schemas, p.build_secs, p.indexed_ms, p.indexed_p50_ms, p.indexed_p99_ms
         );
     }
     let size_ratio = points[points.len() - 1].schemas as f64 / points[0].schemas as f64;
@@ -344,13 +538,34 @@ fn main() {
     let search_json: Vec<String> = points
         .iter()
         .map(|p| {
+            let linear = p
+                .linear_ms
+                .map(|ms| format!("{ms:.4}"))
+                .unwrap_or_else(|| "null".to_string());
             format!(
                 "    {{\"schemas\": {}, \"index_build_secs\": {:.6}, \
-                 \"linear_ms_per_query\": {:.4}, \"indexed_ms_per_query\": {:.4}}}",
-                p.schemas, p.build_secs, p.linear_ms, p.indexed_ms
+                 \"linear_ms_per_query\": {linear}, \"indexed_ms_per_query\": {:.4}, \
+                 \"indexed_p50_ms\": {:.4}, \"indexed_p99_ms\": {:.4}}}",
+                p.schemas, p.build_secs, p.indexed_ms, p.indexed_p50_ms, p.indexed_p99_ms
             )
         })
         .collect();
+    let incremental_json = format!(
+        "{{\n    \"schemas\": {}, \"cold_start_secs\": {:.6}, \
+         \"full_rebuild_secs\": {:.6},\n    \"insert_refresh_secs\": {:.6}, \
+         \"remove_refresh_secs\": {:.6}, \"compact_secs\": {:.6},\n    \
+         \"save_secs\": {:.6}, \"warm_start_secs\": {:.6},\n    \
+         \"insert_over_rebuild\": {insert_over_rebuild:.6}, \
+         \"warm_over_cold\": {warm_over_cold:.6}\n  }}",
+        inc.schemas,
+        inc.cold_start_secs,
+        inc.full_rebuild_secs,
+        inc.insert_refresh_secs,
+        inc.remove_refresh_secs,
+        inc.compact_secs,
+        inc.save_secs,
+        inc.warm_start_secs,
+    );
     let scaling_json: Vec<String> = scaling
         .iter()
         .map(|p| {
@@ -375,6 +590,7 @@ fn main() {
          \"ground_truth\": {{\"planted\": {truth_total}, \"dense_found\": {truth_dense}, \
          \"blocked_found\": {truth_blocked}}},\n  \
          \"repo_search\": [\n{search}\n  ],\n  \
+         \"repo_incremental\": {incremental_json},\n  \
          \"repo_scaling\": {{\"size_ratio\": {size_ratio:.2}, \
          \"indexed_latency_ratio\": {latency_ratio:.4}, \
          \"sublinear\": {sublinear}}}\n}}\n",

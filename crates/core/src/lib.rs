@@ -62,6 +62,7 @@ pub mod pipeline;
 pub mod prepare;
 pub mod select;
 pub mod summarize;
+pub mod swap;
 pub mod voter;
 pub mod workflow;
 

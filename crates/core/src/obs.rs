@@ -90,10 +90,16 @@ pub enum SpanKind {
     RepoIndexBuild = 18,
     /// Repository search query (`sm_enterprise`).
     RepoQuery = 19,
+    /// One shard of a sharded repository index built (`sm_enterprise`).
+    RepoShardBuild = 20,
+    /// One shard's delta log compacted back into flat CSR.
+    RepoCompact = 21,
+    /// A persisted repository registry loaded from disk (warm start).
+    RepoWarmLoad = 22,
 }
 
 /// All kinds, in discriminant order (export iteration order).
-pub const SPAN_KINDS: [SpanKind; 20] = [
+pub const SPAN_KINDS: [SpanKind; 23] = [
     SpanKind::StagePrepare,
     SpanKind::StageBlock,
     SpanKind::StageScore,
@@ -114,6 +120,9 @@ pub const SPAN_KINDS: [SpanKind; 20] = [
     SpanKind::IndexBuild,
     SpanKind::RepoIndexBuild,
     SpanKind::RepoQuery,
+    SpanKind::RepoShardBuild,
+    SpanKind::RepoCompact,
+    SpanKind::RepoWarmLoad,
 ];
 
 impl SpanKind {
@@ -140,6 +149,9 @@ impl SpanKind {
             SpanKind::IndexBuild => "index.build",
             SpanKind::RepoIndexBuild => "repo.index_build",
             SpanKind::RepoQuery => "repo.query",
+            SpanKind::RepoShardBuild => "repo.shard_build",
+            SpanKind::RepoCompact => "repo.compact",
+            SpanKind::RepoWarmLoad => "repo.warm_load",
         }
     }
 
@@ -206,10 +218,19 @@ pub enum Counter {
     MemoMisses = 18,
     /// Per-thread pair-memo wholesale flushes (polled from `sm_text`).
     MemoFlushes = 19,
+    /// Shards built (full builds and per-shard compactions both count one
+    /// CSR assembly each).
+    RepoShardBuilds = 20,
+    /// Delta-log maintenance operations applied (inserts + tombstones).
+    RepoDeltaOps = 21,
+    /// Size-triggered per-shard compactions.
+    RepoCompactions = 22,
+    /// Index snapshots published to readers.
+    RepoSnapshots = 23,
 }
 
 /// Number of registered counters.
-pub const COUNTER_COUNT: usize = 20;
+pub const COUNTER_COUNT: usize = 24;
 
 /// All counters, in slot order (export iteration order).
 pub const COUNTERS: [Counter; COUNTER_COUNT] = [
@@ -233,6 +254,10 @@ pub const COUNTERS: [Counter; COUNTER_COUNT] = [
     Counter::RepoPostings,
     Counter::MemoMisses,
     Counter::MemoFlushes,
+    Counter::RepoShardBuilds,
+    Counter::RepoDeltaOps,
+    Counter::RepoCompactions,
+    Counter::RepoSnapshots,
 ];
 
 impl Counter {
@@ -259,6 +284,10 @@ impl Counter {
             Counter::RepoPostings => "repo.postings",
             Counter::MemoMisses => "memo.misses",
             Counter::MemoFlushes => "memo.flushes",
+            Counter::RepoShardBuilds => "repo.shard_builds",
+            Counter::RepoDeltaOps => "repo.delta_ops",
+            Counter::RepoCompactions => "repo.compactions",
+            Counter::RepoSnapshots => "repo.snapshots",
         }
     }
 }

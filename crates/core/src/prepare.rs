@@ -93,8 +93,9 @@ pub struct PreparedElement {
     pub children_bag: TokenBag,
     /// The element's TF-IDF document: name tokens then documentation tokens,
     /// in normalization order. Feeding these to a pairwise corpus reproduces
-    /// the historical `MatchContext` vectors exactly.
-    pub corpus_tokens: Vec<String>,
+    /// the historical `MatchContext` vectors exactly. Shared `Arc<str>`s
+    /// (one allocation per distinct token process-wide), like [`TokenBag`].
+    pub corpus_tokens: Vec<Arc<str>>,
     /// `name_bag.tokens`, interned, in normalization order (sequence
     /// equality ⇔ exact-name equality).
     pub name_ids: Vec<TokenId>,
@@ -112,8 +113,10 @@ pub struct PreparedElement {
     /// integer compare).
     pub raw_name_id: TokenId,
     /// [`Self::raw_name`] decoded to chars once (edit-distance voters run
-    /// on slices instead of re-collecting per pair).
-    pub raw_chars: Vec<char>,
+    /// on slices instead of re-collecting per pair). Shared: warm-start
+    /// reconstruction memoizes one decode per distinct raw name and every
+    /// element holding that name clones the `Arc`.
+    pub raw_chars: Arc<[char]>,
     /// The acronym of [`Self::name_ids`], interned (`community_of_interest`
     /// → `coi`).
     pub acronym_id: TokenId,
@@ -161,8 +164,13 @@ pub struct PreparedSchema {
     elements: Vec<Arc<PreparedElement>>,
     /// Distinct normalized name tokens over the whole schema — the cheap
     /// vocabulary signature used by search, clustering, COI proposal, and
-    /// feasibility grading.
-    signature: HashSet<String>,
+    /// feasibility grading. `Arc<str>` keyed (shared with the arena), but
+    /// hashes and compares as `str`, so `contains("tok")` works unchanged.
+    /// Materialized lazily from [`Self::signature_ids`] on first use: the
+    /// sharded index keeps its own per-slot signatures, so most preparations
+    /// at repository scale never ask for this set — eagerly hashing it was a
+    /// measurable slice of warm-start reconstruction.
+    signature: OnceLock<HashSet<Arc<str>>>,
     /// The signature, interned and sorted lexicographically by resolved
     /// string — the order repository-index weight totals are summed in.
     signature_ids: Vec<TokenId>,
@@ -193,10 +201,6 @@ impl PreparedSchema {
             .map(|e| normalizer.name(&e.name))
             .collect();
         let bag_ids: Vec<Vec<TokenId>> = bags.iter().map(|b| arena.intern_all(&b.tokens)).collect();
-        let mut signature = HashSet::new();
-        for bag in &bags {
-            signature.extend(bag.tokens.iter().cloned());
-        }
         let mut signature_ids =
             to_sorted_set(bag_ids.iter().flat_map(|ids| ids.iter().copied()).collect());
         arena.sort_lexical(&mut signature_ids);
@@ -252,7 +256,7 @@ impl PreparedSchema {
 
                 let name_set = to_sorted_set(name_ids.clone());
                 let children_set = to_sorted_set(children_ids);
-                let raw_chars: Vec<char> = raw_name.chars().collect();
+                let raw_chars: Arc<[char]> = raw_name.chars().collect();
                 Arc::new(PreparedElement {
                     name_sig: id_signature(&name_set),
                     children_sig: id_signature(&children_set),
@@ -293,7 +297,7 @@ impl PreparedSchema {
             fingerprint: schema_fingerprint(schema),
             arena,
             elements,
-            signature,
+            signature: OnceLock::new(),
             signature_ids,
             block_feature_offsets,
             block_feature_ids,
@@ -332,8 +336,16 @@ impl PreparedSchema {
     }
 
     /// The schema's normalized name-token signature (distinct tokens).
-    pub fn signature(&self) -> &HashSet<String> {
-        &self.signature
+    /// Materialized from [`Self::signature_ids`] on first call (the ids are
+    /// the distinct interned name tokens, so resolving them reproduces the
+    /// distinct token strings exactly); subsequent calls are free.
+    pub fn signature(&self) -> &HashSet<Arc<str>> {
+        self.signature.get_or_init(|| {
+            self.arena
+                .resolve_shared(&self.signature_ids)
+                .into_iter()
+                .collect()
+        })
     }
 
     /// The signature as interned ids, sorted lexicographically by resolved
@@ -351,6 +363,210 @@ impl PreparedSchema {
     pub fn is_current_for(&self, schema: &Schema) -> bool {
         self.schema_id == schema.id && self.fingerprint == schema_fingerprint(schema)
     }
+
+    /// The portable content of this preparation — exactly the fields that
+    /// cannot be recomputed without re-running the [`Normalizer`] (token
+    /// bags are normalizer output; `raw_name` is lowercased, so camelCase
+    /// boundaries are unrecoverable from it). Everything else —
+    /// signatures, Soundex keys, char profiles, interned ids — is cheap
+    /// derived data that [`Self::from_parts`] recomputes at load.
+    pub fn parts(&self) -> PreparedSchemaParts {
+        PreparedSchemaParts {
+            schema_id: self.schema_id,
+            fingerprint: self.fingerprint,
+            elements: self
+                .elements
+                .iter()
+                .map(|e| {
+                    let owned = |ts: &[Arc<str>]| ts.iter().map(|t| t.to_string()).collect();
+                    PreparedElementParts {
+                        raw_name: e.raw_name.clone(),
+                        name_tokens: owned(&e.name_bag.tokens),
+                        doc_tokens: owned(&e.doc_bag.tokens),
+                        parent_tokens: owned(&e.parent_bag.tokens),
+                        children_tokens: owned(&e.children_bag.tokens),
+                        block_feature_tokens: self.arena.resolve_all(&e.block_features),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Assemble a preparation from already-built elements — the bulk path of
+    /// warm-start loading. The caller (the image loader) constructs each
+    /// [`PreparedElement`] directly from features memoized **per distinct
+    /// image-table string** (char profiles, token stats, Soundex, shared
+    /// `Arc<str>` tokens and `Arc<[char]>` decodes), so this constructor
+    /// performs no hashing and no per-character analysis — it only derives
+    /// the schema-level views: the interned signature (string form stays
+    /// lazy) and the flat blocking-feature CSR. A registry has millions of
+    /// token occurrences but only thousands of distinct tokens; re-deriving
+    /// per occurrence is what made naive reconstruction cost more than cold
+    /// preparation.
+    pub fn from_prepared_elements(
+        schema_id: SchemaId,
+        fingerprint: u64,
+        elements: Vec<Arc<PreparedElement>>,
+        arena: Arc<TokenArena>,
+    ) -> Self {
+        let mut signature_ids = to_sorted_set(
+            elements
+                .iter()
+                .flat_map(|e| e.name_ids.iter().copied())
+                .collect(),
+        );
+        arena.sort_lexical(&mut signature_ids);
+        Self::from_prepared_elements_presorted(
+            schema_id,
+            fingerprint,
+            elements,
+            signature_ids,
+            arena,
+        )
+    }
+
+    /// [`Self::from_prepared_elements`] with the signature id list supplied
+    /// by the caller: the distinct name-token ids, already sorted
+    /// lexicographically by resolved string. The warm-start image carries
+    /// each schema's signature in that order (lexical *string* order is
+    /// process-independent, unlike the ids themselves), so the loader skips
+    /// a per-schema dedup pass and string-compare sort — at registry scale
+    /// those were the dominant cost of schema assembly.
+    pub fn from_prepared_elements_presorted(
+        schema_id: SchemaId,
+        fingerprint: u64,
+        elements: Vec<Arc<PreparedElement>>,
+        signature_ids: Vec<TokenId>,
+        arena: Arc<TokenArena>,
+    ) -> Self {
+        debug_assert_eq!(
+            {
+                let mut expect = to_sorted_set(
+                    elements
+                        .iter()
+                        .flat_map(|e| e.name_ids.iter().copied())
+                        .collect(),
+                );
+                arena.sort_lexical(&mut expect);
+                expect
+            },
+            signature_ids,
+            "supplied signature ids must be the lexically-sorted distinct name tokens"
+        );
+        let mut block_feature_offsets: Vec<u32> = Vec::with_capacity(elements.len() + 1);
+        block_feature_offsets.push(0);
+        let mut block_feature_ids: Vec<TokenId> =
+            Vec::with_capacity(elements.iter().map(|e| e.block_features.len()).sum());
+        for e in &elements {
+            block_feature_ids.extend_from_slice(&e.block_features);
+            block_feature_offsets.push(block_feature_ids.len() as u32);
+        }
+        PreparedSchema {
+            schema_id,
+            fingerprint,
+            arena,
+            elements,
+            signature: OnceLock::new(),
+            signature_ids,
+            block_feature_offsets,
+            block_feature_ids,
+        }
+    }
+
+    /// Reconstruct a preparation from its [`Self::parts`], re-interning the
+    /// stored token strings through `arena` and recomputing all derived
+    /// fields. In the arena the parts were saved against, the result is
+    /// field-for-field identical to the original; in a fresh arena, ids
+    /// differ but every string-valued and string-ordered field (the ones
+    /// scores depend on) is preserved — which is what makes warm-started
+    /// repositories answer queries bit-identically to cold ones.
+    ///
+    /// This is the reference reconstruction; the warm-start loader builds
+    /// elements directly and assembles with the hash-free
+    /// [`Self::from_prepared_elements`] for bulk work.
+    pub fn from_parts(parts: &PreparedSchemaParts, arena: Arc<TokenArena>) -> Self {
+        let elements: Vec<Arc<PreparedElement>> = parts
+            .elements
+            .iter()
+            .map(|p| {
+                let name_bag = TokenBag::from_strings(p.name_tokens.clone());
+                let name_ids = arena.intern_all(&name_bag.tokens);
+                let doc_bag = TokenBag::from_strings(p.doc_tokens.clone());
+                let doc_ids = arena.intern_all(&doc_bag.tokens);
+                let parent_bag = TokenBag::from_strings(p.parent_tokens.clone());
+                let parent_set = to_sorted_set(arena.intern_all(&parent_bag.tokens));
+                let children_ids = arena.intern_all(&p.children_tokens);
+                let mut corpus_tokens = name_bag.tokens.clone();
+                corpus_tokens.extend(doc_bag.tokens.iter().cloned());
+                let mut corpus_ids = name_ids.clone();
+                corpus_ids.extend(doc_ids.iter().copied());
+                // Stored in resolved-string order (how the saving process
+                // kept them), which re-interning preserves — no re-sort.
+                let block_features = arena.intern_all(&p.block_feature_tokens);
+                let name_set = to_sorted_set(name_ids.clone());
+                let children_set = to_sorted_set(children_ids);
+                let raw_chars: Arc<[char]> = p.raw_name.chars().collect();
+                let acronym = acronym_of(&name_bag.tokens);
+                Arc::new(PreparedElement {
+                    name_sig: id_signature(&name_set),
+                    children_sig: id_signature(&children_set),
+                    corpus_sig: id_signature(&corpus_ids),
+                    raw_profile: CharProfile::of_chars(&raw_chars),
+                    name_token_stats: name_bag.tokens.iter().map(|t| TokenStat::of(t)).collect(),
+                    name_set,
+                    name_ids,
+                    raw_name_id: arena.intern(&p.raw_name),
+                    raw_chars,
+                    acronym_id: arena.intern(&acronym),
+                    raw_soundex: soundex_key(&p.raw_name),
+                    parent_set,
+                    children_set,
+                    corpus_ids,
+                    block_features,
+                    name_bag,
+                    raw_name: p.raw_name.clone(),
+                    doc_bag,
+                    parent_bag,
+                    children_bag: TokenBag::from_strings(p.children_tokens.clone()),
+                    corpus_tokens,
+                })
+            })
+            .collect();
+        Self::from_prepared_elements(parts.schema_id, parts.fingerprint, elements, arena)
+    }
+}
+
+/// The serializable content of one [`PreparedElement`] — see
+/// [`PreparedSchema::parts`]. All token lists keep their canonical orders
+/// (normalization order for bags, resolved-string order for blocking
+/// features), so reconstruction is order-exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedElementParts {
+    /// Raw lowercased element name.
+    pub raw_name: String,
+    /// Normalized name tokens, normalization order.
+    pub name_tokens: Vec<String>,
+    /// Normalized documentation tokens, normalization order.
+    pub doc_tokens: Vec<String>,
+    /// Parent name tokens (empty for roots), normalization order.
+    pub parent_tokens: Vec<String>,
+    /// Flattened children name tokens, child order.
+    pub children_tokens: Vec<String>,
+    /// Blocking feature strings, deduplicated, resolved-string order.
+    pub block_feature_tokens: Vec<String>,
+}
+
+/// The serializable content of a [`PreparedSchema`] — see
+/// [`PreparedSchema::parts`] / [`PreparedSchema::from_parts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedSchemaParts {
+    /// Identity of the prepared schema.
+    pub schema_id: SchemaId,
+    /// Content fingerprint the preparation reflects (not recomputable from
+    /// the parts: the fingerprint hashes raw pre-normalization content).
+    pub fingerprint: u64,
+    /// Per-element parts, element-id order.
+    pub elements: Vec<PreparedElementParts>,
 }
 
 /// Hit/miss counters of a [`FeatureCache`] (observability for benches and
@@ -614,6 +830,58 @@ impl FeatureCache {
         }
     }
 
+    /// Admit an externally-built preparation (e.g. one reconstructed from a
+    /// warm-start image by [`PreparedSchema::from_parts`]) so subsequent
+    /// [`Self::prepare`] calls for the same content hit instead of
+    /// rebuilding. The preparation must intern through this cache's arena —
+    /// ids from a foreign arena would corrupt every consumer.
+    pub fn admit(&self, prepared: Arc<PreparedSchema>) {
+        assert!(
+            Arc::ptr_eq(prepared.arena(), &self.arena),
+            "admitted preparation must use the cache's arena"
+        );
+        let fp = prepared.fingerprint;
+        self.insert_prepared(fp, &prepared);
+    }
+
+    /// Bulk [`Self::admit`]: one lock acquisition and one eviction sweep
+    /// for the whole batch. Admitting a registry-scale warm-start load
+    /// entry-by-entry runs an O(capacity) LRU scan per entry against an
+    /// already-full cache; here overflow is resolved once, keeping the
+    /// most recently admitted `capacity` entries (later in `prepared` =
+    /// more recent, matching per-entry admission order).
+    pub fn admit_all(&self, prepared: &[Arc<PreparedSchema>]) {
+        for p in prepared {
+            assert!(
+                Arc::ptr_eq(p.arena(), &self.arena),
+                "admitted preparation must use the cache's arena"
+            );
+        }
+        let mut inner = self.inner.lock().expect("feature cache poisoned");
+        for p in prepared {
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner
+                .map
+                .entry(p.fingerprint)
+                .or_insert_with(|| CacheEntry {
+                    prepared: Arc::clone(p),
+                    last_used: tick,
+                })
+                .last_used = tick;
+            inner.building.remove(&p.fingerprint);
+        }
+        if inner.map.len() > self.capacity {
+            let excess = inner.map.len() - self.capacity;
+            let mut ticks: Vec<u64> = inner.map.values().map(|e| e.last_used).collect();
+            ticks.sort_unstable();
+            let cutoff = ticks[excess - 1];
+            inner.map.retain(|_, e| e.last_used > cutoff);
+            self.evictions.fetch_add(excess, Ordering::Relaxed);
+            crate::obs::add(crate::obs::Counter::CacheEvictions, excess as u64);
+        }
+    }
+
     /// Drop every resident entry (counters are preserved).
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("feature cache poisoned");
@@ -683,11 +951,12 @@ mod tests {
         let s = schema(1);
         let p = PreparedSchema::build(&s, &Normalizer::new());
         let arena = p.arena();
+        let owned = |ts: &[Arc<str>]| ts.iter().map(|t| t.to_string()).collect::<Vec<String>>();
         for e in p.elements() {
-            assert_eq!(arena.resolve_all(&e.name_ids), e.name_bag.tokens);
-            assert_eq!(arena.resolve_all(&e.corpus_ids), e.corpus_tokens);
+            assert_eq!(arena.resolve_all(&e.name_ids), owned(&e.name_bag.tokens));
+            assert_eq!(arena.resolve_all(&e.corpus_ids), owned(&e.corpus_tokens));
             assert_eq!(&*arena.resolve(e.raw_name_id), e.raw_name);
-            assert_eq!(e.raw_chars, e.raw_name.chars().collect::<Vec<char>>());
+            assert_eq!(&e.raw_chars[..], e.raw_name.chars().collect::<Vec<char>>());
             assert_eq!(
                 &*arena.resolve(e.acronym_id),
                 sm_text::tokenize::acronym_of(&e.name_bag.tokens)
@@ -715,7 +984,8 @@ mod tests {
         }
         // Signature ids resolve to the signature set, lexicographically.
         let resolved: HashSet<String> = arena.resolve_all(p.signature_ids()).into_iter().collect();
-        assert_eq!(&resolved, p.signature());
+        let signature: HashSet<String> = p.signature().iter().map(|t| t.to_string()).collect();
+        assert_eq!(resolved, signature);
     }
 
     #[test]
@@ -779,6 +1049,71 @@ mod tests {
         cache.prepare(&b);
         assert_eq!(cache.stats().misses, misses_before + 1, "LRU entry evicted");
         assert_eq!(cache.stats().evictions, 2, "both displacements counted");
+    }
+
+    #[test]
+    fn from_parts_reconstructs_field_for_field() {
+        let mut s = schema(7);
+        // Exercise camelCase (lost in `raw_name`, preserved in stored
+        // bags), acronym-length raw names, and multi-child parents.
+        let root = s.find_by_name("Person").unwrap();
+        s.add_child(
+            root,
+            "customerAccountId",
+            ElementKind::Column,
+            DataType::Integer,
+        )
+        .unwrap();
+        s.add_child(root, "dob", ElementKind::Column, DataType::Date)
+            .unwrap();
+        let p = PreparedSchema::build(&s, &Normalizer::new());
+        let back = PreparedSchema::from_parts(&p.parts(), Arc::clone(p.arena()));
+        assert_eq!(back.schema_id, p.schema_id);
+        assert_eq!(back.fingerprint, p.fingerprint);
+        assert_eq!(back.signature(), p.signature());
+        assert_eq!(back.signature_ids(), p.signature_ids());
+        assert_eq!(back.len(), p.len());
+        for (b, o) in back.elements().iter().zip(p.elements()) {
+            assert_eq!(b.name_bag, o.name_bag);
+            assert_eq!(b.raw_name, o.raw_name);
+            assert_eq!(b.doc_bag, o.doc_bag);
+            assert_eq!(b.parent_bag, o.parent_bag);
+            assert_eq!(b.children_bag, o.children_bag);
+            assert_eq!(b.corpus_tokens, o.corpus_tokens);
+            assert_eq!(b.name_ids, o.name_ids);
+            assert_eq!(b.name_set, o.name_set);
+            assert_eq!(b.parent_set, o.parent_set);
+            assert_eq!(b.children_set, o.children_set);
+            assert_eq!(b.corpus_ids, o.corpus_ids);
+            assert_eq!(b.raw_name_id, o.raw_name_id);
+            assert_eq!(b.raw_chars, o.raw_chars);
+            assert_eq!(b.acronym_id, o.acronym_id);
+            assert_eq!(b.raw_soundex, o.raw_soundex);
+            assert_eq!(b.block_features, o.block_features);
+            assert_eq!(b.name_sig, o.name_sig);
+            assert_eq!(b.children_sig, o.children_sig);
+            assert_eq!(b.corpus_sig, o.corpus_sig);
+            assert_eq!(b.raw_profile, o.raw_profile);
+            assert_eq!(b.name_token_stats, o.name_token_stats);
+        }
+        for i in 0..p.len() {
+            assert_eq!(back.block_features_of(i), p.block_features_of(i));
+        }
+    }
+
+    #[test]
+    fn admitted_preparations_serve_prepare_without_building() {
+        let cache = FeatureCache::new(Normalizer::new());
+        let s = schema(41);
+        let built = Arc::new(PreparedSchema::build_with_arena(
+            &s,
+            cache.normalizer(),
+            Arc::clone(cache.arena()),
+        ));
+        cache.admit(Arc::clone(&built));
+        let served = cache.prepare(&s);
+        assert!(Arc::ptr_eq(&built, &served), "admit must preempt a rebuild");
+        assert_eq!(cache.stats().misses, 0);
     }
 
     #[test]

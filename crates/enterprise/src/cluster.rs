@@ -13,8 +13,8 @@
 //! either at `k` clusters or at a distance threshold. Quality metrics
 //! (purity, adjusted Rand index) evaluate against generated ground truth.
 
-use crate::index::RepositoryIndex;
 use crate::repository::MetadataRepository;
+use crate::shard::{ShardConfig, ShardedRepositoryIndex};
 use harmony_core::batch::prepare_schemas_global;
 use harmony_core::prepare::PreparedSchema;
 use sm_schema::{Schema, SchemaId};
@@ -83,26 +83,29 @@ impl DistanceMatrix {
     /// a transient token index in parallel on the global executor).
     pub fn from_prepared(prepared: &[Arc<PreparedSchema>]) -> Self {
         let exec = harmony_core::exec::Executor::global();
-        Self::from_index(&RepositoryIndex::build_parallel(
+        Self::from_index(&ShardedRepositoryIndex::build_parallel(
             prepared,
             exec,
             exec.threads(),
+            ShardConfig::default(),
         ))
     }
 
     /// Vocabulary-overlap distances from a token index. Pairwise
     /// intersection counts come from one walk over each posting list
     /// (`Σ df²` work) instead of `n²` per-pair set intersections; the
-    /// Jaccard distances are identical.
-    pub fn from_index(index: &RepositoryIndex) -> Self {
-        let n = index.len();
+    /// Jaccard distances are identical. Rows cover the index's *live*
+    /// schemata, in ascending slot order.
+    pub fn from_index(index: &ShardedRepositoryIndex) -> Self {
+        let live = index.live_slots();
+        let n = live.len();
         let inter = index.pairwise_intersections();
         let mut d = vec![0.0; n * n];
         for i in 0..n {
-            let len_i = index.signature(i as u32).len();
+            let len_i = index.signature(live[i]).len();
             for j in (i + 1)..n {
                 let shared = f64::from(inter[i * n + j]);
-                let union = (len_i + index.signature(j as u32).len()) as f64 - shared;
+                let union = (len_i + index.signature(live[j]).len()) as f64 - shared;
                 let dist = if union == 0.0 {
                     0.0
                 } else {
@@ -113,7 +116,7 @@ impl DistanceMatrix {
             }
         }
         DistanceMatrix {
-            ids: index.ids().to_vec(),
+            ids: live.into_iter().map(|s| index.id_at(s)).collect(),
             d,
         }
     }

@@ -14,6 +14,12 @@
 //!   clustering, and COI proposal: posting lists + a frozen IDF weight
 //!   table, so repository operations touch only schemata that share
 //!   vocabulary instead of scanning the whole registry.
+//! * [`shard`] — the production form of that index: token-range sharded,
+//!   incrementally maintained (delta logs + tombstones + per-shard
+//!   compaction), built in parallel, and score-pinned byte-identical to a
+//!   from-scratch [`index::RepositoryIndex`] rebuild.
+//! * [`persist`] — compact binary warm-start images of the prepared
+//!   registry, so a restarted process skips linguistic re-preparation.
 //! * [`search`] — query-by-schema search ("simply use one's target schema as
 //!   the query term", §2).
 //! * [`cluster`] — schema clustering over overlap distance ("revealing to
@@ -31,14 +37,18 @@ pub mod cluster;
 pub mod coi;
 pub mod feasibility;
 pub mod index;
+pub mod persist;
 pub mod repository;
 pub mod search;
+pub mod shard;
 pub mod team;
 
 pub use cluster::{agglomerative, ClusterEval, Clustering, Linkage};
 pub use coi::{attach_match_evidence, propose_cois, CoiProposal};
 pub use feasibility::{FeasibilityGrade, FeasibilityReport};
 pub use index::RepositoryIndex;
+pub use persist::{load_registry, save_registry, LoadedRegistry};
 pub use repository::{MatchContextTag, MatchRecord, MetadataRepository, Provenance};
 pub use search::{FragmentHit, SchemaSearch, SearchHit};
+pub use shard::{ShardConfig, ShardedRepositoryIndex};
 pub use team::{EngineerProfile, TaskQueue, TeamPlan};

@@ -8,17 +8,21 @@
 //! may be too imprecise for business intelligence) and **provenance** (who
 //! asserted it, trust queries).
 
-use crate::index::RepositoryIndex;
+use crate::shard::{ShardConfig, ShardedRepositoryIndex};
 use harmony_core::batch::prepare_schemas_global;
 use harmony_core::confidence::Confidence;
 use harmony_core::correspondence::{MatchAnnotation, MatchSet, MatchStatus};
 use harmony_core::engine::MatchEngine;
-use harmony_core::prepare::{FeatureCache, PreparedSchema};
+use harmony_core::obs;
+use harmony_core::prepare::{schema_fingerprint, FeatureCache, PreparedSchema};
 use harmony_core::select::Selection;
+use harmony_core::swap::SnapCell;
 use serde::{Deserialize, Serialize};
 use sm_schema::{ElementId, Schema, SchemaId, SchemaPath};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The intended consumption context of a stored match — §5's observation
 /// that "matches are context-dependent". Ordered by the precision the
@@ -116,16 +120,85 @@ impl<'a> SlotMap<'a> {
     }
 }
 
+/// The maintained sharded index: a lock-free snapshot for readers plus the
+/// coalesced refresh rendezvous for the (rare) thread that has to apply
+/// pending maintenance.
+///
+/// Readers ([`MetadataRepository::token_index`]) take the published snapshot
+/// without any lock when it is current. When it is stale, exactly one caller
+/// refreshes — incrementally applying the touched ids to the previous
+/// snapshot — while racing callers wait on the condvar and share the result
+/// (the `FeatureCache::get_or_prepare` coalescing discipline; the historical
+/// `Mutex<Option<Arc<_>>>` cache let racing callers both rebuild).
+#[derive(Debug, Default)]
+struct IndexCell {
+    snap: SnapCell<ShardedRepositoryIndex>,
+    state: Mutex<IndexState>,
+    refreshed: Condvar,
+    /// Bumped on every registry mutation (registration or removal).
+    version: AtomicU64,
+    /// The mutation version the published snapshot reflects.
+    applied: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct IndexState {
+    /// Ids mutated since the last applied refresh, in first-touch order
+    /// (the deterministic order maintenance ops are applied in).
+    touched: Vec<SchemaId>,
+    /// Membership mirror of `touched` (bulk registration would otherwise
+    /// pay a linear scan per mutation).
+    touched_set: HashSet<SchemaId>,
+    /// A refresh is in flight; waiters block on `refreshed`.
+    refreshing: bool,
+}
+
+impl IndexCell {
+    fn note_mutation(&self, id: SchemaId) {
+        let mut st = self.state.lock().expect("index state poisoned");
+        if st.touched_set.insert(id) {
+            st.touched.push(id);
+        }
+        drop(st);
+        self.version.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Resets the in-flight flag (and wakes waiters) even when a refresh
+/// unwinds, so a panicking build never wedges later readers.
+struct RefreshGuard<'a> {
+    cell: &'a IndexCell,
+}
+
+impl Drop for RefreshGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self
+            .cell
+            .state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        st.refreshing = false;
+        drop(st);
+        self.cell.refreshed.notify_all();
+    }
+}
+
 /// An in-memory enterprise metadata repository.
 #[derive(Debug, Default)]
 pub struct MetadataRepository {
     schemas: HashMap<SchemaId, Schema>,
     insertion_order: Vec<SchemaId>,
+    /// Content fingerprint of each registered schema, computed once at
+    /// registration (schemata are immutable while registered — mutation is
+    /// re-registration). Warm-start matching consumes these instead of
+    /// re-hashing every schema's full content inside its timed window.
+    fingerprints: HashMap<SchemaId, u64>,
     records: Vec<MatchRecord>,
     clock: u64,
-    /// Lazily built repository-level token index; dropped whenever a schema
-    /// is (re-)registered, rebuilt on next access.
-    index_cache: Mutex<Option<Arc<RepositoryIndex>>>,
+    /// Shard/compaction knobs of the maintained index.
+    shard_config: ShardConfig,
+    /// The maintained sharded token index (see [`IndexCell`]).
+    index: IndexCell,
 }
 
 impl MetadataRepository {
@@ -134,19 +207,47 @@ impl MetadataRepository {
         MetadataRepository::default()
     }
 
+    /// Empty repository with explicit index shard/compaction knobs.
+    pub fn with_shard_config(config: ShardConfig) -> Self {
+        MetadataRepository {
+            shard_config: config,
+            ..MetadataRepository::default()
+        }
+    }
+
+    /// The maintained index's shard/compaction configuration.
+    pub fn shard_config(&self) -> ShardConfig {
+        self.shard_config
+    }
+
     /// Register a schema. Replaces any previous schema with the same id
     /// (returning it), mirroring registry re-posts of new versions.
+    ///
+    /// The write path is O(1): the mutation is recorded and folded into the
+    /// maintained index *incrementally* on the next [`Self::token_index`]
+    /// (delta log + tombstone, no full rebuild) — re-registering unchanged
+    /// content is a fingerprint-checked no-op there.
     pub fn register_schema(&mut self, schema: Schema) -> Option<Schema> {
         let id = schema.id;
+        self.fingerprints.insert(id, schema_fingerprint(&schema));
         let prev = self.schemas.insert(id, schema);
         if prev.is_none() {
             self.insertion_order.push(id);
         }
-        // The token index no longer reflects the registry's content; drop
-        // it so the next consumer rebuilds. (Re-preparation of unchanged
-        // schemata is free — the FeatureCache is content-fingerprint keyed.)
-        *self.index_cache.lock().expect("index cache poisoned") = None;
+        self.index.note_mutation(id);
         prev
+    }
+
+    /// Remove a schema from the registry, returning it (or `None` when the
+    /// id is unknown). The maintained index tombstones the schema on the
+    /// next refresh; stored match records referencing it are kept — they
+    /// remain knowledge artifacts about past registry states.
+    pub fn remove_schema(&mut self, id: SchemaId) -> Option<Schema> {
+        let prev = self.schemas.remove(&id)?;
+        self.fingerprints.remove(&id);
+        self.insertion_order.retain(|&x| x != id);
+        self.index.note_mutation(id);
+        Some(prev)
     }
 
     /// Fetch a schema.
@@ -242,30 +343,178 @@ impl MetadataRepository {
     /// The repository-level token index over all registered schemata —
     /// the retrieval structure behind [`crate::search::SchemaSearch`],
     /// [`crate::cluster::DistanceMatrix::from_repository`], and COI
-    /// proposal. Built lazily from the shared [`FeatureCache`] preparations
-    /// and cached until the next [`Self::register_schema`] invalidates it,
-    /// so repeated searches against a stable registry pay the build once.
-    pub fn token_index(&self) -> Arc<RepositoryIndex> {
-        let mut guard = self.index_cache.lock().expect("index cache poisoned");
-        if let Some(index) = guard.as_ref() {
-            // The cache is only populated from the current registry state
-            // and dropped on every mutation, so stored fingerprints always
-            // match the live schemata; verify in debug builds.
-            debug_assert!(self.schemas().zip(index.ids()).all(|(s, &id)| {
-                s.id == id
-                    && index.fingerprint(index.slot(id).expect("indexed"))
-                        == harmony_core::prepare::schema_fingerprint(s)
-            }));
-            return Arc::clone(index);
+    /// proposal.
+    ///
+    /// Reads are lock-free once the index is current: the published
+    /// snapshot is taken from a [`SnapCell`], so concurrent query traffic
+    /// never serializes on a writer's lock. After mutations, the first
+    /// caller folds the accumulated delta into the index *incrementally*
+    /// (shard-local delta logs + tombstones, no full rebuild) and publishes
+    /// a new snapshot; racing callers coalesce on that one refresh instead
+    /// of each rebuilding — mirroring `FeatureCache::get_or_prepare`.
+    pub fn token_index(&self) -> Arc<ShardedRepositoryIndex> {
+        let target = self.index.version.load(Ordering::SeqCst);
+        if self.index.applied.load(Ordering::SeqCst) == target {
+            if let Some(snap) = self.index.snap.read() {
+                // Snapshot is current: fingerprints always match the live
+                // schemata because `applied` only advances when a refresh
+                // folded every noted mutation; verify in debug builds.
+                debug_assert!(
+                    self.schemas().all(|s| {
+                        snap.slot(s.id)
+                            .is_some_and(|slot| snap.fingerprint(slot) == schema_fingerprint(s))
+                    }) && snap.len() == self.schemas.len()
+                );
+                return snap;
+            }
+        }
+        self.refresh_index(target)
+    }
+
+    /// Slow path of [`Self::token_index`]: coalesce racing refreshers onto
+    /// one incremental fold-and-publish.
+    fn refresh_index(&self, target: u64) -> Arc<ShardedRepositoryIndex> {
+        let mut st = self.index.state.lock().expect("index state poisoned");
+        loop {
+            // Someone else may have refreshed (or be refreshing) past our
+            // target; wait them out and re-check rather than re-folding.
+            if self.index.applied.load(Ordering::SeqCst) >= target {
+                if let Some(snap) = self.index.snap.read() {
+                    return snap;
+                }
+            }
+            if !st.refreshing {
+                break;
+            }
+            st = self.index.refreshed.wait(st).expect("index state poisoned");
+        }
+        st.refreshing = true;
+        let touched = std::mem::take(&mut st.touched);
+        st.touched_set.clear();
+        // Pin the version *before* folding: mutations need `&mut self`, so
+        // none can race this `&self` refresh, but the protocol stays honest
+        // if that ever changes.
+        let version = self.index.version.load(Ordering::SeqCst);
+        drop(st);
+        let _guard = RefreshGuard { cell: &self.index };
+        let next = self.rebuild_or_apply(&touched);
+        self.index.snap.publish(Arc::clone(&next));
+        self.index.applied.store(version, Ordering::SeqCst);
+        obs::add(obs::Counter::RepoSnapshots, 1);
+        next
+    }
+
+    /// Fold `touched` schema ids into the current snapshot as delta
+    /// upserts/tombstones, or rebuild from scratch when there is no usable
+    /// base (first build, or more ids touched than the base holds).
+    fn rebuild_or_apply(&self, touched: &[SchemaId]) -> Arc<ShardedRepositoryIndex> {
+        let base = self.index.snap.read();
+        if let Some(base) = base {
+            if !base.is_empty() && !touched.is_empty() && touched.len() < base.len() {
+                let cache = FeatureCache::global();
+                let mut next = base.begin_update();
+                for &id in touched {
+                    match self.schemas.get(&id) {
+                        Some(schema) => next.upsert_in_place(&cache.prepare(schema)),
+                        None => {
+                            next.remove_in_place(id);
+                        }
+                    }
+                }
+                return Arc::new(next);
+            }
         }
         let exec = harmony_core::exec::Executor::global();
-        let index = Arc::new(RepositoryIndex::build_parallel(
+        Arc::new(ShardedRepositoryIndex::build_parallel(
             &self.prepare_all(),
             exec,
             exec.threads(),
+            self.shard_config,
+        ))
+    }
+
+    /// Serialize every registered schema's prepared features plus the index
+    /// configuration to `path` — the warm-start image consumed by
+    /// [`Self::warm_start`]. Written from the current index snapshot (it is
+    /// refreshed first), so the image always matches the registry state.
+    pub fn save_registry(&self, path: &Path) -> std::io::Result<()> {
+        let index = self.token_index();
+        let prepared: Vec<Arc<PreparedSchema>> = index
+            .live_slots()
+            .into_iter()
+            .map(|slot| {
+                Arc::clone(
+                    index
+                        .prepared(slot)
+                        .expect("live slots retain their preparation"),
+                )
+            })
+            .collect();
+        crate::persist::save_registry(path, &prepared, index.config())
+    }
+
+    /// Load a warm-start image saved by [`Self::save_registry`] and publish
+    /// it as the current index snapshot, skipping linguistic re-preparation
+    /// of every schema whose registered content still matches the image.
+    /// Returns how many preparations were reused. Schemata present in the
+    /// registry are required; image entries for unregistered ids are
+    /// ignored.
+    pub fn warm_start(&self, path: &Path) -> std::io::Result<usize> {
+        let _span = obs::span(obs::SpanKind::RepoWarmLoad, 0);
+
+        let loaded = crate::persist::load_registry(path)?;
+
+        let mut by_fingerprint: HashMap<u64, Arc<PreparedSchema>> =
+            HashMap::with_capacity(loaded.prepared.len());
+        for p in loaded.prepared {
+            by_fingerprint.insert(p.fingerprint, p);
+        }
+        let cache = FeatureCache::global();
+        let mut reused = 0usize;
+        let prepared: Vec<Arc<PreparedSchema>> = self
+            .insertion_order
+            .iter()
+            .map(|id| {
+                let schema = &self.schemas[id];
+                let fp = self.fingerprints[id];
+                match by_fingerprint.get(&fp) {
+                    Some(p) if p.schema_id == schema.id => {
+                        reused += 1;
+                        Arc::clone(p)
+                    }
+                    _ => cache.prepare(schema),
+                }
+            })
+            .collect();
+        // One bulk admission (single cache lock + one eviction sweep)
+        // instead of 10⁴ per-schema admits each running an O(capacity)
+        // LRU scan against an already-full cache.
+        cache.admit_all(&prepared);
+
+        let exec = harmony_core::exec::Executor::global();
+        let config = ShardConfig {
+            shards: loaded.shard_count,
+            ..self.shard_config
+        };
+        let index = Arc::new(ShardedRepositoryIndex::build_parallel(
+            &prepared,
+            exec,
+            exec.threads(),
+            config,
         ));
-        *guard = Some(Arc::clone(&index));
-        index
+        // Publish under the state lock so we don't clobber (or get
+        // clobbered by) a concurrent refresh mid-fold.
+        let mut st = self.index.state.lock().expect("index state poisoned");
+        while st.refreshing {
+            st = self.index.refreshed.wait(st).expect("index state poisoned");
+        }
+        st.touched.clear();
+        st.touched_set.clear();
+        let version = self.index.version.load(Ordering::SeqCst);
+        self.index.snap.publish(index);
+        self.index.applied.store(version, Ordering::SeqCst);
+        obs::add(obs::Counter::RepoSnapshots, 1);
+        Ok(reused)
     }
 
     /// Store a match artifact; returns its record index. Both schemata must

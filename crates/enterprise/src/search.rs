@@ -7,20 +7,21 @@
 //! vocabulary signature (normalized name tokens weighted by rarity across the
 //! repository) — the "characterize overlap approximately but quickly" of §5.
 //!
-//! Retrieval runs against the repository-level [`RepositoryIndex`]: the
-//! query's tokens are looked up in posting lists, so only schemata sharing
-//! at least one token are ever visited — no per-candidate signature
-//! intersection, no per-query IDF weight table (weights are frozen when the
-//! index is built). Shared-token details are materialized only for the
-//! top-`limit` hits that are actually returned.
+//! Retrieval runs against the repository-level [`ShardedRepositoryIndex`]:
+//! the query's tokens are looked up in per-shard posting lists, so only
+//! schemata sharing at least one token are ever visited — no per-candidate
+//! signature intersection, no per-query IDF weight table (weights derive
+//! from live document frequencies maintained by the index). Shared-token
+//! details are materialized only for the top-`limit` hits that are actually
+//! returned.
 //!
 //! Signatures come from the shared [`PreparedSchema`] feature cache
 //! ([`FeatureCache::global`]), so the index never re-tokenizes a schema the
 //! match engine (or clustering, or COI proposal) has already prepared — and
 //! vice versa.
 
-use crate::index::RepositoryIndex;
 use crate::repository::MetadataRepository;
+use crate::shard::{ShardConfig, ShardedRepositoryIndex};
 use harmony_core::prepare::{FeatureCache, PreparedSchema};
 use sm_schema::{Schema, SchemaId};
 use sm_text::intern::TokenId;
@@ -54,8 +55,8 @@ pub struct FragmentHit {
 
 /// A search façade over a repository's token index.
 pub struct SchemaSearch {
-    /// The inverted index + frozen IDF weight table + total weights.
-    index: Arc<RepositoryIndex>,
+    /// The sharded inverted index snapshot queries run against.
+    index: Arc<ShardedRepositoryIndex>,
     /// The cache queries are prepared through — always the one whose
     /// normalizer produced the indexed signatures, so index-side and
     /// query-side tokenization can never diverge.
@@ -83,17 +84,18 @@ impl SchemaSearch {
         let prepared: Vec<Arc<PreparedSchema>> = prepared.into_iter().collect();
         let exec = harmony_core::exec::Executor::global();
         SchemaSearch {
-            index: Arc::new(RepositoryIndex::build_parallel(
+            index: Arc::new(ShardedRepositoryIndex::build_parallel(
                 &prepared,
                 exec,
                 exec.threads(),
+                ShardConfig::default(),
             )),
             cache,
         }
     }
 
-    /// The underlying token index.
-    pub fn index(&self) -> &Arc<RepositoryIndex> {
+    /// The underlying token index snapshot.
+    pub fn index(&self) -> &Arc<ShardedRepositoryIndex> {
         &self.index
     }
 
@@ -132,7 +134,7 @@ impl SchemaSearch {
             .index
             .accumulate_ids(q_ids)
             .into_iter()
-            .filter(|&(slot, _)| self.index.ids()[slot as usize] != query.id)
+            .filter(|&(slot, _)| self.index.id_at(slot) != query.id)
             .map(|(slot, shared_weight)| {
                 let score =
                     shared_weight / (q_weight + self.index.total_weight(slot) - shared_weight);
@@ -142,7 +144,7 @@ impl SchemaSearch {
         hits.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("finite")
-                .then(self.index.ids()[a.0 as usize].cmp(&self.index.ids()[b.0 as usize]))
+                .then(self.index.id_at(a.0).cmp(&self.index.id_at(b.0)))
         });
         hits.truncate(limit);
 
@@ -150,7 +152,7 @@ impl SchemaSearch {
         let q_set: HashSet<TokenId> = q_ids.iter().copied().collect();
         hits.into_iter()
             .map(|(slot, score)| SearchHit {
-                schema_id: self.index.ids()[slot as usize],
+                schema_id: self.index.id_at(slot),
                 score,
                 shared_tokens: self.shared_token_sample(&q_set, slot),
             })
@@ -199,49 +201,51 @@ impl SchemaSearch {
         let q_set: HashSet<TokenId> = q_ids.iter().copied().collect();
         let prepared_candidate = self.cache.prepare(candidate);
         let arena = prepared_candidate.arena();
-        let mut hits: Vec<FragmentHit> = candidate
-            .roots()
-            .iter()
-            .filter_map(|&root| {
-                // Distinct fragment vocabulary, lexicographically ordered so
-                // the fragment-weight sum keeps the deterministic historical
-                // order.
-                let mut sig: Vec<TokenId> = sm_text::intern::to_sorted_set(
-                    candidate
-                        .subtree(root)
-                        .flat_map(|e| {
-                            prepared_candidate
-                                .element(e.id.index())
-                                .name_set
-                                .iter()
-                                .copied()
-                        })
-                        .collect(),
-                );
-                arena.sort_lexical(&mut sig);
-                // Weights were frozen at index build — no per-query table.
-                let mut shared: Vec<(String, f64)> = sig
+        // Per-query scratch, reused across fragments (the per-fragment
+        // allocate-sort-drop pattern this replaces dominated multi-root
+        // candidates; cf. `index::ProbeScratch` on the blocked path).
+        let mut sig: Vec<TokenId> = Vec::new();
+        let mut shared: Vec<(String, f64)> = Vec::new();
+        let mut hits: Vec<FragmentHit> = Vec::new();
+        for &root in candidate.roots().iter() {
+            // Distinct fragment vocabulary, lexicographically ordered so
+            // the fragment-weight sum keeps the deterministic historical
+            // order.
+            sig.clear();
+            sig.extend(candidate.subtree(root).flat_map(|e| {
+                prepared_candidate
+                    .element(e.id.index())
+                    .name_set
                     .iter()
+                    .copied()
+            }));
+            sig.sort_unstable();
+            sig.dedup();
+            arena.sort_lexical(&mut sig);
+            // Weights come from the index's live df table — no per-query
+            // weight table.
+            shared.clear();
+            shared.extend(
+                sig.iter()
                     .filter(|id| q_set.contains(id))
-                    .map(|&id| (arena.resolve(id).to_string(), self.index.weight_by_id(id)))
-                    .collect();
-                if shared.is_empty() {
-                    return None;
-                }
-                shared.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .expect("finite")
-                        .then_with(|| a.0.cmp(&b.0))
-                });
-                let shared_weight: f64 = shared.iter().map(|(_, w)| w).sum();
-                let frag_weight: f64 = sig.iter().map(|&id| self.index.weight_by_id(id)).sum();
-                Some(FragmentHit {
-                    root,
-                    score: shared_weight / frag_weight.max(1e-12),
-                    shared_tokens: shared.into_iter().take(8).map(|(t, _)| t).collect(),
-                })
-            })
-            .collect();
+                    .map(|&id| (arena.resolve(id).to_string(), self.index.weight_by_id(id))),
+            );
+            if shared.is_empty() {
+                continue;
+            }
+            shared.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("finite")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            let shared_weight: f64 = shared.iter().map(|(_, w)| w).sum();
+            let frag_weight: f64 = sig.iter().map(|&id| self.index.weight_by_id(id)).sum();
+            hits.push(FragmentHit {
+                root,
+                score: shared_weight / frag_weight.max(1e-12),
+                shared_tokens: shared.drain(..).take(8).map(|(t, _)| t).collect(),
+            });
+        }
         hits.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
@@ -288,8 +292,11 @@ mod tests {
 
     /// Reference weighted sum in sorted-token order — the historical
     /// string-path computation the interned query path must reproduce.
-    fn weighted_sum(tokens: &HashSet<String>, weight: &impl Fn(&str) -> f64) -> f64 {
-        let mut sorted: Vec<&str> = tokens.iter().map(String::as_str).collect();
+    fn weighted_sum<S>(tokens: &HashSet<S>, weight: &impl Fn(&str) -> f64) -> f64
+    where
+        S: AsRef<str> + std::hash::Hash + Eq,
+    {
+        let mut sorted: Vec<&str> = tokens.iter().map(|t| t.as_ref()).collect();
         sorted.sort_unstable();
         sorted.into_iter().map(weight).sum()
     }
@@ -452,13 +459,17 @@ mod tests {
         let q_sig = FeatureCache::global().prepare(&q);
         for hit in hits {
             let slot = index.slot(hit.schema_id).unwrap();
-            let cand: HashSet<String> = index.signature(slot).iter().cloned().collect();
+            let cand: HashSet<std::sync::Arc<str>> = index
+                .signature(slot)
+                .iter()
+                .map(|s| std::sync::Arc::from(s.as_str()))
+                .collect();
             let weight = |t: &str| index.weight(t);
             let shared: f64 = {
                 let mut ts: Vec<&str> = q_sig
                     .signature()
                     .intersection(&cand)
-                    .map(String::as_str)
+                    .map(|t| &**t)
                     .collect();
                 ts.sort_unstable();
                 ts.into_iter().map(weight).sum()

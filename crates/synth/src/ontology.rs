@@ -275,16 +275,41 @@ fn concept_name_pool(count: usize, rng: &mut SmallRng) -> Vec<Vec<String>> {
         names.push(vec![bases[i].to_string(), MODIFIERS[j].to_string()]);
     }
     // Tier 3: base × modifier × modifier (distinct modifiers).
-    'outer: for base in &bases {
+    'tier3: for base in &bases {
         for (j, m1) in MODIFIERS.iter().enumerate() {
             for (k, m2) in MODIFIERS.iter().enumerate() {
                 if j == k {
                     continue;
                 }
                 if names.len() >= count {
-                    break 'outer;
+                    break 'tier3;
                 }
                 names.push(vec![base.to_string(), m1.to_string(), m2.to_string()]);
+            }
+        }
+    }
+    // Tier 4: base × three distinct modifiers — registry-scale populations
+    // (10⁴+ schemata) need more unique concepts than tier 3's ~9k.
+    'tier4: for base in &bases {
+        for (j, m1) in MODIFIERS.iter().enumerate() {
+            for (k, m2) in MODIFIERS.iter().enumerate() {
+                if j == k {
+                    continue;
+                }
+                for (l, m3) in MODIFIERS.iter().enumerate() {
+                    if l == j || l == k {
+                        continue;
+                    }
+                    if names.len() >= count {
+                        break 'tier4;
+                    }
+                    names.push(vec![
+                        base.to_string(),
+                        m1.to_string(),
+                        m2.to_string(),
+                        m3.to_string(),
+                    ]);
+                }
             }
         }
     }

@@ -58,8 +58,13 @@ pub struct SyntheticRepository {
 
 impl SyntheticRepository {
     /// Generate a repository population.
+    ///
+    /// Domains generate independently, each from its own RNG seeded by
+    /// `(seed, domain)` — so the population is identical at any executor
+    /// width, and registry-scale runs (10⁴+ schemata for the incremental
+    /// index benches) fan out across the global executor instead of
+    /// threading one RNG through every schema.
     pub fn generate(config: &RepositoryConfig) -> Self {
-        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5EED_5EED_5EED_5EED);
         let styles = [
             NamingStyle::relational(),
             NamingStyle::legacy(),
@@ -67,10 +72,6 @@ impl SyntheticRepository {
             NamingStyle::clean(Case::Camel),
         ];
         let (amin, amax) = config.attrs_per_concept;
-        let mut schemas = Vec::new();
-        let mut domain_of = Vec::new();
-        let mut ontologies = Vec::new();
-        let mut next_id = 0u32;
 
         // One master ontology sliced into disjoint per-domain concept sets:
         // domains must not collide on concept names (their *attribute*
@@ -82,28 +83,43 @@ impl SyntheticRepository {
             amin,
             amax,
         );
-        for d in 0..config.domains {
-            let lo = d * config.concepts_per_domain;
-            let hi = (lo + config.concepts_per_domain).min(master.len());
-            let ontology = Ontology {
-                concepts: master.concepts[lo..hi].to_vec(),
-            };
-            for s in 0..config.schemas_per_domain {
-                let style = styles[(d + s) % styles.len()].clone();
-                let renderer = NameRenderer::new(style);
-                let schema = realize_subset(
-                    &ontology,
-                    SchemaId(next_id),
-                    format!("D{d}_S{s}"),
-                    config.concept_coverage,
-                    &renderer,
-                    &DocStyle::sparse(),
-                    &mut rng,
+        let domains: Vec<usize> = (0..config.domains).collect();
+        let exec = harmony_core::exec::Executor::global();
+        let per_domain: Vec<(Vec<Schema>, Ontology)> =
+            exec.run_map(exec.threads(), &domains, |_, &d| {
+                let mut rng = SmallRng::seed_from_u64(
+                    (config.seed ^ 0x5EED_5EED_5EED_5EED)
+                        .wrapping_add((d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                 );
-                next_id += 1;
-                schemas.push(schema);
-                domain_of.push(d);
-            }
+                let lo = d * config.concepts_per_domain;
+                let hi = (lo + config.concepts_per_domain).min(master.len());
+                let ontology = Ontology {
+                    concepts: master.concepts[lo..hi].to_vec(),
+                };
+                let schemas: Vec<Schema> = (0..config.schemas_per_domain)
+                    .map(|s| {
+                        let style = styles[(d + s) % styles.len()].clone();
+                        let renderer = NameRenderer::new(style);
+                        realize_subset(
+                            &ontology,
+                            SchemaId((d * config.schemas_per_domain + s) as u32),
+                            format!("D{d}_S{s}"),
+                            config.concept_coverage,
+                            &renderer,
+                            &DocStyle::sparse(),
+                            &mut rng,
+                        )
+                    })
+                    .collect();
+                (schemas, ontology)
+            });
+
+        let mut schemas = Vec::with_capacity(config.domains * config.schemas_per_domain);
+        let mut domain_of = Vec::with_capacity(schemas.capacity());
+        let mut ontologies = Vec::with_capacity(config.domains);
+        for (d, (domain_schemas, ontology)) in per_domain.into_iter().enumerate() {
+            domain_of.extend(std::iter::repeat_n(d, domain_schemas.len()));
+            schemas.extend(domain_schemas);
             ontologies.push(ontology);
         }
         SyntheticRepository {

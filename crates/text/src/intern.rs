@@ -140,6 +140,18 @@ impl TokenArena {
             .collect()
     }
 
+    /// Resolve a slice of ids to shared strings under one read lock —
+    /// reference-count bumps only, no per-token heap allocation. The
+    /// allocation-free sibling of [`Self::resolve_all`] for bulk read paths
+    /// (e.g. registry serialization) where transient `String` churn is the
+    /// dominant cost.
+    pub fn resolve_shared(&self, ids: &[TokenId]) -> Vec<Arc<str>> {
+        let inner = self.inner.read().expect("token arena poisoned");
+        ids.iter()
+            .map(|id| Arc::clone(&inner.strings[id.index()]))
+            .collect()
+    }
+
     /// Sort ids by their resolved strings (ascending), under one read lock.
     ///
     /// Ids are handed out in first-intern order, so sorting by id is *not*

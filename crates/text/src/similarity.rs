@@ -349,11 +349,12 @@ pub fn lcs_sim(a: &str, b: &str) -> f64 {
 /// Monge-Elkan similarity of two token lists under an inner measure: the
 /// average over tokens of `a` of the best inner similarity against tokens of
 /// `b`, symmetrized by averaging both directions.
-pub fn monge_elkan<F>(a: &[String], b: &[String], inner: F) -> f64
+pub fn monge_elkan<S, F>(a: &[S], b: &[S], inner: F) -> f64
 where
+    S: AsRef<str>,
     F: Fn(&str, &str) -> f64,
 {
-    fn directed<F: Fn(&str, &str) -> f64>(xs: &[String], ys: &[String], inner: &F) -> f64 {
+    fn directed<S: AsRef<str>, F: Fn(&str, &str) -> f64>(xs: &[S], ys: &[S], inner: &F) -> f64 {
         if xs.is_empty() {
             return if ys.is_empty() { 1.0 } else { 0.0 };
         }
@@ -362,7 +363,11 @@ where
         }
         let total: f64 = xs
             .iter()
-            .map(|x| ys.iter().map(|y| inner(x, y)).fold(0.0_f64, f64::max))
+            .map(|x| {
+                ys.iter()
+                    .map(|y| inner(x.as_ref(), y.as_ref()))
+                    .fold(0.0_f64, f64::max)
+            })
             .sum();
         total / xs.len() as f64
     }
@@ -454,20 +459,20 @@ pub fn jaro_winkler_memo(tag: u32, a: &str, a_id: TokenId, b: &str, b_id: TokenI
 /// instead of once per element pair. Byte-identical to
 /// `monge_elkan(a, b, jaro_winkler)`. `tag` is the id arena's
 /// [`crate::intern::TokenArena::tag`].
-pub fn monge_elkan_jw_interned(
+pub fn monge_elkan_jw_interned<S: AsRef<str>>(
     tag: u32,
-    a: &[String],
+    a: &[S],
     a_ids: &[TokenId],
     a_set: &[TokenId],
-    b: &[String],
+    b: &[S],
     b_ids: &[TokenId],
     b_set: &[TokenId],
 ) -> f64 {
-    fn directed(
+    fn directed<S: AsRef<str>>(
         tag: u32,
-        xs: &[String],
+        xs: &[S],
         xs_ids: &[TokenId],
-        ys: &[String],
+        ys: &[S],
         ys_ids: &[TokenId],
         ys_set: &[TokenId],
     ) -> f64 {
@@ -486,7 +491,7 @@ pub fn monge_elkan_jw_interned(
                 } else {
                     ys.iter()
                         .zip(ys_ids)
-                        .map(|(y, &yid)| jaro_winkler_memo(tag, x, xid, y, yid))
+                        .map(|(y, &yid)| jaro_winkler_memo(tag, x.as_ref(), xid, y.as_ref(), yid))
                         .fold(0.0_f64, f64::max)
                 }
             })

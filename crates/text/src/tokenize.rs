@@ -81,10 +81,10 @@ pub fn char_ngrams(token: &str, n: usize) -> Vec<String> {
 
 /// Heuristic acronym of a token sequence: first letters, e.g.
 /// `["communities","of","interest"]` → `"coi"`.
-pub fn acronym_of(tokens: &[String]) -> String {
+pub fn acronym_of<S: AsRef<str>>(tokens: &[S]) -> String {
     tokens
         .iter()
-        .filter_map(|t| t.chars().next())
+        .filter_map(|t| t.as_ref().chars().next())
         .collect::<String>()
         .to_lowercase()
 }
@@ -174,7 +174,7 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert_eq!(acronym_of(&toks), "coi");
-        assert_eq!(acronym_of(&[]), "");
+        assert_eq!(acronym_of::<String>(&[]), "");
     }
 
     #[test]

@@ -40,10 +40,10 @@ struct RefVector {
 }
 
 impl RefCorpus {
-    fn add_document(&mut self, tokens: &[String]) {
+    fn add_document<S: AsRef<str>>(&mut self, tokens: &[S]) {
         let mut counts: HashMap<String, u32> = HashMap::with_capacity(tokens.len());
         for t in tokens {
-            *counts.entry(t.clone()).or_insert(0) += 1;
+            *counts.entry(t.as_ref().to_string()).or_insert(0) += 1;
         }
         for term in counts.keys() {
             *self.doc_freq.entry(term.clone()).or_insert(0) += 1;

@@ -1,0 +1,325 @@
+//! Pin: the sharded, incrementally-maintained repository index
+//! (`sm_enterprise::shard`) is an *execution* change, never a semantics
+//! change. The monolithic `RepositoryIndex` built from scratch over the
+//! current live set is the oracle: any interleaving of insert / remove /
+//! replace ops — with or without forced per-op compaction, at any shard
+//! count, at any executor width — must yield bit-identical token weights,
+//! total weights, and probe accumulations, and therefore identical search
+//! rankings. Warm-start serialization must round-trip to the same bits.
+
+use harmony_core::exec::Executor;
+use harmony_core::prepare::FeatureCache;
+use proptest::prelude::*;
+use sm_enterprise::index::RepositoryIndex;
+use sm_enterprise::shard::{ShardConfig, ShardedRepositoryIndex};
+use sm_enterprise::{MetadataRepository, SchemaSearch};
+use sm_schema::{DataType, ElementKind, Schema, SchemaId};
+use sm_synth::{RepositoryConfig, SyntheticRepository};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A small synthetic registry population with overlapping vocabulary.
+fn pool(seed: u64) -> Vec<Schema> {
+    SyntheticRepository::generate(&RepositoryConfig {
+        seed,
+        domains: 3,
+        schemas_per_domain: 4,
+        concepts_per_domain: 8,
+        concept_coverage: 0.5,
+        ..Default::default()
+    })
+    .schemas
+}
+
+/// A content-mutated version of a schema (same id, different fingerprint) —
+/// the "registry re-posts a new version" op.
+fn variant(schema: &Schema) -> Schema {
+    let mut v = schema.clone();
+    let root = v.roots()[0];
+    v.add_child(
+        root,
+        "revision_marker_field",
+        ElementKind::Column,
+        DataType::text(),
+    )
+    .expect("root exists");
+    v
+}
+
+/// Probe results keyed by schema id with exact score bits — the
+/// slot-numbering-agnostic form both index flavors must agree on.
+#[allow(clippy::type_complexity)]
+fn probe_bits(
+    accumulate: &dyn Fn(&[sm_text::intern::TokenId]) -> Vec<(SchemaId, f64)>,
+    queries: &[Schema],
+) -> Vec<BTreeMap<u32, u64>> {
+    let cache = FeatureCache::global();
+    queries
+        .iter()
+        .map(|q| {
+            let prepared = cache.prepare(q);
+            accumulate(prepared.signature_ids())
+                .into_iter()
+                .map(|(id, w)| (id.0, w.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Assert the sharded index and a from-scratch monolithic rebuild over the
+/// same live set agree bit-for-bit on every score-relevant quantity.
+fn assert_pinned(sharded: &ShardedRepositoryIndex, queries: &[Schema]) {
+    let live = sharded.live_slots();
+    let prepared: Vec<_> = live
+        .iter()
+        .map(|&s| Arc::clone(sharded.prepared(s).expect("live slot keeps preparation")))
+        .collect();
+    let oracle = RepositoryIndex::build(&prepared);
+    assert_eq!(sharded.len(), oracle.len());
+
+    // Per-token weights over the whole live vocabulary.
+    for &slot in &live {
+        for &t in sharded.signature_ids(slot) {
+            assert_eq!(
+                sharded.weight_by_id(t).to_bits(),
+                oracle.weight_by_id(t).to_bits(),
+                "weight of token {t:?} diverged"
+            );
+        }
+    }
+    // Total signature weights, per schema id.
+    for (rank, &slot) in live.iter().enumerate() {
+        assert_eq!(
+            sharded.total_weight(slot).to_bits(),
+            oracle.total_weight(rank as u32).to_bits(),
+            "total weight of {} diverged",
+            sharded.id_at(slot)
+        );
+        // Live postings of every signature token must contain the slot.
+        assert_eq!(sharded.id_at(slot), oracle.ids()[rank]);
+    }
+    // Probe accumulations (the quantity search scores are made of).
+    let sharded_probe = probe_bits(
+        &|ids| {
+            sharded
+                .accumulate_ids(ids)
+                .into_iter()
+                .map(|(s, w)| (sharded.id_at(s), w))
+                .collect()
+        },
+        queries,
+    );
+    let oracle_probe = probe_bits(
+        &|ids| {
+            oracle
+                .accumulate_ids(ids)
+                .into_iter()
+                .map(|(s, w)| (oracle.ids()[s as usize], w))
+                .collect()
+        },
+        queries,
+    );
+    assert_eq!(sharded_probe, oracle_probe, "probe accumulations diverged");
+}
+
+/// Apply one encoded op to the snapshot chain, mirroring it into `live`.
+fn apply_op(
+    index: ShardedRepositoryIndex,
+    op: u8,
+    schemas: &[Schema],
+    live: &mut BTreeMap<u32, Schema>,
+) -> ShardedRepositoryIndex {
+    let cache = FeatureCache::global();
+    let target = &schemas[usize::from(op >> 2) % schemas.len()];
+    let mut next = index.begin_update();
+    match op % 3 {
+        0 => {
+            next.upsert_in_place(&cache.prepare(target));
+            live.insert(target.id.0, target.clone());
+        }
+        1 => {
+            next.remove_in_place(target.id);
+            live.remove(&target.id.0);
+        }
+        _ => {
+            let v = variant(target);
+            next.upsert_in_place(&cache.prepare(&v));
+            live.insert(v.id.0, v);
+        }
+    }
+    next
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any interleaving of insert / remove / replace, at several shard
+    /// counts, with default and per-op ("eager") compaction, stays
+    /// bit-identical to a from-scratch monolithic rebuild of the live set.
+    #[test]
+    fn interleavings_pin_to_full_rebuild(
+        seed in 0u64..3,
+        ops in proptest::collection::vec(any::<u8>(), 1..20),
+    ) {
+        let schemas = pool(seed);
+        let cache = FeatureCache::global();
+        let initial: Vec<_> = schemas[..6].iter().map(|s| cache.prepare(s)).collect();
+        let queries = &schemas[6..10];
+        for shards in [1usize, 3, 8] {
+            for (min_compact_ops, compact_fraction) in [(64usize, 0.25f64), (1, 0.0)] {
+                let config = ShardConfig { shards, min_compact_ops, compact_fraction };
+                let mut index = ShardedRepositoryIndex::build(&initial, config);
+                let mut live: BTreeMap<u32, Schema> =
+                    schemas[..6].iter().map(|s| (s.id.0, s.clone())).collect();
+                for &op in &ops {
+                    index = apply_op(index, op, &schemas, &mut live);
+                }
+                prop_assert_eq!(index.len(), live.len());
+                assert_pinned(&index, queries);
+                // One terminal full compaction is score-invisible too.
+                let mut compacted = index.begin_update();
+                compacted.compact_all();
+                prop_assert_eq!(compacted.pending_ops(), 0);
+                assert_pinned(&compacted, queries);
+            }
+        }
+    }
+}
+
+/// Executor width never changes the built index: every lane count yields
+/// the same postings, weights, and probe results as the inline build.
+#[test]
+fn build_parallel_is_width_invariant() {
+    let schemas = pool(7);
+    let cache = FeatureCache::global();
+    let prepared: Vec<_> = schemas.iter().map(|s| cache.prepare(s)).collect();
+    let queries = &schemas[..4];
+    for shards in [1usize, 3, 8] {
+        let config = ShardConfig {
+            shards,
+            ..Default::default()
+        };
+        let inline = ShardedRepositoryIndex::build(&prepared, config);
+        let inline_probe = probe_bits(
+            &|ids| {
+                inline
+                    .accumulate_ids(ids)
+                    .into_iter()
+                    .map(|(s, w)| (inline.id_at(s), w))
+                    .collect()
+            },
+            queries,
+        );
+        for width in [1usize, 2, 4, 8] {
+            let exec = Executor::global();
+            let par = ShardedRepositoryIndex::build_parallel(&prepared, exec, width, config);
+            for &t in prepared.iter().flat_map(|p| p.signature_ids()) {
+                assert_eq!(
+                    par.weight_by_id(t).to_bits(),
+                    inline.weight_by_id(t).to_bits()
+                );
+                assert_eq!(par.postings_by_id(t), inline.postings_by_id(t));
+            }
+            let par_probe = probe_bits(
+                &|ids| {
+                    par.accumulate_ids(ids)
+                        .into_iter()
+                        .map(|(s, w)| (par.id_at(s), w))
+                        .collect()
+                },
+                queries,
+            );
+            assert_eq!(par_probe, inline_probe, "width {width} diverged");
+        }
+    }
+}
+
+/// Warm-start round trip: save → load → rebuild answers queries with the
+/// exact same hits, scores (bitwise), and shared tokens as the original
+/// repository — and reuses every preparation.
+#[test]
+fn warm_start_round_trip_pins_search_results() {
+    let schemas = pool(11);
+    let mut repo = MetadataRepository::new();
+    for s in &schemas {
+        repo.register_schema(s.clone());
+    }
+    let cold_search = SchemaSearch::build(&repo);
+    let queries: Vec<Schema> = pool(12).into_iter().take(4).collect();
+    let cold_hits: Vec<_> = queries.iter().map(|q| cold_search.query(q, 10)).collect();
+
+    let path = std::env::temp_dir().join(format!("sm_shard_pin_{}.bin", std::process::id()));
+    repo.save_registry(&path).expect("save");
+
+    let mut warm_repo = MetadataRepository::new();
+    for s in &schemas {
+        warm_repo.register_schema(s.clone());
+    }
+    let reused = warm_repo.warm_start(&path).expect("warm start");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reused, schemas.len(), "every preparation must be reused");
+
+    let warm_search = SchemaSearch::build(&warm_repo);
+    for (q, cold) in queries.iter().zip(&cold_hits) {
+        let warm = warm_search.query(q, 10);
+        assert_eq!(warm.len(), cold.len());
+        for (w, c) in warm.iter().zip(cold) {
+            assert_eq!(w.schema_id, c.schema_id);
+            assert_eq!(w.score.to_bits(), c.score.to_bits(), "score bits diverged");
+            assert_eq!(w.shared_tokens, c.shared_tokens);
+        }
+    }
+}
+
+/// Incremental maintenance through the repository façade (register /
+/// remove / re-register) tracks a from-scratch rebuild of the same
+/// registry state.
+#[test]
+fn repository_incremental_refresh_pins_to_rebuild() {
+    let schemas = pool(23);
+    let mut repo = MetadataRepository::new();
+    for s in &schemas[..8] {
+        repo.register_schema(s.clone());
+    }
+    let first = repo.token_index();
+    assert_eq!(first.len(), 8);
+
+    // Mutate: remove two, replace one, add two.
+    repo.remove_schema(schemas[1].id);
+    repo.remove_schema(schemas[4].id);
+    repo.register_schema(variant(&schemas[2]));
+    repo.register_schema(schemas[8].clone());
+    repo.register_schema(schemas[9].clone());
+    let incremental = repo.token_index();
+    assert_eq!(incremental.len(), 8);
+
+    // Oracle: a fresh repository registered straight into the final state.
+    let mut fresh = MetadataRepository::new();
+    for s in &schemas[..8] {
+        if s.id == schemas[1].id || s.id == schemas[4].id {
+            continue;
+        }
+        if s.id == schemas[2].id {
+            fresh.register_schema(variant(s));
+        } else {
+            fresh.register_schema(s.clone());
+        }
+    }
+    fresh.register_schema(schemas[8].clone());
+    fresh.register_schema(schemas[9].clone());
+
+    let inc_search = SchemaSearch::build(&repo);
+    let fresh_search = SchemaSearch::build(&fresh);
+    for q in &schemas[10..12] {
+        let a = inc_search.query(q, 10);
+        let b = fresh_search.query(q, 10);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.schema_id, y.schema_id);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!(x.shared_tokens, y.shared_tokens);
+        }
+    }
+    // And the same index snapshot is shared until the next mutation.
+    assert!(Arc::ptr_eq(&repo.token_index(), &repo.token_index()));
+}
