@@ -14,6 +14,7 @@ fn population(domains: usize, per_domain: usize) -> SyntheticRepository {
         concepts_per_domain: 15,
         concept_coverage: 0.5,
         attrs_per_concept: (4, 8),
+        ..Default::default()
     })
 }
 

@@ -36,6 +36,7 @@ fn bench_vocabulary(c: &mut Criterion) {
         concepts_per_domain: 30,
         concept_coverage: 0.55,
         attrs_per_concept: (5, 9),
+        ..Default::default()
     });
     let mut group = c.benchmark_group("e5_vocabulary");
     for n in [2usize, 4, 6] {

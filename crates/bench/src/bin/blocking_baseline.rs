@@ -123,6 +123,7 @@ fn population(size: usize) -> SyntheticRepository {
         concepts_per_domain: 20,
         concept_coverage: 0.5,
         attrs_per_concept: (4, 9),
+        ..Default::default()
     })
 }
 

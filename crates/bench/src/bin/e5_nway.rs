@@ -33,6 +33,7 @@ fn main() {
         concepts_per_domain: 30,
         concept_coverage: 0.55,
         attrs_per_concept: (5, 9),
+        ..Default::default()
     });
 
     table_header(&[

@@ -30,6 +30,7 @@ fn main() {
             concepts_per_domain: 18,
             concept_coverage: 0.5,
             attrs_per_concept: (4, 9),
+            ..Default::default()
         });
         let refs: Vec<&sm_schema::Schema> = population.schemas.iter().collect();
         let dm = DistanceMatrix::from_schemas(&refs);
@@ -61,6 +62,7 @@ fn main() {
         concepts_per_domain: 18,
         concept_coverage: 0.5,
         attrs_per_concept: (4, 9),
+        ..Default::default()
     });
     let mut repo = MetadataRepository::new();
     for s in &population.schemas {

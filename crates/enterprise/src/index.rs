@@ -366,6 +366,30 @@ impl RepositoryIndex {
         inter
     }
 
+    /// IDF-weighted vocabulary-overlap upper bounds for all `n²` schema
+    /// pairs — the batch planner's Plan-stage estimator
+    /// ([`harmony_core::batch::OverlapEstimates`]) served straight from
+    /// this index's frozen postings and weights in **one walk** over the
+    /// posting arena, no per-pair probes. Tokens posted in more than
+    /// `df_cap` schemata are charged to the shared ubiquitous mass instead
+    /// of walked quadratically (pass `usize::MAX` for exact bounds).
+    ///
+    /// The vocabulary here is the registry's *signature* (name-token)
+    /// vocabulary, weighted by the same frozen IDF table every search and
+    /// clustering probe uses — coarser than the element-level blocking
+    /// features the in-core batch estimator walks, which is what makes it
+    /// free at registry scale.
+    pub fn overlap_estimates(&self, df_cap: usize) -> harmony_core::batch::OverlapEstimates {
+        harmony_core::batch::OverlapEstimates::from_token_postings(
+            self.len(),
+            self.offsets.windows(2).enumerate().map(|(t, w)| {
+                let posting = &self.postings[w[0] as usize..w[1] as usize];
+                (self.weights[t], posting)
+            }),
+            df_cap,
+        )
+    }
+
     /// Tokens present in *every* given schema, sorted. Walks the smallest
     /// member's signature and keeps tokens whose posting list contains all
     /// other members (binary search per member). Unindexed ids yield an

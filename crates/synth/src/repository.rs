@@ -31,6 +31,19 @@ pub struct RepositoryConfig {
     pub concept_coverage: f64,
     /// Attribute range per concept.
     pub attrs_per_concept: (usize, usize),
+    /// Scope attribute names to their concept and drop generated prose.
+    ///
+    /// The default corpus is deliberately adversarial to vocabulary pruning:
+    /// every concept carries staple attributes (`identifier`, `name`) plus
+    /// draws from a shared generic pool, and sparse documentation injects
+    /// common English content words — so even cross-domain schema pairs
+    /// select exact-name correspondences. With `scoped_attributes` each
+    /// attribute name is prefixed by its concept's head token (for example
+    /// `identifier` → `vehicle identifier`) and documentation is suppressed,
+    /// which keeps heavy within-domain overlap while pushing cross-domain
+    /// pairs below any sensible acceptance threshold. This is the clustered
+    /// regime the N-way plan-stage pruning benchmarks rely on.
+    pub scoped_attributes: bool,
 }
 
 impl Default for RepositoryConfig {
@@ -42,6 +55,7 @@ impl Default for RepositoryConfig {
             concepts_per_domain: 20,
             concept_coverage: 0.5,
             attrs_per_concept: (4, 9),
+            scoped_attributes: false,
         }
     }
 }
@@ -96,6 +110,11 @@ impl SyntheticRepository {
                 let ontology = Ontology {
                     concepts: master.concepts[lo..hi].to_vec(),
                 };
+                let doc_style = if config.scoped_attributes {
+                    DocStyle::none()
+                } else {
+                    DocStyle::sparse()
+                };
                 let schemas: Vec<Schema> = (0..config.schemas_per_domain)
                     .map(|s| {
                         let style = styles[(d + s) % styles.len()].clone();
@@ -105,8 +124,9 @@ impl SyntheticRepository {
                             SchemaId((d * config.schemas_per_domain + s) as u32),
                             format!("D{d}_S{s}"),
                             config.concept_coverage,
+                            config.scoped_attributes,
                             &renderer,
-                            &DocStyle::sparse(),
+                            &doc_style,
                             &mut rng,
                         )
                     })
@@ -142,11 +162,13 @@ impl SyntheticRepository {
 
 /// Realize a random `coverage` fraction of the ontology's concepts as a
 /// generic schema.
+#[allow(clippy::too_many_arguments)]
 fn realize_subset(
     ontology: &Ontology,
     id: SchemaId,
     name: String,
     coverage: f64,
+    scoped: bool,
     renderer: &NameRenderer,
     doc_style: &DocStyle,
     rng: &mut SmallRng,
@@ -174,13 +196,16 @@ fn realize_subset(
         // Realize a random prefix of attributes (at least one).
         let k = rng.gen_range(1..=spec.attributes.len());
         for attr in spec.attributes.iter().take(k) {
+            let attr_name = if scoped {
+                let mut tokens = Vec::with_capacity(attr.tokens.len() + 1);
+                tokens.push(spec.tokens[0].clone());
+                tokens.extend(attr.tokens.iter().cloned());
+                renderer.render(&tokens, rng)
+            } else {
+                renderer.render(&attr.tokens, rng)
+            };
             schema
-                .add_child(
-                    anchor,
-                    renderer.render(&attr.tokens, rng),
-                    ElementKind::Column,
-                    attr.datatype,
-                )
+                .add_child(anchor, attr_name, ElementKind::Column, attr.datatype)
                 .expect("anchor exists");
         }
     }
@@ -263,6 +288,48 @@ mod tests {
             same > cross,
             "same-domain similarity {same} must exceed cross-domain {cross}"
         );
+    }
+
+    #[test]
+    fn scoped_attributes_break_cross_domain_name_collisions() {
+        let cfg = RepositoryConfig {
+            seed: 7,
+            domains: 3,
+            schemas_per_domain: 2,
+            concepts_per_domain: 10,
+            scoped_attributes: true,
+            ..Default::default()
+        };
+        let repo = SyntheticRepository::generate(&cfg);
+        // No element carries generated prose in the scoped regime.
+        for s in &repo.schemas {
+            for e in s.elements() {
+                assert!(e.doc.is_none(), "scoped corpora suppress documentation");
+            }
+        }
+        // Normalized attribute token sequences never collide across domains:
+        // the concept head token scopes every staple (`identifier`, `name`).
+        let leaf_keys = |s: &Schema| -> std::collections::HashSet<Vec<String>> {
+            s.elements()
+                .iter()
+                .filter(|e| e.kind == ElementKind::Column)
+                .map(|e| sm_text::tokenize_identifier(&e.name))
+                .collect()
+        };
+        let keys: Vec<_> = repo.schemas.iter().map(leaf_keys).collect();
+        for i in 0..repo.len() {
+            for j in (i + 1)..repo.len() {
+                if repo.domain_of[i] != repo.domain_of[j] {
+                    assert!(
+                        keys[i].is_disjoint(&keys[j]),
+                        "schemas {i} and {j} from different domains share an \
+                         exact attribute name"
+                    );
+                }
+            }
+        }
+        // Within a domain the scoped names still overlap heavily.
+        assert!(!keys[0].is_disjoint(&keys[1]));
     }
 
     #[test]

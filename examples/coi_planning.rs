@@ -22,6 +22,7 @@ fn main() {
         concepts_per_domain: 18,
         concept_coverage: 0.55,
         attrs_per_concept: (4, 9),
+        ..Default::default()
     };
     let population = SyntheticRepository::generate(&config);
     let mut repo = MetadataRepository::new();

@@ -18,6 +18,7 @@ fn main() {
         concepts_per_domain: 24,
         concept_coverage: 0.6,
         attrs_per_concept: (4, 8),
+        ..Default::default()
     });
     let schemas: Vec<&Schema> = population.schemas.iter().collect();
     let names = ["S_A", "S_C", "S_D", "S_E", "S_F"];

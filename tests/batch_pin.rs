@@ -25,6 +25,7 @@ fn population(seed: u64, n: usize) -> Vec<Schema> {
         concepts_per_domain: 14,
         concept_coverage: 0.6,
         attrs_per_concept: (3, 6),
+        ..Default::default()
     });
     repo.schemas
 }

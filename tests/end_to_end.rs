@@ -179,6 +179,7 @@ fn nway_vocabulary_from_real_matches_partitions_elements() {
         concepts_per_domain: 12,
         concept_coverage: 0.6,
         attrs_per_concept: (3, 6),
+        ..Default::default()
     });
     let schemas: Vec<&sm_schema::Schema> = population.schemas.iter().collect();
     let engine = MatchEngine::new().with_threads(1);

@@ -23,6 +23,7 @@ fn population() -> SyntheticRepository {
         concepts_per_domain: 12,
         concept_coverage: 0.6,
         attrs_per_concept: (3, 6),
+        ..Default::default()
     })
 }
 
