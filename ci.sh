@@ -289,8 +289,13 @@ REGISTERED_COUNTERS = [
     "probe.rows", "probe.postings", "pair.jobs",
     "repo.index_builds", "repo.probe_rows", "repo.postings",
     "repo.shard_builds", "repo.delta_ops", "repo.compactions",
-    "repo.snapshots",
+    "repo.snapshots", "repo.compactions_deferred",
     "memo.misses", "memo.flushes",
+    "exec.budget_denied",
+    "serve.admitted", "serve.rejected", "serve.shed", "serve.timeouts",
+    "serve.cancelled", "serve.degraded", "serve.queue_depth_max",
+    "serve.rss_peak_bytes",
+    "cache.resident_bytes",
 ]
 REQUIRED_SPANS = {
     "stage.prepare", "stage.block", "stage.score", "stage.merge",
@@ -416,6 +421,72 @@ print(
     f"{n100['exhaustive_selected']} selected, end-to-end at {100 * ratio:.1f}% "
     f"of exhaustive (gate {100 * MAX_RATIO:.0f}%), add-one at "
     f"{100 * addone:.1f}% of replan (gate {100 * MAX_ADDONE:.0f}%)"
+)
+PY
+
+echo "==> BENCH_serving.json admission gate (bounded queues + budgets + governor)"
+python3 - BENCH_serving.json <<'PY'
+import json
+import sys
+
+# The serving layer must keep interactive latency bounded while batch and
+# COI traffic shares the pool: at 4 concurrent clients, loaded point p99
+# stays within 3x the same-run idle point p99.
+# All compared quantities come from one process on one host — the gate is
+# a ratio, so absolute wall-clock drift across CI hosts cancels out. The
+# failure_phase must also have exercised every admission verdict: at
+# least one rejection (bounded queue full at equal priority), one shed
+# (higher-priority arrival evicting a queued lower-priority job), and one
+# deadline timeout — if any counter reads zero, the admission paths
+# stopped firing and the robustness story is untested. The governor gate
+# is necessarily weak on a healthy host (peak RSS far below the ceiling);
+# it asserts the sampler ran and the ceiling held, i.e. no unbounded
+# growth under the loaded phases.
+MAX_LOADED_OVER_IDLE = 3.0
+
+path = sys.argv[1]
+with open(path) as fh:
+    doc = json.load(fh)
+idle_p99 = doc["idle"]["point"]["p99_ms"]
+if idle_p99 <= 0:
+    sys.exit(f"{path}: idle point p99 {idle_p99} ms is not positive; ratio is vacuous")
+# The gated phase is the 4-client one — at or just past pool capacity,
+# where lane budgets and pacing are what stand between batch bursts and
+# interactive p99. The 8-client phase oversubscribes the pool (more
+# clients than worker threads on small CI hosts) and is reported for
+# trend only: its p99 includes honest queueing delay, not a lane-budget
+# failure.
+gated = [p for p in doc["loaded"] if p["concurrency"] == 4]
+if not gated:
+    sys.exit(f"{path}: no loaded phase at 4 concurrent clients")
+recomputed = gated[0]["point"]["p99_ms"] / idle_p99
+ratio = doc["loaded_over_idle_point_p99"]
+if abs(ratio - recomputed) > 1e-3:
+    sys.exit(f"{path}: reported ratio {ratio} != recomputed {recomputed:.4f}")
+if ratio > MAX_LOADED_OVER_IDLE:
+    sys.exit(
+        f"{path}: loaded point p99 at {ratio:.2f}x idle exceeds "
+        f"{MAX_LOADED_OVER_IDLE}x — lane budgets / pacing stopped protecting "
+        f"interactive traffic"
+    )
+adm = doc["admission"]
+for verdict in ("rejected", "shed", "timeouts"):
+    if adm.get(verdict, 0) < 1:
+        sys.exit(f"{path}: admission.{verdict} = {adm.get(verdict)} — path untested")
+mem = doc["memory"]
+if mem["peak_rss_bytes"] <= 0:
+    sys.exit(f"{path}: peak RSS not sampled")
+if mem["peak_rss_bytes"] > mem["ceiling_bytes"]:
+    sys.exit(
+        f"{path}: peak RSS {mem['peak_rss_bytes']} exceeded the governor "
+        f"ceiling {mem['ceiling_bytes']} — degradation failed to bound memory"
+    )
+print(
+    f"{path}: loaded/idle point p99 {ratio:.2f}x <= {MAX_LOADED_OVER_IDLE}x, "
+    f"admission verdicts rejected={adm['rejected']} shed={adm['shed']} "
+    f"timeouts={adm['timeouts']}, peak RSS "
+    f"{mem['peak_rss_bytes'] / 2**20:.1f} MiB under ceiling "
+    f"{mem['ceiling_bytes'] / 2**20:.1f} MiB"
 )
 PY
 

@@ -1,0 +1,507 @@
+//! Regenerate `BENCH_serving.json`: the admission-controlled serving layer
+//! under concurrent mixed traffic.
+//!
+//! A closed-loop client mix — interactive point matches, repository
+//! searches, and one background multi-pair batch — drives a single
+//! [`AdmissionController`] at increasing concurrency. The bench reports
+//! per-class throughput and latency percentiles, the loaded-vs-idle point
+//! p99 ratio (`ci.sh` gates it at ≤ 3×: the lane budget must keep the
+//! batch from starving interactive work), deterministic shed / reject /
+//! timeout counts from a queue-flood phase, and peak RSS against the
+//! governor's ceiling.
+//!
+//! Latency numbers are wall-clock on a shared host: absolute milliseconds
+//! drift with CPU frequency and co-tenancy, which is why every gate in
+//! `ci.sh` compares quantities measured *within this same run* (loaded vs
+//! idle, RSS vs ceiling) and never against stored numbers from another
+//! machine.
+//!
+//! Run with: `cargo run --release -p sm-bench --bin serving_baseline`
+
+use harmony_core::prelude::*;
+use harmony_core::serve::{
+    self, AdmissionController, CancelReason, ClassPolicy, JobClass, JobToken, MemoryPolicy,
+    ServeConfig, ServeError,
+};
+use sm_schema::Schema;
+use sm_synth::{RepositoryConfig, SyntheticRepository};
+use sm_text::normalize::Normalizer;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Interactive ops per point client per phase — enough for a stable p99
+/// (the 99th of 150 is the 2nd-from-worst sample) without minutes of wall
+/// clock.
+const POINT_OPS: usize = 150;
+/// Search ops per search client per phase.
+const SEARCH_OPS: usize = 200;
+/// Pairs in one background batch round.
+const BATCH_PAIRS: usize = 12;
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() as f64) * p).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+#[derive(Default, Clone)]
+struct ClassSample {
+    latencies_ms: Vec<f64>,
+    ops: u64,
+    wall_secs: f64,
+}
+
+impl ClassSample {
+    fn merge(&mut self, other: ClassSample) {
+        self.latencies_ms.extend(other.latencies_ms);
+        self.ops += other.ops;
+        self.wall_secs = self.wall_secs.max(other.wall_secs);
+    }
+
+    fn json(&self) -> String {
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        format!(
+            "{{\"ops\": {}, \"throughput_ops_s\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+            self.ops,
+            if self.wall_secs > 0.0 {
+                self.ops as f64 / self.wall_secs
+            } else {
+                0.0
+            },
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.99),
+        )
+    }
+
+    fn p99(&self) -> f64 {
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        percentile(&sorted, 0.99)
+    }
+}
+
+fn population(seed: u64) -> Vec<Schema> {
+    SyntheticRepository::generate(&RepositoryConfig {
+        seed,
+        domains: 2,
+        schemas_per_domain: 8,
+        concepts_per_domain: 14,
+        concept_coverage: 0.6,
+        attrs_per_concept: (3, 7),
+        ..Default::default()
+    })
+    .schemas
+}
+
+fn engine(exec: &Arc<Executor>, cache: &Arc<FeatureCache>, threads: usize) -> MatchEngine {
+    MatchEngine::new()
+        .with_normalizer(Normalizer::new())
+        .with_feature_cache(Arc::clone(cache))
+        .with_executor(Arc::clone(exec))
+        .with_threads(threads)
+}
+
+struct Harness {
+    exec: Arc<Executor>,
+    cache: Arc<FeatureCache>,
+    ctl: Arc<AdmissionController>,
+    schemas: Arc<Vec<Schema>>,
+    search: Arc<sm_enterprise::SchemaSearch>,
+    threads: usize,
+}
+
+/// One point-match client: a closed loop of `POINT_OPS` submissions.
+fn point_client(h: &Harness, seed: usize) -> ClassSample {
+    let n = h.schemas.len();
+    let mut sample = ClassSample::default();
+    let t0 = Instant::now();
+    for op in 0..POINT_OPS {
+        let i = (seed + op) % n;
+        let j = (seed + op + 1 + op % (n - 1)) % n;
+        let (i, j) = if i == j { (i, (j + 1) % n) } else { (i, j) };
+        let t = Instant::now();
+        h.ctl
+            .submit(JobClass::PointMatch, 5, |grant| {
+                let e = grant.bind(engine(&h.exec, &h.cache, h.threads));
+                std::hint::black_box(e.run_blocked(
+                    &h.schemas[i],
+                    &h.schemas[j],
+                    &BlockingPolicy::default(),
+                ))
+            })
+            .expect("point job admitted");
+        sample.latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        sample.ops += 1;
+        // Interactive think time: a point client is a user-facing request
+        // stream, not a saturating loop — the latency question is "how
+        // long does one request take under background load", which a
+        // closed spin would drown in client-vs-client scheduler noise.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    sample.wall_secs = t0.elapsed().as_secs_f64();
+    sample
+}
+
+/// One search client: repository queries against the shared index.
+fn search_client(h: &Harness, seed: usize) -> ClassSample {
+    let n = h.schemas.len();
+    let mut sample = ClassSample::default();
+    let t0 = Instant::now();
+    for op in 0..SEARCH_OPS {
+        let q = (seed + op) % n;
+        let t = Instant::now();
+        h.ctl
+            .submit(JobClass::Search, 5, |grant| {
+                std::hint::black_box(
+                    h.search
+                        .query_cancellable(&h.schemas[q], 10, Some(grant.token()))
+                        .expect("search not cancelled"),
+                )
+            })
+            .expect("search job admitted");
+        sample.latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        sample.ops += 1;
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    sample.wall_secs = t0.elapsed().as_secs_f64();
+    sample
+}
+
+/// The background batch client: repeated `BATCH_PAIRS`-way rounds until
+/// the interactive clients finish. Under memory pressure the grant flags
+/// the degraded path and the round drops score matrices.
+fn batch_client(h: &Harness, stop: &AtomicBool) -> (ClassSample, u64) {
+    let n = h.schemas.len();
+    let refs: Vec<&Schema> = h.schemas.iter().collect();
+    let requests: Vec<(usize, usize)> = (0..BATCH_PAIRS).map(|k| (k % n, (k + 3) % n)).collect();
+    let selection = Selection::OneToOne {
+        min: Confidence::new(0.30),
+    };
+    let mut sample = ClassSample::default();
+    let mut degraded_rounds = 0u64;
+    let t0 = Instant::now();
+    while !stop.load(Ordering::Acquire) {
+        let t = Instant::now();
+        let was_degraded = h
+            .ctl
+            .submit(JobClass::Batch, 1, |grant| {
+                let e = grant.bind(engine(&h.exec, &h.cache, h.threads));
+                let plan = e.batch().plan(&refs, requests.iter().copied());
+                if grant.degraded() {
+                    std::hint::black_box(plan.run_select_only(&selection));
+                } else {
+                    std::hint::black_box(plan.run());
+                }
+                grant.degraded()
+            })
+            .expect("batch job admitted");
+        sample.latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        sample.ops += 1;
+        degraded_rounds += u64::from(was_degraded);
+    }
+    sample.wall_secs = t0.elapsed().as_secs_f64();
+    (sample, degraded_rounds)
+}
+
+/// Run one load level: `points` point clients + `searches` search clients,
+/// with (optionally) the background batch grinding underneath.
+fn load_phase(
+    h: &Arc<Harness>,
+    points: usize,
+    searches: usize,
+    with_batch: bool,
+) -> (ClassSample, ClassSample, ClassSample, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let batch_handle = with_batch.then(|| {
+        let h = Arc::clone(h);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || batch_client(&h, &stop))
+    });
+    let point_handles: Vec<_> = (0..points)
+        .map(|c| {
+            let h = Arc::clone(h);
+            std::thread::spawn(move || point_client(&h, c * 7))
+        })
+        .collect();
+    let search_handles: Vec<_> = (0..searches)
+        .map(|c| {
+            let h = Arc::clone(h);
+            std::thread::spawn(move || search_client(&h, c * 11))
+        })
+        .collect();
+
+    let mut point_sample = ClassSample::default();
+    for p in point_handles {
+        point_sample.merge(p.join().expect("point client panicked"));
+    }
+    let mut search_sample = ClassSample::default();
+    for s in search_handles {
+        search_sample.merge(s.join().expect("search client panicked"));
+    }
+    stop.store(true, Ordering::Release);
+    let (batch_sample, degraded) = match batch_handle {
+        Some(b) => b.join().expect("batch client panicked"),
+        None => (ClassSample::default(), 0),
+    };
+    (point_sample, search_sample, batch_sample, degraded)
+}
+
+/// Deterministic admission-failure phase on a deliberately tiny
+/// controller: one running batch blocks the lane, the queue holds one
+/// waiter, and the flood forces every failure mode the serving layer
+/// distinguishes — reject (full queue, no lower-priority victim), shed
+/// (higher-priority arrival), and deadline timeout.
+fn failure_phase(h: &Harness) -> (u64, u64, u64, u64) {
+    let mut config = ServeConfig::for_pool(h.threads);
+    *config.policy_mut(JobClass::Batch) = ClassPolicy {
+        max_concurrent: 1,
+        queue_capacity: 1,
+        lane_fraction: 0.25,
+        deadline: None,
+        pacing: None,
+    };
+    let ctl = Arc::new(AdmissionController::new(
+        Arc::clone(&h.exec),
+        Arc::clone(&h.cache),
+        config,
+    ));
+
+    let rejected = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let timeouts = Arc::new(AtomicU64::new(0));
+    let cancelled = Arc::new(AtomicU64::new(0));
+
+    // Occupy the single Batch slot for the whole phase.
+    let hold = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let holder = {
+        let ctl = Arc::clone(&ctl);
+        let hold = Arc::clone(&hold);
+        let release = Arc::clone(&release);
+        std::thread::spawn(move || {
+            ctl.submit(JobClass::Batch, 1, |_grant| {
+                hold.store(true, Ordering::Release);
+                while !release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            })
+            .expect("holder admitted");
+        })
+    };
+    while !hold.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+
+    // Low-priority waiter fills the queue with a deadline it cannot meet:
+    // it is either shed by the high-priority arrival below or times out.
+    let waiter = {
+        let ctl = Arc::clone(&ctl);
+        let rejected = Arc::clone(&rejected);
+        let shed = Arc::clone(&shed);
+        let timeouts = Arc::clone(&timeouts);
+        let cancelled = Arc::clone(&cancelled);
+        std::thread::spawn(move || {
+            let token = JobToken::deadline_in(Duration::from_millis(200));
+            match ctl.submit_with_token(JobClass::Batch, 1, token, |_g| ()) {
+                Err(ServeError::Cancelled { reason, .. }) => match reason {
+                    CancelReason::Shed => shed.fetch_add(1, Ordering::Relaxed),
+                    CancelReason::Deadline => timeouts.fetch_add(1, Ordering::Relaxed),
+                    CancelReason::Cancelled => cancelled.fetch_add(1, Ordering::Relaxed),
+                },
+                Err(ServeError::Overloaded { .. }) => rejected.fetch_add(1, Ordering::Relaxed),
+                Ok(()) => panic!("waiter ran while the slot was held"),
+            };
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+
+    // Equal-priority arrival against a full queue: rejected outright.
+    match ctl.submit_with_token(
+        JobClass::Batch,
+        1,
+        JobToken::deadline_in(Duration::from_millis(1)),
+        |_g| (),
+    ) {
+        Err(ServeError::Overloaded { .. }) => rejected.fetch_add(1, Ordering::Relaxed),
+        Err(ServeError::Cancelled { .. }) => timeouts.fetch_add(1, Ordering::Relaxed),
+        Ok(()) => panic!("equal-priority job ran on a held slot"),
+    };
+
+    // Higher-priority arrival: sheds the queued low-priority waiter, then
+    // itself times out waiting on the held slot.
+    match ctl.submit_with_token(
+        JobClass::Batch,
+        9,
+        JobToken::deadline_in(Duration::from_millis(30)),
+        |_g| (),
+    ) {
+        Err(ServeError::Cancelled {
+            reason: CancelReason::Deadline,
+            ..
+        }) => timeouts.fetch_add(1, Ordering::Relaxed),
+        other => panic!("high-priority job: unexpected outcome {other:?}"),
+    };
+
+    // A zero-deadline job on an *idle* class trips at its first checkpoint.
+    match ctl.submit_with_token(
+        JobClass::PointMatch,
+        5,
+        JobToken::deadline_in(Duration::ZERO),
+        |grant| grant.token().checkpoint(),
+    ) {
+        Err(ServeError::Cancelled {
+            reason: CancelReason::Deadline,
+            ..
+        }) => timeouts.fetch_add(1, Ordering::Relaxed),
+        other => panic!("zero-deadline job: unexpected outcome {other:?}"),
+    };
+
+    waiter.join().expect("waiter panicked");
+    release.store(true, Ordering::Release);
+    holder.join().expect("holder panicked");
+
+    (
+        rejected.load(Ordering::Relaxed),
+        shed.load(Ordering::Relaxed),
+        timeouts.load(Ordering::Relaxed),
+        cancelled.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    sm_bench::header(
+        "serving_baseline",
+        "admission-controlled serving under concurrent mixed traffic",
+    );
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+
+    let schemas = Arc::new(population(4242));
+    let exec = Arc::new(Executor::new(threads));
+    let cache = Arc::new(FeatureCache::with_limits(
+        Normalizer::new(),
+        256,
+        Some(64 << 20),
+    ));
+
+    // Ceiling: generous headroom over the warm-up RSS. The gate is "the
+    // serving workload does not grow the process past the ceiling", i.e.
+    // no unbounded RSS growth — not an absolute footprint claim.
+    let base_rss = serve::current_rss_bytes().unwrap_or(256 << 20);
+    let ceiling = base_rss + base_rss / 2 + (512 << 20);
+    let mut config = ServeConfig::for_pool(threads);
+    config.memory = Some(MemoryPolicy {
+        ceiling_bytes: ceiling,
+        cache_budget_bytes: 32 << 20,
+        poll_interval: Duration::from_millis(50),
+    });
+    // Duty-cycle the background classes: lane budgets isolate interactive
+    // work on wide pools, but a closed-loop batch on a narrow (down to
+    // one-core) host competes for the same CPU time slice — the idle gap
+    // after each round is what keeps point p99 near its uncontended value.
+    config.policy_mut(JobClass::Batch).pacing = Some(Duration::from_millis(10));
+    config.policy_mut(JobClass::Coi).pacing = Some(Duration::from_millis(10));
+    let ctl = Arc::new(AdmissionController::new(
+        Arc::clone(&exec),
+        Arc::clone(&cache),
+        config,
+    ));
+
+    // Repository + search index over the same population.
+    let mut repo = sm_enterprise::MetadataRepository::new();
+    for s in schemas.iter() {
+        repo.register_schema(s.clone());
+    }
+    let search = Arc::new(sm_enterprise::SchemaSearch::build(&repo));
+
+    let h = Arc::new(Harness {
+        exec,
+        cache,
+        ctl,
+        schemas,
+        search,
+        threads,
+    });
+
+    // RSS sampler: the peak must come from *during* the load phases, not
+    // just the process high-water mark at exit.
+    let sampling = Arc::new(AtomicBool::new(true));
+    let sampled_peak = Arc::new(AtomicU64::new(0));
+    let sampler = {
+        let sampling = Arc::clone(&sampling);
+        let sampled_peak = Arc::clone(&sampled_peak);
+        std::thread::spawn(move || {
+            while sampling.load(Ordering::Acquire) {
+                if let Some(rss) = serve::current_rss_bytes() {
+                    sampled_peak.fetch_max(rss, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+
+    // Warm-up: populate the cache so idle numbers measure serving, not
+    // first-touch preparation.
+    let (_, _, _, _) = load_phase(&h, 1, 1, false);
+
+    println!("  idle phase: 1 point client, no background load");
+    let (idle_point, _, _, _) = load_phase(&h, 1, 0, false);
+
+    println!("  loaded phase: 4 clients (2 point + 1 search + 1 batch)");
+    let (p4, s4, b4, d4) = load_phase(&h, 2, 1, true);
+
+    println!("  loaded phase: 8 clients (5 point + 2 search + 1 batch)");
+    let (p8, s8, b8, d8) = load_phase(&h, 5, 2, true);
+
+    println!("  failure phase: queue flood on a 1-slot controller");
+    let (rejected, shed, timeouts, cancelled) = failure_phase(&h);
+
+    sampling.store(false, Ordering::Release);
+    sampler.join().expect("sampler panicked");
+    let peak_rss = serve::peak_rss_bytes()
+        .unwrap_or(0)
+        .max(sampled_peak.load(Ordering::Relaxed));
+
+    let idle_p99 = idle_point.p99();
+    let loaded_p99 = p4.p99();
+    let ratio = if idle_p99 > 0.0 {
+        loaded_p99 / idle_p99
+    } else {
+        0.0
+    };
+    println!(
+        "  point p99: idle {idle_p99:.3} ms, loaded(4) {loaded_p99:.3} ms ({ratio:.2}x); \
+         rejected {rejected}, shed {shed}, timeouts {timeouts}; peak RSS {} MiB / ceiling {} MiB",
+        peak_rss >> 20,
+        ceiling >> 20,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"threads\": {threads},\n  \"population\": {pop},\n  \
+         \"idle\": {{\"point\": {idle}}},\n  \
+         \"loaded\": [\n    {{\"concurrency\": 4, \"point\": {p4}, \"search\": {s4}, \"batch\": {b4}, \"degraded_rounds\": {d4}}},\n    \
+         {{\"concurrency\": 8, \"point\": {p8}, \"search\": {s8}, \"batch\": {b8}, \"degraded_rounds\": {d8}}}\n  ],\n  \
+         \"loaded_over_idle_point_p99\": {ratio:.4},\n  \
+         \"admission\": {{\"rejected\": {rejected}, \"shed\": {shed}, \"timeouts\": {timeouts}, \"cancelled\": {cancelled}}},\n  \
+         \"memory\": {{\"ceiling_bytes\": {ceiling}, \"peak_rss_bytes\": {peak_rss}, \"cache_resident_bytes\": {resident}}},\n  \
+         \"caveats\": \"wall-clock latencies on a shared host; gates compare within-run quantities only\"\n}}\n",
+        pop = h.schemas.len(),
+        idle = idle_point.json(),
+        p4 = p4.json(),
+        s4 = s4.json(),
+        b4 = b4.json(),
+        p8 = p8.json(),
+        s8 = s8.json(),
+        b8 = b8.json(),
+        resident = h.cache.stats().resident_bytes,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(out, &json).expect("write BENCH_serving.json");
+    println!("  wrote {out}");
+}

@@ -513,15 +513,16 @@ impl<'e> BatchPlanner<'e> {
 }
 
 /// Counter movement of the feature cache across one batch phase.
-/// `hits`/`misses`/`evictions` are after−before deltas; `entries` is the
-/// absolute resident count at the end of the phase (an occupancy gauge has
-/// no meaningful delta).
+/// `hits`/`misses`/`evictions` are after−before deltas; `entries` and
+/// `resident_bytes` are the absolute occupancy at the end of the phase (a
+/// gauge has no meaningful delta).
 fn delta_stats(before: CacheStats, after: CacheStats) -> CacheStats {
     CacheStats {
         hits: after.hits.saturating_sub(before.hits),
         misses: after.misses.saturating_sub(before.misses),
         evictions: after.evictions.saturating_sub(before.evictions),
         entries: after.entries,
+        resident_bytes: after.resident_bytes,
     }
 }
 
@@ -708,7 +709,7 @@ impl MatchBatch<'_, '_> {
     /// one-per-lane transiently.
     pub fn run_select_only(&self, selection: &Selection) -> BatchSelectResult {
         let started = Instant::now();
-        let pairs: Vec<BatchSelection> = self.engine.executor().run_map(
+        let pairs: Vec<BatchSelection> = self.engine.run_map(
             self.engine.threads,
             &self.requests,
             |_, &PairRequest { left, right }| {
@@ -748,6 +749,9 @@ impl MatchBatch<'_, '_> {
     /// index (exhaustive batches carry no index — candidate generation
     /// short-circuits before probing).
     fn run_pair(&self, left: usize, right: usize) -> crate::pipeline::BlockedRun {
+        // Pair-job cancellation point: a tripped token stops between pairs
+        // before this pair touches the cache or allocates a matrix.
+        self.engine.checkpoint();
         crate::obs::add(crate::obs::Counter::PairJobs, 1);
         let _job = crate::obs::span(
             crate::obs::SpanKind::PairJob,
@@ -770,7 +774,7 @@ impl MatchBatch<'_, '_> {
 
         // Job-level lanes claim whole pairs; each pair's Score/Merge fans
         // chunk lanes out to the same pool (see the module docs).
-        let pairs: Vec<BatchPairResult> = self.engine.executor().run_map(
+        let pairs: Vec<BatchPairResult> = self.engine.run_map(
             self.engine.threads,
             &self.requests,
             |_, &PairRequest { left, right }| {

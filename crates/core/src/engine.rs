@@ -88,6 +88,14 @@ pub struct MatchEngine {
     /// even when a floor is set (the retained reference the cascade is
     /// pinned against).
     pub(crate) cascade_enabled: bool,
+    /// Serving-layer cancellation/deadline token, checked at chunk
+    /// boundaries of every parallel stage. `None` (the default) makes
+    /// every checkpoint a no-op.
+    pub(crate) job_token: Option<crate::serve::JobToken>,
+    /// Serving-layer helper-lane budget this engine's stages draw from.
+    /// `None` (the default) is unbudgeted — exactly the historical
+    /// behavior.
+    pub(crate) lane_budget: Option<Arc<crate::exec::LaneBudget>>,
 }
 
 impl MatchEngine {
@@ -105,6 +113,8 @@ impl MatchEngine {
             score_floor: None,
             panel_is_default: true,
             cascade_enabled: true,
+            job_token: None,
+            lane_budget: None,
         }
     }
 
@@ -184,6 +194,55 @@ impl MatchEngine {
     /// The executor this engine's parallel stages run on.
     pub fn executor(&self) -> &Arc<Executor> {
         &self.exec
+    }
+
+    /// Attach a serving-layer cancellation/deadline token: every parallel
+    /// stage checks it at chunk boundaries and unwinds cooperatively when
+    /// it trips (see [`crate::serve`]).
+    pub fn with_job_token(mut self, token: crate::serve::JobToken) -> Self {
+        self.job_token = Some(token);
+        self
+    }
+
+    /// Draw helper lanes from a shared [`crate::exec::LaneBudget`] instead
+    /// of claiming the pool freely — the serving layer's per-class
+    /// fair-share mechanism.
+    pub fn with_lane_budget(mut self, budget: Arc<crate::exec::LaneBudget>) -> Self {
+        self.lane_budget = Some(budget);
+        self
+    }
+
+    /// The attached job token, if any.
+    pub fn job_token(&self) -> Option<&crate::serve::JobToken> {
+        self.job_token.as_ref()
+    }
+
+    /// Cooperative cancellation point: unwinds iff a token is attached and
+    /// tripped. Stages call this at chunk boundaries, never under a lock.
+    pub(crate) fn checkpoint(&self) {
+        if let Some(token) = &self.job_token {
+            token.checkpoint();
+        }
+    }
+
+    /// [`Executor::run_lanes`] through this engine's lane budget.
+    pub(crate) fn run_lanes<F>(&self, parallelism: usize, work: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.exec
+            .run_lanes_budgeted(parallelism, self.lane_budget.as_deref(), work);
+    }
+
+    /// [`Executor::run_map`] through this engine's lane budget.
+    pub(crate) fn run_map<T, R, F>(&self, parallelism: usize, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.exec
+            .run_map_budgeted(parallelism, self.lane_budget.as_deref(), items, f)
     }
 
     /// A batch planner over this engine's configuration — the entry point

@@ -100,6 +100,87 @@ struct PoolQueue {
     shutdown: bool,
 }
 
+/// A shared cap on how many *helper* lanes a class of jobs may hold at
+/// once, enforced by [`Executor::run_lanes_budgeted`].
+///
+/// The serving layer hands every job class (point match, search, batch,
+/// COI) its own budget sized as a fraction of the pool width, so a 12-way
+/// batch can never occupy more than its share of pool workers while point
+/// queries contend for the rest. The calling thread's lane 0 is never
+/// counted — caller participation is unconditional, exactly as in
+/// [`Executor::run_lanes`] — so a budget of 0 degrades a job to fully
+/// inline execution rather than blocking it.
+///
+/// Claims are non-blocking and partial: a job wanting 7 helpers from a
+/// budget with 3 available gets 3. Correctness never depends on the grant
+/// (every parallel stage is a claim loop completable by lane 0 alone);
+/// only latency does.
+pub struct LaneBudget {
+    available: std::sync::atomic::AtomicUsize,
+    width: usize,
+}
+
+impl LaneBudget {
+    /// A budget allowing at most `max_helpers` concurrently-held helper
+    /// lanes across all jobs sharing this budget.
+    pub fn new(max_helpers: usize) -> Self {
+        LaneBudget {
+            available: std::sync::atomic::AtomicUsize::new(max_helpers),
+            width: max_helpers,
+        }
+    }
+
+    /// The configured cap (helpers, excluding callers' own lanes).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Helpers currently claimable (racy; observability only).
+    pub fn available(&self) -> usize {
+        self.available.load(Ordering::Relaxed)
+    }
+
+    /// Claim up to `want` helper lanes, returning the number granted
+    /// (possibly 0). Never blocks.
+    fn claim(&self, want: usize) -> usize {
+        let mut avail = self.available.load(Ordering::Relaxed);
+        loop {
+            let take = want.min(avail);
+            if take == 0 {
+                return 0;
+            }
+            match self.available.compare_exchange_weak(
+                avail,
+                avail - take,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(now) => avail = now,
+            }
+        }
+    }
+
+    fn release(&self, lanes: usize) {
+        if lanes > 0 {
+            self.available.fetch_add(lanes, Ordering::AcqRel);
+        }
+    }
+}
+
+/// RAII release of a [`LaneBudget`] claim — helpers are returned to the
+/// budget even when the guarded `run_lanes` invocation unwinds.
+struct LaneLease<'a> {
+    budget: &'a LaneBudget,
+    lanes: usize,
+}
+
+impl Drop for LaneLease<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.lanes);
+    }
+}
+
 /// A persistent pool of worker threads with a shared injector queue.
 ///
 /// Workers live for the lifetime of the executor ([`Executor::global`] lives
@@ -190,10 +271,27 @@ impl Executor {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.run_map_budgeted(parallelism, None, items, f)
+    }
+
+    /// [`Self::run_map`] with helper lanes drawn from `budget` (see
+    /// [`LaneBudget`]); `None` is unbudgeted.
+    pub fn run_map_budgeted<T, R, F>(
+        &self,
+        parallelism: usize,
+        budget: Option<&LaneBudget>,
+        items: &[T],
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
         let mut slots: Vec<Option<R>> = Vec::new();
         slots.resize_with(items.len(), || None);
         let queue = Mutex::new(slots.iter_mut().zip(items.iter()).enumerate());
-        self.run_lanes(parallelism.min(items.len()), |_| loop {
+        self.run_lanes_budgeted(parallelism.min(items.len()), budget, |_| loop {
             let claimed = queue.lock().expect("run_map queue poisoned").next();
             let Some((index, (slot, item))) = claimed else {
                 break;
@@ -232,10 +330,38 @@ impl Executor {
     where
         F: Fn(usize) + Sync,
     {
-        let helpers = parallelism
+        self.run_lanes_budgeted(parallelism, None, work)
+    }
+
+    /// [`Self::run_lanes`] with helper lanes drawn from `budget`: the
+    /// helper count is the usual `min(parallelism − 1, pool − 1)`, further
+    /// capped by a non-blocking claim against the budget. Lane 0 still
+    /// runs on the caller unconditionally, so a starved claim (0 granted)
+    /// degrades to inline execution instead of waiting. Claimed lanes are
+    /// returned to the budget when the invocation completes — including by
+    /// unwind.
+    pub fn run_lanes_budgeted<F>(&self, parallelism: usize, budget: Option<&LaneBudget>, work: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let want = parallelism
             .max(1)
             .saturating_sub(1)
             .min(self.threads.saturating_sub(1));
+        let helpers = match budget {
+            Some(b) => {
+                let got = b.claim(want);
+                if got < want {
+                    obs::add(obs::Counter::ExecBudgetDenied, (want - got) as u64);
+                }
+                got
+            }
+            None => want,
+        };
+        let _lease = budget.map(|b| LaneLease {
+            budget: b,
+            lanes: helpers,
+        });
         if helpers == 0 {
             self.shared
                 .counters
@@ -270,6 +396,7 @@ impl Executor {
             .shared
             .next_owner
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let depth;
         {
             let mut queue = self.shared.queue.lock().expect("executor poisoned");
             for lane in 1..=helpers {
@@ -294,25 +421,59 @@ impl Executor {
                 });
                 queue.tasks.push_back(Task { owner, run });
             }
-            let depth = queue.tasks.len() as u64;
-            drop(queue);
-            self.shared
-                .counters
-                .enqueued
-                .fetch_add(helpers as u64, Ordering::Relaxed);
-            self.shared
-                .counters
-                .queue_depth_max
-                .fetch_max(depth, Ordering::Relaxed);
-            obs::add(obs::Counter::ExecEnqueued, helpers as u64);
-            obs::gauge_max(obs::Counter::ExecQueueDepthMax, depth);
-            self.shared.wake.notify_all();
+            depth = queue.tasks.len() as u64;
         }
+        // From here on the queue holds tasks pointing into this frame, so
+        // the drain guard is armed *before* anything else runs: whatever
+        // unwinds below (lane 0's body — cooperative cancellation unwinds
+        // through here by design — or any counter/notify call), the guard's
+        // Drop reclaims or waits out every helper before the frame dies.
+        // That is the soundness contract of the lifetime erasure above, now
+        // enforced structurally instead of by control-flow inspection.
+        let drain = DrainGuard {
+            shared: &self.shared,
+            sync: &sync,
+            owner,
+        };
+        self.shared
+            .counters
+            .enqueued
+            .fetch_add(helpers as u64, Ordering::Relaxed);
+        self.shared
+            .counters
+            .queue_depth_max
+            .fetch_max(depth, Ordering::Relaxed);
+        obs::add(obs::Counter::ExecEnqueued, helpers as u64);
+        obs::gauge_max(obs::Counter::ExecQueueDepthMax, depth);
+        self.shared.wake.notify_all();
 
         // Lane 0 on the calling thread. Even if it panics, helpers must be
         // waited for before unwinding (see the safety note above).
         let own = catch_unwind(AssertUnwindSafe(|| work_ref(0)));
 
+        drop(drain); // reclaim-or-wait until every helper lane is done
+        let helper_panic = sync.state.lock().expect("lane sync poisoned").panic.take();
+
+        if let Err(payload) = own {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(payload) = helper_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Drains one `run_lanes` invocation's outstanding helper tasks on drop —
+/// on the normal path and on unwind alike. See the armed-before-anything
+/// comment at its construction site.
+struct DrainGuard<'a> {
+    shared: &'a PoolShared,
+    sync: &'a LaneSync,
+    owner: u64,
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
         // Cooperative wait: while our helpers are pending, reclaim and run
         // *our own* still-queued helper tasks instead of blocking. This is
         // what makes nested fan-out (a batch job lane running on a pool
@@ -325,7 +486,14 @@ impl Executor {
         // alone: executing another job's whole-pair task here would bound a
         // millisecond run's latency by a stranger's seconds-long work.
         loop {
-            if sync.state.lock().expect("lane sync poisoned").remaining == 0 {
+            if self
+                .sync
+                .state
+                .lock()
+                .expect("lane sync poisoned")
+                .remaining
+                == 0
+            {
                 break;
             }
             let reclaimed = {
@@ -333,7 +501,7 @@ impl Executor {
                 queue
                     .tasks
                     .iter()
-                    .position(|t| t.owner == owner)
+                    .position(|t| t.owner == self.owner)
                     .and_then(|at| queue.tasks.remove(at))
             };
             match reclaimed {
@@ -353,21 +521,13 @@ impl Executor {
                     });
                 }
                 None => {
-                    let mut state = sync.state.lock().expect("lane sync poisoned");
+                    let mut state = self.sync.state.lock().expect("lane sync poisoned");
                     while state.remaining > 0 {
-                        state = sync.done.wait(state).expect("lane sync poisoned");
+                        state = self.sync.done.wait(state).expect("lane sync poisoned");
                     }
                     break;
                 }
             }
-        }
-        let helper_panic = sync.state.lock().expect("lane sync poisoned").panic.take();
-
-        if let Err(payload) = own {
-            std::panic::resume_unwind(payload);
-        }
-        if let Some(payload) = helper_panic {
-            std::panic::resume_unwind(payload);
         }
     }
 }
@@ -602,6 +762,70 @@ mod tests {
                 "multi-lane run never re-parked a worker"
             );
             std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn lane_budget_caps_concurrent_helpers_and_releases() {
+        let exec = Executor::new(4);
+        let budget = LaneBudget::new(1);
+        let seen = Mutex::new(Vec::new());
+        exec.run_lanes_budgeted(4, Some(&budget), |lane| {
+            seen.lock().unwrap().push(lane);
+        });
+        let mut lanes = seen.into_inner().unwrap();
+        lanes.sort_unstable();
+        // Caller lane plus at most one budgeted helper.
+        assert_eq!(lanes, vec![0, 1]);
+        assert_eq!(budget.available(), 1, "claim returned on completion");
+
+        // A zero budget degrades to inline execution (lane 0 only).
+        let starved = LaneBudget::new(0);
+        let base = exec.stats().inline_runs;
+        let hits = AtomicUsize::new(0);
+        exec.run_lanes_budgeted(4, Some(&starved), |lane| {
+            assert_eq!(lane, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(exec.stats().inline_runs, base + 1);
+    }
+
+    #[test]
+    fn lane_budget_released_on_unwind() {
+        let exec = Executor::new(4);
+        let budget = LaneBudget::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            exec.run_lanes_budgeted(3, Some(&budget), |lane| {
+                if lane == 0 {
+                    panic!("caller lane unwinds");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(budget.available(), 2, "unwind must return the claim");
+    }
+
+    /// A panicking job propagates to its caller but leaves the *global*
+    /// pool fully usable: no stuck queue entries, no poisoned lane state,
+    /// and later jobs on the same pool produce correct results.
+    #[test]
+    fn global_pool_survives_panicking_job() {
+        let exec = Executor::global();
+        for round in 0..3 {
+            let items: Vec<usize> = (0..32).collect();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                exec.run_map(4, &items, |_, &x| {
+                    if x == 7 {
+                        panic!("job {round} item exploded");
+                    }
+                    x
+                })
+            }));
+            assert!(result.is_err(), "panic must reach the caller");
+            // Next job on the same shared pool is unaffected.
+            let out = exec.run_map(4, &items, |_, &x| x * 3);
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
         }
     }
 

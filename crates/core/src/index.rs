@@ -337,6 +337,19 @@ pub fn run_chunked<T: Send>(
     }
 }
 
+/// Serving-layer execution controls threaded through candidate generation:
+/// an optional helper-lane budget (class fair share) and an optional job
+/// token (cooperative cancellation at chunk boundaries). The default —
+/// both `None` — is exactly the historical unbudgeted, uncancellable
+/// behavior.
+#[derive(Clone, Copy, Default)]
+pub struct GovernedExec<'a> {
+    /// Helper lanes are claimed against this budget when set.
+    pub budget: Option<&'a crate::exec::LaneBudget>,
+    /// Checked at probe-chunk boundaries when set.
+    pub token: Option<&'a crate::serve::JobToken>,
+}
+
 /// Inverted index from lexical features to posting lists of element indices,
 /// built over one side's [`PreparedSchema`] — flat CSR layout with the IDF
 /// weight table precomputed at build (see the module docs).
@@ -722,6 +735,7 @@ fn probe_element(
 /// other's. Each lane owns one [`ProbeScratch`], reused across all its
 /// claims. Outputs are stitched per direction in element order:
 /// bit-identical at any lane count.
+#[allow(clippy::too_many_arguments)]
 fn probe_sides(
     prepared_source: &PreparedSchema,
     prepared_target: &PreparedSchema,
@@ -729,6 +743,7 @@ fn probe_sides(
     target_index: &ElementTokenIndex,
     policy: &BlockingPolicy,
     par: Option<(&Executor, usize)>,
+    gov: GovernedExec<'_>,
 ) -> (ProbeRows, ProbeRows) {
     let rows = prepared_source.len();
     let cols = prepared_target.len();
@@ -778,11 +793,16 @@ fn probe_sides(
         Some((exec, parallelism)) if parallelism > 1 && descs.len() > 1 => {
             let done: Mutex<Vec<(usize, ChunkOut)>> = Mutex::new(Vec::with_capacity(descs.len()));
             let queue = Mutex::new(descs.iter().enumerate());
-            exec.run_lanes(parallelism.min(descs.len()), |_| {
+            exec.run_lanes_budgeted(parallelism.min(descs.len()), gov.budget, |_| {
                 let mut scratch = ProbeScratch::new(rows.max(cols));
                 loop {
                     let claimed = queue.lock().expect("probe queue poisoned").next();
                     let Some((index, desc)) = claimed else { break };
+                    // Cancellation point (queue lock released, chunk not
+                    // yet probed).
+                    if let Some(token) = gov.token {
+                        token.checkpoint();
+                    }
                     let out = run_chunk(desc, &mut scratch);
                     done.lock()
                         .expect("probe results poisoned")
@@ -796,7 +816,13 @@ fn probe_sides(
         }
         _ => {
             let mut scratch = ProbeScratch::new(rows.max(cols));
-            let outs = descs.iter().map(|d| run_chunk(d, &mut scratch)).collect();
+            let mut outs = Vec::with_capacity(descs.len());
+            for desc in &descs {
+                if let Some(token) = gov.token {
+                    token.checkpoint();
+                }
+                outs.push(run_chunk(desc, &mut scratch));
+            }
             scratch.flush_probe_counters();
             outs
         }
@@ -876,6 +902,7 @@ pub fn generate_candidates(
         prepared_target,
         policy,
         None,
+        GovernedExec::default(),
     )
 }
 
@@ -890,6 +917,33 @@ pub fn generate_candidates_exec(
     exec: &Executor,
     parallelism: usize,
 ) -> CandidateSet {
+    generate_candidates_governed(
+        source,
+        target,
+        prepared_source,
+        prepared_target,
+        policy,
+        exec,
+        parallelism,
+        GovernedExec::default(),
+    )
+}
+
+/// [`generate_candidates_exec`] under serving-layer controls: helper lanes
+/// drawn from `gov.budget`, cancellation checked at chunk boundaries
+/// against `gov.token`. With both `None` this is byte-identical to the
+/// ungoverned path.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_candidates_governed(
+    source: &Schema,
+    target: &Schema,
+    prepared_source: &PreparedSchema,
+    prepared_target: &PreparedSchema,
+    policy: &BlockingPolicy,
+    exec: &Executor,
+    parallelism: usize,
+    gov: GovernedExec<'_>,
+) -> CandidateSet {
     generate_candidates_opt(
         source,
         target,
@@ -897,9 +951,11 @@ pub fn generate_candidates_exec(
         prepared_target,
         policy,
         Some((exec, parallelism)),
+        gov,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn generate_candidates_opt(
     source: &Schema,
     target: &Schema,
@@ -907,6 +963,7 @@ fn generate_candidates_opt(
     prepared_target: &PreparedSchema,
     policy: &BlockingPolicy,
     par: Option<(&Executor, usize)>,
+    gov: GovernedExec<'_>,
 ) -> CandidateSet {
     let rows = prepared_source.len();
     let cols = prepared_target.len();
@@ -918,6 +975,9 @@ fn generate_candidates_opt(
     }
     // Per-pair index builds; a batch amortizes them via
     // [`generate_candidates_with`] instead.
+    if let Some(token) = gov.token {
+        token.checkpoint();
+    }
     let (source_index, target_index) = match par {
         Some((exec, parallelism)) => (
             ElementTokenIndex::build_parallel(prepared_source, exec, parallelism),
@@ -937,6 +997,7 @@ fn generate_candidates_opt(
         &target_index,
         policy,
         par,
+        gov,
     )
 }
 
@@ -967,6 +1028,7 @@ pub fn generate_candidates_with(
         target_index,
         policy,
         None,
+        GovernedExec::default(),
     )
 }
 
@@ -985,6 +1047,35 @@ pub fn generate_candidates_with_exec(
     exec: &Executor,
     parallelism: usize,
 ) -> CandidateSet {
+    generate_candidates_with_governed(
+        source,
+        target,
+        prepared_source,
+        prepared_target,
+        source_index,
+        target_index,
+        policy,
+        exec,
+        parallelism,
+        GovernedExec::default(),
+    )
+}
+
+/// [`generate_candidates_with_exec`] under serving-layer controls (see
+/// [`GovernedExec`]).
+#[allow(clippy::too_many_arguments)]
+pub fn generate_candidates_with_governed(
+    source: &Schema,
+    target: &Schema,
+    prepared_source: &PreparedSchema,
+    prepared_target: &PreparedSchema,
+    source_index: &ElementTokenIndex,
+    target_index: &ElementTokenIndex,
+    policy: &BlockingPolicy,
+    exec: &Executor,
+    parallelism: usize,
+    gov: GovernedExec<'_>,
+) -> CandidateSet {
     generate_candidates_with_opt(
         source,
         target,
@@ -994,6 +1085,7 @@ pub fn generate_candidates_with_exec(
         target_index,
         policy,
         Some((exec, parallelism)),
+        gov,
     )
 }
 
@@ -1013,6 +1105,7 @@ fn generate_candidates_with_opt(
     target_index: &ElementTokenIndex,
     policy: &BlockingPolicy,
     par: Option<(&Executor, usize)>,
+    gov: GovernedExec<'_>,
 ) -> CandidateSet {
     let rows = prepared_source.len();
     let cols = prepared_target.len();
@@ -1047,6 +1140,7 @@ fn generate_candidates_with_opt(
         target_index,
         policy,
         par,
+        gov,
     );
 
     // Union + rescues into one flat packed pair list (no per-row buffers).

@@ -61,6 +61,7 @@ pub mod partition;
 pub mod pipeline;
 pub mod prepare;
 pub mod select;
+pub mod serve;
 pub mod summarize;
 pub mod swap;
 pub mod voter;
@@ -87,6 +88,10 @@ pub mod prelude {
     pub use crate::pipeline::{BlockedRun, MatchPipeline, PipelineRun, StageTimings};
     pub use crate::prepare::{FeatureCache, PreparedSchema};
     pub use crate::select::Selection;
+    pub use crate::serve::{
+        AdmissionController, CancelReason, ClassPolicy, JobClass, JobGrant, JobToken,
+        MemoryGovernor, MemoryPolicy, ServeConfig, ServeError,
+    };
     pub use crate::summarize::{auto_summarize, Concept, Summary};
     pub use crate::voter::MatchVoter;
     pub use crate::workflow::{IncrementalSession, NoisyOracle, Oracle};

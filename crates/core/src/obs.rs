@@ -96,10 +96,16 @@ pub enum SpanKind {
     RepoCompact = 21,
     /// A persisted repository registry loaded from disk (warm start).
     RepoWarmLoad = 22,
+    /// One admitted serving-layer job, admission to completion (payload =
+    /// job class discriminant).
+    ServeJob = 23,
+    /// Time a serving-layer job spent queued before admission (payload =
+    /// job class discriminant).
+    ServeQueueWait = 24,
 }
 
 /// All kinds, in discriminant order (export iteration order).
-pub const SPAN_KINDS: [SpanKind; 23] = [
+pub const SPAN_KINDS: [SpanKind; 25] = [
     SpanKind::StagePrepare,
     SpanKind::StageBlock,
     SpanKind::StageScore,
@@ -123,6 +129,8 @@ pub const SPAN_KINDS: [SpanKind; 23] = [
     SpanKind::RepoShardBuild,
     SpanKind::RepoCompact,
     SpanKind::RepoWarmLoad,
+    SpanKind::ServeJob,
+    SpanKind::ServeQueueWait,
 ];
 
 impl SpanKind {
@@ -152,6 +160,8 @@ impl SpanKind {
             SpanKind::RepoShardBuild => "repo.shard_build",
             SpanKind::RepoCompact => "repo.compact",
             SpanKind::RepoWarmLoad => "repo.warm_load",
+            SpanKind::ServeJob => "serve.job",
+            SpanKind::ServeQueueWait => "serve.queue",
         }
     }
 
@@ -227,10 +237,32 @@ pub enum Counter {
     RepoCompactions = 22,
     /// Index snapshots published to readers.
     RepoSnapshots = 23,
+    /// Helper lanes wanted but denied by a `LaneBudget` claim.
+    ExecBudgetDenied = 24,
+    /// Serving-layer jobs admitted (inline or after queueing).
+    ServeAdmitted = 25,
+    /// Serving-layer jobs rejected `Overloaded` at a full queue.
+    ServeRejected = 26,
+    /// Queued serving-layer jobs shed to admit higher-priority work.
+    ServeShed = 27,
+    /// Serving-layer jobs that hit their deadline (queued or mid-run).
+    ServeTimeouts = 28,
+    /// Serving-layer jobs cancelled explicitly mid-run.
+    ServeCancelled = 29,
+    /// Jobs degraded under memory pressure (matrix-dropping path).
+    ServeDegraded = 30,
+    /// High-water mark of any serving class queue depth (gauge).
+    ServeQueueDepthMax = 31,
+    /// Peak resident set observed by the memory governor, bytes (gauge).
+    ServeRssPeak = 32,
+    /// High-water mark of `FeatureCache` resident bytes (gauge).
+    CacheResidentBytes = 33,
+    /// Shard compactions deferred because of memory pressure.
+    RepoCompactionsDeferred = 34,
 }
 
 /// Number of registered counters.
-pub const COUNTER_COUNT: usize = 24;
+pub const COUNTER_COUNT: usize = 35;
 
 /// All counters, in slot order (export iteration order).
 pub const COUNTERS: [Counter; COUNTER_COUNT] = [
@@ -258,6 +290,17 @@ pub const COUNTERS: [Counter; COUNTER_COUNT] = [
     Counter::RepoDeltaOps,
     Counter::RepoCompactions,
     Counter::RepoSnapshots,
+    Counter::ExecBudgetDenied,
+    Counter::ServeAdmitted,
+    Counter::ServeRejected,
+    Counter::ServeShed,
+    Counter::ServeTimeouts,
+    Counter::ServeCancelled,
+    Counter::ServeDegraded,
+    Counter::ServeQueueDepthMax,
+    Counter::ServeRssPeak,
+    Counter::CacheResidentBytes,
+    Counter::RepoCompactionsDeferred,
 ];
 
 impl Counter {
@@ -288,6 +331,17 @@ impl Counter {
             Counter::RepoDeltaOps => "repo.delta_ops",
             Counter::RepoCompactions => "repo.compactions",
             Counter::RepoSnapshots => "repo.snapshots",
+            Counter::ExecBudgetDenied => "exec.budget_denied",
+            Counter::ServeAdmitted => "serve.admitted",
+            Counter::ServeRejected => "serve.rejected",
+            Counter::ServeShed => "serve.shed",
+            Counter::ServeTimeouts => "serve.timeouts",
+            Counter::ServeCancelled => "serve.cancelled",
+            Counter::ServeDegraded => "serve.degraded",
+            Counter::ServeQueueDepthMax => "serve.queue_depth_max",
+            Counter::ServeRssPeak => "serve.rss_peak_bytes",
+            Counter::CacheResidentBytes => "cache.resident_bytes",
+            Counter::RepoCompactionsDeferred => "repo.compactions_deferred",
         }
     }
 }

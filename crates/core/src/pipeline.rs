@@ -45,7 +45,7 @@ use crate::context::MatchContext;
 use crate::correspondence::MatchSet;
 use crate::engine::MatchEngine;
 use crate::index::{
-    generate_candidates_exec, generate_candidates_with_exec, BlockingPolicy, CandidateSet,
+    generate_candidates_governed, generate_candidates_with_governed, BlockingPolicy, CandidateSet,
     ElementTokenIndex,
 };
 use crate::matrix::MatchMatrix;
@@ -375,8 +375,12 @@ impl<'e> MatchPipeline<'e> {
         let started = Instant::now();
         let block_start = obs::now_ns();
         let exec = self.engine.executor();
+        let gov = crate::index::GovernedExec {
+            budget: self.engine.lane_budget.as_deref(),
+            token: self.engine.job_token.as_ref(),
+        };
         let candidates = match indices {
-            Some((source_index, target_index)) => generate_candidates_with_exec(
+            Some((source_index, target_index)) => generate_candidates_with_governed(
                 source,
                 target,
                 prepared_source,
@@ -386,8 +390,9 @@ impl<'e> MatchPipeline<'e> {
                 policy,
                 exec,
                 self.engine.threads,
+                gov,
             ),
-            None => generate_candidates_exec(
+            None => generate_candidates_governed(
                 source,
                 target,
                 prepared_source,
@@ -395,6 +400,7 @@ impl<'e> MatchPipeline<'e> {
                 policy,
                 exec,
                 self.engine.threads,
+                gov,
             ),
         };
         timings.block = started.elapsed();
@@ -404,6 +410,9 @@ impl<'e> MatchPipeline<'e> {
             block_start,
             timings.block.as_nanos() as u64,
         );
+        // Stage boundary: a token tripped during Block stops before Score
+        // allocates the matrix.
+        self.engine.checkpoint();
 
         let rows = ctx.source.len();
         let cols = ctx.target.len();
@@ -544,11 +553,15 @@ impl<'e> MatchPipeline<'e> {
                 .chunks_mut(block_rows * cols)
                 .enumerate(),
         );
-        self.engine.executor().run_lanes(threads, |_| {
+        self.engine.run_lanes(threads, |_| {
             let mut w = new_worker();
             loop {
                 let claimed = queue.lock().expect("pipeline queue poisoned").next();
                 let Some((index, block)) = claimed else { break };
+                // Cancellation point: the claim-queue lock is released and
+                // this block is untouched, so unwinding here leaves the
+                // matrix exactly as the previous chunks wrote it.
+                self.engine.checkpoint();
                 let _chunk = obs::span(SpanKind::ScoreChunk, (index * block_rows) as u64);
                 process_block(index * block_rows, block, &mut w);
             }
@@ -645,7 +658,7 @@ impl<'e> MatchPipeline<'e> {
             let merge_total = AtomicU64::new(0);
             let pruned_total = AtomicU64::new(0);
             let queue = Mutex::new(work.chunks_mut(block_rows));
-            self.engine.executor().run_lanes(threads, |_| {
+            self.engine.run_lanes(threads, |_| {
                 let mut w = Worker {
                     row: crate::cascade::CascadeScratch::default(),
                     tier1_ns: 0,
@@ -656,6 +669,8 @@ impl<'e> MatchPipeline<'e> {
                 loop {
                     let claimed = queue.lock().expect("pipeline queue poisoned").next();
                     let Some(block) = claimed else { break };
+                    // Cancellation point (lock released, block untouched).
+                    self.engine.checkpoint();
                     let _chunk = obs::span(SpanKind::ScoreChunk, block.len() as u64);
                     process_block(block, &mut w);
                 }
@@ -723,11 +738,13 @@ impl<'e> MatchPipeline<'e> {
         let score_total = AtomicU64::new(0);
         let merge_total = AtomicU64::new(0);
         let queue = Mutex::new(work.chunks_mut(block_rows));
-        self.engine.executor().run_lanes(threads, |_| {
+        self.engine.run_lanes(threads, |_| {
             let mut w = new_worker();
             loop {
                 let claimed = queue.lock().expect("pipeline queue poisoned").next();
                 let Some(block) = claimed else { break };
+                // Cancellation point (lock released, block untouched).
+                self.engine.checkpoint();
                 let _chunk = obs::span(SpanKind::ScoreChunk, block.len() as u64);
                 process_block(block, &mut w);
             }

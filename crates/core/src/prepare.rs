@@ -359,6 +359,43 @@ impl PreparedSchema {
         &self.arena
     }
 
+    /// Estimated resident-heap footprint of this preparation in bytes.
+    ///
+    /// Deliberately an estimate: `Vec` spare capacity, allocator headers,
+    /// and the process-shared [`TokenArena`] (whose strings outlive any one
+    /// preparation) are out of scope. What matters for the cache's byte
+    /// budget is that entries are priced roughly and *consistently*, so a
+    /// 3000-element AUTOSAR release costs ~100× a 30-element form schema.
+    pub fn estimate_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let id = size_of::<TokenId>();
+        let mut bytes = size_of::<PreparedSchema>()
+            + self.block_feature_offsets.len() * size_of::<u32>()
+            + self.block_feature_ids.len() * id
+            + self.signature_ids.len() * id;
+        for e in &self.elements {
+            bytes += size_of::<PreparedElement>() + size_of::<Arc<PreparedElement>>();
+            bytes += e.raw_name.len() + e.raw_chars.len() * size_of::<char>();
+            // Bags and the corpus list hold `Arc<str>` handles; the string
+            // bodies are shared process-wide, so price the handles only.
+            bytes += (e.name_bag.tokens.len()
+                + e.doc_bag.tokens.len()
+                + e.parent_bag.tokens.len()
+                + e.children_bag.tokens.len()
+                + e.corpus_tokens.len())
+                * size_of::<Arc<str>>();
+            bytes += (e.name_ids.len()
+                + e.name_set.len()
+                + e.parent_set.len()
+                + e.children_set.len()
+                + e.corpus_ids.len()
+                + e.block_features.len())
+                * id;
+            bytes += e.name_token_stats.len() * size_of::<TokenStat>();
+        }
+        bytes
+    }
+
     /// Does this preparation still reflect `schema`'s current content?
     pub fn is_current_for(&self, schema: &Schema) -> bool {
         self.schema_id == schema.id && self.fingerprint == schema_fingerprint(schema)
@@ -581,6 +618,9 @@ pub struct CacheStats {
     pub evictions: usize,
     /// Entries currently resident.
     pub entries: usize,
+    /// Estimated bytes currently resident (sum of
+    /// [`PreparedSchema::estimate_bytes`] over entries).
+    pub resident_bytes: usize,
 }
 
 /// A memoizing store of [`PreparedSchema`]s, keyed by content fingerprint.
@@ -601,6 +641,10 @@ pub struct FeatureCache {
     arena: Arc<TokenArena>,
     inner: Mutex<CacheInner>,
     capacity: usize,
+    /// Optional estimated-byte ceiling: the eviction sweep also runs while
+    /// resident bytes exceed it (always keeping at least one entry, so a
+    /// single over-budget schema still caches).
+    byte_budget: Option<usize>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
@@ -611,6 +655,8 @@ struct CacheInner {
     map: HashMap<u64, CacheEntry>,
     /// Monotonic recency clock; bumped on every hit and insert.
     tick: u64,
+    /// Sum of `bytes` over `map` (see [`PreparedSchema::estimate_bytes`]).
+    resident_bytes: usize,
     /// Fingerprints currently being prepared by some thread; racing callers
     /// wait on the slot instead of preparing the same content twice.
     building: HashMap<u64, Arc<BuildSlot>>,
@@ -619,6 +665,8 @@ struct CacheInner {
 struct CacheEntry {
     prepared: Arc<PreparedSchema>,
     last_used: u64,
+    /// Estimated footprint, priced once at insertion.
+    bytes: usize,
 }
 
 /// Rendezvous for one in-flight preparation.
@@ -684,11 +732,25 @@ impl FeatureCache {
 
     /// A cache holding at most `capacity` prepared schemata (≥ 1).
     pub fn with_capacity(normalizer: Normalizer, capacity: usize) -> Self {
+        Self::with_limits(normalizer, capacity, None)
+    }
+
+    /// A cache bounded by entry count *and* (optionally) estimated resident
+    /// bytes: the LRU sweep also evicts while the byte total exceeds
+    /// `byte_budget`, keeping at least one entry. The serving layer's
+    /// memory governor additionally calls [`Self::evict_to_bytes`] to shrink
+    /// any cache (budgeted or not) under process-RSS pressure.
+    pub fn with_limits(
+        normalizer: Normalizer,
+        capacity: usize,
+        byte_budget: Option<usize>,
+    ) -> Self {
         FeatureCache {
             normalizer,
             arena: Arc::clone(TokenArena::global()),
             inner: Mutex::new(CacheInner::default()),
             capacity: capacity.max(1),
+            byte_budget,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
@@ -807,27 +869,60 @@ impl FeatureCache {
     /// Insert a finished preparation and run the LRU eviction sweep. Called
     /// with the cache lock *not* held.
     fn insert_prepared(&self, fp: u64, prepared: &Arc<PreparedSchema>) {
+        let bytes = prepared.estimate_bytes();
         let mut inner = self.inner.lock().expect("feature cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
-        inner.map.entry(fp).or_insert_with(|| CacheEntry {
-            prepared: Arc::clone(prepared),
-            last_used: tick,
-        });
+        if let std::collections::hash_map::Entry::Vacant(slot) = inner.map.entry(fp) {
+            slot.insert(CacheEntry {
+                prepared: Arc::clone(prepared),
+                last_used: tick,
+                bytes,
+            });
+            inner.resident_bytes += bytes;
+        }
         inner.building.remove(&fp);
-        while inner.map.len() > self.capacity {
+        self.sweep_locked(&mut inner, self.capacity, self.byte_budget);
+        crate::obs::gauge_max(
+            crate::obs::Counter::CacheResidentBytes,
+            inner.resident_bytes as u64,
+        );
+    }
+
+    /// LRU-evict while over `capacity` entries or over `byte_budget`
+    /// estimated bytes (never below one resident entry). Caller holds the
+    /// lock.
+    fn sweep_locked(&self, inner: &mut CacheInner, capacity: usize, byte_budget: Option<usize>) {
+        loop {
+            let over_count = inner.map.len() > capacity;
+            let over_bytes = byte_budget
+                .is_some_and(|budget| inner.resident_bytes > budget && inner.map.len() > 1);
+            if !over_count && !over_bytes {
+                break;
+            }
             // O(n) scan, but only on eviction — hits stay O(1).
-            if let Some(evict) = inner
+            let Some(evict) = inner
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(&fp, _)| fp)
-            {
-                inner.map.remove(&evict);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                crate::obs::add(crate::obs::Counter::CacheEvictions, 1);
+            else {
+                break;
+            };
+            if let Some(entry) = inner.map.remove(&evict) {
+                inner.resident_bytes = inner.resident_bytes.saturating_sub(entry.bytes);
             }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            crate::obs::add(crate::obs::Counter::CacheEvictions, 1);
         }
+    }
+
+    /// Evict least-recently-used entries until estimated resident bytes
+    /// drop to `target` (or one entry remains) — the memory governor's
+    /// pressure response. Counters move exactly as for capacity evictions.
+    pub fn evict_to_bytes(&self, target: usize) {
+        let mut inner = self.inner.lock().expect("feature cache poisoned");
+        self.sweep_locked(&mut inner, self.capacity, Some(target));
     }
 
     /// Admit an externally-built preparation (e.g. one reconstructed from a
@@ -861,14 +956,21 @@ impl FeatureCache {
         for p in prepared {
             inner.tick += 1;
             let tick = inner.tick;
+            let bytes = p.estimate_bytes();
+            let mut added = 0usize;
             inner
                 .map
                 .entry(p.fingerprint)
-                .or_insert_with(|| CacheEntry {
-                    prepared: Arc::clone(p),
-                    last_used: tick,
+                .or_insert_with(|| {
+                    added = bytes;
+                    CacheEntry {
+                        prepared: Arc::clone(p),
+                        last_used: tick,
+                        bytes,
+                    }
                 })
                 .last_used = tick;
+            inner.resident_bytes += added;
             inner.building.remove(&p.fingerprint);
         }
         if inner.map.len() > self.capacity {
@@ -876,26 +978,42 @@ impl FeatureCache {
             let mut ticks: Vec<u64> = inner.map.values().map(|e| e.last_used).collect();
             ticks.sort_unstable();
             let cutoff = ticks[excess - 1];
-            inner.map.retain(|_, e| e.last_used > cutoff);
+            let mut freed = 0usize;
+            inner.map.retain(|_, e| {
+                let keep = e.last_used > cutoff;
+                if !keep {
+                    freed += e.bytes;
+                }
+                keep
+            });
+            inner.resident_bytes = inner.resident_bytes.saturating_sub(freed);
             self.evictions.fetch_add(excess, Ordering::Relaxed);
             crate::obs::add(crate::obs::Counter::CacheEvictions, excess as u64);
         }
+        // Survivors of the count sweep may still exceed the byte budget.
+        self.sweep_locked(&mut inner, self.capacity, self.byte_budget);
+        crate::obs::gauge_max(
+            crate::obs::Counter::CacheResidentBytes,
+            inner.resident_bytes as u64,
+        );
     }
 
     /// Drop every resident entry (counters are preserved).
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("feature cache poisoned");
         inner.map.clear();
+        inner.resident_bytes = 0;
     }
 
     /// Current hit/miss/occupancy counters.
     pub fn stats(&self) -> CacheStats {
-        let entries = self.inner.lock().expect("feature cache poisoned").map.len();
+        let inner = self.inner.lock().expect("feature cache poisoned");
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries,
+            entries: inner.map.len(),
+            resident_bytes: inner.resident_bytes,
         }
     }
 }
@@ -1049,6 +1167,60 @@ mod tests {
         cache.prepare(&b);
         assert_eq!(cache.stats().misses, misses_before + 1, "LRU entry evicted");
         assert_eq!(cache.stats().evictions, 2, "both displacements counted");
+    }
+
+    #[test]
+    fn cache_byte_budget_evicts_lru_but_keeps_one_entry() {
+        let one = schema(1);
+        let probe = FeatureCache::new(Normalizer::new());
+        let per_entry = probe.prepare(&one).estimate_bytes();
+        assert!(per_entry > 0, "footprint estimate must be non-trivial");
+
+        // Budget fits roughly two entries; the third insert must evict.
+        let cache = FeatureCache::with_limits(Normalizer::new(), 64, Some(per_entry * 5 / 2));
+        cache.prepare(&one);
+        cache.prepare(&schema(2));
+        let resident_two = cache.stats().resident_bytes;
+        assert!(
+            resident_two >= 2 * per_entry * 9 / 10,
+            "two entries resident"
+        );
+        cache.prepare(&schema(3));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1, "byte budget displaced the LRU entry");
+        assert!(
+            stats.resident_bytes < resident_two + per_entry,
+            "resident bytes bounded by the budget sweep"
+        );
+        // `one` was the least recently used entry; re-preparing it misses.
+        let misses_before = cache.stats().misses;
+        cache.prepare(&one);
+        assert_eq!(cache.stats().misses, misses_before + 1);
+
+        // Even an absurdly small budget keeps the newest entry resident.
+        let tiny = FeatureCache::with_limits(Normalizer::new(), 64, Some(1));
+        tiny.prepare(&schema(4));
+        assert_eq!(tiny.stats().entries, 1, "never evicts below one entry");
+    }
+
+    #[test]
+    fn evict_to_bytes_sheds_down_to_target() {
+        let cache = FeatureCache::new(Normalizer::new());
+        for id in 0..4 {
+            cache.prepare(&schema(id));
+        }
+        let before = cache.stats();
+        assert_eq!(before.entries, 4);
+        cache.evict_to_bytes(before.resident_bytes / 2);
+        let after = cache.stats();
+        assert!(after.entries < before.entries, "pressure eviction ran");
+        assert!(
+            after.resident_bytes <= before.resident_bytes / 2 || after.entries == 1,
+            "resident bytes reach the target unless a single entry remains"
+        );
+        // Accounting stays consistent: draining to zero keeps one entry.
+        cache.evict_to_bytes(0);
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]

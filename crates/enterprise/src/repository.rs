@@ -421,6 +421,10 @@ impl MetadataRepository {
                         }
                     }
                 }
+                // Compactions skipped while the memory governor held the
+                // pressure flag catch up here, on the next refresh after
+                // pressure clears.
+                next.compact_pending();
                 return Arc::new(next);
             }
         }

@@ -114,16 +114,40 @@ impl SchemaSearch {
     /// `query` itself is skipped if it is one of the indexed schemata
     /// (searching for *other* relevant schemata).
     pub fn query(&self, query: &Schema, limit: usize) -> Vec<SearchHit> {
+        self.query_cancellable(query, limit, None)
+            .expect("no token, cannot cancel")
+    }
+
+    /// [`Self::query`] with a serving-layer cancellation token, checked at
+    /// the three phase boundaries (prepare / accumulate+score / materialize)
+    /// so a shed or deadline-tripped search stops without unwinding —
+    /// repository searches read immutable snapshots, so a `Result` return
+    /// is cheaper than the panic-based unwind the pipeline stages need.
+    pub fn query_cancellable(
+        &self,
+        query: &Schema,
+        limit: usize,
+        token: Option<&harmony_core::serve::JobToken>,
+    ) -> Result<Vec<SearchHit>, harmony_core::serve::CancelReason> {
+        let check = |t: Option<&harmony_core::serve::JobToken>| match t {
+            Some(t) => match t.state() {
+                Some(reason) => Err(reason),
+                None => Ok(()),
+            },
+            None => Ok(()),
+        };
+        check(token)?;
         let _span = harmony_core::obs::span(
             harmony_core::obs::SpanKind::RepoQuery,
             self.index.len() as u64,
         );
         let prepared = self.cache.prepare(query);
+        check(token)?;
         // Interned query signature, lexicographically ordered by resolved
         // string — the deterministic weight-summation order.
         let q_ids = prepared.signature_ids();
         if q_ids.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let q_weight: f64 = q_ids.iter().map(|&t| self.index.weight_by_id(t)).sum();
 
@@ -147,16 +171,18 @@ impl SchemaSearch {
                 .then(self.index.id_at(a.0).cmp(&self.index.id_at(b.0)))
         });
         hits.truncate(limit);
+        check(token)?;
 
         // Shared-token details only for the hits actually returned.
         let q_set: HashSet<TokenId> = q_ids.iter().copied().collect();
-        hits.into_iter()
+        Ok(hits
+            .into_iter()
             .map(|(slot, score)| SearchHit {
                 schema_id: self.index.id_at(slot),
                 score,
                 shared_tokens: self.shared_token_sample(&q_set, slot),
             })
-            .collect()
+            .collect())
     }
 
     /// Up to 8 tokens shared between the query signature and a slot,
@@ -387,6 +413,30 @@ mod tests {
         let r = repo();
         let search = SchemaSearch::build(&r);
         assert!(search.query(&vehicle_query(), 1).len() <= 1);
+    }
+
+    #[test]
+    fn cancellable_query_honors_token_without_unwinding() {
+        use harmony_core::serve::{CancelReason, JobToken};
+        let r = repo();
+        let search = SchemaSearch::build(&r);
+        let live = JobToken::new();
+        let hits = search
+            .query_cancellable(&vehicle_query(), 10, Some(&live))
+            .expect("untripped token completes");
+        assert_eq!(hits, search.query(&vehicle_query(), 10));
+
+        let tripped = JobToken::new();
+        tripped.cancel();
+        assert_eq!(
+            search.query_cancellable(&vehicle_query(), 10, Some(&tripped)),
+            Err(CancelReason::Cancelled)
+        );
+        let expired = JobToken::deadline_in(std::time::Duration::ZERO);
+        assert_eq!(
+            search.query_cancellable(&vehicle_query(), 10, Some(&expired)),
+            Err(CancelReason::Deadline)
+        );
     }
 
     #[test]

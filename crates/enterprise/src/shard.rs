@@ -802,7 +802,16 @@ impl ShardedRepositoryIndex {
     }
 
     /// Compact every shard whose pending ops crossed its size trigger.
+    /// Deferred wholesale while the process is under memory pressure — a
+    /// compaction transiently doubles a shard's posting storage, which is
+    /// exactly what the governor is trying to avoid; the delta logs stay
+    /// correct (just slower to probe) and [`Self::compact_pending`] catches
+    /// up once pressure clears.
     fn maybe_compact(&mut self) {
+        if harmony_core::serve::memory_pressure() {
+            obs::add(obs::Counter::RepoCompactionsDeferred, 1);
+            return;
+        }
         for s in 0..self.shards.len() {
             let shard = &self.shards[s];
             let threshold = (self.config.min_compact_ops.max(1))
@@ -811,6 +820,13 @@ impl ShardedRepositoryIndex {
                 self.compact_shard(s);
             }
         }
+    }
+
+    /// Catch-up entry point for compactions deferred under memory
+    /// pressure: re-runs the normal trigger check (no-op while pressure
+    /// persists or no shard is over threshold).
+    pub fn compact_pending(&mut self) {
+        self.maybe_compact();
     }
 
     /// Force-compact every shard with pending ops (bench/serialization

@@ -1,0 +1,248 @@
+//! Pin: admission control is an *execution* change, never a semantics
+//! change — and cancellation is clean.
+//!
+//! Jobs that are cancelled or deadline-tripped mid-traffic must leave
+//! every surviving job's result byte-identical to an uncontended
+//! reference run: no partial cache entries bleeding into later prepares,
+//! no poisoned executor, no lane budget leaked by an unwinding stage.
+
+use harmony_core::prelude::*;
+use harmony_core::serve::{
+    AdmissionController, CancelReason, JobClass, JobToken, ServeConfig, ServeError,
+};
+use sm_schema::Schema;
+use sm_synth::{RepositoryConfig, SyntheticRepository};
+use sm_text::normalize::Normalizer;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn population(seed: u64, n: usize) -> Vec<Schema> {
+    SyntheticRepository::generate(&RepositoryConfig {
+        seed,
+        domains: 1,
+        schemas_per_domain: n,
+        concepts_per_domain: 12,
+        concept_coverage: 0.6,
+        attrs_per_concept: (3, 6),
+        ..Default::default()
+    })
+    .schemas
+}
+
+/// An engine on the shared serving pool + cache. Engines are cheap (the
+/// panel is rebuilt); the cache and executor are the shared state under
+/// test.
+fn engine(exec: &Arc<Executor>, cache: &Arc<FeatureCache>, threads: usize) -> MatchEngine {
+    MatchEngine::new()
+        .with_normalizer(Normalizer::new())
+        .with_feature_cache(Arc::clone(cache))
+        .with_executor(Arc::clone(exec))
+        .with_threads(threads)
+}
+
+#[test]
+fn cancelled_jobs_leave_survivor_selections_byte_identical() {
+    const THREADS: usize = 4;
+    let schemas = population(23, 6);
+    let pairs: Vec<(usize, usize)> = (0..schemas.len())
+        .flat_map(|i| ((i + 1)..schemas.len()).map(move |j| (i, j)))
+        .collect();
+    let policy = BlockingPolicy::default();
+
+    // Uncontended reference: each pair matched serially on a private
+    // cache, no admission layer anywhere near it.
+    let ref_exec = Arc::new(Executor::new(THREADS));
+    let ref_cache = Arc::new(FeatureCache::new(Normalizer::new()));
+    let ref_engine = engine(&ref_exec, &ref_cache, THREADS);
+    let reference: Vec<Vec<f32>> = pairs
+        .iter()
+        .map(|&(i, j)| {
+            ref_engine
+                .run_blocked(&schemas[i], &schemas[j], &policy)
+                .matrix
+                .as_slice()
+                .to_vec()
+        })
+        .collect();
+
+    // Served run: every pair goes through the admission controller while
+    // doomed jobs (pre-cancelled, zero-deadline) churn through the same
+    // queues, cache, and lane budgets on sibling threads.
+    let exec = Arc::new(Executor::new(THREADS));
+    let cache = Arc::new(FeatureCache::new(Normalizer::new()));
+    let ctl = Arc::new(AdmissionController::new(
+        Arc::clone(&exec),
+        Arc::clone(&cache),
+        ServeConfig::for_pool(THREADS),
+    ));
+
+    let schemas = Arc::new(schemas);
+    let doomed: Vec<_> = (0..6)
+        .map(|k| {
+            let ctl = Arc::clone(&ctl);
+            let exec = Arc::clone(&exec);
+            let cache = Arc::clone(&cache);
+            let schemas = Arc::clone(&schemas);
+            std::thread::spawn(move || {
+                let token = if k % 2 == 0 {
+                    let t = JobToken::new();
+                    t.cancel();
+                    t
+                } else {
+                    JobToken::deadline_in(Duration::ZERO)
+                };
+                let outcome = ctl.submit_with_token(
+                    JobClass::Batch,
+                    1,
+                    token,
+                    |grant: &harmony_core::serve::JobGrant| {
+                        let e = grant.bind(engine(&exec, &cache, THREADS));
+                        // First checkpoint inside the pipeline unwinds.
+                        e.run_blocked(
+                            &schemas[k % 5],
+                            &schemas[k % 5 + 1],
+                            &BlockingPolicy::default(),
+                        )
+                        .matrix
+                        .as_slice()
+                        .to_vec()
+                    },
+                );
+                match outcome {
+                    Err(ServeError::Cancelled { reason, .. }) => {
+                        let expect = if k % 2 == 0 {
+                            CancelReason::Cancelled
+                        } else {
+                            CancelReason::Deadline
+                        };
+                        assert_eq!(
+                            reason, expect,
+                            "doomed job {k} tripped for the wrong reason"
+                        );
+                    }
+                    Err(other) => panic!("doomed job {k}: unexpected error {other}"),
+                    Ok(_) => panic!("doomed job {k} ran to completion with a tripped token"),
+                }
+            })
+        })
+        .collect();
+
+    let survivors: Vec<_> = pairs
+        .iter()
+        .map(|&(i, j)| {
+            let ctl = Arc::clone(&ctl);
+            let exec = Arc::clone(&exec);
+            let cache = Arc::clone(&cache);
+            let schemas = Arc::clone(&schemas);
+            std::thread::spawn(move || {
+                ctl.submit(JobClass::PointMatch, 5, |grant| {
+                    let e = grant.bind(engine(&exec, &cache, THREADS));
+                    e.run_blocked(&schemas[i], &schemas[j], &BlockingPolicy::default())
+                        .matrix
+                        .as_slice()
+                        .to_vec()
+                })
+                .expect("survivor admitted and completed")
+            })
+        })
+        .collect();
+
+    for d in doomed {
+        d.join().expect("doomed-job thread panicked");
+    }
+    let served: Vec<Vec<f32>> = survivors
+        .into_iter()
+        .map(|s| s.join().expect("survivor thread panicked"))
+        .collect();
+
+    for (idx, (got, want)) in served.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            "pair {:?} diverged from the uncontended reference",
+            pairs[idx]
+        );
+    }
+
+    // The executor and cache survived every unwind: a fresh uncached pair
+    // of schemata still matches, through the controller, on the same pool.
+    let fresh = population(91, 2);
+    let again = ctl
+        .submit(JobClass::PointMatch, 5, |grant| {
+            let e = grant.bind(engine(&exec, &cache, THREADS));
+            e.run_blocked(&fresh[0], &fresh[1], &BlockingPolicy::default())
+                .matrix
+                .as_slice()
+                .to_vec()
+        })
+        .expect("pool usable after cancellations");
+    let check = ref_engine
+        .run_blocked(&fresh[0], &fresh[1], &policy)
+        .matrix
+        .as_slice()
+        .to_vec();
+    assert_eq!(again, check, "post-cancellation run diverged");
+}
+
+#[test]
+fn mid_run_cancellation_unwinds_without_poisoning_shared_state() {
+    const THREADS: usize = 4;
+    let schemas = Arc::new(population(37, 4));
+    let exec = Arc::new(Executor::new(THREADS));
+    let cache = Arc::new(FeatureCache::new(Normalizer::new()));
+    let ctl = AdmissionController::new(
+        Arc::clone(&exec),
+        Arc::clone(&cache),
+        ServeConfig::for_pool(THREADS),
+    );
+
+    // Cancel from a racing thread while the job is (likely) mid-pipeline;
+    // whichever side wins, the outcome must be either a clean result or a
+    // clean `Cancelled` — never a panic, never a poisoned pool.
+    for round in 0..8u64 {
+        let token = JobToken::new();
+        let killer = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_micros(round * 150));
+                token.cancel();
+            })
+        };
+        let outcome = ctl.submit_with_token(JobClass::PointMatch, 5, token, |grant| {
+            let e = grant.bind(engine(&exec, &cache, THREADS));
+            e.run_blocked(&schemas[0], &schemas[1], &BlockingPolicy::Exhaustive)
+                .matrix
+                .as_slice()
+                .to_vec()
+        });
+        killer.join().unwrap();
+        match outcome {
+            Ok(matrix) => assert!(!matrix.is_empty()),
+            Err(ServeError::Cancelled { reason, .. }) => {
+                assert_eq!(reason, CancelReason::Cancelled)
+            }
+            Err(other) => panic!("round {round}: unexpected error {other}"),
+        }
+    }
+
+    // Deterministic check after the churn: result equals a fresh engine's.
+    let served = ctl
+        .submit(JobClass::PointMatch, 5, |grant| {
+            let e = grant.bind(engine(&exec, &cache, THREADS));
+            e.run_blocked(&schemas[2], &schemas[3], &BlockingPolicy::default())
+                .matrix
+                .as_slice()
+                .to_vec()
+        })
+        .unwrap();
+    let reference = engine(
+        &Arc::new(Executor::new(THREADS)),
+        &Arc::new(FeatureCache::new(Normalizer::new())),
+        THREADS,
+    )
+    .run_blocked(&schemas[2], &schemas[3], &BlockingPolicy::default())
+    .matrix
+    .as_slice()
+    .to_vec();
+    assert_eq!(served, reference);
+}
